@@ -1,0 +1,126 @@
+// Microbenchmarks of the OEMU mechanisms (Figures 3 and 4): delayed store
+// operations through the virtual store buffer, versioned load operations
+// through the store history, barrier flushes, and the breakpoint-precise
+// context switch of the custom scheduler. google-benchmark based.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/oemu/cell.h"
+#include "src/oemu/runtime.h"
+#include "src/rt/machine.h"
+
+namespace {
+
+using namespace ozz;
+using oemu::Cell;
+using oemu::InstrKind;
+using oemu::Runtime;
+
+void BM_UninstrumentedStoreLoad(benchmark::State& state) {
+  Cell<u64> x{0};
+  u64 sink = 0;
+  for (auto _ : state) {
+    OSK_STORE(x, sink + 1);
+    sink = OSK_LOAD(x);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_UninstrumentedStoreLoad);
+
+void BM_InstrumentedStoreLoad(benchmark::State& state) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  Cell<u64> x{0};
+  u64 sink = 0;
+  for (auto _ : state) {
+    OSK_STORE(x, sink + 1);
+    sink = OSK_LOAD(x);
+    benchmark::DoNotOptimize(sink);
+  }
+  rt.Deactivate();
+}
+BENCHMARK(BM_InstrumentedStoreLoad);
+
+// Figure 3: a delayed store into the virtual store buffer plus the barrier
+// flush that commits it.
+void BM_DelayedStoreAndFlush(benchmark::State& state) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  Cell<u64> x{0};
+  InstrId site = kInvalidInstr;
+  auto delayed_store = [&](u64 v) {
+    site = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+    StoreCell(site, x, v);
+  };
+  delayed_store(0);
+  rt.DelayStoreAt(Runtime::CurrentThreadId(), site);
+  for (auto _ : state) {
+    delayed_store(1);
+    OSK_SMP_WMB();
+  }
+  rt.Deactivate();
+}
+BENCHMARK(BM_DelayedStoreAndFlush);
+
+// Figure 4: a versioned load reconstructing an old value from the store
+// history, with history depth as the sweep parameter.
+void BM_VersionedLoad(benchmark::State& state) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  Cell<u64> x{0};
+  const int depth = static_cast<int>(state.range(0));
+  for (int i = 0; i < depth; ++i) {
+    OSK_STORE(x, static_cast<u64>(i));
+  }
+  InstrId site = kInvalidInstr;
+  auto versioned_load = [&]() {
+    site = OZZ_OEMU_SITE(InstrKind::kLoad, "x");
+    return LoadCell(site, x);
+  };
+  (void)versioned_load();
+  rt.ReadOldValueAt(Runtime::CurrentThreadId(), site);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(versioned_load());
+  }
+  rt.Deactivate();
+}
+BENCHMARK(BM_VersionedLoad)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StoreHistoryAppend(benchmark::State& state) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  Cell<u64> x{0};
+  u64 v = 0;
+  for (auto _ : state) {
+    OSK_STORE(x, ++v);  // every committed store appends a history entry
+  }
+  rt.Deactivate();
+}
+BENCHMARK(BM_StoreHistoryAppend);
+
+// The custom scheduler's token handoff (one full yield round-trip between
+// two simulated threads).
+void BM_ContextSwitch(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::Machine machine(2);
+    machine.AddThread("a", 0, [&] {
+      for (int i = 0; i < switches / 2; ++i) {
+        rt::Machine::Current()->Yield();
+      }
+    });
+    machine.AddThread("b", 1, [&] {
+      for (int i = 0; i < switches / 2; ++i) {
+        rt::Machine::Current()->Yield();
+      }
+    });
+    machine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * switches);
+}
+BENCHMARK(BM_ContextSwitch)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Reproduces §6.4: comparison with OFence (static paired-barrier matching).
+//
+// The paper finds 8 of the 11 Table 3 bugs are "hardly detectable" by
+// OFence because its patterns need an existing half-pattern to anchor on.
+// OFence-lite applies the same pairing patterns to the per-subsystem barrier
+// usage of our kernel and we count which Table 3 scenarios fall inside /
+// outside its reach. Also shown: the KCSAN-lite comparison of §6.1 Case
+// Study 1 — the annotated tls data race that KCSAN is silent about.
+#include <cstdio>
+#include <string>
+
+#include "src/baseline/kcsan_lite.h"
+#include "src/baseline/ofence_lite.h"
+#include "src/fuzz/profile.h"
+#include "src/fuzz/syslang.h"
+
+namespace {
+
+using namespace ozz;
+
+struct Row {
+  const char* id;
+  const char* subsystem;  // osk subsystem hosting the bug
+};
+
+constexpr Row kTable3[] = {
+    {"Bug #1", "rds"},         {"Bug #2", "watch_queue"}, {"Bug #3", "vmci"},
+    {"Bug #4", "xsk"},         {"Bug #5", "tls"},         {"Bug #6", "bpf_sockmap"},
+    {"Bug #7", "xsk"},         {"Bug #8", "smc"},         {"Bug #9", "tls"},
+    {"Bug #10", "smc"},        {"Bug #11", "gsm"},
+};
+
+}  // namespace
+
+int main() {
+  // Configuration matching the §6.1 campaign: Table 3 scenarios buggy,
+  // previously-patched (Table 4) bugs fixed — their barriers are present and
+  // give OFence its anchors.
+  osk::KernelConfig config;
+  for (const char* fixed : {"vlan", "unix", "nbd", "fs", "mq", "ringbuf", "tls.err_abort"}) {
+    config.fixed.insert(fixed);
+  }
+
+  baseline::OfenceResult ofence = baseline::RunOfenceAnalysis(config);
+  std::printf("=== §6.4: OFence-lite static analysis ===\n\n");
+  std::printf("Flagged subsystems (pattern matches):\n");
+  for (const auto& f : ofence.findings) {
+    std::printf("  %-12s %-3s %s\n", f.subsystem.c_str(), f.pattern.c_str(), f.detail.c_str());
+  }
+
+  int detectable = 0;
+  std::printf("\nTable 3 bugs vs OFence patterns:\n");
+  for (const Row& row : kTable3) {
+    bool flagged = ofence.Flagged(row.subsystem);
+    detectable += flagged ? 1 : 0;
+    std::printf("  %-8s %-12s %s\n", row.id, row.subsystem,
+                flagged ? "inside OFence's pattern reach"
+                        : "hardly detectable (no barrier half-pattern to anchor on)");
+  }
+  std::printf("\nSummary: %d/11 within pattern reach, %d/11 hardly detectable "
+              "(paper: 8/11 hardly detectable).\n",
+              detectable, 11 - detectable);
+
+  // §6.1 Case Study 1: KCSAN's blind spot on the annotated tls race.
+  std::printf("\n=== §6.1 Case Study 1: KCSAN-lite on the tls sk_prot race ===\n\n");
+  osk::Kernel template_kernel(config);
+  osk::InstallDefaultSubsystems(template_kernel);
+  fuzz::Prog seed = fuzz::SeedProgramFor(template_kernel.table(), "tls");
+  fuzz::ProgProfile profile = fuzz::ProfileProg(seed, config);
+  baseline::KcsanResult kcsan =
+      baseline::FindDataRaces(profile.calls[1].trace, profile.calls[2].trace);
+  std::printf("Racy pairs reported by KCSAN-lite: %zu\n", kcsan.reported.size());
+  for (const auto& r : kcsan.reported) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+  std::printf("Racy pairs suppressed because both sides are WRITE_ONCE/READ_ONCE "
+              "annotated: %zu\n",
+              kcsan.suppressed_by_annotation);
+  std::printf("-> The sk_prot accesses are annotated (the incorrect earlier fix), so KCSAN "
+              "stays silent while the OOO bug (Bug #9) remains — OZZ finds it by actually "
+              "reordering the annotated stores.\n");
+
+  bool shape_ok = (11 - detectable) >= 7 && kcsan.suppressed_by_annotation > 0;
+  std::printf("\nShape check: %s\n", shape_ok ? "holds" : "DOES NOT HOLD");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Reproduces Table 3: the new OOO bugs OZZ finds.
+//
+// Runs the full OZZ pipeline (seed program -> profile -> hints -> MTIs) on
+// each of the 11 Table 3 scenarios and prints the discovered crash titles
+// alongside the paper's, plus the control columns the section argues from:
+// the same search without OEMU reordering (the x86-64/TCG point) and on the
+// patched kernel.
+#include <cstdio>
+#include <string>
+
+#include "src/fuzz/fuzzer.h"
+
+namespace {
+
+using ozz::fuzz::CampaignResult;
+using ozz::fuzz::Fuzzer;
+using ozz::fuzz::FuzzerOptions;
+using ozz::fuzz::SeedProgramFor;
+
+struct Row {
+  const char* id;
+  const char* subsystem;
+  const char* seed;
+  const char* fix_key;
+  const char* pre_fixed;  // isolates the scenario when one module hosts two
+  const char* paper_title;
+};
+
+constexpr Row kRows[] = {
+    {"Bug #1", "RDS", "rds", "rds", nullptr,
+     "KASAN: slab-out-of-bounds Read in rds_loop_xmit"},
+    {"Bug #2", "watchqueue", "watch_queue", "watch_queue", "watch_queue.rmb",
+     "BUG: ... NULL pointer dereference in _find_first_bit (ours: pipe_read)"},
+    {"Bug #3", "VMCI", "vmci", "vmci", nullptr, "general protection fault in add_wait_queue"},
+    {"Bug #4", "XDP", "xsk", "xsk", nullptr,
+     "BUG: ... NULL pointer dereference in xsk_poll"},
+    {"Bug #5", "TLS", "tls_getsockopt", "tls", nullptr,
+     "BUG: ... NULL pointer dereference in tls_getsockopt"},
+    {"Bug #6", "BPF", "bpf_sockmap", "bpf_sockmap", nullptr,
+     "BUG: ... NULL pointer dereference in sk_psock_verdict_data_ready"},
+    {"Bug #7", "XDP", "xsk_xmit", "xsk", nullptr,
+     "BUG: ... NULL pointer dereference in xsk_generic_xmit"},
+    {"Bug #8", "SMC", "smc", "smc", nullptr, "BUG: ... NULL pointer dereference in connect"},
+    {"Bug #9", "TLS", "tls", "tls", nullptr,
+     "BUG: ... NULL pointer dereference in tls_setsockopt"},
+    {"Bug #10", "SMC", "smc_close", "smc", nullptr, "KASAN: null-ptr-deref Write in fput"},
+    {"Bug #11", "GSM", "gsm", "gsm", nullptr,
+     "BUG: ... NULL pointer dereference in gsm_dlci_config"},
+};
+
+CampaignResult Hunt(const Row& row, bool reordering, bool patched) {
+  FuzzerOptions options;
+  options.seed = 2024;
+  // The positive run needs few tests (the heuristic fires early); the
+  // negative controls sweep a bounded budget.
+  options.max_mti_runs = reordering && !patched ? 2000 : 800;
+  options.stop_after_bugs = 1;
+  options.reordering = reordering;
+  if (row.pre_fixed != nullptr) {
+    options.kernel_config.fixed.insert(row.pre_fixed);
+  }
+  if (patched) {
+    options.kernel_config.fixed.insert(row.fix_key);
+  }
+  Fuzzer fuzzer(options);
+  return fuzzer.RunProg(SeedProgramFor(fuzzer.table(), row.seed));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: new OOO bugs discovered by OZZ ===\n\n");
+  std::printf("%-8s %-11s %-7s %-8s %-8s %-6s  %s\n", "ID", "Subsystem", "found?",
+              "in-order", "patched", "#tests", "crash title (ours)");
+  int found = 0;
+  int inorder_found = 0;
+  int patched_found = 0;
+  for (const Row& row : kRows) {
+    CampaignResult ozz = Hunt(row, /*reordering=*/true, /*patched=*/false);
+    CampaignResult inorder = Hunt(row, /*reordering=*/false, /*patched=*/false);
+    CampaignResult patched = Hunt(row, /*reordering=*/true, /*patched=*/true);
+    bool ok = !ozz.bugs.empty();
+    found += ok ? 1 : 0;
+    inorder_found += inorder.bugs.empty() ? 0 : 1;
+    patched_found += patched.bugs.empty() ? 0 : 1;
+    std::printf("%-8s %-11s %-7s %-8s %-8s %-6llu  %s\n", row.id, row.subsystem,
+                ok ? "yes" : "NO", inorder.bugs.empty() ? "no" : "YES!",
+                patched.bugs.empty() ? "clean" : "CRASH",
+                static_cast<unsigned long long>(ok ? ozz.bugs[0].found_at_test : 0),
+                ok ? ozz.bugs[0].report.title.c_str() : "-");
+    if (ok) {
+      std::printf("%37s paper: %s\n", "", row.paper_title);
+    }
+  }
+  std::printf("\nSummary: OZZ found %d/11 (paper: 11/11); interleaving-only found %d (paper "
+              "argument: 0 — these bugs do not manifest without reordering); patched kernels "
+              "crashed %d times (expected 0).\n",
+              found, inorder_found, patched_found);
+  return (found == 11 && inorder_found == 0 && patched_found == 0) ? 0 : 1;
+}

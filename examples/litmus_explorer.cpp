@@ -1,0 +1,133 @@
+// Litmus explorer: runs the classic two-thread litmus shapes under OEMU and
+// prints every reachable outcome, with and without barriers — a compact
+// demonstration of Table 1's semantics and of the LKMM compliance rules
+// (§10.1). Mirrors what tools like herd7 report, but produced by the in-vivo
+// emulation itself.
+#include <cstdio>
+
+#include "src/lkmm/litmus.h"
+
+using namespace ozz;
+using lkmm::LitmusEnv;
+using lkmm::LitmusRegs;
+using lkmm::LitmusResult;
+
+namespace {
+
+void Report(const char* name, const char* weak_desc, const LitmusResult& result,
+            const lkmm::LitmusOutcome& weak) {
+  std::printf("%-34s executions=%-5zu outcomes=%-3zu weak(%s): %s  lkmm-violations=%zu\n",
+              name, result.executions, result.outcomes.size(), weak_desc,
+              result.Saw(weak) ? "REACHED" : "forbidden", result.violations.size());
+}
+
+lkmm::LitmusOutcome Weak(u64 r00, u64 r01, u64 r10, u64 r11) {
+  lkmm::LitmusOutcome o{};
+  o[0] = r00;
+  o[1] = r01;
+  o[lkmm::kLitmusRegs] = r10;
+  o[lkmm::kLitmusRegs + 1] = r11;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Litmus outcomes under OEMU (in-vivo out-of-order emulation)\n\n");
+
+  // MP: message passing.
+  Report("MP (no barriers)", "r0=1,r1=0",
+         lkmm::ExploreLitmus(
+             [](LitmusEnv& e, LitmusRegs&) {
+               OSK_STORE(e.x, 1);
+               OSK_STORE(e.y, 1);
+             },
+             [](LitmusEnv& e, LitmusRegs& r) {
+               r[0] = OSK_LOAD(e.y);
+               r[1] = OSK_LOAD(e.x);
+             }),
+         Weak(0, 0, 1, 0));
+
+  Report("MP (wmb + rmb)", "r0=1,r1=0",
+         lkmm::ExploreLitmus(
+             [](LitmusEnv& e, LitmusRegs&) {
+               OSK_STORE(e.x, 1);
+               OSK_SMP_WMB();
+               OSK_STORE(e.y, 1);
+             },
+             [](LitmusEnv& e, LitmusRegs& r) {
+               r[0] = OSK_LOAD(e.y);
+               OSK_SMP_RMB();
+               r[1] = OSK_LOAD(e.x);
+             }),
+         Weak(0, 0, 1, 0));
+
+  Report("MP (release/acquire)", "r0=1,r1=0",
+         lkmm::ExploreLitmus(
+             [](LitmusEnv& e, LitmusRegs&) {
+               OSK_STORE(e.x, 1);
+               OSK_STORE_RELEASE(e.y, 1ull);
+             },
+             [](LitmusEnv& e, LitmusRegs& r) {
+               r[0] = OSK_LOAD_ACQUIRE(e.y);
+               r[1] = OSK_LOAD(e.x);
+             }),
+         Weak(0, 0, 1, 0));
+
+  // SB: store buffering.
+  Report("SB (no barriers)", "r0=0,r1=0",
+         lkmm::ExploreLitmus(
+             [](LitmusEnv& e, LitmusRegs& r) {
+               OSK_STORE(e.x, 1);
+               r[0] = OSK_LOAD(e.y);
+             },
+             [](LitmusEnv& e, LitmusRegs& r) {
+               OSK_STORE(e.y, 1);
+               r[0] = OSK_LOAD(e.x);
+             }),
+         Weak(0, 0, 0, 0));
+
+  Report("SB (smp_mb both sides)", "r0=0,r1=0",
+         lkmm::ExploreLitmus(
+             [](LitmusEnv& e, LitmusRegs& r) {
+               OSK_STORE(e.x, 1);
+               OSK_SMP_MB();
+               r[0] = OSK_LOAD(e.y);
+             },
+             [](LitmusEnv& e, LitmusRegs& r) {
+               OSK_STORE(e.y, 1);
+               OSK_SMP_MB();
+               r[0] = OSK_LOAD(e.x);
+             }),
+         Weak(0, 0, 0, 0));
+
+  // LB: load buffering — requires load-store reordering, out of scope (§3).
+  Report("LB (no barriers)", "r0=1,r1=1",
+         lkmm::ExploreLitmus(
+             [](LitmusEnv& e, LitmusRegs& r) {
+               r[0] = OSK_LOAD(e.x);
+               OSK_STORE(e.y, 1);
+             },
+             [](LitmusEnv& e, LitmusRegs& r) {
+               r[0] = OSK_LOAD(e.y);
+               OSK_STORE(e.x, 1);
+             }),
+         Weak(1, 0, 1, 0));
+
+  // CoRR: same-location read coherence.
+  Report("CoRR (plain loads)", "r0=2,r1=old",
+         lkmm::ExploreLitmus(
+             [](LitmusEnv& e, LitmusRegs&) {
+               OSK_STORE(e.x, 1);
+               OSK_STORE(e.x, 2);
+             },
+             [](LitmusEnv& e, LitmusRegs& r) {
+               r[0] = OSK_LOAD(e.x);
+               r[1] = OSK_LOAD(e.x);
+             }),
+         Weak(0, 0, 2, 1));
+
+  std::printf("\nExpected: weak outcomes REACHED only for barrier-less MP/SB; forbidden for\n"
+              "barriered variants, LB (no load-store reordering) and CoRR (coherence).\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Internal invariant checking (host-side, not the simulated kernel's oracles).
+//
+// OZZ_CHECK aborts the process: it guards invariants of the reproduction
+// infrastructure itself. Bugs *in the simulated kernel* are reported through
+// osk::Oops instead, which unwinds only the simulated machine.
+#ifndef OZZ_SRC_BASE_CHECK_H_
+#define OZZ_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OZZ_CHECK(cond)                                                                 \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      std::fprintf(stderr, "OZZ_CHECK failed: %s at %s:%d\n", #cond, __FILE__, __LINE__); \
+      std::abort();                                                                     \
+    }                                                                                   \
+  } while (0)
+
+#define OZZ_CHECK_MSG(cond, msg)                                                          \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "OZZ_CHECK failed: %s (%s) at %s:%d\n", #cond, msg, __FILE__,  \
+                   __LINE__);                                                             \
+      std::abort();                                                                      \
+    }                                                                                     \
+  } while (0)
+
+#endif  // OZZ_SRC_BASE_CHECK_H_

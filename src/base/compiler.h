@@ -1,0 +1,24 @@
+// Compiler and platform helpers shared across the OZZ reproduction.
+#ifndef OZZ_SRC_BASE_COMPILER_H_
+#define OZZ_SRC_BASE_COMPILER_H_
+
+#include <cstdint>
+
+#define OZZ_LIKELY(x) __builtin_expect(!!(x), 1)
+#define OZZ_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+namespace ozz {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using uptr = std::uintptr_t;
+
+}  // namespace ozz
+
+#endif  // OZZ_SRC_BASE_COMPILER_H_

@@ -1,0 +1,25 @@
+// Shared identifier types.
+//
+// InstrId is the reproduction's stand-in for "the address of an instruction"
+// (Table 2 of the paper): every instrumented memory access or barrier call
+// site registers once and receives a stable id. It lives in base so that the
+// scheduler (rt) can match breakpoints without depending on the OEMU runtime.
+#ifndef OZZ_SRC_BASE_IDS_H_
+#define OZZ_SRC_BASE_IDS_H_
+
+#include "src/base/compiler.h"
+
+namespace ozz {
+
+// 0 is reserved as "no instruction".
+using InstrId = u32;
+inline constexpr InstrId kInvalidInstr = 0;
+
+using ThreadId = i32;
+using CpuId = i32;
+
+inline constexpr ThreadId kAnyThread = -1;
+
+}  // namespace ozz
+
+#endif  // OZZ_SRC_BASE_IDS_H_

@@ -1,0 +1,53 @@
+// Minimal leveled logging for the OZZ reproduction.
+//
+// Logging is off by default (level kWarn) so the fuzzer's hot loop stays
+// quiet; tests and examples raise the level explicitly.
+#ifndef OZZ_SRC_BASE_LOG_H_
+#define OZZ_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ozz::base {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kNone = 4 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Sinks a fully formatted line; thread-safe.
+void LogLine(LogLevel level, const std::string& line);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  // Operator with lower precedence than << but higher than ?:.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace detail
+}  // namespace ozz::base
+
+#define OZZ_LOG_IS_ON(lvl) (static_cast<int>(lvl) >= static_cast<int>(::ozz::base::GetLogLevel()))
+
+#define OZZ_LOG(severity)                                                        \
+  !OZZ_LOG_IS_ON(::ozz::base::LogLevel::k##severity)                             \
+      ? (void)0                                                                  \
+      : ::ozz::base::detail::LogVoidify() &                                      \
+            ::ozz::base::detail::LogMessage(::ozz::base::LogLevel::k##severity,  \
+                                            __FILE__, __LINE__)                  \
+                .stream()
+
+#endif  // OZZ_SRC_BASE_LOG_H_

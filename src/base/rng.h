@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the reproduction (input generation, mutation,
+// hint shuffling) draws from an explicitly seeded Rng so that any reported bug
+// is replayable from (seed, input) alone. This mirrors the paper's claim that
+// OEMU makes out-of-order behaviour "systematically controllable" (§1).
+#ifndef OZZ_SRC_BASE_RNG_H_
+#define OZZ_SRC_BASE_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/base/compiler.h"
+
+namespace ozz::base {
+
+// xoshiro256** by Blackman & Vigna; small, fast, and good enough for fuzzing.
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    // splitmix64 seeding so nearby seeds give unrelated streams.
+    u64 x = seed + 0x9e3779b97f4a7c15ull;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 Next() {
+    const u64 result = Rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound == 0 returns 0.
+  u64 Below(u64 bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  u64 InRange(u64 lo, u64 hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool OneIn(u64 den) { return Below(den) == 0; }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  template <typename Container>
+  auto& Pick(Container& c) {
+    return c[static_cast<std::size_t>(Below(c.size()))];
+  }
+
+ private:
+  static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 state_[4];
+};
+
+}  // namespace ozz::base
+
+#endif  // OZZ_SRC_BASE_RNG_H_

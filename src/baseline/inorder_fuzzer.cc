@@ -1,0 +1,74 @@
+#include "src/baseline/inorder_fuzzer.h"
+
+#include "src/fuzz/profile.h"
+
+namespace ozz::baseline {
+
+fuzz::CampaignResult ExploreInterleavings(const fuzz::Prog& prog,
+                                          const osk::KernelConfig& config,
+                                          std::size_t max_runs) {
+  fuzz::CampaignResult result;
+  fuzz::ProgProfile profile = fuzz::ProfileProg(prog, config);
+  ++result.sti_runs;
+  if (profile.crashed) {
+    return result;
+  }
+
+  for (std::size_t a = 0; a < profile.calls.size(); ++a) {
+    for (std::size_t b = 0; b < profile.calls.size(); ++b) {
+      if (a == b) {
+        continue;
+      }
+      // Only accesses to memory shared with the partner are useful switch
+      // points (the same filtering OZZ applies, Algorithm 2).
+      oemu::Trace shared =
+          fuzz::FilterShared(profile.calls[a].trace, profile.calls[b].trace);
+      for (const oemu::Event& e : shared) {
+        if (!e.IsAccess()) {
+          continue;
+        }
+        for (rt::SwitchWhen phase :
+             {rt::SwitchWhen::kBeforeAccess, rt::SwitchWhen::kAfterAccess}) {
+          if (result.mti_runs >= max_runs) {
+            return result;
+          }
+          fuzz::MtiSpec spec;
+          spec.prog = prog;
+          spec.call_a = a;
+          spec.call_b = b;
+          spec.hint.store_test = true;
+          spec.hint.sched = fuzz::DynAccess{e.instr, e.occurrence, e.access};
+          spec.hint.sched_phase = phase;
+          // no reorder set: in-order execution
+          fuzz::MtiOptions opts;
+          opts.kernel_config = config;
+          opts.reordering = false;
+          fuzz::MtiResult mti = fuzz::RunMti(spec, opts);
+          ++result.mti_runs;
+          if (mti.crashed) {
+            bool dup = false;
+            for (const fuzz::FoundBug& fb : result.bugs) {
+              dup = dup || fb.report.title == mti.crash.title;
+            }
+            if (!dup) {
+              fuzz::FoundBug bug;
+              bug.report = fuzz::MakeBugReport(spec, mti);
+              bug.found_at_test = result.mti_runs;
+              result.bugs.push_back(std::move(bug));
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+fuzz::CampaignResult RunInorderCampaign(const fuzz::FuzzerOptions& base_options) {
+  fuzz::FuzzerOptions options = base_options;
+  options.reordering = false;
+  fuzz::Fuzzer fuzzer(options);
+  return fuzzer.Run();
+}
+
+}  // namespace ozz::baseline

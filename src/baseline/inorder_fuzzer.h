@@ -1,0 +1,28 @@
+// Baseline 1: a conventional interleaving-only concurrency fuzzer
+// (SKI/Snowboard-class, §2.3/§7).
+//
+// Explores thread interleavings of syscall pairs with the same custom
+// scheduler OZZ uses, but performs strictly in-order execution — no OEMU
+// reordering. This is what running syzkaller-with-a-scheduler on x86-64 (or
+// under QEMU TCG) tests: it finds interleaving-only races but cannot manifest
+// OOO bugs, the comparison point of §6.1.
+#ifndef OZZ_SRC_BASELINE_INORDER_FUZZER_H_
+#define OZZ_SRC_BASELINE_INORDER_FUZZER_H_
+
+#include "src/fuzz/fuzzer.h"
+
+namespace ozz::baseline {
+
+// Exhaustively explores single-switch interleavings of every call pair of
+// `prog` (switch before and after each shared access of the first call),
+// with no reordering. Returns the campaign result (bugs found, tests run).
+fuzz::CampaignResult ExploreInterleavings(const fuzz::Prog& prog,
+                                          const osk::KernelConfig& config,
+                                          std::size_t max_runs = 2000);
+
+// Full campaign over the seed programs, interleaving-only.
+fuzz::CampaignResult RunInorderCampaign(const fuzz::FuzzerOptions& base_options);
+
+}  // namespace ozz::baseline
+
+#endif  // OZZ_SRC_BASELINE_INORDER_FUZZER_H_

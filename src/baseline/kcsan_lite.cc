@@ -1,0 +1,61 @@
+#include "src/baseline/kcsan_lite.h"
+
+#include <set>
+#include <sstream>
+
+#include "src/oemu/instr.h"
+
+namespace ozz::baseline {
+namespace {
+
+bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
+  return a < b + bsz && b < a + asz;
+}
+
+}  // namespace
+
+std::string RaceReport::ToString() const {
+  std::ostringstream os;
+  os << "BUG: KCSAN: data-race between " << oemu::InstrRegistry::Describe(access_a) << " and "
+     << oemu::InstrRegistry::Describe(access_b);
+  return os.str();
+}
+
+KcsanResult FindDataRaces(const oemu::Trace& a, const oemu::Trace& b) {
+  KcsanResult result;
+  std::set<std::pair<InstrId, InstrId>> seen;
+  for (const oemu::Event& ea : a) {
+    if (!ea.IsAccess()) {
+      continue;
+    }
+    for (const oemu::Event& eb : b) {
+      if (!eb.IsAccess()) {
+        continue;
+      }
+      if (!ea.IsStore() && !eb.IsStore()) {
+        continue;  // read-read never races
+      }
+      if (!RangesOverlap(ea.addr, ea.size, eb.addr, eb.size)) {
+        continue;
+      }
+      if (!seen.insert({ea.instr, eb.instr}).second) {
+        continue;
+      }
+      if (ea.annotated && eb.annotated) {
+        // Both sides marked: KCSAN treats this as an intentional lockless
+        // protocol and stays silent — even if a barrier is missing.
+        ++result.suppressed_by_annotation;
+        continue;
+      }
+      RaceReport r;
+      r.access_a = ea.instr;
+      r.access_b = eb.instr;
+      r.addr = ea.addr;
+      r.write_write = ea.IsStore() && eb.IsStore();
+      result.reported.push_back(r);
+    }
+  }
+  return result;
+}
+
+}  // namespace ozz::baseline

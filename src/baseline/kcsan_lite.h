@@ -1,0 +1,39 @@
+// Baseline 2: KCSAN-lite — a data-race detector in the spirit of the Kernel
+// Concurrency Sanitizer (§7, "Data Race Detector").
+//
+// KCSAN reports *data races*: concurrent accesses to the same location where
+// at least one is a plain (unmarked) write. Accesses annotated with
+// READ_ONCE/WRITE_ONCE are considered marked and are NOT reported — which is
+// exactly why the incorrect tls fix of §6.1 Case Study 1 silenced KCSAN
+// without fixing the OOO bug. This detector reproduces that blind spot.
+#ifndef OZZ_SRC_BASELINE_KCSAN_LITE_H_
+#define OZZ_SRC_BASELINE_KCSAN_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/oemu/event.h"
+
+namespace ozz::baseline {
+
+struct RaceReport {
+  InstrId access_a = kInvalidInstr;
+  InstrId access_b = kInvalidInstr;
+  uptr addr = 0;
+  bool write_write = false;
+  std::string ToString() const;
+};
+
+struct KcsanResult {
+  std::vector<RaceReport> reported;
+  // Racy pairs that exist but are fully annotated — KCSAN stays silent on
+  // these even when a barrier is missing (the Bug #9 blind spot).
+  std::size_t suppressed_by_annotation = 0;
+};
+
+// Analyzes two syscall traces for data races, KCSAN-style.
+KcsanResult FindDataRaces(const oemu::Trace& a, const oemu::Trace& b);
+
+}  // namespace ozz::baseline
+
+#endif  // OZZ_SRC_BASELINE_KCSAN_LITE_H_

@@ -1,0 +1,139 @@
+#include "src/baseline/ofence_lite.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/fuzz/profile.h"
+#include "src/fuzz/syslang.h"
+#include "src/oemu/instr.h"
+
+namespace ozz::baseline {
+namespace {
+
+struct SubsystemUsage {
+  bool store_barrier = false;  // wmb / release / full
+  bool load_barrier = false;   // rmb / acquire / full (explicit only)
+  // Lock-shaped bitops (P3): per RMW *instruction*, the word it targets and
+  // whether any ordering was observed on it. The pattern fires when an
+  // ordered (acquiring) RMW and a relaxed RMW hit the same word — the
+  // Figure 8 shape (test_and_set_bit paired with plain clear_bit).
+  std::map<InstrId, uptr> rmw_addr;
+  std::set<InstrId> ordered_rmw;
+};
+
+}  // namespace
+
+bool OfenceResult::Flagged(const std::string& subsystem) const {
+  for (const OfenceFinding& f : findings) {
+    if (f.subsystem == subsystem) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OfenceResult RunOfenceAnalysis(const osk::KernelConfig& config) {
+  // Gather dynamic barrier usage per subsystem from the seed corpus. (The
+  // real OFence works on source; profiling the seeds visits the same code.)
+  std::map<std::string, SubsystemUsage> usage;
+  osk::Kernel template_kernel(config);
+  osk::InstallDefaultSubsystems(template_kernel);
+
+  for (const fuzz::Prog& seed : fuzz::SeedPrograms(template_kernel.table())) {
+    fuzz::ProgProfile profile = fuzz::ProfileProg(seed, config);
+    for (std::size_t c = 0; c < profile.calls.size() && c < seed.calls.size(); ++c) {
+      const std::string& subsystem = seed.calls[c].desc->subsystem;
+      SubsystemUsage& u = usage[subsystem];
+      const oemu::Trace& trace = profile.calls[c].trace;
+      // Pass 1: map RMW instructions to the word they operate on.
+      for (const oemu::Event& e : trace) {
+        if (e.IsAccess() && e.IsStore() &&
+            oemu::InstrRegistry::Info(e.instr).kind == oemu::InstrKind::kRmw) {
+          u.rmw_addr[e.instr] = e.addr;
+        }
+      }
+      // Pass 2: barrier usage; ordered RMWs are reclassified by their
+      // implied barrier events.
+      for (const oemu::Event& e : trace) {
+        if (!e.IsBarrier()) {
+          continue;
+        }
+        if (e.instr == kInvalidInstr) {
+          // Implicit fence (allocator-internal locking): not a barrier the
+          // programmer wrote, so not an anchor for pattern matching.
+          continue;
+        }
+        const bool is_rmw = u.rmw_addr.count(e.instr) > 0;
+        switch (e.barrier) {
+          case oemu::BarrierType::kStoreBarrier:
+            u.store_barrier = true;
+            break;
+          case oemu::BarrierType::kFull:
+            u.store_barrier = true;
+            u.load_barrier = true;
+            break;
+          case oemu::BarrierType::kLoadBarrier:
+            u.load_barrier = true;
+            break;
+          case oemu::BarrierType::kRelease:
+            if (is_rmw) {
+              u.ordered_rmw.insert(e.instr);
+            } else {
+              u.store_barrier = true;
+            }
+            break;
+          case oemu::BarrierType::kAcquire:
+          case oemu::BarrierType::kRmwFull:
+            if (is_rmw) {
+              u.ordered_rmw.insert(e.instr);
+            } else {
+              u.load_barrier = true;
+            }
+            break;
+          case oemu::BarrierType::kImpliedLoad:
+            break;  // READ_ONCE is an annotation, not a barrier, to OFence
+        }
+      }
+    }
+  }
+
+  OfenceResult result;
+  for (const auto& [subsystem, u] : usage) {
+    if (u.store_barrier && !u.load_barrier) {
+      OfenceFinding f;
+      f.subsystem = subsystem;
+      f.pattern = "P1";
+      f.detail = "store barrier without a matching load barrier";
+      result.findings.push_back(std::move(f));
+    } else if (u.load_barrier && !u.store_barrier) {
+      OfenceFinding f;
+      f.subsystem = subsystem;
+      f.pattern = "P2";
+      f.detail = "load barrier without a matching store barrier";
+      result.findings.push_back(std::move(f));
+    }
+    bool p3 = false;
+    for (const auto& [relaxed_instr, addr] : u.rmw_addr) {
+      if (p3 || u.ordered_rmw.count(relaxed_instr) > 0) {
+        continue;  // this RMW is ordered
+      }
+      for (InstrId ordered_instr : u.ordered_rmw) {
+        if (u.rmw_addr.at(ordered_instr) == addr) {
+          OfenceFinding f;
+          f.subsystem = subsystem;
+          f.pattern = "P3";
+          f.detail = "acquiring bitop " + oemu::InstrRegistry::Describe(ordered_instr) +
+                     " paired with relaxed " + oemu::InstrRegistry::Describe(relaxed_instr) +
+                     " on the same word";
+          result.findings.push_back(std::move(f));
+          p3 = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ozz::baseline

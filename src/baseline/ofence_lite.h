@@ -1,0 +1,42 @@
+// Baseline 3: OFence-lite — static paired-barrier pattern matching (§6.4).
+//
+// OFence observes that memory barriers come in pairs (a write barrier on the
+// publishing side matches a read barrier on the consuming side) and flags
+// code where one half is missing. This reproduction applies the same idea to
+// the per-subsystem barrier usage observed while profiling the seed programs:
+//   P1  store-ordering barrier present, no load-ordering barrier  -> flag
+//   P2  load-ordering barrier present, no store-ordering barrier  -> flag
+//   P3  acquiring lock-shaped RMW paired with a relaxed clearing RMW
+//       on the same word (the Figure 8 custom-lock shape)          -> flag
+// Like the original, it needs an existing half-pattern to anchor on: a
+// subsystem whose buggy form has *no* barriers at all matches nothing —
+// which is why 8 of the 11 Table 3 bugs are out of its reach.
+#ifndef OZZ_SRC_BASELINE_OFENCE_LITE_H_
+#define OZZ_SRC_BASELINE_OFENCE_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/osk/kernel.h"
+
+namespace ozz::baseline {
+
+struct OfenceFinding {
+  std::string subsystem;
+  std::string pattern;  // "P1", "P2", "P3"
+  std::string detail;
+};
+
+struct OfenceResult {
+  std::vector<OfenceFinding> findings;
+
+  bool Flagged(const std::string& subsystem) const;
+};
+
+// Profiles the seed programs under `config` and pattern-matches the observed
+// barrier usage per subsystem.
+OfenceResult RunOfenceAnalysis(const osk::KernelConfig& config);
+
+}  // namespace ozz::baseline
+
+#endif  // OZZ_SRC_BASELINE_OFENCE_LITE_H_

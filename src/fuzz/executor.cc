@@ -1,0 +1,103 @@
+#include "src/fuzz/executor.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/fuzz/profile.h"
+#include "src/rt/machine.h"
+
+namespace ozz::fuzz {
+
+MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
+  MtiResult result;
+  OZZ_CHECK(spec.call_a < spec.prog.calls.size());
+  OZZ_CHECK(spec.call_b < spec.prog.calls.size());
+  OZZ_CHECK(spec.call_a != spec.call_b);
+
+  oemu::Runtime::Options rt_opts;
+  rt_opts.reordering_enabled = options.reordering;
+  oemu::Runtime runtime(rt_opts);
+  rt::Machine machine(2);
+  runtime.Activate(&machine);
+  osk::Kernel kernel(options.kernel_config);
+  kernel.Attach(&machine, &runtime);
+  osk::InstallDefaultSubsystems(kernel);
+
+  // The plan targets occurrences counted from the start of call_a; keep it
+  // disarmed through the sequential prefix.
+  machine.SetPlanArmed(false);
+  rt::SchedPlan plan;
+  plan.first = 0;
+  rt::SchedPoint point;
+  point.thread = 0;
+  point.instr = spec.hint.sched.instr;
+  point.occurrence = spec.hint.sched.occurrence;
+  point.when = spec.hint.sched_phase;
+  point.next = 1;
+  plan.points.push_back(point);
+  machine.SetPlan(plan);
+
+  std::vector<long> results(spec.prog.calls.size(), -1);
+
+  const std::size_t pair_end = std::max(spec.call_a, spec.call_b);
+
+  machine.AddThread("reorderer", 0, [&] {
+    // Sequential prefix: every pre-pair call except the concurrent pair, in
+    // program order, so resource dependencies of the pair are satisfied.
+    for (std::size_t k = 0; k < pair_end; ++k) {
+      if (k == spec.call_a || k == spec.call_b) {
+        continue;
+      }
+      const Call& call = spec.prog.calls[k];
+      results[k] = kernel.InvokeByName(call.desc->name, ResolveArgs(call, results));
+    }
+    if (kernel.crashed()) {
+      return;  // crashed in the prefix: nothing to test
+    }
+    // Install the hint: reorder controls for this thread (Table 2 syscalls),
+    // then arm the breakpoint so occurrences count from call_a's start.
+    ThreadId tid = oemu::Runtime::CurrentThreadId();
+    for (const DynAccess& a : spec.hint.reorder) {
+      if (spec.hint.store_test) {
+        runtime.DelayStoreAt(tid, a.instr, a.occurrence);
+      } else {
+        runtime.ReadOldValueAt(tid, a.instr, a.occurrence);
+      }
+    }
+    machine.ArmPlan();
+    const Call& call = spec.prog.calls[spec.call_a];
+    results[spec.call_a] = kernel.InvokeByName(call.desc->name, ResolveArgs(call, results));
+    runtime.ClearControls(tid);
+  });
+
+  machine.AddThread("observer", 1, [&] {
+    if (kernel.crashed()) {
+      return;
+    }
+    const Call& call = spec.prog.calls[spec.call_b];
+    results[spec.call_b] = kernel.InvokeByName(call.desc->name, ResolveArgs(call, results));
+  });
+
+  machine.Run();
+
+  // Epilogue calls run after both concurrent calls completed (host thread;
+  // the machine is quiescent).
+  for (std::size_t k = pair_end + 1; k < spec.prog.calls.size() && !kernel.crashed(); ++k) {
+    const Call& call = spec.prog.calls[k];
+    results[k] = kernel.InvokeByName(call.desc->name, ResolveArgs(call, results));
+  }
+
+  result.results = results;
+  result.ret_a = results[spec.call_a];
+  result.ret_b = results[spec.call_b];
+  result.switch_fired = machine.plan_points_consumed() > 0;
+  result.stats = runtime.stats();
+  if (kernel.crashed()) {
+    result.crashed = true;
+    result.crash = *kernel.crash();
+  }
+  runtime.Deactivate();
+  return result;
+}
+
+}  // namespace ozz::fuzz

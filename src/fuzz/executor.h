@@ -1,0 +1,52 @@
+// Multi-threaded input (MTI) execution (§4.4).
+//
+// An MTI is an STI plus an annotation: which two calls run concurrently and
+// under which scheduling hint. RunMti executes it on a fresh simulated
+// machine: the non-paired calls run first (sequentially, preserving resource
+// dependencies), then the reordering call starts on CPU 0 with the hint's
+// delay/read-old controls installed while the custom scheduler holds the
+// observer; at the hint's scheduling point the scheduler switches to the
+// observer call on CPU 1 (Fig. 5), and the kernel's oracles watch for
+// malfunction.
+#ifndef OZZ_SRC_FUZZ_EXECUTOR_H_
+#define OZZ_SRC_FUZZ_EXECUTOR_H_
+
+#include "src/fuzz/hints.h"
+#include "src/fuzz/syslang.h"
+#include "src/oemu/runtime.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::fuzz {
+
+struct MtiSpec {
+  Prog prog;
+  std::size_t call_a = 0;  // the reordering call (thread 0, runs first)
+  std::size_t call_b = 0;  // the observer call (thread 1)
+  SchedHint hint;
+};
+
+struct MtiResult {
+  bool crashed = false;
+  osk::OopsReport crash;
+  long ret_a = 0;
+  long ret_b = 0;
+  bool switch_fired = false;  // the scheduling point was reached
+  oemu::Runtime::Stats stats;
+  // Return values of every call: prefix calls (index < max(a,b), run before
+  // the pair), the pair itself, and epilogue calls (index > max(a,b), run
+  // after the pair — handy as postcondition oracles).
+  std::vector<long> results;
+};
+
+struct MtiOptions {
+  osk::KernelConfig kernel_config;
+  // false: ignore the hint's reorder set (in-order execution — what a
+  // conventional concurrency fuzzer tests; the §6.1 "x86-64/TCG" point).
+  bool reordering = true;
+};
+
+MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options = {});
+
+}  // namespace ozz::fuzz
+
+#endif  // OZZ_SRC_FUZZ_EXECUTOR_H_

@@ -1,0 +1,188 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+#include "src/fuzz/profile.h"
+
+namespace ozz::fuzz {
+
+std::string CampaignToJson(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "{\"mti_runs\":" << result.mti_runs << ",\"sti_runs\":" << result.sti_runs
+     << ",\"corpus_size\":" << result.corpus_size << ",\"coverage\":" << result.coverage
+     << ",\"bugs\":[";
+  for (std::size_t i = 0; i < result.bugs.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    const FoundBug& bug = result.bugs[i];
+    std::string report = BugReportToJson(bug.report);
+    // Fold per-discovery metadata into the report object.
+    report.back() = ',';
+    os << report << "\"found_at_test\":" << bug.found_at_test
+       << ",\"hint_rank\":" << bug.hint_rank << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+const FoundBug* CampaignResult::FindByTitle(const std::string& needle) const {
+  for (const FoundBug& b : bugs) {
+    if (b.report.title.find(needle) != std::string::npos) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+Fuzzer::Fuzzer(FuzzerOptions options) : options_(std::move(options)), rng_(options_.seed) {
+  // The template kernel exists only to expose the syscall table to the
+  // generator; it is never executed.
+  template_kernel_ = std::make_unique<osk::Kernel>(options_.kernel_config);
+  osk::InstallDefaultSubsystems(*template_kernel_);
+  generator_ = std::make_unique<ProgGenerator>(template_kernel_->table(), &rng_);
+}
+
+Fuzzer::~Fuzzer() = default;
+
+const osk::SyscallTable& Fuzzer::table() const { return template_kernel_->table(); }
+
+void Fuzzer::RecordBug(const MtiSpec& spec, const MtiResult& mti, std::size_t hint_rank,
+                       CampaignResult* result) {
+  for (const FoundBug& existing : result->bugs) {
+    if (existing.report.title == mti.crash.title) {
+      return;  // duplicate crash title
+    }
+  }
+  FoundBug bug;
+  bug.report = MakeBugReport(spec, mti);
+  bug.spec = spec;
+  bug.found_at_test = result->mti_runs;
+  bug.hint_rank = hint_rank;
+  bug.by_largest_hint = hint_rank == 0;
+  OZZ_LOG(Info) << "new bug after " << result->mti_runs << " tests: " << bug.report.title;
+  result->bugs.push_back(std::move(bug));
+}
+
+std::size_t Fuzzer::StiBudget() const {
+  return options_.max_sti_runs != 0 ? options_.max_sti_runs : options_.max_mti_runs;
+}
+
+bool Fuzzer::Exhausted(const CampaignResult& result) const {
+  return result.mti_runs >= options_.max_mti_runs || result.sti_runs >= StiBudget() ||
+         result.bugs.size() >= options_.stop_after_bugs;
+}
+
+bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
+  if (prog.calls.empty()) {
+    return false;
+  }
+  ProgProfile profile = ProfileProg(prog, options_.kernel_config);
+  ++result->sti_runs;
+  if (profile.crashed) {
+    // A sequential (non-concurrency) crash — out of scope for OZZ but worth
+    // surfacing, as syzkaller would.
+    OZZ_LOG(Warn) << "STI crashed sequentially: " << profile.crash.title;
+    return false;
+  }
+  corpus_.Add(prog, profile.coverage);
+
+  // Hypothetical-barrier tests for every ordered pair of calls.
+  std::size_t pairs_tested = 0;
+  for (std::size_t a = 0; a < profile.calls.size(); ++a) {
+    for (std::size_t b = 0; b < profile.calls.size(); ++b) {
+      if (a == b || pairs_tested >= options_.max_pairs_per_prog) {
+        continue;
+      }
+      std::vector<SchedHint> hints =
+          ComputeHints(profile.calls[a].trace, profile.calls[b].trace, options_.hints);
+      if (hints.empty()) {
+        continue;
+      }
+      ++pairs_tested;
+
+      // Remember heuristic ranks before applying the (ablation) order.
+      std::vector<std::pair<SchedHint, std::size_t>> ordered;
+      ordered.reserve(hints.size());
+      for (std::size_t i = 0; i < hints.size(); ++i) {
+        ordered.emplace_back(std::move(hints[i]), i);
+      }
+      switch (options_.hint_order) {
+        case FuzzerOptions::HintOrder::kHeuristic:
+          break;
+        case FuzzerOptions::HintOrder::kReverse:
+          std::reverse(ordered.begin(), ordered.end());
+          break;
+        case FuzzerOptions::HintOrder::kRandom:
+          rng_.Shuffle(ordered);
+          break;
+      }
+
+      for (const auto& [hint, rank] : ordered) {
+        if (Exhausted(*result)) {
+          return true;
+        }
+        MtiSpec spec;
+        spec.prog = prog;
+        spec.call_a = a;
+        spec.call_b = b;
+        spec.hint = hint;
+        MtiOptions mti_opts;
+        mti_opts.kernel_config = options_.kernel_config;
+        mti_opts.reordering = options_.reordering;
+        MtiResult mti = RunMti(spec, mti_opts);
+        ++result->mti_runs;
+        if (mti.crashed) {
+          RecordBug(spec, mti, rank, result);
+        }
+      }
+    }
+  }
+  return Exhausted(*result);
+}
+
+CampaignResult Fuzzer::Run() {
+  CampaignResult result;
+  if (options_.use_seed_programs) {
+    for (const Prog& seed : SeedPrograms(template_kernel_->table())) {
+      if (TestProg(seed, &result)) {
+        result.corpus_size = corpus_.size();
+        result.coverage = corpus_.coverage_size();
+        return result;
+      }
+    }
+  }
+  while (!Exhausted(result)) {
+    Prog prog = corpus_.empty() || rng_.OneIn(3)
+                    ? generator_->Generate(options_.max_calls)
+                    : generator_->Mutate(corpus_.Pick(rng_), options_.max_calls);
+    if (TestProg(prog, &result)) {
+      break;
+    }
+  }
+  result.corpus_size = corpus_.size();
+  result.coverage = corpus_.coverage_size();
+  return result;
+}
+
+CampaignResult Fuzzer::RunProg(const Prog& prog) {
+  CampaignResult result;
+  Prog current = prog;
+  while (!Exhausted(result) && result.bugs.empty()) {
+    if (TestProg(current, &result)) {
+      break;
+    }
+    // Mutate the latest variant (resetting to the reproducer occasionally)
+    // so the search explores around the seed instead of oscillating on it.
+    current = generator_->Mutate(rng_.OneIn(4) ? prog : current, options_.max_calls);
+  }
+  result.corpus_size = corpus_.size();
+  result.coverage = corpus_.coverage_size();
+  return result;
+}
+
+}  // namespace ozz::fuzz

@@ -1,0 +1,98 @@
+// The OZZ fuzzer (§4): the campaign driver tying the whole workflow of
+// Figure 6 together — generate/mutate STIs, profile them, compute scheduling
+// hints, translate to MTIs, execute under the custom scheduler + OEMU, and
+// collect deduplicated bug reports annotated with the hypothetical barrier.
+#ifndef OZZ_SRC_FUZZ_FUZZER_H_
+#define OZZ_SRC_FUZZ_FUZZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/executor.h"
+#include "src/fuzz/hints.h"
+#include "src/fuzz/report.h"
+#include "src/fuzz/syslang.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::fuzz {
+
+struct FuzzerOptions {
+  u64 seed = 1;
+  std::size_t max_mti_runs = 5000;  // test budget (MTI executions)
+  // Safety budget on single-threaded (profiling) runs: programs whose pairs
+  // yield no hints consume no MTI budget, so campaigns also stop after this
+  // many STIs. 0 means "same as max_mti_runs".
+  std::size_t max_sti_runs = 0;
+  std::size_t max_calls = 5;
+  std::size_t max_pairs_per_prog = 8;
+  HintOptions hints;
+  osk::KernelConfig kernel_config;
+  // false: run the same MTIs without OEMU reordering — the conventional
+  // interleaving-only concurrency fuzzer (the x86-64 / TCG comparison).
+  bool reordering = true;
+  bool use_seed_programs = true;
+  std::size_t stop_after_bugs = static_cast<std::size_t>(-1);
+  // Hint ordering, for the §4.3 search-heuristic ablation.
+  enum class HintOrder { kHeuristic, kReverse, kRandom };
+  HintOrder hint_order = HintOrder::kHeuristic;
+};
+
+struct FoundBug {
+  BugReport report;
+  MtiSpec spec;  // the exact (program, pair, hint) that triggered it — replayable
+  u64 found_at_test = 0;    // MTI executions when first triggered
+  std::size_t hint_rank = 0;  // rank of the triggering hint within its pair
+  bool by_largest_hint = false;  // rank 0 == the maximal-reorder hint
+};
+
+struct CampaignResult {
+  std::vector<FoundBug> bugs;  // deduplicated by crash title
+  u64 mti_runs = 0;
+  u64 sti_runs = 0;
+  std::size_t corpus_size = 0;
+  std::size_t coverage = 0;
+
+  const FoundBug* FindByTitle(const std::string& needle) const;
+};
+
+// Machine-readable campaign summary (JSON) for dashboards/CI.
+std::string CampaignToJson(const CampaignResult& result);
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzerOptions options);
+  ~Fuzzer();
+
+  // Full fuzzing campaign: generate + mutate programs until the budget is
+  // exhausted or `stop_after_bugs` unique bugs were found.
+  CampaignResult Run();
+
+  // §6.2 mode: test one given single-threaded input (a known reproducer)
+  // until it crashes or the budget runs out.
+  CampaignResult RunProg(const Prog& prog);
+
+  // The syscall table used for generation (backed by a template kernel that
+  // is never executed).
+  const osk::SyscallTable& table() const;
+
+ private:
+  std::size_t StiBudget() const;
+  bool Exhausted(const CampaignResult& result) const;
+  // Profiles `prog` and runs the hypothetical-barrier tests for every
+  // adjacent pair; returns true if the bug budget is exhausted.
+  bool TestProg(const Prog& prog, CampaignResult* result);
+  void RecordBug(const MtiSpec& spec, const MtiResult& mti, std::size_t hint_rank,
+                 CampaignResult* result);
+
+  FuzzerOptions options_;
+  base::Rng rng_;
+  std::unique_ptr<osk::Kernel> template_kernel_;
+  std::unique_ptr<ProgGenerator> generator_;
+  Corpus corpus_;
+};
+
+}  // namespace ozz::fuzz
+
+#endif  // OZZ_SRC_FUZZ_FUZZER_H_

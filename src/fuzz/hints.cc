@@ -1,0 +1,204 @@
+#include "src/fuzz/hints.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/oemu/instr.h"
+
+namespace ozz::fuzz {
+namespace {
+
+bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
+  return a < b + bsz && b < a + asz;
+}
+
+DynAccess ToDyn(const oemu::Event& e) {
+  return DynAccess{e.instr, e.occurrence, e.access};
+}
+
+}  // namespace
+
+std::string SchedHint::ToString() const {
+  std::ostringstream os;
+  os << (store_test ? "store-barrier-test" : "load-barrier-test") << " sched@"
+     << oemu::InstrRegistry::Describe(sched.instr) << "#" << sched.occurrence << " reorder{";
+  for (std::size_t i = 0; i < reorder.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << oemu::InstrRegistry::Describe(reorder[i].instr) << "#" << reorder[i].occurrence;
+  }
+  os << "}";
+  if (suffix_shape) {
+    os << " [suffix]";
+  }
+  return os.str();
+}
+
+// Algorithm 2 (filter_out): keep only accesses to ranges that both syscalls
+// touch with at least one store; a memory access that never races cannot
+// contribute to an OOO bug.
+oemu::Trace FilterShared(const oemu::Trace& trace, const oemu::Trace& other) {
+  struct Range {
+    uptr addr;
+    u32 size;
+  };
+  std::vector<Range> shared;
+  for (const oemu::Event& a : trace) {
+    if (!a.IsAccess()) {
+      continue;
+    }
+    for (const oemu::Event& b : other) {
+      if (!b.IsAccess()) {
+        continue;
+      }
+      if (!a.IsStore() && !b.IsStore()) {
+        continue;  // two loads never race
+      }
+      if (RangesOverlap(a.addr, a.size, b.addr, b.size)) {
+        shared.push_back(Range{a.addr, a.size});
+        break;
+      }
+    }
+  }
+  oemu::Trace out;
+  for (const oemu::Event& e : trace) {
+    if (e.IsBarrier()) {
+      out.push_back(e);
+      continue;
+    }
+    if (!e.IsAccess()) {
+      continue;  // commits are irrelevant to hint construction
+    }
+    for (const Range& r : shared) {
+      if (RangesOverlap(e.addr, e.size, r.addr, r.size)) {
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
+                                    const oemu::Trace& other_trace,
+                                    const HintOptions& options) {
+  const oemu::Trace filtered = FilterShared(reorder_trace, other_trace);
+  std::vector<SchedHint> hints;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool store_test = pass == 0;
+    if ((store_test && !options.store_tests) || (!store_test && !options.load_tests)) {
+      continue;
+    }
+    // Step 2: group accesses between barriers of the tested type.
+    std::vector<std::vector<oemu::Event>> groups;
+    std::vector<oemu::Event> group;
+    for (const oemu::Event& e : filtered) {
+      if (e.IsAccess()) {
+        group.push_back(e);
+        continue;
+      }
+      oemu::BarrierClass cls = oemu::ClassOf(e.barrier);
+      const bool splits = store_test ? cls.orders_stores : cls.orders_loads;
+      if (splits && !group.empty()) {
+        groups.push_back(std::move(group));
+        group.clear();
+      }
+    }
+    if (!group.empty()) {
+      groups.push_back(std::move(group));
+    }
+
+    // Step 3: hints per group.
+    for (const std::vector<oemu::Event>& g : groups) {
+      if (g.size() < 2) {
+        continue;
+      }
+      if (store_test) {
+        // The reorderable accesses are the group's stores; the scheduling
+        // point is the group's last access (switch after it — right before
+        // the actual barrier, Fig. 5a).
+        std::vector<oemu::Event> stores;
+        for (const oemu::Event& e : g) {
+          if (e.IsStore()) {
+            stores.push_back(e);
+          }
+        }
+        if (stores.empty()) {
+          continue;
+        }
+        // Exclude the final store from reorder sets when it is also the
+        // scheduling point (it must commit so the observer sees the
+        // "overtaking" access).
+        std::size_t n = stores.size();
+        bool last_is_sched = stores.back().instr == g.back().instr &&
+                             stores.back().occurrence == g.back().occurrence;
+        std::size_t delayable = last_is_sched ? n - 1 : n;
+        if (delayable == 0) {
+          continue;
+        }
+        SchedHint base;
+        base.store_test = true;
+        base.sched = ToDyn(g.back());
+        base.sched_phase = rt::SwitchWhen::kAfterAccess;
+        // Prefixes (the paper's moving hypothetical barrier).
+        for (std::size_t k = delayable; k >= 1; --k) {
+          SchedHint h = base;
+          for (std::size_t i = 0; i < k; ++i) {
+            h.reorder.push_back(ToDyn(stores[i]));
+          }
+          hints.push_back(std::move(h));
+        }
+        // Suffixes (extension: non-FIFO store buffer drained a prefix).
+        if (options.suffix_store_hints) {
+          for (std::size_t k = 1; k < delayable; ++k) {
+            SchedHint h = base;
+            h.suffix_shape = true;
+            for (std::size_t i = k; i < delayable; ++i) {
+              h.reorder.push_back(ToDyn(stores[i]));
+            }
+            hints.push_back(std::move(h));
+          }
+        }
+      } else {
+        // Load test: scheduling point is the group's first access (switch
+        // before it — right after the actual barrier, Fig. 5b); reorder sets
+        // are suffixes of the group's loads.
+        std::vector<oemu::Event> loads;
+        for (const oemu::Event& e : g) {
+          if (e.IsLoad()) {
+            loads.push_back(e);
+          }
+        }
+        if (loads.size() < 2) {
+          continue;
+        }
+        SchedHint base;
+        base.store_test = false;
+        base.sched = ToDyn(g.front());
+        base.sched_phase = rt::SwitchWhen::kBeforeAccess;
+        for (std::size_t k = 1; k < loads.size(); ++k) {
+          SchedHint h = base;
+          for (std::size_t i = k; i < loads.size(); ++i) {
+            h.reorder.push_back(ToDyn(loads[i]));
+          }
+          hints.push_back(std::move(h));
+        }
+      }
+    }
+  }
+
+  // The search heuristic: prioritize hints that deviate most from sequential
+  // order (largest reorder set first); stable within equal sizes.
+  std::stable_sort(hints.begin(), hints.end(), [](const SchedHint& a, const SchedHint& b) {
+    return a.reorder.size() > b.reorder.size();
+  });
+  if (hints.size() > options.max_hints) {
+    hints.resize(options.max_hints);
+  }
+  return hints;
+}
+
+}  // namespace ozz::fuzz

@@ -1,0 +1,70 @@
+// Scheduling-hint calculation (§4.3, Algorithms 1 and 2).
+//
+// Given the profiled traces of two syscalls, computes the set of hypothetical
+// memory barrier tests to run: each hint names a scheduling point (where the
+// custom scheduler interleaves) and the set of dynamic accesses OEMU must
+// reorder (delay for the store-barrier test, read-old for the load-barrier
+// test). Hints are sorted by reorder-set size, largest first — the paper's
+// search heuristic.
+//
+// Reorder-set shapes per group (accesses between two barriers of the tested
+// type):
+//   * store test (Fig. 5a): scheduling point = last access of the group,
+//     switch AFTER it; reorder sets are the prefixes of the group's stores
+//     (the paper's moving hypothetical barrier) plus — as a documented
+//     extension — the contiguous suffixes ending before the last store,
+//     emulating a non-FIFO store buffer that already drained the older
+//     stores. Several real bugs (e.g. Figure 8 / RDS) need the suffix shape.
+//   * load test (Fig. 5b): scheduling point = first access of the group,
+//     switch BEFORE it; reorder sets are the suffixes of the group's loads.
+#ifndef OZZ_SRC_FUZZ_HINTS_H_
+#define OZZ_SRC_FUZZ_HINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/oemu/event.h"
+#include "src/rt/sched_plan.h"
+
+namespace ozz::fuzz {
+
+struct DynAccess {
+  InstrId instr = kInvalidInstr;
+  u32 occurrence = 1;
+  oemu::AccessType type = oemu::AccessType::kLoad;
+
+  bool operator==(const DynAccess&) const = default;
+};
+
+struct SchedHint {
+  bool store_test = true;  // hypothetical store barrier vs load barrier test
+  DynAccess sched;         // scheduling point (on the reordering syscall)
+  rt::SwitchWhen sched_phase = rt::SwitchWhen::kAfterAccess;
+  std::vector<DynAccess> reorder;  // delay-store / read-old set
+  bool suffix_shape = false;       // produced by the suffix extension
+
+  std::string ToString() const;
+};
+
+struct HintOptions {
+  bool store_tests = true;
+  bool load_tests = true;
+  // Enables the suffix-shaped store reorder sets (extension; see above).
+  bool suffix_store_hints = true;
+  std::size_t max_hints = 256;
+};
+
+// Algorithm 2: returns a copy of `trace` with accesses that touch no memory
+// shared with `other` (where at least one side writes) filtered out.
+// Barriers are preserved.
+oemu::Trace FilterShared(const oemu::Trace& trace, const oemu::Trace& other);
+
+// Algorithm 1: hints for the case where the syscall traced by `reorder_trace`
+// performs the reordering and the one traced by `other_trace` observes.
+std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
+                                    const oemu::Trace& other_trace,
+                                    const HintOptions& options = {});
+
+}  // namespace ozz::fuzz
+
+#endif  // OZZ_SRC_FUZZ_HINTS_H_

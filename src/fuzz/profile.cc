@@ -1,0 +1,56 @@
+#include "src/fuzz/profile.h"
+
+#include "src/oemu/runtime.h"
+
+namespace ozz::fuzz {
+
+std::vector<i64> ResolveArgs(const Call& call, const std::vector<long>& results) {
+  std::vector<i64> args;
+  args.reserve(call.args.size());
+  for (const ArgValue& a : call.args) {
+    if (a.ref_call >= 0 && static_cast<std::size_t>(a.ref_call) < results.size()) {
+      args.push_back(results[static_cast<std::size_t>(a.ref_call)]);
+    } else if (a.ref_call >= 0) {
+      args.push_back(-1);  // unresolved producer: invalid handle
+    } else {
+      args.push_back(a.value);
+    }
+  }
+  return args;
+}
+
+ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config) {
+  ProgProfile profile;
+  oemu::Runtime runtime;  // in-order by default spec (no controls installed)
+  runtime.Activate(nullptr);
+  osk::Kernel kernel(config);
+  kernel.Attach(nullptr, &runtime);
+  osk::InstallDefaultSubsystems(kernel);
+
+  ThreadId tid = oemu::Runtime::CurrentThreadId();
+  std::vector<long> results;
+  for (const Call& call : prog.calls) {
+    CallProfile cp;
+    runtime.StartRecording(tid);
+    // Resolve by name: descriptor pointers bind the subsystem instances of
+    // the kernel they were created in, and this is a fresh kernel.
+    cp.retval = kernel.InvokeByName(call.desc->name, ResolveArgs(call, results));
+    cp.trace = runtime.StopRecording(tid);
+    for (const oemu::Event& e : cp.trace) {
+      if (e.IsAccess()) {
+        profile.coverage.insert(e.instr);
+      }
+    }
+    results.push_back(cp.retval);
+    profile.calls.push_back(std::move(cp));
+    if (kernel.crashed()) {
+      profile.crashed = true;
+      profile.crash = *kernel.crash();
+      break;
+    }
+  }
+  runtime.Deactivate();
+  return profile;
+}
+
+}  // namespace ozz::fuzz

@@ -1,0 +1,39 @@
+// Profiling single-threaded inputs (§4.2, step 2).
+//
+// Runs an STI sequentially on a fresh kernel while OEMU records, per syscall,
+// every memory access (five-tuple: instruction, location, size, type,
+// timestamp) and every barrier (three-tuple: instruction, type, timestamp).
+// Also derives the instruction-coverage signal (the reproduction's KCov).
+#ifndef OZZ_SRC_FUZZ_PROFILE_H_
+#define OZZ_SRC_FUZZ_PROFILE_H_
+
+#include <set>
+
+#include "src/fuzz/syslang.h"
+#include "src/oemu/event.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::fuzz {
+
+struct CallProfile {
+  oemu::Trace trace;
+  long retval = 0;
+};
+
+struct ProgProfile {
+  std::vector<CallProfile> calls;
+  std::set<InstrId> coverage;  // union of executed instrumented instructions
+  bool crashed = false;        // a non-concurrency crash during the STI run
+  osk::OopsReport crash;
+};
+
+// Runs `prog` single-threaded under a fresh kernel built with `config` and
+// returns per-call traces. Deterministic.
+ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config);
+
+// Resolves a call's arguments given the results of earlier calls.
+std::vector<i64> ResolveArgs(const Call& call, const std::vector<long>& results);
+
+}  // namespace ozz::fuzz
+
+#endif  // OZZ_SRC_FUZZ_PROFILE_H_

@@ -1,0 +1,194 @@
+#include "src/fuzz/replay.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/fuzz/profile.h"
+#include "src/oemu/instr.h"
+
+namespace ozz::fuzz {
+namespace {
+
+// Source position of an instrumented site: basename:line.
+std::string SitePosition(InstrId instr) {
+  const oemu::InstrInfo& info = oemu::InstrRegistry::Info(instr);
+  std::size_t slash = info.file.find_last_of('/');
+  std::string base = slash == std::string::npos ? info.file : info.file.substr(slash + 1);
+  std::ostringstream os;
+  os << base << ":" << info.line;
+  return os.str();
+}
+
+std::string DynPosition(const DynAccess& a) {
+  std::ostringstream os;
+  os << SitePosition(a.instr) << "#" << a.occurrence;
+  return os.str();
+}
+
+bool ParsePosition(const std::string& token, std::string* pos, u32* occurrence) {
+  std::size_t hash = token.find_last_of('#');
+  if (hash == std::string::npos) {
+    return false;
+  }
+  *pos = token.substr(0, hash);
+  *occurrence = static_cast<u32>(std::stoul(token.substr(hash + 1)));
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeMtiSpec(const MtiSpec& spec) {
+  std::ostringstream os;
+  os << "# OZZ replayable crash spec\n";
+  for (const Call& call : spec.prog.calls) {
+    os << "call " << call.desc->name;
+    for (const ArgValue& a : call.args) {
+      if (a.ref_call >= 0) {
+        os << " r" << a.ref_call;
+      } else {
+        os << " " << a.value;
+      }
+    }
+    os << "\n";
+  }
+  os << "pair " << spec.call_a << " " << spec.call_b << "\n";
+  os << "test " << (spec.hint.store_test ? "store" : "load") << "\n";
+  os << "sched " << DynPosition(spec.hint.sched) << " "
+     << (spec.hint.sched_phase == rt::SwitchWhen::kBeforeAccess ? "before" : "after") << "\n";
+  for (const DynAccess& a : spec.hint.reorder) {
+    os << "reorder " << DynPosition(a) << "\n";
+  }
+  return os.str();
+}
+
+bool ParseMtiSpec(const std::string& text, const osk::SyscallTable& table,
+                  const osk::KernelConfig& config, MtiSpec* spec, std::string* error) {
+  MtiSpec out;
+  struct PendingAccess {
+    std::string pos;
+    u32 occurrence;
+    bool is_sched;
+    rt::SwitchWhen phase = rt::SwitchWhen::kAfterAccess;
+  };
+  std::vector<PendingAccess> pending;
+  bool saw_pair = false;
+
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "line " << lineno << ": " << msg;
+      *error = os.str();
+    }
+    return false;
+  };
+
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::istringstream tok(line);
+    std::string kind;
+    if (!(tok >> kind) || kind[0] == '#') {
+      continue;
+    }
+    if (kind == "call") {
+      std::string name;
+      if (!(tok >> name)) {
+        return fail("call without a name");
+      }
+      const osk::SyscallDesc* desc = table.Find(name);
+      if (desc == nullptr) {
+        return fail("unknown syscall " + name);
+      }
+      Call call;
+      call.desc = desc;
+      std::string arg;
+      while (tok >> arg) {
+        ArgValue v;
+        if (!arg.empty() && arg[0] == 'r') {
+          v.ref_call = static_cast<i32>(std::stol(arg.substr(1)));
+        } else {
+          v.value = static_cast<i64>(std::stoll(arg));
+        }
+        call.args.push_back(v);
+      }
+      if (call.args.size() != desc->args.size()) {
+        return fail("arity mismatch for " + name);
+      }
+      out.prog.calls.push_back(std::move(call));
+    } else if (kind == "pair") {
+      if (!(tok >> out.call_a >> out.call_b)) {
+        return fail("malformed pair");
+      }
+      saw_pair = true;
+    } else if (kind == "test") {
+      std::string type;
+      tok >> type;
+      out.hint.store_test = type == "store";
+    } else if (kind == "sched" || kind == "reorder") {
+      std::string token;
+      if (!(tok >> token)) {
+        return fail("missing position");
+      }
+      PendingAccess p;
+      if (!ParsePosition(token, &p.pos, &p.occurrence)) {
+        return fail("malformed position " + token);
+      }
+      p.is_sched = kind == "sched";
+      if (p.is_sched) {
+        std::string phase;
+        tok >> phase;
+        p.phase =
+            phase == "before" ? rt::SwitchWhen::kBeforeAccess : rt::SwitchWhen::kAfterAccess;
+      }
+      pending.push_back(std::move(p));
+    } else {
+      return fail("unknown directive " + kind);
+    }
+  }
+  lineno = 0;
+
+  if (out.prog.calls.empty() || !saw_pair) {
+    return fail("spec needs calls and a pair");
+  }
+  if (out.call_a >= out.prog.calls.size() || out.call_b >= out.prog.calls.size() ||
+      out.call_a == out.call_b) {
+    return fail("pair indices out of range");
+  }
+
+  // Resolve source positions to InstrIds by profiling the program: the
+  // reordering call's trace visits every relevant site.
+  ProgProfile profile = ProfileProg(out.prog, config);
+  if (out.call_a >= profile.calls.size()) {
+    return fail("program crashed before the pair while resolving");
+  }
+  std::map<std::string, std::map<u32, DynAccess>> by_position;
+  for (const oemu::Event& e : profile.calls[out.call_a].trace) {
+    if (e.IsAccess()) {
+      by_position[SitePosition(e.instr)][e.occurrence] =
+          DynAccess{e.instr, e.occurrence, e.access};
+    }
+  }
+  for (const PendingAccess& p : pending) {
+    auto pos_it = by_position.find(p.pos);
+    if (pos_it == by_position.end()) {
+      return fail("position " + p.pos + " not reached by the reordering call");
+    }
+    auto occ_it = pos_it->second.find(p.occurrence);
+    if (occ_it == pos_it->second.end()) {
+      return fail("occurrence not reached at " + p.pos);
+    }
+    if (p.is_sched) {
+      out.hint.sched = occ_it->second;
+      out.hint.sched_phase = p.phase;
+    } else {
+      out.hint.reorder.push_back(occ_it->second);
+    }
+  }
+  *spec = std::move(out);
+  return true;
+}
+
+}  // namespace ozz::fuzz

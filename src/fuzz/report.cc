@@ -1,0 +1,116 @@
+#include "src/fuzz/report.h"
+
+#include <sstream>
+
+#include "src/base/check.h"
+#include "src/oemu/instr.h"
+
+namespace ozz::fuzz {
+
+BugReport MakeBugReport(const MtiSpec& spec, const MtiResult& result) {
+  OZZ_CHECK(result.crashed);
+  BugReport report;
+  report.title = result.crash.title;
+  report.subsystem = spec.prog.calls[spec.call_a].desc->subsystem;
+  report.reorder_type = spec.hint.store_test ? "S-S" : "L-L";
+  report.prog = spec.prog.ToString();
+  report.hint = spec.hint.ToString();
+  report.oops_detail = result.crash.detail;
+
+  for (const DynAccess& a : spec.hint.reorder) {
+    report.reordered_accesses.push_back(oemu::InstrRegistry::Describe(a.instr));
+  }
+
+  std::ostringstream barrier;
+  if (spec.hint.store_test) {
+    barrier << "missing store barrier (e.g. smp_wmb/smp_store_release) between ";
+    if (!spec.hint.reorder.empty()) {
+      barrier << oemu::InstrRegistry::Describe(spec.hint.reorder.back().instr) << " and ";
+    }
+    barrier << oemu::InstrRegistry::Describe(spec.hint.sched.instr);
+  } else {
+    barrier << "missing load barrier (e.g. smp_rmb/smp_load_acquire) between "
+            << oemu::InstrRegistry::Describe(spec.hint.sched.instr) << " and ";
+    if (!spec.hint.reorder.empty()) {
+      barrier << oemu::InstrRegistry::Describe(spec.hint.reorder.front().instr);
+    }
+  }
+  report.hypothetical_barrier = barrier.str();
+  return report;
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string BugReportToJson(const BugReport& report) {
+  std::ostringstream os;
+  os << "{\"title\":";
+  AppendJsonString(os, report.title);
+  os << ",\"subsystem\":";
+  AppendJsonString(os, report.subsystem);
+  os << ",\"reorder_type\":";
+  AppendJsonString(os, report.reorder_type);
+  os << ",\"hypothetical_barrier\":";
+  AppendJsonString(os, report.hypothetical_barrier);
+  os << ",\"program\":";
+  AppendJsonString(os, report.prog);
+  os << ",\"hint\":";
+  AppendJsonString(os, report.hint);
+  os << ",\"reordered_accesses\":[";
+  for (std::size_t i = 0; i < report.reordered_accesses.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    AppendJsonString(os, report.reordered_accesses[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string FormatBugReport(const BugReport& report) {
+  std::ostringstream os;
+  os << report.title << "\n";
+  os << "  subsystem:  " << report.subsystem << "\n";
+  os << "  reordering: " << report.reorder_type << "\n";
+  os << "  program:    " << report.prog << "\n";
+  os << "  hint:       " << report.hint << "\n";
+  os << "  reordered accesses:\n";
+  for (const std::string& a : report.reordered_accesses) {
+    os << "    - " << a << "\n";
+  }
+  os << "  hypothetical barrier: " << report.hypothetical_barrier << "\n";
+  if (!report.oops_detail.empty()) {
+    os << "  detail: " << report.oops_detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ozz::fuzz

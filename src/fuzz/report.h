@@ -1,0 +1,35 @@
+// Bug reports (§4.4): what OZZ hands to the developer — the crash title, the
+// reordered accesses that manifested it, and the location of the hypothetical
+// memory barrier whose absence the test demonstrated.
+#ifndef OZZ_SRC_FUZZ_REPORT_H_
+#define OZZ_SRC_FUZZ_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fuzz/executor.h"
+
+namespace ozz::fuzz {
+
+struct BugReport {
+  std::string title;       // dedup key (crash title, syzkaller-style)
+  std::string subsystem;   // subsystem of the reordering call
+  std::string reorder_type;  // "S-S" (covers S-L) or "L-L", as in Table 4
+  std::string hypothetical_barrier;  // suggested barrier location
+  std::vector<std::string> reordered_accesses;
+  std::string prog;        // the triggering program
+  std::string hint;        // the triggering scheduling hint
+  std::string oops_detail;
+};
+
+BugReport MakeBugReport(const MtiSpec& spec, const MtiResult& result);
+
+// Multi-line human-readable rendering.
+std::string FormatBugReport(const BugReport& report);
+
+// Machine-readable rendering of a report (flat JSON object).
+std::string BugReportToJson(const BugReport& report);
+
+}  // namespace ozz::fuzz
+
+#endif  // OZZ_SRC_FUZZ_REPORT_H_

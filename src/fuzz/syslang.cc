@@ -1,0 +1,306 @@
+#include "src/fuzz/syslang.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace ozz::fuzz {
+
+std::string Prog::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (i > 0) {
+      os << "; ";
+    }
+    os << "r" << i << " = " << calls[i].desc->name << "(";
+    for (std::size_t a = 0; a < calls[i].args.size(); ++a) {
+      if (a > 0) {
+        os << ", ";
+      }
+      if (calls[i].args[a].ref_call >= 0) {
+        os << "r" << calls[i].args[a].ref_call;
+      } else {
+        os << calls[i].args[a].value;
+      }
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+ProgGenerator::ProgGenerator(const osk::SyscallTable& table, base::Rng* rng)
+    : table_(table), rng_(rng) {
+  std::set<std::string> seen;
+  for (const osk::SyscallDesc& d : table.all()) {
+    if (seen.insert(d.subsystem).second) {
+      subsystems_.push_back(d.subsystem);
+    }
+  }
+  OZZ_CHECK_MSG(!subsystems_.empty(), "syscall table is empty");
+}
+
+const osk::SyscallDesc* ProgGenerator::ProducerFor(const std::string& resource) const {
+  for (const osk::SyscallDesc& d : table_.all()) {
+    if (d.produces == resource) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+int ProgGenerator::FindProducedBefore(const Prog& prog, const std::string& resource,
+                                      std::size_t limit) const {
+  std::vector<int> candidates;
+  for (std::size_t i = 0; i < std::min(limit, prog.calls.size()); ++i) {
+    if (prog.calls[i].desc->produces == resource) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  if (candidates.empty()) {
+    return -1;
+  }
+  return rng_->Pick(candidates);
+}
+
+void ProgGenerator::FillArgs(Prog* prog, Call* call) {
+  call->args.clear();
+  for (const osk::ArgDesc& a : call->desc->args) {
+    ArgValue v;
+    switch (a.kind) {
+      case osk::ArgDesc::Kind::kIntRange:
+        v.value = static_cast<i64>(rng_->InRange(static_cast<u64>(a.min), static_cast<u64>(a.max)));
+        break;
+      case osk::ArgDesc::Kind::kFlags:
+        v.value = a.choices[rng_->Below(a.choices.size())];
+        break;
+      case osk::ArgDesc::Kind::kResource: {
+        int producer = FindProducedBefore(*prog, a.resource, prog->calls.size());
+        v.ref_call = producer;  // -1 resolves to an invalid handle at runtime
+        break;
+      }
+    }
+    call->args.push_back(v);
+  }
+}
+
+bool ProgGenerator::Append(Prog* prog, const osk::SyscallDesc* desc, int depth) {
+  if (depth > 4) {
+    return false;
+  }
+  // Ensure producers exist for every resource argument first.
+  for (const osk::ArgDesc& a : desc->args) {
+    if (a.kind != osk::ArgDesc::Kind::kResource) {
+      continue;
+    }
+    if (FindProducedBefore(*prog, a.resource, prog->calls.size()) >= 0) {
+      continue;
+    }
+    const osk::SyscallDesc* producer = ProducerFor(a.resource);
+    if (producer == nullptr || !Append(prog, producer, depth + 1)) {
+      return false;
+    }
+  }
+  Call call;
+  call.desc = desc;
+  FillArgs(prog, &call);
+  prog->calls.push_back(std::move(call));
+  return true;
+}
+
+Prog ProgGenerator::Generate(std::size_t max_calls) {
+  Prog prog;
+  // Bias: 80% single-subsystem programs, 20% mixed.
+  const bool single = !rng_->OneIn(5);
+  const std::string& subsystem = rng_->Pick(subsystems_);
+  std::size_t target = 2 + rng_->Below(max_calls > 2 ? max_calls - 2 : 1);
+  for (int attempts = 0; prog.calls.size() < target && attempts < 32; ++attempts) {
+    std::vector<const osk::SyscallDesc*> pool;
+    for (const osk::SyscallDesc& d : table_.all()) {
+      if (!single || d.subsystem == subsystem) {
+        pool.push_back(&d);
+      }
+    }
+    if (pool.empty()) {
+      break;
+    }
+    Append(&prog, rng_->Pick(pool), 0);
+  }
+  if (prog.calls.size() > max_calls) {
+    prog.calls.resize(max_calls);
+  }
+  return prog;
+}
+
+Prog ProgGenerator::Mutate(const Prog& original, std::size_t max_calls) {
+  Prog prog = original;
+  switch (rng_->Below(3)) {
+    case 0: {  // append a call from the same dominant subsystem
+      if (prog.calls.empty()) {
+        return Generate(max_calls);
+      }
+      const std::string& subsystem = rng_->Pick(prog.calls).desc->subsystem;
+      std::vector<const osk::SyscallDesc*> pool;
+      for (const osk::SyscallDesc& d : table_.all()) {
+        if (d.subsystem == subsystem) {
+          pool.push_back(&d);
+        }
+      }
+      if (!pool.empty() && prog.calls.size() < max_calls) {
+        Append(&prog, rng_->Pick(pool), 0);
+      }
+      break;
+    }
+    case 1: {  // re-roll one call's literal arguments (keep resource wiring)
+      if (!prog.calls.empty()) {
+        Call& c = rng_->Pick(prog.calls);
+        for (std::size_t a = 0; a < c.args.size(); ++a) {
+          const osk::ArgDesc& d = c.desc->args[a];
+          if (c.args[a].ref_call >= 0) {
+            continue;
+          }
+          if (d.kind == osk::ArgDesc::Kind::kIntRange) {
+            c.args[a].value =
+                static_cast<i64>(rng_->InRange(static_cast<u64>(d.min), static_cast<u64>(d.max)));
+          } else if (d.kind == osk::ArgDesc::Kind::kFlags) {
+            c.args[a].value = d.choices[rng_->Below(d.choices.size())];
+          }
+        }
+      }
+      break;
+    }
+    case 2: {  // drop the last non-producer call
+      if (prog.calls.size() > 1) {
+        prog.calls.pop_back();
+      }
+      break;
+    }
+  }
+  return prog;
+}
+
+namespace {
+
+// Builds a prog from syscall names; resource args auto-wire to the most
+// recent producer. Skips unknown names (keeps seeds robust to config).
+Prog MakeSeed(const osk::SyscallTable& table, std::initializer_list<const char*> names) {
+  Prog prog;
+  for (const char* name : names) {
+    const osk::SyscallDesc* desc = table.Find(name);
+    if (desc == nullptr) {
+      continue;
+    }
+    Call call;
+    call.desc = desc;
+    for (const osk::ArgDesc& a : desc->args) {
+      ArgValue v;
+      switch (a.kind) {
+        case osk::ArgDesc::Kind::kIntRange:
+          v.value = a.min;  // smallest valid value: indices line up with producers
+          break;
+        case osk::ArgDesc::Kind::kFlags:
+          v.value = a.choices.back();
+          break;
+        case osk::ArgDesc::Kind::kResource: {
+          v.ref_call = -1;
+          for (int i = static_cast<int>(prog.calls.size()) - 1; i >= 0; --i) {
+            if (prog.calls[static_cast<std::size_t>(i)].desc->produces == a.resource) {
+              v.ref_call = i;
+              break;
+            }
+          }
+          break;
+        }
+      }
+      call.args.push_back(v);
+    }
+    prog.calls.push_back(std::move(call));
+  }
+  return prog;
+}
+
+}  // namespace
+
+Prog SeedProgramFor(const osk::SyscallTable& table, const std::string& subsystem) {
+  if (subsystem == "watch_queue") {
+    return MakeSeed(table, {"wq$post", "wq$read"});
+  }
+  if (subsystem == "tls") {
+    return MakeSeed(table, {"tls$open", "tls$init", "tls$setsockopt"});
+  }
+  if (subsystem == "tls_getsockopt") {
+    return MakeSeed(table, {"tls$open", "tls$init", "tls$getsockopt"});
+  }
+  if (subsystem == "tls_err_abort") {
+    return MakeSeed(table, {"tls$open", "tls$err_abort", "tls$poll", "tls$anomalies"});
+  }
+  if (subsystem == "buffer") {
+    return MakeSeed(table, {"bh$write", "bh$write", "bh$try_free"});
+  }
+  if (subsystem == "rdma") {
+    return MakeSeed(table, {"rdma$hw_complete", "rdma$poll_cq"});
+  }
+  if (subsystem == "rds") {
+    return MakeSeed(table, {"rds$sendmsg", "rds$loop_xmit"});
+  }
+  if (subsystem == "xsk") {
+    return MakeSeed(table, {"xsk$socket", "xsk$bind", "xsk$poll"});
+  }
+  if (subsystem == "xsk_xmit") {
+    return MakeSeed(table, {"xsk$socket", "xsk$bind", "xsk$sendmsg"});
+  }
+  if (subsystem == "bpf_sockmap") {
+    return MakeSeed(table, {"bpf$sockmap_attach", "bpf$sockmap_recv"});
+  }
+  if (subsystem == "smc") {
+    return MakeSeed(table, {"smc$listen", "smc$connect"});
+  }
+  if (subsystem == "smc_close") {
+    return MakeSeed(table, {"smc$listen", "smc$close"});
+  }
+  if (subsystem == "vmci") {
+    return MakeSeed(table, {"vmci$qp_attach", "vmci$qp_poll"});
+  }
+  if (subsystem == "gsm") {
+    return MakeSeed(table, {"gsm$dlci_open", "gsm$dlci_config"});
+  }
+  if (subsystem == "vlan") {
+    return MakeSeed(table, {"vlan$add", "vlan$get"});
+  }
+  if (subsystem == "unix") {
+    return MakeSeed(table, {"unix$bind", "unix$getname"});
+  }
+  if (subsystem == "nbd") {
+    return MakeSeed(table, {"nbd$setup", "nbd$ioctl"});
+  }
+  if (subsystem == "mq") {
+    return MakeSeed(table, {"mq$submit", "mq$complete", "mq$reap"});
+  }
+  if (subsystem == "fs") {
+    return MakeSeed(table, {"fs$open", "fs$read"});
+  }
+  if (subsystem == "ringbuf") {
+    return MakeSeed(table, {"ringbuf$write", "ringbuf$read"});
+  }
+  if (subsystem == "synthetic") {
+    return MakeSeed(table, {"syn$t1", "syn$t2"});
+  }
+  return Prog{};
+}
+
+std::vector<Prog> SeedPrograms(const osk::SyscallTable& table) {
+  std::vector<Prog> seeds;
+  for (const char* name :
+       {"watch_queue", "tls", "tls_getsockopt", "tls_err_abort", "rds", "xsk", "xsk_xmit",
+        "bpf_sockmap", "smc", "smc_close", "vmci", "gsm", "vlan", "unix", "nbd", "mq", "fs", "rdma", "buffer",
+        "ringbuf", "synthetic"}) {
+    Prog p = SeedProgramFor(table, name);
+    if (!p.calls.empty()) {
+      seeds.push_back(std::move(p));
+    }
+  }
+  return seeds;
+}
+
+}  // namespace ozz::fuzz

@@ -1,0 +1,74 @@
+// Program representation and generation (§4.2, step 1).
+//
+// A Prog is a single-threaded input (STI): a sequence of syscalls whose
+// arguments are filled from the typed descriptors of the syscall table.
+// Resource arguments reference the *result* of an earlier call in the same
+// program (like a Syzlang fd flowing from open to write), so generated
+// programs are valid by construction.
+#ifndef OZZ_SRC_FUZZ_SYSLANG_H_
+#define OZZ_SRC_FUZZ_SYSLANG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/osk/syscall.h"
+
+namespace ozz::fuzz {
+
+struct ArgValue {
+  i64 value = 0;     // literal, or ignored when ref_call >= 0
+  i32 ref_call = -1; // index of the producing call whose result to substitute
+};
+
+struct Call {
+  // Borrowed from the syscall table the program was generated against; the
+  // Kernel owning that table must outlive the Prog. Executors re-resolve by
+  // desc->name against their own (fresh) kernel instance.
+  const osk::SyscallDesc* desc = nullptr;
+  std::vector<ArgValue> args;
+};
+
+struct Prog {
+  std::vector<Call> calls;
+
+  std::string ToString() const;
+};
+
+class ProgGenerator {
+ public:
+  ProgGenerator(const osk::SyscallTable& table, base::Rng* rng);
+
+  // Generates a program of up to `max_calls` calls, biased toward staying
+  // within one subsystem (concurrency bugs live between calls that share
+  // state). Producers for required resources are inserted automatically.
+  Prog Generate(std::size_t max_calls);
+
+  // Mutates a program: append / replace a call or perturb an argument.
+  Prog Mutate(const Prog& prog, std::size_t max_calls);
+
+ private:
+  // Appends `desc` to prog, recursively appending producers for resource
+  // arguments first. Returns false if a producer type has no producer.
+  bool Append(Prog* prog, const osk::SyscallDesc* desc, int depth);
+  void FillArgs(Prog* prog, Call* call);
+  const osk::SyscallDesc* ProducerFor(const std::string& resource) const;
+  int FindProducedBefore(const Prog& prog, const std::string& resource,
+                         std::size_t limit) const;
+
+  const osk::SyscallTable& table_;
+  base::Rng* rng_;
+  std::vector<std::string> subsystems_;
+};
+
+// Hand-written canonical programs per subsystem — the reproduction's stand-in
+// for the syzkaller seed corpus used in §6.2. Every Table 3/4 scenario has a
+// seed that reaches its racy pair.
+std::vector<Prog> SeedPrograms(const osk::SyscallTable& table);
+
+// A seed for one named subsystem (empty prog if unknown).
+Prog SeedProgramFor(const osk::SyscallTable& table, const std::string& subsystem);
+
+}  // namespace ozz::fuzz
+
+#endif  // OZZ_SRC_FUZZ_SYSLANG_H_

@@ -1,0 +1,65 @@
+// LKMM compliance checker (§3.3, Appendix §10.1).
+//
+// OEMU must never reorder memory accesses in a way no architecture supported
+// by Linux would — the seven ppo cases of the LKMM. This checker is an
+// *independent* validator: given the per-thread event traces recorded by the
+// runtime and the global store history, it re-derives the ordering facts and
+// reports violations. Property tests drive random programs through OEMU under
+// random reorder specs and assert the checker stays silent; the litmus suite
+// (litmus.h) additionally asserts that *allowed* weak behaviours are
+// reachable.
+//
+// Checks implemented (mapping to §10.1):
+//   kCoherence      — same-thread stores to one location commit in program
+//                     order (coherence; underpins Cases 1/2/5).
+//   kStoreBarrier   — no store executed before a store-ordering barrier
+//                     (wmb/mb/release/RMW-full) commits after it (Cases 1,2,5).
+//   kLoadWindow     — no load returns a value older than the versioning
+//                     window start at its execution (Cases 1,3,4,6).
+//   kLoadStore      — a store never becomes visible before a program-earlier
+//                     load of the same thread executed (Case 7).
+#ifndef OZZ_SRC_LKMM_CHECKER_H_
+#define OZZ_SRC_LKMM_CHECKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/oemu/event.h"
+#include "src/oemu/store_history.h"
+
+namespace ozz::lkmm {
+
+enum class ViolationKind : u8 {
+  kCoherence,
+  kStoreBarrier,
+  kLoadWindow,
+  kLoadStore,
+};
+
+struct Violation {
+  ViolationKind kind;
+  ThreadId thread = kAnyThread;
+  InstrId instr = kInvalidInstr;
+  std::string detail;
+};
+
+class Checker {
+ public:
+  // `traces` maps thread id -> the full event trace of that thread
+  // (including kCommit events emitted when delayed stores drain).
+  std::vector<Violation> Validate(const std::map<ThreadId, oemu::Trace>& traces,
+                                  const oemu::StoreHistory& history) const;
+
+ private:
+  void CheckThread(ThreadId thread, const oemu::Trace& trace,
+                   const oemu::StoreHistory& history, std::vector<Violation>* out) const;
+  void CheckCoherence(const oemu::StoreHistory& history, std::vector<Violation>* out) const;
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+}  // namespace ozz::lkmm
+
+#endif  // OZZ_SRC_LKMM_CHECKER_H_

@@ -1,0 +1,299 @@
+#include "src/lkmm/litmus.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/check.h"
+#include "src/oemu/runtime.h"
+#include "src/rt/machine.h"
+
+namespace ozz::lkmm {
+namespace {
+
+struct TrackedAccess {
+  InstrId instr;
+  u32 occurrence;
+  oemu::AccessType type;
+};
+
+// Profiles a body in isolation to learn its dynamic access list.
+std::vector<TrackedAccess> ProfileBody(const LitmusBody& body, LitmusEnv& env) {
+  oemu::Runtime rt;
+  rt.Activate(nullptr);
+  env.Reset();
+  ThreadId tid = oemu::Runtime::CurrentThreadId();
+  rt.OnSyscallEnter(tid);
+  rt.StartRecording(tid);
+  LitmusRegs regs{};
+  body(env, regs);
+  rt.OnSyscallExit(tid);
+  oemu::Trace trace = rt.StopRecording(tid);
+  rt.Deactivate();
+
+  std::vector<TrackedAccess> out;
+  for (const oemu::Event& e : trace) {
+    if (e.IsAccess()) {
+      out.push_back(TrackedAccess{e.instr, e.occurrence, e.access});
+    }
+  }
+  return out;
+}
+
+// Applies subset `bits` of the delayable stores / versionable loads.
+void ApplySpec(oemu::Runtime& rt, ThreadId tid, const std::vector<TrackedAccess>& accesses,
+               u32 store_bits, u32 load_bits) {
+  u32 store_idx = 0;
+  u32 load_idx = 0;
+  for (const TrackedAccess& a : accesses) {
+    if (a.type == oemu::AccessType::kStore) {
+      if ((store_bits >> store_idx) & 1u) {
+        rt.DelayStoreAt(tid, a.instr, a.occurrence);
+      }
+      ++store_idx;
+    } else {
+      if ((load_bits >> load_idx) & 1u) {
+        rt.ReadOldValueAt(tid, a.instr, a.occurrence);
+      }
+      ++load_idx;
+    }
+  }
+}
+
+// Per-access reorder spec: bit i of `bits` targets the thread's i-th dynamic
+// access (delay if a store, version if a load).
+void ApplyBitSpec(oemu::Runtime& rt, ThreadId tid, const std::vector<TrackedAccess>& accesses,
+                  u64 bits) {
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    if (((bits >> i) & 1) == 0) {
+      continue;
+    }
+    const TrackedAccess& a = accesses[i];
+    if (a.type == oemu::AccessType::kStore) {
+      rt.DelayStoreAt(tid, a.instr, a.occurrence);
+    } else {
+      rt.ReadOldValueAt(tid, a.instr, a.occurrence);
+    }
+  }
+}
+
+}  // namespace
+
+LitmusNResult ExploreLitmusN(const std::vector<LitmusBody>& threads,
+                             const LitmusOptions& options) {
+  LitmusNResult result;
+  Checker checker;
+  auto env = std::make_unique<LitmusEnv>();
+  const std::size_t n = threads.size();
+  OZZ_CHECK(n >= 2 && n <= 6);
+
+  std::vector<std::vector<TrackedAccess>> accs;
+  accs.reserve(n);
+  for (const LitmusBody& body : threads) {
+    accs.push_back(ProfileBody(body, *env));
+  }
+
+  // Per-access spec bits, concatenated across threads. Capped so the classic
+  // shapes stay exhaustive without blowing up.
+  std::vector<std::size_t> bit_offset(n + 1, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    bit_offset[t + 1] = bit_offset[t] + accs[t].size();
+  }
+  const std::size_t total_bits = bit_offset[n];
+  OZZ_CHECK_MSG(total_bits <= 14, "litmus program too large for exhaustive N-thread specs");
+  const u64 spec_combos = 1ull << total_bits;
+
+  for (u64 combo = 0; combo < spec_combos; ++combo) {
+    for (std::size_t first = 0; first < n; ++first) {
+      const std::vector<TrackedAccess>& facc = accs[first];
+      for (std::size_t sw = 0; sw <= facc.size() * 2; ++sw) {
+        for (std::size_t next = 0; next < n; ++next) {
+          if (sw > 0 && next == first) {
+            continue;
+          }
+          if (sw == 0 && next != (first + 1) % n) {
+            continue;  // no switch point: next is irrelevant, run once
+          }
+          env->Reset();
+          oemu::Runtime rt;
+          rt::Machine machine(static_cast<int>(n));
+          rt.Activate(&machine);
+
+          std::vector<LitmusRegs> regs(n);
+          for (std::size_t t = 0; t < n; ++t) {
+            const LitmusBody* body = &threads[t];
+            machine.AddThread("litmus" + std::to_string(t), static_cast<CpuId>(t),
+                              [&, t, body] {
+                                oemu::Runtime& art = *oemu::Runtime::Active();
+                                ThreadId tid = oemu::Runtime::CurrentThreadId();
+                                art.OnSyscallEnter(tid);
+                                (*body)(*env, regs[t]);
+                                art.OnSyscallExit(tid);
+                              });
+            u64 bits = (combo >> bit_offset[t]) & ((1ull << accs[t].size()) - 1);
+            if (!options.allow_delayed_stores || !options.allow_versioned_loads) {
+              u64 mask = 0;
+              for (std::size_t i = 0; i < accs[t].size(); ++i) {
+                bool is_store = accs[t][i].type == oemu::AccessType::kStore;
+                bool allowed = is_store ? options.allow_delayed_stores
+                                        : options.allow_versioned_loads;
+                mask |= allowed ? (1ull << i) : 0;
+              }
+              bits &= mask;
+            }
+            ApplyBitSpec(rt, static_cast<ThreadId>(t), accs[t], bits);
+            rt.StartRecording(static_cast<ThreadId>(t));
+          }
+
+          rt::SchedPlan plan;
+          plan.first = static_cast<ThreadId>(first);
+          if (sw > 0) {
+            const TrackedAccess& a = facc[(sw - 1) / 2];
+            rt::SchedPoint pt;
+            pt.thread = static_cast<ThreadId>(first);
+            pt.instr = a.instr;
+            pt.occurrence = a.occurrence;
+            pt.when = (sw % 2 == 1) ? rt::SwitchWhen::kBeforeAccess
+                                    : rt::SwitchWhen::kAfterAccess;
+            pt.next = static_cast<ThreadId>(next);
+            plan.points.push_back(pt);
+          }
+          machine.SetPlan(plan);
+          machine.Run();
+
+          std::map<ThreadId, oemu::Trace> traces;
+          for (std::size_t t = 0; t < n; ++t) {
+            traces[static_cast<ThreadId>(t)] = rt.StopRecording(static_cast<ThreadId>(t));
+          }
+          if (options.check_lkmm) {
+            std::vector<Violation> v = checker.Validate(traces, rt.history());
+            result.violations.insert(result.violations.end(), v.begin(), v.end());
+          }
+          rt.Deactivate();
+
+          LitmusNOutcome outcome;
+          for (std::size_t t = 0; t < n; ++t) {
+            for (u64 r : regs[t]) {
+              outcome.regs.push_back(r);
+            }
+          }
+          result.outcomes.insert(std::move(outcome));
+          ++result.executions;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+LitmusResult ExploreLitmus(const LitmusBody& t0, const LitmusBody& t1,
+                           const LitmusOptions& options) {
+  LitmusResult result;
+  Checker checker;
+  auto env = std::make_unique<LitmusEnv>();
+
+  const std::vector<TrackedAccess> acc0 = ProfileBody(t0, *env);
+  const std::vector<TrackedAccess> acc1 = ProfileBody(t1, *env);
+  OZZ_CHECK_MSG(acc0.size() <= options.max_tracked_accesses &&
+                    acc1.size() <= options.max_tracked_accesses,
+                "litmus body too large for exhaustive exploration");
+
+  auto count_type = [](const std::vector<TrackedAccess>& v, oemu::AccessType t) {
+    u32 n = 0;
+    for (const TrackedAccess& a : v) {
+      n += a.type == t ? 1 : 0;
+    }
+    return n;
+  };
+
+  const std::array<const std::vector<TrackedAccess>*, 2> accs{&acc0, &acc1};
+  const std::array<const LitmusBody*, 2> bodies{&t0, &t1};
+
+  for (int first = 0; first < 2; ++first) {
+    const std::vector<TrackedAccess>& facc = *accs[static_cast<std::size_t>(first)];
+    u32 fstores =
+        options.allow_delayed_stores ? count_type(facc, oemu::AccessType::kStore) : 0;
+    u32 floads =
+        options.allow_versioned_loads ? count_type(facc, oemu::AccessType::kLoad) : 0;
+
+    // Switch points: none (sequential) or before/after the i-th access of the
+    // thread that runs first. Only the first thread's spec matters — the
+    // second runs to completion uninterrupted, so its own reordering is
+    // invisible to the (already finished) first thread... except for delayed
+    // stores observed when the first thread resumes; explore its specs too.
+    const std::vector<TrackedAccess>& sacc = *accs[static_cast<std::size_t>(1 - first)];
+    u32 sstores =
+        options.allow_delayed_stores ? count_type(sacc, oemu::AccessType::kStore) : 0;
+    u32 sloads =
+        options.allow_versioned_loads ? count_type(sacc, oemu::AccessType::kLoad) : 0;
+
+    for (u32 f_sbits = 0; f_sbits < (1u << fstores); ++f_sbits) {
+      for (u32 f_lbits = 0; f_lbits < (1u << floads); ++f_lbits) {
+        for (u32 s_sbits = 0; s_sbits < (1u << sstores); ++s_sbits) {
+          for (u32 s_lbits = 0; s_lbits < (1u << sloads); ++s_lbits) {
+            for (std::size_t sw = 0; sw <= facc.size() * 2; ++sw) {
+              // sw == 0: no switch; otherwise switch before (odd) or after
+              // (even) access (sw-1)/2 of the first thread.
+              env->Reset();
+              oemu::Runtime rt;
+              rt::Machine machine(2);
+              rt.Activate(&machine);
+
+              std::array<LitmusRegs, 2> regs{};
+              for (int t = 0; t < 2; ++t) {
+                const LitmusBody* body = bodies[static_cast<std::size_t>(t)];
+                machine.AddThread("litmus" + std::to_string(t), t, [&, t, body] {
+                  oemu::Runtime& art = *oemu::Runtime::Active();
+                  ThreadId tid = oemu::Runtime::CurrentThreadId();
+                  art.OnSyscallEnter(tid);
+                  (*body)(*env, regs[static_cast<std::size_t>(t)]);
+                  art.OnSyscallExit(tid);
+                });
+              }
+
+              ApplySpec(rt, first, facc, f_sbits, f_lbits);
+              ApplySpec(rt, 1 - first, sacc, s_sbits, s_lbits);
+              rt.StartRecording(0);
+              rt.StartRecording(1);
+
+              rt::SchedPlan plan;
+              plan.first = first;
+              if (sw > 0) {
+                const TrackedAccess& a = facc[(sw - 1) / 2];
+                rt::SchedPoint pt;
+                pt.thread = first;
+                pt.instr = a.instr;
+                pt.occurrence = a.occurrence;
+                pt.when = (sw % 2 == 1) ? rt::SwitchWhen::kBeforeAccess
+                                        : rt::SwitchWhen::kAfterAccess;
+                plan.points.push_back(pt);
+              }
+              machine.SetPlan(plan);
+              machine.Run();
+
+              std::map<ThreadId, oemu::Trace> traces;
+              traces[0] = rt.StopRecording(0);
+              traces[1] = rt.StopRecording(1);
+              if (options.check_lkmm) {
+                std::vector<Violation> v = checker.Validate(traces, rt.history());
+                result.violations.insert(result.violations.end(), v.begin(), v.end());
+              }
+              rt.Deactivate();
+
+              LitmusOutcome outcome{};
+              for (std::size_t i = 0; i < kLitmusRegs; ++i) {
+                outcome[i] = regs[0][i];
+                outcome[kLitmusRegs + i] = regs[1][i];
+              }
+              result.outcomes.insert(outcome);
+              ++result.executions;
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ozz::lkmm

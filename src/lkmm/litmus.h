@@ -1,0 +1,96 @@
+// Litmus-test harness.
+//
+// Runs classic two-thread litmus shapes (MP, SB, LB, CoRR, ...) under OEMU,
+// exhaustively exploring OZZ-style executions: every delay-store subset of
+// each thread's stores × every read-old subset of its loads × every
+// single-switch interleaving, in both thread orders. Returns the set of
+// observed register outcomes so tests can assert
+//   * weak outcomes ARE reachable when the corresponding barrier is absent
+//     (OEMU really emulates the reordering), and
+//   * forbidden outcomes are NOT reachable when barriers/annotations are
+//     present (LKMM compliance, §10.1),
+// and every execution's trace is validated with lkmm::Checker.
+#ifndef OZZ_SRC_LKMM_LITMUS_H_
+#define OZZ_SRC_LKMM_LITMUS_H_
+
+#include <array>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "src/lkmm/checker.h"
+#include "src/oemu/cell.h"
+
+namespace ozz::lkmm {
+
+// Shared locations of a litmus program. Reset to zero before each execution.
+struct LitmusEnv {
+  oemu::Cell<u64> x;
+  oemu::Cell<u64> y;
+  oemu::Cell<u64> z;
+  oemu::Cell<u64> w;
+
+  void Reset() {
+    x.set_raw(0);
+    y.set_raw(0);
+    z.set_raw(0);
+    w.set_raw(0);
+  }
+};
+
+inline constexpr std::size_t kLitmusRegs = 4;
+using LitmusRegs = std::array<u64, kLitmusRegs>;
+
+// A litmus thread body: performs instrumented accesses on the env and leaves
+// observations in its registers. Must be deterministic.
+using LitmusBody = std::function<void(LitmusEnv&, LitmusRegs&)>;
+
+// One observed outcome: thread 0's registers followed by thread 1's.
+using LitmusOutcome = std::array<u64, 2 * kLitmusRegs>;
+
+struct LitmusOptions {
+  bool allow_delayed_stores = true;
+  bool allow_versioned_loads = true;
+  bool check_lkmm = true;
+  // Caps the per-thread store/load subset enumeration (2^n specs each).
+  std::size_t max_tracked_accesses = 6;
+};
+
+struct LitmusResult {
+  std::set<LitmusOutcome> outcomes;
+  std::size_t executions = 0;
+  std::vector<Violation> violations;  // non-empty means OEMU broke the LKMM
+
+  bool Saw(const LitmusOutcome& o) const { return outcomes.count(o) > 0; }
+};
+
+// Explores t0 ∥ t1 and returns every outcome reached.
+LitmusResult ExploreLitmus(const LitmusBody& t0, const LitmusBody& t1,
+                           const LitmusOptions& options = {});
+
+// N-thread exploration (WRC, IRIW, 2+2W, ...). Outcomes are the
+// concatenated per-thread register files; exploration covers every
+// per-thread reorder spec × every thread permutation as the run order ×
+// a single switch point on the first-running thread. Exhaustive enough for
+// the classic shapes at ≤4 threads / ≤3 accesses per thread.
+struct LitmusNOutcome {
+  std::vector<u64> regs;  // threads * kLitmusRegs
+  bool operator<(const LitmusNOutcome& other) const { return regs < other.regs; }
+};
+
+struct LitmusNResult {
+  std::set<LitmusNOutcome> outcomes;
+  std::size_t executions = 0;
+  std::vector<Violation> violations;
+
+  bool Saw(const std::vector<u64>& regs) const {
+    return outcomes.count(LitmusNOutcome{regs}) > 0;
+  }
+};
+
+LitmusNResult ExploreLitmusN(const std::vector<LitmusBody>& threads,
+                             const LitmusOptions& options = {});
+
+}  // namespace ozz::lkmm
+
+#endif  // OZZ_SRC_LKMM_LITMUS_H_

@@ -1,0 +1,204 @@
+// Instrumented shared-memory cells and access macros.
+//
+// The paper's compiler pass transforms `x = 1;` into `store_value(&x, 1);`
+// (Fig. 2). This reproduction expresses the same transformation in the
+// source: shared state of the simulated kernel is declared as Cell<T> and
+// accessed through the OSK_* macros, each of which registers a stable
+// per-call-site InstrId and routes the access through the active OEMU
+// runtime. When no runtime is active the macros perform the plain access —
+// that is the "kernel compiled without OEMU" configuration of Table 5.
+#ifndef OZZ_SRC_OEMU_CELL_H_
+#define OZZ_SRC_OEMU_CELL_H_
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+#include "src/base/ids.h"
+#include "src/oemu/instr.h"
+#include "src/oemu/runtime.h"
+
+namespace ozz::oemu {
+
+static_assert(std::endian::native == std::endian::little,
+              "the OEMU value encoding assumes a little-endian host");
+
+template <typename T>
+class Cell {
+  static_assert(std::is_trivially_copyable_v<T>, "Cell requires trivially copyable types");
+  static_assert(sizeof(T) <= 8, "Cell supports up to 8-byte accesses");
+
+ public:
+  constexpr Cell() : raw_{} {}
+  constexpr explicit Cell(T v) : raw_(v) {}
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  // Uninstrumented access, for construction/inspection outside simulation.
+  T raw() const { return raw_; }
+  void set_raw(T v) { raw_ = v; }
+  uptr address() const { return reinterpret_cast<uptr>(&raw_); }
+
+ private:
+  T raw_;
+};
+
+template <typename T>
+u64 ToWord(T v) {
+  u64 w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+
+template <typename T>
+T FromWord(u64 w) {
+  T v;
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+
+template <typename T>
+T LoadCell(InstrId instr, const Cell<T>& cell) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    return cell.raw();
+  }
+  return FromWord<T>(rt->Load(instr, cell.address(), sizeof(T), /*annotated=*/false));
+}
+
+template <typename T>
+T ReadOnceCell(InstrId instr, const Cell<T>& cell) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    return cell.raw();
+  }
+  return FromWord<T>(rt->Load(instr, cell.address(), sizeof(T), /*annotated=*/true));
+}
+
+template <typename T>
+T LoadAcquireCell(InstrId instr, const Cell<T>& cell) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    return cell.raw();
+  }
+  return FromWord<T>(rt->LoadAcquire(instr, cell.address(), sizeof(T)));
+}
+
+template <typename T>
+void StoreCell(InstrId instr, Cell<T>& cell, std::type_identity_t<T> v) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    cell.set_raw(v);
+    return;
+  }
+  rt->Store(instr, cell.address(), sizeof(T), ToWord(v), /*annotated=*/false);
+}
+
+template <typename T>
+void WriteOnceCell(InstrId instr, Cell<T>& cell, std::type_identity_t<T> v) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    cell.set_raw(v);
+    return;
+  }
+  rt->Store(instr, cell.address(), sizeof(T), ToWord(v), /*annotated=*/true);
+}
+
+template <typename T>
+void StoreReleaseCell(InstrId instr, Cell<T>& cell, std::type_identity_t<T> v) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    cell.set_raw(v);
+    return;
+  }
+  rt->StoreRelease(instr, cell.address(), sizeof(T), ToWord(v));
+}
+
+// Atomic read-modify-write on an integral cell; returns the old value.
+template <typename T>
+T RmwCell(InstrId instr, Cell<T>& cell, RmwOrder order, u64 (*fn)(u64, u64), u64 operand) {
+  static_assert(std::is_integral_v<T>);
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    T old = cell.raw();
+    cell.set_raw(FromWord<T>(fn(ToWord(old), operand)));
+    return old;
+  }
+  return FromWord<T>(rt->Rmw(instr, cell.address(), sizeof(T), order, fn, operand));
+}
+
+inline void BarrierAt(InstrId instr, BarrierType type) {
+  Runtime* rt = Runtime::Active();
+  if (rt != nullptr && rt->InstrumentationEnabledFor(instr)) {
+    rt->Barrier(instr, type);
+  }
+}
+
+// Raw-address byte accesses, for buffers that are not laid out as Cells
+// (kmalloc'd payload arrays). Fully instrumented like cell accesses.
+inline u8 LoadByteAt(InstrId instr, uptr addr) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    return *reinterpret_cast<const u8*>(addr);
+  }
+  return static_cast<u8>(rt->Load(instr, addr, 1, /*annotated=*/false));
+}
+
+inline void StoreByteAt(InstrId instr, uptr addr, u8 v) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    *reinterpret_cast<u8*>(addr) = v;
+    return;
+  }
+  rt->Store(instr, addr, 1, v, /*annotated=*/false);
+}
+
+}  // namespace ozz::oemu
+
+// ---- Instrumentation macros (the "compiler pass") ----
+
+#define OSK_LOAD(cell) \
+  (::ozz::oemu::LoadCell(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kLoad, #cell), (cell)))
+
+#define OSK_STORE(cell, v) \
+  (::ozz::oemu::StoreCell(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kStore, #cell), (cell), (v)))
+
+#define OSK_READ_ONCE(cell) \
+  (::ozz::oemu::ReadOnceCell(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kReadOnce, #cell), (cell)))
+
+#define OSK_WRITE_ONCE(cell, v) \
+  (::ozz::oemu::WriteOnceCell(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kWriteOnce, #cell), (cell), \
+                              (v)))
+
+#define OSK_LOAD_ACQUIRE(cell)                                                               \
+  (::ozz::oemu::LoadAcquireCell(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kLoadAcquire, #cell), \
+                                (cell)))
+
+#define OSK_STORE_RELEASE(cell, v)                                                             \
+  (::ozz::oemu::StoreReleaseCell(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kStoreRelease, #cell), \
+                                 (cell), (v)))
+
+#define OSK_RMW(cell, order, fn, operand)                                             \
+  (::ozz::oemu::RmwCell(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kRmw, #cell), (cell), \
+                        (order), (fn), (operand)))
+
+#define OSK_SMP_MB()                                                                \
+  (::ozz::oemu::BarrierAt(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kBarrier, "smp_mb"), \
+                          ::ozz::oemu::BarrierType::kFull))
+
+#define OSK_SMP_RMB()                                                                 \
+  (::ozz::oemu::BarrierAt(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kBarrier, "smp_rmb"), \
+                          ::ozz::oemu::BarrierType::kLoadBarrier))
+
+#define OSK_LOAD_BYTE(addr) \
+  (::ozz::oemu::LoadByteAt(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kLoad, #addr), (addr)))
+
+#define OSK_STORE_BYTE(addr, v) \
+  (::ozz::oemu::StoreByteAt(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kStore, #addr), (addr), (v)))
+
+#define OSK_SMP_WMB()                                                                 \
+  (::ozz::oemu::BarrierAt(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kBarrier, "smp_wmb"), \
+                          ::ozz::oemu::BarrierType::kStoreBarrier))
+
+#endif  // OZZ_SRC_OEMU_CELL_H_

@@ -1,0 +1,91 @@
+// Profile event types (§4.2).
+//
+// While running single-threaded inputs, OZZ records every memory access as a
+// five-tuple (instruction, accessed location, size, type, timestamp) and every
+// barrier as a three-tuple (instruction, barrier type, timestamp). These
+// events feed the scheduling-hint calculation (Algorithm 1) and are also the
+// trace the LKMM checker validates in property tests.
+#ifndef OZZ_SRC_OEMU_EVENT_H_
+#define OZZ_SRC_OEMU_EVENT_H_
+
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace ozz::oemu {
+
+enum class AccessType : u8 { kLoad, kStore };
+
+// Barrier classes of Table 1. kImplied* are barrier effects OEMU derives from
+// annotated accesses (e.g. READ_ONCE acts as a load barrier for the
+// versioning window, §10.1 Case 6).
+struct BarrierClass {
+  bool orders_stores = false;  // prevents store-* reordering across it
+  bool orders_loads = false;   // prevents load-load reordering across it
+};
+
+enum class BarrierType : u8 {
+  kFull,          // smp_mb()
+  kLoadBarrier,   // smp_rmb()
+  kStoreBarrier,  // smp_wmb()
+  kAcquire,       // smp_load_acquire() (implied, after the load)
+  kRelease,       // smp_store_release() (implied, before the store)
+  kImpliedLoad,   // READ_ONCE()/atomic load — Alpha addr-dependency rule
+  kRmwFull,       // value-returning RMW: full barrier both sides
+};
+
+constexpr BarrierClass ClassOf(BarrierType t) {
+  switch (t) {
+    case BarrierType::kFull:
+    case BarrierType::kRmwFull:
+      return {true, true};
+    case BarrierType::kLoadBarrier:
+    case BarrierType::kAcquire:
+    case BarrierType::kImpliedLoad:
+      return {false, true};
+    case BarrierType::kStoreBarrier:
+    case BarrierType::kRelease:
+      return {true, false};
+  }
+  return {false, false};
+}
+
+const char* BarrierTypeName(BarrierType t);
+
+struct Event {
+  // kAccess: an instruction executed (program order).
+  // kBarrier: a barrier executed (explicit or implied by an annotation).
+  // kCommit: a store became globally visible (for delayed stores this is
+  //          later than its kAccess event; the LKMM checker pairs them).
+  enum class Kind : u8 { kAccess, kBarrier, kCommit } kind = Kind::kAccess;
+
+  // Common.
+  InstrId instr = kInvalidInstr;
+  u64 timestamp = 0;
+
+  // Access fields.
+  AccessType access = AccessType::kLoad;
+  uptr addr = 0;
+  u32 size = 0;
+  u32 occurrence = 0;  // 1-based dynamic count of `instr` within the recording
+  u64 value = 0;       // value loaded / stored (diagnostics and LKMM checking)
+  bool annotated = false;  // READ_ONCE/WRITE_ONCE/atomic/acquire/release
+  bool delayed = false;    // store executed into the virtual store buffer
+  bool versioned = false;  // load served from the store history
+  u64 window = 0;          // loads: the versioning-window start at execution
+
+  // Barrier fields.
+  BarrierType barrier = BarrierType::kFull;
+
+  bool IsAccess() const { return kind == Kind::kAccess; }
+  bool IsBarrier() const { return kind == Kind::kBarrier; }
+  bool IsCommit() const { return kind == Kind::kCommit; }
+  bool IsStore() const { return IsAccess() && access == AccessType::kStore; }
+  bool IsLoad() const { return IsAccess() && access == AccessType::kLoad; }
+};
+
+using Trace = std::vector<Event>;
+
+}  // namespace ozz::oemu
+
+#endif  // OZZ_SRC_OEMU_EVENT_H_

@@ -1,0 +1,70 @@
+#include "src/oemu/instr.h"
+
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace ozz::oemu {
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::deque<InstrInfo> infos;  // index = id - 1 (id 0 is invalid)
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();  // leaked intentionally
+  return *state;
+}
+
+}  // namespace
+
+InstrId InstrRegistry::Register(InstrKind kind, std::string_view expr, std::source_location loc) {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  InstrInfo info;
+  info.id = static_cast<InstrId>(s.infos.size() + 1);
+  info.kind = kind;
+  info.expr = std::string(expr);
+  info.file = loc.file_name();
+  info.function = loc.function_name();
+  info.line = loc.line();
+  s.infos.push_back(std::move(info));
+  return s.infos.back().id;
+}
+
+const InstrInfo& InstrRegistry::Info(InstrId id) {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  OZZ_CHECK(id != kInvalidInstr && id <= s.infos.size());
+  return s.infos[id - 1];
+}
+
+std::string InstrRegistry::Describe(InstrId id) {
+  if (id == kInvalidInstr) {
+    return "<no-instr>";
+  }
+  if (id > Count()) {
+    // Unregistered (e.g. synthetic ids in hand-crafted test traces).
+    std::ostringstream os;
+    os << "<instr " << id << ">";
+    return os.str();
+  }
+  const InstrInfo& info = Info(id);
+  const std::string& f = info.file;
+  std::size_t slash = f.find_last_of('/');
+  std::ostringstream os;
+  os << (slash == std::string::npos ? f : f.substr(slash + 1)) << ":" << info.line << " ("
+     << info.expr << ")";
+  return os.str();
+}
+
+std::size_t InstrRegistry::Count() {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.infos.size();
+}
+
+}  // namespace ozz::oemu

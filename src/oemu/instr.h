@@ -1,0 +1,67 @@
+// Instruction registry.
+//
+// The paper's OEMU compiler pass replaces every memory access with a callback
+// carrying the *address of the instruction* (Table 2). This reproduction uses
+// an explicit instrumentation macro instead of an LLVM pass; each call site
+// registers itself once (lazily, on first execution) and obtains a stable
+// InstrId plus source metadata used in bug reports.
+#ifndef OZZ_SRC_OEMU_INSTR_H_
+#define OZZ_SRC_OEMU_INSTR_H_
+
+#include <source_location>
+#include <string>
+#include <string_view>
+
+#include "src/base/ids.h"
+
+namespace ozz::oemu {
+
+enum class InstrKind : u8 {
+  kStore,         // plain store
+  kLoad,          // plain load
+  kWriteOnce,     // WRITE_ONCE() — relaxed store
+  kReadOnce,      // READ_ONCE() — relaxed load (heads address dependencies)
+  kStoreRelease,  // smp_store_release()
+  kLoadAcquire,   // smp_load_acquire()
+  kRmw,           // atomic read-modify-write (bitops, atomic_t)
+  kBarrier,       // standalone memory barrier (smp_mb/rmb/wmb)
+};
+
+struct InstrInfo {
+  InstrId id = kInvalidInstr;
+  InstrKind kind = InstrKind::kLoad;
+  std::string expr;  // source expression, e.g. "pipe->head"
+  std::string file;
+  std::string function;
+  u32 line = 0;
+};
+
+class InstrRegistry {
+ public:
+  // Registers a call site; thread-safe, returns a process-stable id.
+  static InstrId Register(InstrKind kind, std::string_view expr, std::source_location loc);
+
+  // Looks up metadata for an id; aborts on unknown ids.
+  static const InstrInfo& Info(InstrId id);
+
+  // Human-readable "file:line (expr)" string for reports.
+  static std::string Describe(InstrId id);
+
+  static std::size_t Count();
+};
+
+namespace detail {
+
+// Per-call-site id memoization. The lambda in the macro below has a unique
+// closure type per expansion, so its static local is per call site.
+#define OZZ_OEMU_SITE(kind, what)                                                    \
+  ([](std::source_location oemu_loc) -> ::ozz::InstrId {                             \
+    static const ::ozz::InstrId oemu_site_id =                                       \
+        ::ozz::oemu::InstrRegistry::Register((kind), (what), oemu_loc);               \
+    return oemu_site_id;                                                             \
+  }(std::source_location::current()))
+
+}  // namespace detail
+}  // namespace ozz::oemu
+
+#endif  // OZZ_SRC_OEMU_INSTR_H_

@@ -1,0 +1,486 @@
+#include "src/oemu/runtime.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+#include "src/oemu/instr.h"
+
+namespace ozz::oemu {
+namespace {
+
+Runtime* g_active = nullptr;
+
+// Pseudo thread id for host-thread accesses (kernel construction, unit
+// tests that drive the runtime without an rt::Machine).
+constexpr ThreadId kHostThread = -2;
+
+thread_local ThreadId tls_thread_override = kAnyThread;
+
+u64 BytesToValue(const u8* bytes, u32 size) {
+  u64 v = 0;
+  for (u32 i = 0; i < size; ++i) {
+    v |= static_cast<u64>(bytes[i]) << (8 * i);
+  }
+  return v;
+}
+
+void ValueToBytes(u64 value, u32 size, u8* bytes) {
+  for (u32 i = 0; i < size; ++i) {
+    bytes[i] = static_cast<u8>(value >> (8 * i));
+  }
+}
+
+}  // namespace
+
+const char* BarrierTypeName(BarrierType t) {
+  switch (t) {
+    case BarrierType::kFull:
+      return "smp_mb";
+    case BarrierType::kLoadBarrier:
+      return "smp_rmb";
+    case BarrierType::kStoreBarrier:
+      return "smp_wmb";
+    case BarrierType::kAcquire:
+      return "smp_load_acquire";
+    case BarrierType::kRelease:
+      return "smp_store_release";
+    case BarrierType::kImpliedLoad:
+      return "READ_ONCE";
+    case BarrierType::kRmwFull:
+      return "atomic-rmw";
+  }
+  return "?";
+}
+
+Runtime::Runtime(Options opts) : opts_(opts) {}
+
+Runtime::~Runtime() {
+  if (g_active == this) {
+    Deactivate();
+  }
+}
+
+void Runtime::Activate(rt::Machine* machine) {
+  OZZ_CHECK_MSG(g_active == nullptr, "another OEMU runtime is already active");
+  g_active = this;
+  machine_ = machine;
+  if (machine_ != nullptr) {
+    // The store buffer commits on interrupts (§3.1).
+    machine_->SetInterruptHook([this](ThreadId t) { FlushThread(t); });
+  }
+}
+
+void Runtime::Deactivate() {
+  if (g_active == this) {
+    g_active = nullptr;
+  }
+  machine_ = nullptr;
+}
+
+Runtime* Runtime::Active() { return g_active; }
+
+ThreadId Runtime::CurrentThreadId() {
+  rt::SimThread* t = rt::Machine::CurrentThread();
+  if (t != nullptr) {
+    return t->id();
+  }
+  return tls_thread_override != kAnyThread ? tls_thread_override : kHostThread;
+}
+
+void Runtime::OverrideThreadForTesting(ThreadId id) { tls_thread_override = id; }
+
+void Runtime::RestrictInstrumentationToFiles(std::set<std::string> files) {
+  instrumented_files_ = std::move(files);
+  instr_enabled_.clear();
+}
+
+bool Runtime::InstrumentationEnabledFor(InstrId instr) {
+  if (instrumented_files_.empty()) {
+    return true;
+  }
+  if (instr >= instr_enabled_.size()) {
+    instr_enabled_.resize(instr + 1, 0);
+  }
+  u8& cached = instr_enabled_[instr];
+  if (cached == 0) {
+    const InstrInfo& info = InstrRegistry::Info(instr);
+    std::size_t slash = info.file.find_last_of('/');
+    std::string base = slash == std::string::npos ? info.file : info.file.substr(slash + 1);
+    cached = instrumented_files_.count(base) > 0 ? 1 : 2;
+  }
+  return cached == 1;
+}
+
+bool Runtime::SpecMatches(const Spec& spec, InstrId instr, u32 occurrence) {
+  auto it = spec.find(instr);
+  if (it == spec.end()) {
+    return false;
+  }
+  return it->second.empty() || it->second.count(occurrence) > 0;
+}
+
+Runtime::ThreadCtx& Runtime::Ctx(ThreadId thread) { return ctxs_[thread]; }
+
+const Runtime::ThreadCtx* Runtime::FindCtx(ThreadId thread) const {
+  auto it = ctxs_.find(thread);
+  return it == ctxs_.end() ? nullptr : &it->second;
+}
+
+void Runtime::DelayStoreAt(ThreadId thread, InstrId instr, u32 occurrence) {
+  Spec& spec = Ctx(thread).delay_store;
+  if (occurrence == 0) {
+    spec[instr].clear();
+  } else {
+    spec[instr].insert(occurrence);
+  }
+}
+
+void Runtime::ReadOldValueAt(ThreadId thread, InstrId instr, u32 occurrence) {
+  Spec& spec = Ctx(thread).read_old;
+  if (occurrence == 0) {
+    spec[instr].clear();
+  } else {
+    spec[instr].insert(occurrence);
+  }
+}
+
+void Runtime::ClearControls(ThreadId thread) {
+  ThreadCtx& ctx = Ctx(thread);
+  ctx.delay_store.clear();
+  ctx.read_old.clear();
+}
+
+void Runtime::OnSyscallEnter(ThreadId thread) { Ctx(thread).occurrences.clear(); }
+
+void Runtime::OnSyscallExit(ThreadId thread) { FlushThread(thread); }
+
+void Runtime::StartRecording(ThreadId thread) {
+  ThreadCtx& ctx = Ctx(thread);
+  ctx.recording = true;
+  ctx.trace.clear();
+}
+
+Trace Runtime::StopRecording(ThreadId thread) {
+  ThreadCtx& ctx = Ctx(thread);
+  ctx.recording = false;
+  Trace out = std::move(ctx.trace);
+  ctx.trace.clear();
+  return out;
+}
+
+u32 Runtime::EnterAccess(ThreadCtx& ctx, InstrId instr) { return ++ctx.occurrences[instr]; }
+
+void Runtime::NotifyScheduler(InstrId instr, rt::SwitchWhen phase) {
+  if (machine_ != nullptr && rt::Machine::CurrentThread() != nullptr) {
+    machine_->OnInstr(instr, phase);
+  }
+}
+
+void Runtime::RunCheck(uptr addr, u32 size, AccessType type, InstrId instr, CheckPhase phase) {
+  if (access_check_) {
+    access_check_(addr, size, type, instr, phase);
+  }
+}
+
+void Runtime::CommitStore(ThreadId thread, const BufferedStore& s) {
+  u8 old_bytes[8];
+  std::memcpy(old_bytes, reinterpret_cast<const void*>(s.addr), s.size);
+  u8 new_bytes[8];
+  ValueToBytes(s.value, s.size, new_bytes);
+  std::memcpy(reinterpret_cast<void*>(s.addr), new_bytes, s.size);
+
+  HistoryEntry e;
+  e.addr = s.addr;
+  e.size = s.size;
+  e.old_value = BytesToValue(old_bytes, s.size);
+  e.new_value = s.value;
+  e.timestamp = ++clock_;
+  e.thread = thread;
+  e.instr = s.instr;
+  history_.Append(e);
+  ++stats_.commits;
+
+  ThreadCtx& ctx = Ctx(thread);
+  // The committing thread may never read anything older than its own store.
+  u64& floor = ctx.loc_floor[s.addr];
+  if (e.timestamp > floor) {
+    floor = e.timestamp;
+  }
+  if (ctx.recording) {
+    Event ev;
+    ev.kind = Event::Kind::kCommit;
+    ev.instr = s.instr;
+    ev.timestamp = e.timestamp;
+    ev.access = AccessType::kStore;
+    ev.addr = s.addr;
+    ev.size = s.size;
+    ev.occurrence = s.occurrence;
+    ev.value = s.value;
+    ctx.trace.push_back(ev);
+  }
+
+  // Commit-time oracle: a delayed store that lands after the target object
+  // was freed (by a concurrently running thread) is the OOO-induced
+  // use-after-free the in-vitro approaches miss (§3, "Benefits of in-vivo
+  // emulation").
+  RunCheck(s.addr, s.size, AccessType::kStore, s.instr, CheckPhase::kCommit);
+}
+
+void Runtime::FlushLocked(ThreadId thread, ThreadCtx& ctx) {
+  ctx.buffer.Drain([this, thread](const BufferedStore& s) { CommitStore(thread, s); });
+}
+
+void Runtime::FlushThread(ThreadId thread) {
+  auto it = ctxs_.find(thread);
+  if (it != ctxs_.end()) {
+    FlushLocked(thread, it->second);
+  }
+}
+
+void Runtime::Fence(ThreadId thread) {
+  ThreadCtx& ctx = Ctx(thread);
+  FlushLocked(thread, ctx);
+  AdvanceWindow(ctx);
+  ++stats_.barriers;
+  RecordBarrier(ctx, kInvalidInstr, BarrierType::kFull);
+}
+
+void Runtime::AbandonThread(ThreadId thread) {
+  auto it = ctxs_.find(thread);
+  if (it != ctxs_.end()) {
+    it->second.buffer.Clear();
+  }
+}
+
+u64 Runtime::window_start(ThreadId thread) const {
+  const ThreadCtx* ctx = FindCtx(thread);
+  return ctx == nullptr ? 0 : ctx->window_start;
+}
+
+const StoreBuffer& Runtime::buffer(ThreadId thread) const {
+  static const StoreBuffer kEmpty;
+  const ThreadCtx* ctx = FindCtx(thread);
+  return ctx == nullptr ? kEmpty : ctx->buffer;
+}
+
+void Runtime::RecordAccess(ThreadCtx& ctx, InstrId instr, AccessType type, uptr addr, u32 size,
+                           u64 value, u32 occurrence, bool annotated, bool delayed,
+                           bool versioned) {
+  if (!ctx.recording) {
+    return;
+  }
+  Event e;
+  e.kind = Event::Kind::kAccess;
+  e.instr = instr;
+  e.timestamp = clock_;
+  e.access = type;
+  e.addr = addr;
+  e.size = size;
+  e.occurrence = occurrence;
+  e.value = value;
+  e.annotated = annotated;
+  e.delayed = delayed;
+  e.versioned = versioned;
+  e.window = ctx.window_start;
+  ctx.trace.push_back(e);
+}
+
+void Runtime::RecordBarrier(ThreadCtx& ctx, InstrId instr, BarrierType type) {
+  if (!ctx.recording) {
+    return;
+  }
+  Event e;
+  e.kind = Event::Kind::kBarrier;
+  e.instr = instr;
+  e.timestamp = clock_;
+  e.barrier = type;
+  ctx.trace.push_back(e);
+}
+
+u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 occurrence,
+                       bool* versioned_out) {
+  u8 bytes[8];
+  std::memcpy(bytes, reinterpret_cast<const void*>(addr), size);
+  bool versioned = false;
+  // Hierarchical search (§3.1 "Forwarding values to subsequent loads" and
+  // §3.2 "Store history"): own store buffer > store history > memory.
+  // Byte-granular: rewind non-buffered bytes first, then overlay buffered
+  // bytes so in-flight own stores always win.
+  u64 effective_time = clock_;
+  if (opts_.reordering_enabled && SpecMatches(ctx.read_old, instr, occurrence)) {
+    // Coherence floor: never rewind past a value this thread already saw or
+    // produced at this location (CoRR/CoWR must hold).
+    u64 as_of = ctx.window_start;
+    auto floor_it = ctx.loc_floor.find(addr);
+    if (floor_it != ctx.loc_floor.end() && floor_it->second > as_of) {
+      as_of = floor_it->second;
+    }
+    versioned = history_.ValueAsOf(addr, size, as_of, bytes);
+    if (versioned) {
+      effective_time = as_of;
+    }
+  }
+  ctx.buffer.Forward(addr, size, bytes);
+  // The thread has now observed the value current at effective_time; it may
+  // never observe anything older at this location.
+  u64& floor = ctx.loc_floor[addr];
+  if (effective_time > floor) {
+    floor = effective_time;
+  }
+  if (versioned_out != nullptr) {
+    *versioned_out = versioned;
+  }
+  return BytesToValue(bytes, size);
+}
+
+u64 Runtime::Load(InstrId instr, uptr addr, u32 size, bool annotated) {
+  ThreadId tid = CurrentThreadId();
+  ThreadCtx& ctx = Ctx(tid);
+  NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
+  u32 occ = EnterAccess(ctx, instr);
+  RunCheck(addr, size, AccessType::kLoad, instr, CheckPhase::kExecute);
+  bool versioned = false;
+  u64 v = ReadValue(ctx, instr, addr, size, occ, &versioned);
+  ++stats_.loads;
+  if (versioned) {
+    ++stats_.versioned_load_hits;
+  }
+  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, annotated, false, versioned);
+  if (annotated) {
+    // LKMM Case 6 (the Alpha rule): READ_ONCE / atomic loads head address
+    // dependencies, so OEMU treats them as a load barrier — later versioned
+    // loads cannot read values older than this point.
+    AdvanceWindow(ctx);
+    RecordBarrier(ctx, instr, BarrierType::kImpliedLoad);
+  }
+  NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
+  return v;
+}
+
+void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated) {
+  ThreadId tid = CurrentThreadId();
+  ThreadCtx& ctx = Ctx(tid);
+  NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
+  u32 occ = EnterAccess(ctx, instr);
+  RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
+
+  bool delayed = opts_.reordering_enabled && SpecMatches(ctx.delay_store, instr, occ);
+  // Coherence: a store overlapping an in-flight delayed store must not
+  // overtake it — same-location stores commit in program order on every
+  // architecture the kernel supports.
+  if (!delayed && ctx.buffer.Overlaps(addr, size)) {
+    delayed = true;
+  }
+  BufferedStore s{instr, addr, size, value, occ};
+  ++stats_.stores;
+  RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, annotated, delayed, false);
+  if (delayed) {
+    ctx.buffer.Push(s);
+    ++stats_.delayed_stores;
+  } else {
+    CommitStore(tid, s);
+  }
+  NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
+}
+
+u64 Runtime::LoadAcquire(InstrId instr, uptr addr, u32 size) {
+  ThreadId tid = CurrentThreadId();
+  ThreadCtx& ctx = Ctx(tid);
+  NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
+  u32 occ = EnterAccess(ctx, instr);
+  RunCheck(addr, size, AccessType::kLoad, instr, CheckPhase::kExecute);
+  bool versioned = false;
+  u64 v = ReadValue(ctx, instr, addr, size, occ, &versioned);
+  ++stats_.loads;
+  if (versioned) {
+    ++stats_.versioned_load_hits;
+  }
+  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, true, false, versioned);
+  // Case 4: behave as if a load barrier sits right after the acquire load.
+  AdvanceWindow(ctx);
+  RecordBarrier(ctx, instr, BarrierType::kAcquire);
+  NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
+  return v;
+}
+
+void Runtime::StoreRelease(InstrId instr, uptr addr, u32 size, u64 value) {
+  ThreadId tid = CurrentThreadId();
+  ThreadCtx& ctx = Ctx(tid);
+  NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
+  u32 occ = EnterAccess(ctx, instr);
+  RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
+  // Case 5: behave as if a store barrier sits right before the release
+  // store — every precedent access completes before it, and the release
+  // store itself is never delayed.
+  FlushLocked(tid, ctx);
+  RecordBarrier(ctx, instr, BarrierType::kRelease);
+  ++stats_.stores;
+  RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, true, false, false);
+  CommitStore(tid, BufferedStore{instr, addr, size, value, occ});
+  NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
+}
+
+u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u64, u64),
+                 u64 operand) {
+  ThreadId tid = CurrentThreadId();
+  ThreadCtx& ctx = Ctx(tid);
+  NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
+  u32 occ = EnterAccess(ctx, instr);
+  RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
+
+  if (order == RmwOrder::kFull || order == RmwOrder::kRelease) {
+    FlushLocked(tid, ctx);
+    RecordBarrier(ctx, instr,
+                  order == RmwOrder::kFull ? BarrierType::kRmwFull : BarrierType::kRelease);
+  }
+  // Read through the buffer so a pending own store to this location is seen.
+  u8 bytes[8];
+  std::memcpy(bytes, reinterpret_cast<const void*>(addr), size);
+  ctx.buffer.Forward(addr, size, bytes);
+  u64 old = BytesToValue(bytes, size);
+  u64 updated = fn(old, operand);
+
+  bool delayed = order == RmwOrder::kRelaxed && opts_.reordering_enabled &&
+                 SpecMatches(ctx.delay_store, instr, occ);
+  if (!delayed && ctx.buffer.Overlaps(addr, size)) {
+    delayed = true;
+  }
+  BufferedStore s{instr, addr, size, updated, occ};
+  ++stats_.stores;
+  ++stats_.loads;
+  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, old, occ, true, false, false);
+  RecordAccess(ctx, instr, AccessType::kStore, addr, size, updated, occ, true, delayed, false);
+  if (delayed) {
+    ctx.buffer.Push(s);
+    ++stats_.delayed_stores;
+  } else {
+    CommitStore(tid, s);
+  }
+  if (order == RmwOrder::kFull || order == RmwOrder::kAcquire) {
+    AdvanceWindow(ctx);
+    if (order == RmwOrder::kAcquire) {
+      RecordBarrier(ctx, instr, BarrierType::kAcquire);
+    }
+  }
+  NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
+  return old;
+}
+
+void Runtime::Barrier(InstrId instr, BarrierType type) {
+  ThreadId tid = CurrentThreadId();
+  ThreadCtx& ctx = Ctx(tid);
+  NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
+  BarrierClass cls = ClassOf(type);
+  if (cls.orders_stores) {
+    FlushLocked(tid, ctx);
+  }
+  if (cls.orders_loads) {
+    AdvanceWindow(ctx);
+  }
+  ++stats_.barriers;
+  RecordBarrier(ctx, instr, type);
+  NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
+}
+
+}  // namespace ozz::oemu

@@ -1,0 +1,225 @@
+// OEMU runtime: in-vivo out-of-order execution emulation (§3).
+//
+// The runtime is "transplanted into the kernel": every shared-memory access
+// of the simulated kernel reaches it through the OSK_* instrumentation macros
+// (the reproduction's stand-in for the paper's LLVM pass, Fig. 2). It
+// implements
+//   * delayed store operations via a per-thread virtual store buffer (§3.1),
+//   * versioned load operations via the global store history and a per-thread
+//     versioning window (§3.2),
+//   * barrier semantics of Table 1, including the implied-barrier treatment
+//     of READ_ONCE/atomics required by LKMM Case 6 (§10.1), and
+//   * the userspace control interfaces delay_store_at / read_old_value_at
+//     (Table 2).
+//
+// Reordering discipline (LKMM compliance, §3.3/§10.1):
+//   - Loads are never delayed, so a prior load always executes before a later
+//     store commits (Case 7: no load-store reordering).
+//   - Stores commit no later than the next store/full/release barrier or
+//     interrupt (Cases 1, 2, 5).
+//   - Versioned loads may only read values as of the window start t_rmb,
+//     which load/full/acquire barriers and annotated loads advance
+//     (Cases 1, 3, 4, 6).
+//   - Same-location stores never bypass each other (coherence): a store that
+//     overlaps a buffered delayed store is buffered behind it.
+//   - Per-location read coherence: a versioned load never reads a value older
+//     than what the same thread previously loaded from or committed to that
+//     location (cache coherence holds on every architecture, so CoRR/CoWR
+//     inversions must never be emulated).
+//   - Release stores are never delayed; this forgoes one legal reordering
+//     (a later store overtaking a release store) but never emulates an
+//     illegal one.
+//
+// Concurrency contract: the runtime has no internal locking. It must be
+// driven either by the token-serialized simulated threads of one rt::Machine
+// or by a single host thread (unit tests); both give mutual exclusion by
+// construction.
+#ifndef OZZ_SRC_OEMU_RUNTIME_H_
+#define OZZ_SRC_OEMU_RUNTIME_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/oemu/event.h"
+#include "src/oemu/store_buffer.h"
+#include "src/oemu/store_history.h"
+#include "src/rt/machine.h"
+
+namespace ozz::oemu {
+
+// Memory-ordering strength of a read-modify-write operation; mirrors the
+// Linux kernel's atomic families (value-returning RMWs are fully ordered,
+// *_lock/_unlock variants are acquire/release, plain bitops are relaxed).
+enum class RmwOrder : u8 { kRelaxed, kFull, kAcquire, kRelease };
+
+struct RuntimeOptions {
+  // Honor DelayStoreAt/ReadOldValueAt specs. When false the runtime
+  // performs strictly in-order execution (the store buffer commits
+  // immediately), modelling a conventional concurrency fuzzer.
+  bool reordering_enabled = true;
+};
+
+class Runtime {
+ public:
+  using Options = RuntimeOptions;
+
+  struct Stats {
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 delayed_stores = 0;     // stores parked in the virtual store buffer
+    u64 versioned_load_hits = 0;  // loads that observably read an old value
+    u64 commits = 0;
+    u64 barriers = 0;
+  };
+
+  enum class CheckPhase : u8 {
+    kExecute,  // the instruction ran (in program order)
+    kCommit,   // a delayed store left the buffer and became globally visible
+  };
+  using AccessCheck =
+      std::function<void(uptr addr, u32 size, AccessType type, InstrId instr, CheckPhase phase)>;
+
+  explicit Runtime(Options opts = Options());
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Exactly one runtime may be active at a time; the instrumentation macros
+  // route through it. `machine` may be null for machine-less unit tests.
+  void Activate(rt::Machine* machine);
+  void Deactivate();
+  static Runtime* Active();
+
+  // ---- Control interfaces (Table 2) ----
+  // occurrence == 0 targets every dynamic execution of the instruction;
+  // otherwise only the given 1-based occurrence (counted from the last
+  // OnSyscallEnter on that thread).
+  void DelayStoreAt(ThreadId thread, InstrId instr, u32 occurrence = 0);
+  void ReadOldValueAt(ThreadId thread, InstrId instr, u32 occurrence = 0);
+  void ClearControls(ThreadId thread);
+
+  // ---- Syscall lifecycle (called by executors) ----
+  void OnSyscallEnter(ThreadId thread);  // resets dynamic occurrence counters
+  void OnSyscallExit(ThreadId thread);   // commits all delayed stores
+
+  // ---- Profiling (§4.2) ----
+  void StartRecording(ThreadId thread);
+  Trace StopRecording(ThreadId thread);
+
+  // ---- Access callbacks ----
+  u64 Load(InstrId instr, uptr addr, u32 size, bool annotated);
+  void Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated);
+  u64 LoadAcquire(InstrId instr, uptr addr, u32 size);
+  void StoreRelease(InstrId instr, uptr addr, u32 size, u64 value);
+  // Atomic read-modify-write; returns the old value. `fn` maps old -> new.
+  u64 Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u64, u64), u64 operand);
+  void Barrier(InstrId instr, BarrierType type);
+
+  // Bug-detecting oracle hook (KASAN / null-deref). May throw to unwind the
+  // simulated thread; the runtime keeps its own state consistent.
+  void SetAccessCheck(AccessCheck check) { access_check_ = std::move(check); }
+
+  // Commits all delayed stores of `thread` (interrupt semantics, §3.1).
+  void FlushThread(ThreadId thread);
+
+  // Full-fence semantics without an instrumented call site: commits the
+  // thread's delayed stores, closes its versioning window, and records a
+  // full-barrier event in the trace. Used for operations with internal
+  // locking (e.g. the allocator) so hint calculation sees the boundary.
+  void Fence(ThreadId thread);
+
+  // Drops a thread's buffered stores without committing (crash teardown).
+  void AbandonThread(ThreadId thread);
+
+  // ---- Introspection ----
+  u64 now() const { return clock_; }
+  u64 window_start(ThreadId thread) const;
+  const StoreBuffer& buffer(ThreadId thread) const;
+  const StoreHistory& history() const { return history_; }
+  const Stats& stats() const { return stats_; }
+  bool reordering_enabled() const { return opts_.reordering_enabled; }
+
+  // Thread id the calling context maps to (sim thread id, or the host
+  // pseudo-thread when called outside a machine).
+  static ThreadId CurrentThreadId();
+
+  // Test-only: makes the calling host thread act as `id` (so unit tests can
+  // model "another core" writing memory without spinning up a machine).
+  // Pass kAnyThread to clear. No effect on real simulated threads.
+  static void OverrideThreadForTesting(ThreadId id);
+
+  // ---- Selective instrumentation (§6.3.1 discussion) ----
+  // The paper suggests enabling OEMU only for submodules that rely on
+  // lockless code to recover most of the runtime overhead. This restricts
+  // full emulation to call sites whose source file basename is in `files`
+  // (e.g. {"tls.cc", "watch_queue.cc"}); accesses from other sites take a
+  // raw fast path (no buffering, history, checks, or recording). Pass an
+  // empty set to instrument everything again. Decisions are cached per
+  // instruction.
+  void RestrictInstrumentationToFiles(std::set<std::string> files);
+  bool InstrumentationEnabledFor(InstrId instr);
+
+ private:
+  // Spec: instr -> targeted occurrences; empty set = every occurrence.
+  using Spec = std::unordered_map<InstrId, std::set<u32>>;
+
+  struct ThreadCtx {
+    StoreBuffer buffer;
+    u64 window_start = 0;  // t_rmb of the versioning window (t_rmb, t_cur]
+    Spec delay_store;
+    Spec read_old;
+    std::unordered_map<InstrId, u32> occurrences;
+    bool recording = false;
+    Trace trace;
+    // Per-location coherence floor: the youngest timestamp this thread has
+    // observed (via load) or produced (via commit) per location; versioned
+    // loads never rewind past it. Keyed by start address (accesses in the
+    // simulated kernel are aligned cells).
+    std::unordered_map<uptr, u64> loc_floor;
+  };
+
+  static bool SpecMatches(const Spec& spec, InstrId instr, u32 occurrence);
+
+  ThreadCtx& Ctx(ThreadId thread);
+  const ThreadCtx* FindCtx(ThreadId thread) const;
+
+  // Wraps an access with scheduler notification; returns the dynamic
+  // occurrence index.
+  u32 EnterAccess(ThreadCtx& ctx, InstrId instr);
+  void NotifyScheduler(InstrId instr, rt::SwitchWhen phase);
+
+  void RunCheck(uptr addr, u32 size, AccessType type, InstrId instr, CheckPhase phase);
+  void CommitStore(ThreadId thread, const BufferedStore& s);
+  void FlushLocked(ThreadId thread, ThreadCtx& ctx);
+  void AdvanceWindow(ThreadCtx& ctx) { ctx.window_start = clock_; }
+
+  void RecordAccess(ThreadCtx& ctx, InstrId instr, AccessType type, uptr addr, u32 size,
+                    u64 value, u32 occurrence, bool annotated, bool delayed, bool versioned);
+  void RecordBarrier(ThreadCtx& ctx, InstrId instr, BarrierType type);
+
+  // Byte-assembly of a load result honoring buffer > history > memory.
+  u64 ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 occurrence,
+                bool* versioned_out);
+
+  Options opts_;
+  rt::Machine* machine_ = nullptr;
+  StoreHistory history_;
+  u64 clock_ = 1;
+  std::map<ThreadId, ThreadCtx> ctxs_;
+  AccessCheck access_check_;
+  Stats stats_;
+  // Selective instrumentation: empty = everything instrumented; otherwise a
+  // per-InstrId decision cache over the allowed source files.
+  std::set<std::string> instrumented_files_;
+  std::vector<u8> instr_enabled_;  // 0 = unknown, 1 = enabled, 2 = disabled
+};
+
+}  // namespace ozz::oemu
+
+#endif  // OZZ_SRC_OEMU_RUNTIME_H_

@@ -1,0 +1,54 @@
+#include "src/oemu/store_buffer.h"
+
+#include <utility>
+
+namespace ozz::oemu {
+namespace {
+
+bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
+  return a < b + bsz && b < a + asz;
+}
+
+}  // namespace
+
+bool StoreBuffer::Overlaps(uptr addr, u32 size) const {
+  for (const BufferedStore& s : entries_) {
+    if (RangesOverlap(s.addr, s.size, addr, size)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+u32 StoreBuffer::Forward(uptr addr, u32 size, u8* bytes) const {
+  bool covered[8] = {};
+  // Oldest-to-newest: later entries overwrite earlier ones per byte, so the
+  // newest buffered value of each byte wins.
+  for (const BufferedStore& s : entries_) {
+    if (!RangesOverlap(s.addr, s.size, addr, size)) {
+      continue;
+    }
+    for (u32 i = 0; i < s.size; ++i) {
+      uptr byte_addr = s.addr + i;
+      if (byte_addr >= addr && byte_addr < addr + size) {
+        bytes[byte_addr - addr] = static_cast<u8>(s.value >> (8 * i));
+        covered[byte_addr - addr] = true;
+      }
+    }
+  }
+  u32 forwarded = 0;
+  for (u32 i = 0; i < size && i < 8; ++i) {
+    forwarded += covered[i] ? 1 : 0;
+  }
+  return forwarded;
+}
+
+void StoreBuffer::Drain(const std::function<void(const BufferedStore&)>& commit_one) {
+  std::deque<BufferedStore> pending = std::move(entries_);
+  entries_.clear();
+  for (const BufferedStore& s : pending) {
+    commit_one(s);
+  }
+}
+
+}  // namespace ozz::oemu

@@ -1,0 +1,58 @@
+// Virtual store buffer (§3.1).
+//
+// A per-thread temporary storage holding values of delayed store operations
+// before they are committed to memory. While a value sits in the buffer it is
+// invisible to other simulated CPUs; loads on the owning thread are forwarded
+// from the buffer (newest overlapping store wins, byte-granular), matching
+// the hierarchical search described in "Forwarding values to subsequent
+// loads". Entries commit in FIFO (program) order so per-location coherence is
+// preserved.
+#ifndef OZZ_SRC_OEMU_STORE_BUFFER_H_
+#define OZZ_SRC_OEMU_STORE_BUFFER_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "src/base/ids.h"
+
+namespace ozz::oemu {
+
+struct BufferedStore {
+  InstrId instr = kInvalidInstr;
+  uptr addr = 0;
+  u32 size = 0;  // 1..8 bytes
+  u64 value = 0; // little-endian in the low `size` bytes
+  u32 occurrence = 0;
+};
+
+class StoreBuffer {
+ public:
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  void Push(const BufferedStore& s) { entries_.push_back(s); }
+
+  // True if any pending entry overlaps [addr, addr+size).
+  bool Overlaps(uptr addr, u32 size) const;
+
+  // Overlays the newest buffered value of each byte of [addr, addr+size) onto
+  // `bytes` (which the caller pre-filled from memory/history). Returns the
+  // number of bytes forwarded.
+  u32 Forward(uptr addr, u32 size, u8* bytes) const;
+
+  // Commits all entries in FIFO order through `commit_one`, then clears.
+  void Drain(const std::function<void(const BufferedStore&)>& commit_one);
+
+  // Drops all entries without committing (crash teardown).
+  void Clear() { entries_.clear(); }
+
+  const std::deque<BufferedStore>& entries() const { return entries_; }
+
+ private:
+  std::deque<BufferedStore> entries_;
+};
+
+}  // namespace ozz::oemu
+
+#endif  // OZZ_SRC_OEMU_STORE_BUFFER_H_

@@ -1,0 +1,56 @@
+#include "src/oemu/store_history.h"
+
+namespace ozz::oemu {
+namespace {
+
+bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
+  return a < b + bsz && b < a + asz;
+}
+
+}  // namespace
+
+bool StoreHistory::ValueAsOf(uptr addr, u32 size, u64 as_of, u8* bytes) const {
+  u8 current[8];
+  for (u32 i = 0; i < size; ++i) {
+    current[i] = bytes[i];
+  }
+  // Entries are appended in commit order, so walking backwards visits
+  // newest-first; undoing each commit newer than `as_of` reconstructs the
+  // value the range held at `as_of` (the final value of each byte is the
+  // old_value of the oldest post-`as_of` write touching it).
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const HistoryEntry& e = *it;
+    if (e.timestamp <= as_of) {
+      break;
+    }
+    if (!RangesOverlap(e.addr, e.size, addr, size)) {
+      continue;
+    }
+    for (u32 i = 0; i < e.size; ++i) {
+      uptr byte_addr = e.addr + i;
+      if (byte_addr >= addr && byte_addr < addr + size) {
+        bytes[byte_addr - addr] = static_cast<u8>(e.old_value >> (8 * i));
+      }
+    }
+  }
+  for (u32 i = 0; i < size; ++i) {
+    if (bytes[i] != current[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StoreHistory::ChangedAfter(uptr addr, u32 size, u64 t) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->timestamp <= t) {
+      break;
+    }
+    if (RangesOverlap(it->addr, it->size, addr, size)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ozz::oemu

@@ -1,0 +1,52 @@
+// Store history (§3.2).
+//
+// A global record of how memory values changed in the past. Each committed
+// store appends an entry carrying the written range, the previous bytes it
+// overwrote, and the logical commit timestamp. A *versioned load* with
+// versioning window (t_rmb, t_cur] reconstructs the value a location held at
+// time t_rmb by starting from current memory and undoing, newest-first, every
+// commit that happened after t_rmb.
+#ifndef OZZ_SRC_OEMU_STORE_HISTORY_H_
+#define OZZ_SRC_OEMU_STORE_HISTORY_H_
+
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace ozz::oemu {
+
+struct HistoryEntry {
+  uptr addr = 0;
+  u32 size = 0;      // 1..8
+  u64 old_value = 0; // bytes the store overwrote
+  u64 new_value = 0; // bytes the store wrote
+  u64 timestamp = 0; // logical commit time
+  ThreadId thread = kAnyThread;
+  InstrId instr = kInvalidInstr;
+};
+
+class StoreHistory {
+ public:
+  void Append(const HistoryEntry& e) { entries_.push_back(e); }
+
+  // Rewrites `bytes` (pre-filled with the *current* memory contents of
+  // [addr, addr+size)) to the value the range held at time `as_of`.
+  // Returns true if any byte was rewound (i.e. the range changed after
+  // `as_of`, so the load observably read an old version).
+  bool ValueAsOf(uptr addr, u32 size, u64 as_of, u8* bytes) const;
+
+  // True if any committed store overlapping [addr, addr+size) has a
+  // timestamp strictly greater than `t`.
+  bool ChangedAfter(uptr addr, u32 size, u64 t) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<HistoryEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<HistoryEntry> entries_;  // append-only, timestamp-ordered
+};
+
+}  // namespace ozz::oemu
+
+#endif  // OZZ_SRC_OEMU_STORE_HISTORY_H_

@@ -1,0 +1,61 @@
+// Linux-style atomic bit operations on instrumented cells.
+//
+// Ordering follows the kernel's rules (Documentation/atomic_bitops.txt):
+//   - test_and_set_bit / test_and_clear_bit return a value => fully ordered;
+//   - set_bit / clear_bit are relaxed RMWs (no barrier) — OEMU may therefore
+//     reorder earlier plain stores past them, which is exactly the RDS
+//     custom-lock bug of Figure 8;
+//   - clear_bit_unlock is a release RMW, test_and_set_bit_lock an acquire
+//     RMW — the correct lock-shaped variants.
+#ifndef OZZ_SRC_OSK_BITOPS_H_
+#define OZZ_SRC_OSK_BITOPS_H_
+
+#include "src/oemu/cell.h"
+
+namespace ozz::osk {
+
+inline u64 RmwFnOr(u64 old, u64 operand) { return old | operand; }
+inline u64 RmwFnAndNot(u64 old, u64 operand) { return old & ~operand; }
+inline u64 RmwFnXchg(u64 /*old*/, u64 operand) { return operand; }
+inline u64 RmwFnAdd(u64 old, u64 operand) { return old + operand; }
+
+}  // namespace ozz::osk
+
+// All macros operate on a Cell<u64> and a bit index.
+
+#define OSK_TEST_BIT(cell, bit) (((OSK_READ_ONCE(cell) >> (bit)) & 1ull) != 0)
+
+// Fully ordered; returns the previous bit value.
+#define OSK_TEST_AND_SET_BIT(cell, bit)                                               \
+  (((OSK_RMW((cell), ::ozz::oemu::RmwOrder::kFull, ::ozz::osk::RmwFnOr,               \
+             1ull << (bit)) >>                                                        \
+    (bit)) &                                                                          \
+    1ull) != 0)
+
+#define OSK_TEST_AND_CLEAR_BIT(cell, bit)                                             \
+  (((OSK_RMW((cell), ::ozz::oemu::RmwOrder::kFull, ::ozz::osk::RmwFnAndNot,           \
+             1ull << (bit)) >>                                                        \
+    (bit)) &                                                                          \
+    1ull) != 0)
+
+// Acquire-ordered try-lock shape; returns the previous bit value.
+#define OSK_TEST_AND_SET_BIT_LOCK(cell, bit)                                          \
+  (((OSK_RMW((cell), ::ozz::oemu::RmwOrder::kAcquire, ::ozz::osk::RmwFnOr,            \
+             1ull << (bit)) >>                                                        \
+    (bit)) &                                                                          \
+    1ull) != 0)
+
+// Relaxed: no ordering against surrounding accesses.
+#define OSK_SET_BIT(cell, bit) \
+  ((void)OSK_RMW((cell), ::ozz::oemu::RmwOrder::kRelaxed, ::ozz::osk::RmwFnOr, 1ull << (bit)))
+
+#define OSK_CLEAR_BIT(cell, bit)                                                      \
+  ((void)OSK_RMW((cell), ::ozz::oemu::RmwOrder::kRelaxed, ::ozz::osk::RmwFnAndNot,    \
+                 1ull << (bit)))
+
+// Release-ordered: all prior accesses complete before the bit clears.
+#define OSK_CLEAR_BIT_UNLOCK(cell, bit)                                               \
+  ((void)OSK_RMW((cell), ::ozz::oemu::RmwOrder::kRelease, ::ozz::osk::RmwFnAndNot,    \
+                 1ull << (bit)))
+
+#endif  // OZZ_SRC_OSK_BITOPS_H_

@@ -1,0 +1,76 @@
+#include "src/osk/kalloc.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace ozz::osk {
+
+Kalloc::Kalloc(std::size_t arena_bytes) : arena_(new u8[arena_bytes]) {
+  arena_begin_ = reinterpret_cast<uptr>(arena_.get());
+  arena_end_ = arena_begin_ + arena_bytes;
+  cursor_ = arena_begin_;
+  // Pre-poison the arena so redzone reads return recognizable garbage.
+  std::memset(arena_.get(), kFreePoison, arena_bytes);
+}
+
+void* Kalloc::Alloc(std::size_t size, const char* site, bool zero) {
+  OZZ_CHECK(size > 0);
+  uptr start = (cursor_ + kRedzone + kAlign - 1) & ~(kAlign - 1);
+  uptr end = start + size + kRedzone;
+  if (end > arena_end_) {
+    return nullptr;
+  }
+  cursor_ = end;
+  Object obj;
+  obj.addr = start;
+  obj.size = size;
+  obj.live = true;
+  obj.alloc_site = site;
+  objects_[start] = std::move(obj);
+  ++live_objects_;
+  if (zero) {
+    std::memset(reinterpret_cast<void*>(start), 0, size);
+  }
+  return reinterpret_cast<void*>(start);
+}
+
+Kalloc::FreeResult Kalloc::Free(void* ptr, const char* site) {
+  uptr addr = reinterpret_cast<uptr>(ptr);
+  auto it = objects_.find(addr);
+  if (it == objects_.end()) {
+    return FreeResult::kInvalid;
+  }
+  Object& obj = it->second;
+  if (!obj.live) {
+    return FreeResult::kDoubleFree;
+  }
+  obj.live = false;
+  obj.free_site = site;
+  --live_objects_;
+  // Quarantine: the range stays tracked (and never reused — the arena is a
+  // bump allocator) so later accesses classify as kFreed. Poison the bytes
+  // so loads of freed memory yield recognizable values.
+  std::memset(ptr, kFreePoison, obj.size);
+  return FreeResult::kOk;
+}
+
+AddrClass Kalloc::Classify(uptr addr, const Object** obj_out) const {
+  if (!InArena(addr)) {
+    return AddrClass::kUntracked;
+  }
+  auto it = objects_.upper_bound(addr);
+  if (it != objects_.begin()) {
+    --it;
+    const Object& obj = it->second;
+    if (addr >= obj.addr && addr < obj.addr + obj.size) {
+      if (obj_out != nullptr) {
+        *obj_out = &obj;
+      }
+      return obj.live ? AddrClass::kValid : AddrClass::kFreed;
+    }
+  }
+  return AddrClass::kRedzone;
+}
+
+}  // namespace ozz::osk

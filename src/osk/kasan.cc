@@ -1,0 +1,121 @@
+#include "src/osk/kasan.h"
+
+#include <sstream>
+#include <vector>
+
+#include "src/oemu/instr.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr uptr kNullPageLimit = 4096;
+
+thread_local std::vector<const char*> tls_fn_stack;
+
+bool LooksPoisoned(uptr ptr) {
+  // A pointer read out of kFreePoison-filled memory.
+  return ptr == static_cast<uptr>(kPoisonPointer) ||
+         (ptr & 0xffffffffull) == 0x6b6b6b6bull;
+}
+
+}  // namespace
+
+FunctionContext::FunctionContext(const char* name) { tls_fn_stack.push_back(name); }
+
+FunctionContext::~FunctionContext() { tls_fn_stack.pop_back(); }
+
+const char* FunctionContext::Current() {
+  return tls_fn_stack.empty() ? nullptr : tls_fn_stack.back();
+}
+
+void Kasan::Check(uptr addr, u32 size, oemu::AccessType type, InstrId instr,
+                  oemu::Runtime::CheckPhase phase) {
+  const Kalloc::Object* obj = nullptr;
+  AddrClass cls = alloc_->Classify(addr, &obj);
+  if (cls == AddrClass::kUntracked || cls == AddrClass::kValid) {
+    // Check the last byte too: an access straddling the object end is OOB.
+    if (cls == AddrClass::kValid && size > 1) {
+      AddrClass end_cls = alloc_->Classify(addr + size - 1);
+      if (end_cls == AddrClass::kValid || end_cls == AddrClass::kUntracked) {
+        return;
+      }
+      cls = end_cls;
+    } else {
+      return;
+    }
+  }
+
+  const char* rw = type == oemu::AccessType::kStore ? "Write" : "Read";
+  const char* fn = FunctionContext::Current();
+  std::ostringstream where;
+  if (fn != nullptr) {
+    where << "in " << fn;
+  } else {
+    where << "at " << oemu::InstrRegistry::Describe(instr);
+  }
+  std::ostringstream title;
+  std::ostringstream detail;
+  OopsReport report;
+  report.instr = instr;
+  report.addr = addr;
+  if (cls == AddrClass::kFreed) {
+    report.kind = OopsKind::kKasanUaf;
+    title << "KASAN: slab-use-after-free " << rw << " " << where.str();
+    detail << "object allocated at " << (obj != nullptr ? obj->alloc_site : "?") << ", freed at "
+           << (obj != nullptr ? obj->free_site : "?");
+    if (phase == oemu::Runtime::CheckPhase::kCommit) {
+      detail << "; delayed store committed after the object was freed";
+    }
+  } else {
+    report.kind = OopsKind::kKasanOob;
+    title << "KASAN: slab-out-of-bounds " << rw << " " << where.str();
+    detail << "access of size " << size << " outside any live object";
+  }
+  report.title = title.str();
+  report.detail = detail.str();
+  raise_(std::move(report));
+}
+
+void Kasan::CheckPointerWrite(uptr ptr, const char* context) {
+  if (ptr < kNullPageLimit) {
+    OopsReport report;
+    report.addr = ptr;
+    report.kind = OopsKind::kKasanNullPtrWrite;
+    report.title = std::string("KASAN: null-ptr-deref Write in ") + context;
+    report.detail = "write through a null pointer";
+    raise_(std::move(report));
+    return;
+  }
+  CheckPointer(ptr, context);
+}
+
+void Kasan::CheckPointer(uptr ptr, const char* context) {
+  if (ptr >= kNullPageLimit && !LooksPoisoned(ptr)) {
+    const Kalloc::Object* obj = nullptr;
+    if (alloc_->Classify(ptr, &obj) == AddrClass::kFreed) {
+      OopsReport report;
+      report.kind = OopsKind::kKasanUaf;
+      report.addr = ptr;
+      report.title = std::string("KASAN: slab-use-after-free Read in ") + context;
+      report.detail = std::string("pointer into freed object; allocated at ") +
+                      (obj != nullptr ? obj->alloc_site : "?");
+      raise_(std::move(report));
+    }
+    return;
+  }
+  OopsReport report;
+  report.addr = ptr;
+  if (ptr < kNullPageLimit) {
+    report.kind = OopsKind::kNullDeref;
+    report.title =
+        std::string("BUG: unable to handle kernel NULL pointer dereference in ") + context;
+    report.detail = "dereference of a null (or null-page) pointer";
+  } else {
+    report.kind = OopsKind::kGeneralProtection;
+    report.title = std::string("general protection fault in ") + context;
+    report.detail = "dereference of a poisoned pointer (use-after-free pattern)";
+  }
+  raise_(std::move(report));
+}
+
+}  // namespace ozz::osk

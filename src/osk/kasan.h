@@ -1,0 +1,66 @@
+// KASAN-style dynamic memory-safety oracle.
+//
+// Installed as the OEMU access-check hook: every instrumented load/store is
+// classified against the allocator's object map at execute time, and every
+// delayed store again at commit time (a store that was legal when the
+// instruction ran may land in freed memory once reordered — the in-vivo
+// advantage of §3). Null and wild pointers are reported with the kernel's
+// oops titles rather than KASAN titles, mirroring how Linux reports them.
+#ifndef OZZ_SRC_OSK_KASAN_H_
+#define OZZ_SRC_OSK_KASAN_H_
+
+#include <functional>
+#include <string>
+
+#include "src/oemu/event.h"
+#include "src/oemu/runtime.h"
+#include "src/osk/kalloc.h"
+#include "src/osk/oops.h"
+
+namespace ozz::osk {
+
+// RAII marker naming the kernel function currently executing on this thread;
+// KASAN reports use it for their "... in <function>" titles, like the real
+// KASAN symbolizes the faulting frame. Nestable.
+class FunctionContext {
+ public:
+  explicit FunctionContext(const char* name);
+  ~FunctionContext();
+
+  FunctionContext(const FunctionContext&) = delete;
+  FunctionContext& operator=(const FunctionContext&) = delete;
+
+  // Innermost context of the calling thread, or nullptr.
+  static const char* Current();
+};
+
+class Kasan {
+ public:
+  using RaiseFn = std::function<void(OopsReport)>;  // must not return
+
+  Kasan(const Kalloc* alloc, RaiseFn raise) : alloc_(alloc), raise_(std::move(raise)) {}
+
+  // OEMU access-check hook; raises an oops (does not return) on a violation.
+  void Check(uptr addr, u32 size, oemu::AccessType type, InstrId instr,
+             oemu::Runtime::CheckPhase phase);
+
+  // Explicit pointer validation used by subsystems before dereferencing a
+  // pointer obtained from shared state. `context` is the function name used
+  // in the crash title ("... NULL pointer dereference in <context>").
+  void CheckPointer(uptr ptr, const char* context);
+
+  // Same, but for a pointer about to be written through; a null pointer
+  // reports as "KASAN: null-ptr-deref Write in <context>" (Table 3 Bug #10).
+  void CheckPointerWrite(uptr ptr, const char* context);
+
+  u64 reports_suppressed_after_first() const { return suppressed_; }
+
+ private:
+  const Kalloc* alloc_;
+  RaiseFn raise_;
+  u64 suppressed_ = 0;
+};
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_KASAN_H_

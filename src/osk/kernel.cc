@@ -1,0 +1,205 @@
+#include "src/osk/kernel.h"
+
+#include <exception>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace ozz::osk {
+
+Kernel::Kernel(KernelConfig config) : config_(std::move(config)) {
+  lockdep_ = std::make_unique<Lockdep>([this](OopsReport r) { RaiseOops(std::move(r)); });
+  kasan_ = std::make_unique<Kasan>(&alloc_, [this](OopsReport r) { RaiseOops(std::move(r)); });
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::Attach(rt::Machine* machine, oemu::Runtime* runtime) {
+  machine_ = machine;
+  runtime_ = runtime;
+  if (runtime_ != nullptr) {
+    runtime_->SetAccessCheck([this](uptr addr, u32 size, oemu::AccessType type, InstrId instr,
+                                    oemu::Runtime::CheckPhase phase) {
+      kasan_->Check(addr, size, type, instr, phase);
+    });
+  }
+}
+
+// kmalloc/kfree acquire slab locks internally; the acquire/release pair
+// drains the calling CPU's store buffer and closes its versioning window, so
+// the allocator behaves as a fence — no delayed store ever crosses its own
+// thread's allocator call (which would otherwise let a store commit into
+// memory the same thread freed, a behaviour real spinlock-protected
+// allocators exclude).
+void Kernel::AllocatorFence() {
+  if (runtime_ != nullptr && oemu::Runtime::Active() == runtime_) {
+    runtime_->Fence(oemu::Runtime::CurrentThreadId());
+  }
+}
+
+void* Kernel::KmAllocUninit(std::size_t size, const char* site) {
+  AllocatorFence();
+  void* p = alloc_.Alloc(size, site, /*zero=*/false);
+  if (p == nullptr) {
+    OopsReport report;
+    report.kind = OopsKind::kAssert;
+    report.title = "kernel arena exhausted";
+    report.detail = site;
+    RaiseOops(std::move(report));
+    OZZ_CHECK_MSG(false, "arena exhausted during unwind");
+  }
+  return p;
+}
+
+void* Kernel::KmAlloc(std::size_t size, const char* site) {
+  AllocatorFence();
+  void* p = alloc_.Alloc(size, site);
+  if (p == nullptr) {
+    OopsReport report;
+    report.kind = OopsKind::kAssert;
+    report.title = "kernel arena exhausted";
+    report.detail = site;
+    RaiseOops(std::move(report));
+    OZZ_CHECK_MSG(false, "arena exhausted during unwind");
+  }
+  return p;
+}
+
+void Kernel::KmFree(void* ptr, const char* site) {
+  AllocatorFence();
+  switch (alloc_.Free(ptr, site)) {
+    case Kalloc::FreeResult::kOk:
+      return;
+    case Kalloc::FreeResult::kDoubleFree: {
+      OopsReport report;
+      report.kind = OopsKind::kDoubleFree;
+      report.title = std::string("BUG: double free detected in ") + site;
+      report.addr = reinterpret_cast<uptr>(ptr);
+      RaiseOops(std::move(report));
+      return;
+    }
+    case Kalloc::FreeResult::kInvalid: {
+      OopsReport report;
+      report.kind = OopsKind::kGeneralProtection;
+      report.title = std::string("BUG: bad kfree in ") + site;
+      report.addr = reinterpret_cast<uptr>(ptr);
+      RaiseOops(std::move(report));
+      return;
+    }
+  }
+}
+
+void Kernel::RaiseOops(OopsReport report) {
+  report.thread = oemu::Runtime::CurrentThreadId();
+  if (std::uncaught_exceptions() > 0) {
+    // Raised from a destructor while an exception is unwinding; record the
+    // first crash but do not throw a second exception.
+    if (!crash_.has_value()) {
+      crash_ = std::move(report);
+    }
+    return;
+  }
+  if (!crash_.has_value()) {
+    crash_ = report;
+    OZZ_LOG(Debug) << "oops: " << report.title;
+    if (machine_ != nullptr && rt::Machine::CurrentThread() != nullptr) {
+      machine_->KillOthers();
+    }
+    if (runtime_ != nullptr) {
+      runtime_->AbandonThread(report.thread);
+    }
+    lockdep_->AbandonThread(report.thread);
+  }
+  throw OopsException{std::move(report)};
+}
+
+void Kernel::BugOn(bool cond, const char* what) {
+  if (!cond) {
+    return;
+  }
+  OopsReport report;
+  report.kind = OopsKind::kAssert;
+  report.title = std::string("kernel BUG at ") + what;
+  RaiseOops(std::move(report));
+}
+
+long Kernel::Invoke(const SyscallDesc& desc, const std::vector<i64>& args) {
+  if (crashed()) {
+    return kEIO;
+  }
+  ThreadId tid = oemu::Runtime::CurrentThreadId();
+  if (runtime_ != nullptr) {
+    runtime_->OnSyscallEnter(tid);
+  }
+  long ret;
+  try {
+    ret = desc.fn(*this, args);
+  } catch (const OopsException&) {
+    ret = kEFault;
+  }
+  if (runtime_ != nullptr && !crashed()) {
+    // Returning to userspace drains the virtual store buffer (§3.1: the
+    // buffer commits on interrupts, and a syscall return is one). A delayed
+    // store committing into memory freed meanwhile is itself a detectable
+    // OOO bug, so the flush may oops.
+    try {
+      runtime_->OnSyscallExit(tid);
+    } catch (const OopsException&) {
+      ret = kEFault;
+    }
+  }
+  return ret;
+}
+
+long Kernel::InvokeByName(std::string_view name, const std::vector<i64>& args) {
+  const SyscallDesc* desc = table_.Find(name);
+  if (desc == nullptr) {
+    return kENoEnt;
+  }
+  return Invoke(*desc, args);
+}
+
+i64 Kernel::RegisterResource(const std::string& type, void* obj) {
+  std::vector<void*>& v = resources_[type];
+  v.push_back(obj);
+  return static_cast<i64>(v.size() - 1);
+}
+
+void* Kernel::GetResource(const std::string& type, i64 handle) const {
+  auto it = resources_.find(type);
+  if (it == resources_.end() || handle < 0 ||
+      static_cast<std::size_t>(handle) >= it->second.size()) {
+    return nullptr;
+  }
+  return it->second[static_cast<std::size_t>(handle)];
+}
+
+std::size_t Kernel::ResourceCount(const std::string& type) const {
+  auto it = resources_.find(type);
+  return it == resources_.end() ? 0 : it->second.size();
+}
+
+void Kernel::Install(std::unique_ptr<Subsystem> subsystem) {
+  subsystem->Init(*this);
+  subsystems_.push_back(std::move(subsystem));
+}
+
+Subsystem* Kernel::Find(std::string_view name) {
+  for (auto& s : subsystems_) {
+    if (name == s->name()) {
+      return s.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Kernel::SubsystemNames() const {
+  std::vector<std::string> names;
+  names.reserve(subsystems_.size());
+  for (const auto& s : subsystems_) {
+    names.emplace_back(s->name());
+  }
+  return names;
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,166 @@
+// The simulated kernel (osk = "operating system kernel", the substrate the
+// paper instruments).
+//
+// A Kernel owns the allocator, the bug-detecting oracles (KASAN, lockdep,
+// assertions, hung-task), the syscall table, the generic resource registry
+// (file-descriptor-like handles), and the installed subsystems. It wires the
+// oracles into the active OEMU runtime via the access-check hook and raises
+// OopsExceptions on malfunction, exactly the oracle surface OZZ relies on in
+// §4.4.
+//
+// Per KernelConfig, each subsystem is built either in its historical *buggy*
+// form (memory barrier missing — the form OZZ hunts) or its *fixed* form
+// (patch applied), which is how the reproduction "reverts patches" for the
+// Table 4 experiments.
+#ifndef OZZ_SRC_OSK_KERNEL_H_
+#define OZZ_SRC_OSK_KERNEL_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/oemu/runtime.h"
+#include "src/osk/kalloc.h"
+#include "src/osk/kasan.h"
+#include "src/osk/lockdep.h"
+#include "src/osk/oops.h"
+#include "src/osk/syscall.h"
+#include "src/rt/machine.h"
+
+namespace ozz::osk {
+
+class Kernel;
+
+// A kernel subsystem: owns its state and registers its syscalls.
+class Subsystem {
+ public:
+  virtual ~Subsystem() = default;
+  virtual const char* name() const = 0;
+  // Called once at install time; allocate state and register syscalls.
+  virtual void Init(Kernel& kernel) = 0;
+};
+
+struct KernelConfig {
+  // Subsystems whose missing-barrier patch is applied. Everything else is
+  // built in its historical buggy form.
+  std::set<std::string> fixed;
+  // Forces per-CPU slot resolution to CPU 0, emulating the thread migration
+  // required by the MQ/sbitmap bug (§6.2's "manual modification").
+  bool percpu_migration_hack = false;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig config = {});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Wires the KASAN hook into `runtime` and remembers `machine` for crash
+  // teardown. Either may be null (e.g. uninstrumented benchmarks).
+  void Attach(rt::Machine* machine, oemu::Runtime* runtime);
+
+  const KernelConfig& config() const { return config_; }
+  bool IsFixed(std::string_view subsystem) const {
+    return config_.fixed.count(std::string(subsystem)) > 0;
+  }
+
+  Kalloc& alloc() { return alloc_; }
+  Kasan& kasan() { return *kasan_; }
+  Lockdep& lockdep() { return *lockdep_; }
+  SyscallTable& table() { return table_; }
+  const SyscallTable& table() const { return table_; }
+  rt::Machine* machine() { return machine_; }
+  oemu::Runtime* runtime() { return runtime_; }
+
+  // ---- Allocation helpers ----
+  // Allocator calls fence the calling thread's store buffer (the real
+  // allocator's internal locking does the same); see kernel.cc.
+  void AllocatorFence();
+  void* KmAlloc(std::size_t size, const char* site);
+  // kmalloc without __GFP_ZERO: contents are the arena poison pattern, so a
+  // published-before-initialized field reads back as a wild pointer (the
+  // general-protection-fault bug class, Table 3 Bug #3).
+  void* KmAllocUninit(std::size_t size, const char* site);
+  void KmFree(void* ptr, const char* site);
+
+  template <typename T, typename... Args>
+  T* New(const char* site, Args&&... args) {
+    void* mem = KmAlloc(sizeof(T), site);
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+  template <typename T>
+  void Delete(T* ptr, const char* site) {
+    if (ptr != nullptr) {
+      ptr->~T();
+      KmFree(ptr, site);
+    }
+  }
+
+  // ---- Oracles ----
+  // Records the first crash, tears down the machine's other threads, and
+  // throws OopsException to unwind the caller. Exception: when invoked while
+  // another exception is already unwinding (a destructor touching shared
+  // state), it suppresses the report and returns instead of terminating.
+  void RaiseOops(OopsReport report);
+
+  // Validates a pointer loaded from shared state before it is dereferenced;
+  // raises the appropriate oops (null-deref / GPF / UAF) if invalid.
+  template <typename T>
+  T* Deref(T* ptr, const char* context) {
+    kasan_->CheckPointer(reinterpret_cast<uptr>(ptr), context);
+    return ptr;
+  }
+
+  // Deref variant for a pointer about to be written through.
+  template <typename T>
+  T* DerefWrite(T* ptr, const char* context) {
+    kasan_->CheckPointerWrite(reinterpret_cast<uptr>(ptr), context);
+    return ptr;
+  }
+
+  // Kernel BUG_ON: raises an assertion oops when `cond` is true.
+  void BugOn(bool cond, const char* what);
+
+  bool crashed() const { return crash_.has_value(); }
+  const OopsReport* crash() const { return crash_ ? &*crash_ : nullptr; }
+
+  // ---- Syscall dispatch ----
+  long Invoke(const SyscallDesc& desc, const std::vector<i64>& args);
+  long InvokeByName(std::string_view name, const std::vector<i64>& args);
+
+  // ---- Resource registry (fd-like handles) ----
+  i64 RegisterResource(const std::string& type, void* obj);
+  void* GetResource(const std::string& type, i64 handle) const;
+  std::size_t ResourceCount(const std::string& type) const;
+
+  // ---- Subsystems ----
+  void Install(std::unique_ptr<Subsystem> subsystem);
+  Subsystem* Find(std::string_view name);
+  std::vector<std::string> SubsystemNames() const;
+
+ private:
+  KernelConfig config_;
+  Kalloc alloc_;
+  std::unique_ptr<Kasan> kasan_;
+  std::unique_ptr<Lockdep> lockdep_;
+  SyscallTable table_;
+  rt::Machine* machine_ = nullptr;
+  oemu::Runtime* runtime_ = nullptr;
+  std::optional<OopsReport> crash_;
+  std::map<std::string, std::vector<void*>> resources_;
+  std::vector<std::unique_ptr<Subsystem>> subsystems_;
+};
+
+// Installs the full default subsystem set (all bug scenarios).
+void InstallDefaultSubsystems(Kernel& kernel);
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_KERNEL_H_

@@ -1,0 +1,67 @@
+#include "src/osk/lockdep.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace ozz::osk {
+
+LockClassId Lockdep::RegisterClass(std::string name) {
+  class_names_.push_back(std::move(name));
+  return static_cast<LockClassId>(class_names_.size() - 1);
+}
+
+const std::string& Lockdep::ClassName(LockClassId id) const {
+  OZZ_CHECK(id < class_names_.size());
+  return class_names_[id];
+}
+
+void Lockdep::OnAcquire(ThreadId thread, LockClassId cls) {
+  std::vector<LockClassId>& held = held_[thread];
+  if (std::find(held.begin(), held.end(), cls) != held.end()) {
+    OopsReport report;
+    report.kind = OopsKind::kLockdep;
+    report.thread = thread;
+    report.title = "possible recursive locking detected on " + ClassName(cls);
+    raise_(std::move(report));
+    return;
+  }
+  for (LockClassId prior : held) {
+    // Edge prior -> cls; a known cls -> prior edge closes a cycle.
+    auto it = order_.find(cls);
+    if (it != order_.end() && it->second.count(prior) > 0) {
+      std::ostringstream title;
+      title << "possible circular locking dependency: " << ClassName(prior) << " -> "
+            << ClassName(cls);
+      OopsReport report;
+      report.kind = OopsKind::kLockdep;
+      report.thread = thread;
+      report.title = title.str();
+      raise_(std::move(report));
+      return;
+    }
+    order_[prior].insert(cls);
+  }
+  held.push_back(cls);
+}
+
+void Lockdep::OnRelease(ThreadId thread, LockClassId cls) {
+  std::vector<LockClassId>& held = held_[thread];
+  auto it = std::find(held.begin(), held.end(), cls);
+  if (it != held.end()) {
+    held.erase(it);
+  }
+}
+
+void Lockdep::AbandonThread(ThreadId thread) { held_.erase(thread); }
+
+bool Lockdep::Holding(ThreadId thread, LockClassId cls) const {
+  auto it = held_.find(thread);
+  if (it == held_.end()) {
+    return false;
+  }
+  return std::find(it->second.begin(), it->second.end(), cls) != it->second.end();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,53 @@
+// lockdep-lite: runtime lock-ordering validator (the paper uses Linux's
+// lockdep as one of its bug-detecting oracles, §4.4).
+//
+// Tracks the per-thread set of held lock classes and the global acquisition
+// order graph. Acquiring class B while holding class A records the edge
+// A -> B; if the reverse edge is already known, a circular-dependency oops is
+// raised. Also detects self-recursion on a class.
+#ifndef OZZ_SRC_OSK_LOCKDEP_H_
+#define OZZ_SRC_OSK_LOCKDEP_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/osk/oops.h"
+
+namespace ozz::osk {
+
+using LockClassId = u32;
+
+class Lockdep {
+ public:
+  using RaiseFn = std::function<void(OopsReport)>;
+
+  explicit Lockdep(RaiseFn raise) : raise_(std::move(raise)) {}
+
+  LockClassId RegisterClass(std::string name);
+  const std::string& ClassName(LockClassId id) const;
+
+  // Called by lock implementations around acquisition/release.
+  void OnAcquire(ThreadId thread, LockClassId cls);
+  void OnRelease(ThreadId thread, LockClassId cls);
+
+  // Drops all bookkeeping for a thread (crash teardown).
+  void AbandonThread(ThreadId thread);
+
+  bool Holding(ThreadId thread, LockClassId cls) const;
+
+ private:
+  RaiseFn raise_;
+  std::vector<std::string> class_names_;
+  // held locks per thread, in acquisition order
+  std::map<ThreadId, std::vector<LockClassId>> held_;
+  // order edges: a -> {b}: some thread acquired b while holding a
+  std::map<LockClassId, std::set<LockClassId>> order_;
+};
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_LOCKDEP_H_

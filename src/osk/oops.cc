@@ -1,0 +1,31 @@
+#include "src/osk/oops.h"
+
+namespace ozz::osk {
+
+const char* OopsKindName(OopsKind kind) {
+  switch (kind) {
+    case OopsKind::kNullDeref:
+      return "null-deref";
+    case OopsKind::kGeneralProtection:
+      return "general-protection";
+    case OopsKind::kKasanUaf:
+      return "kasan-uaf";
+    case OopsKind::kKasanOob:
+      return "kasan-oob";
+    case OopsKind::kKasanNullPtrWrite:
+      return "kasan-null-ptr-write";
+    case OopsKind::kDoubleFree:
+      return "double-free";
+    case OopsKind::kLockdep:
+      return "lockdep";
+    case OopsKind::kHungTask:
+      return "hung-task";
+    case OopsKind::kAssert:
+      return "assert";
+    case OopsKind::kDataCorruption:
+      return "data-corruption";
+  }
+  return "?";
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,51 @@
+// Kernel crash (oops) model.
+//
+// Bug-detecting oracles of the simulated kernel — the KASAN-style shadow
+// checker, the null-pointer dereference check, lockdep, hung-task detection
+// and explicit kernel assertions — all funnel into an OopsReport. Raising an
+// oops unwinds the offending simulated thread with an OopsException (the
+// reproduction's kernel panic), kills the remaining simulated threads, and
+// leaves the report on the Kernel for the fuzzer to collect. Crash titles
+// mirror the syzkaller-style titles of Table 3.
+#ifndef OZZ_SRC_OSK_OOPS_H_
+#define OZZ_SRC_OSK_OOPS_H_
+
+#include <string>
+
+#include "src/base/ids.h"
+
+namespace ozz::osk {
+
+enum class OopsKind : u8 {
+  kNullDeref,       // BUG: unable to handle kernel NULL pointer dereference
+  kGeneralProtection,  // general protection fault (wild/poisoned pointer)
+  kKasanUaf,        // KASAN: use-after-free
+  kKasanOob,        // KASAN: slab-out-of-bounds
+  kKasanNullPtrWrite,  // KASAN: null-ptr-deref Write
+  kDoubleFree,      // double free detected by the allocator
+  kLockdep,         // possible circular locking dependency
+  kHungTask,        // INFO: task hung (lost wakeup / deadlock)
+  kAssert,          // kernel BUG_ON / assertion failure
+  kDataCorruption,  // consistency check failed (wrong value observed)
+};
+
+const char* OopsKindName(OopsKind kind);
+
+struct OopsReport {
+  OopsKind kind = OopsKind::kAssert;
+  std::string title;     // dedup key, e.g. "BUG: ... NULL pointer dereference in tls_setsockopt"
+  std::string detail;    // free-form context for the human report
+  InstrId instr = kInvalidInstr;  // offending access, when known
+  ThreadId thread = kAnyThread;
+  uptr addr = 0;
+};
+
+// Thrown to unwind a simulated thread after an oops. Executors catch it at
+// the syscall boundary; it never escapes to the host.
+struct OopsException {
+  OopsReport report;
+};
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_OOPS_H_

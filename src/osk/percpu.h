@@ -1,0 +1,46 @@
+// Per-CPU variables.
+//
+// PerCpu<T> keeps one slot per simulated CPU. this_cpu() resolves through the
+// CPU the calling simulated thread is pinned to. The MQ/sbitmap bug of
+// Table 4 (#6) depends on *thread migration* — two threads resolving the same
+// slot and then running on different CPUs — which OZZ's pinned threads cannot
+// produce (§6.2); KernelConfig::percpu_migration_hack reproduces the paper's
+// manual verification by forcing every thread onto slot 0.
+#ifndef OZZ_SRC_OSK_PERCPU_H_
+#define OZZ_SRC_OSK_PERCPU_H_
+
+#include <array>
+
+#include "src/oemu/cell.h"
+#include "src/rt/machine.h"
+
+namespace ozz::osk {
+
+inline constexpr int kMaxCpus = 8;
+
+inline CpuId CurrentCpu() {
+  rt::SimThread* t = rt::Machine::CurrentThread();
+  return t != nullptr ? t->cpu() : 0;
+}
+
+template <typename T>
+class PerCpu {
+ public:
+  oemu::Cell<T>& on_cpu(CpuId cpu) { return slots_[static_cast<std::size_t>(cpu) % kMaxCpus]; }
+  const oemu::Cell<T>& on_cpu(CpuId cpu) const {
+    return slots_[static_cast<std::size_t>(cpu) % kMaxCpus];
+  }
+
+  // Slot of the calling thread's CPU; `force_cpu0` models a thread that
+  // resolved the slot address before being migrated (§6.2 manual check).
+  oemu::Cell<T>& this_cpu(bool force_cpu0 = false) {
+    return on_cpu(force_cpu0 ? 0 : CurrentCpu());
+  }
+
+ private:
+  std::array<oemu::Cell<T>, kMaxCpus> slots_{};
+};
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_PERCPU_H_

@@ -1,0 +1,91 @@
+// Instrumented spinlock with lockdep and hung-task oracles.
+//
+// Built on the acquire/release bitops so OEMU sees (and correctly refuses to
+// reorder across) its ordering: test_and_set_bit_lock is an acquire RMW and
+// clear_bit_unlock a release RMW. Contended acquisition yields to the
+// scheduler; a bounded spin that never succeeds raises a hung-task oops —
+// the denial-of-service symptom class of OOO bugs ([8] in the paper).
+#ifndef OZZ_SRC_OSK_SPINLOCK_H_
+#define OZZ_SRC_OSK_SPINLOCK_H_
+
+#include "src/oemu/cell.h"
+#include "src/osk/bitops.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+
+  // Registers a lockdep class; call once after construction.
+  void InitClass(Kernel& kernel, const char* name) {
+    cls_ = kernel.lockdep().RegisterClass(name);
+    cls_valid_ = true;
+  }
+
+  void Lock(Kernel& kernel) {
+    ThreadId tid = oemu::Runtime::CurrentThreadId();
+    if (cls_valid_) {
+      kernel.lockdep().OnAcquire(tid, cls_);
+    }
+    for (int spins = 0; spins < kSpinBound; ++spins) {
+      if (!OSK_TEST_AND_SET_BIT_LOCK(word_, 0)) {
+        return;
+      }
+      rt::Machine* m = rt::Machine::Current();
+      if (m == nullptr || !m->Yield()) {
+        // Nobody else can release the lock: self-deadlock / lost unlock.
+        break;
+      }
+    }
+    OopsReport report;
+    report.kind = OopsKind::kHungTask;
+    report.title = "INFO: task hung acquiring spinlock";
+    kernel.RaiseOops(std::move(report));
+  }
+
+  bool TryLock(Kernel& kernel) {
+    if (OSK_TEST_AND_SET_BIT_LOCK(word_, 0)) {
+      return false;
+    }
+    if (cls_valid_) {
+      kernel.lockdep().OnAcquire(oemu::Runtime::CurrentThreadId(), cls_);
+    }
+    return true;
+  }
+
+  void Unlock(Kernel& kernel) {
+    if (cls_valid_) {
+      kernel.lockdep().OnRelease(oemu::Runtime::CurrentThreadId(), cls_);
+    }
+    OSK_CLEAR_BIT_UNLOCK(word_, 0);
+  }
+
+ private:
+  static constexpr int kSpinBound = 256;
+
+  oemu::Cell<u64> word_{0};
+  LockClassId cls_ = 0;
+  bool cls_valid_ = false;
+};
+
+// RAII guard for scoped critical sections.
+class SpinGuard {
+ public:
+  SpinGuard(Kernel& kernel, SpinLock& lock) : kernel_(kernel), lock_(lock) {
+    lock_.Lock(kernel_);
+  }
+  ~SpinGuard() { lock_.Unlock(kernel_); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Kernel& kernel_;
+  SpinLock& lock_;
+};
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SPINLOCK_H_

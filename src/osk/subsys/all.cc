@@ -1,0 +1,43 @@
+// Default subsystem set: every bug scenario of Tables 3 and 4.
+#include "src/osk/kernel.h"
+#include "src/osk/subsys/bpf_sockmap.h"
+#include "src/osk/subsys/buffer_head.h"
+#include "src/osk/subsys/fs_fdtable.h"
+#include "src/osk/subsys/gsm.h"
+#include "src/osk/subsys/mq_sbitmap.h"
+#include "src/osk/subsys/nbd.h"
+#include "src/osk/subsys/rdma.h"
+#include "src/osk/subsys/rds.h"
+#include "src/osk/subsys/ringbuf.h"
+#include "src/osk/subsys/smc.h"
+#include "src/osk/subsys/synthetic.h"
+#include "src/osk/subsys/tls.h"
+#include "src/osk/subsys/unix_sock.h"
+#include "src/osk/subsys/vlan.h"
+#include "src/osk/subsys/vmci.h"
+#include "src/osk/subsys/watch_queue.h"
+#include "src/osk/subsys/xsk.h"
+
+namespace ozz::osk {
+
+void InstallDefaultSubsystems(Kernel& kernel) {
+  kernel.Install(MakeWatchQueueSubsystem());
+  kernel.Install(MakeTlsSubsystem());
+  kernel.Install(MakeRdsSubsystem());
+  kernel.Install(MakeXskSubsystem());
+  kernel.Install(MakeBpfSockmapSubsystem());
+  kernel.Install(MakeSmcSubsystem());
+  kernel.Install(MakeVmciSubsystem());
+  kernel.Install(MakeGsmSubsystem());
+  kernel.Install(MakeVlanSubsystem());
+  kernel.Install(MakeUnixSockSubsystem());
+  kernel.Install(MakeNbdSubsystem());
+  kernel.Install(MakeMqSbitmapSubsystem());
+  kernel.Install(MakeFsFdtableSubsystem());
+  kernel.Install(MakeRingbufSubsystem());
+  kernel.Install(MakeRdmaSubsystem());
+  kernel.Install(MakeBufferHeadSubsystem());
+  kernel.Install(MakeSyntheticSubsystem());
+}
+
+}  // namespace ozz::osk

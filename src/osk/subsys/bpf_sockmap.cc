@@ -1,0 +1,85 @@
+// BPF sockmap subsystem (Table 3 Bug #6).
+#include "src/osk/subsys/bpf_sockmap.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+struct Psock {
+  oemu::Cell<u32> verdict_prog;  // loaded verdict program id
+  oemu::Cell<u64> rx_count;
+};
+
+struct SockmapSock {
+  oemu::Cell<Psock*> psock;
+  oemu::Cell<u32> data_ready_installed;
+};
+
+}  // namespace
+
+class BpfSockmapSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "bpf_sockmap"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("bpf_sockmap");
+    sk_ = kernel.New<SockmapSock>("bpf_sockmap_init");
+
+    SyscallDesc attach;
+    attach.name = "bpf$sockmap_attach";
+    attach.subsystem = name();
+    attach.args.push_back(ArgDesc::IntRange("prog_id", 1, 16));
+    attach.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Attach(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(attach));
+
+    SyscallDesc recv;
+    recv.name = "bpf$sockmap_recv";
+    recv.subsystem = name();
+    recv.fn = [this](Kernel& k, const std::vector<i64>&) { return DataReady(k); };
+    kernel.table().Add(std::move(recv));
+  }
+
+  // net/core/skmsg.c: sk_psock_init() + data_ready replacement. The buggy
+  // order publishes the "verdict data_ready installed" flag while the psock
+  // pointer store may still sit in the store buffer.
+  long Attach(Kernel& k, u32 prog_id) {
+    if (OSK_READ_ONCE(sk_->data_ready_installed) != 0) {
+      return kEBusy;
+    }
+    Psock* p = k.New<Psock>("sk_psock_init");
+    OSK_STORE(p->verdict_prog, prog_id);
+    OSK_STORE(sk_->psock, p);
+    if (fixed_) {
+      OSK_SMP_WMB();
+    }
+    OSK_WRITE_ONCE(sk_->data_ready_installed, 1);
+    return kOk;
+  }
+
+  // net/core/skmsg.c: sk_psock_verdict_data_ready() — invoked when data
+  // arrives after the callback was installed.
+  long DataReady(Kernel& k) {
+    if (OSK_READ_ONCE(sk_->data_ready_installed) == 0) {
+      return 0;  // default data_ready path
+    }
+    Psock* p = OSK_LOAD(sk_->psock);
+    k.Deref(p, "sk_psock_verdict_data_ready");
+    u64 n = OSK_LOAD(p->rx_count);
+    OSK_STORE(p->rx_count, n + 1);
+    return static_cast<long>(OSK_LOAD(p->verdict_prog));
+  }
+
+ private:
+  SockmapSock* sk_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeBpfSockmapSubsystem() {
+  return std::make_unique<BpfSockmapSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,18 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_BPF_SOCKMAP_H_
+#define OZZ_SRC_OSK_SUBSYS_BPF_SOCKMAP_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// net/core/skmsg (BPF sockmap): attaching a psock publishes the
+// data_ready-installed flag before the psock pointer itself is visible
+// (missing smp_wmb), so sk_psock_verdict_data_ready dereferences a null
+// psock — Table 3 Bug #6. Fixed key: "bpf_sockmap".
+std::unique_ptr<Subsystem> MakeBpfSockmapSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_BPF_SOCKMAP_H_

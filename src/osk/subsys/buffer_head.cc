@@ -1,0 +1,122 @@
+// fs/buffer buffer-head subsystem (paper reference [82]).
+#include "src/osk/subsys/buffer_head.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/bitops.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr int kLockBit = 0;  // BH_Lock
+
+struct BufferHead {
+  oemu::Cell<u64> b_state;   // bit 0: locked
+  oemu::Cell<u64> b_blocknr; // finalized while locked
+};
+
+// The page->buffers pointer is kept as an integer cell so ownership can be
+// claimed with a fully-ordered xchg (standing in for private_lock), and
+// writers pin the page with a reference count the freer respects (standing
+// in for the page reference they hold in the real kernel).
+struct Page {
+  oemu::Cell<u64> buffers;  // BufferHead* bits, 0 = none
+  oemu::Cell<u64> ref;      // writers in flight
+};
+
+BufferHead* AsBh(u64 bits) { return reinterpret_cast<BufferHead*>(bits); }
+u64 AsBits(BufferHead* bh) { return reinterpret_cast<u64>(bh); }
+
+}  // namespace
+
+class BufferHeadSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "buffer"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("buffer");
+    page_ = kernel.New<Page>("buffer_page_init");
+
+    SyscallDesc write;
+    write.name = "bh$write";
+    write.subsystem = name();
+    write.args.push_back(ArgDesc::IntRange("blocknr", 1, 1 << 20));
+    write.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return WriteBuffer(k, static_cast<u64>(args[0]));
+    };
+    kernel.table().Add(std::move(write));
+
+    SyscallDesc free_bufs;
+    free_bufs.name = "bh$try_free";
+    free_bufs.subsystem = name();
+    free_bufs.fn = [this](Kernel& k, const std::vector<i64>&) { return TryToFreeBuffers(k); };
+    kernel.table().Add(std::move(free_bufs));
+  }
+
+  // lock_buffer(); finalize; unlock_buffer(). The 2007 bug: unlock_buffer
+  // cleared BH_Lock with a plain bitop, so the finalizing store could still
+  // be in the store buffer when another CPU freed the buffer.
+  long WriteBuffer(Kernel& k, u64 blocknr) {
+    FunctionContext fn("unlock_buffer");
+    // Pin the page (fully ordered, like get_page + lock_page): the freer
+    // backs off while a writer is in flight.
+    (void)OSK_RMW(page_->ref, oemu::RmwOrder::kFull, RmwFnAdd, 1ull);
+    BufferHead* bh = AsBh(OSK_LOAD(page_->buffers));
+    if (bh == nullptr) {
+      bh = k.New<BufferHead>("alloc_buffer_head");
+      OSK_STORE(page_->buffers, AsBits(bh));
+    }
+    k.Deref(bh, "lock_buffer");
+    long ret = kOk;
+    if (OSK_TEST_AND_SET_BIT_LOCK(bh->b_state, kLockBit)) {
+      ret = kEBusy;  // lock_buffer would sleep; report busy instead
+    } else {
+      OSK_STORE(bh->b_blocknr, blocknr);  // finalize under the lock
+      if (fixed_) {
+        OSK_CLEAR_BIT_UNLOCK(bh->b_state, kLockBit);  // the memorder fix
+      } else {
+        OSK_CLEAR_BIT(bh->b_state, kLockBit);  // no ordering: the bug
+      }
+    }
+    // put_page: a relaxed decrement, like atomic_dec — no ordering, so the
+    // buggy form's finalizing store can still be in flight past it.
+    (void)OSK_RMW(page_->ref, oemu::RmwOrder::kRelaxed, RmwFnAdd, ~0ull);
+    return ret;
+  }
+
+  // try_to_free_buffers(): claims the page's buffers (the real code holds
+  // private_lock; a fully-ordered xchg models that) and frees them once
+  // unlocked.
+  long TryToFreeBuffers(Kernel& k) {
+    FunctionContext fn("try_to_free_buffers");
+    if (OSK_READ_ONCE(page_->ref) != 0) {
+      return kEBusy;  // a writer holds the page
+    }
+    BufferHead* bh =
+        AsBh(OSK_RMW(page_->buffers, oemu::RmwOrder::kFull, RmwFnXchg, 0ull));
+    if (bh == nullptr) {
+      return 0;
+    }
+    if (OSK_TEST_BIT(bh->b_state, kLockBit)) {
+      OSK_STORE(page_->buffers, AsBits(bh));  // still locked: put it back
+      return kEBusy;
+    }
+    // drop_buffers(): account the buffer before releasing it.
+    u64 blocknr = OSK_LOAD(bh->b_blocknr);
+    // The unlocking CPU's finalizing store may still be in flight; when it
+    // commits (at its next barrier/syscall exit) it lands in freed memory —
+    // the commit-phase KASAN report.
+    k.KmFree(bh, "try_to_free_buffers");
+    return static_cast<long>(blocknr & 0x7fffffff);
+  }
+
+ private:
+  Page* page_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeBufferHeadSubsystem() {
+  return std::make_unique<BufferHeadSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,22 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_BUFFER_HEAD_H_
+#define OZZ_SRC_OSK_SUBSYS_BUFFER_HEAD_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// fs/buffer ([82] in the paper — Piggin's 2007 "buffer: memorder fix"):
+// unlock_buffer() finalizes the buffer head and clears its lock bit with no
+// release ordering; a concurrent try_to_free_buffers() observes the clear
+// and frees the buffer while the finalizing store is still in the unlocking
+// CPU's store buffer. The delayed store then commits into freed memory —
+// exactly the use-after-free class the paper says in-vitro approaches miss
+// and OEMU's in-vivo commit-time oracle catches (§3, "Benefits of in-vivo
+// emulation"). Fixed key: "buffer" (release ordering on the unlock).
+std::unique_ptr<Subsystem> MakeBufferHeadSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_BUFFER_HEAD_H_

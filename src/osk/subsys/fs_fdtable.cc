@@ -1,0 +1,99 @@
+// fd-table subsystem (Table 4 #5).
+#include "src/osk/subsys/fs_fdtable.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr u32 kMaxFds = 8;
+
+struct FileOps {
+  long (*read)(Kernel&, u64);
+};
+
+long GenericFileRead(Kernel&, u64 mode) { return static_cast<long>(mode); }
+
+const FileOps kGenericFops{&GenericFileRead};
+
+// Allocated without zeroing: fields hold poison until initialized.
+struct File {
+  oemu::Cell<u32> f_mode;
+  oemu::Cell<const FileOps*> f_op;
+};
+
+struct FdTable {
+  oemu::Cell<File*> fd[kMaxFds];
+};
+
+}  // namespace
+
+class FsFdtableSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "fs"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("fs");
+    fdt_ = kernel.New<FdTable>("fdtable_init");
+
+    SyscallDesc open;
+    open.name = "fs$open";
+    open.subsystem = name();
+    open.fn = [this](Kernel& k, const std::vector<i64>&) { return Open(k); };
+    kernel.table().Add(std::move(open));
+
+    SyscallDesc read;
+    read.name = "fs$read";
+    read.subsystem = name();
+    read.args.push_back(ArgDesc::IntRange("fd", 0, kMaxFds - 1));
+    read.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Read(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(read));
+  }
+
+  // fs/file.c: fd_install() — initialize the file, wmb, publish the slot.
+  long Open(Kernel& k) {
+    u32 slot = kMaxFds;
+    for (u32 i = 0; i < kMaxFds; ++i) {
+      if (OSK_LOAD(fdt_->fd[i]) == nullptr) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == kMaxFds) {
+      return kENoMem;
+    }
+    File* f = static_cast<File*>(k.KmAllocUninit(sizeof(File), "fs_open"));
+    OSK_STORE(f->f_mode, 0444);
+    OSK_STORE(f->f_op, &kGenericFops);
+    OSK_SMP_WMB();  // publish-side ordering is correct even in the buggy form
+    OSK_STORE(fdt_->fd[slot], f);
+    return static_cast<long>(slot);
+  }
+
+  // fs/file.c: __fget_light() — the buggy reader's plain load of the slot
+  // lets the dependent f_op/f_mode loads be satisfied with pre-publication
+  // (poison) contents on Alpha-class reordering.
+  long Read(Kernel& k, u32 fd) {
+    File* f = fixed_ ? OSK_LOAD_ACQUIRE(fdt_->fd[fd]) : OSK_LOAD(fdt_->fd[fd]);
+    if (f == nullptr) {
+      return kEBadf;
+    }
+    const FileOps* op = OSK_LOAD(f->f_op);
+    k.Deref(op, "__fget_light");
+    u32 mode = OSK_LOAD(f->f_mode);
+    return op->read(k, mode);
+  }
+
+ private:
+  FdTable* fdt_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeFsFdtableSubsystem() {
+  return std::make_unique<FsFdtableSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,19 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_FS_FDTABLE_H_
+#define OZZ_SRC_OSK_SUBSYS_FS_FDTABLE_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// fs/file.c: __fget_light() loads the fd-table slot with a plain load; the
+// dependent loads of the file's fields (f_op, f_mode) can be reordered before
+// it and observe the file's pre-initialization contents — Table 4 #5
+// ("fs: use acquire ordering in __fget_light()", L-L).
+// Fixed key: "fs" (reader uses smp_load_acquire).
+std::unique_ptr<Subsystem> MakeFsFdtableSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_FS_FDTABLE_H_

@@ -1,0 +1,85 @@
+// n_gsm TTY multiplexer subsystem (Table 3 Bug #11).
+#include "src/osk/subsys/gsm.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr u32 kNumDlci = 4;
+
+struct Dlci {
+  oemu::Cell<u32> mtu;
+  oemu::Cell<u32> state;
+};
+
+struct GsmMux {
+  oemu::Cell<Dlci*> dlci[kNumDlci];
+  oemu::Cell<u32> present[kNumDlci];
+};
+
+}  // namespace
+
+class GsmSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "gsm"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("gsm");
+    mux_ = kernel.New<GsmMux>("gsm_mux_init");
+
+    SyscallDesc attach;
+    attach.name = "gsm$dlci_open";
+    attach.subsystem = name();
+    attach.args.push_back(ArgDesc::IntRange("idx", 0, kNumDlci - 1));
+    attach.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return DlciOpen(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(attach));
+
+    SyscallDesc config;
+    config.name = "gsm$dlci_config";
+    config.subsystem = name();
+    config.args.push_back(ArgDesc::IntRange("idx", 0, kNumDlci - 1));
+    config.args.push_back(ArgDesc::IntRange("mtu", 8, 1500));
+    config.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return DlciConfig(k, static_cast<u32>(args[0]), static_cast<u32>(args[1]));
+    };
+    kernel.table().Add(std::move(config));
+  }
+
+  // drivers/tty/n_gsm.c: gsm_dlci_alloc() + activation.
+  long DlciOpen(Kernel& k, u32 idx) {
+    if (OSK_READ_ONCE(mux_->present[idx]) != 0) {
+      return kEAlready;
+    }
+    Dlci* d = k.New<Dlci>("gsm_dlci_alloc");
+    OSK_STORE(d->mtu, 64);
+    OSK_STORE(mux_->dlci[idx], d);
+    if (fixed_) {
+      OSK_SMP_WMB();
+    }
+    OSK_WRITE_ONCE(mux_->present[idx], 1);
+    return kOk;
+  }
+
+  // drivers/tty/n_gsm.c: gsm_dlci_config() — trusts the present flag.
+  long DlciConfig(Kernel& k, u32 idx, u32 mtu) {
+    if (OSK_READ_ONCE(mux_->present[idx]) == 0) {
+      return kENoEnt;
+    }
+    Dlci* d = OSK_LOAD(mux_->dlci[idx]);
+    k.Deref(d, "gsm_dlci_config");
+    OSK_STORE(d->mtu, mtu);
+    return kOk;
+  }
+
+ private:
+  GsmMux* mux_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeGsmSubsystem() { return std::make_unique<GsmSubsystem>(); }
+
+}  // namespace ozz::osk

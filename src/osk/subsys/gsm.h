@@ -1,0 +1,17 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_GSM_H_
+#define OZZ_SRC_OSK_SUBSYS_GSM_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// drivers/tty/n_gsm: attaching a DLCI publishes the per-index present flag
+// before the dlci pointer store is visible; gsm_dlci_config then dereferences
+// a null dlci — Table 3 Bug #11. Fixed key: "gsm".
+std::unique_ptr<Subsystem> MakeGsmSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_GSM_H_

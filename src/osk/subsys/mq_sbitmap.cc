@@ -1,0 +1,159 @@
+// blk-mq / sbitmap subsystem (Table 4 #6 — the thread-migration bug).
+//
+// Shape of the bug ("sbitmap: order READ/WRITE freed instance and setting
+// clear bit"): completion writes the request instance and then clears the
+// per-CPU tag's busy bit with a *plain* store. Nothing orders the instance
+// write before the clear, so a waiter that observes the cleared bit may free
+// (and recycle) the instance while the completion's write is still sitting
+// in the store buffer — the delayed store then commits into freed memory.
+// The fixed form puts an smp_wmb before the clear.
+#include "src/osk/subsys/mq_sbitmap.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/bitops.h"
+#include "src/osk/kernel.h"
+#include "src/osk/percpu.h"
+
+namespace ozz::osk {
+namespace {
+
+struct Request {
+  oemu::Cell<u32> status;
+};
+
+// Tag lifecycle, owned by exactly one party at a time. Transitions into an
+// owned state use fully-ordered compare-and-swap (like blk-mq's atomic tag
+// ops) so plain interleavings are race-free; the hand-off stores publishing
+// kCompleted / kFree are plain — the kCompleted one is the bug site.
+enum TagState : u64 {
+  kFree = 0,
+  kInflight = 1,
+  kCompleting = 2,
+  kCompleted = 3,
+  kReaping = 4,
+};
+
+// One tag cache per CPU (the per-cpu alloc_hint of sbitmap).
+struct TagSlot {
+  oemu::Cell<u64> state;
+  oemu::Cell<Request*> req;
+};
+
+// Fully-ordered CAS built on the RMW primitive: operand packs
+// (expected | desired << 32); returns the previous value.
+inline u64 RmwFnCas(u64 old, u64 operand) {
+  u64 expected = operand & 0xffffffffull;
+  u64 desired = operand >> 32;
+  return old == expected ? desired : old;
+}
+
+#define MQ_CAS(cell, expected, desired)                                       \
+  OSK_RMW((cell), ::ozz::oemu::RmwOrder::kFull, ::ozz::osk::RmwFnCas,         \
+          (static_cast<u64>(expected) | (static_cast<u64>(desired) << 32)))
+
+}  // namespace
+
+class MqSbitmapSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "mq"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("mq");
+    force_cpu0_ = kernel.config().percpu_migration_hack;
+    slots_ = kernel.New<PerCpu<TagSlot*>>("mq_tags_init");
+    for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+      slots_->on_cpu(cpu).set_raw(kernel.New<TagSlot>("mq_tag_slot"));
+    }
+
+    SyscallDesc submit;
+    submit.name = "mq$submit";
+    submit.subsystem = name();
+    submit.fn = [this](Kernel& k, const std::vector<i64>&) { return Submit(k); };
+    kernel.table().Add(std::move(submit));
+
+    SyscallDesc complete;
+    complete.name = "mq$complete";
+    complete.subsystem = name();
+    complete.fn = [this](Kernel& k, const std::vector<i64>&) { return Complete(k); };
+    kernel.table().Add(std::move(complete));
+
+    SyscallDesc reap;
+    reap.name = "mq$reap";
+    reap.subsystem = name();
+    reap.fn = [this](Kernel& k, const std::vector<i64>&) { return Reap(k); };
+    kernel.table().Add(std::move(reap));
+  }
+
+  TagSlot* ThisCpuSlot() { return slots_->this_cpu(force_cpu0_).raw(); }
+
+  // blk_mq_get_tag(): install a fresh request, then claim the tag with a
+  // fully-ordered CAS (the CAS flushes the store buffer, so the request is
+  // visible before kInflight is).
+  long Submit(Kernel& k) {
+    FunctionContext fn("blk_mq_get_tag");
+    TagSlot* s = ThisCpuSlot();
+    if (OSK_READ_ONCE(s->state) != kFree) {
+      return kEBusy;  // advisory fast path
+    }
+    Request* r = k.New<Request>("mq_submit_alloc");
+    OSK_STORE(r->status, 1);
+    OSK_STORE(s->req, r);
+    if (MQ_CAS(s->state, kFree, kInflight) != kFree) {
+      return kEBusy;  // lost the race; `r` leaks (harmless), req may be ours
+    }
+    return kOk;
+  }
+
+  // blk_mq_complete_request() + sbitmap_queue_clear(): claim the in-flight
+  // request, finalize the instance, then publish completion with a *plain*
+  // store. The buggy form has no barrier between the instance write and the
+  // publication, so the write can be reordered past it.
+  long Complete(Kernel& k) {
+    FunctionContext fn("sbitmap_queue_clear");
+    TagSlot* s = ThisCpuSlot();
+    if (MQ_CAS(s->state, kInflight, kCompleting) != kInflight) {
+      return kEInval;
+    }
+    Request* r = OSK_LOAD(s->req);
+    k.Deref(r, "sbitmap_queue_clear");
+    OSK_STORE(r->status, 0);  // the "WRITE of the freed instance"
+    if (fixed_) {
+      OSK_SMP_WMB();  // the patch: instance writes complete before the clear
+    }
+    OSK_STORE(s->state, kCompleted);
+    return kOk;
+  }
+
+  // The waiter: claim the completed request and retire (free) it. The
+  // kCompleted state promises the completion finished with the instance;
+  // with the barrier missing, the status store may still be in flight and
+  // the waiter observes (and would free) an inconsistent request.
+  long Reap(Kernel& k) {
+    FunctionContext fn("blk_mq_put_tag");
+    TagSlot* s = ThisCpuSlot();
+    if (MQ_CAS(s->state, kCompleted, kReaping) != kCompleted) {
+      return kEBusy;  // nothing completed (or still in flight)
+    }
+    Request* r = OSK_LOAD(s->req);
+    k.Deref(r, "blk_mq_put_tag");
+    u32 status = OSK_LOAD(r->status);
+    k.BugOn(status != 0, "blk_mq_put_tag: reaping an incomplete request");
+    OSK_STORE(s->req, nullptr);
+    k.KmFree(r, "mq_reap_free");
+    // Correct hand-off in both forms: the tag only becomes allocatable once
+    // the retirement is complete (this was never the buggy half).
+    OSK_STORE_RELEASE(s->state, static_cast<u64>(kFree));
+    return kOk;
+  }
+
+ private:
+  PerCpu<TagSlot*>* slots_ = nullptr;
+  bool fixed_ = false;
+  bool force_cpu0_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeMqSbitmapSubsystem() {
+  return std::make_unique<MqSbitmapSubsystem>();
+}
+
+}  // namespace ozz::osk

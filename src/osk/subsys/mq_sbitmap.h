@@ -1,0 +1,25 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_MQ_SBITMAP_H_
+#define OZZ_SRC_OSK_SUBSYS_MQ_SBITMAP_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// block/blk-mq + lib/sbitmap (Table 4 #6, "sbitmap: order READ/WRITE freed
+// instance and setting clear bit"): completing a request frees it and clears
+// the per-CPU tag busy flag with a plain store; the freed-instance stores can
+// be reordered past the flag clear, so the next allocator on that tag sees a
+// stale request pointer.
+//
+// The bug lives on a *per-CPU* tag cache: two threads only collide after one
+// resolved the slot address and migrated — which OZZ's pinned threads never
+// do, so OZZ cannot reproduce it (§6.2). KernelConfig::percpu_migration_hack
+// forces slot 0 for everyone, reproducing the paper's manual verification.
+// Fixed key: "mq" (release ordering on the flag clear).
+std::unique_ptr<Subsystem> MakeMqSbitmapSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_MQ_SBITMAP_H_

@@ -1,0 +1,83 @@
+// NBD block-device subsystem (Table 4 #7).
+#include "src/osk/subsys/nbd.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+struct NbdConfig {
+  oemu::Cell<u64> flags;
+  oemu::Cell<u32> blksize;
+};
+
+struct NbdDevice {
+  oemu::Cell<u64> config_refs;
+  oemu::Cell<NbdConfig*> config;
+};
+
+}  // namespace
+
+class NbdSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "nbd"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("nbd");
+    nbd_ = kernel.New<NbdDevice>("nbd_dev_init");
+
+    SyscallDesc setup;
+    setup.name = "nbd$setup";
+    setup.subsystem = name();
+    setup.args.push_back(ArgDesc::Flags("blksize", {512, 1024, 4096}));
+    setup.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Setup(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(setup));
+
+    SyscallDesc ioctl;
+    ioctl.name = "nbd$ioctl";
+    ioctl.subsystem = name();
+    ioctl.fn = [this](Kernel& k, const std::vector<i64>&) { return Ioctl(k); };
+    kernel.table().Add(std::move(ioctl));
+  }
+
+  // drivers/block/nbd.c: nbd_alloc_and_init_config() — writer is correctly
+  // ordered: config first, then the reference count that readers test.
+  long Setup(Kernel& k, u32 blksize) {
+    if (OSK_LOAD(nbd_->config_refs) != 0) {
+      return kEBusy;
+    }
+    NbdConfig* c = k.New<NbdConfig>("nbd_alloc_config");
+    OSK_STORE(c->blksize, blksize);
+    OSK_STORE(nbd_->config, c);
+    OSK_SMP_WMB();  // writer barrier present even in the buggy form
+    OSK_STORE(nbd_->config_refs, 1);
+    return kOk;
+  }
+
+  // drivers/block/nbd.c: nbd_ioctl() — the buggy reader has no read barrier
+  // between the refcount check and the config load, so the config load can
+  // be satisfied before the refcount check (load-load reordering).
+  long Ioctl(Kernel& k) {
+    u64 refs = OSK_LOAD(nbd_->config_refs);
+    if (refs == 0) {
+      return kEInval;
+    }
+    if (fixed_) {
+      OSK_SMP_RMB();  // the patch: order the refcount test before the load
+    }
+    NbdConfig* c = OSK_LOAD(nbd_->config);
+    k.Deref(c, "nbd_ioctl");
+    return static_cast<long>(OSK_LOAD(c->blksize));
+  }
+
+ private:
+  NbdDevice* nbd_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeNbdSubsystem() { return std::make_unique<NbdSubsystem>(); }
+
+}  // namespace ozz::osk

@@ -1,0 +1,19 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_NBD_H_
+#define OZZ_SRC_OSK_SUBSYS_NBD_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// drivers/block/nbd: nbd_ioctl checks config_refs and then loads
+// nbd->config; without a read barrier the dependent config load can be
+// satisfied with the stale (null) value — Table 4 #7 ("fix
+// null-ptr-dereference while accessing 'nbd->config'", L-L).
+// Fixed key: "nbd" (reader gains the read barrier).
+std::unique_ptr<Subsystem> MakeNbdSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_NBD_H_

@@ -1,0 +1,99 @@
+// irdma-style completion-queue subsystem (paper §4.5).
+#include "src/osk/subsys/rdma.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr u32 kCqSize = 4;
+
+struct Cqe {
+  oemu::Cell<u32> valid;   // written LAST by the device
+  oemu::Cell<u64> wr_id;   // payload: which work request completed
+  oemu::Cell<u32> status;  // payload: completion status (never 0 when valid)
+};
+
+struct CompletionQueue {
+  Cqe ring[kCqSize];
+  oemu::Cell<u32> hw_head;  // device producer index
+  oemu::Cell<u32> sw_tail;  // driver consumer index
+};
+
+}  // namespace
+
+class RdmaSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "rdma"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("rdma");
+    cq_ = kernel.New<CompletionQueue>("rdma_cq_init");
+
+    SyscallDesc dma;
+    dma.name = "rdma$hw_complete";
+    dma.subsystem = name();
+    dma.args.push_back(ArgDesc::IntRange("wr_id", 1, 1 << 16));
+    dma.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return HwComplete(k, static_cast<u64>(args[0]));
+    };
+    kernel.table().Add(std::move(dma));
+
+    SyscallDesc poll;
+    poll.name = "rdma$poll_cq";
+    poll.subsystem = name();
+    poll.fn = [this](Kernel& k, const std::vector<i64>&) { return PollCq(k); };
+    kernel.table().Add(std::move(poll));
+  }
+
+  // The device's DMA engine: writes the CQE payload, then sets the valid
+  // bit. Hardware orders these correctly (the device's write combining
+  // preserves the valid-last contract), so the write side carries a barrier
+  // even in the buggy form — the bug is in the driver.
+  long HwComplete(Kernel& k, u64 wr_id) {
+    u32 head = OSK_LOAD(cq_->hw_head);
+    u32 tail = OSK_LOAD(cq_->sw_tail);
+    if (head - tail >= kCqSize) {
+      return kEAgain;  // CQ full
+    }
+    Cqe& cqe = cq_->ring[head % kCqSize];
+    OSK_STORE(cqe.wr_id, wr_id);
+    OSK_STORE(cqe.status, 1);
+    OSK_SMP_WMB();  // device contract: payload lands before valid
+    OSK_STORE(cqe.valid, 1);
+    OSK_STORE(cq_->hw_head, head + 1);
+    (void)k;
+    return kOk;
+  }
+
+  // irdma_poll_cq(): checks the valid bit, then reads the payload. The buggy
+  // form has no read barrier between the two device-written loads — the
+  // missing-read-barriers patch of §4.5.
+  long PollCq(Kernel& k) {
+    u32 tail = OSK_LOAD(cq_->sw_tail);
+    Cqe& cqe = cq_->ring[tail % kCqSize];
+    if (OSK_LOAD(cqe.valid) == 0) {
+      return kEAgain;  // nothing completed
+    }
+    if (fixed_) {
+      OSK_SMP_RMB();  // the patch: order the valid check before payload loads
+    }
+    u32 status = OSK_LOAD(cqe.status);
+    u64 wr_id = OSK_LOAD(cqe.wr_id);
+    // A valid CQE always carries a non-zero status; observing zero means the
+    // payload load was satisfied before the valid check.
+    k.BugOn(status == 0, "irdma_poll_cq: valid CQE with stale payload");
+    OSK_STORE(cqe.valid, 0);
+    OSK_STORE(cq_->sw_tail, tail + 1);
+    return static_cast<long>(wr_id);
+  }
+
+ private:
+  CompletionQueue* cq_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeRdmaSubsystem() { return std::make_unique<RdmaSubsystem>(); }
+
+}  // namespace ozz::osk

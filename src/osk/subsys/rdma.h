@@ -1,0 +1,22 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_RDMA_H_
+#define OZZ_SRC_OSK_SUBSYS_RDMA_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// drivers/infiniband/hw/irdma (paper §4.5, "Concurrent accesses with
+// hardware"): the driver polls a completion queue the device DMA-writes.
+// The device writes the CQE payload then its valid bit; the driver checks
+// the valid bit and reads the payload *without a read barrier* — load-load
+// reordering lets it read a stale payload ("RDMA/irdma: Add missing read
+// barriers"). The device is modeled as a DMA engine syscall running
+// concurrently, exactly the setup the paper says OEMU can handle given a
+// way to drive the hardware. Fixed key: "rdma".
+std::unique_ptr<Subsystem> MakeRdmaSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_RDMA_H_

@@ -1,0 +1,105 @@
+// net/rds subsystem (paper Figure 8, Table 3 Bug #1).
+#include "src/osk/subsys/rds.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/bitops.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr int kInXmitBit = 2;  // RDS_IN_XMIT
+
+struct ConnPath {
+  oemu::Cell<u64> cp_flags;
+  oemu::Cell<u32> data_len;   // message length the current buffer must hold
+  oemu::Cell<u8*> data_ptr;   // kmalloc'd buffer of exactly data_len bytes
+};
+
+}  // namespace
+
+class RdsSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "rds"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("rds");
+    cp_ = kernel.New<ConnPath>("rds_conn_init");
+    u8* initial = static_cast<u8*>(kernel.KmAlloc(4, "rds_initial_msg"));
+    cp_->data_len.set_raw(4);
+    cp_->data_ptr.set_raw(initial);
+
+    SyscallDesc send;
+    send.name = "rds$sendmsg";
+    send.subsystem = name();
+    send.args.push_back(ArgDesc::Flags("len", {4, 8, 16, 32}));
+    send.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Sendmsg(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(send));
+
+    SyscallDesc xmit;
+    xmit.name = "rds$loop_xmit";
+    xmit.subsystem = name();
+    xmit.fn = [this](Kernel& k, const std::vector<i64>&) { return LoopXmit(k); };
+    kernel.table().Add(std::move(xmit));
+  }
+
+  // net/rds/send.c: acquire_in_xmit() — try-lock (Fig. 8 lines 2-8).
+  bool AcquireInXmit() { return !OSK_TEST_AND_SET_BIT(cp_->cp_flags, kInXmitBit); }
+
+  // net/rds/send.c: release_in_xmit() (Fig. 8 lines 10-15). The buggy form
+  // uses clear_bit(): nothing orders the critical-section stores before the
+  // bit clears, so they may still sit in the store buffer when another CPU
+  // takes the lock.
+  void ReleaseInXmit() {
+    if (fixed_) {
+      OSK_CLEAR_BIT_UNLOCK(cp_->cp_flags, kInXmitBit);
+    } else {
+      OSK_CLEAR_BIT(cp_->cp_flags, kInXmitBit);
+    }
+  }
+
+  // Swaps in a new message buffer of `len` bytes under the xmit lock.
+  long Sendmsg(Kernel& k, u32 len) {
+    FunctionContext fn("rds_sendmsg");
+    if (!AcquireInXmit()) {
+      return kEAgain;
+    }
+    u8* new_buf = static_cast<u8*>(k.KmAlloc(len, "rds_sendmsg"));
+    OSK_STORE(cp_->data_len, len);
+    OSK_STORE(cp_->data_ptr, new_buf);
+    // The superseded buffer is retired lazily (elsewhere); what matters here
+    // is that (data_len, data_ptr) stay mutually consistent under the lock.
+    ReleaseInXmit();
+    return kOk;
+  }
+
+  // net/rds/loop.c: rds_loop_xmit() — walks the current message under the
+  // xmit lock; with mutual exclusion broken it can read `data_len` bytes out
+  // of a shorter (or already freed) buffer.
+  long LoopXmit(Kernel& k) {
+    FunctionContext fn("rds_loop_xmit");
+    if (!AcquireInXmit()) {
+      return kEAgain;
+    }
+    u32 len = OSK_LOAD(cp_->data_len);
+    u8* buf = OSK_LOAD(cp_->data_ptr);
+    k.Deref(buf, "rds_loop_xmit");
+    u64 checksum = 0;
+    // Touch first and last byte: the out-of-bounds read fires here when the
+    // buffer swap was reordered past the previous holder's unlock.
+    checksum += OSK_LOAD_BYTE(reinterpret_cast<uptr>(buf));
+    checksum += OSK_LOAD_BYTE(reinterpret_cast<uptr>(buf) + len - 1);
+    ReleaseInXmit();
+    return static_cast<long>(checksum);
+  }
+
+ private:
+  ConnPath* cp_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeRdsSubsystem() { return std::make_unique<RdsSubsystem>(); }
+
+}  // namespace ozz::osk

@@ -1,0 +1,19 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_RDS_H_
+#define OZZ_SRC_OSK_SUBSYS_RDS_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// net/rds (paper Figure 8, Table 3 Bug #1): a hand-rolled try-lock built on
+// atomic bitops. release_in_xmit() uses clear_bit(), which has no ordering,
+// so stores inside the critical section can be reordered past the unlock and
+// the next lock holder observes a half-updated message — a slab-out-of-bounds
+// read in rds_loop_xmit. Fixed form uses clear_bit_unlock(). Fixed key: "rds".
+std::unique_ptr<Subsystem> MakeRdsSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_RDS_H_

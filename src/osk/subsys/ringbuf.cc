@@ -1,0 +1,97 @@
+// Seqcount record subsystem (paper [62]-style torn-read bug).
+#include "src/osk/subsys/ringbuf.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+// Invariant: lo == hi outside a write section (they are two halves of one
+// logical record; a reader observing lo != hi has read a torn record).
+struct SeqRecord {
+  oemu::Cell<u64> seq;
+  oemu::Cell<u64> lo;
+  oemu::Cell<u64> hi;
+};
+
+}  // namespace
+
+class RingbufSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "ringbuf"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("ringbuf");
+    rec_ = kernel.New<SeqRecord>("ringbuf_init");
+
+    SyscallDesc write;
+    write.name = "ringbuf$write";
+    write.subsystem = name();
+    write.args.push_back(ArgDesc::IntRange("value", 1, 1 << 20));
+    write.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Write(k, static_cast<u64>(args[0]));
+    };
+    kernel.table().Add(std::move(write));
+
+    SyscallDesc read;
+    read.name = "ringbuf$read";
+    read.subsystem = name();
+    read.fn = [this](Kernel& k, const std::vector<i64>&) { return Read(k); };
+    kernel.table().Add(std::move(read));
+  }
+
+  // Writer side of the seqcount: seq odd while the record is inconsistent.
+  long Write(Kernel& k, u64 value) {
+    u64 s = OSK_LOAD(rec_->seq);
+    if (s & 1) {
+      return kEBusy;  // concurrent writer
+    }
+    OSK_STORE(rec_->seq, s + 1);
+    if (fixed_) {
+      OSK_SMP_WMB();  // record stores must not precede the odd sequence
+    }
+    OSK_STORE(rec_->lo, value);
+    OSK_STORE(rec_->hi, value);
+    if (fixed_) {
+      OSK_SMP_WMB();  // record stores must complete before the even sequence
+    }
+    OSK_STORE(rec_->seq, s + 2);
+    (void)k;
+    return kOk;
+  }
+
+  // Reader side: retry while a writer is active, validate seq afterwards.
+  long Read(Kernel& k) {
+    u64 s1 = OSK_LOAD(rec_->seq);
+    if (s1 & 1) {
+      return kEAgain;
+    }
+    if (fixed_) {
+      OSK_SMP_RMB();  // record loads must not precede the first seq check
+    }
+    u64 lo = OSK_LOAD(rec_->lo);
+    u64 hi = OSK_LOAD(rec_->hi);
+    if (fixed_) {
+      OSK_SMP_RMB();  // record loads must complete before the re-check
+    }
+    u64 s2 = OSK_LOAD(rec_->seq);
+    if (s1 != s2) {
+      return kEAgain;
+    }
+    // Both sequence checks passed, so the record must be consistent; a torn
+    // read here means barriers let the loads/stores escape the seq window.
+    k.BugOn(lo != hi, "seqcount read tore (lo != hi)");
+    return static_cast<long>(lo & 0x7fffffff);
+  }
+
+ private:
+  SeqRecord* rec_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeRingbufSubsystem() {
+  return std::make_unique<RingbufSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,21 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_RINGBUF_H_
+#define OZZ_SRC_OSK_SUBSYS_RINGBUF_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// A seqcount-protected record, modelled after the buffered read/write race of
+// mm/filemap ("avoid buffered read/write race to read inconsistent data",
+// [62] in the paper). The writer bumps the sequence around a multi-word
+// update; the reader validates the sequence before and after. With the
+// barriers missing, reordering lets the reader return a *torn* record even
+// though both sequence checks pass — a data-corruption (wrong value) bug
+// caught by a kernel consistency assertion. Fixed key: "ringbuf".
+std::unique_ptr<Subsystem> MakeRingbufSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_RINGBUF_H_

@@ -1,0 +1,105 @@
+// net/smc subsystem (Table 3 Bugs #8 and #10).
+#include "src/osk/subsys/smc.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+enum SmcState : u32 { kSmcInit = 0, kSmcListen = 1 };
+
+struct ClcSock {
+  oemu::Cell<u32> connected;
+};
+
+struct File {
+  oemu::Cell<u64> f_count;
+};
+
+struct SmcSock {
+  oemu::Cell<u32> state;
+  oemu::Cell<ClcSock*> clcsock;
+  oemu::Cell<File*> file;
+};
+
+}  // namespace
+
+class SmcSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "smc"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("smc");
+    smc_ = kernel.New<SmcSock>("smc_sock_init");
+
+    SyscallDesc listen;
+    listen.name = "smc$listen";
+    listen.subsystem = name();
+    listen.fn = [this](Kernel& k, const std::vector<i64>&) { return Listen(k); };
+    kernel.table().Add(std::move(listen));
+
+    SyscallDesc connect;
+    connect.name = "smc$connect";
+    connect.subsystem = name();
+    connect.fn = [this](Kernel& k, const std::vector<i64>&) { return Connect(k); };
+    kernel.table().Add(std::move(connect));
+
+    SyscallDesc close;
+    close.name = "smc$close";
+    close.subsystem = name();
+    close.fn = [this](Kernel& k, const std::vector<i64>&) { return Close(k); };
+    kernel.table().Add(std::move(close));
+  }
+
+  // net/smc/af_smc.c: smc_listen() — allocates the internal TCP socket and
+  // the backing file, then moves the socket to LISTEN.
+  long Listen(Kernel& k) {
+    if (OSK_READ_ONCE(smc_->state) == kSmcListen) {
+      return kEAlready;
+    }
+    // Allocate first (kmalloc fences the store buffer), then publish.
+    ClcSock* clc = k.New<ClcSock>("smc_listen_clc");
+    File* file = k.New<File>("smc_listen_file");
+    OSK_STORE(smc_->clcsock, clc);
+    OSK_STORE(smc_->file, file);
+    if (fixed_) {
+      OSK_SMP_WMB();
+    }
+    OSK_WRITE_ONCE(smc_->state, kSmcListen);
+    return kOk;
+  }
+
+  // net/smc/af_smc.c: smc_connect() (Bug #8): trusts the LISTEN state and
+  // dereferences clcsock.
+  long Connect(Kernel& k) {
+    if (OSK_READ_ONCE(smc_->state) != kSmcListen) {
+      return kEInval;
+    }
+    ClcSock* clc = OSK_LOAD(smc_->clcsock);
+    k.Deref(clc, "connect");
+    OSK_STORE(clc->connected, 1);
+    return kOk;
+  }
+
+  // net/smc/af_smc.c: smc_close_active() -> fput() (Bug #10): drops the file
+  // reference — a *write* through the unpublished file pointer.
+  long Close(Kernel& k) {
+    if (OSK_READ_ONCE(smc_->state) != kSmcListen) {
+      return 0;
+    }
+    File* f = OSK_LOAD(smc_->file);
+    k.DerefWrite(f, "fput");
+    u64 count = OSK_LOAD(f->f_count);
+    OSK_STORE(f->f_count, count + 1);
+    return kOk;
+  }
+
+ private:
+  SmcSock* smc_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeSmcSubsystem() { return std::make_unique<SmcSubsystem>(); }
+
+}  // namespace ozz::osk

@@ -1,0 +1,18 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_SMC_H_
+#define OZZ_SRC_OSK_SUBSYS_SMC_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// net/smc: smc_listen() publishes the socket state before the clcsock and
+// file pointers are visible (missing smp_wmb). Readers crash dereferencing
+// the unpublished pointers: connect (Table 3 Bug #8) and fput via close
+// (Bug #10, a null-ptr *Write*). Fixed key: "smc".
+std::unique_ptr<Subsystem> MakeSmcSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_SMC_H_

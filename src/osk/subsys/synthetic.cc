@@ -1,0 +1,85 @@
+// Synthetic SB (store-buffering) subsystem — paper Figure 10 in C++.
+#include "src/osk/subsys/synthetic.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+struct SbState {
+  oemu::Cell<u64> x;
+  oemu::Cell<u64> y;
+  oemu::Cell<u64> r1;
+  oemu::Cell<u32> t1_done;
+};
+
+}  // namespace
+
+class SyntheticSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "synthetic"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("synthetic");
+    st_ = kernel.New<SbState>("synthetic_init");
+
+    SyscallDesc t1;
+    t1.name = "syn$t1";
+    t1.subsystem = name();
+    t1.fn = [this](Kernel& k, const std::vector<i64>&) { return Thread1(k); };
+    kernel.table().Add(std::move(t1));
+
+    SyscallDesc nop;
+    nop.name = "syn$nop";
+    nop.subsystem = name();
+    nop.fn = [](Kernel&, const std::vector<i64>&) { return kOk; };
+    kernel.table().Add(std::move(nop));
+
+    SyscallDesc t2;
+    t2.name = "syn$t2";
+    t2.subsystem = name();
+    t2.fn = [this](Kernel& k, const std::vector<i64>&) { return Thread2(k); };
+    kernel.table().Add(std::move(t2));
+  }
+
+  // Fig. 10 thread 1: x.store(1, Relaxed); r1 = y.load(Relaxed).
+  long Thread1(Kernel& k) {
+    OSK_WRITE_ONCE(st_->x, 1);
+    if (fixed_) {
+      OSK_SMP_MB();  // SB needs a full barrier between the store and load
+    }
+    u64 r = OSK_READ_ONCE(st_->y);
+    OSK_WRITE_ONCE(st_->r1, r);
+    OSK_WRITE_ONCE(st_->t1_done, 1);
+    (void)k;
+    return static_cast<long>(r);
+  }
+
+  // Fig. 10 thread 2 plus the assertion thread: y.store(1); r2 = x.load();
+  // then assert!(x == 1 || y == 1) — i.e. r1 == 1 || r2 == 1.
+  long Thread2(Kernel& k) {
+    OSK_WRITE_ONCE(st_->y, 1);
+    if (fixed_) {
+      OSK_SMP_MB();
+    }
+    u64 r2 = OSK_READ_ONCE(st_->x);
+    if (OSK_READ_ONCE(st_->t1_done) == 1) {
+      u64 r1 = OSK_READ_ONCE(st_->r1);
+      // Sequential consistency (and even TSO-with-one-barrier) forbids both
+      // threads reading zero; only store-load reordering produces it.
+      k.BugOn(r1 == 0 && r2 == 0, "SB litmus violated (r1 == 0 && r2 == 0)");
+    }
+    return static_cast<long>(r2);
+  }
+
+ private:
+  SbState* st_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeSyntheticSubsystem() {
+  return std::make_unique<SyntheticSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,22 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_SYNTHETIC_H_
+#define OZZ_SRC_OSK_SUBSYS_SYNTHETIC_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// The synthetic store-buffering (SB) bug of the paper's Rust example
+// (Figure 10), transliterated: two threads perform relaxed
+//   t1: x = 1; r1 = y;      t2: y = 1; r2 = x;
+// and the invariant r1 == 1 || r2 == 1 is asserted once both finished.
+// Store-load reordering (a store delayed past the thread's own later load)
+// yields r1 == r2 == 0 — the only scenario in the suite that requires
+// store-load (not store-store) emulation. Fixed key: "synthetic"
+// (each thread gets an smp_mb between its store and load).
+std::unique_ptr<Subsystem> MakeSyntheticSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_SYNTHETIC_H_

@@ -1,0 +1,218 @@
+// net/tls subsystem (paper Figure 7, Table 3 Bugs #5/#9, Table 4 #8).
+#include "src/osk/subsys/tls.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+struct Sock;
+
+// struct proto: the per-protocol function-pointer table swapped by tls_init.
+struct Proto {
+  long (*setsockopt)(Kernel&, Sock*, i64 val);
+  long (*getsockopt)(Kernel&, Sock*, i64 opt);
+};
+
+struct TlsContext {
+  oemu::Cell<const Proto*> sk_proto;  // saved base protocol (Fig. 7 line 6)
+  oemu::Cell<i64> opt_value;
+};
+
+struct Sock {
+  oemu::Cell<const Proto*> sk_prot;   // Fig. 7 line 9 / 20
+  oemu::Cell<TlsContext*> sk_user_data;  // Fig. 7: sk->data
+  // tls_err_abort state (Table 4 #8).
+  oemu::Cell<i32> sk_err;
+  oemu::Cell<u32> strp_stopped;
+  oemu::Cell<u64> err_anomalies;  // wrong-value observations (not a crash)
+};
+
+long BaseSetsockopt(Kernel&, Sock* sk, i64 val) {
+  (void)sk;
+  (void)val;
+  return kOk;
+}
+
+long BaseGetsockopt(Kernel&, Sock*, i64) { return 0; }
+
+const Proto kBaseProto{&BaseSetsockopt, &BaseGetsockopt};
+
+long TlsSetsockopt(Kernel& k, Sock* sk, i64 val);
+long TlsGetsockopt(Kernel& k, Sock* sk, i64 opt);
+
+const Proto kTlsProto{&TlsSetsockopt, &TlsGetsockopt};
+
+// net/tls/tls_main.c: tls_setsockopt() (Fig. 7 lines 25-30)
+long TlsSetsockopt(Kernel& k, Sock* sk, i64 val) {
+  TlsContext* ctx = OSK_LOAD(sk->sk_user_data);
+  k.Deref(ctx, "tls_setsockopt");
+  const Proto* sp = OSK_LOAD(ctx->sk_proto);
+  k.Deref(sp, "tls_setsockopt");
+  OSK_STORE(ctx->opt_value, val);
+  return sp->setsockopt(k, sk, val);
+}
+
+long TlsGetsockopt(Kernel& k, Sock* sk, i64 opt) {
+  TlsContext* ctx = OSK_LOAD(sk->sk_user_data);
+  k.Deref(ctx, "tls_getsockopt");
+  const Proto* sp = OSK_LOAD(ctx->sk_proto);
+  k.Deref(sp, "tls_getsockopt");
+  return sp->getsockopt(k, sk, opt);
+}
+
+}  // namespace
+
+class TlsSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "tls"; }
+
+  void Init(Kernel& kernel) override {
+    fix_init_wmb_ = kernel.IsFixed("tls") || kernel.IsFixed("tls.init_wmb");
+    fix_err_abort_ = kernel.IsFixed("tls") || kernel.IsFixed("tls.err_abort");
+
+    SyscallDesc open;
+    open.name = "tls$open";
+    open.subsystem = name();
+    open.produces = "tls_sock";
+    open.fn = [](Kernel& k, const std::vector<i64>&) {
+      Sock* sk = k.New<Sock>("tls_open");
+      sk->sk_prot.set_raw(&kBaseProto);
+      return static_cast<long>(k.RegisterResource("tls_sock", sk));
+    };
+    kernel.table().Add(std::move(open));
+
+    SyscallDesc init;
+    init.name = "tls$init";
+    init.subsystem = name();
+    init.args.push_back(ArgDesc::Resource("fd", "tls_sock"));
+    init.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      Sock* sk = Lookup(k, args[0]);
+      return sk == nullptr ? kEBadf : TlsInit(k, sk);
+    };
+    kernel.table().Add(std::move(init));
+
+    SyscallDesc setsockopt;
+    setsockopt.name = "tls$setsockopt";
+    setsockopt.subsystem = name();
+    setsockopt.args.push_back(ArgDesc::Resource("fd", "tls_sock"));
+    setsockopt.args.push_back(ArgDesc::IntRange("val", 0, 1024));
+    setsockopt.fn = [](Kernel& k, const std::vector<i64>& args) {
+      Sock* sk = Lookup(k, args[0]);
+      return sk == nullptr ? kEBadf : SockCommonSetsockopt(k, sk, args[1]);
+    };
+    kernel.table().Add(std::move(setsockopt));
+
+    SyscallDesc getsockopt;
+    getsockopt.name = "tls$getsockopt";
+    getsockopt.subsystem = name();
+    getsockopt.args.push_back(ArgDesc::Resource("fd", "tls_sock"));
+    getsockopt.args.push_back(ArgDesc::IntRange("opt", 0, 4));
+    getsockopt.fn = [](Kernel& k, const std::vector<i64>& args) {
+      Sock* sk = Lookup(k, args[0]);
+      return sk == nullptr ? kEBadf : SockCommonGetsockopt(k, sk, args[1]);
+    };
+    kernel.table().Add(std::move(getsockopt));
+
+    SyscallDesc err_abort;
+    err_abort.name = "tls$err_abort";
+    err_abort.subsystem = name();
+    err_abort.args.push_back(ArgDesc::Resource("fd", "tls_sock"));
+    err_abort.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      Sock* sk = Lookup(k, args[0]);
+      return sk == nullptr ? kEBadf : TlsErrAbort(k, sk);
+    };
+    kernel.table().Add(std::move(err_abort));
+
+    SyscallDesc anomalies;
+    anomalies.name = "tls$anomalies";
+    anomalies.subsystem = name();
+    anomalies.args.push_back(ArgDesc::Resource("fd", "tls_sock"));
+    anomalies.fn = [](Kernel& k, const std::vector<i64>& args) {
+      Sock* sk = Lookup(k, args[0]);
+      return sk == nullptr ? kEBadf : static_cast<long>(sk->err_anomalies.raw());
+    };
+    kernel.table().Add(std::move(anomalies));
+
+    SyscallDesc poll;
+    poll.name = "tls$poll";
+    poll.subsystem = name();
+    poll.args.push_back(ArgDesc::Resource("fd", "tls_sock"));
+    poll.fn = [](Kernel& k, const std::vector<i64>& args) {
+      Sock* sk = Lookup(k, args[0]);
+      return sk == nullptr ? kEBadf : TlsPoll(k, sk);
+    };
+    kernel.table().Add(std::move(poll));
+  }
+
+  // net/tls/tls_main.c: tls_init() (Fig. 7 lines 3-11)
+  long TlsInit(Kernel& k, Sock* sk) {
+    if (OSK_READ_ONCE(sk->sk_prot) == &kTlsProto) {
+      return kEAlready;
+    }
+    TlsContext* ctx = k.New<TlsContext>("tls_init");
+    OSK_STORE(sk->sk_user_data, ctx);                       // Fig. 7 line 5
+    const Proto* base = OSK_READ_ONCE(sk->sk_prot);
+    OSK_STORE(ctx->sk_proto, base);                         // Fig. 7 line 6
+    if (fix_init_wmb_) {
+      OSK_SMP_WMB();                                        // Fig. 7 line 8 (the missing barrier)
+    }
+    OSK_WRITE_ONCE(sk->sk_prot, &kTlsProto);                // Fig. 7 line 9
+    return kOk;
+  }
+
+  // net/tls/tls_main.c: tls_err_abort() (Table 4 #8)
+  long TlsErrAbort(Kernel& k, Sock* sk) {
+    OSK_WRITE_ONCE(sk->sk_err, -kEIO);
+    if (fix_err_abort_) {
+      OSK_SMP_WMB();
+    }
+    OSK_WRITE_ONCE(sk->strp_stopped, 1);
+    (void)k;
+    return kOk;
+  }
+
+ private:
+  // net/core/socket.c: sock_common_setsockopt() (Fig. 7 lines 18-22)
+  static long SockCommonSetsockopt(Kernel& k, Sock* sk, i64 val) {
+    const Proto* prot = OSK_READ_ONCE(sk->sk_prot);
+    k.Deref(prot, "sock_common_setsockopt");
+    return prot->setsockopt(k, sk, val);
+  }
+
+  static long SockCommonGetsockopt(Kernel& k, Sock* sk, i64 opt) {
+    const Proto* prot = OSK_READ_ONCE(sk->sk_prot);
+    k.Deref(prot, "sock_common_getsockopt");
+    return prot->getsockopt(k, sk, opt);
+  }
+
+  // Reader of the err_abort publication: once the stripper is stopped, a
+  // zero sk_err is a protocol violation — the "wrong value" symptom of
+  // Table 4 #8 (no crash; counted as an anomaly).
+  static long TlsPoll(Kernel& k, Sock* sk) {
+    u32 stopped = OSK_READ_ONCE(sk->strp_stopped);
+    if (stopped == 0) {
+      return 0;
+    }
+    i32 err = OSK_LOAD(sk->sk_err);
+    if (err == 0) {
+      u64 n = OSK_LOAD(sk->err_anomalies);
+      OSK_STORE(sk->err_anomalies, n + 1);
+      return 0;  // wrong value returned to userspace
+    }
+    (void)k;
+    return err;
+  }
+
+  static Sock* Lookup(Kernel& k, i64 handle) {
+    return static_cast<Sock*>(k.GetResource("tls_sock", handle));
+  }
+
+  bool fix_init_wmb_ = false;
+  bool fix_err_abort_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeTlsSubsystem() { return std::make_unique<TlsSubsystem>(); }
+
+}  // namespace ozz::osk

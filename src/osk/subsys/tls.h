@@ -1,0 +1,24 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_TLS_H_
+#define OZZ_SRC_OSK_SUBSYS_TLS_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// net/tls: three scenarios from the paper —
+//  * Bug #9 (Figure 7): tls_init() publishes sk->sk_prot before ctx->sk_proto
+//    is initialized (missing smp_wmb); tls_setsockopt crashes on the
+//    uninitialized context. The WRITE_ONCE/READ_ONCE annotations of the
+//    earlier (incorrect) data-race fix are faithfully present.
+//  * Bug #5: same publication race reached through tls_getsockopt.
+//  * Table 4 #8: tls_err_abort() lockless error publication — the symptom is
+//    a wrong value returned to the syscall, not a crash (tracked by an
+//    anomaly counter).
+// Fixed keys: "tls" (everything), "tls.init_wmb", "tls.err_abort".
+std::unique_ptr<Subsystem> MakeTlsSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_TLS_H_

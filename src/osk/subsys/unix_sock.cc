@@ -1,0 +1,87 @@
+// AF_UNIX subsystem (Table 4 #9).
+#include "src/osk/subsys/unix_sock.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+struct UnixPath {
+  oemu::Cell<u32> dentry_ref;
+};
+
+struct UnixAddr {
+  oemu::Cell<u32> len;
+  oemu::Cell<UnixPath*> path;
+};
+
+struct UnixSock {
+  oemu::Cell<UnixAddr*> addr;
+};
+
+}  // namespace
+
+class UnixSockSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "unix"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("unix");
+    u_ = kernel.New<UnixSock>("unix_sock_init");
+
+    SyscallDesc bind;
+    bind.name = "unix$bind";
+    bind.subsystem = name();
+    bind.args.push_back(ArgDesc::IntRange("len", 1, 108));
+    bind.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Bind(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(bind));
+
+    SyscallDesc getname;
+    getname.name = "unix$getname";
+    getname.subsystem = name();
+    getname.fn = [this](Kernel& k, const std::vector<i64>&) { return Getname(k); };
+    kernel.table().Add(std::move(getname));
+  }
+
+  // net/unix/af_unix.c: unix_bind() — the writer side is correctly ordered
+  // (initialize the addr, wmb, publish the pointer).
+  long Bind(Kernel& k, u32 len) {
+    if (OSK_LOAD(u_->addr) != nullptr) {
+      return kEAlready;
+    }
+    UnixAddr* a = k.New<UnixAddr>("unix_bind_addr");
+    OSK_STORE(a->len, len);
+    OSK_STORE(a->path, k.New<UnixPath>("unix_bind_path"));
+    OSK_SMP_WMB();  // writer barrier present even in the buggy form
+    OSK_STORE(u_->addr, a);
+    return kOk;
+  }
+
+  // net/unix/af_unix.c: unix_getname() — the buggy reader uses a plain load
+  // of u->addr; on Alpha-class reordering the dependent loads of a->path and
+  // a->len can observe the pre-initialization contents.
+  long Getname(Kernel& k) {
+    UnixAddr* a = fixed_ ? OSK_LOAD_ACQUIRE(u_->addr) : OSK_LOAD(u_->addr);
+    if (a == nullptr) {
+      return kENoEnt;
+    }
+    UnixPath* p = OSK_LOAD(a->path);
+    k.Deref(p, "unix_getname");
+    u32 refs = OSK_LOAD(p->dentry_ref);
+    OSK_STORE(p->dentry_ref, refs + 1);
+    return static_cast<long>(OSK_LOAD(a->len));
+  }
+
+ private:
+  UnixSock* u_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeUnixSockSubsystem() {
+  return std::make_unique<UnixSockSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,19 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_UNIX_SOCK_H_
+#define OZZ_SRC_OSK_SUBSYS_UNIX_SOCK_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// net/unix: unix_bind() publishes u->addr with a correct writer-side barrier,
+// but readers load it with a *plain* load and then follow the pointer —
+// load-load reordering lets the dependent field load observe pre-publication
+// contents (Table 4 #9, L-L; the patch added acquire ordering on the reader).
+// Fixed key: "unix" (reader uses smp_load_acquire).
+std::unique_ptr<Subsystem> MakeUnixSockSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_UNIX_SOCK_H_

@@ -1,0 +1,86 @@
+// 802.1q VLAN subsystem (Table 4 #1).
+#include "src/osk/subsys/vlan.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr u32 kMaxVlans = 8;
+
+struct NetDevice {
+  oemu::Cell<u32> ifindex;
+  oemu::Cell<u64> tx_packets;
+};
+
+struct VlanGroup {
+  oemu::Cell<NetDevice*> vlan_devices[kMaxVlans];
+  oemu::Cell<u32> nr_vlan_devs;
+};
+
+}  // namespace
+
+class VlanSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "vlan"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("vlan");
+    grp_ = kernel.New<VlanGroup>("vlan_group_init");
+
+    SyscallDesc add;
+    add.name = "vlan$add";
+    add.subsystem = name();
+    add.fn = [this](Kernel& k, const std::vector<i64>&) { return AddDevice(k); };
+    kernel.table().Add(std::move(add));
+
+    SyscallDesc get;
+    get.name = "vlan$get";
+    get.subsystem = name();
+    get.args.push_back(ArgDesc::IntRange("idx", 0, kMaxVlans - 1));
+    get.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return GetDevice(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(get));
+  }
+
+  // net/8021q/vlan.c: register_vlan_dev() -> vlan_group_set_device().
+  long AddDevice(Kernel& k) {
+    u32 n = OSK_LOAD(grp_->nr_vlan_devs);
+    if (n >= kMaxVlans) {
+      return kENoMem;
+    }
+    NetDevice* dev = k.New<NetDevice>("vlan_add");
+    OSK_STORE(dev->ifindex, n + 100);
+    OSK_STORE(grp_->vlan_devices[n], dev);
+    if (fixed_) {
+      OSK_SMP_WMB();
+    }
+    OSK_STORE(grp_->nr_vlan_devs, n + 1);
+    return static_cast<long>(n);
+  }
+
+  // net/8021q/vlan_core.c: vlan_group_get_device() — trusts nr_vlan_devs.
+  // The patch annotates both sides (WRITE_ONCE/READ_ONCE + barriers): the
+  // annotated count read also pins the dependent slot load (Case 6).
+  long GetDevice(Kernel& k, u32 idx) {
+    u32 n = fixed_ ? OSK_READ_ONCE(grp_->nr_vlan_devs) : OSK_LOAD(grp_->nr_vlan_devs);
+    if (idx >= n) {
+      return kENoEnt;
+    }
+    NetDevice* dev = OSK_LOAD(grp_->vlan_devices[idx]);
+    k.Deref(dev, "vlan_group_get_device");
+    u64 tx = OSK_LOAD(dev->tx_packets);
+    OSK_STORE(dev->tx_packets, tx + 1);
+    return static_cast<long>(OSK_LOAD(dev->ifindex));
+  }
+
+ private:
+  VlanGroup* grp_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeVlanSubsystem() { return std::make_unique<VlanSubsystem>(); }
+
+}  // namespace ozz::osk

@@ -1,0 +1,19 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_VLAN_H_
+#define OZZ_SRC_OSK_SUBSYS_VLAN_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// net/8021q: vlan_group_set_device() stores the device pointer into the group
+// array, then bumps nr_vlan_devs; without a write barrier a reader that
+// trusts the count dereferences a slot whose store is still buffered —
+// Table 4 #1 ("net: fix a data race when get vlan device", S-S).
+// Fixed key: "vlan".
+std::unique_ptr<Subsystem> MakeVlanSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_VLAN_H_

@@ -1,0 +1,98 @@
+// VMCI queue-pair subsystem (Table 3 Bug #3).
+#include "src/osk/subsys/vmci.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+struct WaitQueue {
+  oemu::Cell<u32> waiters;
+};
+
+// Allocated *uninitialized* (like a plain kmalloc): fields read back as the
+// arena poison pattern until explicitly stored.
+struct QPair {
+  oemu::Cell<WaitQueue*> wq;
+  oemu::Cell<u32> produce_size;
+};
+
+}  // namespace
+
+class VmciSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "vmci"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("vmci");
+    state_ = kernel.New<State>("vmci_init");
+    // The qpair structure itself exists from device registration; attach
+    // only initializes its fields. It is a plain kmalloc — uninitialized
+    // fields read back as poison until the attach stores commit.
+    state_->qpair.set_raw(
+        static_cast<QPair*>(kernel.KmAllocUninit(sizeof(QPair), "vmci_qp_alloc")));
+
+    SyscallDesc attach;
+    attach.name = "vmci$qp_attach";
+    attach.subsystem = name();
+    attach.args.push_back(ArgDesc::Flags("size", {256, 512}));
+    attach.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Attach(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(attach));
+
+    SyscallDesc poll;
+    poll.name = "vmci$qp_poll";
+    poll.subsystem = name();
+    poll.fn = [this](Kernel& k, const std::vector<i64>&) { return Poll(k); };
+    kernel.table().Add(std::move(poll));
+  }
+
+  // vmci_qp_attach(): initialize the qpair's fields, then publish the
+  // attached flag. Without the write barrier the flag can become visible
+  // while the field stores are still buffered — and the fields are
+  // uninitialized (poison), not zero.
+  long Attach(Kernel& k, u32 size) {
+    if (OSK_READ_ONCE(state_->attached) != 0) {
+      return kEAlready;
+    }
+    QPair* qp = state_->qpair.raw();
+    WaitQueue* wq = k.New<WaitQueue>("vmci_wq_alloc");
+    OSK_STORE(qp->wq, wq);
+    OSK_STORE(qp->produce_size, size);
+    if (fixed_) {
+      OSK_SMP_WMB();
+    }
+    OSK_WRITE_ONCE(state_->attached, 1);
+    return kOk;
+  }
+
+  // vmci_qpair poll path: waits on the queue-pair's wait queue. With the
+  // init stores reordered past the attached flag, qp->wq is uninitialized
+  // garbage and add_wait_queue faults.
+  long Poll(Kernel& k) {
+    if (OSK_READ_ONCE(state_->attached) == 0) {
+      return 0;
+    }
+    QPair* qp = state_->qpair.raw();  // device-lifetime pointer, never racy
+    WaitQueue* wq = OSK_LOAD(qp->wq);
+    k.Deref(wq, "add_wait_queue");
+    u32 w = OSK_LOAD(wq->waiters);
+    OSK_STORE(wq->waiters, w + 1);
+    return kOk;
+  }
+
+ private:
+  struct State {
+    oemu::Cell<QPair*> qpair;
+    oemu::Cell<u32> attached;
+  };
+
+  State* state_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeVmciSubsystem() { return std::make_unique<VmciSubsystem>(); }
+
+}  // namespace ozz::osk

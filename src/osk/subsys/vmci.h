@@ -1,0 +1,19 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_VMCI_H_
+#define OZZ_SRC_OSK_SUBSYS_VMCI_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// drivers/misc/vmw_vmci: queue-pair attach publishes the attached flag while
+// the wait-queue pointer store is still in the store buffer. Because the
+// qpair is allocated without __GFP_ZERO, the reader dereferences
+// *uninitialized* memory — a general protection fault in add_wait_queue
+// (Table 3 Bug #3). Fixed key: "vmci".
+std::unique_ptr<Subsystem> MakeVmciSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_VMCI_H_

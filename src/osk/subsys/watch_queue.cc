@@ -1,0 +1,118 @@
+// watch_queue / pipe subsystem — the paper's running example (Figure 1).
+//
+// post_one_notification() initializes a ring-buffer entry and bumps `head`;
+// pipe_read() consumes entries while head > tail. Two barriers are required:
+//   (wmb) the entry must be fully initialized before the bumped head is
+//         visible (store side), and
+//   (rmb) the reader must not speculatively load the entry before checking
+//         head (load side).
+// The buggy form omits both. KernelConfig::fixed keys:
+//   "watch_queue"      — both barriers applied
+//   "watch_queue.wmb"  — only the writer barrier
+//   "watch_queue.rmb"  — only the reader barrier
+#include "src/osk/subsys/watch_queue.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+constexpr u32 kRingSize = 8;
+
+struct PipeBufOps {
+  // Returns the confirmed length; the bug fires before we get here when the
+  // ops pointer itself is garbage.
+  u32 (*confirm)(u32 len);
+};
+
+u32 WqPipeConfirm(u32 len) { return len; }
+
+const PipeBufOps kWqPipeOps{&WqPipeConfirm};
+
+struct PipeBuffer {
+  oemu::Cell<u32> len;
+  oemu::Cell<const PipeBufOps*> ops;
+};
+
+struct Pipe {
+  oemu::Cell<u32> head;
+  oemu::Cell<u32> tail;
+  PipeBuffer bufs[kRingSize];
+};
+
+}  // namespace
+
+class WatchQueueSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "watch_queue"; }
+
+  void Init(Kernel& kernel) override {
+    pipe_ = kernel.New<Pipe>("watch_queue_init");
+    fix_wmb_ = kernel.IsFixed("watch_queue") || kernel.IsFixed("watch_queue.wmb");
+    fix_rmb_ = kernel.IsFixed("watch_queue") || kernel.IsFixed("watch_queue.rmb");
+
+    SyscallDesc post;
+    post.name = "wq$post";
+    post.subsystem = name();
+    post.args.push_back(ArgDesc::IntRange("len", 1, 64));
+    post.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return PostOneNotification(k, static_cast<u32>(args[0]));
+    };
+    kernel.table().Add(std::move(post));
+
+    SyscallDesc read;
+    read.name = "wq$read";
+    read.subsystem = name();
+    read.fn = [this](Kernel& k, const std::vector<i64>&) { return PipeRead(k); };
+    kernel.table().Add(std::move(read));
+  }
+
+  // kernel/watch_queue.c: post_one_notification()
+  long PostOneNotification(Kernel& k, u32 len) {
+    u32 head = OSK_LOAD(pipe_->head);
+    u32 tail = OSK_LOAD(pipe_->tail);
+    if (head - tail >= kRingSize) {
+      return kEAgain;  // ring full
+    }
+    PipeBuffer& buf = pipe_->bufs[head % kRingSize];
+    OSK_STORE(buf.len, len);
+    OSK_STORE(buf.ops, &kWqPipeOps);
+    if (fix_wmb_) {
+      OSK_SMP_WMB();  // Fig. 1 line 7: initialization completes before head
+    }
+    OSK_STORE(pipe_->head, head + 1);
+    (void)k;
+    return kOk;
+  }
+
+  // fs/pipe.c: pipe_read()
+  long PipeRead(Kernel& k) {
+    u32 head = OSK_LOAD(pipe_->head);
+    u32 tail = OSK_LOAD(pipe_->tail);
+    if (head <= tail) {
+      return kEAgain;  // nothing to read
+    }
+    if (fix_rmb_) {
+      OSK_SMP_RMB();  // Fig. 1 line 15: no speculative entry loads
+    }
+    PipeBuffer& buf = pipe_->bufs[tail % kRingSize];
+    u32 len = OSK_LOAD(buf.len);
+    const PipeBufOps* ops = OSK_LOAD(buf.ops);
+    k.Deref(ops, "pipe_read");  // Fig. 1 line 18: buf->ops->confirm()
+    u32 confirmed = ops->confirm(len);
+    OSK_STORE(pipe_->tail, tail + 1);
+    return static_cast<long>(confirmed);
+  }
+
+ private:
+  Pipe* pipe_ = nullptr;
+  bool fix_wmb_ = false;
+  bool fix_rmb_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeWatchQueueSubsystem() {
+  return std::make_unique<WatchQueueSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,15 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_WATCH_QUEUE_H_
+#define OZZ_SRC_OSK_SUBSYS_WATCH_QUEUE_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// Figure 1: the watch_queue/pipe ring-buffer OOO bug (store- and load-side).
+std::unique_ptr<Subsystem> MakeWatchQueueSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_WATCH_QUEUE_H_

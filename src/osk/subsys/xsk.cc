@@ -1,0 +1,131 @@
+// net/xdp subsystem (Table 3 Bugs #4/#7; Table 4 #3/#4).
+#include "src/osk/subsys/xsk.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+enum XskState : u32 { kXskUnbound = 0, kXskBound = 1 };
+
+struct XskRing {
+  oemu::Cell<u32> producer;
+  oemu::Cell<u32> consumer;
+  oemu::Cell<u32> size;
+};
+
+struct XdpSock {
+  oemu::Cell<u32> state;
+  oemu::Cell<XskRing*> rx;
+  oemu::Cell<XskRing*> tx;
+};
+
+}  // namespace
+
+class XskSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "xsk"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("xsk");
+
+    SyscallDesc create;
+    create.name = "xsk$socket";
+    create.subsystem = name();
+    create.produces = "xsk_sock";
+    create.fn = [](Kernel& k, const std::vector<i64>&) {
+      XdpSock* xs = k.New<XdpSock>("xsk_socket");
+      return static_cast<long>(k.RegisterResource("xsk_sock", xs));
+    };
+    kernel.table().Add(std::move(create));
+
+    SyscallDesc bind;
+    bind.name = "xsk$bind";
+    bind.subsystem = name();
+    bind.args.push_back(ArgDesc::Resource("fd", "xsk_sock"));
+    bind.args.push_back(ArgDesc::Flags("ring_size", {64, 128, 256}));
+    bind.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      XdpSock* xs = Lookup(k, args[0]);
+      return xs == nullptr ? kEBadf : Bind(k, xs, static_cast<u32>(args[1]));
+    };
+    kernel.table().Add(std::move(bind));
+
+    SyscallDesc poll;
+    poll.name = "xsk$poll";
+    poll.subsystem = name();
+    poll.args.push_back(ArgDesc::Resource("fd", "xsk_sock"));
+    poll.fn = [](Kernel& k, const std::vector<i64>& args) {
+      XdpSock* xs = Lookup(k, args[0]);
+      return xs == nullptr ? kEBadf : Poll(k, xs);
+    };
+    kernel.table().Add(std::move(poll));
+
+    SyscallDesc sendmsg;
+    sendmsg.name = "xsk$sendmsg";
+    sendmsg.subsystem = name();
+    sendmsg.args.push_back(ArgDesc::Resource("fd", "xsk_sock"));
+    sendmsg.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      XdpSock* xs = Lookup(k, args[0]);
+      return xs == nullptr ? kEBadf : GenericXmit(k, xs);
+    };
+    kernel.table().Add(std::move(sendmsg));
+  }
+
+  // net/xdp/xsk.c: xsk_bind() — sets up the rings, then publishes the bound
+  // state. Without the write barrier the state flag can become visible while
+  // the ring pointers are still in the store buffer.
+  long Bind(Kernel& k, XdpSock* xs, u32 ring_size) {
+    if (OSK_READ_ONCE(xs->state) == kXskBound) {
+      return kEAlready;
+    }
+    XskRing* rx = k.New<XskRing>("xsk_bind_rx");
+    rx->size.set_raw(ring_size);
+    XskRing* tx = k.New<XskRing>("xsk_bind_tx");
+    tx->size.set_raw(ring_size);
+    OSK_STORE(xs->rx, rx);
+    OSK_STORE(xs->tx, tx);
+    if (fixed_) {
+      OSK_SMP_WMB();  // Table 4 #4: use state member for socket synchronization
+    }
+    OSK_WRITE_ONCE(xs->state, kXskBound);
+    return kOk;
+  }
+
+  // net/xdp/xsk.c: xsk_poll() (Bug #4).
+  static long Poll(Kernel& k, XdpSock* xs) {
+    if (OSK_READ_ONCE(xs->state) != kXskBound) {
+      return 0;
+    }
+    XskRing* rx = OSK_LOAD(xs->rx);
+    k.Deref(rx, "xsk_poll");
+    u32 avail = OSK_LOAD(rx->producer) - OSK_LOAD(rx->consumer);
+    return static_cast<long>(avail);
+  }
+
+  // net/xdp/xsk.c: xsk_generic_xmit() (Bug #7). The buggy reader uses a
+  // plain state load, so its dependent ring load can also be reordered; the
+  // patch annotates the state check (Case 6 then pins the ring load).
+  long GenericXmit(Kernel& k, XdpSock* xs) {
+    u32 state = fixed_ ? OSK_READ_ONCE(xs->state) : OSK_LOAD(xs->state);
+    if (state != kXskBound) {
+      return kENotConn;
+    }
+    XskRing* tx = OSK_LOAD(xs->tx);
+    k.Deref(tx, "xsk_generic_xmit");
+    u32 prod = OSK_LOAD(tx->producer);
+    OSK_STORE(tx->producer, prod + 1);
+    return kOk;
+  }
+
+ private:
+  static XdpSock* Lookup(Kernel& k, i64 handle) {
+    return static_cast<XdpSock*>(k.GetResource("xsk_sock", handle));
+  }
+
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeXskSubsystem() { return std::make_unique<XskSubsystem>(); }
+
+}  // namespace ozz::osk

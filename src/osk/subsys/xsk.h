@@ -1,0 +1,18 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_XSK_H_
+#define OZZ_SRC_OSK_SUBSYS_XSK_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// net/xdp (AF_XDP sockets): xsk_bind() publishes the socket state flag before
+// the rx/tx rings are visible (missing smp_wmb). Readers crash on the
+// unpublished rings: xsk_poll (Table 3 Bug #4) and xsk_generic_xmit (Bug #7);
+// the same pattern underlies Table 4 #3/#4. Fixed key: "xsk".
+std::unique_ptr<Subsystem> MakeXskSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_XSK_H_

@@ -1,0 +1,32 @@
+#include "src/osk/syscall.h"
+
+#include "src/base/check.h"
+
+namespace ozz::osk {
+
+void SyscallTable::Add(SyscallDesc desc) {
+  OZZ_CHECK_MSG(Find(desc.name) == nullptr, "duplicate syscall name");
+  OZZ_CHECK(desc.fn != nullptr);
+  descs_.push_back(std::move(desc));
+}
+
+const SyscallDesc* SyscallTable::Find(std::string_view name) const {
+  for (const SyscallDesc& d : descs_) {
+    if (d.name == name) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const SyscallDesc*> SyscallTable::InSubsystem(std::string_view subsystem) const {
+  std::vector<const SyscallDesc*> out;
+  for (const SyscallDesc& d : descs_) {
+    if (d.subsystem == subsystem) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+}  // namespace ozz::osk

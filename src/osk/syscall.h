@@ -1,0 +1,92 @@
+// Syscall descriptors and dispatch table.
+//
+// The reproduction's analogue of the Syzlang templates OZZ uses to produce
+// *valid* single-threaded inputs (§4.2): each syscall declares typed
+// arguments — integer ranges, flag choices, and resources (handles produced
+// by earlier syscalls, like a file descriptor from open consumed by write) —
+// so the generator can preserve resource dependencies across calls.
+#ifndef OZZ_SRC_OSK_SYSCALL_H_
+#define OZZ_SRC_OSK_SYSCALL_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace ozz::osk {
+
+class Kernel;
+
+// Errno-style return values (negative on failure, like the kernel ABI).
+inline constexpr long kOk = 0;
+inline constexpr long kEPerm = -1;
+inline constexpr long kENoEnt = -2;
+inline constexpr long kEIO = -5;
+inline constexpr long kEBadf = -9;
+inline constexpr long kEAgain = -11;
+inline constexpr long kENoMem = -12;
+inline constexpr long kEFault = -14;
+inline constexpr long kEBusy = -16;
+inline constexpr long kEInval = -22;
+inline constexpr long kENotConn = -107;
+inline constexpr long kEAlready = -114;
+
+struct ArgDesc {
+  enum class Kind : u8 { kIntRange, kFlags, kResource };
+
+  static ArgDesc IntRange(std::string name, i64 min, i64 max) {
+    ArgDesc a;
+    a.kind = Kind::kIntRange;
+    a.name = std::move(name);
+    a.min = min;
+    a.max = max;
+    return a;
+  }
+  static ArgDesc Flags(std::string name, std::vector<i64> choices) {
+    ArgDesc a;
+    a.kind = Kind::kFlags;
+    a.name = std::move(name);
+    a.choices = std::move(choices);
+    return a;
+  }
+  static ArgDesc Resource(std::string name, std::string type) {
+    ArgDesc a;
+    a.kind = Kind::kResource;
+    a.name = std::move(name);
+    a.resource = std::move(type);
+    return a;
+  }
+
+  Kind kind = Kind::kIntRange;
+  std::string name;
+  i64 min = 0;
+  i64 max = 0;
+  std::vector<i64> choices;
+  std::string resource;
+};
+
+struct SyscallDesc {
+  std::string name;       // e.g. "tls$setsockopt"
+  std::string subsystem;  // owning subsystem, e.g. "tls"
+  std::vector<ArgDesc> args;
+  // Resource type produced through a non-negative return value ("" = none).
+  std::string produces;
+  std::function<long(Kernel&, const std::vector<i64>&)> fn;
+};
+
+class SyscallTable {
+ public:
+  void Add(SyscallDesc desc);
+  const SyscallDesc* Find(std::string_view name) const;
+  const std::vector<SyscallDesc>& all() const { return descs_; }
+  std::vector<const SyscallDesc*> InSubsystem(std::string_view subsystem) const;
+
+ private:
+  std::vector<SyscallDesc> descs_;
+};
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SYSCALL_H_

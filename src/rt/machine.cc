@@ -1,0 +1,252 @@
+#include "src/rt/machine.h"
+
+#include <exception>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace ozz::rt {
+namespace {
+
+thread_local Machine* tls_machine = nullptr;
+thread_local SimThread* tls_thread = nullptr;
+
+}  // namespace
+
+SimThread::SimThread(Machine* machine, ThreadId id, CpuId cpu, std::string name,
+                     std::function<void()> body)
+    : machine_(machine), id_(id), cpu_(cpu), name_(std::move(name)), body_(std::move(body)) {}
+
+u32 SimThread::hits(InstrId instr) const {
+  auto it = instr_hits_.find(instr);
+  return it == instr_hits_.end() ? 0 : it->second;
+}
+
+Machine::Machine(int num_cpus) : num_cpus_(num_cpus) { OZZ_CHECK(num_cpus > 0); }
+
+Machine::~Machine() { OZZ_CHECK_MSG(!running_, "Machine destroyed while running"); }
+
+ThreadId Machine::AddThread(std::string name, CpuId cpu, std::function<void()> body) {
+  OZZ_CHECK(!running_);
+  OZZ_CHECK(cpu >= 0 && cpu < num_cpus_);
+  ThreadId id = static_cast<ThreadId>(threads_.size());
+  threads_.push_back(
+      std::make_unique<SimThread>(this, id, cpu, std::move(name), std::move(body)));
+  return id;
+}
+
+Machine* Machine::Current() { return tls_machine; }
+SimThread* Machine::CurrentThread() { return tls_thread; }
+
+int Machine::Run() {
+  if (threads_.empty()) {
+    return 0;
+  }
+  {
+    std::unique_lock<std::mutex> lock(lock_);
+    running_ = true;
+    plan_cursor_ = 0;
+    context_switches_ = 0;
+    finished_count_ = 0;
+  }
+  for (auto& t : threads_) {
+    t->os_thread_ = std::thread([this, raw = t.get()] { ThreadMain(raw); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(lock_);
+    // Wait for every thread to park in kReady before granting the token so
+    // the initial thread choice is honored regardless of OS scheduling.
+    done_cv_.wait(lock, [this] {
+      for (const auto& t : threads_) {
+        if (t->state_ == SimThread::State::kNotStarted) {
+          return false;
+        }
+      }
+      return true;
+    });
+    ThreadId first = plan_.first;
+    if (first < 0 || static_cast<std::size_t>(first) >= threads_.size()) {
+      first = 0;
+    }
+    SimThread* t0 = threads_[static_cast<std::size_t>(first)].get();
+    t0->state_ = SimThread::State::kRunning;
+    t0->cv_.notify_one();
+    done_cv_.wait(lock,
+                  [this] { return finished_count_ == static_cast<int>(threads_.size()); });
+    running_ = false;
+  }
+  for (auto& t : threads_) {
+    t->os_thread_.join();
+    if (t->had_uncaught_exception_) {
+      OZZ_LOG(Error) << "simulated thread '" << t->name_ << "' exited with uncaught exception";
+    }
+  }
+  return context_switches_;
+}
+
+void Machine::ThreadMain(SimThread* t) {
+  tls_machine = this;
+  tls_thread = t;
+  try {
+    {
+      std::unique_lock<std::mutex> lock(lock_);
+      t->state_ = SimThread::State::kReady;
+      done_cv_.notify_all();
+      WaitForToken(lock, t);
+    }
+    t->body_();
+  } catch (const ThreadKilled&) {
+    // Torn down after a simulated kernel crash; nothing to do.
+  } catch (...) {
+    t->had_uncaught_exception_ = true;
+  }
+  {
+    std::unique_lock<std::mutex> lock(lock_);
+    SimThread* next = NextReady(t->id_);
+    SwitchLocked(lock, t, next, /*from_finished=*/true);
+  }
+  tls_machine = nullptr;
+  tls_thread = nullptr;
+}
+
+SimThread* Machine::NextReady(ThreadId from) {
+  std::size_t n = threads_.size();
+  for (std::size_t step = 1; step <= n; ++step) {
+    std::size_t idx = (static_cast<std::size_t>(from) + step) % n;
+    SimThread* cand = threads_[idx].get();
+    if (cand->id_ != from && cand->state_ == SimThread::State::kReady) {
+      return cand;
+    }
+  }
+  return nullptr;
+}
+
+void Machine::SwitchLocked(std::unique_lock<std::mutex>& lock, SimThread* from, SimThread* to,
+                           bool from_finished) {
+  if (from_finished) {
+    from->state_ = SimThread::State::kFinished;
+    ++finished_count_;
+    if (finished_count_ == static_cast<int>(threads_.size())) {
+      done_cv_.notify_all();
+      return;
+    }
+    OZZ_CHECK_MSG(to != nullptr, "no ready thread left but machine not done");
+  } else {
+    OZZ_CHECK(to != nullptr);
+    from->state_ = SimThread::State::kReady;
+  }
+  ++context_switches_;
+  if (switch_hook_) {
+    switch_hook_(from->id_, to->id_);
+  }
+  to->state_ = SimThread::State::kRunning;
+  to->cv_.notify_one();
+  if (!from_finished) {
+    WaitForToken(lock, from);
+  }
+}
+
+namespace {
+
+// Unwinds a killed thread — but never while another exception is already in
+// flight (a destructor performing an instrumented access mid-unwind must not
+// turn into std::terminate).
+void MaybeThrowKilled(std::unique_lock<std::mutex>& lock, const bool kill_requested) {
+  if (kill_requested && std::uncaught_exceptions() == 0) {
+    lock.unlock();
+    throw ThreadKilled{};
+  }
+}
+
+}  // namespace
+
+void Machine::WaitForToken(std::unique_lock<std::mutex>& lock, SimThread* t) {
+  t->cv_.wait(lock, [t] { return t->state_ == SimThread::State::kRunning; });
+  MaybeThrowKilled(lock, t->kill_requested_);
+}
+
+void Machine::ArmPlan() {
+  std::unique_lock<std::mutex> lock(lock_);
+  for (auto& t : threads_) {
+    t->instr_hits_.clear();
+  }
+  plan_armed_ = true;
+}
+
+void Machine::OnInstr(InstrId instr, SwitchWhen phase) {
+  SimThread* cur = tls_thread;
+  OZZ_CHECK_MSG(cur != nullptr, "OnInstr from a host thread");
+  std::unique_lock<std::mutex> lock(lock_);
+  MaybeThrowKilled(lock, cur->kill_requested_);
+  if (!plan_armed_) {
+    return;
+  }
+  if (phase == SwitchWhen::kBeforeAccess) {
+    ++cur->instr_hits_[instr];
+  }
+  if (plan_cursor_ >= plan_.points.size()) {
+    return;
+  }
+  const SchedPoint& pt = plan_.points[plan_cursor_];
+  if (pt.instr != instr || pt.when != phase) {
+    return;
+  }
+  if (pt.thread != kAnyThread && pt.thread != cur->id_) {
+    return;
+  }
+  if (cur->instr_hits_[instr] != pt.occurrence) {
+    return;
+  }
+  ++plan_cursor_;
+  SimThread* next = nullptr;
+  if (pt.next != kAnyThread) {
+    SimThread* cand = threads_.at(static_cast<std::size_t>(pt.next)).get();
+    if (cand->state_ == SimThread::State::kReady) {
+      next = cand;
+    }
+  } else {
+    next = NextReady(cur->id_);
+  }
+  if (next == nullptr) {
+    // Target already finished (or never existed): consume the point and keep
+    // running; the test degenerates into sequential execution.
+    return;
+  }
+  SwitchLocked(lock, cur, next, /*from_finished=*/false);
+}
+
+bool Machine::Yield() {
+  SimThread* cur = tls_thread;
+  OZZ_CHECK_MSG(cur != nullptr, "Yield from a host thread");
+  std::unique_lock<std::mutex> lock(lock_);
+  MaybeThrowKilled(lock, cur->kill_requested_);
+  SimThread* next = NextReady(cur->id_);
+  if (next == nullptr) {
+    return false;
+  }
+  SwitchLocked(lock, cur, next, /*from_finished=*/false);
+  return true;
+}
+
+void Machine::InterruptSelf() {
+  SimThread* cur = tls_thread;
+  OZZ_CHECK_MSG(cur != nullptr, "InterruptSelf from a host thread");
+  if (interrupt_hook_) {
+    interrupt_hook_(cur->id_);
+  }
+}
+
+void Machine::KillOthers() {
+  SimThread* cur = tls_thread;
+  std::unique_lock<std::mutex> lock(lock_);
+  for (auto& t : threads_) {
+    if (cur == nullptr || t->id_ != cur->id_) {
+      if (t->state_ != SimThread::State::kFinished) {
+        t->kill_requested_ = true;
+      }
+    }
+  }
+}
+
+}  // namespace ozz::rt

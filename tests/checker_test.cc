@@ -1,0 +1,128 @@
+// Unit tests for the independent LKMM trace checker.
+#include "src/lkmm/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/oemu/cell.h"
+#include "src/oemu/runtime.h"
+
+namespace ozz::lkmm {
+namespace {
+
+using oemu::Cell;
+using oemu::InstrKind;
+using oemu::Runtime;
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime_.Activate(nullptr); }
+  void TearDown() override { runtime_.Deactivate(); }
+
+  ThreadId Tid() { return Runtime::CurrentThreadId(); }
+
+  std::vector<Violation> Validate() {
+    std::map<ThreadId, oemu::Trace> traces;
+    traces[Tid()] = runtime_.StopRecording(Tid());
+    return checker_.Validate(traces, runtime_.history());
+  }
+
+  Runtime runtime_;
+  Checker checker_;
+  Cell<u64> x_{0};
+  Cell<u64> y_{0};
+};
+
+TEST_F(CheckerTest, CleanInOrderTraceValidates) {
+  runtime_.StartRecording(Tid());
+  OSK_STORE(x_, 1);
+  OSK_SMP_WMB();
+  OSK_STORE(y_, 2);
+  (void)OSK_LOAD(x_);
+  (void)OSK_LOAD(y_);
+  EXPECT_TRUE(Validate().empty());
+}
+
+TEST_F(CheckerTest, DelayedStoreWithLaterFlushValidates) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  runtime_.StartRecording(Tid());
+  StoreCell(store_instr, x_, 1);
+  OSK_STORE(y_, 2);  // overtakes — legal, no barrier between
+  runtime_.FlushThread(Tid());
+  EXPECT_TRUE(Validate().empty());
+}
+
+TEST_F(CheckerTest, VersionedLoadWithinWindowValidates) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "x");
+  // Another core writes so this thread's coherence floor stays at 0.
+  Runtime::OverrideThreadForTesting(1);
+  OSK_STORE(x_, 1);
+  OSK_STORE(x_, 2);
+  Runtime::OverrideThreadForTesting(kAnyThread);
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  runtime_.StartRecording(Tid());
+  EXPECT_EQ(LoadCell(load_instr, x_), 0u);  // window starts at 0
+  EXPECT_TRUE(Validate().empty());
+}
+
+// Hand-craft an illegal trace: a store "committed" before a barrier claims
+// it was still pending — the checker must flag it.
+TEST_F(CheckerTest, FlagsStoreLeakingPastBarrier) {
+  oemu::Trace trace;
+  oemu::Event store;
+  store.kind = oemu::Event::Kind::kAccess;
+  store.access = oemu::AccessType::kStore;
+  store.instr = 1;
+  store.occurrence = 1;
+  store.addr = 0x1000;
+  store.size = 8;
+  store.delayed = true;
+  store.timestamp = 5;
+  trace.push_back(store);
+
+  oemu::Event barrier;
+  barrier.kind = oemu::Event::Kind::kBarrier;
+  barrier.instr = 2;
+  barrier.barrier = oemu::BarrierType::kStoreBarrier;
+  barrier.timestamp = 6;
+  trace.push_back(barrier);  // pending store crosses a wmb: illegal
+
+  std::map<ThreadId, oemu::Trace> traces;
+  traces[0] = trace;
+  oemu::StoreHistory empty;
+  std::vector<Violation> violations = checker_.Validate(traces, empty);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kStoreBarrier);
+}
+
+TEST_F(CheckerTest, FlagsLoadOutsideWindow) {
+  oemu::Trace trace;
+  oemu::Event load;
+  load.kind = oemu::Event::Kind::kAccess;
+  load.access = oemu::AccessType::kLoad;
+  load.instr = 3;
+  load.occurrence = 1;
+  load.addr = x_.address();
+  load.size = 8;
+  load.value = 777;  // memory never held 777
+  load.window = 0;
+  load.timestamp = 2;
+  trace.push_back(load);
+
+  std::map<ThreadId, oemu::Trace> traces;
+  traces[0] = trace;
+  oemu::StoreHistory empty;
+  std::vector<Violation> violations = checker_.Validate(traces, empty);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kLoadWindow);
+}
+
+TEST_F(CheckerTest, ViolationKindNamesAreStable) {
+  EXPECT_STREQ(ViolationKindName(ViolationKind::kCoherence), "coherence");
+  EXPECT_STREQ(ViolationKindName(ViolationKind::kStoreBarrier), "store-barrier");
+  EXPECT_STREQ(ViolationKindName(ViolationKind::kLoadWindow), "load-window");
+  EXPECT_STREQ(ViolationKindName(ViolationKind::kLoadStore), "load-store-reorder");
+}
+
+}  // namespace
+}  // namespace ozz::lkmm

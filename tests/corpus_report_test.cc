@@ -1,0 +1,115 @@
+// Tests for the corpus (coverage-guided retention) and bug reports.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/profile.h"
+#include "src/fuzz/report.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::fuzz {
+namespace {
+
+Prog MakeTrivialProg(const osk::SyscallTable& table) {
+  return SeedProgramFor(table, "watch_queue");
+}
+
+TEST(CorpusTest, KeepsOnlyNewCoverage) {
+  osk::Kernel k;
+  osk::InstallDefaultSubsystems(k);
+  Prog prog = MakeTrivialProg(k.table());
+  Corpus corpus;
+  EXPECT_TRUE(corpus.Add(prog, {1, 2, 3}));
+  EXPECT_EQ(corpus.size(), 1u);
+  EXPECT_FALSE(corpus.Add(prog, {1, 2})) << "no new coverage, not kept";
+  EXPECT_TRUE(corpus.Add(prog, {3, 4}));
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.coverage_size(), 4u);
+  base::Rng rng(1);
+  (void)corpus.Pick(rng);
+}
+
+TEST(ReportTest, ContainsHypotheticalBarrierAndAccesses) {
+  // Drive the canonical watch_queue crash and inspect the report fields.
+  FuzzerOptions options;
+  options.seed = 5;
+  options.max_mti_runs = 400;
+  options.stop_after_bugs = 1;
+  Fuzzer fuzzer(options);
+  CampaignResult result = fuzzer.RunProg(SeedProgramFor(fuzzer.table(), "watch_queue"));
+  ASSERT_FALSE(result.bugs.empty());
+  const BugReport& report = result.bugs[0].report;
+  EXPECT_FALSE(report.title.empty());
+  EXPECT_EQ(report.subsystem, "watch_queue");
+  EXPECT_TRUE(report.reorder_type == "S-S" || report.reorder_type == "L-L");
+  EXPECT_FALSE(report.reordered_accesses.empty());
+  EXPECT_NE(report.hypothetical_barrier.find("barrier"), std::string::npos);
+  // The barrier suggestion names watch_queue source locations.
+  EXPECT_NE(report.hypothetical_barrier.find("watch_queue.cc"), std::string::npos)
+      << report.hypothetical_barrier;
+
+  std::string rendered = FormatBugReport(report);
+  EXPECT_NE(rendered.find(report.title), std::string::npos);
+  EXPECT_NE(rendered.find("hypothetical barrier"), std::string::npos);
+  EXPECT_NE(rendered.find("program:"), std::string::npos);
+}
+
+TEST(ReportTest, CampaignDedupesByTitle) {
+  FuzzerOptions options;
+  options.seed = 5;
+  options.max_mti_runs = 1200;
+  options.stop_after_bugs = 64;
+  Fuzzer fuzzer(options);
+  CampaignResult result = fuzzer.RunProg(SeedProgramFor(fuzzer.table(), "watch_queue"));
+  std::set<std::string> titles;
+  for (const FoundBug& bug : result.bugs) {
+    EXPECT_TRUE(titles.insert(bug.report.title).second) << "duplicate: " << bug.report.title;
+  }
+}
+
+TEST(ReportTest, JsonRenderingEscapesAndStructures) {
+  BugReport report;
+  report.title = "BUG: \"quoted\"\nline";
+  report.subsystem = "tls";
+  report.reorder_type = "S-S";
+  report.hypothetical_barrier = "between a and b";
+  report.prog = "r0 = tls$open()";
+  report.hint = "store-barrier-test";
+  report.reordered_accesses = {"tls.cc:1 (a)", "tls.cc:2 (b)"};
+  std::string json = BugReportToJson(report);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"reorder_type\":\"S-S\""), std::string::npos);
+  EXPECT_NE(json.find("\"reordered_accesses\":[\"tls.cc:1 (a)\",\"tls.cc:2 (b)\"]"),
+            std::string::npos);
+}
+
+TEST(ReportTest, CampaignJsonSummarizes) {
+  FuzzerOptions options;
+  options.seed = 5;
+  options.max_mti_runs = 400;
+  options.stop_after_bugs = 1;
+  Fuzzer fuzzer(options);
+  CampaignResult result = fuzzer.RunProg(SeedProgramFor(fuzzer.table(), "watch_queue"));
+  ASSERT_FALSE(result.bugs.empty());
+  std::string json = CampaignToJson(result);
+  EXPECT_NE(json.find("\"mti_runs\":"), std::string::npos);
+  EXPECT_NE(json.find("\"bugs\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"found_at_test\":"), std::string::npos);
+  EXPECT_NE(json.find("pipe_read"), std::string::npos);
+}
+
+TEST(ReportTest, FindByTitleWorks) {
+  CampaignResult result;
+  FoundBug bug;
+  bug.report.title = "KASAN: slab-out-of-bounds Read in rds_loop_xmit";
+  result.bugs.push_back(bug);
+  EXPECT_NE(result.FindByTitle("rds_loop_xmit"), nullptr);
+  EXPECT_EQ(result.FindByTitle("nothing"), nullptr);
+}
+
+}  // namespace
+}  // namespace ozz::fuzz

@@ -1,0 +1,175 @@
+// Tests for MTI execution (§4.4): prefix/pair/epilogue structure, plan
+// arming, reorder-control installation, and crash collection.
+#include "src/fuzz/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/hints.h"
+#include "src/fuzz/profile.h"
+#include "src/fuzz/syslang.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::fuzz {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    osk::InstallDefaultSubsystems(template_kernel_);
+  }
+
+  Prog Seed(const char* name) { return SeedProgramFor(template_kernel_.table(), name); }
+
+  // First hint for (call_a -> call_b) of `prog`.
+  SchedHint FirstHint(const Prog& prog, std::size_t a, std::size_t b,
+                      const HintOptions& options = {}) {
+    ProgProfile profile = ProfileProg(prog, {});
+    std::vector<SchedHint> hints =
+        ComputeHints(profile.calls[a].trace, profile.calls[b].trace, options);
+    EXPECT_FALSE(hints.empty());
+    return hints.empty() ? SchedHint{} : hints[0];
+  }
+
+  osk::Kernel template_kernel_;
+};
+
+TEST_F(ExecutorTest, SequentialWhenHintNeverFires) {
+  Prog prog = Seed("watch_queue");
+  MtiSpec spec;
+  spec.prog = prog;
+  spec.call_a = 0;
+  spec.call_b = 1;
+  spec.hint.sched.instr = 424242;  // never executed
+  spec.hint.sched_phase = rt::SwitchWhen::kAfterAccess;
+  MtiResult result = RunMti(spec);
+  EXPECT_FALSE(result.crashed);
+  EXPECT_FALSE(result.switch_fired);
+  EXPECT_EQ(result.ret_a, osk::kOk);
+  EXPECT_EQ(result.ret_b, 1) << "reader consumed the posted notification";
+}
+
+TEST_F(ExecutorTest, CanonicalWatchQueueHintCrashes) {
+  Prog prog = Seed("watch_queue");
+  HintOptions options;
+  options.load_tests = false;
+  SchedHint hint = FirstHint(prog, 0, 1, options);
+  MtiSpec spec;
+  spec.prog = prog;
+  spec.call_a = 0;
+  spec.call_b = 1;
+  spec.hint = hint;
+  MtiResult result = RunMti(spec);
+  EXPECT_TRUE(result.switch_fired);
+  ASSERT_TRUE(result.crashed);
+  EXPECT_NE(result.crash.title.find("pipe_read"), std::string::npos) << result.crash.title;
+  EXPECT_GT(result.stats.delayed_stores, 0u);
+}
+
+TEST_F(ExecutorTest, ReorderingDisabledRunsSameHintSafely) {
+  Prog prog = Seed("watch_queue");
+  HintOptions options;
+  options.load_tests = false;
+  SchedHint hint = FirstHint(prog, 0, 1, options);
+  MtiSpec spec;
+  spec.prog = prog;
+  spec.call_a = 0;
+  spec.call_b = 1;
+  spec.hint = hint;
+  MtiOptions mti_options;
+  mti_options.reordering = false;
+  MtiResult result = RunMti(spec, mti_options);
+  EXPECT_FALSE(result.crashed) << result.crash.title;
+  EXPECT_TRUE(result.switch_fired) << "interleaving still happens, reordering does not";
+  EXPECT_EQ(result.stats.delayed_stores, 0u);
+}
+
+TEST_F(ExecutorTest, PrefixResolvesResources) {
+  // tls seed: open (prefix), init (pair a), setsockopt (pair b).
+  Prog prog = Seed("tls");
+  MtiSpec spec;
+  spec.prog = prog;
+  spec.call_a = 1;
+  spec.call_b = 2;
+  spec.hint.sched.instr = 424242;
+  MtiResult result = RunMti(spec);
+  EXPECT_FALSE(result.crashed);
+  EXPECT_EQ(result.results[0], 0) << "open produced handle 0 in the prefix";
+  EXPECT_EQ(result.ret_a, osk::kOk) << "init consumed the prefix-produced handle";
+}
+
+TEST_F(ExecutorTest, EpilogueRunsAfterPair) {
+  // tls_err_abort seed has a trailing tls$anomalies epilogue call.
+  Prog prog = Seed("tls_err_abort");
+  ASSERT_EQ(prog.calls.size(), 4u);
+  MtiSpec spec;
+  spec.prog = prog;
+  spec.call_a = 1;
+  spec.call_b = 2;
+  spec.hint.sched.instr = 424242;
+  MtiResult result = RunMti(spec);
+  EXPECT_FALSE(result.crashed);
+  ASSERT_EQ(result.results.size(), 4u);
+  EXPECT_GE(result.results[3], 0) << "epilogue anomaly counter query ran";
+}
+
+TEST_F(ExecutorTest, CrashTerminatesEpilogue) {
+  Prog prog = Seed("watch_queue");
+  // Append a trailing call that must not run after the crash.
+  Prog with_tail = prog;
+  with_tail.calls.push_back(prog.calls[0]);
+  HintOptions options;
+  options.load_tests = false;
+  SchedHint hint = FirstHint(prog, 0, 1, options);
+  MtiSpec spec;
+  spec.prog = with_tail;
+  spec.call_a = 0;
+  spec.call_b = 1;
+  spec.hint = hint;
+  MtiResult result = RunMti(spec);
+  ASSERT_TRUE(result.crashed);
+  EXPECT_EQ(result.results[2], -1) << "epilogue is skipped on a crashed kernel";
+}
+
+TEST_F(ExecutorTest, DeterministicAcrossRuns) {
+  Prog prog = Seed("watch_queue");
+  HintOptions options;
+  options.load_tests = false;
+  SchedHint hint = FirstHint(prog, 0, 1, options);
+  MtiSpec spec;
+  spec.prog = prog;
+  spec.call_a = 0;
+  spec.call_b = 1;
+  spec.hint = hint;
+  MtiResult first = RunMti(spec);
+  MtiResult second = RunMti(spec);
+  EXPECT_EQ(first.crashed, second.crashed);
+  EXPECT_EQ(first.crash.title, second.crash.title);
+  EXPECT_EQ(first.stats.delayed_stores, second.stats.delayed_stores);
+}
+
+TEST_F(ExecutorTest, LoadTestHintUsesVersionedLoads) {
+  osk::KernelConfig config;
+  config.fixed.insert("watch_queue.wmb");  // isolate the reader-side bug
+  Prog prog = Seed("watch_queue");
+  ProgProfile profile = ProfileProg(prog, config);
+  HintOptions options;
+  options.store_tests = false;
+  // Reader (call 1) reorders; writer (call 0) observes/constructs history.
+  std::vector<SchedHint> hints =
+      ComputeHints(profile.calls[1].trace, profile.calls[0].trace, options);
+  ASSERT_FALSE(hints.empty());
+  MtiSpec spec;
+  spec.prog = prog;
+  spec.call_a = 1;
+  spec.call_b = 0;
+  spec.hint = hints[0];
+  MtiOptions mti_options;
+  mti_options.kernel_config = config;
+  MtiResult result = RunMti(spec, mti_options);
+  EXPECT_TRUE(result.switch_fired);
+  ASSERT_TRUE(result.crashed) << "Fig. 5b: versioned loads must expose the missing rmb";
+  EXPECT_GT(result.stats.versioned_load_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ozz::fuzz

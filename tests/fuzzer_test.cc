@@ -1,0 +1,88 @@
+// End-to-end tests for the OZZ pipeline (§4): profiling, hint calculation,
+// MTI execution, and bug discovery on the canonical scenarios.
+#include "src/fuzz/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/log.h"
+
+namespace ozz::fuzz {
+namespace {
+
+FuzzerOptions OptionsFor(const std::string& subsystem_seed, osk::KernelConfig config = {}) {
+  FuzzerOptions options;
+  options.seed = 12345;
+  options.max_mti_runs = 2000;
+  options.stop_after_bugs = 1;
+  options.kernel_config = std::move(config);
+  (void)subsystem_seed;
+  return options;
+}
+
+CampaignResult HuntIn(const std::string& subsystem, osk::KernelConfig config = {},
+                      bool reordering = true) {
+  FuzzerOptions options = OptionsFor(subsystem, std::move(config));
+  options.reordering = reordering;
+  Fuzzer fuzzer(options);
+  Prog seed = SeedProgramFor(fuzzer.table(), subsystem);
+  return fuzzer.RunProg(seed);
+}
+
+TEST(FuzzerTest, FindsWatchQueueStoreBug) {
+  CampaignResult result = HuntIn("watch_queue");
+  ASSERT_EQ(result.bugs.size(), 1u);
+  EXPECT_NE(result.bugs[0].report.title.find("pipe_read"), std::string::npos)
+      << result.bugs[0].report.title;
+  EXPECT_EQ(result.bugs[0].report.subsystem, "watch_queue");
+}
+
+TEST(FuzzerTest, WatchQueueBugInvisibleInOrder) {
+  CampaignResult result = HuntIn("watch_queue", {}, /*reordering=*/false);
+  EXPECT_TRUE(result.bugs.empty())
+      << "an interleaving-only fuzzer must not see the OOO bug: "
+      << result.bugs[0].report.title;
+}
+
+TEST(FuzzerTest, WatchQueueFixedKernelIsClean) {
+  osk::KernelConfig config;
+  config.fixed.insert("watch_queue");
+  CampaignResult result = HuntIn("watch_queue", config);
+  EXPECT_TRUE(result.bugs.empty()) << result.bugs[0].report.title;
+}
+
+TEST(FuzzerTest, FindsTlsSetsockoptBug) {
+  CampaignResult result = HuntIn("tls");
+  ASSERT_EQ(result.bugs.size(), 1u);
+  EXPECT_NE(result.bugs[0].report.title.find("tls_setsockopt"), std::string::npos)
+      << result.bugs[0].report.title;
+}
+
+TEST(FuzzerTest, FindsRdsCustomLockBug) {
+  CampaignResult result = HuntIn("rds");
+  ASSERT_EQ(result.bugs.size(), 1u);
+  EXPECT_NE(result.bugs[0].report.title.find("rds_loop_xmit"), std::string::npos)
+      << result.bugs[0].report.title;
+}
+
+TEST(FuzzerTest, ReportsHypotheticalBarrier) {
+  CampaignResult result = HuntIn("watch_queue");
+  ASSERT_EQ(result.bugs.size(), 1u);
+  const BugReport& report = result.bugs[0].report;
+  EXPECT_FALSE(report.hypothetical_barrier.empty());
+  EXPECT_FALSE(report.reordered_accesses.empty());
+  EXPECT_NE(FormatBugReport(report).find("hypothetical barrier"), std::string::npos);
+}
+
+TEST(FuzzerTest, CampaignOverSeedsFindsMultipleBugs) {
+  FuzzerOptions options;
+  options.seed = 7;
+  options.max_mti_runs = 4000;
+  options.stop_after_bugs = 5;
+  Fuzzer fuzzer(options);
+  CampaignResult result = fuzzer.Run();
+  EXPECT_GE(result.bugs.size(), 3u);
+  EXPECT_GT(result.coverage, 0u);
+}
+
+}  // namespace
+}  // namespace ozz::fuzz

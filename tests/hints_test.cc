@@ -1,0 +1,244 @@
+// Tests for scheduling-hint calculation (Algorithms 1 and 2, §4.3).
+#include "src/fuzz/hints.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/profile.h"
+#include "src/fuzz/syslang.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::fuzz {
+namespace {
+
+// Builds a synthetic access event.
+oemu::Event Access(InstrId instr, oemu::AccessType type, uptr addr, u32 occurrence = 1) {
+  oemu::Event e;
+  e.kind = oemu::Event::Kind::kAccess;
+  e.instr = instr;
+  e.access = type;
+  e.addr = addr;
+  e.size = 8;
+  e.occurrence = occurrence;
+  return e;
+}
+
+oemu::Event Barrier(oemu::BarrierType type) {
+  oemu::Event e;
+  e.kind = oemu::Event::Kind::kBarrier;
+  e.instr = 999;
+  e.barrier = type;
+  return e;
+}
+
+constexpr uptr kA = 0x1000;
+constexpr uptr kB = 0x2000;
+constexpr uptr kC = 0x3000;
+constexpr uptr kPrivate = 0x9000;
+
+TEST(FilterSharedTest, DropsUnsharedAccessesKeepsBarriers) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kStore, kA),
+      Access(2, oemu::AccessType::kStore, kPrivate),
+      Barrier(oemu::BarrierType::kStoreBarrier),
+      Access(3, oemu::AccessType::kLoad, kB),
+  };
+  oemu::Trace other{
+      Access(10, oemu::AccessType::kLoad, kA),
+      Access(11, oemu::AccessType::kStore, kB),
+  };
+  oemu::Trace filtered = FilterShared(mine, other);
+  ASSERT_EQ(filtered.size(), 3u);
+  EXPECT_EQ(filtered[0].instr, 1u);
+  EXPECT_TRUE(filtered[1].IsBarrier());
+  EXPECT_EQ(filtered[2].instr, 3u);
+}
+
+TEST(FilterSharedTest, LoadLoadPairsAreNotShared) {
+  oemu::Trace mine{Access(1, oemu::AccessType::kLoad, kA)};
+  oemu::Trace other{Access(10, oemu::AccessType::kLoad, kA)};
+  EXPECT_TRUE(FilterShared(mine, other).empty()) << "two loads never race";
+}
+
+// Figure 5a: stores W(a) W(b) W(c) W(d) with no barrier — the store-test
+// hints are the prefixes {a,b,c}, {a,b}, {a} (plus suffix extensions), all
+// with scheduling point after W(d).
+TEST(ComputeHintsTest, StoreTestPrefixes) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kStore, kA),
+      Access(2, oemu::AccessType::kStore, kB),
+      Access(3, oemu::AccessType::kStore, kC),
+      Access(4, oemu::AccessType::kStore, 0x4000),
+  };
+  oemu::Trace other{
+      Access(10, oemu::AccessType::kLoad, kA),
+      Access(11, oemu::AccessType::kLoad, kB),
+      Access(12, oemu::AccessType::kLoad, kC),
+      Access(13, oemu::AccessType::kLoad, 0x4000),
+  };
+  HintOptions options;
+  options.load_tests = false;
+  options.suffix_store_hints = false;
+  std::vector<SchedHint> hints = ComputeHints(mine, other, options);
+  ASSERT_EQ(hints.size(), 3u);
+  // Heuristic: largest reorder set first.
+  EXPECT_EQ(hints[0].reorder.size(), 3u);
+  EXPECT_EQ(hints[1].reorder.size(), 2u);
+  EXPECT_EQ(hints[2].reorder.size(), 1u);
+  for (const SchedHint& h : hints) {
+    EXPECT_TRUE(h.store_test);
+    EXPECT_EQ(h.sched.instr, 4u) << "sched point is the group's last access";
+    EXPECT_EQ(h.sched_phase, rt::SwitchWhen::kAfterAccess);
+    EXPECT_EQ(h.reorder.front().instr, 1u) << "prefixes start at the first store";
+  }
+}
+
+TEST(ComputeHintsTest, SuffixExtensionAddsTailSets) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kStore, kA),
+      Access(2, oemu::AccessType::kStore, kB),
+      Access(3, oemu::AccessType::kStore, kC),
+  };
+  oemu::Trace other{
+      Access(10, oemu::AccessType::kLoad, kA),
+      Access(11, oemu::AccessType::kLoad, kB),
+      Access(12, oemu::AccessType::kLoad, kC),
+  };
+  HintOptions options;
+  options.load_tests = false;
+  std::vector<SchedHint> hints = ComputeHints(mine, other, options);
+  // Prefixes {1,2}, {1}; suffix {2}.
+  ASSERT_EQ(hints.size(), 3u);
+  bool saw_suffix = false;
+  for (const SchedHint& h : hints) {
+    if (h.suffix_shape) {
+      saw_suffix = true;
+      ASSERT_EQ(h.reorder.size(), 1u);
+      EXPECT_EQ(h.reorder[0].instr, 2u) << "the suffix delays only the newest earlier store";
+    }
+  }
+  EXPECT_TRUE(saw_suffix);
+}
+
+TEST(ComputeHintsTest, StoreBarrierSplitsGroups) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kStore, kA),
+      Barrier(oemu::BarrierType::kStoreBarrier),
+      Access(2, oemu::AccessType::kStore, kB),
+      Access(3, oemu::AccessType::kStore, kC),
+  };
+  oemu::Trace other{
+      Access(10, oemu::AccessType::kLoad, kA),
+      Access(11, oemu::AccessType::kLoad, kB),
+      Access(12, oemu::AccessType::kLoad, kC),
+  };
+  HintOptions options;
+  options.load_tests = false;
+  options.suffix_store_hints = false;
+  std::vector<SchedHint> hints = ComputeHints(mine, other, options);
+  // Group 1 = {store kA} alone: no hint (needs >= 2 accesses).
+  // Group 2 = {kB, kC}: one prefix hint {kB} with sched at kC.
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_EQ(hints[0].sched.instr, 3u);
+  ASSERT_EQ(hints[0].reorder.size(), 1u);
+  EXPECT_EQ(hints[0].reorder[0].instr, 2u);
+  EXPECT_TRUE(hints[0].reorder[0].type == oemu::AccessType::kStore);
+}
+
+// Figure 5b: loads R(w) R(x) R(y) R(z) — load-test hints are the suffixes
+// {x,y,z}, {y,z}, {z}, scheduling point before R(w).
+TEST(ComputeHintsTest, LoadTestSuffixes) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kLoad, kA),
+      Access(2, oemu::AccessType::kLoad, kB),
+      Access(3, oemu::AccessType::kLoad, kC),
+      Access(4, oemu::AccessType::kLoad, 0x4000),
+  };
+  oemu::Trace other{
+      Access(10, oemu::AccessType::kStore, kA),
+      Access(11, oemu::AccessType::kStore, kB),
+      Access(12, oemu::AccessType::kStore, kC),
+      Access(13, oemu::AccessType::kStore, 0x4000),
+  };
+  HintOptions options;
+  options.store_tests = false;
+  std::vector<SchedHint> hints = ComputeHints(mine, other, options);
+  ASSERT_EQ(hints.size(), 3u);
+  EXPECT_EQ(hints[0].reorder.size(), 3u);
+  EXPECT_EQ(hints[2].reorder.size(), 1u);
+  EXPECT_EQ(hints[2].reorder[0].instr, 4u) << "suffixes end at the last load";
+  for (const SchedHint& h : hints) {
+    EXPECT_FALSE(h.store_test);
+    EXPECT_EQ(h.sched.instr, 1u) << "sched point is the group's first access";
+    EXPECT_EQ(h.sched_phase, rt::SwitchWhen::kBeforeAccess);
+  }
+}
+
+TEST(ComputeHintsTest, LoadBarrierSplitsLoadGroups) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kLoad, kA),
+      Barrier(oemu::BarrierType::kLoadBarrier),
+      Access(2, oemu::AccessType::kLoad, kB),
+      Access(3, oemu::AccessType::kLoad, kC),
+  };
+  oemu::Trace other{
+      Access(10, oemu::AccessType::kStore, kA),
+      Access(11, oemu::AccessType::kStore, kB),
+      Access(12, oemu::AccessType::kStore, kC),
+  };
+  HintOptions options;
+  options.store_tests = false;
+  std::vector<SchedHint> hints = ComputeHints(mine, other, options);
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_EQ(hints[0].sched.instr, 2u);
+  EXPECT_EQ(hints[0].reorder[0].instr, 3u);
+}
+
+TEST(ComputeHintsTest, ImpliedBarriersFromAnnotationsSplitLoadGroups) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kLoad, kA),
+      Barrier(oemu::BarrierType::kImpliedLoad),  // READ_ONCE's window effect
+      Access(2, oemu::AccessType::kLoad, kB),
+  };
+  oemu::Trace other{
+      Access(10, oemu::AccessType::kStore, kA),
+      Access(11, oemu::AccessType::kStore, kB),
+  };
+  HintOptions options;
+  options.store_tests = false;
+  EXPECT_TRUE(ComputeHints(mine, other, options).empty())
+      << "each group is a single load: nothing to reorder";
+}
+
+TEST(ComputeHintsTest, MaxHintsCapRespected) {
+  oemu::Trace mine;
+  oemu::Trace other;
+  for (u32 i = 1; i <= 24; ++i) {
+    mine.push_back(Access(i, oemu::AccessType::kStore, 0x1000 + i * 8, 1));
+    other.push_back(Access(100 + i, oemu::AccessType::kLoad, 0x1000 + i * 8, 1));
+  }
+  HintOptions options;
+  options.max_hints = 10;
+  EXPECT_EQ(ComputeHints(mine, other, options).size(), 10u);
+}
+
+// Real-trace integration: hints computed from the watch_queue seed profile
+// must include the Fig. 5a-shaped hint (delay {len, ops}, switch after the
+// head store).
+TEST(ComputeHintsTest, WatchQueueProfileYieldsCanonicalHint) {
+  osk::Kernel k;
+  osk::InstallDefaultSubsystems(k);
+  Prog seed = SeedProgramFor(k.table(), "watch_queue");
+  ProgProfile profile = ProfileProg(seed, {});
+  ASSERT_EQ(profile.calls.size(), 2u);
+  std::vector<SchedHint> hints =
+      ComputeHints(profile.calls[0].trace, profile.calls[1].trace, HintOptions{});
+  ASSERT_FALSE(hints.empty());
+  bool canonical = false;
+  for (const SchedHint& h : hints) {
+    canonical = canonical || (h.store_test && h.reorder.size() == 2);
+  }
+  EXPECT_TRUE(canonical) << "expected a store-test hint delaying both init stores";
+}
+
+}  // namespace
+}  // namespace ozz::fuzz

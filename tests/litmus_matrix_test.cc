@@ -1,0 +1,124 @@
+// Parameterized MP barrier matrix: every combination of writer-side and
+// reader-side ordering for the message-passing shape, asserting exactly when
+// the weak outcome (flag seen, payload stale) is reachable. This is Table 1
+// turned into an executable truth table: the weak outcome survives unless
+// BOTH sides are ordered.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lkmm/litmus.h"
+
+namespace ozz::lkmm {
+namespace {
+
+enum class WriterOrder { kNone, kWmb, kMb, kRelease };
+enum class ReaderOrder { kNone, kRmb, kMb, kAcquire, kReadOnce };
+
+struct MatrixCase {
+  WriterOrder writer;
+  ReaderOrder reader;
+
+  // MP's weak outcome is forbidden iff both sides impose ordering. On the
+  // reader side READ_ONCE counts: OEMU treats annotated loads as load
+  // barriers for the versioning window (LKMM Case 6).
+  bool weak_forbidden() const {
+    return writer != WriterOrder::kNone && reader != ReaderOrder::kNone;
+  }
+};
+
+std::string CaseName(const MatrixCase& c) {
+  const char* w = c.writer == WriterOrder::kNone      ? "plain"
+                  : c.writer == WriterOrder::kWmb     ? "wmb"
+                  : c.writer == WriterOrder::kMb      ? "mb"
+                                                      : "release";
+  const char* r = c.reader == ReaderOrder::kNone       ? "plain"
+                  : c.reader == ReaderOrder::kRmb      ? "rmb"
+                  : c.reader == ReaderOrder::kMb       ? "mb"
+                  : c.reader == ReaderOrder::kAcquire  ? "acquire"
+                                                       : "read_once";
+  return std::string("writer_") + w + "_reader_" + r;
+}
+
+class LitmusMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(LitmusMatrixTest, MpWeakOutcomeMatchesTheModel) {
+  const MatrixCase& c = GetParam();
+  LitmusBody writer = [c](LitmusEnv& e, LitmusRegs&) {
+    OSK_STORE(e.x, 1);  // payload
+    switch (c.writer) {
+      case WriterOrder::kNone:
+        OSK_STORE(e.y, 1);
+        break;
+      case WriterOrder::kWmb:
+        OSK_SMP_WMB();
+        OSK_STORE(e.y, 1);
+        break;
+      case WriterOrder::kMb:
+        OSK_SMP_MB();
+        OSK_STORE(e.y, 1);
+        break;
+      case WriterOrder::kRelease:
+        OSK_STORE_RELEASE(e.y, 1ull);
+        break;
+    }
+  };
+  LitmusBody reader = [c](LitmusEnv& e, LitmusRegs& r) {
+    switch (c.reader) {
+      case ReaderOrder::kNone:
+        r[0] = OSK_LOAD(e.y);
+        break;
+      case ReaderOrder::kRmb:
+        r[0] = OSK_LOAD(e.y);
+        OSK_SMP_RMB();
+        break;
+      case ReaderOrder::kMb:
+        r[0] = OSK_LOAD(e.y);
+        OSK_SMP_MB();
+        break;
+      case ReaderOrder::kAcquire:
+        r[0] = OSK_LOAD_ACQUIRE(e.y);
+        break;
+      case ReaderOrder::kReadOnce:
+        r[0] = OSK_READ_ONCE(e.y);
+        break;
+    }
+    r[1] = OSK_LOAD(e.x);
+  };
+
+  LitmusResult result = ExploreLitmus(writer, reader);
+  ASSERT_TRUE(result.violations.empty()) << result.violations[0].detail;
+
+  LitmusOutcome weak{};
+  weak[kLitmusRegs] = 1;      // reader saw the flag
+  weak[kLitmusRegs + 1] = 0;  // ... but not the payload
+  if (c.weak_forbidden()) {
+    EXPECT_FALSE(result.Saw(weak))
+        << CaseName(c) << ": weak outcome must be forbidden";
+  } else {
+    EXPECT_TRUE(result.Saw(weak)) << CaseName(c) << ": weak outcome must be reachable";
+  }
+}
+
+constexpr WriterOrder kWriters[] = {WriterOrder::kNone, WriterOrder::kWmb, WriterOrder::kMb,
+                                    WriterOrder::kRelease};
+constexpr ReaderOrder kReaders[] = {ReaderOrder::kNone, ReaderOrder::kRmb, ReaderOrder::kMb,
+                                    ReaderOrder::kAcquire, ReaderOrder::kReadOnce};
+
+std::vector<MatrixCase> AllCases() {
+  std::vector<MatrixCase> cases;
+  for (WriterOrder w : kWriters) {
+    for (ReaderOrder r : kReaders) {
+      cases.push_back(MatrixCase{w, r});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(BarrierMatrix, LitmusMatrixTest, ::testing::ValuesIn(AllCases()),
+                         [](const ::testing::TestParamInfo<MatrixCase>& info) {
+                           return CaseName(info.param);
+                         });
+
+}  // namespace
+}  // namespace ozz::lkmm

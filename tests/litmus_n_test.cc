@@ -1,0 +1,143 @@
+// N-thread litmus tests: WRC, IRIW, 2+2W, R — including the multi-copy
+// atomicity property of the emulation (a single global commit order exists,
+// like ARMv8's other-multi-copy-atomic model; POWER-style IRIW outcomes are
+// out of OEMU's reach by construction, which keeps it LKMM-safe).
+#include <gtest/gtest.h>
+
+#include "src/lkmm/litmus.h"
+
+namespace ozz::lkmm {
+namespace {
+
+void ExpectNoViolations(const LitmusNResult& result) {
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.size() << " LKMM violations, first: " << result.violations[0].detail;
+}
+
+// ---- WRC (write-to-read causality) ----
+// T0: x=1        T1: r0=x; y=1        T2: r0=y; r1=x
+// Forbidden with proper barriers: T2 sees y==1 but x==0.
+TEST(LitmusWrc, WeakOutcomeReachableWithoutBarriers) {
+  LitmusNResult result = ExploreLitmusN({
+      [](LitmusEnv& e, LitmusRegs&) { OSK_STORE(e.x, 1); },
+      [](LitmusEnv& e, LitmusRegs& r) {
+        r[0] = OSK_LOAD(e.x);
+        OSK_STORE(e.y, 1);
+      },
+      [](LitmusEnv& e, LitmusRegs& r) {
+        r[0] = OSK_LOAD(e.y);
+        r[1] = OSK_LOAD(e.x);
+      },
+  });
+  ExpectNoViolations(result);
+  // T1 saw x==1 and published y==1; T2 reads y==1 then (reordered) x==0.
+  EXPECT_TRUE(result.Saw({0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0}))
+      << "WRC weak outcome must be reachable without reader barriers";
+}
+
+TEST(LitmusWrc, BarrieredReadersForbidTheWeakOutcome) {
+  LitmusNResult result = ExploreLitmusN({
+      [](LitmusEnv& e, LitmusRegs&) { OSK_STORE(e.x, 1); },
+      [](LitmusEnv& e, LitmusRegs& r) {
+        r[0] = OSK_LOAD(e.x);
+        OSK_SMP_MB();
+        OSK_STORE(e.y, 1);
+      },
+      [](LitmusEnv& e, LitmusRegs& r) {
+        r[0] = OSK_LOAD(e.y);
+        OSK_SMP_RMB();
+        r[1] = OSK_LOAD(e.x);
+      },
+  });
+  ExpectNoViolations(result);
+  for (const LitmusNOutcome& o : result.outcomes) {
+    bool t1_saw_x = o.regs[kLitmusRegs] == 1;
+    bool t2_saw_y = o.regs[2 * kLitmusRegs] == 1;
+    bool t2_saw_x = o.regs[2 * kLitmusRegs + 1] == 1;
+    if (t1_saw_x && t2_saw_y) {
+      EXPECT_TRUE(t2_saw_x) << "causality chain x -> y -> reader must hold with barriers";
+    }
+  }
+}
+
+// ---- IRIW (independent reads of independent writes) ----
+// T0: x=1   T1: y=1   T2: r0=x; rmb; r1=y   T3: r0=y; rmb; r1=x
+// The POWER-style outcome (readers disagree on the write order: T2 sees
+// x=1,y=0 while T3 sees y=1,x=0) requires non-multi-copy-atomic stores.
+// OEMU's single global commit order cannot produce it — by design.
+TEST(LitmusIriw, MultiCopyAtomicityHolds) {
+  LitmusNResult result = ExploreLitmusN({
+      [](LitmusEnv& e, LitmusRegs&) { OSK_STORE(e.x, 1); },
+      [](LitmusEnv& e, LitmusRegs&) { OSK_STORE(e.y, 1); },
+      [](LitmusEnv& e, LitmusRegs& r) {
+        r[0] = OSK_LOAD(e.x);
+        OSK_SMP_RMB();
+        r[1] = OSK_LOAD(e.y);
+      },
+      [](LitmusEnv& e, LitmusRegs& r) {
+        r[0] = OSK_LOAD(e.y);
+        OSK_SMP_RMB();
+        r[1] = OSK_LOAD(e.x);
+      },
+  });
+  ExpectNoViolations(result);
+  for (const LitmusNOutcome& o : result.outcomes) {
+    bool t2_x_not_y = o.regs[2 * kLitmusRegs] == 1 && o.regs[2 * kLitmusRegs + 1] == 0;
+    bool t3_y_not_x = o.regs[3 * kLitmusRegs] == 1 && o.regs[3 * kLitmusRegs + 1] == 0;
+    EXPECT_FALSE(t2_x_not_y && t3_y_not_x)
+        << "IRIW weak outcome implies non-multi-copy-atomic stores";
+  }
+  EXPECT_GT(result.executions, 100u);
+}
+
+// ---- 2+2W ----
+// T0: x=1; y=2       T1: y=1; x=2
+// Coherence forbids the final state {x==1, y==1} with barriers between the
+// stores (each location's last write would have to be the first store of
+// each thread — impossible once the barrier orders them).
+TEST(Litmus2p2W, BarrieredStoresKeepCoherentFinalState) {
+  LitmusNResult result = ExploreLitmusN({
+      [](LitmusEnv& e, LitmusRegs& r) {
+        OSK_STORE(e.x, 1);
+        OSK_SMP_WMB();
+        OSK_STORE(e.y, 2);
+        OSK_SMP_MB();
+        r[0] = OSK_LOAD(e.x);
+        r[1] = OSK_LOAD(e.y);
+      },
+      [](LitmusEnv& e, LitmusRegs& r) {
+        OSK_STORE(e.y, 1);
+        OSK_SMP_WMB();
+        OSK_STORE(e.x, 2);
+        OSK_SMP_MB();
+        r[0] = OSK_LOAD(e.x);
+        r[1] = OSK_LOAD(e.y);
+      },
+  });
+  ExpectNoViolations(result);
+}
+
+// ---- R (store + full barrier vs store/load) ----
+// T0: x=1; mb; r0=y      T1: y=1; x=2
+// With T0's mb, the outcome r0==0 && final x==1 is forbidden: if T0's read
+// missed y=1, T1's stores ran after, so x must end 2.
+TEST(LitmusR, FullBarrierOrdersStoreAgainstLaterLoad) {
+  LitmusNResult result = ExploreLitmusN({
+      [](LitmusEnv& e, LitmusRegs& r) {
+        OSK_STORE(e.x, 1);
+        OSK_SMP_MB();
+        r[0] = OSK_LOAD(e.y);
+        OSK_SMP_MB();
+        r[1] = OSK_LOAD(e.x);  // final-ish observation of x
+      },
+      [](LitmusEnv& e, LitmusRegs&) {
+        OSK_STORE(e.y, 1);
+        OSK_SMP_WMB();
+        OSK_STORE(e.x, 2);
+      },
+  });
+  ExpectNoViolations(result);
+}
+
+}  // namespace
+}  // namespace ozz::lkmm

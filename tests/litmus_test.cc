@@ -1,0 +1,253 @@
+// Litmus tests: OEMU must reach the weak outcomes a weakly-ordered CPU can
+// produce when barriers are absent (the emulation is *effective*), must NOT
+// reach outcomes barriers/annotations forbid (LKMM compliance, §3.3/§10.1),
+// and every explored execution must pass the independent lkmm::Checker.
+#include "src/lkmm/litmus.h"
+
+#include <gtest/gtest.h>
+
+namespace ozz::lkmm {
+namespace {
+
+LitmusOutcome Out(u64 r00, u64 r01, u64 r10, u64 r11) {
+  LitmusOutcome o{};
+  o[0] = r00;
+  o[1] = r01;
+  o[kLitmusRegs + 0] = r10;
+  o[kLitmusRegs + 1] = r11;
+  return o;
+}
+
+void ExpectNoViolations(const LitmusResult& result) {
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.size() << " LKMM violations, first: " << result.violations[0].detail;
+}
+
+// ---- MP (message passing) ----
+// T0: x=1; y=1          T1: r0=y; r1=x
+// Weak outcome r0==1 && r1==0 requires store-store (or load-load) reordering.
+
+TEST(LitmusMp, WeakOutcomeReachableWithoutBarriers) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.x, 1);
+        OSK_STORE(env.y, 1);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD(env.y);
+        r[1] = OSK_LOAD(env.x);
+      });
+  ExpectNoViolations(result);
+  EXPECT_TRUE(result.Saw(Out(0, 0, 1, 0))) << "MP weak outcome (r0=1, r1=0) must be reachable";
+  EXPECT_TRUE(result.Saw(Out(0, 0, 1, 1)));
+  EXPECT_TRUE(result.Saw(Out(0, 0, 0, 0)));
+}
+
+TEST(LitmusMp, WmbRmbForbidTheWeakOutcome) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.x, 1);
+        OSK_SMP_WMB();
+        OSK_STORE(env.y, 1);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD(env.y);
+        OSK_SMP_RMB();
+        r[1] = OSK_LOAD(env.x);
+      });
+  ExpectNoViolations(result);
+  EXPECT_FALSE(result.Saw(Out(0, 0, 1, 0))) << "wmb+rmb must forbid the MP weak outcome";
+}
+
+TEST(LitmusMp, WmbAloneStillAllowsReaderReordering) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.x, 1);
+        OSK_SMP_WMB();
+        OSK_STORE(env.y, 1);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD(env.y);
+        r[1] = OSK_LOAD(env.x);  // may be satisfied early (load-load reorder)
+      });
+  ExpectNoViolations(result);
+  EXPECT_TRUE(result.Saw(Out(0, 0, 1, 0))) << "one-sided barriers do not fix MP (Fig. 1)";
+}
+
+TEST(LitmusMp, ReleaseAcquireForbidTheWeakOutcome) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.x, 1);
+        OSK_STORE_RELEASE(env.y, 1ull);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD_ACQUIRE(env.y);
+        r[1] = OSK_LOAD(env.x);
+      });
+  ExpectNoViolations(result);
+  EXPECT_FALSE(result.Saw(Out(0, 0, 1, 0))) << "release/acquire must forbid the MP weak outcome";
+}
+
+// Case 6 (the Alpha rule): a READ_ONCE heading the reader suppresses
+// load-load reordering of dependent reads.
+TEST(LitmusMp, ReadOnceOnReaderForbidsLoadLoadReordering) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.x, 1);
+        OSK_SMP_WMB();
+        OSK_STORE(env.y, 1);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_READ_ONCE(env.y);
+        r[1] = OSK_LOAD(env.x);
+      });
+  ExpectNoViolations(result);
+  EXPECT_FALSE(result.Saw(Out(0, 0, 1, 0)))
+      << "READ_ONCE acts as a load barrier for the versioning window (Case 6)";
+}
+
+// ---- SB (store buffering) ----
+// T0: x=1; r0=y          T1: y=1; r1=x
+// Weak outcome r0==0 && r1==0 requires store-load reordering.
+
+TEST(LitmusSb, WeakOutcomeReachableWithoutBarriers) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs& r) {
+        OSK_STORE(env.x, 1);
+        r[0] = OSK_LOAD(env.y);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        OSK_STORE(env.y, 1);
+        r[0] = OSK_LOAD(env.x);
+      });
+  ExpectNoViolations(result);
+  EXPECT_TRUE(result.Saw(Out(0, 0, 0, 0))) << "SB weak outcome (both 0) must be reachable";
+}
+
+TEST(LitmusSb, FullBarriersForbidTheWeakOutcome) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs& r) {
+        OSK_STORE(env.x, 1);
+        OSK_SMP_MB();
+        r[0] = OSK_LOAD(env.y);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        OSK_STORE(env.y, 1);
+        OSK_SMP_MB();
+        r[0] = OSK_LOAD(env.x);
+      });
+  ExpectNoViolations(result);
+  EXPECT_FALSE(result.Saw(Out(0, 0, 0, 0))) << "smp_mb on both sides must forbid SB";
+}
+
+// ---- LB (load buffering) ----
+// T0: r0=x; y=1          T1: r1=y; x=1
+// The weak outcome r0==1 && r1==1 needs load-store reordering, which OEMU
+// (like nearly all real hardware, §3) does not emulate.
+
+TEST(LitmusLb, LoadStoreReorderingNeverEmulated) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD(env.x);
+        OSK_STORE(env.y, 1);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD(env.y);
+        OSK_STORE(env.x, 1);
+      });
+  ExpectNoViolations(result);
+  EXPECT_FALSE(result.Saw(Out(1, 0, 1, 0)))
+      << "LB weak outcome requires load-store reordering (out of scope, Case 7)";
+}
+
+// ---- CoRR (coherence, read-read) ----
+// T0: x=1; x=2           T1: r0=x; r1=x
+// Coherence allows r0 <= r1 observations only... specifically forbids
+// r0==2 && r1==1 (new then old of the same location) when the reads are
+// annotated; plain reads on Alpha may reorder, so test with READ_ONCE.
+
+TEST(LitmusCoRR, AnnotatedReadsNeverGoBackwards) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.x, 1);
+        OSK_STORE(env.x, 2);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_READ_ONCE(env.x);
+        r[1] = OSK_READ_ONCE(env.x);
+      });
+  ExpectNoViolations(result);
+  EXPECT_FALSE(result.Saw(Out(0, 0, 2, 1))) << "coherence: annotated reads never go backwards";
+  EXPECT_FALSE(result.Saw(Out(0, 0, 2, 0)));
+}
+
+// Same-location stores commit in program order even when delayed (coherence
+// underpins Cases 1/2/5): no observer may see 1 after seeing 2 stay.
+TEST(LitmusCoWW, FinalValueIsTheLastStore) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.x, 1);
+        OSK_STORE(env.x, 2);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD(env.x);
+        OSK_SMP_MB();
+        r[1] = OSK_LOAD(env.x);
+      });
+  ExpectNoViolations(result);
+  for (const LitmusOutcome& o : result.outcomes) {
+    // After a full barrier, a second read never sees an older value than...
+    // specifically, never 2-then-1.
+    EXPECT_FALSE(o[kLitmusRegs] == 2 && o[kLitmusRegs + 1] == 1)
+        << "coherence violated: saw 2 then 1";
+  }
+}
+
+// ---- Store forwarding ----
+// A thread always sees its own delayed stores (Fig. 3 forwarding rule).
+TEST(LitmusForwarding, OwnStoresAlwaysVisible) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs& r) {
+        OSK_STORE(env.x, 7);
+        r[0] = OSK_LOAD(env.x);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) { r[0] = OSK_LOAD(env.x); });
+  ExpectNoViolations(result);
+  for (const LitmusOutcome& o : result.outcomes) {
+    EXPECT_EQ(o[0], 7u) << "a thread must forward its own buffered store";
+  }
+}
+
+// ---- Release/acquire handoff with data payload (Case 4 + Case 5) ----
+TEST(LitmusHandoff, ReleaseAcquirePublishesPayload) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) {
+        OSK_STORE(env.z, 41);
+        OSK_STORE(env.w, 42);
+        OSK_STORE_RELEASE(env.y, 1ull);
+      },
+      [](LitmusEnv& env, LitmusRegs& r) {
+        r[0] = OSK_LOAD_ACQUIRE(env.y);
+        r[1] = OSK_LOAD(env.z);
+        r[2] = OSK_LOAD(env.w);
+      });
+  ExpectNoViolations(result);
+  for (const LitmusOutcome& o : result.outcomes) {
+    if (o[kLitmusRegs] == 1) {
+      EXPECT_EQ(o[kLitmusRegs + 1], 41u) << "acquire observer must see the full payload";
+      EXPECT_EQ(o[kLitmusRegs + 2], 42u);
+    }
+  }
+}
+
+// Executions explored must be plentiful (sanity check on the harness).
+TEST(LitmusHarness, ExploresManyExecutions) {
+  LitmusResult result = ExploreLitmus(
+      [](LitmusEnv& env, LitmusRegs&) { OSK_STORE(env.x, 1); },
+      [](LitmusEnv& env, LitmusRegs& r) { r[0] = OSK_LOAD(env.x); });
+  EXPECT_GT(result.executions, 10u);
+  ExpectNoViolations(result);
+}
+
+}  // namespace
+}  // namespace ozz::lkmm

@@ -1,0 +1,208 @@
+// Scheduler-plan tests beyond the single-switch MTI shape: multi-point
+// plans, plan arming, and the interrupt/store-buffer interaction of §3.1
+// (suspension does NOT flush; interrupts DO — the property that lets OEMU
+// keep reordering observable across breakpoints, §2.3 "Our approach").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/oemu/cell.h"
+#include "src/oemu/runtime.h"
+#include "src/rt/machine.h"
+
+namespace ozz::rt {
+namespace {
+
+using oemu::Cell;
+using oemu::InstrKind;
+using oemu::Runtime;
+
+struct Sites {
+  InstrId store = kInvalidInstr;
+  InstrId load = kInvalidInstr;
+};
+
+// One writer/reader pair with stable call sites, reused across tests.
+class PlanTest : public ::testing::Test {
+ protected:
+  void Store(Cell<u64>& c, u64 v) {
+    sites_.store = OZZ_OEMU_SITE(InstrKind::kStore, "cell");
+    StoreCell(sites_.store, c, v);
+  }
+  u64 Load(Cell<u64>& c) {
+    sites_.load = OZZ_OEMU_SITE(InstrKind::kLoad, "cell");
+    return LoadCell(sites_.load, c);
+  }
+
+  void LearnSites() {
+    Runtime probe;
+    probe.Activate(nullptr);
+    Cell<u64> scratch{0};
+    Store(scratch, 0);
+    (void)Load(scratch);
+    probe.Deactivate();
+  }
+
+  Sites sites_;
+};
+
+TEST_F(PlanTest, MultiPointPlanPingPongs) {
+  LearnSites();
+  Cell<u64> x{0};
+  std::vector<u64> reader_saw;
+
+  Machine m(2);
+  Runtime rt;
+  rt.Activate(&m);
+  m.AddThread("writer", 0, [&] {
+    for (u64 v = 1; v <= 3; ++v) {
+      Store(x, v);
+    }
+  });
+  m.AddThread("reader", 1, [&] {
+    for (int i = 0; i < 2; ++i) {
+      reader_saw.push_back(Load(x));
+    }
+  });
+
+  // Switch to the reader after the writer's 1st and 2nd stores, and back to
+  // the writer after each reader load.
+  SchedPlan plan;
+  plan.first = 0;
+  for (u32 k = 1; k <= 2; ++k) {
+    SchedPoint to_reader;
+    to_reader.thread = 0;
+    to_reader.instr = sites_.store;
+    to_reader.occurrence = k;
+    to_reader.when = SwitchWhen::kAfterAccess;
+    to_reader.next = 1;
+    plan.points.push_back(to_reader);
+    SchedPoint to_writer;
+    to_writer.thread = 1;
+    to_writer.instr = sites_.load;
+    to_writer.occurrence = k;
+    to_writer.when = SwitchWhen::kAfterAccess;
+    to_writer.next = 0;
+    plan.points.push_back(to_writer);
+  }
+  m.SetPlan(plan);
+  m.Run();
+  rt.Deactivate();
+
+  EXPECT_EQ(reader_saw, (std::vector<u64>{1, 2}))
+      << "the reader observed each intermediate value exactly at its breakpoint";
+  EXPECT_EQ(m.plan_points_consumed(), 4u);
+}
+
+TEST_F(PlanTest, SuspensionDoesNotFlushDelayedStores) {
+  LearnSites();
+  Cell<u64> x{0};
+  u64 observed = ~0ull;
+
+  Machine m(2);
+  Runtime rt;
+  rt.Activate(&m);
+  m.AddThread("writer", 0, [&] {
+    Store(x, 1);
+    Runtime::Active()->OnSyscallExit(Runtime::CurrentThreadId());  // return to userspace
+  });
+  m.AddThread("reader", 1, [&] { observed = Load(x); });
+  rt.DelayStoreAt(0, sites_.store);
+
+  SchedPlan plan;
+  plan.first = 0;
+  SchedPoint pt;
+  pt.thread = 0;
+  pt.instr = sites_.store;
+  pt.occurrence = 1;
+  pt.when = SwitchWhen::kAfterAccess;
+  pt.next = 1;
+  plan.points.push_back(pt);
+  m.SetPlan(plan);
+  m.Run();
+  rt.Deactivate();
+
+  EXPECT_EQ(observed, 0u)
+      << "the breakpoint suspension must NOT flush the store buffer (the key property "
+         "conventional breakpoint-based tools lack, §2.3)";
+  EXPECT_EQ(x.raw(), 1u) << "the store commits when the writer's syscall completes";
+}
+
+TEST_F(PlanTest, InterruptFlushesAtTheBreakpoint) {
+  LearnSites();
+  Cell<u64> x{0};
+  u64 observed = ~0ull;
+
+  Machine m(2);
+  Runtime rt;
+  rt.Activate(&m);
+  m.AddThread("writer", 0, [&] {
+    Store(x, 1);
+    // A device interrupt arrives on this CPU: the virtual store buffer
+    // commits (§3.1), defeating the reordering.
+    Machine::Current()->InterruptSelf();
+    Machine::Current()->Yield();
+  });
+  m.AddThread("reader", 1, [&] { observed = Load(x); });
+  rt.DelayStoreAt(0, sites_.store);
+  m.Run();
+  rt.Deactivate();
+
+  EXPECT_EQ(observed, 1u) << "interrupts flush delayed stores";
+}
+
+TEST_F(PlanTest, DisarmedPlanNeverFires) {
+  LearnSites();
+  Cell<u64> x{0};
+  Machine m(2);
+  Runtime rt;
+  rt.Activate(&m);
+  m.AddThread("writer", 0, [&] { Store(x, 1); });
+  m.AddThread("reader", 1, [&] { (void)Load(x); });
+  SchedPlan plan;
+  plan.first = 0;
+  SchedPoint pt;
+  pt.thread = 0;
+  pt.instr = sites_.store;
+  pt.occurrence = 1;
+  plan.points.push_back(pt);
+  m.SetPlan(plan);
+  m.SetPlanArmed(false);
+  m.Run();
+  rt.Deactivate();
+  EXPECT_EQ(m.plan_points_consumed(), 0u);
+}
+
+TEST_F(PlanTest, ArmPlanResetsHitCounts) {
+  LearnSites();
+  Cell<u64> x{0};
+  std::vector<u64> reader_saw;
+  Machine m(2);
+  Runtime rt;
+  rt.Activate(&m);
+  m.AddThread("writer", 0, [&] {
+    Store(x, 1);  // pre-arm execution: must not count toward the occurrence
+    Machine::Current()->ArmPlan();
+    Store(x, 2);
+    Store(x, 3);
+  });
+  m.AddThread("reader", 1, [&] { reader_saw.push_back(Load(x)); });
+  SchedPlan plan;
+  plan.first = 0;
+  SchedPoint pt;
+  pt.thread = 0;
+  pt.instr = sites_.store;
+  pt.occurrence = 2;  // 2nd store AFTER arming = the value-3 store
+  pt.when = SwitchWhen::kAfterAccess;
+  pt.next = 1;
+  plan.points.push_back(pt);
+  m.SetPlan(plan);
+  m.SetPlanArmed(false);
+  m.Run();
+  rt.Deactivate();
+  ASSERT_EQ(reader_saw.size(), 1u);
+  EXPECT_EQ(reader_saw[0], 3u);
+}
+
+}  // namespace
+}  // namespace ozz::rt

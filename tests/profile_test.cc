@@ -1,0 +1,146 @@
+// Tests for STI profiling (§4.2): per-call five-tuple traces, barrier
+// three-tuples, coverage, and determinism.
+#include "src/fuzz/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/oemu/instr.h"
+
+namespace ozz::fuzz {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  const osk::SyscallTable& Table() {
+    static osk::Kernel* kernel = [] {
+      auto* k = new osk::Kernel();
+      osk::InstallDefaultSubsystems(*k);
+      return k;
+    }();
+    return kernel->table();
+  }
+};
+
+TEST_F(ProfileTest, RecordsFiveTuplesPerCall) {
+  Prog prog = SeedProgramFor(Table(), "watch_queue");
+  ProgProfile profile = ProfileProg(prog, {});
+  ASSERT_EQ(profile.calls.size(), 2u);
+  EXPECT_FALSE(profile.crashed);
+
+  // wq$post: loads head+tail, stores len+ops+head (plus commits).
+  const oemu::Trace& post = profile.calls[0].trace;
+  std::size_t loads = 0;
+  std::size_t stores = 0;
+  for (const oemu::Event& e : post) {
+    if (!e.IsAccess()) {
+      continue;
+    }
+    // Each access carries the full five-tuple.
+    EXPECT_NE(e.instr, kInvalidInstr);
+    EXPECT_NE(e.addr, 0u);
+    EXPECT_GT(e.size, 0u);
+    EXPECT_GT(e.timestamp, 0u);
+    loads += e.IsLoad() ? 1 : 0;
+    stores += e.IsStore() ? 1 : 0;
+  }
+  EXPECT_EQ(loads, 2u);
+  EXPECT_EQ(stores, 3u);
+  EXPECT_EQ(profile.calls[0].retval, osk::kOk);
+  EXPECT_EQ(profile.calls[1].retval, 1) << "read consumed the posted entry";
+}
+
+TEST_F(ProfileTest, RecordsBarrierThreeTuples) {
+  osk::KernelConfig config;
+  config.fixed.insert("watch_queue");
+  Prog prog = SeedProgramFor(Table(), "watch_queue");
+  ProgProfile profile = ProfileProg(prog, config);
+  bool saw_wmb = false;
+  for (const oemu::Event& e : profile.calls[0].trace) {
+    if (e.IsBarrier() && e.barrier == oemu::BarrierType::kStoreBarrier) {
+      saw_wmb = true;
+      EXPECT_NE(e.instr, kInvalidInstr);
+      EXPECT_GT(e.timestamp, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_wmb) << "the fixed kernel's smp_wmb must appear in the trace";
+  bool saw_rmb = false;
+  for (const oemu::Event& e : profile.calls[1].trace) {
+    saw_rmb = saw_rmb || (e.IsBarrier() && e.barrier == oemu::BarrierType::kLoadBarrier);
+  }
+  EXPECT_TRUE(saw_rmb);
+}
+
+TEST_F(ProfileTest, TimestampsMonotonicWithinThread) {
+  Prog prog = SeedProgramFor(Table(), "tls");
+  ProgProfile profile = ProfileProg(prog, {});
+  u64 last = 0;
+  for (const CallProfile& call : profile.calls) {
+    for (const oemu::Event& e : call.trace) {
+      EXPECT_GE(e.timestamp, last);
+      last = e.timestamp;
+    }
+  }
+}
+
+TEST_F(ProfileTest, CoverageAccumulatesAcrossCalls) {
+  Prog prog = SeedProgramFor(Table(), "tls");
+  ProgProfile profile = ProfileProg(prog, {});
+  EXPECT_GT(profile.coverage.size(), 5u);
+  // Coverage of the 3-call program strictly exceeds its first call's.
+  std::set<InstrId> first_call;
+  for (const oemu::Event& e : profile.calls[0].trace) {
+    if (e.IsAccess()) {
+      first_call.insert(e.instr);
+    }
+  }
+  EXPECT_GT(profile.coverage.size(), first_call.size());
+}
+
+TEST_F(ProfileTest, DeterministicAcrossRuns) {
+  Prog prog = SeedProgramFor(Table(), "rds");
+  ProgProfile a = ProfileProg(prog, {});
+  ProgProfile b = ProfileProg(prog, {});
+  ASSERT_EQ(a.calls.size(), b.calls.size());
+  for (std::size_t c = 0; c < a.calls.size(); ++c) {
+    ASSERT_EQ(a.calls[c].trace.size(), b.calls[c].trace.size());
+    EXPECT_EQ(a.calls[c].retval, b.calls[c].retval);
+    for (std::size_t i = 0; i < a.calls[c].trace.size(); ++i) {
+      EXPECT_EQ(a.calls[c].trace[i].instr, b.calls[c].trace[i].instr);
+      EXPECT_EQ(a.calls[c].trace[i].occurrence, b.calls[c].trace[i].occurrence);
+    }
+  }
+}
+
+TEST_F(ProfileTest, OccurrencesCountWithinCall) {
+  // fs$open scans fd slots through one load site: after the first open, the
+  // second open's scan executes that site twice (occurrences 1, 2).
+  Prog prog = SeedProgramFor(Table(), "fs");
+  prog.calls.push_back(prog.calls[0]);  // fs$open; fs$read; fs$open
+  ProgProfile profile = ProfileProg(prog, {});
+  ASSERT_EQ(profile.calls.size(), 3u);
+  std::map<InstrId, u32> max_occurrence;
+  for (const oemu::Event& e : profile.calls[2].trace) {
+    if (e.IsAccess()) {
+      max_occurrence[e.instr] = std::max(max_occurrence[e.instr], e.occurrence);
+    }
+  }
+  bool saw_multi = false;
+  for (const auto& [instr, occ] : max_occurrence) {
+    saw_multi = saw_multi || occ >= 2;
+  }
+  EXPECT_TRUE(saw_multi) << "repeated executions of one site must count occurrences";
+}
+
+TEST_F(ProfileTest, EmptyProgramYieldsEmptyProfile) {
+  ProgProfile profile = ProfileProg(Prog{}, {});
+  EXPECT_TRUE(profile.calls.empty());
+  EXPECT_TRUE(profile.coverage.empty());
+  EXPECT_FALSE(profile.crashed);
+}
+
+}  // namespace
+}  // namespace ozz::fuzz

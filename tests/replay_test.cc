@@ -1,0 +1,98 @@
+// Tests for crash-spec serialization and replay.
+#include "src/fuzz/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/profile.h"
+
+namespace ozz::fuzz {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  // Finds the canonical watch_queue crash and returns its spec. The program
+  // borrows descriptors, so it is built against the long-lived TemplateKernel.
+  MtiSpec FindCrashSpec() {
+    Prog seed = SeedProgramFor(TemplateKernel().table(), "watch_queue");
+    ProgProfile profile = ProfileProg(seed, {});
+    std::vector<SchedHint> hints =
+        ComputeHints(profile.calls[0].trace, profile.calls[1].trace, HintOptions{});
+    for (const SchedHint& hint : hints) {
+      MtiSpec spec;
+      spec.prog = seed;
+      spec.call_a = 0;
+      spec.call_b = 1;
+      spec.hint = hint;
+      if (RunMti(spec).crashed) {
+        return spec;
+      }
+    }
+    ADD_FAILURE() << "no crashing hint found";
+    return MtiSpec{};
+  }
+
+  osk::Kernel& TemplateKernel() {
+    static osk::Kernel* kernel = [] {
+      auto* k = new osk::Kernel();
+      osk::InstallDefaultSubsystems(*k);
+      return k;
+    }();
+    return *kernel;
+  }
+};
+
+TEST_F(ReplayTest, RoundTripReproducesTheCrash) {
+  MtiSpec original = FindCrashSpec();
+  std::string text = SerializeMtiSpec(original);
+  EXPECT_NE(text.find("call wq$post"), std::string::npos) << text;
+  EXPECT_NE(text.find("pair 0 1"), std::string::npos);
+  EXPECT_NE(text.find("sched watch_queue.cc:"), std::string::npos);
+
+  MtiSpec replayed;
+  std::string error;
+  ASSERT_TRUE(ParseMtiSpec(text, TemplateKernel().table(), {}, &replayed, &error)) << error;
+  MtiResult result = RunMti(replayed);
+  ASSERT_TRUE(result.crashed) << "replayed spec must reproduce the crash";
+  EXPECT_NE(result.crash.title.find("pipe_read"), std::string::npos) << result.crash.title;
+}
+
+TEST_F(ReplayTest, SerializedFormIsStableText) {
+  MtiSpec spec = FindCrashSpec();
+  EXPECT_EQ(SerializeMtiSpec(spec), SerializeMtiSpec(spec));
+}
+
+TEST_F(ReplayTest, RejectsUnknownSyscall) {
+  MtiSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseMtiSpec("call nope$nope\npair 0 1\n", TemplateKernel().table(), {}, &spec,
+                            &error));
+  EXPECT_NE(error.find("unknown syscall"), std::string::npos);
+}
+
+TEST_F(ReplayTest, RejectsBadPair) {
+  std::string text = "call wq$post 1\ncall wq$read\npair 0 0\n";
+  MtiSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseMtiSpec(text, TemplateKernel().table(), {}, &spec, &error));
+}
+
+TEST_F(ReplayTest, RejectsUnreachablePosition) {
+  std::string text =
+      "call wq$post 1\ncall wq$read\npair 0 1\ntest store\nsched nowhere.cc:1#1 after\n";
+  MtiSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseMtiSpec(text, TemplateKernel().table(), {}, &spec, &error));
+  EXPECT_NE(error.find("not reached"), std::string::npos);
+}
+
+TEST_F(ReplayTest, CommentsAndArityChecked) {
+  std::string text = "# comment\ncall wq$post\n";  // wq$post takes 1 arg
+  MtiSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseMtiSpec(text, TemplateKernel().table(), {}, &spec, &error));
+  EXPECT_NE(error.find("arity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ozz::fuzz

@@ -1,0 +1,286 @@
+// Unit tests for the OEMU runtime: delayed stores (Figure 3), versioned loads
+// (Figure 4), forwarding, barrier semantics (Table 1), and the control
+// interfaces (Table 2). These run on the host thread without a machine.
+#include "src/oemu/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "src/oemu/cell.h"
+
+namespace ozz::oemu {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime_.Activate(nullptr); }
+  void TearDown() override { runtime_.Deactivate(); }
+
+  ThreadId Tid() { return Runtime::CurrentThreadId(); }
+
+  // Runs `fn` as if on another core (per-location coherence tracks per
+  // thread, so "old values" must come from a different thread's stores).
+  template <typename Fn>
+  void AsOtherThread(Fn&& fn) {
+    Runtime::OverrideThreadForTesting(1);
+    fn();
+    Runtime::OverrideThreadForTesting(kAnyThread);
+  }
+
+  Runtime runtime_;
+  Cell<u64> x_{0};
+  Cell<u64> y_{0};
+};
+
+TEST_F(RuntimeTest, InOrderByDefault) {
+  OSK_STORE(x_, 1);
+  EXPECT_EQ(x_.raw(), 1u);  // committed immediately
+  EXPECT_EQ(OSK_LOAD(x_), 1u);
+  EXPECT_TRUE(runtime_.buffer(Tid()).empty());
+}
+
+// Figure 3: delay_store_at(I1) holds the value in the virtual store buffer;
+// other observers see the old value until a store barrier commits it.
+TEST_F(RuntimeTest, DelayedStoreHeldUntilBarrier) {
+  InstrId store_instr = kInvalidInstr;
+  auto delayed_store = [&](u64 v) {
+    store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+    StoreCell(store_instr, x_, v);
+  };
+  // First learn the instruction id, then instruct the delay.
+  delayed_store(0);
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  delayed_store(1);
+  EXPECT_EQ(x_.raw(), 0u) << "delayed store must not be visible in memory";
+  OSK_STORE(y_, 2);
+  EXPECT_EQ(y_.raw(), 2u) << "later store overtakes the delayed one";
+  OSK_SMP_WMB();
+  EXPECT_EQ(x_.raw(), 1u) << "store barrier commits the buffer";
+}
+
+TEST_F(RuntimeTest, DelayedStoreForwardsToOwnLoads) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 7);
+  EXPECT_EQ(x_.raw(), 0u);
+  EXPECT_EQ(OSK_LOAD(x_), 7u) << "own loads read from the store buffer";
+}
+
+TEST_F(RuntimeTest, SameLocationStoresNeverBypassEachOther) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 1);
+  // A later, non-delayed store to the same location must not overtake it.
+  OSK_STORE(x_, 2);
+  EXPECT_EQ(x_.raw(), 0u) << "coherence: the second store queued behind the first";
+  OSK_SMP_WMB();
+  EXPECT_EQ(x_.raw(), 2u) << "FIFO drain leaves the newest value";
+}
+
+TEST_F(RuntimeTest, InterruptFlushesBuffer) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 5);
+  EXPECT_EQ(x_.raw(), 0u);
+  runtime_.FlushThread(Tid());  // what the interrupt hook does
+  EXPECT_EQ(x_.raw(), 5u);
+}
+
+TEST_F(RuntimeTest, SyscallExitFlushesBuffer) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 5);
+  runtime_.OnSyscallExit(Tid());
+  EXPECT_EQ(x_.raw(), 5u);
+}
+
+TEST_F(RuntimeTest, FullBarrierCommitsToo) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 3);
+  OSK_SMP_MB();
+  EXPECT_EQ(x_.raw(), 3u);
+}
+
+TEST_F(RuntimeTest, ReleaseStoreFlushesPrecedingStores) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 9);
+  EXPECT_EQ(x_.raw(), 0u);
+  OSK_STORE_RELEASE(y_, 1ull);  // Case 5: precedent stores complete first
+  EXPECT_EQ(x_.raw(), 9u);
+  EXPECT_EQ(y_.raw(), 1u);
+}
+
+// Figure 4: a versioned load reads the value a location held at the window
+// start even though memory has moved on.
+TEST_F(RuntimeTest, VersionedLoadReadsOldValue) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "x");
+  // Another core drives x through 0 -> 1 -> 2 (Fig. 4's Syscall B).
+  u64 t_rmb_value = 1;
+  AsOtherThread([&] { OSK_STORE(x_, 1); });
+  OSK_SMP_RMB();  // window starts here: versioned loads see >= this point
+  AsOtherThread([&] { OSK_STORE(x_, 2); });
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  EXPECT_EQ(LoadCell(load_instr, x_), t_rmb_value) << "reads the value as of the window start";
+  EXPECT_EQ(OSK_LOAD(x_), 2u) << "plain loads still read current memory";
+  EXPECT_EQ(runtime_.stats().versioned_load_hits, 1u);
+}
+
+TEST_F(RuntimeTest, LoadBarrierLimitsVersioningWindow) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "x");
+  AsOtherThread([&] {
+    OSK_STORE(x_, 1);
+    OSK_STORE(x_, 2);
+  });
+  OSK_SMP_RMB();  // everything before this is now unreadable
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  EXPECT_EQ(LoadCell(load_instr, x_), 2u) << "Case 3: no reads past a load barrier";
+}
+
+// Case 6 (the Alpha rule): READ_ONCE acts as a load barrier for the window.
+TEST_F(RuntimeTest, ReadOnceAdvancesWindow) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "y");
+  AsOtherThread([&] {
+    OSK_STORE(x_, 1);
+    OSK_STORE(y_, 5);
+  });
+  (void)OSK_READ_ONCE(x_);  // annotated load: dependent loads cannot go earlier
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  EXPECT_EQ(LoadCell(load_instr, y_), 5u) << "versioned load cannot read past READ_ONCE";
+}
+
+TEST_F(RuntimeTest, AcquireLoadAdvancesWindow) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "y");
+  AsOtherThread([&] { OSK_STORE(y_, 5); });
+  (void)OSK_LOAD_ACQUIRE(x_);  // Case 4
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  EXPECT_EQ(LoadCell(load_instr, y_), 5u);
+}
+
+// CoWR/CoRR coherence: a thread never reads a value older than its own last
+// store (or last read) of the same location, even when instructed to.
+TEST_F(RuntimeTest, VersionedLoadNeverRewindsPastOwnStore) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "x");
+  OSK_STORE(x_, 1);
+  OSK_STORE(x_, 2);
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  EXPECT_EQ(LoadCell(load_instr, x_), 2u) << "own stores set the coherence floor";
+}
+
+TEST_F(RuntimeTest, VersionedLoadNeverRewindsPastOwnRead) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "x");
+  AsOtherThread([&] { OSK_STORE(x_, 1); });
+  EXPECT_EQ(OSK_LOAD(x_), 1u);  // plain read observes 1
+  AsOtherThread([&] { OSK_STORE(x_, 2); });
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  u64 v = LoadCell(load_instr, x_);
+  EXPECT_TRUE(v == 1u || v == 2u) << "CoRR: never older than an observed value, got " << v;
+}
+
+TEST_F(RuntimeTest, BufferBeatsHistoryOnLoads) {
+  InstrId load_instr = OZZ_OEMU_SITE(InstrKind::kLoad, "x");
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  AsOtherThread([&] { OSK_STORE(x_, 1); });  // history: 0 -> 1
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 9);  // in-flight own store
+  runtime_.ReadOldValueAt(Tid(), load_instr);
+  EXPECT_EQ(LoadCell(load_instr, x_), 9u)
+      << "hierarchical search: store buffer > store history > memory";
+}
+
+TEST_F(RuntimeTest, OccurrenceSpecificControls) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.OnSyscallEnter(Tid());
+  runtime_.DelayStoreAt(Tid(), store_instr, /*occurrence=*/2);
+  StoreCell(store_instr, x_, 1);  // occurrence 1: committed
+  EXPECT_EQ(x_.raw(), 1u);
+  StoreCell(store_instr, x_, 2);  // occurrence 2: delayed
+  EXPECT_EQ(x_.raw(), 1u);
+  OSK_SMP_WMB();
+  EXPECT_EQ(x_.raw(), 2u);
+}
+
+TEST_F(RuntimeTest, ClearControlsRestoresInOrder) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  runtime_.ClearControls(Tid());
+  StoreCell(store_instr, x_, 4);
+  EXPECT_EQ(x_.raw(), 4u);
+}
+
+TEST_F(RuntimeTest, ReorderingDisabledIgnoresControls) {
+  runtime_.Deactivate();
+  Runtime::Options opts;
+  opts.reordering_enabled = false;
+  Runtime inorder(opts);
+  inorder.Activate(nullptr);
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  inorder.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 6);
+  EXPECT_EQ(x_.raw(), 6u) << "the in-order baseline never delays";
+  inorder.Deactivate();
+  runtime_.Activate(nullptr);
+}
+
+TEST_F(RuntimeTest, RmwFullOrderingFlushesAndReturnsOld) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 1);
+  EXPECT_EQ(x_.raw(), 0u);
+  u64 old = OSK_RMW(y_, RmwOrder::kFull, [](u64 o, u64 v) { return o | v; }, 4ull);
+  EXPECT_EQ(old, 0u);
+  EXPECT_EQ(y_.raw(), 4u);
+  EXPECT_EQ(x_.raw(), 1u) << "value-returning RMW is fully ordered (flushes)";
+}
+
+TEST_F(RuntimeTest, RelaxedRmwReadsThroughBuffer) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 0b10);
+  u64 old = OSK_RMW(x_, RmwOrder::kRelaxed, [](u64 o, u64 v) { return o | v; }, 0b01ull);
+  EXPECT_EQ(old, 0b10u) << "RMW sees the thread's own in-flight store";
+}
+
+TEST_F(RuntimeTest, TraceRecordsFiveTuplesAndBarriers) {
+  ThreadId tid = Tid();
+  runtime_.OnSyscallEnter(tid);
+  runtime_.StartRecording(tid);
+  OSK_STORE(x_, 1);
+  OSK_SMP_WMB();
+  (void)OSK_LOAD(x_);
+  Trace trace = runtime_.StopRecording(tid);
+  // store access + store commit + barrier + load access
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_TRUE(trace[0].IsStore());
+  EXPECT_EQ(trace[0].size, 8u);
+  EXPECT_EQ(trace[0].value, 1u);
+  EXPECT_EQ(trace[0].occurrence, 1u);
+  EXPECT_TRUE(trace[1].IsCommit());
+  EXPECT_TRUE(trace[2].IsBarrier());
+  EXPECT_EQ(trace[2].barrier, BarrierType::kStoreBarrier);
+  EXPECT_TRUE(trace[3].IsLoad());
+  EXPECT_EQ(trace[3].value, 1u);
+}
+
+TEST_F(RuntimeTest, AbandonThreadDropsBufferedStores) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 1);
+  runtime_.AbandonThread(Tid());
+  OSK_SMP_WMB();
+  EXPECT_EQ(x_.raw(), 0u) << "abandoned stores never commit";
+}
+
+TEST_F(RuntimeTest, StatsCount) {
+  OSK_STORE(x_, 1);
+  (void)OSK_LOAD(x_);
+  OSK_SMP_MB();
+  const Runtime::Stats& s = runtime_.stats();
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.barriers, 1u);
+}
+
+}  // namespace
+}  // namespace ozz::oemu

@@ -1,0 +1,66 @@
+// Tests for selective instrumentation (§6.3.1 discussion).
+#include <gtest/gtest.h>
+
+#include "src/oemu/cell.h"
+#include "src/oemu/runtime.h"
+
+namespace ozz::oemu {
+namespace {
+
+TEST(SelectiveTest, DisabledSitesTakeTheRawPath) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  rt.RestrictInstrumentationToFiles({"nonexistent.cc"});
+  Cell<u64> x{0};
+  OSK_STORE(x, 1);  // this site lives in selective_test.cc: disabled
+  (void)OSK_LOAD(x);
+  EXPECT_EQ(x.raw(), 1u);
+  EXPECT_EQ(rt.stats().stores, 0u) << "raw path must not reach the runtime";
+  EXPECT_EQ(rt.stats().loads, 0u);
+  EXPECT_EQ(rt.history().size(), 0u);
+  rt.Deactivate();
+}
+
+TEST(SelectiveTest, EnabledFileStillInstrumented) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  rt.RestrictInstrumentationToFiles({"selective_test.cc"});
+  Cell<u64> x{0};
+  OSK_STORE(x, 2);
+  EXPECT_EQ(rt.stats().stores, 1u);
+  EXPECT_EQ(rt.history().size(), 1u);
+  rt.Deactivate();
+}
+
+TEST(SelectiveTest, EmptySetRestoresFullInstrumentation) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  rt.RestrictInstrumentationToFiles({"nonexistent.cc"});
+  Cell<u64> x{0};
+  OSK_STORE(x, 1);
+  EXPECT_EQ(rt.stats().stores, 0u);
+  rt.RestrictInstrumentationToFiles({});
+  OSK_STORE(x, 2);
+  EXPECT_EQ(rt.stats().stores, 1u);
+  rt.Deactivate();
+}
+
+TEST(SelectiveTest, DisabledSitesIgnoreReorderControls) {
+  Runtime rt;
+  rt.Activate(nullptr);
+  rt.RestrictInstrumentationToFiles({"nonexistent.cc"});
+  Cell<u64> x{0};
+  InstrId site = kInvalidInstr;
+  auto store = [&](u64 v) {
+    site = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+    StoreCell(site, x, v);
+  };
+  store(1);
+  rt.DelayStoreAt(Runtime::CurrentThreadId(), site);
+  store(2);
+  EXPECT_EQ(x.raw(), 2u) << "uninstrumented stores cannot be delayed";
+  rt.Deactivate();
+}
+
+}  // namespace
+}  // namespace ozz::oemu

@@ -1,0 +1,87 @@
+// Unit tests for the virtual store buffer (§3.1).
+#include "src/oemu/store_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ozz::oemu {
+namespace {
+
+BufferedStore Make(uptr addr, u32 size, u64 value) {
+  BufferedStore s;
+  s.instr = 1;
+  s.addr = addr;
+  s.size = size;
+  s.value = value;
+  return s;
+}
+
+TEST(StoreBufferTest, StartsEmpty) {
+  StoreBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_FALSE(buf.Overlaps(0x1000, 8));
+}
+
+TEST(StoreBufferTest, OverlapsExactRange) {
+  StoreBuffer buf;
+  buf.Push(Make(0x1000, 4, 7));
+  EXPECT_TRUE(buf.Overlaps(0x1000, 4));
+  EXPECT_TRUE(buf.Overlaps(0x1002, 1));
+  EXPECT_TRUE(buf.Overlaps(0x0ffc, 8));
+  EXPECT_FALSE(buf.Overlaps(0x1004, 4));
+  EXPECT_FALSE(buf.Overlaps(0x0ffc, 4));
+}
+
+TEST(StoreBufferTest, ForwardNewestWins) {
+  StoreBuffer buf;
+  buf.Push(Make(0x1000, 4, 0x11111111));
+  buf.Push(Make(0x1000, 4, 0x22222222));
+  u8 bytes[4] = {0, 0, 0, 0};
+  EXPECT_EQ(buf.Forward(0x1000, 4, bytes), 4u);
+  EXPECT_EQ(bytes[0], 0x22);
+  EXPECT_EQ(bytes[3], 0x22);
+}
+
+TEST(StoreBufferTest, ForwardPartialOverlap) {
+  StoreBuffer buf;
+  buf.Push(Make(0x1002, 2, 0xBBAA));  // bytes 0x1002=0xAA, 0x1003=0xBB
+  u8 bytes[4] = {1, 2, 3, 4};
+  EXPECT_EQ(buf.Forward(0x1000, 4, bytes), 2u);
+  EXPECT_EQ(bytes[0], 1);
+  EXPECT_EQ(bytes[1], 2);
+  EXPECT_EQ(bytes[2], 0xAA);
+  EXPECT_EQ(bytes[3], 0xBB);
+}
+
+TEST(StoreBufferTest, DrainIsFifoAndClears) {
+  StoreBuffer buf;
+  buf.Push(Make(0x1000, 8, 1));
+  buf.Push(Make(0x2000, 8, 2));
+  buf.Push(Make(0x3000, 8, 3));
+  std::vector<u64> order;
+  buf.Drain([&](const BufferedStore& s) { order.push_back(s.value); });
+  EXPECT_EQ(order, (std::vector<u64>{1, 2, 3}));
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(StoreBufferTest, ClearDropsWithoutCommit) {
+  StoreBuffer buf;
+  buf.Push(Make(0x1000, 8, 1));
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(StoreBufferTest, ForwardDisjointRangeUntouched) {
+  StoreBuffer buf;
+  buf.Push(Make(0x1000, 8, 0xdeadbeef));
+  u8 bytes[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  EXPECT_EQ(buf.Forward(0x2000, 8, bytes), 0u);
+  for (u8 b : bytes) {
+    EXPECT_EQ(b, 9);
+  }
+}
+
+}  // namespace
+}  // namespace ozz::oemu

@@ -1,0 +1,110 @@
+// Unit tests for the store history and versioned-value reconstruction (§3.2).
+#include "src/oemu/store_history.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace ozz::oemu {
+namespace {
+
+HistoryEntry Make(uptr addr, u32 size, u64 old_value, u64 new_value, u64 t) {
+  HistoryEntry e;
+  e.addr = addr;
+  e.size = size;
+  e.old_value = old_value;
+  e.new_value = new_value;
+  e.timestamp = t;
+  return e;
+}
+
+class StoreHistoryTest : public ::testing::Test {
+ protected:
+  // A fake 8-byte memory word the history describes.
+  u64 memory_ = 0;
+
+  uptr Addr() const { return reinterpret_cast<uptr>(&memory_); }
+
+  u64 ValueAsOf(StoreHistory& h, u64 t, bool* rewound = nullptr) {
+    u8 bytes[8];
+    std::memcpy(bytes, &memory_, 8);
+    bool r = h.ValueAsOf(Addr(), 8, t, bytes);
+    if (rewound != nullptr) {
+      *rewound = r;
+    }
+    u64 v;
+    std::memcpy(&v, bytes, 8);
+    return v;
+  }
+};
+
+TEST_F(StoreHistoryTest, NoEntriesReturnsCurrent) {
+  StoreHistory h;
+  memory_ = 42;
+  bool rewound = true;
+  EXPECT_EQ(ValueAsOf(h, 0, &rewound), 42u);
+  EXPECT_FALSE(rewound);
+}
+
+TEST_F(StoreHistoryTest, RewindsSingleCommit) {
+  StoreHistory h;
+  // Value was 0, became 42 at t=10.
+  memory_ = 42;
+  h.Append(Make(Addr(), 8, 0, 42, 10));
+  bool rewound = false;
+  EXPECT_EQ(ValueAsOf(h, 5, &rewound), 0u);
+  EXPECT_TRUE(rewound);
+  EXPECT_EQ(ValueAsOf(h, 10, nullptr), 42u);  // at/after the commit
+}
+
+TEST_F(StoreHistoryTest, RewindsToOldestPostWindowWrite) {
+  StoreHistory h;
+  // 0 -> 1 (t=10) -> 2 (t=20) -> 3 (t=30)
+  memory_ = 3;
+  h.Append(Make(Addr(), 8, 0, 1, 10));
+  h.Append(Make(Addr(), 8, 1, 2, 20));
+  h.Append(Make(Addr(), 8, 2, 3, 30));
+  EXPECT_EQ(ValueAsOf(h, 5, nullptr), 0u);
+  EXPECT_EQ(ValueAsOf(h, 10, nullptr), 1u);
+  EXPECT_EQ(ValueAsOf(h, 15, nullptr), 1u);
+  EXPECT_EQ(ValueAsOf(h, 25, nullptr), 2u);
+  EXPECT_EQ(ValueAsOf(h, 30, nullptr), 3u);
+}
+
+TEST_F(StoreHistoryTest, ABAIsNotAnObservableRewind) {
+  StoreHistory h;
+  // 7 -> 9 (t=10) -> 7 (t=20): value at t=5 equals current value.
+  memory_ = 7;
+  h.Append(Make(Addr(), 8, 7, 9, 10));
+  h.Append(Make(Addr(), 8, 9, 7, 20));
+  bool rewound = true;
+  EXPECT_EQ(ValueAsOf(h, 5, &rewound), 7u);
+  EXPECT_FALSE(rewound);
+}
+
+TEST_F(StoreHistoryTest, PartialOverlapRewindsOnlyCoveredBytes) {
+  StoreHistory h;
+  memory_ = 0xAABBCCDDEEFF0011ull;
+  // The low 4 bytes were 0x99999999 before a commit at t=10.
+  h.Append(Make(Addr(), 4, 0x99999999, 0xEEFF0011, 10));
+  EXPECT_EQ(ValueAsOf(h, 5, nullptr), 0xAABBCCDD99999999ull);
+}
+
+TEST_F(StoreHistoryTest, ChangedAfterDetectsWrites) {
+  StoreHistory h;
+  h.Append(Make(Addr(), 8, 0, 1, 10));
+  EXPECT_TRUE(h.ChangedAfter(Addr(), 8, 5));
+  EXPECT_FALSE(h.ChangedAfter(Addr(), 8, 10));
+  EXPECT_FALSE(h.ChangedAfter(Addr() + 64, 8, 0));
+}
+
+TEST_F(StoreHistoryTest, ClearEmptiesLog) {
+  StoreHistory h;
+  h.Append(Make(Addr(), 8, 0, 1, 10));
+  h.Clear();
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.ChangedAfter(Addr(), 8, 0));
+}
+
+}  // namespace
+}  // namespace ozz::oemu

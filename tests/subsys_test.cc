@@ -1,0 +1,205 @@
+// Sequential-semantics tests for every subsystem: return codes, state
+// machines, and resource handling — all under full instrumentation but
+// in-order execution. (The concurrency behaviour is covered by
+// bug_scenarios_test; these pin down the substrate itself.)
+#include <gtest/gtest.h>
+
+#include "src/oemu/runtime.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+class SubsysTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_.Activate(nullptr);
+    kernel_ = std::make_unique<Kernel>();
+    kernel_->Attach(nullptr, &runtime_);
+    InstallDefaultSubsystems(*kernel_);
+  }
+  void TearDown() override { runtime_.Deactivate(); }
+
+  long Call(const char* name, std::vector<i64> args = {}) {
+    return kernel_->InvokeByName(name, args);
+  }
+
+  oemu::Runtime runtime_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(SubsysTest, WatchQueueRingRoundTrip) {
+  EXPECT_EQ(Call("wq$read"), kEAgain);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(Call("wq$post", {i + 1}), kOk);
+  }
+  EXPECT_EQ(Call("wq$post", {9}), kEAgain) << "ring full";
+  EXPECT_EQ(Call("wq$read"), 1) << "FIFO order, confirm returns len";
+  EXPECT_EQ(Call("wq$post", {9}), kOk) << "slot freed";
+}
+
+TEST_F(SubsysTest, TlsLifecycle) {
+  long fd = Call("tls$open");
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(Call("tls$setsockopt", {fd, 1}), kOk) << "base proto path";
+  EXPECT_EQ(Call("tls$init", {fd}), kOk);
+  EXPECT_EQ(Call("tls$init", {fd}), kEAlready);
+  EXPECT_EQ(Call("tls$setsockopt", {fd, 2}), kOk) << "tls proto path";
+  EXPECT_EQ(Call("tls$getsockopt", {fd, 0}), 0);
+  EXPECT_EQ(Call("tls$setsockopt", {99, 1}), kEBadf);
+  EXPECT_EQ(Call("tls$poll", {fd}), 0);
+  EXPECT_EQ(Call("tls$err_abort", {fd}), kOk);
+  EXPECT_EQ(Call("tls$poll", {fd}), 5) << "err published in order";
+  EXPECT_EQ(Call("tls$anomalies", {fd}), 0);
+}
+
+TEST_F(SubsysTest, RdsLockExcludes) {
+  EXPECT_EQ(Call("rds$sendmsg", {16}), kOk);
+  EXPECT_GE(Call("rds$loop_xmit"), 0);
+}
+
+TEST_F(SubsysTest, XskLifecycle) {
+  long fd = Call("xsk$socket");
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(Call("xsk$poll", {fd}), 0) << "unbound: nothing to poll";
+  EXPECT_EQ(Call("xsk$sendmsg", {fd}), kENotConn);
+  EXPECT_EQ(Call("xsk$bind", {fd, 64}), kOk);
+  EXPECT_EQ(Call("xsk$bind", {fd, 64}), kEAlready);
+  EXPECT_EQ(Call("xsk$sendmsg", {fd}), kOk);
+  EXPECT_EQ(Call("xsk$poll", {fd}), 0);
+}
+
+TEST_F(SubsysTest, BpfSockmapLifecycle) {
+  EXPECT_EQ(Call("bpf$sockmap_recv"), 0) << "no psock installed";
+  EXPECT_EQ(Call("bpf$sockmap_attach", {3}), kOk);
+  EXPECT_EQ(Call("bpf$sockmap_attach", {4}), kEBusy);
+  EXPECT_EQ(Call("bpf$sockmap_recv"), 3) << "verdict prog id";
+}
+
+TEST_F(SubsysTest, SmcLifecycle) {
+  EXPECT_EQ(Call("smc$connect"), kEInval) << "not listening";
+  EXPECT_EQ(Call("smc$close"), 0);
+  EXPECT_EQ(Call("smc$listen"), kOk);
+  EXPECT_EQ(Call("smc$listen"), kEAlready);
+  EXPECT_EQ(Call("smc$connect"), kOk);
+  EXPECT_EQ(Call("smc$close"), kOk);
+}
+
+TEST_F(SubsysTest, VmciLifecycle) {
+  EXPECT_EQ(Call("vmci$qp_poll"), 0) << "not attached";
+  EXPECT_EQ(Call("vmci$qp_attach", {256}), kOk);
+  EXPECT_EQ(Call("vmci$qp_attach", {256}), kEAlready);
+  EXPECT_EQ(Call("vmci$qp_poll"), kOk);
+}
+
+TEST_F(SubsysTest, GsmLifecycle) {
+  EXPECT_EQ(Call("gsm$dlci_config", {0, 64}), kENoEnt);
+  EXPECT_EQ(Call("gsm$dlci_open", {0}), kOk);
+  EXPECT_EQ(Call("gsm$dlci_open", {0}), kEAlready);
+  EXPECT_EQ(Call("gsm$dlci_config", {0, 128}), kOk);
+  EXPECT_EQ(Call("gsm$dlci_config", {1, 128}), kENoEnt) << "other index untouched";
+}
+
+TEST_F(SubsysTest, VlanLifecycle) {
+  EXPECT_EQ(Call("vlan$get", {0}), kENoEnt);
+  EXPECT_EQ(Call("vlan$add"), 0);
+  EXPECT_EQ(Call("vlan$get", {0}), 100) << "ifindex of slot 0";
+  EXPECT_EQ(Call("vlan$get", {1}), kENoEnt);
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(Call("vlan$add"), i);
+  }
+  EXPECT_EQ(Call("vlan$add"), kENoMem);
+}
+
+TEST_F(SubsysTest, UnixLifecycle) {
+  EXPECT_EQ(Call("unix$getname"), kENoEnt);
+  EXPECT_EQ(Call("unix$bind", {20}), kOk);
+  EXPECT_EQ(Call("unix$bind", {20}), kEAlready);
+  EXPECT_EQ(Call("unix$getname"), 20) << "returns the bound name length";
+}
+
+TEST_F(SubsysTest, NbdLifecycle) {
+  EXPECT_EQ(Call("nbd$ioctl"), kEInval);
+  EXPECT_EQ(Call("nbd$setup", {512}), kOk);
+  EXPECT_EQ(Call("nbd$setup", {512}), kEBusy);
+  EXPECT_EQ(Call("nbd$ioctl"), 512);
+}
+
+TEST_F(SubsysTest, MqTagLifecycle) {
+  EXPECT_EQ(Call("mq$complete"), kEInval) << "nothing in flight";
+  EXPECT_EQ(Call("mq$reap"), kEBusy) << "nothing completed";
+  EXPECT_EQ(Call("mq$submit"), kOk);
+  EXPECT_EQ(Call("mq$submit"), kEBusy);
+  EXPECT_EQ(Call("mq$reap"), kEBusy) << "in flight";
+  EXPECT_EQ(Call("mq$complete"), kOk);
+  EXPECT_EQ(Call("mq$complete"), kEInval) << "already completed";
+  EXPECT_EQ(Call("mq$reap"), kOk);
+  EXPECT_EQ(Call("mq$reap"), kEBusy) << "already reaped";
+  EXPECT_EQ(Call("mq$submit"), kOk) << "tag recycled";
+}
+
+TEST_F(SubsysTest, FsLifecycle) {
+  EXPECT_EQ(Call("fs$read", {0}), kEBadf);
+  EXPECT_EQ(Call("fs$open"), 0);
+  EXPECT_EQ(Call("fs$read", {0}), 0444) << "generic read returns f_mode";
+  EXPECT_EQ(Call("fs$open"), 1) << "next slot";
+}
+
+TEST_F(SubsysTest, RingbufSeqlock) {
+  EXPECT_EQ(Call("ringbuf$read"), 0) << "initial record is consistent zero";
+  EXPECT_EQ(Call("ringbuf$write", {77}), kOk);
+  EXPECT_EQ(Call("ringbuf$read"), 77);
+}
+
+TEST_F(SubsysTest, BufferHeadLifecycle) {
+  EXPECT_EQ(Call("bh$try_free"), 0) << "no buffers yet";
+  EXPECT_EQ(Call("bh$write", {123}), kOk);
+  EXPECT_EQ(Call("bh$write", {456}), kOk) << "relock after unlock";
+  EXPECT_EQ(Call("bh$try_free"), 456) << "accounts and frees the buffer";
+  EXPECT_EQ(Call("bh$try_free"), 0) << "already freed";
+  EXPECT_EQ(Call("bh$write", {7}), kOk) << "fresh buffer allocated";
+}
+
+TEST_F(SubsysTest, RdmaCompletionQueue) {
+  EXPECT_EQ(Call("rdma$poll_cq"), kEAgain) << "empty CQ";
+  EXPECT_EQ(Call("rdma$hw_complete", {42}), kOk);
+  EXPECT_EQ(Call("rdma$poll_cq"), 42) << "returns the completed wr_id";
+  EXPECT_EQ(Call("rdma$poll_cq"), kEAgain);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(Call("rdma$hw_complete", {i + 1}), kOk);
+  }
+  EXPECT_EQ(Call("rdma$hw_complete", {9}), kEAgain) << "CQ full";
+}
+
+TEST_F(SubsysTest, SyntheticSb) {
+  EXPECT_EQ(Call("syn$nop"), kOk);
+  EXPECT_EQ(Call("syn$t1"), 0) << "y not yet written";
+  EXPECT_EQ(Call("syn$t2"), 1) << "x visible in order";
+}
+
+TEST_F(SubsysTest, FixedKernelsAlsoRunClean) {
+  // Build a fully patched kernel and run every seed scenario's happy path.
+  runtime_.Deactivate();
+  oemu::Runtime rt2;
+  rt2.Activate(nullptr);
+  KernelConfig config;
+  for (const char* fixed : {"watch_queue", "tls", "rds", "xsk", "bpf_sockmap", "smc", "vmci",
+                            "gsm", "vlan", "unix", "nbd", "mq", "fs", "ringbuf", "synthetic"}) {
+    config.fixed.insert(fixed);
+  }
+  Kernel fixed_kernel(config);
+  fixed_kernel.Attach(nullptr, &rt2);
+  InstallDefaultSubsystems(fixed_kernel);
+  EXPECT_EQ(fixed_kernel.InvokeByName("wq$post", {4}), kOk);
+  EXPECT_EQ(fixed_kernel.InvokeByName("wq$read", {}), 4);
+  EXPECT_EQ(fixed_kernel.InvokeByName("vlan$add", {}), 0);
+  EXPECT_EQ(fixed_kernel.InvokeByName("vlan$get", {0}), 100);
+  EXPECT_EQ(fixed_kernel.InvokeByName("nbd$setup", {1024}), kOk);
+  EXPECT_EQ(fixed_kernel.InvokeByName("nbd$ioctl", {}), 1024);
+  EXPECT_FALSE(fixed_kernel.crashed());
+  rt2.Deactivate();
+  runtime_.Activate(nullptr);
+}
+
+}  // namespace
+}  // namespace ozz::osk

@@ -1,0 +1,134 @@
+// ozz_fuzz: command-line fuzzing campaign driver.
+//
+// Usage:
+//   ozz_fuzz [--seed N] [--budget N] [--bugs N] [--no-reorder]
+//            [--fixed SUBSYS]... [--hack-migration] [--hint-order heuristic|reverse|random]
+//            [--save-dir DIR] [--list-syscalls] [--seed-prog NAME]
+//
+// Runs an OZZ campaign over the simulated kernel and prints every unique bug
+// report; with --save-dir, each crash is also written as a replayable spec
+// (see ozz_repro).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/base/log.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/replay.h"
+
+using namespace ozz;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "ozz_fuzz — OZZ fuzzing campaign on the simulated kernel\n\n"
+      "  --seed N            RNG seed (default 1)\n"
+      "  --budget N          MTI test budget (default 20000)\n"
+      "  --bugs N            stop after N unique bugs (default: run out the budget)\n"
+      "  --no-reorder        disable OEMU reordering (interleaving-only baseline)\n"
+      "  --fixed SUBSYS      apply the barrier patch for SUBSYS (repeatable)\n"
+      "  --hack-migration    emulate per-CPU thread migration (Table 4 #6)\n"
+      "  --hint-order X      heuristic | reverse | random (ablation)\n"
+      "  --seed-prog NAME    hunt around one scenario's seed program only\n"
+      "  --save-dir DIR      write replayable crash specs into DIR\n"
+      "  --list-syscalls     print the syscall table and exit\n"
+      "  -v                  verbose logging\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzerOptions options;
+  options.seed = 1;
+  options.max_mti_runs = 20000;
+  std::string save_dir;
+  std::string seed_prog;
+  bool list_syscalls = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--budget") {
+      options.max_mti_runs = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--bugs") {
+      options.stop_after_bugs = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--no-reorder") {
+      options.reordering = false;
+    } else if (arg == "--fixed") {
+      options.kernel_config.fixed.insert(next());
+    } else if (arg == "--hack-migration") {
+      options.kernel_config.percpu_migration_hack = true;
+    } else if (arg == "--hint-order") {
+      std::string order = next();
+      options.hint_order = order == "reverse"  ? fuzz::FuzzerOptions::HintOrder::kReverse
+                           : order == "random" ? fuzz::FuzzerOptions::HintOrder::kRandom
+                                               : fuzz::FuzzerOptions::HintOrder::kHeuristic;
+    } else if (arg == "--seed-prog") {
+      seed_prog = next();
+    } else if (arg == "--save-dir") {
+      save_dir = next();
+    } else if (arg == "--list-syscalls") {
+      list_syscalls = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "-v") {
+      base::SetLogLevel(base::LogLevel::kInfo);
+    } else {
+      Usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  fuzz::Fuzzer fuzzer(options);
+
+  if (list_syscalls) {
+    for (const osk::SyscallDesc& d : fuzzer.table().all()) {
+      std::printf("%-22s [%s]%s\n", d.name.c_str(), d.subsystem.c_str(),
+                  d.produces.empty() ? "" : (" -> " + d.produces).c_str());
+    }
+    return 0;
+  }
+
+  if (!json) {
+    std::printf("ozz_fuzz: seed=%llu budget=%zu reordering=%s\n",
+                static_cast<unsigned long long>(options.seed), options.max_mti_runs,
+                options.reordering ? "on" : "OFF");
+  }
+
+  fuzz::CampaignResult result =
+      seed_prog.empty() ? fuzzer.Run()
+                        : fuzzer.RunProg(fuzz::SeedProgramFor(fuzzer.table(), seed_prog));
+
+  if (json) {
+    std::printf("%s\n", fuzz::CampaignToJson(result).c_str());
+    return result.bugs.empty() ? 1 : 0;
+  }
+
+  std::printf("\ncampaign: %llu MTI runs, %llu STI runs, corpus=%zu, coverage=%zu instrs\n\n",
+              static_cast<unsigned long long>(result.mti_runs),
+              static_cast<unsigned long long>(result.sti_runs), result.corpus_size,
+              result.coverage);
+  for (std::size_t i = 0; i < result.bugs.size(); ++i) {
+    const fuzz::FoundBug& bug = result.bugs[i];
+    std::printf("=== bug %zu (after %llu tests, hint rank %zu) ===\n%s\n", i,
+                static_cast<unsigned long long>(bug.found_at_test), bug.hint_rank,
+                FormatBugReport(bug.report).c_str());
+  }
+  std::printf("%zu unique bug(s)\n", result.bugs.size());
+
+  if (!save_dir.empty()) {
+    for (std::size_t i = 0; i < result.bugs.size(); ++i) {
+      std::string path = save_dir + "/bug" + std::to_string(i) + ".ozz";
+      std::ofstream out(path);
+      out << "# " << result.bugs[i].report.title << "\n";
+      out << fuzz::SerializeMtiSpec(result.bugs[i].spec);
+      std::printf("wrote replayable spec %s (replay with ozz_repro)\n", path.c_str());
+    }
+  }
+  return result.bugs.empty() ? 1 : 0;
+}

@@ -1,0 +1,79 @@
+// ozz_repro: replays a crash spec saved by ozz_fuzz --save-dir.
+//
+// Usage: ozz_repro SPEC_FILE [--fixed SUBSYS]... [--no-reorder] [--runs N]
+//
+// Replays deterministically; --fixed lets a developer confirm a candidate
+// patch kills the reproduction, and --no-reorder demonstrates the crash
+// needs out-of-order execution.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/fuzz/replay.h"
+#include "src/fuzz/report.h"
+#include "src/osk/kernel.h"
+
+using namespace ozz;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: ozz_repro SPEC_FILE [--fixed SUBSYS]... [--no-reorder] [--runs N]\n");
+    return 2;
+  }
+  std::string path = argv[1];
+  osk::KernelConfig config;
+  bool reorder = true;
+  int runs = 1;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--fixed" && i + 1 < argc) {
+      config.fixed.insert(argv[++i]);
+    } else if (arg == "--no-reorder") {
+      reorder = false;
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+    } else if (arg == "--hack-migration") {
+      config.percpu_migration_hack = true;
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  osk::Kernel template_kernel(config);
+  osk::InstallDefaultSubsystems(template_kernel);
+
+  fuzz::MtiSpec spec;
+  std::string error;
+  if (!fuzz::ParseMtiSpec(buf.str(), template_kernel.table(), config, &spec, &error)) {
+    std::printf("spec error: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::printf("replaying %s (%d run%s, reordering %s)\n", path.c_str(), runs,
+              runs == 1 ? "" : "s", reorder ? "on" : "OFF");
+  std::printf("program: %s\n", spec.prog.ToString().c_str());
+  std::printf("hint:    %s\n\n", spec.hint.ToString().c_str());
+
+  int crashes = 0;
+  fuzz::MtiResult last;
+  for (int i = 0; i < runs; ++i) {
+    fuzz::MtiOptions options;
+    options.kernel_config = config;
+    options.reordering = reorder;
+    last = fuzz::RunMti(spec, options);
+    crashes += last.crashed ? 1 : 0;
+  }
+  if (last.crashed) {
+    std::printf("%s\n", fuzz::FormatBugReport(fuzz::MakeBugReport(spec, last)).c_str());
+  }
+  std::printf("%d/%d runs crashed (deterministic: expect all or none)\n", crashes, runs);
+  return crashes > 0 ? 0 : 1;
+}
