@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_hypothetical.dir/bench_fig5_hypothetical.cc.o"
+  "CMakeFiles/bench_fig5_hypothetical.dir/bench_fig5_hypothetical.cc.o.d"
+  "bench_fig5_hypothetical"
+  "bench_fig5_hypothetical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hypothetical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ofence_compare.dir/bench_ofence_compare.cc.o"
+  "CMakeFiles/bench_ofence_compare.dir/bench_ofence_compare.cc.o.d"
+  "bench_ofence_compare"
+  "bench_ofence_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ofence_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selective.dir/bench_selective.cc.o"
+  "CMakeFiles/bench_selective.dir/bench_selective.cc.o.d"
+  "bench_selective"
+  "bench_selective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_known_bugs.dir/bench_table4_known_bugs.cc.o"
+  "CMakeFiles/bench_table4_known_bugs.dir/bench_table4_known_bugs.cc.o.d"
+  "bench_table4_known_bugs"
+  "bench_table4_known_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_known_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_lmbench.dir/bench_table5_lmbench.cc.o"
+  "CMakeFiles/bench_table5_lmbench.dir/bench_table5_lmbench.cc.o.d"
+  "bench_table5_lmbench"
+  "bench_table5_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

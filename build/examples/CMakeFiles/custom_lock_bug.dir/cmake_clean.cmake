@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lock_bug.dir/custom_lock_bug.cpp.o"
+  "CMakeFiles/custom_lock_bug.dir/custom_lock_bug.cpp.o.d"
+  "custom_lock_bug"
+  "custom_lock_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lock_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

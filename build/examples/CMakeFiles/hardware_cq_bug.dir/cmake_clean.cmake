@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_cq_bug.dir/hardware_cq_bug.cpp.o"
+  "CMakeFiles/hardware_cq_bug.dir/hardware_cq_bug.cpp.o.d"
+  "hardware_cq_bug"
+  "hardware_cq_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_cq_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

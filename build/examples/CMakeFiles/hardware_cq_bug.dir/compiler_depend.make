@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hardware_cq_bug.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_sockopt_bug.dir/tls_sockopt_bug.cpp.o"
+  "CMakeFiles/tls_sockopt_bug.dir/tls_sockopt_bug.cpp.o.d"
+  "tls_sockopt_bug"
+  "tls_sockopt_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_sockopt_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tls_sockopt_bug.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watch_queue_bug.dir/watch_queue_bug.cpp.o"
+  "CMakeFiles/watch_queue_bug.dir/watch_queue_bug.cpp.o.d"
+  "watch_queue_bug"
+  "watch_queue_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watch_queue_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for watch_queue_bug.
+# This may be replaced when dependencies are built.

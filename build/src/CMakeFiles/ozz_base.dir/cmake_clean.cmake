@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ozz_base.dir/base/log.cc.o"
+  "CMakeFiles/ozz_base.dir/base/log.cc.o.d"
+  "libozz_base.a"
+  "libozz_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ozz_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

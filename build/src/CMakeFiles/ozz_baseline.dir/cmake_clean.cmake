@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ozz_baseline.dir/baseline/inorder_fuzzer.cc.o"
+  "CMakeFiles/ozz_baseline.dir/baseline/inorder_fuzzer.cc.o.d"
+  "CMakeFiles/ozz_baseline.dir/baseline/kcsan_lite.cc.o"
+  "CMakeFiles/ozz_baseline.dir/baseline/kcsan_lite.cc.o.d"
+  "CMakeFiles/ozz_baseline.dir/baseline/ofence_lite.cc.o"
+  "CMakeFiles/ozz_baseline.dir/baseline/ofence_lite.cc.o.d"
+  "libozz_baseline.a"
+  "libozz_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ozz_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/corpus.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/corpus.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/corpus.cc.o.d"
+  "/root/repo/src/fuzz/executor.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/executor.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/executor.cc.o.d"
+  "/root/repo/src/fuzz/fuzzer.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/fuzzer.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/fuzzer.cc.o.d"
+  "/root/repo/src/fuzz/hints.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/hints.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/hints.cc.o.d"
+  "/root/repo/src/fuzz/profile.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/profile.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/profile.cc.o.d"
+  "/root/repo/src/fuzz/replay.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/replay.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/replay.cc.o.d"
+  "/root/repo/src/fuzz/report.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/report.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/report.cc.o.d"
+  "/root/repo/src/fuzz/syslang.cc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/syslang.cc.o" "gcc" "src/CMakeFiles/ozz_fuzz.dir/fuzz/syslang.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ozz_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_oemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ozz_fuzz.dir/fuzz/corpus.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/corpus.cc.o.d"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/executor.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/executor.cc.o.d"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/fuzzer.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/fuzzer.cc.o.d"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/hints.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/hints.cc.o.d"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/profile.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/profile.cc.o.d"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/replay.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/replay.cc.o.d"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/report.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/report.cc.o.d"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/syslang.cc.o"
+  "CMakeFiles/ozz_fuzz.dir/fuzz/syslang.cc.o.d"
+  "libozz_fuzz.a"
+  "libozz_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ozz_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

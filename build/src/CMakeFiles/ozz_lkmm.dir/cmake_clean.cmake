@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ozz_lkmm.dir/lkmm/checker.cc.o"
+  "CMakeFiles/ozz_lkmm.dir/lkmm/checker.cc.o.d"
+  "CMakeFiles/ozz_lkmm.dir/lkmm/litmus.cc.o"
+  "CMakeFiles/ozz_lkmm.dir/lkmm/litmus.cc.o.d"
+  "libozz_lkmm.a"
+  "libozz_lkmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ozz_lkmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

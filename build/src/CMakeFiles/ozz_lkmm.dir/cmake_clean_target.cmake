@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libozz_lkmm.a"
+)

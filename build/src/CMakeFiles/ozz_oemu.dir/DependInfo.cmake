@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oemu/instr.cc" "src/CMakeFiles/ozz_oemu.dir/oemu/instr.cc.o" "gcc" "src/CMakeFiles/ozz_oemu.dir/oemu/instr.cc.o.d"
+  "/root/repo/src/oemu/runtime.cc" "src/CMakeFiles/ozz_oemu.dir/oemu/runtime.cc.o" "gcc" "src/CMakeFiles/ozz_oemu.dir/oemu/runtime.cc.o.d"
+  "/root/repo/src/oemu/store_buffer.cc" "src/CMakeFiles/ozz_oemu.dir/oemu/store_buffer.cc.o" "gcc" "src/CMakeFiles/ozz_oemu.dir/oemu/store_buffer.cc.o.d"
+  "/root/repo/src/oemu/store_history.cc" "src/CMakeFiles/ozz_oemu.dir/oemu/store_history.cc.o" "gcc" "src/CMakeFiles/ozz_oemu.dir/oemu/store_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ozz_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

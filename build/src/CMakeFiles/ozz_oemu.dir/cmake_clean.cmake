@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ozz_oemu.dir/oemu/instr.cc.o"
+  "CMakeFiles/ozz_oemu.dir/oemu/instr.cc.o.d"
+  "CMakeFiles/ozz_oemu.dir/oemu/runtime.cc.o"
+  "CMakeFiles/ozz_oemu.dir/oemu/runtime.cc.o.d"
+  "CMakeFiles/ozz_oemu.dir/oemu/store_buffer.cc.o"
+  "CMakeFiles/ozz_oemu.dir/oemu/store_buffer.cc.o.d"
+  "CMakeFiles/ozz_oemu.dir/oemu/store_history.cc.o"
+  "CMakeFiles/ozz_oemu.dir/oemu/store_history.cc.o.d"
+  "libozz_oemu.a"
+  "libozz_oemu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ozz_oemu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ozz_oemu.
+# This may be replaced when dependencies are built.

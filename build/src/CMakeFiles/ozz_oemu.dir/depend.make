@@ -1,0 +1,2 @@
+# Empty dependencies file for ozz_oemu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osk/kalloc.cc" "src/CMakeFiles/ozz_osk.dir/osk/kalloc.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/kalloc.cc.o.d"
+  "/root/repo/src/osk/kasan.cc" "src/CMakeFiles/ozz_osk.dir/osk/kasan.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/kasan.cc.o.d"
+  "/root/repo/src/osk/kernel.cc" "src/CMakeFiles/ozz_osk.dir/osk/kernel.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/kernel.cc.o.d"
+  "/root/repo/src/osk/lockdep.cc" "src/CMakeFiles/ozz_osk.dir/osk/lockdep.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/lockdep.cc.o.d"
+  "/root/repo/src/osk/oops.cc" "src/CMakeFiles/ozz_osk.dir/osk/oops.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/oops.cc.o.d"
+  "/root/repo/src/osk/subsys/all.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/all.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/all.cc.o.d"
+  "/root/repo/src/osk/subsys/bpf_sockmap.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/bpf_sockmap.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/bpf_sockmap.cc.o.d"
+  "/root/repo/src/osk/subsys/buffer_head.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/buffer_head.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/buffer_head.cc.o.d"
+  "/root/repo/src/osk/subsys/fs_fdtable.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/fs_fdtable.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/fs_fdtable.cc.o.d"
+  "/root/repo/src/osk/subsys/gsm.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/gsm.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/gsm.cc.o.d"
+  "/root/repo/src/osk/subsys/mq_sbitmap.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/mq_sbitmap.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/mq_sbitmap.cc.o.d"
+  "/root/repo/src/osk/subsys/nbd.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/nbd.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/nbd.cc.o.d"
+  "/root/repo/src/osk/subsys/rdma.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/rdma.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/rdma.cc.o.d"
+  "/root/repo/src/osk/subsys/rds.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/rds.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/rds.cc.o.d"
+  "/root/repo/src/osk/subsys/ringbuf.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/ringbuf.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/ringbuf.cc.o.d"
+  "/root/repo/src/osk/subsys/smc.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/smc.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/smc.cc.o.d"
+  "/root/repo/src/osk/subsys/synthetic.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/synthetic.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/synthetic.cc.o.d"
+  "/root/repo/src/osk/subsys/tls.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/tls.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/tls.cc.o.d"
+  "/root/repo/src/osk/subsys/unix_sock.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/unix_sock.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/unix_sock.cc.o.d"
+  "/root/repo/src/osk/subsys/vlan.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/vlan.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/vlan.cc.o.d"
+  "/root/repo/src/osk/subsys/vmci.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/vmci.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/vmci.cc.o.d"
+  "/root/repo/src/osk/subsys/watch_queue.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/watch_queue.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/watch_queue.cc.o.d"
+  "/root/repo/src/osk/subsys/xsk.cc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/xsk.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/subsys/xsk.cc.o.d"
+  "/root/repo/src/osk/syscall.cc" "src/CMakeFiles/ozz_osk.dir/osk/syscall.cc.o" "gcc" "src/CMakeFiles/ozz_osk.dir/osk/syscall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ozz_oemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

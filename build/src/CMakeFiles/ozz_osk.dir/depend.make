@@ -1,0 +1,2 @@
+# Empty dependencies file for ozz_osk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ozz_rt.dir/rt/machine.cc.o"
+  "CMakeFiles/ozz_rt.dir/rt/machine.cc.o.d"
+  "libozz_rt.a"
+  "libozz_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ozz_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

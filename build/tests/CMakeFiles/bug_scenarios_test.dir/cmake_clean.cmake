@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_scenarios_test.dir/bug_scenarios_test.cc.o"
+  "CMakeFiles/bug_scenarios_test.dir/bug_scenarios_test.cc.o.d"
+  "bug_scenarios_test"
+  "bug_scenarios_test.pdb"
+  "bug_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

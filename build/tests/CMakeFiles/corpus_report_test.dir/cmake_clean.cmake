@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_report_test.dir/corpus_report_test.cc.o"
+  "CMakeFiles/corpus_report_test.dir/corpus_report_test.cc.o.d"
+  "corpus_report_test"
+  "corpus_report_test.pdb"
+  "corpus_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

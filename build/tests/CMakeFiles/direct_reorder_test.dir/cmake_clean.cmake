@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_reorder_test.dir/direct_reorder_test.cc.o"
+  "CMakeFiles/direct_reorder_test.dir/direct_reorder_test.cc.o.d"
+  "direct_reorder_test"
+  "direct_reorder_test.pdb"
+  "direct_reorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

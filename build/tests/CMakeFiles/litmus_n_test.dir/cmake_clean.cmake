@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_n_test.dir/litmus_n_test.cc.o"
+  "CMakeFiles/litmus_n_test.dir/litmus_n_test.cc.o.d"
+  "litmus_n_test"
+  "litmus_n_test.pdb"
+  "litmus_n_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

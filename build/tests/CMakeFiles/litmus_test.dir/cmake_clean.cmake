@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_test.dir/litmus_test.cc.o"
+  "CMakeFiles/litmus_test.dir/litmus_test.cc.o.d"
+  "litmus_test"
+  "litmus_test.pdb"
+  "litmus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_property_test.dir/lkmm_property_test.cc.o"
+  "CMakeFiles/lkmm_property_test.dir/lkmm_property_test.cc.o.d"
+  "lkmm_property_test"
+  "lkmm_property_test.pdb"
+  "lkmm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

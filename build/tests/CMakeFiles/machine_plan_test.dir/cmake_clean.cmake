@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_plan_test.dir/machine_plan_test.cc.o"
+  "CMakeFiles/machine_plan_test.dir/machine_plan_test.cc.o.d"
+  "machine_plan_test"
+  "machine_plan_test.pdb"
+  "machine_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/store_buffer_test.cc" "tests/CMakeFiles/store_buffer_test.dir/store_buffer_test.cc.o" "gcc" "tests/CMakeFiles/store_buffer_test.dir/store_buffer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ozz_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_lkmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_oemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ozz_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_history_test.dir/store_history_test.cc.o"
+  "CMakeFiles/store_history_test.dir/store_history_test.cc.o.d"
+  "store_history_test"
+  "store_history_test.pdb"
+  "store_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syslang_test.dir/syslang_test.cc.o"
+  "CMakeFiles/syslang_test.dir/syslang_test.cc.o.d"
+  "syslang_test"
+  "syslang_test.pdb"
+  "syslang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syslang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

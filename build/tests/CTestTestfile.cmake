@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/store_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/store_history_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzer_test[1]_include.cmake")
+include("/root/repo/build/tests/bug_scenarios_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/hints_test[1]_include.cmake")
+include("/root/repo/build/tests/syslang_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/cell_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_report_test[1]_include.cmake")
+include("/root/repo/build/tests/subsys_test[1]_include.cmake")
+include("/root/repo/build/tests/lkmm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_n_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/selective_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/direct_reorder_test[1]_include.cmake")

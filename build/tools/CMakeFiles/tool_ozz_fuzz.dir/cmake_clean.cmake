@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ozz_fuzz.dir/ozz_fuzz.cc.o"
+  "CMakeFiles/tool_ozz_fuzz.dir/ozz_fuzz.cc.o.d"
+  "ozz_fuzz"
+  "ozz_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ozz_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

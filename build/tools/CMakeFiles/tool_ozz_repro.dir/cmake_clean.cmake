@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ozz_repro.dir/ozz_repro.cc.o"
+  "CMakeFiles/tool_ozz_repro.dir/ozz_repro.cc.o.d"
+  "ozz_repro"
+  "ozz_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ozz_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

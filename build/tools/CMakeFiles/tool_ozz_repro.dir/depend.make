@@ -1,0 +1,2 @@
+# Empty dependencies file for tool_ozz_repro.
+# This may be replaced when dependencies are built.
