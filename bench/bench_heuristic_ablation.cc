@@ -7,12 +7,20 @@
 // three hint orders — the heuristic, its reverse, and random — and reports
 // (a) the rank distribution of the triggering hints under the heuristic and
 // (b) the mean number of tests to trigger under each order.
+// A second arm ablates the static ordering pre-filter (src/analysis): every
+// scenario is hunted with pruning on and off, and the run emits
+// BENCH_static_prune.json with hint/pair accounting, wall times, and the
+// fixed-form proven fraction (the ISSUE's ≥30% effectiveness claim).
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/analysis/ordering.h"
 #include "src/fuzz/fuzzer.h"
+#include "src/fuzz/profile.h"
+#include "tests/scenarios.h"
 
 namespace {
 
@@ -59,6 +67,150 @@ CampaignResult Hunt(const Scenario& s, FuzzerOptions::HintOrder order, u64 seed)
   }
   Fuzzer fuzzer(options);
   return fuzzer.RunProg(SeedProgramFor(fuzzer.table(), s.seed));
+}
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+CampaignResult HuntPruneArm(const fuzz::Scenario& s, bool static_prune) {
+  FuzzerOptions options;
+  options.seed = 99;
+  options.max_mti_runs = 2500;
+  options.stop_after_bugs = 1;
+  options.hints.static_prune = static_prune;
+  if (s.pre_fixed != nullptr) {
+    options.kernel_config.fixed.insert(s.pre_fixed);
+  }
+  options.kernel_config.percpu_migration_hack = s.migration_hack;
+  Fuzzer fuzzer(options);
+  return fuzzer.RunProg(SeedProgramFor(fuzzer.table(), s.seed));
+}
+
+// Aggregate candidate-pair stats over the fully-patched forms of the seed
+// subsystems — the static analyzer's effectiveness headline.
+analysis::PairStats FixedFormPairStats() {
+  const char* kFixedSeeds[] = {"watch_queue", "rds", "vlan", "fs",
+                               "nbd",         "unix", "smc",  "vmci"};
+  analysis::PairStats total;
+  for (const char* seed_name : kFixedSeeds) {
+    osk::KernelConfig config;
+    for (const fuzz::Scenario& s : fuzz::kBugScenarios) {
+      config.fixed.insert(s.fix_key);
+      if (s.pre_fixed != nullptr) {
+        config.fixed.insert(s.pre_fixed);
+      }
+    }
+    osk::Kernel kernel(config);
+    osk::InstallDefaultSubsystems(kernel);
+    fuzz::Prog seed = SeedProgramFor(kernel.table(), seed_name);
+    fuzz::ProgProfile profile = fuzz::ProfileProg(seed, config);
+    for (std::size_t a = 0; a < profile.calls.size(); ++a) {
+      for (std::size_t b = 0; b < profile.calls.size(); ++b) {
+        if (a != b) {
+          analysis::PairAnalysis pa(profile.calls[a].trace, profile.calls[b].trace);
+          total.Add(pa.ComputeStats());
+        }
+      }
+    }
+  }
+  return total;
+}
+
+// Runs the static-prune ablation and writes BENCH_static_prune.json.
+// Returns true when pruning lost no bug.
+bool RunStaticPruneArm() {
+  std::printf("\n=== static ordering pre-filter ablation ===\n\n");
+  std::printf("%-24s %-6s %-6s %-10s %-10s %-9s %-9s\n", "scenario", "bugs+", "bugs-",
+              "generated", "pruned", "time+ s", "time- s");
+
+  FILE* json = std::fopen("BENCH_static_prune.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"scenarios\": [\n");
+  }
+
+  bool sound = true;
+  int total_bugs_on = 0;
+  int total_bugs_off = 0;
+  u64 total_generated = 0;
+  u64 total_pruned = 0;
+  double total_time_on = 0;
+  double total_time_off = 0;
+  analysis::PairStats buggy_pairs;
+  std::size_t count = sizeof(fuzz::kBugScenarios) / sizeof(fuzz::kBugScenarios[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const fuzz::Scenario& s = fuzz::kBugScenarios[i];
+    auto t0 = std::chrono::steady_clock::now();
+    CampaignResult on = HuntPruneArm(s, /*static_prune=*/true);
+    auto t1 = std::chrono::steady_clock::now();
+    CampaignResult off = HuntPruneArm(s, /*static_prune=*/false);
+    auto t2 = std::chrono::steady_clock::now();
+    double time_on = Seconds(t0, t1);
+    double time_off = Seconds(t1, t2);
+
+    sound = sound && on.bugs.size() == off.bugs.size();
+    total_bugs_on += static_cast<int>(on.bugs.size());
+    total_bugs_off += static_cast<int>(off.bugs.size());
+    total_generated += on.hint_stats.hints_generated;
+    total_pruned += on.hint_stats.hints_pruned;
+    total_time_on += time_on;
+    total_time_off += time_off;
+    buggy_pairs.Add(on.hint_stats.pairs);
+
+    std::printf("%-24s %-6zu %-6zu %-10llu %-10llu %-9.3f %-9.3f\n", s.name, on.bugs.size(),
+                off.bugs.size(), static_cast<unsigned long long>(on.hint_stats.hints_generated),
+                static_cast<unsigned long long>(on.hint_stats.hints_pruned), time_on, time_off);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"bugs_with_prune\": %zu, \"bugs_without_prune\": %zu, "
+                   "\"hints_generated\": %llu, \"hints_pruned\": %llu, "
+                   "\"pair_candidates\": %llu, \"pair_proven\": %llu, "
+                   "\"wall_s_with_prune\": %.4f, \"wall_s_without_prune\": %.4f}%s\n",
+                   s.name, on.bugs.size(), off.bugs.size(),
+                   static_cast<unsigned long long>(on.hint_stats.hints_generated),
+                   static_cast<unsigned long long>(on.hint_stats.hints_pruned),
+                   static_cast<unsigned long long>(on.hint_stats.pairs.candidates()),
+                   static_cast<unsigned long long>(on.hint_stats.pairs.proven()), time_on,
+                   time_off, i + 1 < count ? "," : "");
+    }
+  }
+
+  analysis::PairStats fixed = FixedFormPairStats();
+  double fixed_fraction =
+      fixed.candidates() > 0
+          ? static_cast<double>(fixed.proven()) / static_cast<double>(fixed.candidates())
+          : 0.0;
+  double prune_rate = total_generated > 0
+                          ? static_cast<double>(total_pruned) / static_cast<double>(total_generated)
+                          : 0.0;
+
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "  ],\n  \"totals\": {\"bugs_with_prune\": %d, \"bugs_without_prune\": %d, "
+                 "\"hints_generated\": %llu, \"hints_pruned\": %llu, \"prune_rate\": %.4f, "
+                 "\"wall_s_with_prune\": %.4f, \"wall_s_without_prune\": %.4f,\n"
+                 "    \"buggy_pair_candidates\": %llu, \"buggy_pair_proven\": %llu,\n"
+                 "    \"fixed_pair_candidates\": %llu, \"fixed_pair_proven\": %llu, "
+                 "\"fixed_proven_fraction\": %.4f}\n}\n",
+                 total_bugs_on, total_bugs_off, static_cast<unsigned long long>(total_generated),
+                 static_cast<unsigned long long>(total_pruned), prune_rate, total_time_on,
+                 total_time_off, static_cast<unsigned long long>(buggy_pairs.candidates()),
+                 static_cast<unsigned long long>(buggy_pairs.proven()),
+                 static_cast<unsigned long long>(fixed.candidates()),
+                 static_cast<unsigned long long>(fixed.proven()), fixed_fraction);
+    std::fclose(json);
+  }
+
+  std::printf("\nTotals: %d bugs with pruning, %d without; %llu/%llu hints pruned (%.1f%%)\n",
+              total_bugs_on, total_bugs_off, static_cast<unsigned long long>(total_pruned),
+              static_cast<unsigned long long>(total_generated), 100.0 * prune_rate);
+  std::printf("Fixed-form pair effectiveness: %llu/%llu proven (%.1f%%; floor 30%%)\n",
+              static_cast<unsigned long long>(fixed.proven()),
+              static_cast<unsigned long long>(fixed.candidates()), 100.0 * fixed_fraction);
+  std::printf("Soundness: pruning %s\n", sound ? "lost no bug" : "LOST A BUG");
+  std::printf("(JSON written to BENCH_static_prune.json)\n");
+  return sound && fixed_fraction >= 0.30;
 }
 
 }  // namespace
@@ -123,5 +275,7 @@ int main() {
   bool shape_ok = found_heuristic >= 16 && low_rank * 2 >= found_heuristic;
   std::printf("\nShape check: most bugs trigger at the largest or second-largest hint — %s.\n",
               shape_ok ? "holds" : "DOES NOT HOLD");
-  return shape_ok ? 0 : 1;
+
+  bool prune_ok = RunStaticPruneArm();
+  return shape_ok && prune_ok ? 0 : 1;
 }

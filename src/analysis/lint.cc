@@ -1,0 +1,283 @@
+#include "src/analysis/lint.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace ozz::analysis {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& contents) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : contents) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    lines.push_back(cur);
+  }
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool Contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+// True when `line` (or the preceding line, for a standalone comment) carries
+// the given suppression marker.
+bool Suppressed(const std::vector<std::string>& lines, std::size_t i, const char* marker) {
+  if (Contains(lines[i], marker)) {
+    return true;
+  }
+  return i > 0 && Contains(lines[i - 1], marker);
+}
+
+bool IsCommentLine(const std::string& line) {
+  std::size_t p = line.find_first_not_of(" \t");
+  return p != std::string::npos && line.compare(p, 2, "//") == 0;
+}
+
+// Blanks out "..." string-literal contents (keeping the quotes) so names
+// mentioned in messages or ArgDesc labels don't look like accesses.
+std::string StripStrings(const std::string& line) {
+  std::string out = line;
+  bool in_string = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (in_string) {
+      if (out[i] == '\\') {
+        if (i + 1 < out.size()) {
+          out[i + 1] = ' ';
+        }
+        out[i] = ' ';
+        ++i;
+        continue;
+      }
+      if (out[i] == '"') {
+        in_string = false;
+      } else {
+        out[i] = ' ';
+      }
+    } else if (out[i] == '"') {
+      in_string = true;
+    }
+  }
+  return out;
+}
+
+// Macro names #define'd in this file whose replacement contains an OSK_*
+// macro — invocations of those are instrumented accesses, not bypasses
+// (e.g. a subsystem-local CAS helper wrapping OSK_RMW).
+std::set<std::string> CollectInstrumentedMacros(const std::vector<std::string>& lines) {
+  std::set<std::string> macros;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    std::size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line.compare(p, 8, "#define ") != 0) {
+      continue;
+    }
+    std::size_t name_begin = p + 8;
+    std::size_t name_end = name_begin;
+    while (name_end < line.size() && IsIdentChar(line[name_end])) {
+      ++name_end;
+    }
+    if (name_end == name_begin) {
+      continue;
+    }
+    // The definition spans continuation lines ending in '\'.
+    bool instrumented = false;
+    for (std::size_t j = i; j < lines.size(); ++j) {
+      if (Contains(lines[j], "OSK_")) {
+        instrumented = true;
+      }
+      if (lines[j].empty() || lines[j].back() != '\\') {
+        break;
+      }
+    }
+    if (instrumented) {
+      macros.insert(line.substr(name_begin, name_end - name_begin));
+    }
+  }
+  return macros;
+}
+
+// Whole-word occurrences of `name` in `line`.
+std::vector<std::size_t> WordOccurrences(const std::string& line, const std::string& name) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    std::size_t end = pos + name.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      out.push_back(pos);
+    }
+    pos = end;
+  }
+  return out;
+}
+
+// Collects identifiers declared with a Cell<...> (possibly nested, e.g.
+// PerCpu<Cell<u64>>) type: on a line containing "Cell<", the identifier
+// right before the initializer or the terminating ';'.
+std::set<std::string> CollectCellNames(const std::vector<std::string>& lines) {
+  std::set<std::string> names;
+  for (const std::string& raw : lines) {
+    if (IsCommentLine(raw)) {
+      continue;
+    }
+    std::size_t cell = raw.find("Cell<");
+    if (cell == std::string::npos || (cell > 0 && IsIdentChar(raw[cell - 1]))) {
+      continue;
+    }
+    std::string line = raw;
+    std::size_t comment = line.find("//");
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    std::size_t stop = line.find_first_of(";={(", cell);
+    if (stop == std::string::npos) {
+      stop = line.size();
+    }
+    std::size_t end = stop;
+    while (end > cell) {
+      char c = line[end - 1];
+      if (c == ']') {
+        // Array declaration `Cell<T> fd[kMaxFds];` — skip the bound so the
+        // walk lands on the declared identifier, not on the bound.
+        int depth = 0;
+        while (end > cell) {
+          char d = line[end - 1];
+          depth += d == ']' ? 1 : d == '[' ? -1 : 0;
+          --end;
+          if (depth == 0) {
+            break;
+          }
+        }
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        break;
+      }
+      --end;
+    }
+    std::size_t begin = end;
+    while (begin > cell && IsIdentChar(line[begin - 1])) {
+      --begin;
+    }
+    if (begin < end && !std::isdigit(static_cast<unsigned char>(line[begin]))) {
+      std::string name = line.substr(begin, end - begin);
+      // `Cell<u64> head;` yields "head"; a bare `Cell<u64>` in template code
+      // would yield the type parameter — filter the obvious type spellings.
+      if (name != "Cell" && name != "u8" && name != "u16" && name != "u32" && name != "u64") {
+        names.insert(name);
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintSource(const std::string& path, const std::string& contents) {
+  std::vector<LintFinding> findings;
+  const std::vector<std::string> lines = SplitLines(contents);
+  const std::set<std::string> cells = CollectCellNames(lines);
+  const std::set<std::string> wrappers = CollectInstrumentedMacros(lines);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    if (IsCommentLine(line)) {
+      continue;
+    }
+
+    if ((Contains(line, ".raw()") || Contains(line, ".set_raw(")) &&
+        !Suppressed(lines, i, "ozz-lint: allow-raw")) {
+      findings.push_back(LintFinding{
+          path, lineno, "raw-accessor",
+          "Cell raw()/set_raw() bypasses OEMU instrumentation; use an OSK_* macro or "
+          "annotate with `ozz-lint: allow-raw` if this runs outside simulation"});
+    }
+
+    if ((Contains(line, "std::atomic") || Contains(line, "volatile ")) &&
+        !Suppressed(lines, i, "ozz-lint: allow-atomic")) {
+      findings.push_back(LintFinding{
+          path, lineno, "foreign-atomic",
+          "host-level atomic/volatile synchronizes host threads, not simulated ones; "
+          "declare a Cell<> or annotate with `ozz-lint: allow-atomic`"});
+    }
+
+    // direct-access: a Cell identifier on a line with no OSK_ macro and no
+    // raw()/address() call (those are raw-accessor's domain).
+    if (Contains(line, "OSK_") || Contains(line, "Cell<") ||
+        Suppressed(lines, i, "ozz-lint: allow-direct")) {
+      continue;
+    }
+    std::string stripped = StripStrings(line);
+    std::size_t trailing_comment = stripped.find("//");
+    if (trailing_comment != std::string::npos) {
+      stripped.resize(trailing_comment);
+    }
+    bool wrapped = false;
+    for (const std::string& w : wrappers) {
+      if (Contains(stripped, (w + "(").c_str())) {
+        wrapped = true;
+        break;
+      }
+    }
+    if (wrapped) {
+      continue;
+    }
+    for (const std::string& name : cells) {
+      bool hit = false;
+      for (std::size_t pos : WordOccurrences(stripped, name)) {
+        // Only member-access spellings (`obj.name` / `obj->name`) count: a
+        // bare occurrence is a local or parameter that merely shares the
+        // name — Cell's API has no implicit conversions, so a real bypass
+        // always goes through a member plus .raw()/set_raw().
+        if (pos == 0 || (stripped[pos - 1] != '.' && stripped[pos - 1] != '>')) {
+          continue;
+        }
+        std::size_t after = pos + name.size();
+        // Skip call-ish uses (constructor-init `head(0)`, `head_{}`), and
+        // accessor chains handled by raw-accessor.
+        if (after < stripped.size() && (stripped[after] == '(' || stripped[after] == '{')) {
+          continue;
+        }
+        if (stripped.compare(after, 5, ".raw(") == 0 ||
+            stripped.compare(after, 9, ".set_raw(") == 0 ||
+            stripped.compare(after, 9, ".address(") == 0) {
+          continue;
+        }
+        hit = true;
+        break;
+      }
+      if (hit) {
+        findings.push_back(LintFinding{
+            path, lineno, "direct-access",
+            "Cell `" + name +
+                "` referenced without an OSK_* macro; the access is invisible to OEMU "
+                "(annotate with `ozz-lint: allow-direct` if intentional)"});
+        break;  // one direct-access finding per line is enough
+      }
+    }
+  }
+  return findings;
+}
+
+std::string FormatFinding(const LintFinding& finding) {
+  std::ostringstream os;
+  os << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;
+  return os.str();
+}
+
+}  // namespace ozz::analysis

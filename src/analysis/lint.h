@@ -1,0 +1,51 @@
+// Instrumentation-discipline lint for simulated-kernel sources.
+//
+// OEMU only sees what flows through the OSK_* instrumentation macros
+// (src/oemu/cell.h) — a shared-state access that bypasses them is invisible
+// to the store buffer, the store history, the hint calculation, AND the
+// static ordering analysis, silently shrinking the bug-finding surface.
+// LintSource flags the bypass idioms:
+//
+//   raw-accessor    Cell<T>::raw() / set_raw() outside construction.
+//                   Suppress with "ozz-lint: allow-raw" on the same or the
+//                   preceding line when the access is genuinely pre- or
+//                   post-simulation (object construction, test inspection).
+//   direct-access   a Cell-declared identifier accessed as a member
+//                   (`buf.len`, `s->state`) on a line with no OSK_* macro
+//                   (e.g. `if (buf.len)` instead of
+//                   `OSK_READ_ONCE(buf.len)`). Bare occurrences are ignored
+//                   (locals sharing a cell's name are not cell accesses), as
+//                   are string literals and invocations of file-local macros
+//                   whose definition wraps an OSK_* macro. Suppress with
+//                   "ozz-lint: allow-direct".
+//   foreign-atomic  std::atomic / volatile in simulated-kernel code; those
+//                   synchronize the host threads, not the simulated ones,
+//                   and OEMU never sees them. Suppress with
+//                   "ozz-lint: allow-atomic".
+//
+// The lint is line-based and syntactic by design: it runs over the
+// subsystem sources in CI (tools/ozz_lint) where false negatives are worse
+// than the occasional suppression comment.
+#ifndef OZZ_SRC_ANALYSIS_LINT_H_
+#define OZZ_SRC_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace ozz::analysis {
+
+struct LintFinding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Lints one source file (path is used for reporting only).
+std::vector<LintFinding> LintSource(const std::string& path, const std::string& contents);
+
+std::string FormatFinding(const LintFinding& finding);
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_LINT_H_

@@ -1,0 +1,146 @@
+#include "src/analysis/lockset.h"
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace ozz::analysis {
+namespace {
+
+// Index of the load event of the RMW whose store event sits at `store_idx`,
+// or -1 when the event is not an RMW store. The runtime records an RMW as a
+// load event immediately followed by a store event with the same call site,
+// occurrence, and address (src/oemu/runtime.cc, Runtime::Rmw).
+std::ptrdiff_t RmwLoadOfStore(const oemu::Trace& trace, std::size_t store_idx) {
+  if (store_idx == 0) {
+    return -1;
+  }
+  const oemu::Event& s = trace[store_idx];
+  const oemu::Event& l = trace[store_idx - 1];
+  if (!s.IsStore() || !l.IsLoad()) {
+    return -1;
+  }
+  if (l.instr != s.instr || l.occurrence != s.occurrence || l.addr != s.addr) {
+    return -1;
+  }
+  return static_cast<std::ptrdiff_t>(store_idx - 1);
+}
+
+bool BarrierBefore(const oemu::Trace& trace, std::size_t idx, InstrId instr,
+                   oemu::BarrierType type) {
+  if (idx == 0) {
+    return false;
+  }
+  const oemu::Event& e = trace[idx - 1];
+  return e.IsBarrier() && e.instr == instr && e.barrier == type;
+}
+
+bool BarrierAfter(const oemu::Trace& trace, std::size_t idx, InstrId instr,
+                  oemu::BarrierType type) {
+  // Skip the commit event the runtime may interleave between the store and
+  // its trailing barrier (acquire RMWs record load, store, commit, barrier).
+  std::size_t k = idx + 1;
+  while (k < trace.size() && trace[k].IsCommit() && trace[k].instr == instr) {
+    ++k;
+  }
+  if (k >= trace.size()) {
+    return false;
+  }
+  const oemu::Event& e = trace[k];
+  return e.IsBarrier() && e.instr == instr && e.barrier == type;
+}
+
+}  // namespace
+
+std::vector<CriticalSection> FindCriticalSections(const oemu::Trace& trace) {
+  const std::size_t n = trace.size();
+  std::vector<CriticalSection> out;
+  if (n == 0) {
+    return out;
+  }
+  // Open-section indices into `out`, per lockdep class / per (word, bit).
+  std::unordered_map<u32, std::vector<std::size_t>> open_lockdep;
+  std::map<std::pair<uptr, u64>, std::size_t> open_bits;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const oemu::Event& e = trace[i];
+    if (e.IsLock()) {
+      if (e.lock_acquire) {
+        CriticalSection s;
+        s.lock = LockId{LockId::Kind::kLockdep, e.lock_cls, 0};
+        s.begin = i;
+        s.end = n - 1;
+        // Lockdep-backed locks acquire through an acquire RMW and release
+        // through a release RMW by construction (osk::SpinLock).
+        s.acquire_ordered = true;
+        s.release_ordered = true;
+        open_lockdep[e.lock_cls].push_back(out.size());
+        out.push_back(s);
+      } else {
+        auto it = open_lockdep.find(e.lock_cls);
+        if (it != open_lockdep.end() && !it->second.empty()) {
+          CriticalSection& s = out[it->second.back()];
+          s.end = i;
+          s.closed = true;
+          it->second.pop_back();
+        }
+      }
+      continue;
+    }
+    if (!e.IsStore()) {
+      continue;
+    }
+    std::ptrdiff_t li = RmwLoadOfStore(trace, i);
+
+    // Exit: any store that leaves an open section's lock bit clear closes
+    // it, however weakly ordered — the accurate extent matters, and the
+    // recorded ordering strength is what gates pruning.
+    for (auto it = open_bits.begin(); it != open_bits.end();) {
+      const auto& [key, sec_idx] = *it;
+      if (key.first == e.addr && (e.value & key.second) == 0) {
+        CriticalSection& s = out[sec_idx];
+        s.end = i;
+        s.closed = true;
+        std::size_t head = li >= 0 ? static_cast<std::size_t>(li) : i;
+        s.release_ordered = BarrierBefore(trace, head, e.instr, oemu::BarrierType::kRelease) ||
+                            BarrierBefore(trace, head, e.instr, oemu::BarrierType::kRmwFull);
+        it = open_bits.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Entry: an RMW that sets exactly one previously-clear bit (and clears
+    // nothing) with acquire-or-stronger ordering opens a bit-lock section.
+    if (li < 0) {
+      continue;
+    }
+    u64 old_value = trace[static_cast<std::size_t>(li)].value;
+    u64 new_value = e.value;
+    u64 set_bits = new_value & ~old_value;
+    u64 cleared_bits = old_value & ~new_value;
+    if (cleared_bits != 0 || set_bits == 0 || (set_bits & (set_bits - 1)) != 0) {
+      continue;
+    }
+    bool acquire_sem =
+        BarrierBefore(trace, static_cast<std::size_t>(li), e.instr, oemu::BarrierType::kRmwFull) ||
+        BarrierAfter(trace, i, e.instr, oemu::BarrierType::kAcquire);
+    if (!acquire_sem) {
+      continue;
+    }
+    auto key = std::make_pair(e.addr, set_bits);
+    if (open_bits.count(key) > 0) {
+      continue;  // cannot happen in a coherent trace; keep the outer section
+    }
+    CriticalSection s;
+    s.lock = LockId{LockId::Kind::kBitLock, e.addr, set_bits};
+    s.begin = static_cast<std::size_t>(li);
+    s.end = n - 1;
+    s.acquire_ordered = true;
+    open_bits.emplace(key, out.size());
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ozz::analysis

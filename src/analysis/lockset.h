@@ -1,0 +1,62 @@
+// Eraser-style lockset extraction from profiled traces.
+//
+// Critical sections come from two sources:
+//   * lockdep: kLock trace events emitted by osk::Lockdep around acquisition
+//     and release. Lockdep-backed locks (osk::SpinLock) enter through an
+//     acquire RMW and exit through a release RMW by construction, so their
+//     sections are both acquire- and release-ordered.
+//   * bit locks: inferred from the trace itself. The kernel's bit-lock idiom
+//     (test_and_set_bit_lock / clear_bit_unlock, also the fully-ordered
+//     test_and_set_bit used by custom locks like RDS's RDS_IN_XMIT) shows up
+//     as an ordered RMW that sets exactly one previously-clear bit; the
+//     matching clear of that bit closes the section. The ordering strength
+//     of the entry and exit RMWs is preserved per section, because it — not
+//     mutual exclusion alone — is what makes pruning sound: only a
+//     release-ordered exit drains the store buffer, and only an
+//     acquire-ordered entry closes the versioning window (see DESIGN.md,
+//     "Static ordering analysis").
+#ifndef OZZ_SRC_ANALYSIS_LOCKSET_H_
+#define OZZ_SRC_ANALYSIS_LOCKSET_H_
+
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/oemu/event.h"
+
+namespace ozz::analysis {
+
+// Identity of a lock, comparable across the two traces of a syscall pair
+// (both are profiled on the same kernel instance, so lockdep class ids and
+// lock-word addresses are stable).
+struct LockId {
+  enum class Kind : u8 { kLockdep, kBitLock };
+  Kind kind = Kind::kBitLock;
+  u64 word = 0;  // lockdep: class id; bit lock: address of the lock word
+  u64 bit = 0;   // bit lock: mask of the lock bit; lockdep: 0
+
+  bool operator==(const LockId&) const = default;
+};
+
+// One critical section over trace event indices: [begin, end] inclusive of
+// the entry and exit events themselves (so accesses to the lock word are
+// considered protected by their own lock).
+struct CriticalSection {
+  LockId lock;
+  std::size_t begin = 0;
+  std::size_t end = 0;           // trace.size() - 1 when never released
+  bool closed = false;           // an exit exists within the trace
+  bool acquire_ordered = false;  // entry had acquire-or-stronger semantics
+  bool release_ordered = false;  // exit had release-or-stronger semantics
+};
+
+// Scans a profiled trace for critical sections (both sources above).
+// Sections whose release is missing extend to the end of the trace with
+// release_ordered = false; sections closed by an unordered clear (e.g. the
+// buggy clear_bit() of Figure 8) end at the clear but also stay
+// release_ordered = false, which is exactly what keeps the RDS-style bug
+// prunable-proof.
+std::vector<CriticalSection> FindCriticalSections(const oemu::Trace& trace);
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_LOCKSET_H_

@@ -1,0 +1,339 @@
+#include "src/analysis/ordering.h"
+
+namespace ozz::analysis {
+namespace {
+
+bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
+  return a < b + bsz && b < a + asz;
+}
+
+// The load event index of the RMW whose store sits at `idx`, or -1 (see
+// lockset.cc for the recording layout this relies on).
+std::ptrdiff_t RmwLoadOfStore(const oemu::Trace& trace, std::size_t idx) {
+  if (idx == 0) {
+    return -1;
+  }
+  const oemu::Event& s = trace[idx];
+  const oemu::Event& l = trace[idx - 1];
+  if (!s.IsStore() || !l.IsLoad()) {
+    return -1;
+  }
+  if (l.instr != s.instr || l.occurrence != s.occurrence || l.addr != s.addr) {
+    return -1;
+  }
+  return static_cast<std::ptrdiff_t>(idx - 1);
+}
+
+bool BarrierBefore(const oemu::Trace& trace, std::size_t idx, InstrId instr,
+                   oemu::BarrierType type) {
+  if (idx == 0) {
+    return false;
+  }
+  const oemu::Event& e = trace[idx - 1];
+  return e.IsBarrier() && e.instr == instr && e.barrier == type;
+}
+
+bool BarrierAfter(const oemu::Trace& trace, std::size_t idx, InstrId instr,
+                  oemu::BarrierType type) {
+  std::size_t k = idx + 1;
+  while (k < trace.size() && trace[k].IsCommit() && trace[k].instr == instr) {
+    ++k;
+  }
+  if (k >= trace.size()) {
+    return false;
+  }
+  const oemu::Event& e = trace[k];
+  return e.IsBarrier() && e.instr == instr && e.barrier == type;
+}
+
+}  // namespace
+
+const char* OrderEdgeName(OrderEdge e) {
+  switch (e) {
+    case OrderEdge::kNone:
+      return "none";
+    case OrderEdge::kCoherence:
+      return "coherence";
+    case OrderEdge::kBarrier:
+      return "barrier";
+    case OrderEdge::kUndelayable:
+      return "undelayable";
+    case OrderEdge::kUnversionable:
+      return "unversionable";
+    case OrderEdge::kLockset:
+      return "lockset";
+  }
+  return "?";
+}
+
+void PairStats::Add(const PairStats& o) {
+  store_pairs += o.store_pairs;
+  store_pairs_proven += o.store_pairs_proven;
+  load_pairs += o.load_pairs;
+  load_pairs_proven += o.load_pairs_proven;
+  proven_coherence += o.proven_coherence;
+  proven_barrier += o.proven_barrier;
+  proven_undelayable += o.proven_undelayable;
+  proven_unversionable += o.proven_unversionable;
+  proven_lockset += o.proven_lockset;
+}
+
+PairAnalysis::PairAnalysis(const oemu::Trace& reorder_trace, const oemu::Trace& other_trace)
+    : reorder_(&reorder_trace), other_(&other_trace) {
+  sections_ = FindCriticalSections(reorder_trace);
+  other_sections_ = FindCriticalSections(other_trace);
+
+  const std::size_t n = reorder_trace.size();
+  shared_.assign(n, 0);
+  undelayable_.assign(n, 0);
+  unversionable_.assign(n, 0);
+  store_bar_prefix_.assign(n + 1, 0);
+  load_bar_prefix_.assign(n + 1, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const oemu::Event& e = reorder_trace[i];
+    store_bar_prefix_[i + 1] = store_bar_prefix_[i];
+    load_bar_prefix_[i + 1] = load_bar_prefix_[i];
+    if (e.IsBarrier()) {
+      oemu::BarrierClass cls = oemu::ClassOf(e.barrier);
+      if (cls.orders_stores) {
+        ++store_bar_prefix_[i + 1];
+      }
+      if (cls.orders_loads) {
+        ++load_bar_prefix_[i + 1];
+      }
+      continue;
+    }
+    if (!e.IsAccess()) {
+      continue;
+    }
+    index_.emplace(std::make_tuple(e.instr, e.occurrence, static_cast<u8>(e.access)), i);
+    for (const oemu::Event& o : other_trace) {
+      if (!o.IsAccess()) {
+        continue;
+      }
+      if (!e.IsStore() && !o.IsStore()) {
+        continue;
+      }
+      if (RangesOverlap(e.addr, e.size, o.addr, o.size)) {
+        shared_[i] = 1;
+        break;
+      }
+    }
+    if (e.IsStore()) {
+      std::ptrdiff_t li = RmwLoadOfStore(reorder_trace, i);
+      if (li >= 0) {
+        // RMW store: only relaxed RMWs are ever parked in the store buffer,
+        // and those record no same-site barrier. Any adjacent same-site
+        // barrier therefore marks the store undelayable.
+        std::size_t head = static_cast<std::size_t>(li);
+        undelayable_[i] =
+            BarrierBefore(reorder_trace, head, e.instr, oemu::BarrierType::kRmwFull) ||
+            BarrierBefore(reorder_trace, head, e.instr, oemu::BarrierType::kRelease) ||
+            BarrierAfter(reorder_trace, i, e.instr, oemu::BarrierType::kAcquire);
+      } else {
+        // Release stores flush the buffer and commit immediately; the
+        // runtime records their kRelease barrier right before the store.
+        undelayable_[i] = BarrierBefore(reorder_trace, i, e.instr, oemu::BarrierType::kRelease);
+      }
+    } else if (i + 1 < n) {
+      // RMW loads read memory (and the own buffer) directly, never the
+      // store history — a read-old spec on them is a no-op.
+      const oemu::Event& next = reorder_trace[i + 1];
+      unversionable_[i] = next.IsStore() && next.instr == e.instr &&
+                          next.occurrence == e.occurrence && next.addr == e.addr;
+    }
+  }
+}
+
+bool PairAnalysis::IsShared(std::size_t idx) const {
+  return idx < shared_.size() && shared_[idx] != 0;
+}
+
+std::ptrdiff_t PairAnalysis::IndexOf(const AccessKey& key) const {
+  auto it = index_.find(std::make_tuple(key.instr, key.occurrence, static_cast<u8>(key.type)));
+  return it == index_.end() ? -1 : static_cast<std::ptrdiff_t>(it->second);
+}
+
+bool PairAnalysis::OtherConflictsCovered(const LockId& lock, uptr addr, u32 size,
+                                         bool stores_only) const {
+  for (std::size_t k = 0; k < other_->size(); ++k) {
+    const oemu::Event& o = (*other_)[k];
+    if (!o.IsAccess() || (stores_only && !o.IsStore())) {
+      continue;
+    }
+    if (!RangesOverlap(o.addr, o.size, addr, size)) {
+      continue;
+    }
+    bool covered = false;
+    for (const CriticalSection& s : other_sections_) {
+      if (s.lock == lock && s.begin <= k && k <= s.end) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PairAnalysis::LocksetStoreProven(std::size_t first, std::size_t second) const {
+  const oemu::Event& e = (*reorder_)[first];
+  for (const CriticalSection& s : sections_) {
+    if (s.begin > first || first > s.end || second > s.end) {
+      continue;
+    }
+    // A release-ordered exit drains the buffer, so the store cannot stay
+    // delayed past the section; an exit absent from the trace means the
+    // observer can never enter its own same-lock section while our delayed
+    // store is in flight. An exit that is present but unordered (the
+    // Figure 8 clear_bit) is exactly the reorderable case — no proof.
+    if (s.closed && !s.release_ordered) {
+      continue;
+    }
+    if (OtherConflictsCovered(s.lock, e.addr, e.size, /*stores_only=*/false)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PairAnalysis::LocksetLoadProven(std::size_t first, std::size_t second) const {
+  const oemu::Event& e = (*reorder_)[second];
+  for (const CriticalSection& s : sections_) {
+    if (s.begin > first || first > s.end || second > s.end) {
+      continue;
+    }
+    // The acquire-ordered entry closes the versioning window at acquisition
+    // time; any same-lock observer store committed in a preceding section is
+    // inside the window, and the observer cannot run its section while ours
+    // is open. The observer side runs in order (no specs), so its exit
+    // ordering is irrelevant here.
+    if (!s.acquire_ordered) {
+      continue;
+    }
+    if (OtherConflictsCovered(s.lock, e.addr, e.size, /*stores_only=*/true)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OrderEdge PairAnalysis::ClassifyStorePair(std::size_t first, std::size_t second) const {
+  const oemu::Event& a = (*reorder_)[first];
+  const oemu::Event& b = (*reorder_)[second];
+  // Same-location stores never bypass each other: a store overlapping a
+  // buffered delayed store is buffered behind it (src/oemu/runtime.cc), so
+  // the observer can never see the later one committed with the earlier one
+  // still pending.
+  if (RangesOverlap(a.addr, a.size, b.addr, b.size)) {
+    return OrderEdge::kCoherence;
+  }
+  if (store_bar_prefix_[second] > store_bar_prefix_[first + 1]) {
+    return OrderEdge::kBarrier;
+  }
+  if (undelayable_[first] != 0) {
+    return OrderEdge::kUndelayable;
+  }
+  if (LocksetStoreProven(first, second)) {
+    return OrderEdge::kLockset;
+  }
+  return OrderEdge::kNone;
+}
+
+OrderEdge PairAnalysis::ClassifyLoadPair(std::size_t first, std::size_t second) const {
+  const oemu::Event& a = (*reorder_)[first];
+  const oemu::Event& b = (*reorder_)[second];
+  // Per-location read coherence: the runtime's location floor forbids the
+  // later load from observing anything older than what the earlier load of
+  // the same location already saw (CoRR).
+  if (a.addr == b.addr && a.size == b.size) {
+    return OrderEdge::kCoherence;
+  }
+  if (load_bar_prefix_[second] > load_bar_prefix_[first + 1]) {
+    return OrderEdge::kBarrier;
+  }
+  if (unversionable_[second] != 0) {
+    return OrderEdge::kUnversionable;
+  }
+  if (LocksetLoadProven(first, second)) {
+    return OrderEdge::kLockset;
+  }
+  return OrderEdge::kNone;
+}
+
+bool PairAnalysis::StoreMemberProven(const AccessKey& member, const AccessKey& sched) const {
+  std::ptrdiff_t mi = IndexOf(member);
+  std::ptrdiff_t si = IndexOf(sched);
+  if (mi < 0 || si < 0 || mi >= si) {
+    return false;  // unknown identity or inverted order: never prune
+  }
+  return ClassifyStorePair(static_cast<std::size_t>(mi), static_cast<std::size_t>(si)) !=
+         OrderEdge::kNone;
+}
+
+bool PairAnalysis::LoadMemberProven(const AccessKey& sched, const AccessKey& member) const {
+  std::ptrdiff_t si = IndexOf(sched);
+  std::ptrdiff_t mi = IndexOf(member);
+  if (mi < 0 || si < 0 || si >= mi) {
+    return false;
+  }
+  return ClassifyLoadPair(static_cast<std::size_t>(si), static_cast<std::size_t>(mi)) !=
+         OrderEdge::kNone;
+}
+
+PairStats PairAnalysis::ComputeStats() const {
+  PairStats stats;
+  const oemu::Trace& t = *reorder_;
+  auto tally = [&stats](OrderEdge e) {
+    switch (e) {
+      case OrderEdge::kNone:
+        break;
+      case OrderEdge::kCoherence:
+        ++stats.proven_coherence;
+        break;
+      case OrderEdge::kBarrier:
+        ++stats.proven_barrier;
+        break;
+      case OrderEdge::kUndelayable:
+        ++stats.proven_undelayable;
+        break;
+      case OrderEdge::kUnversionable:
+        ++stats.proven_unversionable;
+        break;
+      case OrderEdge::kLockset:
+        ++stats.proven_lockset;
+        break;
+    }
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].IsAccess() || !IsShared(i)) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (!t[j].IsAccess() || !IsShared(j)) {
+        continue;
+      }
+      if (t[i].IsStore() && t[j].IsStore()) {
+        ++stats.store_pairs;
+        OrderEdge e = ClassifyStorePair(i, j);
+        if (e != OrderEdge::kNone) {
+          ++stats.store_pairs_proven;
+          tally(e);
+        }
+      } else if (t[i].IsLoad() && t[j].IsLoad()) {
+        ++stats.load_pairs;
+        OrderEdge e = ClassifyLoadPair(i, j);
+        if (e != OrderEdge::kNone) {
+          ++stats.load_pairs_proven;
+          tally(e);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ozz::analysis

@@ -1,0 +1,144 @@
+// Static ordering analysis over a profiled syscall pair.
+//
+// Given the reorder-side and observer-side traces of one directed syscall
+// pair, PairAnalysis classifies candidate reorderings (the pairs the
+// hypothetical-barrier tests of §4.3 would probe dynamically) as
+// proven-ordered or potentially-reorderable. A pair is proven ordered when
+// the emulated weak memory model (src/oemu/runtime.cc) cannot produce the
+// inversion at all, for one of these reasons:
+//
+//   kCoherence     same-location accesses: the store buffer commits
+//                  overlapping stores in program order, and the per-location
+//                  read floor forbids CoRR inversions — no hint can reorder
+//                  them.
+//   kBarrier       a barrier of the matching class (store-ordering for the
+//                  store test, load-ordering for the load test) sits between
+//                  the two accesses; the runtime drains the buffer /
+//                  advances the versioning window there.
+//   kUndelayable   the earlier store is a release store or an ordered RMW
+//                  store — the runtime never parks those in the store buffer,
+//                  so a delay-store spec on it is a no-op.
+//   kUnversionable the later load is an RMW load — RMWs read memory (and the
+//                  own buffer) directly, never the store history, so a
+//                  read-old spec on it is a no-op.
+//   kLockset       Eraser-style: both accesses sit in a critical section
+//                  whose ordering qualifications make the inversion
+//                  unobservable, and every conflicting observer-side access
+//                  is inside a same-lock section (mutual exclusion keeps the
+//                  observer out while the reordering is in flight). See
+//                  DESIGN.md for the soundness argument and the role of the
+//                  acquire/release qualifications.
+//
+// Everything here is advisory for ranking/statistics EXCEPT the hint-member
+// proofs (StoreMemberProven/LoadMemberProven), which src/fuzz/hints.cc uses
+// to prune whole hints; those must be sound (never prune a hint that could
+// expose a bug), and the static-prune regression suite enforces that against
+// every known bug scenario.
+#ifndef OZZ_SRC_ANALYSIS_ORDERING_H_
+#define OZZ_SRC_ANALYSIS_ORDERING_H_
+
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/analysis/lockset.h"
+#include "src/base/ids.h"
+#include "src/oemu/event.h"
+
+namespace ozz::analysis {
+
+// Dynamic identity of one access, matching fuzz::DynAccess without depending
+// on the fuzz layer (fuzz links against analysis, not the other way around).
+struct AccessKey {
+  InstrId instr = kInvalidInstr;
+  u32 occurrence = 1;
+  oemu::AccessType type = oemu::AccessType::kLoad;
+};
+
+enum class OrderEdge : u8 {
+  kNone,  // potentially reorderable
+  kCoherence,
+  kBarrier,
+  kUndelayable,
+  kUnversionable,
+  kLockset,
+};
+
+const char* OrderEdgeName(OrderEdge e);
+
+// Candidate-pair statistics: all ordered same-type pairs of shared accesses
+// in the reorder-side trace (the universe the dynamic tests draw from),
+// split by how many the analysis proves ordered.
+struct PairStats {
+  u64 store_pairs = 0;
+  u64 store_pairs_proven = 0;
+  u64 load_pairs = 0;
+  u64 load_pairs_proven = 0;
+  u64 proven_coherence = 0;
+  u64 proven_barrier = 0;
+  u64 proven_undelayable = 0;
+  u64 proven_unversionable = 0;
+  u64 proven_lockset = 0;
+
+  u64 candidates() const { return store_pairs + load_pairs; }
+  u64 proven() const { return store_pairs_proven + load_pairs_proven; }
+  void Add(const PairStats& o);
+};
+
+class PairAnalysis {
+ public:
+  // Both traces must outlive the analysis. Raw (unfiltered) traces are
+  // expected; commit/lock events carry information the analysis needs.
+  PairAnalysis(const oemu::Trace& reorder_trace, const oemu::Trace& other_trace);
+
+  // Pair classifiers over event indices of the reorder trace (first comes
+  // before second in program order).
+  //   store pair: can the store at `first` be delayed past the access at
+  //               `second` with an observable effect?
+  //   load pair:  can the load at `second` read a value older than what the
+  //               load at `first` observed?
+  OrderEdge ClassifyStorePair(std::size_t first, std::size_t second) const;
+  OrderEdge ClassifyLoadPair(std::size_t first, std::size_t second) const;
+
+  // Hint-member proofs by dynamic identity (sound; used for pruning). True
+  // when the corresponding delay-store / read-old spec is provably a no-op
+  // or provably unobservable by the other syscall.
+  bool StoreMemberProven(const AccessKey& member, const AccessKey& sched) const;
+  bool LoadMemberProven(const AccessKey& sched, const AccessKey& member) const;
+
+  PairStats ComputeStats() const;
+
+  // True when the access event at `idx` touches memory the other trace also
+  // touches with at least one store (the FilterShared sharing rule).
+  bool IsShared(std::size_t idx) const;
+
+  const oemu::Trace& reorder_trace() const { return *reorder_; }
+  const oemu::Trace& other_trace() const { return *other_; }
+  const std::vector<CriticalSection>& sections() const { return sections_; }
+  const std::vector<CriticalSection>& other_sections() const { return other_sections_; }
+
+ private:
+  bool LocksetStoreProven(std::size_t first, std::size_t second) const;
+  bool LocksetLoadProven(std::size_t first, std::size_t second) const;
+  // Every other-trace access overlapping [addr, addr+size) (stores only when
+  // `stores_only`) lies inside an other-trace section of `lock`.
+  bool OtherConflictsCovered(const LockId& lock, uptr addr, u32 size, bool stores_only) const;
+  std::ptrdiff_t IndexOf(const AccessKey& key) const;
+
+  const oemu::Trace* reorder_;
+  const oemu::Trace* other_;
+  std::vector<CriticalSection> sections_;
+  std::vector<CriticalSection> other_sections_;
+  std::vector<u8> shared_;         // per reorder-trace event
+  std::vector<u8> undelayable_;    // per reorder-trace event (stores)
+  std::vector<u8> unversionable_;  // per reorder-trace event (RMW loads)
+  // Cumulative barrier counts over trace[0, i) for O(1) between-queries.
+  std::vector<u32> store_bar_prefix_;
+  std::vector<u32> load_bar_prefix_;
+  std::map<std::tuple<InstrId, u32, u8>, std::size_t> index_;
+};
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_ORDERING_H_

@@ -1,0 +1,141 @@
+#include "src/analysis/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/oemu/instr.h"
+
+namespace ozz::analysis {
+namespace {
+
+bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
+  return a < b + bsz && b < a + asz;
+}
+
+// An observer access conflicts with a reorder-side access when their ranges
+// overlap and at least one side writes.
+bool Conflicts(const oemu::Event& observer, const oemu::Event& ours) {
+  if (!observer.IsAccess()) {
+    return false;
+  }
+  if (!observer.IsStore() && !ours.IsStore()) {
+    return false;
+  }
+  return RangesOverlap(observer.addr, observer.size, ours.addr, ours.size);
+}
+
+}  // namespace
+
+std::vector<RankedPair> RankUnorderedPairs(const PairAnalysis& analysis, std::size_t max_pairs) {
+  const oemu::Trace& t = analysis.reorder_trace();
+  const oemu::Trace& other = analysis.other_trace();
+  // Dedup dynamic pairs to call-site pairs, keeping the strongest evidence.
+  std::map<std::tuple<InstrId, InstrId, u8>, RankedPair> best;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].IsAccess() || !analysis.IsShared(i)) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (!t[j].IsAccess() || !analysis.IsShared(j)) {
+        continue;
+      }
+      const bool stores = t[i].IsStore() && t[j].IsStore();
+      const bool loads = t[i].IsLoad() && t[j].IsLoad();
+      if (!stores && !loads) {
+        continue;
+      }
+      if (RangesOverlap(t[i].addr, t[i].size, t[j].addr, t[j].size)) {
+        continue;  // same location: ordered by coherence, and uninteresting
+      }
+      OrderEdge edge = stores ? analysis.ClassifyStorePair(i, j) : analysis.ClassifyLoadPair(i, j);
+      if (edge != OrderEdge::kNone) {
+        continue;
+      }
+      RankedPair p;
+      p.first = t[i].instr;
+      p.second = t[j].instr;
+      p.type = stores ? oemu::AccessType::kStore : oemu::AccessType::kLoad;
+      // Inversion witnesses: observer touches second's range, then later
+      // first's range — the pattern that observes the reordering.
+      for (std::size_t a = 0; a < other.size(); ++a) {
+        if (!Conflicts(other[a], t[j])) {
+          continue;
+        }
+        for (std::size_t b = a + 1; b < other.size(); ++b) {
+          if (Conflicts(other[b], t[i])) {
+            ++p.inversions;
+          }
+        }
+      }
+      for (const oemu::Event& o : other) {
+        if (Conflicts(o, t[i]) || Conflicts(o, t[j])) {
+          ++p.conflicts;
+        }
+      }
+      auto key = std::make_tuple(p.first, p.second, static_cast<u8>(p.type));
+      auto it = best.find(key);
+      if (it == best.end() || p.inversions > it->second.inversions ||
+          (p.inversions == it->second.inversions && p.conflicts > it->second.conflicts)) {
+        best[key] = p;
+      }
+    }
+  }
+
+  std::vector<RankedPair> out;
+  out.reserve(best.size());
+  for (auto& [key, p] : best) {
+    (void)key;
+    out.push_back(p);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const RankedPair& a, const RankedPair& b) {
+    if (a.inversions != b.inversions) {
+      return a.inversions > b.inversions;
+    }
+    return a.conflicts > b.conflicts;
+  });
+  if (out.size() > max_pairs) {
+    out.resize(max_pairs);
+  }
+  return out;
+}
+
+std::string FormatStats(const PairStats& stats) {
+  std::ostringstream os;
+  os << "candidate pairs: " << stats.candidates() << " (" << stats.store_pairs << " store-store, "
+     << stats.load_pairs << " load-load)\n"
+     << "proven ordered:  " << stats.proven() << " (" << stats.store_pairs_proven
+     << " store-store, " << stats.load_pairs_proven << " load-load)\n"
+     << "  by coherence:     " << stats.proven_coherence << "\n"
+     << "  by barrier:       " << stats.proven_barrier << "\n"
+     << "  by undelayable:   " << stats.proven_undelayable << "\n"
+     << "  by unversionable: " << stats.proven_unversionable << "\n"
+     << "  by lockset:       " << stats.proven_lockset << "\n";
+  return os.str();
+}
+
+std::string FormatReport(const PairAnalysis& analysis, const std::vector<RankedPair>& pairs) {
+  std::ostringstream os;
+  os << FormatStats(analysis.ComputeStats());
+  if (pairs.empty()) {
+    os << "no unordered shared-access pairs — all candidates proven ordered\n";
+    return os.str();
+  }
+  os << "unordered shared-access pairs (candidate missing barriers), ranked:\n";
+  std::size_t rank = 1;
+  for (const RankedPair& p : pairs) {
+    const bool stores = p.type == oemu::AccessType::kStore;
+    os << "#" << rank++ << " " << (stores ? "store-store" : "load-load") << ": "
+       << oemu::InstrRegistry::Describe(p.first) << " then "
+       << oemu::InstrRegistry::Describe(p.second) << " — " << p.inversions
+       << " inversion witness(es), " << p.conflicts << " conflicting observer access(es); "
+       << (stores ? "candidate missing smp_wmb() between them"
+                  : "candidate missing smp_rmb() between them")
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ozz::analysis

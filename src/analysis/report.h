@@ -1,0 +1,41 @@
+// Ranked "candidate missing barrier" reporting over a syscall pair.
+//
+// After PairAnalysis proves what it can, the residue — shared same-type
+// access pairs with no ordering edge — is exactly the set a missing
+// smp_wmb()/smp_rmb() would leave unordered. Each residual pair is scored by
+// inversion evidence from the observer trace: the observer touching the
+// SECOND access's range before the FIRST access's range is the access
+// pattern that makes the reordering observable (the Figure 1 shape: writer
+// publishes data then flag, reader checks flag then data — so the reader
+// trace touches the flag (second) before the data (first)).
+#ifndef OZZ_SRC_ANALYSIS_REPORT_H_
+#define OZZ_SRC_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/ordering.h"
+
+namespace ozz::analysis {
+
+struct RankedPair {
+  InstrId first = kInvalidInstr;   // program-earlier access (reorder side)
+  InstrId second = kInvalidInstr;  // program-later access it may bypass
+  oemu::AccessType type = oemu::AccessType::kStore;  // store-store / load-load
+  u64 inversions = 0;  // observer witnesses touching second's range first
+  u64 conflicts = 0;   // observer accesses conflicting with either range
+};
+
+// Unproven disjoint-range pairs, deduplicated by call-site pair and sorted
+// by (inversions, conflicts) descending; at most `max_pairs` entries.
+std::vector<RankedPair> RankUnorderedPairs(const PairAnalysis& analysis,
+                                           std::size_t max_pairs = 16);
+
+// Human-readable report: the ranked pairs plus the PairStats summary.
+std::string FormatReport(const PairAnalysis& analysis, const std::vector<RankedPair>& pairs);
+
+std::string FormatStats(const PairStats& stats);
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_REPORT_H_

@@ -12,9 +12,12 @@ namespace ozz::fuzz {
 
 std::string CampaignToJson(const CampaignResult& result) {
   std::ostringstream os;
+  const HintStats& hs = result.hint_stats;
   os << "{\"mti_runs\":" << result.mti_runs << ",\"sti_runs\":" << result.sti_runs
      << ",\"corpus_size\":" << result.corpus_size << ",\"coverage\":" << result.coverage
-     << ",\"bugs\":[";
+     << ",\"hints_generated\":" << hs.hints_generated << ",\"hints_pruned\":" << hs.hints_pruned
+     << ",\"pair_candidates\":" << hs.pairs.candidates()
+     << ",\"pair_proven\":" << hs.pairs.proven() << ",\"bugs\":[";
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {
     if (i > 0) {
       os << ',';
@@ -98,8 +101,8 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
       if (a == b || pairs_tested >= options_.max_pairs_per_prog) {
         continue;
       }
-      std::vector<SchedHint> hints =
-          ComputeHints(profile.calls[a].trace, profile.calls[b].trace, options_.hints);
+      std::vector<SchedHint> hints = ComputeHints(profile.calls[a].trace, profile.calls[b].trace,
+                                                  options_.hints, &result->hint_stats);
       if (hints.empty()) {
         continue;
       }

@@ -53,6 +53,9 @@ struct CampaignResult {
   u64 sti_runs = 0;
   std::size_t corpus_size = 0;
   std::size_t coverage = 0;
+  // Static pre-filter accounting across every hint calculation of the
+  // campaign (pair stats are collected even when pruning is disabled).
+  HintStats hint_stats;
 
   const FoundBug* FindByTitle(const std::string& needle) const;
 };

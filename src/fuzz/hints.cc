@@ -17,6 +17,26 @@ DynAccess ToDyn(const oemu::Event& e) {
   return DynAccess{e.instr, e.occurrence, e.access};
 }
 
+analysis::AccessKey ToKey(const DynAccess& d) {
+  return analysis::AccessKey{d.instr, d.occurrence, d.type};
+}
+
+// A hint is provably a no-op when every reorder member is proven: for the
+// store test each delay-store spec either cannot take effect (undelayable)
+// or cannot be observed (coherence/lockset); likewise for read-old specs in
+// the load test. An MTI run of such a hint degenerates to the plain in-order
+// interleaving, which the fuzzer covers anyway.
+bool HintProvenNoop(const analysis::PairAnalysis& pa, const SchedHint& h) {
+  for (const DynAccess& m : h.reorder) {
+    bool proven = h.store_test ? pa.StoreMemberProven(ToKey(m), ToKey(h.sched))
+                               : pa.LoadMemberProven(ToKey(h.sched), ToKey(m));
+    if (!proven) {
+      return false;
+    }
+  }
+  return !h.reorder.empty();
+}
+
 }  // namespace
 
 std::string SchedHint::ToString() const {
@@ -83,7 +103,7 @@ oemu::Trace FilterShared(const oemu::Trace& trace, const oemu::Trace& other) {
 
 std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
                                     const oemu::Trace& other_trace,
-                                    const HintOptions& options) {
+                                    const HintOptions& options, HintStats* stats) {
   const oemu::Trace filtered = FilterShared(reorder_trace, other_trace);
   std::vector<SchedHint> hints;
 
@@ -186,6 +206,23 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
           }
           hints.push_back(std::move(h));
         }
+      }
+    }
+  }
+
+  // Static pre-filter (and its accounting). The analysis runs on the raw
+  // traces: lock events and commit adjacency are stripped by FilterShared.
+  if (options.static_prune || stats != nullptr) {
+    analysis::PairAnalysis pa(reorder_trace, other_trace);
+    if (stats != nullptr) {
+      stats->hints_generated += hints.size();
+      stats->pairs.Add(pa.ComputeStats());
+    }
+    if (options.static_prune) {
+      std::size_t before = hints.size();
+      std::erase_if(hints, [&pa](const SchedHint& h) { return HintProvenNoop(pa, h); });
+      if (stats != nullptr) {
+        stats->hints_pruned += before - hints.size();
       }
     }
   }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/ordering.h"
 #include "src/oemu/event.h"
 #include "src/rt/sched_plan.h"
 
@@ -51,7 +52,25 @@ struct HintOptions {
   bool load_tests = true;
   // Enables the suffix-shaped store reorder sets (extension; see above).
   bool suffix_store_hints = true;
+  // Static ordering pre-filter (src/analysis): drops hints whose every
+  // reorder member is provably a no-op under the emulated memory model
+  // (undelayable/unversionable accesses, coherence, qualified locksets) —
+  // the dynamic test cannot observe anything an in-order run would not.
+  bool static_prune = true;
   std::size_t max_hints = 256;
+};
+
+// Accounting for the static pre-filter, accumulated across calls.
+struct HintStats {
+  u64 hints_generated = 0;  // before pruning and the max_hints cap
+  u64 hints_pruned = 0;     // dropped as provably no-op
+  analysis::PairStats pairs;  // candidate-pair universe over the raw traces
+
+  void Add(const HintStats& o) {
+    hints_generated += o.hints_generated;
+    hints_pruned += o.hints_pruned;
+    pairs.Add(o.pairs);
+  }
 };
 
 // Algorithm 2: returns a copy of `trace` with accesses that touch no memory
@@ -61,9 +80,13 @@ oemu::Trace FilterShared(const oemu::Trace& trace, const oemu::Trace& other);
 
 // Algorithm 1: hints for the case where the syscall traced by `reorder_trace`
 // performs the reordering and the one traced by `other_trace` observes.
+// When `stats` is non-null it accumulates pre-filter accounting (pair stats
+// are gathered even with static_prune off, so ablations can report the
+// would-be numbers).
 std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
                                     const oemu::Trace& other_trace,
-                                    const HintOptions& options = {});
+                                    const HintOptions& options = {},
+                                    HintStats* stats = nullptr);
 
 }  // namespace ozz::fuzz
 

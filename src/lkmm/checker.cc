@@ -145,6 +145,8 @@ void Checker::CheckThread(ThreadId thread, const oemu::Trace& trace,
         }
         break;
       }
+      case oemu::Event::Kind::kLock:
+        break;  // bookkeeping for the static analyzer; no memory semantics
     }
   }
 }

@@ -57,7 +57,11 @@ struct Event {
   // kBarrier: a barrier executed (explicit or implied by an annotation).
   // kCommit: a store became globally visible (for delayed stores this is
   //          later than its kAccess event; the LKMM checker pairs them).
-  enum class Kind : u8 { kAccess, kBarrier, kCommit } kind = Kind::kAccess;
+  // kLock:   a lockdep-tracked lock was acquired or released; feeds the
+  //          static lockset analysis (src/analysis). Lock events carry no
+  //          memory semantics of their own — the ordering comes from the
+  //          acquire/release RMWs the lock implementation performs.
+  enum class Kind : u8 { kAccess, kBarrier, kCommit, kLock } kind = Kind::kAccess;
 
   // Common.
   InstrId instr = kInvalidInstr;
@@ -77,9 +81,15 @@ struct Event {
   // Barrier fields.
   BarrierType barrier = BarrierType::kFull;
 
+  // Lock fields. Lockdep registers one class per lock instance in this
+  // reproduction, so the class id identifies the lock object.
+  u32 lock_cls = 0;
+  bool lock_acquire = false;
+
   bool IsAccess() const { return kind == Kind::kAccess; }
   bool IsBarrier() const { return kind == Kind::kBarrier; }
   bool IsCommit() const { return kind == Kind::kCommit; }
+  bool IsLock() const { return kind == Kind::kLock; }
   bool IsStore() const { return IsAccess() && access == AccessType::kStore; }
   bool IsLoad() const { return IsAccess() && access == AccessType::kLoad; }
 };

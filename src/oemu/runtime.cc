@@ -161,6 +161,19 @@ void Runtime::StartRecording(ThreadId thread) {
   ctx.trace.clear();
 }
 
+void Runtime::RecordLock(ThreadId thread, u32 lock_cls, bool acquire) {
+  ThreadCtx& ctx = Ctx(thread);
+  if (!ctx.recording) {
+    return;
+  }
+  Event e;
+  e.kind = Event::Kind::kLock;
+  e.timestamp = clock_;
+  e.lock_cls = lock_cls;
+  e.lock_acquire = acquire;
+  ctx.trace.push_back(e);
+}
+
 Trace Runtime::StopRecording(ThreadId thread) {
   ThreadCtx& ctx = Ctx(thread);
   ctx.recording = false;

@@ -112,6 +112,11 @@ class Runtime {
   void StartRecording(ThreadId thread);
   Trace StopRecording(ThreadId thread);
 
+  // Appends a kLock event to `thread`'s recording (no-op when the thread is
+  // not recording). Called by lockdep so profiled traces expose critical
+  // sections to the static lockset analysis (src/analysis).
+  void RecordLock(ThreadId thread, u32 lock_cls, bool acquire);
+
   // ---- Access callbacks ----
   u64 Load(InstrId instr, uptr addr, u32 size, bool annotated);
   void Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated);

@@ -52,7 +52,7 @@ Kalloc::FreeResult Kalloc::Free(void* ptr, const char* site) {
   // bump allocator) so later accesses classify as kFreed. Poison the bytes
   // so loads of freed memory yield recognizable values.
   std::memset(ptr, kFreePoison, obj.size);
-  return FreeResult::kOk;
+  return FreeResult::kSuccess;
 }
 
 AddrClass Kalloc::Classify(uptr addr, const Object** obj_out) const {

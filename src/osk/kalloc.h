@@ -54,7 +54,9 @@ class Kalloc {
   // Frees a pointer returned by Alloc. Returns false (without touching
   // state) on a double free or an invalid pointer so the caller can raise
   // the appropriate oops. The object is poisoned and quarantined.
-  enum class FreeResult : u8 { kOk, kDoubleFree, kInvalid };
+  // (kSuccess, not kOk: the latter would shadow osk::kOk from syscall.h
+  // under -Wshadow.)
+  enum class FreeResult : u8 { kSuccess, kDoubleFree, kInvalid };
   FreeResult Free(void* ptr, const char* site);
 
   // Classifies an address for the KASAN oracle; fills `obj` when the address

@@ -68,7 +68,7 @@ void* Kernel::KmAlloc(std::size_t size, const char* site) {
 void Kernel::KmFree(void* ptr, const char* site) {
   AllocatorFence();
   switch (alloc_.Free(ptr, site)) {
-    case Kalloc::FreeResult::kOk:
+    case Kalloc::FreeResult::kSuccess:
       return;
     case Kalloc::FreeResult::kDoubleFree: {
       OopsReport report;

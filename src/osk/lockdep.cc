@@ -4,6 +4,22 @@
 #include <sstream>
 
 #include "src/base/check.h"
+#include "src/oemu/runtime.h"
+
+namespace ozz::osk {
+namespace {
+
+// Mirrors lock transitions into the active runtime's recording so profiled
+// traces carry critical-section boundaries (consumed by src/analysis).
+void RecordLockEvent(ThreadId thread, LockClassId cls, bool acquire) {
+  oemu::Runtime* rt = oemu::Runtime::Active();
+  if (rt != nullptr) {
+    rt->RecordLock(thread, cls, acquire);
+  }
+}
+
+}  // namespace
+}  // namespace ozz::osk
 
 namespace ozz::osk {
 
@@ -44,6 +60,7 @@ void Lockdep::OnAcquire(ThreadId thread, LockClassId cls) {
     order_[prior].insert(cls);
   }
   held.push_back(cls);
+  RecordLockEvent(thread, cls, /*acquire=*/true);
 }
 
 void Lockdep::OnRelease(ThreadId thread, LockClassId cls) {
@@ -51,6 +68,7 @@ void Lockdep::OnRelease(ThreadId thread, LockClassId cls) {
   auto it = std::find(held.begin(), held.end(), cls);
   if (it != held.end()) {
     held.erase(it);
+    RecordLockEvent(thread, cls, /*acquire=*/false);
   }
 }
 

@@ -62,6 +62,7 @@ class MqSbitmapSubsystem : public Subsystem {
     force_cpu0_ = kernel.config().percpu_migration_hack;
     slots_ = kernel.New<PerCpu<TagSlot*>>("mq_tags_init");
     for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+      // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
       slots_->on_cpu(cpu).set_raw(kernel.New<TagSlot>("mq_tag_slot"));
     }
 
@@ -84,6 +85,7 @@ class MqSbitmapSubsystem : public Subsystem {
     kernel.table().Add(std::move(reap));
   }
 
+  // ozz-lint: allow-raw — slot pointer is set once at init, never racy
   TagSlot* ThisCpuSlot() { return slots_->this_cpu(force_cpu0_).raw(); }
 
   // blk_mq_get_tag(): install a fresh request, then claim the tag with a

@@ -26,7 +26,9 @@ class RdsSubsystem : public Subsystem {
     fixed_ = kernel.IsFixed("rds");
     cp_ = kernel.New<ConnPath>("rds_conn_init");
     u8* initial = static_cast<u8*>(kernel.KmAlloc(4, "rds_initial_msg"));
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
     cp_->data_len.set_raw(4);
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
     cp_->data_ptr.set_raw(initial);
 
     SyscallDesc send;

@@ -78,6 +78,7 @@ class TlsSubsystem : public Subsystem {
     open.produces = "tls_sock";
     open.fn = [](Kernel& k, const std::vector<i64>&) {
       Sock* sk = k.New<Sock>("tls_open");
+      // ozz-lint: allow-raw — socket construction, not yet published
       sk->sk_prot.set_raw(&kBaseProto);
       return static_cast<long>(k.RegisterResource("tls_sock", sk));
     };
@@ -131,6 +132,7 @@ class TlsSubsystem : public Subsystem {
     anomalies.args.push_back(ArgDesc::Resource("fd", "tls_sock"));
     anomalies.fn = [](Kernel& k, const std::vector<i64>& args) {
       Sock* sk = Lookup(k, args[0]);
+      // ozz-lint: allow-raw — test-epilogue readout of the anomaly counter
       return sk == nullptr ? kEBadf : static_cast<long>(sk->err_anomalies.raw());
     };
     kernel.table().Add(std::move(anomalies));

@@ -30,6 +30,7 @@ class VmciSubsystem : public Subsystem {
     // The qpair structure itself exists from device registration; attach
     // only initializes its fields. It is a plain kmalloc — uninitialized
     // fields read back as poison until the attach stores commit.
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
     state_->qpair.set_raw(
         static_cast<QPair*>(kernel.KmAllocUninit(sizeof(QPair), "vmci_qp_alloc")));
 
@@ -57,6 +58,7 @@ class VmciSubsystem : public Subsystem {
     if (OSK_READ_ONCE(state_->attached) != 0) {
       return kEAlready;
     }
+    // ozz-lint: allow-raw — device-lifetime pointer, set once at init
     QPair* qp = state_->qpair.raw();
     WaitQueue* wq = k.New<WaitQueue>("vmci_wq_alloc");
     OSK_STORE(qp->wq, wq);
@@ -75,7 +77,7 @@ class VmciSubsystem : public Subsystem {
     if (OSK_READ_ONCE(state_->attached) == 0) {
       return 0;
     }
-    QPair* qp = state_->qpair.raw();  // device-lifetime pointer, never racy
+    QPair* qp = state_->qpair.raw();  // ozz-lint: allow-raw — device-lifetime pointer, never racy
     WaitQueue* wq = OSK_LOAD(qp->wq);
     k.Deref(wq, "add_wait_queue");
     u32 w = OSK_LOAD(wq->waiters);

@@ -80,8 +80,10 @@ class XskSubsystem : public Subsystem {
       return kEAlready;
     }
     XskRing* rx = k.New<XskRing>("xsk_bind_rx");
+    // ozz-lint: allow-raw — ring construction, published below via OSK_STORE
     rx->size.set_raw(ring_size);
     XskRing* tx = k.New<XskRing>("xsk_bind_tx");
+    // ozz-lint: allow-raw — ring construction, published below via OSK_STORE
     tx->size.set_raw(ring_size);
     OSK_STORE(xs->rx, rx);
     OSK_STORE(xs->tx, tx);

@@ -1,0 +1,353 @@
+// Unit tests for the static ordering analyzer (src/analysis): lockset
+// extraction from synthetic traces, pair classification for every edge kind,
+// the hint-member soundness rules (notably the RDS relaxed-exit shape that
+// must NOT be proven), and the ranked missing-barrier report on real
+// profiled subsystems.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/analysis/lockset.h"
+#include "src/analysis/ordering.h"
+#include "src/analysis/report.h"
+#include "src/oemu/event.h"
+#include "src/oemu/instr.h"
+#include "src/fuzz/profile.h"
+#include "src/fuzz/syslang.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::analysis {
+namespace {
+
+using oemu::AccessType;
+using oemu::BarrierType;
+using oemu::Event;
+using oemu::Trace;
+
+Event Access(InstrId instr, AccessType type, uptr addr, u64 value, u32 occurrence = 1) {
+  Event e;
+  e.kind = Event::Kind::kAccess;
+  e.instr = instr;
+  e.access = type;
+  e.addr = addr;
+  e.size = 8;
+  e.value = value;
+  e.occurrence = occurrence;
+  return e;
+}
+
+Event Bar(InstrId instr, BarrierType type) {
+  Event e;
+  e.kind = Event::Kind::kBarrier;
+  e.instr = instr;
+  e.barrier = type;
+  return e;
+}
+
+Event Commit(InstrId instr, uptr addr, u64 value, u32 occurrence = 1) {
+  Event e;
+  e.kind = Event::Kind::kCommit;
+  e.instr = instr;
+  e.access = AccessType::kStore;
+  e.addr = addr;
+  e.size = 8;
+  e.value = value;
+  e.occurrence = occurrence;
+  return e;
+}
+
+Event Lock(u32 cls, bool acquire) {
+  Event e;
+  e.kind = Event::Kind::kLock;
+  e.lock_cls = cls;
+  e.lock_acquire = acquire;
+  return e;
+}
+
+constexpr uptr kFlag = 0x1000;
+constexpr uptr kLen = 0x1100;
+constexpr uptr kPtr = 0x1200;
+constexpr uptr kHead = 0x1300;
+
+// The RDS shape: fully-ordered test_and_set_bit entry, plain data stores,
+// RELAXED clear_bit exit (instr ids are arbitrary but stable).
+Trace RdsShapedTrace(bool release_exit) {
+  Trace t;
+  t.push_back(Bar(1, BarrierType::kRmwFull));
+  t.push_back(Access(1, AccessType::kLoad, kFlag, 0));   // RMW load: flag == 0
+  t.push_back(Access(1, AccessType::kStore, kFlag, 4));  // sets bit 2
+  t.push_back(Commit(1, kFlag, 4));
+  t.push_back(Access(2, AccessType::kStore, kLen, 64));
+  t.push_back(Commit(2, kLen, 64));
+  t.push_back(Access(3, AccessType::kStore, kPtr, 0xbeef));
+  t.push_back(Commit(3, kPtr, 0xbeef));
+  if (release_exit) {
+    t.push_back(Bar(4, BarrierType::kRelease));
+  }
+  t.push_back(Access(4, AccessType::kLoad, kFlag, 4));   // RMW load of the clear
+  t.push_back(Access(4, AccessType::kStore, kFlag, 0));  // clears bit 2
+  t.push_back(Commit(4, kFlag, 0));
+  return t;
+}
+
+// An observer that takes the same bit lock and reads the data under it.
+Trace ObserverUnderBitLock() {
+  Trace t;
+  t.push_back(Bar(11, BarrierType::kRmwFull));
+  t.push_back(Access(11, AccessType::kLoad, kFlag, 0));
+  t.push_back(Access(11, AccessType::kStore, kFlag, 4));
+  t.push_back(Commit(11, kFlag, 4));
+  t.push_back(Access(12, AccessType::kLoad, kLen, 64));
+  t.push_back(Access(13, AccessType::kLoad, kPtr, 0xbeef));
+  t.push_back(Access(14, AccessType::kLoad, kFlag, 4));
+  t.push_back(Access(14, AccessType::kStore, kFlag, 0));
+  t.push_back(Commit(14, kFlag, 0));
+  return t;
+}
+
+TEST(LocksetTest, InfersBitLockSectionFromOrderedRmw) {
+  Trace t = RdsShapedTrace(/*release_exit=*/false);
+  std::vector<CriticalSection> sections = FindCriticalSections(t);
+  ASSERT_EQ(sections.size(), 1u);
+  const CriticalSection& s = sections[0];
+  EXPECT_EQ(s.lock.kind, LockId::Kind::kBitLock);
+  EXPECT_EQ(s.lock.word, kFlag);
+  EXPECT_EQ(s.lock.bit, 4u);
+  EXPECT_EQ(s.begin, 1u);  // the entry RMW load
+  EXPECT_EQ(s.end, 9u);    // the clearing RMW store
+  EXPECT_TRUE(s.closed);
+  EXPECT_TRUE(s.acquire_ordered);
+  EXPECT_FALSE(s.release_ordered) << "a relaxed clear_bit is not a release exit";
+}
+
+TEST(LocksetTest, ReleaseOrderedExitIsRecognized) {
+  std::vector<CriticalSection> sections =
+      FindCriticalSections(RdsShapedTrace(/*release_exit=*/true));
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_TRUE(sections[0].closed);
+  EXPECT_TRUE(sections[0].release_ordered);
+}
+
+TEST(LocksetTest, UnclosedSectionExtendsToTraceEnd) {
+  Trace t = RdsShapedTrace(false);
+  t.resize(6);  // cut before the data-ptr store and the clear
+  std::vector<CriticalSection> sections = FindCriticalSections(t);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_FALSE(sections[0].closed);
+  EXPECT_EQ(sections[0].end, t.size() - 1);
+}
+
+TEST(LocksetTest, RelaxedBitSetOpensNoSection) {
+  Trace t;
+  t.push_back(Access(1, AccessType::kLoad, kFlag, 0));   // relaxed RMW (set_bit)
+  t.push_back(Access(1, AccessType::kStore, kFlag, 4));
+  t.push_back(Commit(1, kFlag, 4));
+  EXPECT_TRUE(FindCriticalSections(t).empty());
+}
+
+TEST(LocksetTest, MultiBitRmwOpensNoSection) {
+  Trace t;
+  t.push_back(Bar(1, BarrierType::kRmwFull));
+  t.push_back(Access(1, AccessType::kLoad, kFlag, 0));
+  t.push_back(Access(1, AccessType::kStore, kFlag, 6));  // two bits at once
+  t.push_back(Commit(1, kFlag, 6));
+  EXPECT_TRUE(FindCriticalSections(t).empty());
+}
+
+TEST(LocksetTest, LockdepEventsFormQualifiedSections) {
+  Trace t;
+  t.push_back(Lock(7, true));
+  t.push_back(Access(2, AccessType::kStore, kLen, 1));
+  t.push_back(Commit(2, kLen, 1));
+  t.push_back(Lock(7, false));
+  std::vector<CriticalSection> sections = FindCriticalSections(t);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].lock.kind, LockId::Kind::kLockdep);
+  EXPECT_EQ(sections[0].lock.word, 7u);
+  EXPECT_TRUE(sections[0].closed);
+  EXPECT_TRUE(sections[0].acquire_ordered);
+  EXPECT_TRUE(sections[0].release_ordered);
+  EXPECT_EQ(sections[0].begin, 0u);
+  EXPECT_EQ(sections[0].end, 3u);
+}
+
+TEST(OrderingTest, BarrierEdgeBetweenStores) {
+  Trace t;
+  t.push_back(Access(1, AccessType::kStore, kLen, 1));
+  t.push_back(Bar(2, BarrierType::kStoreBarrier));
+  t.push_back(Access(3, AccessType::kStore, kHead, 1));
+  Trace other;
+  other.push_back(Access(11, AccessType::kLoad, kLen, 0));
+  other.push_back(Access(12, AccessType::kLoad, kHead, 0));
+  PairAnalysis pa(t, other);
+  EXPECT_EQ(pa.ClassifyStorePair(0, 2), OrderEdge::kBarrier);
+}
+
+TEST(OrderingTest, ReleaseStoreIsUndelayable) {
+  Trace t;
+  t.push_back(Bar(1, BarrierType::kRelease));
+  t.push_back(Access(1, AccessType::kStore, kLen, 1));  // store_release
+  t.push_back(Commit(1, kLen, 1));
+  t.push_back(Access(2, AccessType::kStore, kHead, 1));
+  Trace other;
+  PairAnalysis pa(t, other);
+  EXPECT_EQ(pa.ClassifyStorePair(1, 3), OrderEdge::kUndelayable);
+}
+
+TEST(OrderingTest, RmwLoadIsUnversionable) {
+  Trace t;
+  t.push_back(Access(1, AccessType::kLoad, kLen, 0));
+  t.push_back(Access(2, AccessType::kLoad, kFlag, 0));  // RMW load...
+  t.push_back(Access(2, AccessType::kStore, kFlag, 4));  // ...paired store
+  t.push_back(Commit(2, kFlag, 4));
+  Trace other;
+  PairAnalysis pa(t, other);
+  EXPECT_EQ(pa.ClassifyLoadPair(0, 1), OrderEdge::kUnversionable);
+}
+
+TEST(OrderingTest, SameLocationPairsAreCoherenceOrdered) {
+  Trace t;
+  t.push_back(Access(1, AccessType::kStore, kLen, 1));
+  t.push_back(Access(2, AccessType::kStore, kLen, 2));
+  t.push_back(Access(3, AccessType::kLoad, kHead, 0));
+  t.push_back(Access(4, AccessType::kLoad, kHead, 0));
+  Trace other;
+  PairAnalysis pa(t, other);
+  EXPECT_EQ(pa.ClassifyStorePair(0, 1), OrderEdge::kCoherence);
+  EXPECT_EQ(pa.ClassifyLoadPair(2, 3), OrderEdge::kCoherence);
+}
+
+TEST(OrderingTest, ReleaseExitLocksetProvesProtectedStores) {
+  Trace t = RdsShapedTrace(/*release_exit=*/true);
+  Trace other = ObserverUnderBitLock();
+  PairAnalysis pa(t, other);
+  // data_len store (idx 4) delayed past data_ptr store (idx 6): both inside
+  // the release-exited section, observer reads covered by the same lock.
+  EXPECT_EQ(pa.ClassifyStorePair(4, 6), OrderEdge::kLockset);
+}
+
+TEST(OrderingTest, RelaxedExitLocksetProvesNothing) {
+  Trace t = RdsShapedTrace(/*release_exit=*/false);
+  Trace other = ObserverUnderBitLock();
+  PairAnalysis pa(t, other);
+  // The Figure 8 bug: data stores CAN be delayed past the relaxed clear.
+  EXPECT_EQ(pa.ClassifyStorePair(4, 9), OrderEdge::kNone);
+  EXPECT_EQ(pa.ClassifyStorePair(6, 9), OrderEdge::kNone);
+  EXPECT_FALSE(
+      pa.StoreMemberProven(AccessKey{2, 1, AccessType::kStore}, AccessKey{4, 1, AccessType::kStore}));
+}
+
+TEST(OrderingTest, UncoveredObserverAccessBlocksLocksetProof) {
+  Trace t = RdsShapedTrace(/*release_exit=*/true);
+  Trace other = ObserverUnderBitLock();
+  other.push_back(Access(20, AccessType::kLoad, kLen, 64));  // lockless read
+  PairAnalysis pa(t, other);
+  EXPECT_EQ(pa.ClassifyStorePair(4, 6), OrderEdge::kNone);
+}
+
+TEST(OrderingTest, LockdepSectionsProveLoadPairs) {
+  Trace t;
+  t.push_back(Lock(7, true));
+  t.push_back(Access(1, AccessType::kLoad, kLen, 0));
+  t.push_back(Access(2, AccessType::kLoad, kPtr, 0));
+  t.push_back(Lock(7, false));
+  Trace other;
+  other.push_back(Lock(7, true));
+  other.push_back(Access(11, AccessType::kStore, kLen, 1));
+  other.push_back(Commit(11, kLen, 1));
+  other.push_back(Access(12, AccessType::kStore, kPtr, 1));
+  other.push_back(Commit(12, kPtr, 1));
+  other.push_back(Lock(7, false));
+  PairAnalysis pa(t, other);
+  EXPECT_EQ(pa.ClassifyLoadPair(1, 2), OrderEdge::kLockset);
+  EXPECT_TRUE(
+      pa.LoadMemberProven(AccessKey{1, 1, AccessType::kLoad}, AccessKey{2, 1, AccessType::kLoad}));
+}
+
+TEST(OrderingTest, StatsCountShareOfProvenPairs) {
+  Trace t;
+  t.push_back(Access(1, AccessType::kStore, kLen, 1));
+  t.push_back(Bar(2, BarrierType::kStoreBarrier));
+  t.push_back(Access(3, AccessType::kStore, kHead, 1));
+  t.push_back(Access(4, AccessType::kStore, kPtr, 1));
+  Trace other;
+  other.push_back(Access(11, AccessType::kLoad, kLen, 0));
+  other.push_back(Access(12, AccessType::kLoad, kHead, 0));
+  other.push_back(Access(13, AccessType::kLoad, kPtr, 0));
+  PairAnalysis pa(t, other);
+  PairStats stats = pa.ComputeStats();
+  EXPECT_EQ(stats.store_pairs, 3u);
+  // (len, head) and (len, ptr) are wmb-separated; (head, ptr) is not.
+  EXPECT_EQ(stats.store_pairs_proven, 2u);
+  EXPECT_EQ(stats.proven_barrier, 2u);
+  EXPECT_EQ(stats.load_pairs, 0u);
+}
+
+// ---- Ranked report on real profiled subsystems ----
+
+fuzz::ProgProfile ProfileSeed(const char* name, const osk::KernelConfig& config) {
+  osk::Kernel kernel(config);
+  osk::InstallDefaultSubsystems(kernel);
+  fuzz::Prog seed = fuzz::SeedProgramFor(kernel.table(), name);
+  EXPECT_FALSE(seed.calls.empty()) << name;
+  return fuzz::ProfileProg(seed, config);
+}
+
+TEST(ReportTest, WatchQueueBuggyFormTopRanksTheMissingWmbPair) {
+  fuzz::ProgProfile profile = ProfileSeed("watch_queue", {});
+  ASSERT_GE(profile.calls.size(), 2u);
+  PairAnalysis pa(profile.calls[0].trace, profile.calls[1].trace);
+  std::vector<RankedPair> ranked = RankUnorderedPairs(pa);
+  ASSERT_FALSE(ranked.empty());
+  // Top pair: a buffer-field store bypassing the head publish (Figure 1).
+  std::string first = oemu::InstrRegistry::Describe(ranked[0].first);
+  std::string second = oemu::InstrRegistry::Describe(ranked[0].second);
+  EXPECT_NE(first.find("buf."), std::string::npos) << first;
+  EXPECT_NE(second.find("head"), std::string::npos) << second;
+  EXPECT_EQ(ranked[0].type, AccessType::kStore);
+  EXPECT_GT(ranked[0].inversions, 0u);
+}
+
+TEST(ReportTest, WatchQueueFixedFormDropsThePair) {
+  osk::KernelConfig config;
+  config.fixed.insert("watch_queue");
+  fuzz::ProgProfile profile = ProfileSeed("watch_queue", config);
+  ASSERT_GE(profile.calls.size(), 2u);
+  PairAnalysis pa(profile.calls[0].trace, profile.calls[1].trace);
+  for (const RankedPair& p : RankUnorderedPairs(pa)) {
+    std::string second = oemu::InstrRegistry::Describe(p.second);
+    EXPECT_EQ(second.find("head"), std::string::npos)
+        << "fixed form still reports " << oemu::InstrRegistry::Describe(p.first) << " vs "
+        << second;
+  }
+}
+
+TEST(ReportTest, RdsBuggyFormTopRanksDataVsClearBit) {
+  fuzz::ProgProfile profile = ProfileSeed("rds", {});
+  ASSERT_GE(profile.calls.size(), 2u);
+  PairAnalysis pa(profile.calls[0].trace, profile.calls[1].trace);
+  std::vector<RankedPair> ranked = RankUnorderedPairs(pa);
+  ASSERT_FALSE(ranked.empty());
+  std::string first = oemu::InstrRegistry::Describe(ranked[0].first);
+  std::string second = oemu::InstrRegistry::Describe(ranked[0].second);
+  EXPECT_NE(first.find("data_"), std::string::npos) << first;
+  EXPECT_NE(second.find("cp_flags"), std::string::npos) << second;
+  std::string report = FormatReport(pa, ranked);
+  EXPECT_NE(report.find("missing smp_wmb()"), std::string::npos) << report;
+}
+
+TEST(ReportTest, RdsFixedFormIsFullyProven) {
+  osk::KernelConfig config;
+  config.fixed.insert("rds");
+  fuzz::ProgProfile profile = ProfileSeed("rds", config);
+  ASSERT_GE(profile.calls.size(), 2u);
+  for (std::size_t a = 0; a < 2; ++a) {
+    PairAnalysis pa(profile.calls[a].trace, profile.calls[1 - a].trace);
+    EXPECT_TRUE(RankUnorderedPairs(pa).empty());
+    PairStats stats = pa.ComputeStats();
+    EXPECT_EQ(stats.proven(), stats.candidates());
+  }
+}
+
+}  // namespace
+}  // namespace ozz::analysis

@@ -10,51 +10,10 @@
 
 #include "src/fuzz/fuzzer.h"
 #include "src/fuzz/profile.h"
+#include "tests/scenarios.h"
 
 namespace ozz::fuzz {
 namespace {
-
-struct Scenario {
-  const char* name;          // test label
-  const char* seed;          // SeedProgramFor key
-  const char* crash_needle;  // expected fragment of the crash title
-  const char* fix_key;       // KernelConfig::fixed entry that patches it
-  const char* reorder_type;  // "S-S" or "L-L"
-  const char* pre_fixed = nullptr;  // applied in ALL runs (isolates one bug)
-  bool migration_hack = false;      // per-CPU scenarios (Table 4 #6)
-};
-
-std::ostream& operator<<(std::ostream& os, const Scenario& s) { return os << s.name; }
-
-constexpr Scenario kScenarios[] = {
-    // Table 3 (new bugs found by OZZ) — see DESIGN.md for the mapping.
-    {"rds_bug1", "rds", "rds_loop_xmit", "rds", "S-S"},
-    {"watch_queue_bug2", "watch_queue", "pipe_read", "watch_queue", "S-S",
-     /*pre_fixed=*/"watch_queue.rmb"},
-    {"vmci_bug3", "vmci", "add_wait_queue", "vmci", "S-S"},
-    {"xsk_poll_bug4", "xsk", "xsk_poll", "xsk", "S-S"},
-    {"tls_getsockopt_bug5", "tls_getsockopt", "tls_getsockopt", "tls", "S-S"},
-    {"bpf_sockmap_bug6", "bpf_sockmap", "sk_psock_verdict_data_ready", "bpf_sockmap", "S-S"},
-    {"xsk_xmit_bug7", "xsk_xmit", "xsk_generic_xmit", "xsk", "S-S"},
-    {"smc_connect_bug8", "smc", "connect", "smc", "S-S"},
-    {"tls_setsockopt_bug9", "tls", "tls_setsockopt", "tls", "S-S"},
-    {"smc_fput_bug10", "smc_close", "fput", "smc", "S-S"},
-    {"gsm_bug11", "gsm", "gsm_dlci_config", "gsm", "S-S"},
-    // Table 4 (previously-reported bugs reproduced via OEMU).
-    {"vlan_t4_1", "vlan", "vlan_group_get_device", "vlan", "S-S"},
-    {"watch_queue_rmb_t4_2", "watch_queue", "pipe_read", "watch_queue", "L-L",
-     /*pre_fixed=*/"watch_queue.wmb"},
-    {"fs_fget_t4_5", "fs", "__fget_light", "fs", "L-L"},
-    {"mq_sbitmap_t4_6", "mq", "blk_mq_put_tag", "mq", "S-S", nullptr,
-     /*migration_hack=*/true},
-    {"nbd_t4_7", "nbd", "nbd_ioctl", "nbd", "L-L"},
-    {"unix_t4_9", "unix", "unix_getname", "unix", "L-L"},
-    // Extensions: the seqlock torn-read ([62]-style) and the Fig. 10 SB bug.
-    {"ringbuf_torn_read", "ringbuf", "seqcount read tore", "ringbuf", "S-S"},
-    {"rdma_hw_t45", "rdma", "irdma_poll_cq", "rdma", "L-L"},
-    {"buffer_memorder_82", "buffer", "slab-use-after-free Write", "buffer", "S-S"},
-    {"synthetic_sb_fig10", "synthetic", "SB litmus violated", "synthetic", "S-S"},
-};
 
 class BugScenarioTest : public ::testing::TestWithParam<Scenario> {
  protected:
@@ -104,9 +63,9 @@ TEST_P(BugScenarioTest, InOrderFuzzerMissesIt) {
       << result.bugs[0].report.title;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllScenarios, BugScenarioTest, ::testing::ValuesIn(kScenarios),
-                         [](const ::testing::TestParamInfo<Scenario>& info) {
-                           return std::string(info.param.name);
+INSTANTIATE_TEST_SUITE_P(AllScenarios, BugScenarioTest, ::testing::ValuesIn(kBugScenarios),
+                         [](const ::testing::TestParamInfo<Scenario>& param_info) {
+                           return std::string(param_info.param.name);
                          });
 
 // Table 4 #6 without the migration hack: OZZ pins threads to CPUs, so the

@@ -62,6 +62,45 @@ TEST(FilterSharedTest, LoadLoadPairsAreNotShared) {
 // Figure 5a: stores W(a) W(b) W(c) W(d) with no barrier — the store-test
 // hints are the prefixes {a,b,c}, {a,b}, {a} (plus suffix extensions), all
 // with scheduling point after W(d).
+TEST(FilterSharedTest, BarrierOnlyTraceIsPreserved) {
+  // Algorithm 2 filters accesses; barriers always survive so the group
+  // structure of Algorithm 1 stays intact even when nothing is shared.
+  oemu::Trace mine{
+      Barrier(oemu::BarrierType::kStoreBarrier),
+      Barrier(oemu::BarrierType::kLoadBarrier),
+  };
+  oemu::Trace other{Access(10, oemu::AccessType::kStore, kA)};
+  oemu::Trace filtered = FilterShared(mine, other);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_TRUE(filtered[0].IsBarrier());
+  EXPECT_TRUE(filtered[1].IsBarrier());
+}
+
+TEST(FilterSharedTest, EmptySharedSetLeavesOnlyBarriers) {
+  oemu::Trace mine{
+      Access(1, oemu::AccessType::kStore, kPrivate),
+      Barrier(oemu::BarrierType::kFull),
+      Access(2, oemu::AccessType::kLoad, kC),
+  };
+  oemu::Trace other{Access(10, oemu::AccessType::kStore, kA)};
+  oemu::Trace filtered = FilterShared(mine, other);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_TRUE(filtered[0].IsBarrier());
+  // And hint calculation over it yields nothing rather than crashing.
+  EXPECT_TRUE(ComputeHints(mine, other).empty());
+}
+
+TEST(FilterSharedTest, PartialRangeOverlapIsShared) {
+  // A 1-byte store into the middle of an 8-byte load's range conflicts.
+  oemu::Event narrow = Access(1, oemu::AccessType::kStore, kA + 3);
+  narrow.size = 1;
+  oemu::Trace mine{narrow};
+  oemu::Trace other{Access(10, oemu::AccessType::kLoad, kA)};
+  oemu::Trace filtered = FilterShared(mine, other);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].instr, 1u);
+}
+
 TEST(ComputeHintsTest, StoreTestPrefixes) {
   oemu::Trace mine{
       Access(1, oemu::AccessType::kStore, kA),

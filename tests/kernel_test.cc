@@ -39,7 +39,7 @@ TEST(KallocTest, UninitAllocKeepsPoison) {
 TEST(KallocTest, FreePoisonsAndQuarantines) {
   Kalloc alloc(1 << 16);
   u8* p = static_cast<u8*>(alloc.Alloc(16, "alloc_site"));
-  EXPECT_EQ(alloc.Free(p, "free_site"), Kalloc::FreeResult::kOk);
+  EXPECT_EQ(alloc.Free(p, "free_site"), Kalloc::FreeResult::kSuccess);
   EXPECT_EQ(p[0], kFreePoison);
   const Kalloc::Object* obj = nullptr;
   EXPECT_EQ(alloc.Classify(reinterpret_cast<uptr>(p), &obj), AddrClass::kFreed);
@@ -52,7 +52,7 @@ TEST(KallocTest, FreePoisonsAndQuarantines) {
 TEST(KallocTest, DoubleAndInvalidFreeDetected) {
   Kalloc alloc(1 << 16);
   void* p = alloc.Alloc(16, "test");
-  EXPECT_EQ(alloc.Free(p, "test"), Kalloc::FreeResult::kOk);
+  EXPECT_EQ(alloc.Free(p, "test"), Kalloc::FreeResult::kSuccess);
   EXPECT_EQ(alloc.Free(p, "test"), Kalloc::FreeResult::kDoubleFree);
   int stack_var = 0;
   EXPECT_EQ(alloc.Free(&stack_var, "test"), Kalloc::FreeResult::kInvalid);

@@ -1,0 +1,208 @@
+// Unit tests for the instrumentation-discipline lint (src/analysis/lint):
+// each rule fires on the bypass idiom, stays quiet on instrumented code, and
+// honours the same-line / preceding-line suppression comments.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+
+namespace ozz::analysis {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<LintFinding>& findings) {
+  std::vector<std::string> rules;
+  for (const LintFinding& f : findings) {
+    rules.push_back(f.rule);
+  }
+  return rules;
+}
+
+TEST(LintTest, RawAccessorFlagged) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "void F() {\n"
+                                                 "  u32 v = state.len.raw();\n"
+                                                 "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-accessor");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].file, "sub.cc");
+}
+
+TEST(LintTest, SetRawFlagged) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc", "  state.len.set_raw(0);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-accessor");
+}
+
+TEST(LintTest, RawAccessorSuppressedSameLine) {
+  std::vector<LintFinding> findings = LintSource(
+      "sub.cc", "  state.len.set_raw(0);  // ozz-lint: allow-raw (constructor)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, RawAccessorSuppressedPrecedingLine) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "  // ozz-lint: allow-raw — init\n"
+                                                 "  state.len.set_raw(0);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, ForeignAtomicFlagged) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "std::atomic<int> counter;\n"
+                                                 "volatile int x;\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "foreign-atomic");
+  EXPECT_EQ(findings[1].rule, "foreign-atomic");
+}
+
+TEST(LintTest, ForeignAtomicSuppressed) {
+  std::vector<LintFinding> findings = LintSource(
+      "sub.cc", "std::atomic<int> counter;  // ozz-lint: allow-atomic\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, DirectAccessFlagged) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "struct S {\n"
+                                                 "  oemu::Cell<u32> len;\n"
+                                                 "};\n"
+                                                 "bool F(S& s) {\n"
+                                                 "  return s.len > 0;\n"
+                                                 "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "direct-access");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("len"), std::string::npos);
+}
+
+TEST(LintTest, InstrumentedAccessClean) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u32> len;\n"
+                 "  u32 v = OSK_READ_ONCE(len);\n"
+                 "  OSK_WRITE_ONCE(len, v + 1);\n"
+                 "  OSK_STORE_RELEASE(len, v);\n");
+  EXPECT_EQ(Rules(findings), std::vector<std::string>{});
+}
+
+TEST(LintTest, DirectAccessSuppressed) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u32> len;\n"
+                 "  // ozz-lint: allow-direct (test-only inspection)\n"
+                 "  u32 v = len.raw();  // ozz-lint: allow-raw\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, CellNameCallsAndDeclarationsNotFlagged) {
+  // A function/constructor named like the cell, or the declaring line
+  // itself, must not count as a direct access.
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u32> head;\n"
+                 "  InitQueue(head());\n");
+  // head( is a call-shaped occurrence — skipped by design.
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, AddressAccessorAllowedForDelivery) {
+  // .address() feeds the runtime's range bookkeeping — not a bypass.
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u32> head;\n"
+                 "  uptr a = head.address();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, BareLocalSharingCellNameNotFlagged) {
+  // `len` the parameter/local is not `len` the cell — only member-access
+  // spellings count as cell accesses.
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u32> len;\n"
+                 "  long Post(Kernel& k, u32 len) {\n"
+                 "    u32 clamped = len > 64 ? 64 : len;\n"
+                 "    return clamped;\n"
+                 "  }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, StringLiteralMentionNotFlagged) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u32> len;\n"
+                 "  args.push_back(ArgDesc::IntRange(\"len\", 1, 64));\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, ArrayBoundIsNotTheCellName) {
+  // `Cell<T> fd[kMaxFds]` declares `fd`; the bound must not be collected.
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<File*> fd[kMaxFds];\n"
+                 "  u32 limit = kMaxFds - 1;\n"
+                 "  File* f = OSK_LOAD(t->fd[0]);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, OskWrappingMacroIsInstrumented) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "#define MY_CAS(cell, expected, desired) \\\n"
+                 "  OSK_RMW((cell), RmwOrder::kFull, RmwFnCas, (expected))\n"
+                 "  oemu::Cell<u64> state;\n"
+                 "  if (MY_CAS(s->state, kFree, kInflight) != kFree) return;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, MemberAccessThroughArrowFlagged) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u64> state;\n"
+                 "  if (s->state != 0) return;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "direct-access");
+}
+
+TEST(LintTest, TrailingCommentMentionNotFlagged) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<const Ops*> ops;\n"
+                 "  k.Deref(p);  // mirrors buf->ops->confirm()\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, CommentLinesIgnored) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u32> head;\n"
+                 "  // head is advanced by the producer only\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, FormatFindingIncludesLocationAndRule) {
+  LintFinding f{"src/osk/subsys/x.cc", 42, "raw-accessor", "raw() bypasses OEMU"};
+  std::string s = FormatFinding(f);
+  EXPECT_NE(s.find("src/osk/subsys/x.cc:42"), std::string::npos) << s;
+  EXPECT_NE(s.find("raw-accessor"), std::string::npos) << s;
+}
+
+// The shipped subsystems must be lint-clean (with their annotated
+// suppressions) — the same invariant CI enforces via tools/ozz_lint.
+TEST(LintTest, ShippedSubsystemsAreClean) {
+  // Covered end-to-end by the CI ozz_lint step; here we only pin the rule
+  // that OSK_RMW lines are not flagged even though they name the cell.
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  oemu::Cell<u64> flags;\n"
+                 "  u64 old = OSK_RMW(flags, oemu::RmwOp::kSetBit, 1, "
+                 "oemu::RmwOrder::kFull);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace ozz::analysis

@@ -116,8 +116,8 @@ std::vector<MatrixCase> AllCases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(BarrierMatrix, LitmusMatrixTest, ::testing::ValuesIn(AllCases()),
-                         [](const ::testing::TestParamInfo<MatrixCase>& info) {
-                           return CaseName(info.param);
+                         [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
+                           return CaseName(param_info.param);
                          });
 
 }  // namespace

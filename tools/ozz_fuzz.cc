@@ -28,6 +28,7 @@ void Usage() {
       "  --budget N          MTI test budget (default 20000)\n"
       "  --bugs N            stop after N unique bugs (default: run out the budget)\n"
       "  --no-reorder        disable OEMU reordering (interleaving-only baseline)\n"
+      "  --no-static-prune   disable the static ordering pre-filter on hints\n"
       "  --fixed SUBSYS      apply the barrier patch for SUBSYS (repeatable)\n"
       "  --hack-migration    emulate per-CPU thread migration (Table 4 #6)\n"
       "  --hint-order X      heuristic | reverse | random (ablation)\n"
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
       options.stop_after_bugs = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-reorder") {
       options.reordering = false;
+    } else if (arg == "--no-static-prune") {
+      options.hints.static_prune = false;
     } else if (arg == "--fixed") {
       options.kernel_config.fixed.insert(next());
     } else if (arg == "--hack-migration") {
@@ -109,10 +112,15 @@ int main(int argc, char** argv) {
     return result.bugs.empty() ? 1 : 0;
   }
 
-  std::printf("\ncampaign: %llu MTI runs, %llu STI runs, corpus=%zu, coverage=%zu instrs\n\n",
+  std::printf("\ncampaign: %llu MTI runs, %llu STI runs, corpus=%zu, coverage=%zu instrs\n",
               static_cast<unsigned long long>(result.mti_runs),
               static_cast<unsigned long long>(result.sti_runs), result.corpus_size,
               result.coverage);
+  std::printf("hints: %llu generated, %llu statically pruned; pairs: %llu proven / %llu\n\n",
+              static_cast<unsigned long long>(result.hint_stats.hints_generated),
+              static_cast<unsigned long long>(result.hint_stats.hints_pruned),
+              static_cast<unsigned long long>(result.hint_stats.pairs.proven()),
+              static_cast<unsigned long long>(result.hint_stats.pairs.candidates()));
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {
     const fuzz::FoundBug& bug = result.bugs[i];
     std::printf("=== bug %zu (after %llu tests, hint rank %zu) ===\n%s\n", i,

@@ -1,0 +1,73 @@
+// ozz_lint: instrumentation-discipline lint over simulated-kernel sources.
+//
+// Usage:
+//   ozz_lint FILE_OR_DIR...
+//
+// Flags shared-state accesses that bypass the OSK_* instrumentation macros
+// (see src/analysis/lint.h for the rules and suppression comments).
+// Directories are scanned recursively for .cc/.h files. Exits 1 when any
+// finding is reported — suitable as a CI gate.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+
+using namespace ozz;
+namespace fs = std::filesystem;
+
+namespace {
+
+bool LintableFile(const fs::path& p) {
+  return p.extension() == ".cc" || p.extension() == ".h";
+}
+
+int LintFile(const fs::path& path, std::size_t* findings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ozz_lint: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  for (const analysis::LintFinding& f : analysis::LintSource(path.string(), contents.str())) {
+    std::printf("%s\n", analysis::FormatFinding(f).c_str());
+    ++*findings;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ozz_lint FILE_OR_DIR...\n");
+    return 2;
+  }
+  std::size_t findings = 0;
+  std::size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    fs::path p = argv[i];
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const fs::directory_entry& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file() && LintableFile(e.path())) {
+          ++files;
+          if (int rc = LintFile(e.path(), &findings); rc != 0) {
+            return rc;
+          }
+        }
+      }
+    } else {
+      ++files;
+      if (int rc = LintFile(p, &findings); rc != 0) {
+        return rc;
+      }
+    }
+  }
+  std::printf("ozz_lint: %zu finding(s) in %zu file(s)\n", findings, files);
+  return findings == 0 ? 0 : 1;
+}
