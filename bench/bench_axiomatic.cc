@@ -1,0 +1,249 @@
+// Axiomatic witness-engine benchmark (BENCH_axiomatic.json).
+//
+// For every Table 3/4 scenario this bench
+//   1. hunts the bug with BOTH prune tiers enabled (static + axiomatic) and
+//      requires the crash to still surface — soundness of pruning end-to-end;
+//   2. re-derives the triggering hint's reorder pairs from the replay spec
+//      and requires at least one of them to be classified `witnessed` by the
+//      axiomatic engine — witness coverage (acceptance: 21/21);
+//   3. synthesizes the minimal fence for the witnessed pair and checks it
+//      against the scenario's documented missing-barrier class: a
+//      store-ordering fence (smp_wmb / release upgrade / smp_mb) for S-S
+//      scenarios, a load-ordering fence (smp_rmb / acquire upgrade / smp_mb)
+//      for L-L scenarios (acceptance: >= 15/21 matches);
+//   4. reports campaign prune accounting (per-tier prune counts and the
+//      verdict split over checked pairs).
+//
+// Exits nonzero when witness coverage or the fence-match floor fails, so CI
+// can gate on it directly.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/analysis/axiomatic.h"
+#include "src/analysis/fence_synth.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/profile.h"
+#include "src/oemu/instr.h"
+#include "tests/scenarios.h"
+
+namespace {
+
+using namespace ozz;
+using fuzz::CampaignResult;
+using fuzz::Fuzzer;
+using fuzz::FuzzerOptions;
+using fuzz::SeedProgramFor;
+
+osk::KernelConfig ConfigFor(const fuzz::Scenario& s) {
+  osk::KernelConfig config;
+  if (s.pre_fixed != nullptr) {
+    config.fixed.insert(s.pre_fixed);
+  }
+  config.percpu_migration_hack = s.migration_hack;
+  return config;
+}
+
+FuzzerOptions OptionsFor(const fuzz::Scenario& s) {
+  FuzzerOptions options;
+  options.seed = 99;
+  options.max_mti_runs = 2500;
+  options.stop_after_bugs = 1;
+  options.kernel_config = ConfigFor(s);
+  return options;
+}
+
+// Per-scenario axiomatic outcome on the triggering hint.
+struct HintJudgement {
+  bool witnessed = false;
+  analysis::FenceSuggestion fence;      // for the first witnessed pair
+  std::string witnessed_pair;           // "first -> second" describe string
+};
+
+// Re-derives the reorder pairs the triggering hint probes (the same po
+// intervals the prune tier scans: (member, k] for delay-store specs,
+// [k, member) for read-old specs) and judges them with a generous budget.
+HintJudgement JudgeTriggeringHint(const fuzz::MtiSpec& spec, const osk::KernelConfig& config) {
+  HintJudgement out;
+  fuzz::ProgProfile profile = fuzz::ProfileProg(spec.prog, config);
+  if (spec.call_a >= profile.calls.size() || spec.call_b >= profile.calls.size()) {
+    return out;
+  }
+  analysis::PairAnalysis pa(profile.calls[spec.call_a].trace, profile.calls[spec.call_b].trace);
+  analysis::AxOptions ax;
+  ax.max_executions = u64{1} << 18;
+  const oemu::Trace& trace = pa.reorder_trace();
+
+  for (const fuzz::DynAccess& m : spec.hint.reorder) {
+    std::ptrdiff_t mi =
+        pa.EventIndexOf(analysis::AccessKey{m.instr, m.occurrence, m.type});
+    std::ptrdiff_t si = pa.EventIndexOf(analysis::AccessKey{
+        spec.hint.sched.instr, spec.hint.sched.occurrence, spec.hint.sched.type});
+    if (mi < 0 || si < 0) {
+      continue;
+    }
+    std::size_t lo = static_cast<std::size_t>(spec.hint.store_test ? mi : si);
+    std::size_t hi = static_cast<std::size_t>(spec.hint.store_test ? si : mi);
+    for (std::size_t k = lo + 1; k <= hi && !out.witnessed; ++k) {
+      std::size_t fi = spec.hint.store_test ? lo : k - 1;
+      std::size_t se = spec.hint.store_test ? k : hi;
+      if (fi >= se || !trace[fi].IsAccess() || !trace[se].IsAccess()) {
+        continue;
+      }
+      analysis::AxSlice slice;
+      std::string reason;
+      if (!analysis::BuildSlice(pa, fi, se, ax, &slice, &reason)) {
+        continue;
+      }
+      analysis::AxResult r = analysis::CheckSlice(slice, ax);
+      if (r.verdict != analysis::AxVerdict::kWitnessed) {
+        continue;
+      }
+      out.witnessed = true;
+      out.witnessed_pair = oemu::InstrRegistry::Describe(trace[fi].instr) + " -> " +
+                           oemu::InstrRegistry::Describe(trace[se].instr);
+      out.fence = analysis::SynthesizeFence(slice, ax);
+    }
+    if (out.witnessed) {
+      break;
+    }
+  }
+  return out;
+}
+
+// The documented missing barrier per scenario is its reorder_type: an S-S
+// bug is fixed by a store-ordering fence, an L-L bug by a load-ordering
+// fence; smp_mb orders both.
+bool FenceMatches(const analysis::FenceSuggestion& fence, const char* reorder_type) {
+  if (!fence.found) {
+    return false;
+  }
+  const bool stores = std::string(reorder_type) == "S-S";
+  switch (fence.kind) {
+    case analysis::FenceKind::kWmb:
+    case analysis::FenceKind::kRelease:
+      return stores;
+    case analysis::FenceKind::kRmb:
+    case analysis::FenceKind::kAcquire:
+      return !stores;
+    case analysis::FenceKind::kMb:
+      return true;
+  }
+  return false;
+}
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== axiomatic witness engine: coverage + fence synthesis ===\n\n");
+  std::printf("%-24s %-5s %-10s %-6s %-20s %s\n", "scenario", "bug", "witnessed", "match",
+              "fence", "time s");
+
+  FILE* json = std::fopen("BENCH_axiomatic.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"scenarios\": [\n");
+  }
+
+  const std::size_t count = sizeof(fuzz::kBugScenarios) / sizeof(fuzz::kBugScenarios[0]);
+  std::size_t bugs_found = 0;
+  std::size_t witnessed_count = 0;
+  std::size_t fence_matches = 0;
+  u64 generated = 0;
+  u64 pruned_static = 0;
+  u64 pruned_axiomatic = 0;
+  u64 pairs_witnessed = 0;
+  u64 pairs_refuted = 0;
+  u64 pairs_bounded = 0;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const fuzz::Scenario& s = fuzz::kBugScenarios[i];
+    auto t0 = std::chrono::steady_clock::now();
+    // The fuzzer must outlive the judging below: FoundBug::spec holds
+    // SyscallDesc pointers into this fuzzer's table.
+    Fuzzer fuzzer(OptionsFor(s));
+    CampaignResult result = fuzzer.RunProg(SeedProgramFor(fuzzer.table(), s.seed));
+    const bool found = result.bugs.size() == 1;
+    bugs_found += found ? 1 : 0;
+    generated += result.hint_stats.hints_generated;
+    pruned_static += result.hint_stats.hints_pruned_static;
+    pruned_axiomatic += result.hint_stats.hints_pruned_axiomatic;
+    pairs_witnessed += result.hint_stats.pairs_witnessed;
+    pairs_refuted += result.hint_stats.pairs_refuted;
+    pairs_bounded += result.hint_stats.pairs_bounded;
+
+    HintJudgement judgement;
+    if (found) {
+      judgement = JudgeTriggeringHint(result.bugs[0].spec, ConfigFor(s));
+    }
+    witnessed_count += judgement.witnessed ? 1 : 0;
+    const bool match = judgement.witnessed && FenceMatches(judgement.fence, s.reorder_type);
+    fence_matches += match ? 1 : 0;
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = Seconds(t0, t1);
+
+    std::string fence_desc =
+        judgement.witnessed && judgement.fence.found
+            ? std::string(analysis::FenceName(judgement.fence.kind)) + "()"
+            : "-";
+    std::printf("%-24s %-5s %-10s %-6s %-20s %.3f\n", s.name, found ? "yes" : "NO",
+                judgement.witnessed ? "yes" : "NO", match ? "yes" : "no", fence_desc.c_str(),
+                secs);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"reorder_type\": \"%s\", \"bug_found\": %s, "
+                   "\"witnessed\": %s, \"fence\": \"%s\", \"fence_matches\": %s, "
+                   "\"wall_s\": %.4f}%s\n",
+                   s.name, s.reorder_type, found ? "true" : "false",
+                   judgement.witnessed ? "true" : "false", fence_desc.c_str(),
+                   match ? "true" : "false", secs, i + 1 < count ? "," : "");
+    }
+  }
+
+  const double prune_rate =
+      generated > 0
+          ? static_cast<double>(pruned_static + pruned_axiomatic) / static_cast<double>(generated)
+          : 0.0;
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "  ],\n  \"totals\": {\"scenarios\": %zu, \"bugs_found\": %zu, "
+                 "\"witnessed\": %zu, \"fence_matches\": %zu,\n"
+                 "    \"hints_generated\": %llu, \"hints_pruned_static\": %llu, "
+                 "\"hints_pruned_axiomatic\": %llu, \"prune_rate\": %.4f,\n"
+                 "    \"pairs_witnessed\": %llu, \"pairs_refuted\": %llu, "
+                 "\"pairs_bounded\": %llu}\n}\n",
+                 count, bugs_found, witnessed_count, fence_matches,
+                 static_cast<unsigned long long>(generated),
+                 static_cast<unsigned long long>(pruned_static),
+                 static_cast<unsigned long long>(pruned_axiomatic), prune_rate,
+                 static_cast<unsigned long long>(pairs_witnessed),
+                 static_cast<unsigned long long>(pairs_refuted),
+                 static_cast<unsigned long long>(pairs_bounded));
+    std::fclose(json);
+  }
+
+  std::printf("\nTotals: %zu/%zu bugs, %zu/%zu triggering hints witnessed, %zu/%zu fences match\n",
+              bugs_found, count, witnessed_count, count, fence_matches, count);
+  std::printf("Prune: %llu generated, %llu static + %llu axiomatic (%.1f%%); verdicts %llu w / "
+              "%llu r / %llu b\n",
+              static_cast<unsigned long long>(generated),
+              static_cast<unsigned long long>(pruned_static),
+              static_cast<unsigned long long>(pruned_axiomatic), 100.0 * prune_rate,
+              static_cast<unsigned long long>(pairs_witnessed),
+              static_cast<unsigned long long>(pairs_refuted),
+              static_cast<unsigned long long>(pairs_bounded));
+  std::printf("wrote BENCH_axiomatic.json\n");
+
+  // Acceptance gates: every bug found and witnessed; >= 15/21 fence matches.
+  const bool ok = bugs_found == count && witnessed_count == count && fence_matches >= 15;
+  if (!ok) {
+    std::printf("FAILED acceptance: need %zu/%zu bugs+witnesses and >= 15 fence matches\n",
+                count, count);
+  }
+  return ok ? 0 : 1;
+}

@@ -80,6 +80,8 @@ CampaignResult HuntPruneArm(const fuzz::Scenario& s, bool static_prune) {
   options.max_mti_runs = 2500;
   options.stop_after_bugs = 1;
   options.hints.static_prune = static_prune;
+  // This arm isolates the static tier; bench_axiomatic covers the second tier.
+  options.hints.axiomatic_prune = false;
   if (s.pre_fixed != nullptr) {
     options.kernel_config.fixed.insert(s.pre_fixed);
   }
@@ -153,14 +155,15 @@ bool RunStaticPruneArm() {
     total_bugs_on += static_cast<int>(on.bugs.size());
     total_bugs_off += static_cast<int>(off.bugs.size());
     total_generated += on.hint_stats.hints_generated;
-    total_pruned += on.hint_stats.hints_pruned;
+    total_pruned += on.hint_stats.hints_pruned_static;
     total_time_on += time_on;
     total_time_off += time_off;
     buggy_pairs.Add(on.hint_stats.pairs);
 
     std::printf("%-24s %-6zu %-6zu %-10llu %-10llu %-9.3f %-9.3f\n", s.name, on.bugs.size(),
                 off.bugs.size(), static_cast<unsigned long long>(on.hint_stats.hints_generated),
-                static_cast<unsigned long long>(on.hint_stats.hints_pruned), time_on, time_off);
+                static_cast<unsigned long long>(on.hint_stats.hints_pruned_static), time_on,
+                time_off);
     if (json != nullptr) {
       std::fprintf(json,
                    "    {\"name\": \"%s\", \"bugs_with_prune\": %zu, \"bugs_without_prune\": %zu, "
@@ -169,7 +172,7 @@ bool RunStaticPruneArm() {
                    "\"wall_s_with_prune\": %.4f, \"wall_s_without_prune\": %.4f}%s\n",
                    s.name, on.bugs.size(), off.bugs.size(),
                    static_cast<unsigned long long>(on.hint_stats.hints_generated),
-                   static_cast<unsigned long long>(on.hint_stats.hints_pruned),
+                   static_cast<unsigned long long>(on.hint_stats.hints_pruned_static),
                    static_cast<unsigned long long>(on.hint_stats.pairs.candidates()),
                    static_cast<unsigned long long>(on.hint_stats.pairs.proven()), time_on,
                    time_off, i + 1 < count ? "," : "");

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# CI gate for the axiomatic witness engine.
+#
+# 1. Buggy form: for every seed subsystem, `ozz_analyze --json` must report at
+#    least as many witnessed pairs as ci/witnessed_baseline.txt — a drop means
+#    the engine stopped seeing a reordering it used to prove reachable.
+# 2. Fixed form: the fully-patched watch_queue must witness ZERO pairs — a
+#    nonzero count means the engine claims a reachable inversion in code whose
+#    documented barriers are all present (an unsoundness, not a regression).
+#
+# Usage: ci/check_witnessed.sh [ANALYZE_BINARY]
+#        ci/check_witnessed.sh --print-current [ANALYZE_BINARY]
+set -u
+
+print_current=0
+if [ "${1:-}" = "--print-current" ]; then
+  print_current=1
+  shift
+fi
+analyze="${1:-./build/tools/ozz_analyze}"
+baseline="$(dirname "$0")/witnessed_baseline.txt"
+
+if [ ! -x "$analyze" ]; then
+  echo "check_witnessed: analyze binary not found: $analyze" >&2
+  exit 2
+fi
+
+witnessed() {
+  # args: subsystem [extra flags...]
+  "$analyze" --json "$@" | python3 -c \
+    'import json,sys; print(json.load(sys.stdin)["totals"]["witnessed_pairs"])'
+}
+
+fail=0
+while read -r subsys floor flags; do
+  case "$subsys" in ''|'#'*) continue ;; esac
+  # shellcheck disable=SC2086  # flags are whitespace-separated options
+  got=$(witnessed "$subsys" $flags) || { echo "FAIL $subsys: ozz_analyze errored"; fail=1; continue; }
+  if [ "$print_current" = 1 ]; then
+    echo "$subsys $got $flags"
+    continue
+  fi
+  if [ "$got" -lt "$floor" ]; then
+    echo "FAIL $subsys: witnessed_pairs $got < baseline $floor"
+    fail=1
+  else
+    echo "ok   $subsys: witnessed_pairs $got (baseline $floor)"
+  fi
+done < "$baseline"
+
+if [ "$print_current" = 1 ]; then
+  exit 0
+fi
+
+# Fixed-form soundness: all documented barriers present => nothing witnessed.
+fixed=$(witnessed watch_queue --fixed watch_queue.wmb --fixed watch_queue.rmb) || fixed=ERR
+if [ "$fixed" != "0" ]; then
+  echo "FAIL watch_queue(fixed): witnessed_pairs $fixed != 0 — engine witnesses an inversion through the documented barriers"
+  fail=1
+else
+  echo "ok   watch_queue(fixed): witnessed_pairs 0"
+fi
+
+exit "$fail"

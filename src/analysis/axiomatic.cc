@@ -1,0 +1,512 @@
+#include "src/analysis/axiomatic.h"
+
+#include <algorithm>
+
+namespace ozz::analysis {
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
+  return a < b + bsz && b < a + asz;
+}
+
+bool SameLoc(const AxEvent& a, const AxEvent& b) {
+  return a.addr == b.addr && a.size == b.size;
+}
+
+// All interleavings of `a` and `b` preserving both orders (the commit-order
+// candidates for one location: each thread's same-location stores commit in
+// program order, everything across threads is free). False when the count
+// exceeds `cap`.
+bool GenMerges(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b,
+               u64 cap, std::vector<std::vector<std::size_t>>* out) {
+  std::vector<std::size_t> cur;
+  cur.reserve(a.size() + b.size());
+  // Explicit stack of (ai, bi) frontiers to avoid recursion.
+  struct Frame {
+    std::size_t ai, bi;
+    int next = 0;  // 0: try a, 1: try b, 2: pop
+  };
+  std::vector<Frame> stack{{0, 0, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.ai == a.size() && f.bi == b.size()) {
+      if (out->size() >= cap) {
+        return false;
+      }
+      out->push_back(cur);
+      stack.pop_back();
+      if (!cur.empty()) {
+        cur.pop_back();
+      }
+      continue;
+    }
+    if (f.next == 0) {
+      f.next = 1;
+      if (f.ai < a.size()) {
+        cur.push_back(a[f.ai]);
+        stack.push_back({f.ai + 1, f.bi, 0});
+        continue;
+      }
+    }
+    if (f.next == 1) {
+      f.next = 2;
+      if (f.bi < b.size()) {
+        cur.push_back(b[f.bi]);
+        stack.push_back({f.ai, f.bi + 1, 0});
+        continue;
+      }
+    }
+    stack.pop_back();
+    if (!cur.empty()) {
+      cur.pop_back();
+    }
+  }
+  return true;
+}
+
+// Odometer step over mixed-radix digits; false once all combinations are
+// exhausted (and immediately for zero digits, which callers treat as a
+// single empty combination).
+template <typename SizeAt>
+bool Advance(std::vector<std::size_t>& sel, SizeAt size_at) {
+  for (std::size_t i = 0; i < sel.size(); i++) {
+    if (++sel[i] < size_at(i)) {
+      return true;
+    }
+    sel[i] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* AxVerdictName(AxVerdict v) {
+  switch (v) {
+    case AxVerdict::kWitnessed:
+      return "witnessed";
+    case AxVerdict::kRefutedExact:
+      return "refuted-exact";
+    case AxVerdict::kBoundedOut:
+      return "bounded-out";
+  }
+  return "?";
+}
+
+bool BuildSlice(const PairAnalysis& pa, std::size_t first, std::size_t second,
+                const AxOptions& opts, AxSlice* out, std::string* reason) {
+  const oemu::Trace& rt = pa.reorder_trace();
+  if (first >= second || second >= rt.size() || !rt[first].IsAccess() ||
+      !rt[second].IsAccess()) {
+    *reason = "pair indices are not a program-ordered access pair";
+    return false;
+  }
+  const oemu::Event& fe = rt[first];
+  const oemu::Event& se = rt[second];
+  const bool one_loc = fe.addr == se.addr && fe.size == se.size;
+  if (!one_loc && RangesOverlap(fe.addr, fe.size, se.addr, se.size)) {
+    // Partially overlapping locations couple their commit orders in ways the
+    // per-location enumeration does not model.
+    *reason = "pair locations partially overlap";
+    return false;
+  }
+
+  out->events.clear();
+  std::size_t first_slice = kNpos;
+  std::size_t second_slice = kNpos;
+  std::size_t accesses = 0;
+  auto admit = [&](const oemu::Event& e, int thread,
+                   const PairAnalysis* flags, std::size_t idx) -> int {
+    // -1: reject the slice, 0: skip the event, 1: admitted.
+    bool m = (e.addr == fe.addr && e.size == fe.size) ||
+             (e.addr == se.addr && e.size == se.size);
+    if (!m) {
+      if (RangesOverlap(e.addr, e.size, fe.addr, fe.size) ||
+          RangesOverlap(e.addr, e.size, se.addr, se.size)) {
+        *reason = "an access partially overlaps a pair location";
+        return -1;
+      }
+      return 0;
+    }
+    AxEvent a;
+    a.kind = e.IsStore() ? AxEvent::Kind::kStore : AxEvent::Kind::kLoad;
+    a.thread = thread;
+    a.addr = e.addr;
+    a.size = e.size;
+    a.instr = e.instr;
+    a.occurrence = e.occurrence;
+    if (flags != nullptr) {
+      a.undelayable = e.IsStore() && flags->StoreUndelayable(idx);
+      a.rmw_load = e.IsLoad() && flags->LoadUnversionable(idx);
+    }
+    out->events.push_back(a);
+    accesses++;
+    return 1;
+  };
+
+  for (std::size_t i = 0; i < rt.size(); i++) {
+    const oemu::Event& e = rt[i];
+    if (e.IsBarrier()) {
+      AxEvent b;
+      b.kind = AxEvent::Kind::kBarrier;
+      b.thread = 0;
+      b.instr = e.instr;
+      b.cls = oemu::ClassOf(e.barrier);
+      out->events.push_back(b);
+      continue;
+    }
+    if (!e.IsAccess()) {
+      continue;
+    }
+    int r = admit(e, 0, &pa, i);
+    if (r < 0) {
+      return false;
+    }
+    if (r > 0) {
+      if (i == first) {
+        first_slice = out->events.size() - 1;
+      }
+      if (i == second) {
+        second_slice = out->events.size() - 1;
+      }
+    }
+  }
+  out->reorder_count = out->events.size();
+  for (const oemu::Event& e : pa.other_trace()) {
+    if (!e.IsAccess()) {
+      continue;  // observer barriers are subsumed by its po edges
+    }
+    if (admit(e, 1, nullptr, 0) < 0) {
+      return false;
+    }
+  }
+  const std::size_t nlocs = one_loc ? 1 : 2;
+  if (accesses > opts.max_events || accesses + nlocs > 64) {
+    *reason = "slice exceeds the event budget";
+    return false;
+  }
+  out->first = first_slice;
+  out->second = second_slice;
+  return true;
+}
+
+AxResult CheckSlice(const AxSlice& slice, const AxOptions& opts) {
+  AxResult res;
+  const std::vector<AxEvent>& ev = slice.events;
+  if (slice.first >= slice.second || slice.second >= slice.reorder_count ||
+      !ev[slice.first].IsAccess() || !ev[slice.second].IsAccess()) {
+    res.bound_reason = "malformed slice";
+    return res;
+  }
+
+  // Node assignment: access events in slice order, then one initial-value
+  // pseudo-store per location. Within a thread, node order is program order.
+  std::vector<std::size_t> node_of(ev.size(), kNpos);
+  std::vector<std::size_t> event_of;
+  for (std::size_t i = 0; i < ev.size(); i++) {
+    if (ev[i].IsAccess()) {
+      node_of[i] = event_of.size();
+      event_of.push_back(i);
+    }
+  }
+  const std::size_t n_acc = event_of.size();
+
+  struct LocInfo {
+    uptr addr = 0;
+    u32 size = 0;
+    std::vector<std::size_t> t0_stores;  // node ids, program order
+    std::vector<std::size_t> t1_stores;
+    std::vector<std::size_t> accesses;  // node ids, both threads
+  };
+  std::vector<LocInfo> locs;
+  std::vector<std::size_t> loc_of(n_acc, 0);
+  for (std::size_t v = 0; v < n_acc; v++) {
+    const AxEvent& a = ev[event_of[v]];
+    std::size_t k = 0;
+    for (; k < locs.size(); k++) {
+      if (locs[k].addr == a.addr && locs[k].size == a.size) {
+        break;
+      }
+    }
+    if (k == locs.size()) {
+      locs.push_back({a.addr, a.size, {}, {}, {}});
+    }
+    loc_of[v] = k;
+    locs[k].accesses.push_back(v);
+    if (a.IsStore()) {
+      (a.thread == 0 ? locs[k].t0_stores : locs[k].t1_stores).push_back(v);
+    }
+  }
+  const std::size_t nlocs = locs.size();
+  const std::size_t n = n_acc + nlocs;
+  if (n > 64) {
+    res.bound_reason = "slice exceeds the graph node budget";
+    return res;
+  }
+  auto init_node = [&](std::size_t k) { return n_acc + k; };
+
+  u64 obs_mask = 0;
+  for (std::size_t v = 0; v < n_acc; v++) {
+    if (ev[event_of[v]].thread == 1) {
+      obs_mask |= u64{1} << v;
+    }
+  }
+  if (obs_mask == 0) {
+    // No observer access touches either location: nothing can see the
+    // inversion, and the enumeration below could only confirm that.
+    res.verdict = AxVerdict::kRefutedExact;
+    return res;
+  }
+
+  // Barrier scans over reorder-side slice positions (a, b) exclusive.
+  auto has_bar = [&](std::size_t a, std::size_t b, bool stores) {
+    for (std::size_t k = a + 1; k < b; k++) {
+      if (ev[k].kind == AxEvent::Kind::kBarrier &&
+          (stores ? ev[k].cls.orders_stores : ev[k].cls.orders_loads)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // store->load ppo: the store must be flushed (store-ordering barrier at p)
+  // AND the load's versioning window closed after the flush (load-ordering
+  // barrier at q >= p, or an RMW load, which reads memory directly). A flush
+  // alone does not help: a versioned load can still rewind below it (that is
+  // why smp_wmb() does not fix SB).
+  auto store_load_ordered = [&](std::size_t a, std::size_t b, bool rmw) {
+    for (std::size_t p = a + 1; p < b; p++) {
+      if (ev[p].kind != AxEvent::Kind::kBarrier || !ev[p].cls.orders_stores) {
+        continue;
+      }
+      if (rmw) {
+        return true;
+      }
+      for (std::size_t q = p; q < b; q++) {
+        if (ev[q].kind == AxEvent::Kind::kBarrier && ev[q].cls.orders_loads) {
+          return true;
+        }
+      }
+      return false;  // later flushes only see fewer trailing barriers
+    }
+    return false;
+  };
+
+  // Static part of the global time graph: reorder-side ppo + observer po.
+  TimeGraph base(n);
+  for (std::size_t pi = 0; pi < slice.reorder_count; pi++) {
+    if (!ev[pi].IsAccess()) {
+      continue;
+    }
+    for (std::size_t pj = pi + 1; pj < slice.reorder_count; pj++) {
+      if (!ev[pj].IsAccess()) {
+        continue;
+      }
+      const AxEvent& a = ev[pi];
+      const AxEvent& b = ev[pj];
+      bool edge = false;
+      if (a.IsLoad() && b.IsStore()) {
+        edge = true;  // loads are never delayed (§10.1 Case 7)
+      } else if (a.IsStore() && b.IsStore()) {
+        edge = SameLoc(a, b) || has_bar(pi, pj, /*stores=*/true) || a.undelayable;
+      } else if (a.IsLoad() && b.IsLoad()) {
+        // Same-location loads get no *global* edge: their effective read
+        // times can coincide; the per-location check owns their ordering.
+        edge = !SameLoc(a, b) && (has_bar(pi, pj, /*stores=*/false) || b.rmw_load);
+      } else {
+        edge = store_load_ordered(pi, pj, b.rmw_load);
+      }
+      if (edge) {
+        base.AddEdge(node_of[pi], node_of[pj]);
+      }
+    }
+  }
+  {
+    std::size_t prev = kNpos;
+    for (std::size_t v = 0; v < n_acc; v++) {
+      if (ev[event_of[v]].thread != 1) {
+        continue;
+      }
+      if (prev != kNpos) {
+        base.AddEdge(prev, v);  // observer runs spec-free, full po
+      }
+      prev = v;
+    }
+  }
+
+  // Commit-order candidates per location.
+  std::vector<std::vector<std::vector<std::size_t>>> merges(nlocs);
+  for (std::size_t k = 0; k < nlocs; k++) {
+    if (!GenMerges(locs[k].t0_stores, locs[k].t1_stores, opts.max_co_merges,
+                   &merges[k])) {
+      res.bound_reason = "commit-order interleavings exceed the budget";
+      return res;
+    }
+  }
+
+  // Read-from candidates per load: the initial value or any same-location
+  // store of either thread; consistency checks reject the impossible ones.
+  std::vector<std::size_t> loads;
+  std::vector<std::vector<std::size_t>> rf_opts;
+  for (std::size_t v = 0; v < n_acc; v++) {
+    if (!ev[event_of[v]].IsLoad()) {
+      continue;
+    }
+    loads.push_back(v);
+    std::vector<std::size_t> w;
+    w.push_back(init_node(loc_of[v]));
+    const LocInfo& L = locs[loc_of[v]];
+    w.insert(w.end(), L.t0_stores.begin(), L.t0_stores.end());
+    w.insert(w.end(), L.t1_stores.begin(), L.t1_stores.end());
+    rf_opts.push_back(std::move(w));
+  }
+
+  auto step_of = [&](std::size_t v) {
+    WitnessStep s;
+    if (v >= n_acc) {
+      s.thread = -1;
+      s.is_store = true;
+      s.addr = locs[v - n_acc].addr;
+      return s;
+    }
+    const AxEvent& a = ev[event_of[v]];
+    s.thread = a.thread;
+    s.is_store = a.IsStore();
+    s.instr = a.instr;
+    s.occurrence = a.occurrence;
+    s.addr = a.addr;
+    return s;
+  };
+
+  const std::size_t src = node_of[slice.second];
+  const std::size_t dst = node_of[slice.first];
+  u64 cand = 0;
+  std::vector<std::size_t> msel(nlocs, 0);
+  std::vector<std::size_t> rsel(loads.size(), 0);
+  std::vector<std::size_t> co_next(n, kNpos);
+  do {
+    // Fix the commit order; rebuild the co successor map and co chain.
+    TimeGraph cog = base;
+    std::fill(co_next.begin(), co_next.end(), kNpos);
+    for (std::size_t k = 0; k < nlocs; k++) {
+      std::size_t prev = init_node(k);
+      for (std::size_t s : merges[k][msel[k]]) {
+        cog.AddEdge(prev, s);
+        co_next[prev] = s;
+        prev = s;
+      }
+    }
+    std::fill(rsel.begin(), rsel.end(), 0);
+    do {
+      if (++cand > opts.max_executions) {
+        res.candidates = cand - 1;
+        res.bound_reason = "execution budget exceeded";
+        return res;
+      }
+      TimeGraph g = cog;
+      for (std::size_t li = 0; li < loads.size(); li++) {
+        std::size_t l = loads[li];
+        std::size_t w = rf_opts[li][rsel[li]];
+        // rf: internal rf adds no global-time edge (store forwarding lets
+        // the load run before its own store commits); init and external
+        // writers do.
+        bool internal = w < n_acc && ev[event_of[w]].thread == ev[event_of[l]].thread;
+        if (!internal) {
+          g.AddEdge(w, l);
+        }
+        if (co_next[w] != kNpos) {
+          g.AddEdge(l, co_next[w]);  // fr (the co chain carries it onward)
+        }
+      }
+      bool ok = !g.HasCycle();
+      // SC per location: po-loc ∪ rf ∪ co ∪ fr acyclic, internal rf
+      // included (the read floor and in-order drain make OEMU sequentially
+      // consistent per location).
+      for (std::size_t k = 0; ok && k < nlocs; k++) {
+        const LocInfo& L = locs[k];
+        std::vector<std::size_t> local(n, kNpos);
+        for (std::size_t x = 0; x < L.accesses.size(); x++) {
+          local[L.accesses[x]] = x;
+        }
+        const std::size_t linit = L.accesses.size();
+        local[init_node(k)] = linit;
+        TimeGraph pl(linit + 1);
+        for (int t = 0; t < 2; t++) {
+          std::size_t prev = kNpos;
+          for (std::size_t v : L.accesses) {
+            if (ev[event_of[v]].thread != t) {
+              continue;
+            }
+            if (prev != kNpos) {
+              pl.AddEdge(local[prev], local[v]);
+            }
+            prev = v;
+          }
+        }
+        {
+          std::size_t prev = init_node(k);
+          for (std::size_t s : merges[k][msel[k]]) {
+            pl.AddEdge(local[prev], local[s]);
+            prev = s;
+          }
+        }
+        for (std::size_t li = 0; li < loads.size(); li++) {
+          if (loc_of[loads[li]] != k) {
+            continue;
+          }
+          std::size_t w = rf_opts[li][rsel[li]];
+          pl.AddEdge(local[w], local[loads[li]]);
+          if (co_next[w] != kNpos) {
+            pl.AddEdge(local[loads[li]], local[co_next[w]]);
+          }
+        }
+        ok = !pl.HasCycle();
+      }
+      if (!ok) {
+        continue;
+      }
+      res.executions++;
+      std::vector<std::size_t> path = g.PathThrough(src, dst, obs_mask);
+      if (path.empty()) {
+        continue;
+      }
+      res.verdict = AxVerdict::kWitnessed;
+      res.candidates = cand;
+      for (std::size_t v : path) {
+        res.witness.chain.push_back(step_of(v));
+        if (v < n_acc && ev[event_of[v]].thread == 1) {
+          res.witness.observer_read = step_of(v);
+        }
+      }
+      for (std::size_t v : g.TopoOrder()) {
+        res.witness.linearization.push_back(step_of(v));
+      }
+      return res;
+    } while (Advance(rsel, [&](std::size_t i) { return rf_opts[i].size(); }));
+  } while (Advance(msel, [&](std::size_t k) { return merges[k].size(); }));
+
+  res.verdict = AxVerdict::kRefutedExact;
+  res.candidates = cand;
+  return res;
+}
+
+AxResult CheckPair(const PairAnalysis& pa, const AccessKey& first,
+                   const AccessKey& second, const AxOptions& opts) {
+  AxResult res;
+  std::ptrdiff_t fi = pa.EventIndexOf(first);
+  std::ptrdiff_t si = pa.EventIndexOf(second);
+  if (fi < 0 || si < 0 || fi >= si) {
+    res.bound_reason = "pair is not a program-ordered access pair of the profile";
+    return res;
+  }
+  AxSlice slice;
+  std::string reason;
+  if (!BuildSlice(pa, static_cast<std::size_t>(fi), static_cast<std::size_t>(si),
+                  opts, &slice, &reason)) {
+    res.bound_reason = reason;
+    return res;
+  }
+  return CheckSlice(slice, opts);
+}
+
+}  // namespace ozz::analysis

@@ -1,0 +1,100 @@
+// Bounded axiomatic model checker for candidate reorder pairs (§4.3 of the
+// paper, plus Joshi & Kroening-style reorder-bounded enumeration).
+//
+// The static analyzer (src/analysis/ordering.h) discharges pairs that
+// provably cannot reorder. This layer decides the pairs that survive: it
+// enumerates every execution the emulated weak model permits over the pair's
+// two locations and classifies the pair as
+//
+//   kWitnessed     some permitted execution makes the po-later access take
+//                  effect before the po-earlier one AND routes that fact
+//                  through the observer thread (a global-time chain
+//                  second -> ... -> observer -> ... -> first), so a
+//                  concurrent syscall can see the inversion. The minimal
+//                  such chain is returned as the witness.
+//   kRefutedExact  the full execution space was enumerated and no such
+//                  execution exists. Sound to prune: the dynamic test cannot
+//                  observe anything.
+//   kBoundedOut    the slice or its execution space exceeded the budget.
+//                  Never pruned.
+//
+// Execution space: writes to each location commit in an interleaving of the
+// two threads' per-location program orders (the store buffer drains each
+// location FIFO; observer stores commit at execution) — that set is the co
+// candidates. Every load may read from any same-location store of either
+// thread or the initial value — the rf candidates. A candidate (co, rf)
+// assignment is an execution; it is *consistent* when
+//
+//   (a) per location, po-loc ∪ rf ∪ co ∪ fr is acyclic (SC-per-location:
+//       the per-location read floor and in-order buffer drain make OEMU
+//       exactly sequentially consistent per location), and
+//   (b) the global time graph is acyclic, where edges assert "takes effect
+//       earlier": preserved-program-order edges on the reorder side (the
+//       seven prohibition cases of src/lkmm/checker.cc, re-derived over the
+//       slice: load->store always; store->store on coherence, store-ordering
+//       barriers or undelayable stores; load->load on load-ordering barriers
+//       or RMW loads; store->load only behind a store-ordering barrier that
+//       is itself followed by a load-ordering barrier before the load), full
+//       program order on the observer side (it runs spec-free), co, fr, and
+//       external rf. Internal rf is excluded globally: store forwarding lets
+//       a load read its own thread's store before that store commits.
+//
+// Every possible cycle in these graphs contains at least one strict edge
+// (only rf is non-strict, and no cycle can consist of rf edges alone), so
+// plain cycle detection neither over- nor under-rejects. Where the model is
+// deliberately more permissive than the runtime (every store may delay and
+// every load may version regardless of the hint's spec; the cross-location
+// versioning-window coupling and locksets are ignored), the extra executions
+// can only turn refutations into witnesses — pruning stays sound. The
+// tests/axiomatic_test.cc property test cross-validates refutations against
+// brute-force runtime enumeration.
+#ifndef OZZ_SRC_ANALYSIS_AXIOMATIC_H_
+#define OZZ_SRC_ANALYSIS_AXIOMATIC_H_
+
+#include <string>
+
+#include "src/analysis/ordering.h"
+#include "src/analysis/witness.h"
+
+namespace ozz::analysis {
+
+enum class AxVerdict : u8 { kWitnessed, kRefutedExact, kBoundedOut };
+
+const char* AxVerdictName(AxVerdict v);
+
+struct AxOptions {
+  // Candidate executions ((co merge) x (rf assignment) combinations) to
+  // examine before giving up.
+  u64 max_executions = u64{1} << 14;
+  // Commit-order interleavings generated per location before giving up.
+  u64 max_co_merges = 4096;
+  // Access events admitted into a slice (graph nodes are capped at 64 by the
+  // bitset adjacency; the budget usually binds first anyway).
+  std::size_t max_events = 48;
+};
+
+struct AxResult {
+  AxVerdict verdict = AxVerdict::kBoundedOut;
+  Witness witness;           // populated iff verdict == kWitnessed
+  u64 candidates = 0;        // candidate executions enumerated
+  u64 executions = 0;        // of those, consistent ones
+  std::string bound_reason;  // populated iff verdict == kBoundedOut
+};
+
+// Projects the analyzed pair of traces onto the two locations of the access
+// pair (reorder-trace event indices). False with *reason set when the slice
+// cannot be built exactly (partial overlaps, too many events) — callers must
+// treat that as bounded-out.
+bool BuildSlice(const PairAnalysis& pa, std::size_t first, std::size_t second,
+                const AxOptions& opts, AxSlice* out, std::string* reason);
+
+// Enumerates and classifies a slice.
+AxResult CheckSlice(const AxSlice& slice, const AxOptions& opts);
+
+// Convenience: resolve the pair by dynamic identity, build the slice, check.
+AxResult CheckPair(const PairAnalysis& pa, const AccessKey& first,
+                   const AccessKey& second, const AxOptions& opts);
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_AXIOMATIC_H_

@@ -1,0 +1,129 @@
+#include "src/analysis/fence_synth.h"
+
+#include "src/oemu/instr.h"
+
+namespace ozz::analysis {
+namespace {
+
+AxSlice WithBarrierAt(const AxSlice& s, std::size_t pos, oemu::BarrierClass cls,
+                      bool undelayable_second = false) {
+  AxSlice m = s;
+  AxEvent b;
+  b.kind = AxEvent::Kind::kBarrier;
+  b.thread = 0;
+  b.cls = cls;
+  m.events.insert(m.events.begin() + static_cast<std::ptrdiff_t>(pos), b);
+  m.reorder_count++;
+  if (pos <= m.first) {
+    m.first++;
+  }
+  if (pos <= m.second) {
+    m.second++;
+  }
+  if (undelayable_second) {
+    m.events[m.second].undelayable = true;
+  }
+  return m;
+}
+
+std::size_t AccessBefore(const AxSlice& s, std::size_t pos) {
+  std::size_t k = pos;
+  while (k > 0 && !s.events[k - 1].IsAccess()) {
+    k--;
+  }
+  return k - 1;  // callers guarantee an access exists below pos
+}
+
+std::size_t AccessAtOrAfter(const AxSlice& s, std::size_t pos) {
+  std::size_t k = pos;
+  while (!s.events[k].IsAccess()) {
+    k++;
+  }
+  return k;
+}
+
+}  // namespace
+
+const char* FenceName(FenceKind k) {
+  switch (k) {
+    case FenceKind::kWmb:
+      return "smp_wmb";
+    case FenceKind::kRmb:
+      return "smp_rmb";
+    case FenceKind::kRelease:
+      return "smp_store_release";
+    case FenceKind::kAcquire:
+      return "smp_load_acquire";
+    case FenceKind::kMb:
+      return "smp_mb";
+  }
+  return "?";
+}
+
+std::string FenceSuggestion::ToString() const {
+  if (!found) {
+    return "no fence found";
+  }
+  std::string a = oemu::InstrRegistry::Describe(after_instr);
+  std::string b = oemu::InstrRegistry::Describe(before_instr);
+  switch (kind) {
+    case FenceKind::kRelease:
+      return "upgrade " + b + " to smp_store_release()";
+    case FenceKind::kAcquire:
+      return "upgrade " + a + " to smp_load_acquire()";
+    default:
+      return std::string("insert ") + FenceName(kind) + "() between " + a +
+             " and " + b;
+  }
+}
+
+FenceSuggestion SynthesizeFence(const AxSlice& slice, const AxOptions& opts) {
+  FenceSuggestion out;
+  auto fill = [&](FenceKind kind, std::size_t after_ev, std::size_t before_ev) {
+    out.found = true;
+    out.kind = kind;
+    out.after_instr = slice.events[after_ev].instr;
+    out.after_occurrence = slice.events[after_ev].occurrence;
+    out.before_instr = slice.events[before_ev].instr;
+    out.before_occurrence = slice.events[before_ev].occurrence;
+  };
+  auto refutes = [&](const AxSlice& m) {
+    return CheckSlice(m, opts).verdict == AxVerdict::kRefutedExact;
+  };
+
+  // Standalone barriers, every insertion point of the po interval.
+  auto try_barrier = [&](FenceKind kind, oemu::BarrierClass cls) {
+    for (std::size_t p = slice.first + 1; p <= slice.second; p++) {
+      if (!refutes(WithBarrierAt(slice, p, cls))) {
+        continue;
+      }
+      fill(kind, AccessBefore(slice, p), AccessAtOrAfter(slice, p));
+      return true;
+    }
+    return false;
+  };
+
+  if (try_barrier(FenceKind::kWmb, {/*orders_stores=*/true, /*orders_loads=*/false})) {
+    return out;
+  }
+  if (try_barrier(FenceKind::kRmb, {/*orders_stores=*/false, /*orders_loads=*/true})) {
+    return out;
+  }
+  if (slice.events[slice.second].IsStore() &&
+      refutes(WithBarrierAt(slice, slice.second, {true, false},
+                            /*undelayable_second=*/true))) {
+    fill(FenceKind::kRelease, AccessBefore(slice, slice.second), slice.second);
+    return out;
+  }
+  if (slice.events[slice.first].IsLoad() &&
+      refutes(WithBarrierAt(slice, slice.first + 1, {false, true}))) {
+    fill(FenceKind::kAcquire, slice.first, AccessAtOrAfter(slice, slice.first + 1));
+    return out;
+  }
+  if (try_barrier(FenceKind::kMb, {/*orders_stores=*/true, /*orders_loads=*/true})) {
+    return out;
+  }
+  return out;
+}
+
+}  // namespace ozz::analysis

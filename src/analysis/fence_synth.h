@@ -1,0 +1,47 @@
+// Minimal fence synthesis for witnessed pairs (src/analysis/axiomatic.h).
+//
+// Given a slice whose pair was classified witnessed, search the program-order
+// interval between the two accesses for the cheapest repair that turns the
+// verdict into refuted-exact, i.e. forbids every witness execution. The cost
+// order follows the strength (and typical kernel cost) of the primitives:
+//
+//   smp_wmb() < smp_rmb() < smp_store_release() upgrade
+//             < smp_load_acquire() upgrade < smp_mb()
+//
+// Standalone barriers are tried at every insertion point of the interval
+// (left to right); the release upgrade makes the po-later store a release
+// store (flush before it plus undelayable), the acquire upgrade makes the
+// po-earlier load an acquire load (window advance right after it). The first
+// candidate whose re-check refutes exactly wins; a bounded-out re-check is a
+// failed candidate, not a repair.
+#ifndef OZZ_SRC_ANALYSIS_FENCE_SYNTH_H_
+#define OZZ_SRC_ANALYSIS_FENCE_SYNTH_H_
+
+#include <string>
+
+#include "src/analysis/axiomatic.h"
+
+namespace ozz::analysis {
+
+enum class FenceKind : u8 { kWmb, kRmb, kRelease, kAcquire, kMb };
+
+const char* FenceName(FenceKind k);
+
+struct FenceSuggestion {
+  bool found = false;
+  FenceKind kind = FenceKind::kMb;
+  // The reorder-side accesses the repair goes between (for the upgrades, the
+  // upgraded access itself is `before` / `after` respectively).
+  InstrId after_instr = kInvalidInstr;
+  u32 after_occurrence = 1;
+  InstrId before_instr = kInvalidInstr;
+  u32 before_occurrence = 1;
+
+  std::string ToString() const;
+};
+
+FenceSuggestion SynthesizeFence(const AxSlice& slice, const AxOptions& opts);
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_FENCE_SYNTH_H_

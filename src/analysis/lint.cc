@@ -216,6 +216,43 @@ std::vector<LintFinding> LintSource(const std::string& path, const std::string& 
           "declare a Cell<> or annotate with `ozz-lint: allow-atomic`"});
     }
 
+    // naked-barrier: a kernel barrier spelling called directly instead of
+    // through its OSK_* wrapper. Such a barrier is invisible to OEMU (no
+    // buffer drain, no window advance), so the emulated model silently keeps
+    // reordering across it — and the axiomatic engine's barrier edges would
+    // disagree with the code's intent.
+    if (!Suppressed(lines, i, "ozz-lint: allow-barrier")) {
+      static const char* kNakedBarriers[] = {
+          "smp_mb",  "smp_wmb",  "smp_rmb",  "smp_store_release", "smp_load_acquire",
+          "smp_mb__before_atomic", "smp_mb__after_atomic", "atomic_thread_fence",
+          "__sync_synchronize",
+      };
+      std::string stripped_for_barriers = StripStrings(line);
+      std::size_t bcomment = stripped_for_barriers.find("//");
+      if (bcomment != std::string::npos) {
+        stripped_for_barriers.resize(bcomment);
+      }
+      for (const char* b : kNakedBarriers) {
+        bool hit = false;
+        for (std::size_t pos : WordOccurrences(stripped_for_barriers, b)) {
+          std::size_t after = pos + std::string(b).size();
+          if (after < stripped_for_barriers.size() && stripped_for_barriers[after] == '(') {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) {
+          findings.push_back(LintFinding{
+              path, lineno, "naked-barrier",
+              std::string("barrier `") + b +
+                  "()` called outside the OSK_* instrumentation; OEMU cannot see it, so "
+                  "emulated reordering ignores it (use the OSK_* barrier macro or annotate "
+                  "with `ozz-lint: allow-barrier`)"});
+          break;  // one naked-barrier finding per line is enough
+        }
+      }
+    }
+
     // direct-access: a Cell identifier on a line with no OSK_ macro and no
     // raw()/address() call (those are raw-accessor's domain).
     if (Contains(line, "OSK_") || Contains(line, "Cell<") ||

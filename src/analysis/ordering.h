@@ -113,6 +113,19 @@ class PairAnalysis {
   // touches with at least one store (the FilterShared sharing rule).
   bool IsShared(std::size_t idx) const;
 
+  // Per-event facts for downstream analyses (the axiomatic engine rebuilds
+  // ppo edges from them). `idx` is a reorder-trace event index.
+  bool StoreUndelayable(std::size_t idx) const {
+    return idx < undelayable_.size() && undelayable_[idx] != 0;
+  }
+  bool LoadUnversionable(std::size_t idx) const {
+    return idx < unversionable_.size() && unversionable_[idx] != 0;
+  }
+
+  // Reorder-trace event index of the access with this dynamic identity, or
+  // -1 when it never executed in the profile.
+  std::ptrdiff_t EventIndexOf(const AccessKey& key) const { return IndexOf(key); }
+
   const oemu::Trace& reorder_trace() const { return *reorder_; }
   const oemu::Trace& other_trace() const { return *other_; }
   const std::vector<CriticalSection>& sections() const { return sections_; }

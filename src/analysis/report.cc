@@ -57,6 +57,8 @@ std::vector<RankedPair> RankUnorderedPairs(const PairAnalysis& analysis, std::si
       RankedPair p;
       p.first = t[i].instr;
       p.second = t[j].instr;
+      p.first_idx = i;
+      p.second_idx = j;
       p.type = stores ? oemu::AccessType::kStore : oemu::AccessType::kLoad;
       // Inversion witnesses: observer touches second's range, then later
       // first's range — the pattern that observes the reordering.

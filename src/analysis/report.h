@@ -24,6 +24,10 @@ struct RankedPair {
   oemu::AccessType type = oemu::AccessType::kStore;  // store-store / load-load
   u64 inversions = 0;  // observer witnesses touching second's range first
   u64 conflicts = 0;   // observer accesses conflicting with either range
+  // Representative reorder-trace event indices of the strongest dynamic
+  // instance — the axiomatic engine (BuildSlice/CheckSlice) takes these.
+  std::size_t first_idx = 0;
+  std::size_t second_idx = 0;
 };
 
 // Unproven disjoint-range pairs, deduplicated by call-site pair and sorted

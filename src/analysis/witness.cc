@@ -1,0 +1,134 @@
+#include "src/analysis/witness.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "src/oemu/instr.h"
+
+namespace ozz::analysis {
+
+bool TimeGraph::HasCycle() const {
+  // Kahn's algorithm: a cycle exists iff peeling zero-in-degree nodes stalls.
+  std::vector<u32> indeg(n_, 0);
+  for (std::size_t i = 0; i < n_; i++) {
+    u64 m = adj_[i];
+    while (m) {
+      indeg[std::countr_zero(m)]++;
+      m &= m - 1;
+    }
+  }
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < n_; i++)
+    if (indeg[i] == 0) stack.push_back(i);
+  std::size_t removed = 0;
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    removed++;
+    u64 m = adj_[v];
+    while (m) {
+      std::size_t w = std::countr_zero(m);
+      m &= m - 1;
+      if (--indeg[w] == 0) stack.push_back(w);
+    }
+  }
+  return removed != n_;
+}
+
+std::vector<std::size_t> TimeGraph::PathThrough(std::size_t src, std::size_t dst,
+                                                u64 via_mask) const {
+  // BFS over (node, visited-a-via-node) states; shortest paths first, so the
+  // first hit on (dst, true) is a minimal witness chain.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  struct State {
+    std::size_t node;
+    bool via;
+  };
+  // parent[flag][node]: predecessor state, flattened as node * 2 + flag.
+  std::vector<std::size_t> parent(n_ * 2, kNone);
+  std::vector<u8> seen(n_ * 2, 0);
+  std::vector<State> queue;
+  bool src_via = (via_mask >> src) & 1;
+  seen[src * 2 + src_via] = 1;
+  queue.push_back({src, src_via});
+  for (std::size_t head = 0; head < queue.size(); head++) {
+    State s = queue[head];
+    if (s.node == dst && s.via) {
+      std::vector<std::size_t> path;
+      std::size_t cur = s.node * 2 + s.via;
+      while (cur != kNone) {
+        path.push_back(cur / 2);
+        cur = parent[cur];
+      }
+      // Built dst -> src; reverse into src -> dst order.
+      for (std::size_t i = 0, j = path.size() - 1; i < j; i++, j--)
+        std::swap(path[i], path[j]);
+      return path;
+    }
+    u64 m = adj_[s.node];
+    while (m) {
+      std::size_t w = std::countr_zero(m);
+      m &= m - 1;
+      bool via = s.via || ((via_mask >> w) & 1);
+      if (!seen[w * 2 + via]) {
+        seen[w * 2 + via] = 1;
+        parent[w * 2 + via] = s.node * 2 + s.via;
+        queue.push_back({w, via});
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<std::size_t> TimeGraph::TopoOrder() const {
+  std::vector<u32> indeg(n_, 0);
+  for (std::size_t i = 0; i < n_; i++) {
+    u64 m = adj_[i];
+    while (m) {
+      indeg[std::countr_zero(m)]++;
+      m &= m - 1;
+    }
+  }
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < n_; i++)
+    if (indeg[i] == 0) stack.push_back(i);
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    u64 m = adj_[v];
+    while (m) {
+      std::size_t w = std::countr_zero(m);
+      m &= m - 1;
+      if (--indeg[w] == 0) stack.push_back(w);
+    }
+  }
+  return order;
+}
+
+std::string WitnessStep::ToString() const {
+  char buf[64];
+  if (thread < 0) {
+    std::snprintf(buf, sizeof(buf), "init@%#zx", static_cast<std::size_t>(addr));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "T%d %s#%u @%#zx ", thread,
+                is_store ? "store" : "load", occurrence,
+                static_cast<std::size_t>(addr));
+  return std::string(buf) + oemu::InstrRegistry::Describe(instr);
+}
+
+std::string Witness::ToString() const {
+  std::string out = "inversion chain: ";
+  for (std::size_t i = 0; i < chain.size(); i++) {
+    if (i) out += " -> ";
+    out += chain[i].ToString();
+  }
+  out += "\n  observed by: " + observer_read.ToString();
+  out += "\n  linearization:";
+  for (const WitnessStep& s : linearization) out += "\n    " + s.ToString();
+  return out;
+}
+
+}  // namespace ozz::analysis

@@ -1,0 +1,112 @@
+// Execution-graph machinery for the axiomatic witness engine (src/analysis/
+// axiomatic.h): the two-thread pair slice the engine enumerates over, the
+// time graph used for consistency checking, and the witness structure a
+// successful enumeration returns.
+//
+// A *slice* is the projection of one profiled syscall pair onto the two
+// locations of a candidate access pair: every access of either trace that
+// touches exactly one of the two ranges, plus every reorder-side barrier
+// event (explicit barriers and the implied barriers the runtime records for
+// annotated loads, release stores and ordered RMWs). The observer side keeps
+// no barriers — MTI reorder specs only ever apply to the reorder thread, so
+// the observer executes in program order and its po edges subsume any
+// barrier.
+//
+// A *time graph* relates events by "happens at an earlier global time",
+// where a store's time is its commit and a load's time is its effective
+// read time (execution time, or the versioning-window rewind target for a
+// versioned load). Edges are only added when the emulated model (src/oemu/
+// runtime.cc) genuinely enforces the inequality, so a cycle is a
+// contradiction and the candidate execution is inconsistent.
+#ifndef OZZ_SRC_ANALYSIS_WITNESS_H_
+#define OZZ_SRC_ANALYSIS_WITNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/oemu/event.h"
+
+namespace ozz::analysis {
+
+// One event of a pair slice. Accesses become nodes of the execution graph;
+// barriers only contribute ppo edges.
+struct AxEvent {
+  enum class Kind : u8 { kLoad, kStore, kBarrier };
+  Kind kind = Kind::kLoad;
+  int thread = 0;  // 0 = reorder side, 1 = observer
+  uptr addr = 0;
+  u32 size = 0;
+  InstrId instr = kInvalidInstr;
+  u32 occurrence = 1;
+  oemu::BarrierClass cls;    // barriers: which reorderings it prevents
+  bool undelayable = false;  // stores: release store / ordered-RMW store
+  bool rmw_load = false;     // loads: RMW load, reads memory directly
+
+  bool IsAccess() const { return kind != Kind::kBarrier; }
+  bool IsStore() const { return kind == Kind::kStore; }
+  bool IsLoad() const { return kind == Kind::kLoad; }
+};
+
+// A candidate pair restricted to its two locations. Reorder-side events come
+// first (program order), then observer events (program order).
+struct AxSlice {
+  std::vector<AxEvent> events;
+  std::size_t reorder_count = 0;  // events[0, reorder_count) are thread 0
+  std::size_t first = 0;          // the tested pair (reorder side, po order)
+  std::size_t second = 0;
+};
+
+// Dense directed graph over at most 64 nodes with bitset adjacency; nodes
+// are slice accesses plus one initial-value pseudo-store per location.
+class TimeGraph {
+ public:
+  explicit TimeGraph(std::size_t n) : n_(n), adj_(n, 0) {}
+
+  void AddEdge(std::size_t from, std::size_t to) { adj_[from] |= u64{1} << to; }
+  bool HasEdge(std::size_t from, std::size_t to) const {
+    return (adj_[from] >> to) & 1;
+  }
+  std::size_t size() const { return n_; }
+
+  bool HasCycle() const;
+
+  // Shortest path from `src` to `dst` that visits at least one node of
+  // `via_mask`; empty when none exists.
+  std::vector<std::size_t> PathThrough(std::size_t src, std::size_t dst, u64 via_mask) const;
+
+  // A topological order (valid only when acyclic).
+  std::vector<std::size_t> TopoOrder() const;
+
+ private:
+  std::size_t n_;
+  std::vector<u64> adj_;
+};
+
+// One event of a witness execution, in reporting form.
+struct WitnessStep {
+  int thread = 0;  // -1 marks the initial-value pseudo-store
+  bool is_store = false;
+  InstrId instr = kInvalidInstr;
+  u32 occurrence = 1;
+  uptr addr = 0;
+
+  std::string ToString() const;
+};
+
+// A concrete execution exhibiting the inversion of the tested pair: the
+// po-later access takes effect before the po-earlier one, and the global
+// order routes that fact through the observer thread (the chain), so the
+// observer can see it. The chain is the shortest such route; `linearization`
+// is one full global-time order of the execution realizing it.
+struct Witness {
+  std::vector<WitnessStep> linearization;
+  std::vector<WitnessStep> chain;  // second -> ... -> first, through observer
+  WitnessStep observer_read;       // last observer event on the chain
+
+  std::string ToString() const;
+};
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_WITNESS_H_

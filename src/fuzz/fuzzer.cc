@@ -15,7 +15,12 @@ std::string CampaignToJson(const CampaignResult& result) {
   const HintStats& hs = result.hint_stats;
   os << "{\"mti_runs\":" << result.mti_runs << ",\"sti_runs\":" << result.sti_runs
      << ",\"corpus_size\":" << result.corpus_size << ",\"coverage\":" << result.coverage
-     << ",\"hints_generated\":" << hs.hints_generated << ",\"hints_pruned\":" << hs.hints_pruned
+     << ",\"hints_generated\":" << hs.hints_generated << ",\"hints_pruned\":" << hs.hints_pruned()
+     << ",\"hints_pruned_static\":" << hs.hints_pruned_static
+     << ",\"hints_pruned_axiomatic\":" << hs.hints_pruned_axiomatic
+     << ",\"pairs_witnessed\":" << hs.pairs_witnessed
+     << ",\"pairs_refuted\":" << hs.pairs_refuted
+     << ",\"pairs_bounded\":" << hs.pairs_bounded
      << ",\"pair_candidates\":" << hs.pairs.candidates()
      << ",\"pair_proven\":" << hs.pairs.proven() << ",\"bugs\":[";
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {

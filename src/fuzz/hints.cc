@@ -1,9 +1,14 @@
 #include "src/fuzz/hints.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <map>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "src/analysis/axiomatic.h"
 #include "src/oemu/instr.h"
 
 namespace ozz::fuzz {
@@ -35,6 +40,125 @@ bool HintProvenNoop(const analysis::PairAnalysis& pa, const SchedHint& h) {
     }
   }
   return !h.reorder.empty();
+}
+
+// Second-tier prune: bounded model checking of the reorder pairs the static
+// proofs left open. A delay-store spec moves the member's commit past every
+// access between it and the scheduling point (where the observer runs), and
+// a read-old spec moves the member's read up to the window start right
+// before the scheduling point — so a member is discharged only when EVERY
+// pair it forms across that interval is statically proven (tier 1 on) or
+// refuted exactly by the axiomatic engine. A bounded-out verdict never
+// discharges. Hints whose members are all discharged are dropped; hints
+// containing a witnessed pair are flagged so the sort schedules them first.
+// Verdicts are memoized per trace-index pair within one ComputeHints call —
+// hints of one group share most of their pairs.
+void PruneAxiomatic(const analysis::PairAnalysis& pa, const HintOptions& options,
+                    std::vector<SchedHint>* hints, HintStats* stats) {
+  analysis::AxOptions ax;
+  ax.max_executions = options.axiomatic_budget;
+  std::map<std::pair<std::size_t, std::size_t>, analysis::AxVerdict> memo;
+  auto check = [&](std::size_t fi, std::size_t si) {
+    auto [it, fresh] =
+        memo.try_emplace(std::make_pair(fi, si), analysis::AxVerdict::kBoundedOut);
+    if (fresh) {
+      analysis::AxSlice slice;
+      std::string reason;
+      if (analysis::BuildSlice(pa, fi, si, ax, &slice, &reason)) {
+        it->second = analysis::CheckSlice(slice, ax).verdict;
+      }
+      if (stats != nullptr) {
+        switch (it->second) {
+          case analysis::AxVerdict::kWitnessed:
+            stats->pairs_witnessed++;
+            break;
+          case analysis::AxVerdict::kRefutedExact:
+            stats->pairs_refuted++;
+            break;
+          case analysis::AxVerdict::kBoundedOut:
+            stats->pairs_bounded++;
+            break;
+        }
+      }
+    }
+    return it->second;
+  };
+
+  const oemu::Trace& trace = pa.reorder_trace();
+  std::size_t kept = 0;
+  std::size_t before = hints->size();
+  for (SchedHint& h : *hints) {
+    auto is_member = [&h](const oemu::Event& e) {
+      for (const DynAccess& m : h.reorder) {
+        if (m.instr == e.instr && m.occurrence == e.occurrence) {
+          return true;
+        }
+      }
+      return false;
+    };
+    bool all_discharged = !h.reorder.empty();
+    std::ptrdiff_t sched_idx = pa.EventIndexOf(ToKey(h.sched));
+    for (const DynAccess& m : h.reorder) {
+      std::ptrdiff_t member_idx = pa.EventIndexOf(ToKey(m));
+      bool discharged = member_idx >= 0 && sched_idx >= 0;
+      if (discharged) {
+        // po interval the member moves across: (member, sched] for the store
+        // test (delay), [sched, member) for the load test (read-old).
+        std::size_t lo = static_cast<std::size_t>(h.store_test ? member_idx : sched_idx);
+        std::size_t hi = static_cast<std::size_t>(h.store_test ? sched_idx : member_idx);
+        if (lo >= hi) {
+          discharged = false;  // inverted order: never prune
+        }
+        // Scan the whole interval even once discharge fails: a witnessed
+        // pair anywhere must still flag the hint for ranking.
+        for (std::size_t k = lo + 1; k <= hi && (discharged || !h.witnessed); ++k) {
+          std::size_t fi = h.store_test ? lo : k - 1;
+          std::size_t si = h.store_test ? k : hi;
+          if (fi == si || !trace[h.store_test ? si : fi].IsAccess()) {
+            continue;
+          }
+          // Fellow reorder members keep their relative order (the store
+          // buffer drains in FIFO order; read-old loads share one window),
+          // so member-vs-member pairs cannot invert.
+          if (is_member(trace[h.store_test ? si : fi])) {
+            continue;
+          }
+          if (options.static_prune) {
+            bool proven = h.store_test
+                              ? pa.ClassifyStorePair(fi, si) != analysis::OrderEdge::kNone
+                              : pa.ClassifyLoadPair(fi, si) != analysis::OrderEdge::kNone;
+            if (proven) {
+              continue;
+            }
+          }
+          switch (check(fi, si)) {
+            case analysis::AxVerdict::kWitnessed:
+              h.witnessed = true;
+              discharged = false;
+              break;
+            case analysis::AxVerdict::kRefutedExact:
+              break;
+            case analysis::AxVerdict::kBoundedOut:
+              discharged = false;
+              break;
+          }
+        }
+      }
+      if (!discharged) {
+        all_discharged = false;
+      }
+    }
+    if (!all_discharged || h.witnessed) {
+      if (&(*hints)[kept] != &h) {  // guard the self-move when nothing was pruned yet
+        (*hints)[kept] = std::move(h);
+      }
+      kept++;
+    }
+  }
+  hints->resize(kept);
+  if (stats != nullptr) {
+    stats->hints_pruned_axiomatic += before - kept;
+  }
 }
 
 }  // namespace
@@ -210,9 +334,9 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
     }
   }
 
-  // Static pre-filter (and its accounting). The analysis runs on the raw
-  // traces: lock events and commit adjacency are stripped by FilterShared.
-  if (options.static_prune || stats != nullptr) {
+  // Prune tiers (and their accounting). The analysis runs on the raw traces:
+  // lock events and commit adjacency are stripped by FilterShared.
+  if (options.static_prune || options.axiomatic_prune || stats != nullptr) {
     analysis::PairAnalysis pa(reorder_trace, other_trace);
     if (stats != nullptr) {
       stats->hints_generated += hints.size();
@@ -222,14 +346,21 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
       std::size_t before = hints.size();
       std::erase_if(hints, [&pa](const SchedHint& h) { return HintProvenNoop(pa, h); });
       if (stats != nullptr) {
-        stats->hints_pruned += before - hints.size();
+        stats->hints_pruned_static += before - hints.size();
       }
+    }
+    if (options.axiomatic_prune) {
+      PruneAxiomatic(pa, options, &hints, stats);
     }
   }
 
-  // The search heuristic: prioritize hints that deviate most from sequential
-  // order (largest reorder set first); stable within equal sizes.
+  // The search heuristic: witnessed hints first (the axiomatic engine proved
+  // the inversion observable), then the hints that deviate most from
+  // sequential order (largest reorder set first); stable within equal keys.
   std::stable_sort(hints.begin(), hints.end(), [](const SchedHint& a, const SchedHint& b) {
+    if (a.witnessed != b.witnessed) {
+      return a.witnessed;
+    }
     return a.reorder.size() > b.reorder.size();
   });
   if (hints.size() > options.max_hints) {

@@ -43,6 +43,9 @@ struct SchedHint {
   rt::SwitchWhen sched_phase = rt::SwitchWhen::kAfterAccess;
   std::vector<DynAccess> reorder;  // delay-store / read-old set
   bool suffix_shape = false;       // produced by the suffix extension
+  // The axiomatic engine found a concrete execution in which some reorder
+  // member's inversion is observable; such hints are scheduled first.
+  bool witnessed = false;
 
   std::string ToString() const;
 };
@@ -57,18 +60,37 @@ struct HintOptions {
   // (undelayable/unversionable accesses, coherence, qualified locksets) —
   // the dynamic test cannot observe anything an in-order run would not.
   bool static_prune = true;
+  // Second tier (src/analysis/axiomatic.h): bounded model checking of the
+  // pairs the static tier could not discharge. A hint is dropped only when
+  // every member is either statically proven or refuted exactly; witnessed
+  // members rank their hint first, bounded-out members keep it alive.
+  bool axiomatic_prune = true;
+  // Candidate executions per pair check for the axiomatic tier (the fuzzer
+  // hot path uses a tight budget; ozz_analyze and the benches use more).
+  u64 axiomatic_budget = 4096;
   std::size_t max_hints = 256;
 };
 
-// Accounting for the static pre-filter, accumulated across calls.
+// Accounting for both prune tiers, accumulated across calls.
 struct HintStats {
-  u64 hints_generated = 0;  // before pruning and the max_hints cap
-  u64 hints_pruned = 0;     // dropped as provably no-op
+  u64 hints_generated = 0;        // before pruning and the max_hints cap
+  u64 hints_pruned_static = 0;    // dropped by the static ordering proofs
+  u64 hints_pruned_axiomatic = 0;  // dropped by exact axiomatic refutation
+  // Axiomatic verdicts over the distinct (member, sched) pairs checked.
+  u64 pairs_witnessed = 0;
+  u64 pairs_refuted = 0;
+  u64 pairs_bounded = 0;
   analysis::PairStats pairs;  // candidate-pair universe over the raw traces
+
+  u64 hints_pruned() const { return hints_pruned_static + hints_pruned_axiomatic; }
 
   void Add(const HintStats& o) {
     hints_generated += o.hints_generated;
-    hints_pruned += o.hints_pruned;
+    hints_pruned_static += o.hints_pruned_static;
+    hints_pruned_axiomatic += o.hints_pruned_axiomatic;
+    pairs_witnessed += o.pairs_witnessed;
+    pairs_refuted += o.pairs_refuted;
+    pairs_bounded += o.pairs_bounded;
     pairs.Add(o.pairs);
   }
 };

@@ -115,6 +115,7 @@ TEST(ComputeHintsTest, StoreTestPrefixes) {
       Access(13, oemu::AccessType::kLoad, 0x4000),
   };
   HintOptions options;
+  options.axiomatic_prune = false;  // generation-shape test, not a pruning test
   options.load_tests = false;
   options.suffix_store_hints = false;
   std::vector<SchedHint> hints = ComputeHints(mine, other, options);
@@ -143,6 +144,7 @@ TEST(ComputeHintsTest, SuffixExtensionAddsTailSets) {
       Access(12, oemu::AccessType::kLoad, kC),
   };
   HintOptions options;
+  options.axiomatic_prune = false;  // generation-shape test, not a pruning test
   options.load_tests = false;
   std::vector<SchedHint> hints = ComputeHints(mine, other, options);
   // Prefixes {1,2}, {1}; suffix {2}.
@@ -171,6 +173,7 @@ TEST(ComputeHintsTest, StoreBarrierSplitsGroups) {
       Access(12, oemu::AccessType::kLoad, kC),
   };
   HintOptions options;
+  options.axiomatic_prune = false;  // generation-shape test, not a pruning test
   options.load_tests = false;
   options.suffix_store_hints = false;
   std::vector<SchedHint> hints = ComputeHints(mine, other, options);
@@ -199,6 +202,7 @@ TEST(ComputeHintsTest, LoadTestSuffixes) {
       Access(13, oemu::AccessType::kStore, 0x4000),
   };
   HintOptions options;
+  options.axiomatic_prune = false;  // generation-shape test, not a pruning test
   options.store_tests = false;
   std::vector<SchedHint> hints = ComputeHints(mine, other, options);
   ASSERT_EQ(hints.size(), 3u);
@@ -225,6 +229,7 @@ TEST(ComputeHintsTest, LoadBarrierSplitsLoadGroups) {
       Access(12, oemu::AccessType::kStore, kC),
   };
   HintOptions options;
+  options.axiomatic_prune = false;  // generation-shape test, not a pruning test
   options.store_tests = false;
   std::vector<SchedHint> hints = ComputeHints(mine, other, options);
   ASSERT_EQ(hints.size(), 1u);
@@ -243,6 +248,7 @@ TEST(ComputeHintsTest, ImpliedBarriersFromAnnotationsSplitLoadGroups) {
       Access(11, oemu::AccessType::kStore, kB),
   };
   HintOptions options;
+  options.axiomatic_prune = false;  // generation-shape test, not a pruning test
   options.store_tests = false;
   EXPECT_TRUE(ComputeHints(mine, other, options).empty())
       << "each group is a single load: nothing to reorder";
@@ -256,6 +262,7 @@ TEST(ComputeHintsTest, MaxHintsCapRespected) {
     other.push_back(Access(100 + i, oemu::AccessType::kLoad, 0x1000 + i * 8, 1));
   }
   HintOptions options;
+  options.axiomatic_prune = false;  // generation-shape test, not a pruning test
   options.max_hints = 10;
   EXPECT_EQ(ComputeHints(mine, other, options).size(), 10u);
 }

@@ -184,6 +184,59 @@ TEST(LintTest, CommentLinesIgnored) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintTest, NakedBarrierFlagged) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "void Publish(S* s) {\n"
+                                                 "  s->data = 1;\n"
+                                                 "  smp_wmb();\n"
+                                                 "  s->flag = 1;\n"
+                                                 "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "naked-barrier");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("smp_wmb"), std::string::npos);
+}
+
+TEST(LintTest, NakedBarrierAllSpellingsFlagged) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "  smp_mb();\n"
+                                                 "  smp_rmb();\n"
+                                                 "  atomic_thread_fence(memory_order_seq_cst);\n"
+                                                 "  __sync_synchronize();\n"
+                                                 "  smp_store_release(&s->flag, 1);\n"
+                                                 "  smp_load_acquire(&s->flag);\n");
+  EXPECT_EQ(findings.size(), 6u);
+  for (const LintFinding& f : findings) {
+    EXPECT_EQ(f.rule, "naked-barrier");
+  }
+}
+
+TEST(LintTest, OskBarrierMacrosNotFlagged) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "  OSK_SMP_WMB();\n"
+                                                 "  OSK_SMP_RMB();\n"
+                                                 "  OSK_SMP_MB();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, NakedBarrierSuppressed) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  smp_mb();  // ozz-lint: allow-barrier (host-side fence)\n"
+                 "  // ozz-lint: allow-barrier — documented exception\n"
+                 "  smp_wmb();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, BarrierMentionInCommentOrStringNotFlagged) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "  // the fix inserts smp_wmb() between the stores\n"
+                 "  Log(\"missing smp_mb() here\");\n"
+                 "  int smp_wmb_count = 0;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintTest, FormatFindingIncludesLocationAndRule) {
   LintFinding f{"src/osk/subsys/x.cc", 42, "raw-accessor", "raw() bypasses OEMU"};
   std::string s = FormatFinding(f);

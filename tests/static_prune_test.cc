@@ -20,13 +20,15 @@ namespace {
 
 class StaticPruneTest : public ::testing::TestWithParam<Scenario> {
  protected:
-  CampaignResult Hunt(bool static_prune) const {
+  CampaignResult Hunt(bool prune) const {
     const Scenario& s = GetParam();
     FuzzerOptions options;
     options.seed = 99;
     options.max_mti_runs = 3000;
     options.stop_after_bugs = 1;
-    options.hints.static_prune = static_prune;
+    // Both tiers together: the soundness claim covers the whole pipeline.
+    options.hints.static_prune = prune;
+    options.hints.axiomatic_prune = prune;
     if (s.pre_fixed != nullptr) {
       options.kernel_config.fixed.insert(s.pre_fixed);
     }
@@ -38,17 +40,17 @@ class StaticPruneTest : public ::testing::TestWithParam<Scenario> {
 
 TEST_P(StaticPruneTest, BugSurvivesPruning) {
   const Scenario& s = GetParam();
-  CampaignResult with_prune = Hunt(/*static_prune=*/true);
-  CampaignResult without_prune = Hunt(/*static_prune=*/false);
+  CampaignResult with_prune = Hunt(/*prune=*/true);
+  CampaignResult without_prune = Hunt(/*prune=*/false);
   ASSERT_EQ(without_prune.bugs.size(), 1u) << "baseline (no pruning) lost " << s.name;
   ASSERT_EQ(with_prune.bugs.size(), 1u)
-      << "static pruning lost scenario " << s.name << " (pruned "
-      << with_prune.hint_stats.hints_pruned << " of " << with_prune.hint_stats.hints_generated
+      << "pruning lost scenario " << s.name << " (pruned "
+      << with_prune.hint_stats.hints_pruned() << " of " << with_prune.hint_stats.hints_generated
       << " hints)";
   EXPECT_EQ(with_prune.bugs[0].report.title, without_prune.bugs[0].report.title);
   EXPECT_NE(with_prune.bugs[0].report.title.find(s.crash_needle), std::string::npos);
   // Pruning must never invent hints.
-  EXPECT_LE(with_prune.hint_stats.hints_pruned, with_prune.hint_stats.hints_generated);
+  EXPECT_LE(with_prune.hint_stats.hints_pruned(), with_prune.hint_stats.hints_generated);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, StaticPruneTest, ::testing::ValuesIn(kBugScenarios),
@@ -107,6 +109,7 @@ TEST(StaticPruneEffectiveness, RdsLoopXmitSideFullyPruned) {
 
   HintOptions no_prune;
   no_prune.static_prune = false;
+  no_prune.axiomatic_prune = false;
   HintOptions prune;
 
   // Observer side (loop_xmit reorders): every candidate is proven, so the
@@ -114,8 +117,8 @@ TEST(StaticPruneEffectiveness, RdsLoopXmitSideFullyPruned) {
   HintStats stats;
   std::vector<SchedHint> xmit_hints = ComputeHints(xmit, sendmsg, prune, &stats);
   EXPECT_TRUE(xmit_hints.empty());
-  EXPECT_GT(stats.hints_pruned, 0u);
-  EXPECT_EQ(stats.hints_pruned, stats.hints_generated);
+  EXPECT_GT(stats.hints_pruned(), 0u);
+  EXPECT_EQ(stats.hints_pruned(), stats.hints_generated);
 
   // Reorder side (sendmsg): the triggering hint — both data stores delayed
   // past the relaxed clear_bit — must survive.

@@ -29,6 +29,7 @@ void Usage() {
       "  --bugs N            stop after N unique bugs (default: run out the budget)\n"
       "  --no-reorder        disable OEMU reordering (interleaving-only baseline)\n"
       "  --no-static-prune   disable the static ordering pre-filter on hints\n"
+      "  --no-axiomatic-prune disable the axiomatic model-checking prune tier\n"
       "  --fixed SUBSYS      apply the barrier patch for SUBSYS (repeatable)\n"
       "  --hack-migration    emulate per-CPU thread migration (Table 4 #6)\n"
       "  --hint-order X      heuristic | reverse | random (ablation)\n"
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
       options.reordering = false;
     } else if (arg == "--no-static-prune") {
       options.hints.static_prune = false;
+    } else if (arg == "--no-axiomatic-prune") {
+      options.hints.axiomatic_prune = false;
     } else if (arg == "--fixed") {
       options.kernel_config.fixed.insert(next());
     } else if (arg == "--hack-migration") {
@@ -116,11 +119,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.mti_runs),
               static_cast<unsigned long long>(result.sti_runs), result.corpus_size,
               result.coverage);
-  std::printf("hints: %llu generated, %llu statically pruned; pairs: %llu proven / %llu\n\n",
-              static_cast<unsigned long long>(result.hint_stats.hints_generated),
-              static_cast<unsigned long long>(result.hint_stats.hints_pruned),
-              static_cast<unsigned long long>(result.hint_stats.pairs.proven()),
-              static_cast<unsigned long long>(result.hint_stats.pairs.candidates()));
+  std::printf(
+      "hints: %llu generated, pruned %llu static + %llu axiomatic; "
+      "pairs: %llu proven / %llu, verdicts %llu witnessed / %llu refuted / %llu bounded\n\n",
+      static_cast<unsigned long long>(result.hint_stats.hints_generated),
+      static_cast<unsigned long long>(result.hint_stats.hints_pruned_static),
+      static_cast<unsigned long long>(result.hint_stats.hints_pruned_axiomatic),
+      static_cast<unsigned long long>(result.hint_stats.pairs.proven()),
+      static_cast<unsigned long long>(result.hint_stats.pairs.candidates()),
+      static_cast<unsigned long long>(result.hint_stats.pairs_witnessed),
+      static_cast<unsigned long long>(result.hint_stats.pairs_refuted),
+      static_cast<unsigned long long>(result.hint_stats.pairs_bounded));
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {
     const fuzz::FoundBug& bug = result.bugs[i];
     std::printf("=== bug %zu (after %llu tests, hint rank %zu) ===\n%s\n", i,
