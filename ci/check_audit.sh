@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate for the source-level barrier audit.
+#
+# `ozz_audit --baseline` fails when any *residual* pair — statically
+# unordered in both the buggy form and the fully-fixed form — is missing
+# from ci/audit_baseline.txt. A new residual pair means a new unordered
+# access pair crept into the simulated kernel that no documented fix
+# accounts for: either add the missing barrier or regenerate the baseline
+# (`ozz_audit --print-baseline`) and justify the addition in review.
+# Fix-gated pairs are never baselined — they are the audit's findings.
+#
+# Usage: ci/check_audit.sh [AUDIT_BINARY]
+set -u
+
+audit="${1:-./build/tools/ozz_audit}"
+baseline="$(dirname "$0")/audit_baseline.txt"
+
+if [ ! -x "$audit" ]; then
+  echo "check_audit: audit binary not found: $audit" >&2
+  exit 2
+fi
+if [ ! -f "$baseline" ]; then
+  echo "check_audit: baseline not found: $baseline" >&2
+  echo "check_audit: regenerate with '$audit --print-baseline > $baseline'" >&2
+  exit 2
+fi
+
+if "$audit" --no-coverage --baseline "$baseline" > /dev/null; then
+  echo "ok   audit: no residual pairs beyond $baseline"
+else
+  echo "FAIL audit: new residual statically-unordered pair(s); see above" >&2
+  exit 1
+fi

@@ -1,191 +1,22 @@
 #include "src/analysis/lint.h"
 
-#include <cctype>
+#include <algorithm>
 #include <set>
 #include <sstream>
 
+#include "src/analysis/srcmodel/srcmodel.h"
+#include "src/analysis/srcmodel/srcparse.h"
+
 namespace ozz::analysis {
-namespace {
 
-std::vector<std::string> SplitLines(const std::string& contents) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : contents) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) {
-    lines.push_back(cur);
-  }
-  return lines;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool Contains(const std::string& s, const char* needle) {
-  return s.find(needle) != std::string::npos;
-}
-
-// True when `line` (or the preceding line, for a standalone comment) carries
-// the given suppression marker.
-bool Suppressed(const std::vector<std::string>& lines, std::size_t i, const char* marker) {
-  if (Contains(lines[i], marker)) {
-    return true;
-  }
-  return i > 0 && Contains(lines[i - 1], marker);
-}
-
-bool IsCommentLine(const std::string& line) {
-  std::size_t p = line.find_first_not_of(" \t");
-  return p != std::string::npos && line.compare(p, 2, "//") == 0;
-}
-
-// Blanks out "..." string-literal contents (keeping the quotes) so names
-// mentioned in messages or ArgDesc labels don't look like accesses.
-std::string StripStrings(const std::string& line) {
-  std::string out = line;
-  bool in_string = false;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    if (in_string) {
-      if (out[i] == '\\') {
-        if (i + 1 < out.size()) {
-          out[i + 1] = ' ';
-        }
-        out[i] = ' ';
-        ++i;
-        continue;
-      }
-      if (out[i] == '"') {
-        in_string = false;
-      } else {
-        out[i] = ' ';
-      }
-    } else if (out[i] == '"') {
-      in_string = true;
-    }
-  }
-  return out;
-}
-
-// Macro names #define'd in this file whose replacement contains an OSK_*
-// macro — invocations of those are instrumented accesses, not bypasses
-// (e.g. a subsystem-local CAS helper wrapping OSK_RMW).
-std::set<std::string> CollectInstrumentedMacros(const std::vector<std::string>& lines) {
-  std::set<std::string> macros;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    std::size_t p = line.find_first_not_of(" \t");
-    if (p == std::string::npos || line.compare(p, 8, "#define ") != 0) {
-      continue;
-    }
-    std::size_t name_begin = p + 8;
-    std::size_t name_end = name_begin;
-    while (name_end < line.size() && IsIdentChar(line[name_end])) {
-      ++name_end;
-    }
-    if (name_end == name_begin) {
-      continue;
-    }
-    // The definition spans continuation lines ending in '\'.
-    bool instrumented = false;
-    for (std::size_t j = i; j < lines.size(); ++j) {
-      if (Contains(lines[j], "OSK_")) {
-        instrumented = true;
-      }
-      if (lines[j].empty() || lines[j].back() != '\\') {
-        break;
-      }
-    }
-    if (instrumented) {
-      macros.insert(line.substr(name_begin, name_end - name_begin));
-    }
-  }
-  return macros;
-}
-
-// Whole-word occurrences of `name` in `line`.
-std::vector<std::size_t> WordOccurrences(const std::string& line, const std::string& name) {
-  std::vector<std::size_t> out;
-  std::size_t pos = 0;
-  while ((pos = line.find(name, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    std::size_t end = pos + name.size();
-    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) {
-      out.push_back(pos);
-    }
-    pos = end;
-  }
-  return out;
-}
-
-// Collects identifiers declared with a Cell<...> (possibly nested, e.g.
-// PerCpu<Cell<u64>>) type: on a line containing "Cell<", the identifier
-// right before the initializer or the terminating ';'.
-std::set<std::string> CollectCellNames(const std::vector<std::string>& lines) {
-  std::set<std::string> names;
-  for (const std::string& raw : lines) {
-    if (IsCommentLine(raw)) {
-      continue;
-    }
-    std::size_t cell = raw.find("Cell<");
-    if (cell == std::string::npos || (cell > 0 && IsIdentChar(raw[cell - 1]))) {
-      continue;
-    }
-    std::string line = raw;
-    std::size_t comment = line.find("//");
-    if (comment != std::string::npos) {
-      line.resize(comment);
-    }
-    std::size_t stop = line.find_first_of(";={(", cell);
-    if (stop == std::string::npos) {
-      stop = line.size();
-    }
-    std::size_t end = stop;
-    while (end > cell) {
-      char c = line[end - 1];
-      if (c == ']') {
-        // Array declaration `Cell<T> fd[kMaxFds];` — skip the bound so the
-        // walk lands on the declared identifier, not on the bound.
-        int depth = 0;
-        while (end > cell) {
-          char d = line[end - 1];
-          depth += d == ']' ? 1 : d == '[' ? -1 : 0;
-          --end;
-          if (depth == 0) {
-            break;
-          }
-        }
-        continue;
-      }
-      if (IsIdentChar(c)) {
-        break;
-      }
-      --end;
-    }
-    std::size_t begin = end;
-    while (begin > cell && IsIdentChar(line[begin - 1])) {
-      --begin;
-    }
-    if (begin < end && !std::isdigit(static_cast<unsigned char>(line[begin]))) {
-      std::string name = line.substr(begin, end - begin);
-      // `Cell<u64> head;` yields "head"; a bare `Cell<u64>` in template code
-      // would yield the type parameter — filter the obvious type spellings.
-      if (name != "Cell" && name != "u8" && name != "u16" && name != "u32" && name != "u64") {
-        names.insert(name);
-      }
-    }
-  }
-  return names;
-}
-
-}  // namespace
+using srcparse::CollectCellNames;
+using srcparse::CollectInstrumentedMacros;
+using srcparse::Contains;
+using srcparse::IsCommentLine;
+using srcparse::SplitLines;
+using srcparse::StripStrings;
+using srcparse::Suppressed;
+using srcparse::WordOccurrences;
 
 std::vector<LintFinding> LintSource(const std::string& path, const std::string& contents) {
   std::vector<LintFinding> findings;
@@ -308,6 +139,26 @@ std::vector<LintFinding> LintSource(const std::string& path, const std::string& 
       }
     }
   }
+
+  // lock-imbalance: a spinlock section entered (`.Lock()` / `->Lock()`) but
+  // not exited on some path to a function exit. CFG-backed via the srcmodel
+  // parser — early returns and branch arms are walked, SpinGuard balances by
+  // construction, and bit-lock macros are excluded (try-lock shaped).
+  const srcmodel::FileModel model = srcmodel::ParseFile(path, contents);
+  for (const srcmodel::LockImbalance& im : srcmodel::CheckLockBalance(model)) {
+    std::size_t idx = im.line > 0 ? static_cast<std::size_t>(im.line) - 1 : 0;
+    if (idx < lines.size() && Suppressed(lines, idx, "ozz-lint: allow-imbalance")) {
+      continue;
+    }
+    findings.push_back(LintFinding{
+        path, im.line, "lock-imbalance",
+        "lock `" + im.lock_id + "` acquired in " + im.function +
+            "() is not released on every path to an exit; a leaked spinlock deadlocks the "
+            "next acquirer (annotate with `ozz-lint: allow-imbalance` if ownership is "
+            "transferred intentionally)"});
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) { return a.line < b.line; });
   return findings;
 }
 

@@ -1,0 +1,1451 @@
+#include "src/analysis/srcmodel/srcmodel.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/analysis/srcmodel/srcparse.h"
+
+namespace ozz::analysis::srcmodel {
+namespace {
+
+using srcparse::MacroDef;
+using srcparse::TokKind;
+using srcparse::Token;
+
+std::string NormalizeExpr(const std::string& expr) {
+  std::string out;
+  for (char c : expr) {
+    if (c != ' ') {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// --- op classification -------------------------------------------------
+
+// Memory-model meaning of one instrumentation macro.
+enum class OskSem {
+  kLoadRelaxed,
+  kLoadAcquire,
+  kStoreRelaxed,
+  kStoreRelease,
+  kRmwFull,
+  kRmwAcquire,
+  kRmwRelease,
+  kRmwRelaxed,
+  kWmb,
+  kRmb,
+  kMb,
+};
+
+// The builtin OSK_* vocabulary (src/oemu/cell.h + src/osk/bitops.h).
+const std::map<std::string, OskSem>& BuiltinOps() {
+  static const std::map<std::string, OskSem> kOps = {
+      {"OSK_LOAD", OskSem::kLoadRelaxed},
+      {"OSK_READ_ONCE", OskSem::kLoadRelaxed},
+      {"OSK_LOAD_BYTE", OskSem::kLoadRelaxed},
+      {"OSK_TEST_BIT", OskSem::kLoadRelaxed},
+      {"OSK_LOAD_ACQUIRE", OskSem::kLoadAcquire},
+      {"OSK_STORE", OskSem::kStoreRelaxed},
+      {"OSK_WRITE_ONCE", OskSem::kStoreRelaxed},
+      {"OSK_STORE_BYTE", OskSem::kStoreRelaxed},
+      {"OSK_STORE_RELEASE", OskSem::kStoreRelease},
+      {"OSK_TEST_AND_SET_BIT", OskSem::kRmwFull},
+      {"OSK_TEST_AND_CLEAR_BIT", OskSem::kRmwFull},
+      {"OSK_TEST_AND_SET_BIT_LOCK", OskSem::kRmwAcquire},
+      {"OSK_CLEAR_BIT_UNLOCK", OskSem::kRmwRelease},
+      {"OSK_SET_BIT", OskSem::kRmwRelaxed},
+      {"OSK_CLEAR_BIT", OskSem::kRmwRelaxed},
+      // Default for a bare OSK_RMW; the invocation scan refines the order
+      // from the second argument (kFull/kAcquire/kRelease/kRelaxed).
+      {"OSK_RMW", OskSem::kRmwRelaxed},
+      {"OSK_SMP_WMB", OskSem::kWmb},
+      {"OSK_SMP_RMB", OskSem::kRmb},
+      {"OSK_SMP_MB", OskSem::kMb},
+  };
+  return kOps;
+}
+
+// Classifies a file-local #define whose body wraps OSK_* macros (e.g. a
+// subsystem CAS helper around OSK_RMW) by scanning the joined replacement.
+bool ClassifyMacroBody(const std::string& body, OskSem* out) {
+  if (srcparse::Contains(body, "OSK_RMW") || srcparse::Contains(body, "kFull")) {
+    if (srcparse::Contains(body, "kAcquire")) {
+      *out = OskSem::kRmwAcquire;
+    } else if (srcparse::Contains(body, "kRelease")) {
+      *out = OskSem::kRmwRelease;
+    } else if (srcparse::Contains(body, "kRelaxed")) {
+      *out = OskSem::kRmwRelaxed;
+    } else {
+      *out = OskSem::kRmwFull;
+    }
+    return true;
+  }
+  bool load = false;
+  bool store = false;
+  OskSem found = OskSem::kLoadRelaxed;
+  for (const auto& [name, sem] : BuiltinOps()) {
+    std::string needle = name;
+    for (std::size_t pos : srcparse::WordOccurrences(body, needle)) {
+      (void)pos;
+      switch (sem) {
+        case OskSem::kLoadRelaxed:
+        case OskSem::kLoadAcquire:
+          load = true;
+          found = sem;
+          break;
+        case OskSem::kStoreRelaxed:
+        case OskSem::kStoreRelease:
+          store = true;
+          found = sem;
+          break;
+        default:
+          found = sem;
+          break;
+      }
+      break;
+    }
+  }
+  if (load && store) {
+    *out = OskSem::kRmwRelaxed;
+    return true;
+  }
+  if (load || store) {
+    *out = found;
+    return true;
+  }
+  return false;
+}
+
+// --- parser ------------------------------------------------------------
+
+bool IsPunct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+bool IsIdent(const Token& t, const char* name) {
+  return t.kind == TokKind::kIdent && t.text == name;
+}
+
+// Keywords that can directly precede a call expression without turning the
+// ident+'(' pattern into a declaration.
+bool IsExprKeyword(const std::string& s) {
+  return s == "return" || s == "case" || s == "else" || s == "do" || s == "co_return";
+}
+
+class Parser {
+ public:
+  Parser(std::string path, const std::string& contents)
+      : path_(NormalizeSrcPath(path)), toks_(srcparse::Tokenize(contents)) {
+    for (const MacroDef& def : srcparse::CollectMacroDefs(srcparse::SplitLines(contents))) {
+      OskSem sem;
+      if (BuiltinOps().count(def.name) == 0 && ClassifyMacroBody(def.body, &sem)) {
+        local_macros_[def.name] = sem;
+      }
+    }
+  }
+
+  FileModel Run() {
+    model_.path = path_;
+    ParseScope(0, toks_.size());
+    return std::move(model_);
+  }
+
+ private:
+  // Index of the matching closer for the opener at `i` (returns `end` when
+  // unbalanced). Openers/closers: () {} [].
+  std::size_t Match(std::size_t i, std::size_t end) const {
+    const std::string& open = toks_[i].text;
+    std::string close = open == "(" ? ")" : open == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      if (toks_[j].kind != TokKind::kPunct) {
+        continue;
+      }
+      if (toks_[j].text == open) {
+        ++depth;
+      } else if (toks_[j].text == close) {
+        if (--depth == 0) {
+          return j;
+        }
+      }
+    }
+    return end;
+  }
+
+  // --- top level / class scope: find function definitions ---
+  void ParseScope(std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "namespace" || t.text == "class" || t.text == "struct" ||
+           t.text == "union" || t.text == "enum")) {
+        // Scan to the body brace or a terminating ';' (forward declaration,
+        // or `enum { ... }` handled by the brace branch).
+        std::size_t j = i + 1;
+        while (j < end && !IsPunct(toks_[j], "{") && !IsPunct(toks_[j], ";")) {
+          ++j;
+        }
+        if (j < end && IsPunct(toks_[j], "{")) {
+          std::size_t close = Match(j, end);
+          if (t.text == "enum") {
+            i = close + 1;  // enumerators are not code
+            continue;
+          }
+          ParseScope(j + 1, close);
+          i = close + 1;
+          continue;
+        }
+        i = j + 1;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        i = Match(i, end) + 1;  // brace initializer at class/namespace scope
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && i + 1 < end && IsPunct(toks_[i + 1], "(")) {
+        std::size_t close = Match(i + 1, end);
+        std::size_t body = FindFunctionBody(close + 1, end);
+        if (body != end && IsPunct(toks_[body], "{")) {
+          std::size_t body_close = Match(body, end);
+          Function fn;
+          fn.name = t.text;
+          fn.line = t.line;
+          current_function_ = fn.name;
+          ParseBlock(body + 1, body_close, &fn.body);
+          model_.functions.push_back(std::move(fn));
+          i = body_close + 1;
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+
+  // From just after a parameter list's ')', finds the '{' opening a function
+  // body, skipping cv-qualifiers, `override`/`final`/`noexcept`, a trailing
+  // return type, and a constructor initializer list. Returns `end` when the
+  // tokens are not a definition.
+  std::size_t FindFunctionBody(std::size_t i, std::size_t end) const {
+    while (i < end && toks_[i].kind == TokKind::kIdent &&
+           (toks_[i].text == "const" || toks_[i].text == "noexcept" ||
+            toks_[i].text == "override" || toks_[i].text == "final")) {
+      ++i;
+    }
+    if (i < end && IsPunct(toks_[i], "->")) {  // trailing return type
+      ++i;
+      while (i < end && !IsPunct(toks_[i], "{") && !IsPunct(toks_[i], ";") &&
+             !IsPunct(toks_[i], ",") && !IsPunct(toks_[i], ")")) {
+        ++i;
+      }
+    }
+    if (i < end && IsPunct(toks_[i], ":")) {  // constructor initializer list
+      ++i;
+      while (i < end) {
+        while (i < end && toks_[i].kind == TokKind::kIdent) {
+          ++i;  // member name (possibly namespace-qualified type — rare)
+        }
+        if (i < end && (IsPunct(toks_[i], "(") || IsPunct(toks_[i], "{"))) {
+          i = Match(i, end) + 1;
+        } else {
+          return end;
+        }
+        if (i < end && IsPunct(toks_[i], ",")) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+    }
+    if (i < end && IsPunct(toks_[i], "{")) {
+      return i;
+    }
+    return end;
+  }
+
+  // --- statements ------------------------------------------------------
+  void ParseBlock(std::size_t begin, std::size_t end, std::vector<Stmt>* out) {
+    std::vector<std::string> guard_locks;  // SpinGuard RAII: exit at block end
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (IsPunct(t, ";")) {
+        ++i;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        std::size_t close = Match(i, end);
+        Stmt s;
+        s.kind = Stmt::Kind::kBlock;
+        s.line = t.line;
+        ParseBlock(i + 1, close, &s.body);
+        out->push_back(std::move(s));
+        i = close + 1;
+        continue;
+      }
+      if (IsIdent(t, "if")) {
+        i = ParseIf(i, end, out);
+        continue;
+      }
+      if (IsIdent(t, "for") || IsIdent(t, "while")) {
+        i = ParseLoop(i, end, out);
+        continue;
+      }
+      if (IsIdent(t, "do")) {
+        // do { body } while (cond); — body at least once, but the 0-or-more
+        // loop approximation only adds paths, which is safe for a
+        // may-analysis.
+        std::size_t body = i + 1;
+        if (body < end && IsPunct(toks_[body], "{")) {
+          std::size_t close = Match(body, end);
+          Stmt s;
+          s.kind = Stmt::Kind::kLoop;
+          s.line = t.line;
+          ParseBlock(body + 1, close, &s.body);
+          out->push_back(std::move(s));
+          i = close + 1;
+          // Trailing `while (...)`: scan its condition for ops.
+          if (i < end && IsIdent(toks_[i], "while") && i + 1 < end &&
+              IsPunct(toks_[i + 1], "(")) {
+            std::size_t cc = Match(i + 1, end);
+            ScanExpr(i + 2, cc, out);
+            i = cc + 1;
+          }
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (IsIdent(t, "return")) {
+        std::size_t stop = StatementEnd(i + 1, end);
+        Stmt s;
+        s.kind = Stmt::Kind::kReturn;
+        s.line = t.line;
+        ScanExpr(i + 1, stop, out);  // ops in the return expression run first
+        out->push_back(std::move(s));
+        i = stop + 1;
+        continue;
+      }
+      if (IsIdent(t, "break") || IsIdent(t, "continue")) {
+        Stmt s;
+        s.kind = IsIdent(t, "break") ? Stmt::Kind::kBreak : Stmt::Kind::kContinue;
+        s.line = t.line;
+        out->push_back(std::move(s));
+        i += 2;  // keyword + ';'
+        continue;
+      }
+      if (IsIdent(t, "else")) {
+        ++i;  // orphaned else (shouldn't happen; ParseIf consumes its else)
+        continue;
+      }
+      // SpinGuard RAII: `SpinGuard g(lock_, k);` holds `lock_` to block end.
+      if (IsIdent(t, "SpinGuard") && i + 2 < end && toks_[i + 1].kind == TokKind::kIdent &&
+          IsPunct(toks_[i + 2], "(")) {
+        std::size_t close = Match(i + 2, end);
+        // The lock is the LAST constructor argument (`SpinGuard g(k, lock_)`;
+        // single-argument guards pass just the lock).
+        std::size_t arg_begin = i + 3;
+        for (std::size_t c = FirstTopComma(arg_begin, close); c < close;
+             c = FirstTopComma(arg_begin, close)) {
+          arg_begin = c + 1;
+        }
+        std::string lock = JoinTokens(arg_begin, close);
+        Stmt s;
+        s.kind = Stmt::Kind::kOp;
+        s.line = t.line;
+        s.op.kind = Op::Kind::kLockEnter;
+        s.op.line = t.line;
+        s.op.lock_id = lock;
+        s.op.guard = true;
+        out->push_back(std::move(s));
+        guard_locks.push_back(lock);
+        i = close + 1;
+        if (i < end && IsPunct(toks_[i], ";")) {
+          ++i;
+        }
+        continue;
+      }
+      // Generic statement: consume to the ';' at depth 0 and scan it.
+      std::size_t stop = StatementEnd(i, end);
+      ScanExpr(i, stop, out);
+      i = stop + 1;
+    }
+    // Close RAII guards in reverse order.
+    for (auto it = guard_locks.rbegin(); it != guard_locks.rend(); ++it) {
+      Stmt s;
+      s.kind = Stmt::Kind::kOp;
+      s.op.kind = Op::Kind::kLockExit;
+      s.op.lock_id = *it;
+      s.op.guard = true;
+      out->push_back(std::move(s));
+    }
+  }
+
+  // End (index of ';') of the statement starting at `i`, skipping nested
+  // parens/braces/brackets (lambda bodies, brace initializers).
+  std::size_t StatementEnd(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      if (toks_[i].kind == TokKind::kPunct) {
+        const std::string& p = toks_[i].text;
+        if (p == ";") {
+          return i;
+        }
+        if (p == "(" || p == "{" || p == "[") {
+          i = Match(i, end) + 1;
+          continue;
+        }
+      }
+      ++i;
+    }
+    return end;
+  }
+
+  std::size_t ParseIf(std::size_t i, std::size_t end, std::vector<Stmt>* out) {
+    // i at `if`; expect `(` cond `)` stmt [else stmt].
+    if (i + 1 >= end || !IsPunct(toks_[i + 1], "(")) {
+      return i + 1;
+    }
+    std::size_t cond_close = Match(i + 1, end);
+    // Ops inside the condition execute before the branch.
+    ScanExpr(i + 2, cond_close, out);
+    Stmt s;
+    s.kind = Stmt::Kind::kBranch;
+    s.line = toks_[i].line;
+    s.cond = CondModeOf(i + 2, cond_close);
+    std::size_t next = ParseSubStatement(cond_close + 1, end, &s.body);
+    if (next < end && IsIdent(toks_[next], "else")) {
+      if (next + 1 < end && IsIdent(toks_[next + 1], "if")) {
+        next = ParseIf(next + 1, end, &s.else_body);
+      } else {
+        next = ParseSubStatement(next + 1, end, &s.else_body);
+      }
+    }
+    out->push_back(std::move(s));
+    return next;
+  }
+
+  std::size_t ParseLoop(std::size_t i, std::size_t end, std::vector<Stmt>* out) {
+    if (i + 1 >= end || !IsPunct(toks_[i + 1], "(")) {
+      return i + 1;
+    }
+    std::size_t header_close = Match(i + 1, end);
+    // Header ops (condition loads etc.) approximate to "once, before the
+    // loop" — good enough for the pair analysis, which iterates the body.
+    ScanExpr(i + 2, header_close, out);
+    Stmt s;
+    s.kind = Stmt::Kind::kLoop;
+    s.line = toks_[i].line;
+    std::size_t next = ParseSubStatement(header_close + 1, end, &s.body);
+    out->push_back(std::move(s));
+    return next;
+  }
+
+  // Parses a single statement (braced block or one statement) into `out`,
+  // returning the index just past it.
+  std::size_t ParseSubStatement(std::size_t i, std::size_t end, std::vector<Stmt>* out) {
+    if (i >= end) {
+      return end;
+    }
+    if (IsPunct(toks_[i], "{")) {
+      std::size_t close = Match(i, end);
+      ParseBlock(i + 1, close, out);
+      return close + 1;
+    }
+    // Single unbraced statement: re-use the block parser on its token range.
+    if (IsIdent(toks_[i], "if")) {
+      return ParseIf(i, end, out);
+    }
+    if (IsIdent(toks_[i], "for") || IsIdent(toks_[i], "while")) {
+      return ParseLoop(i, end, out);
+    }
+    if (IsIdent(toks_[i], "return")) {
+      std::size_t stop = StatementEnd(i + 1, end);
+      ScanExpr(i + 1, stop, out);
+      Stmt s;
+      s.kind = Stmt::Kind::kReturn;
+      s.line = toks_[i].line;
+      out->push_back(std::move(s));
+      return stop + 1;
+    }
+    if (IsIdent(toks_[i], "break") || IsIdent(toks_[i], "continue")) {
+      Stmt s;
+      s.kind = IsIdent(toks_[i], "break") ? Stmt::Kind::kBreak : Stmt::Kind::kContinue;
+      s.line = toks_[i].line;
+      out->push_back(std::move(s));
+      return i + 2;
+    }
+    std::size_t stop = StatementEnd(i, end);
+    ScanExpr(i, stop, out);
+    return stop + 1;
+  }
+
+  // Condition classification: a fix-flag condition mentions an identifier
+  // starting with "fix" (fixed_, fix_wmb_, ...) or an IsFixed(...) call; a
+  // leading '!' negates it. Anything else explores both arms.
+  CondMode CondModeOf(std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokKind::kIdent) {
+        continue;
+      }
+      if (t.text.rfind("fix", 0) == 0 || t.text == "IsFixed") {
+        bool negated = i > begin && IsPunct(toks_[i - 1], "!");
+        return negated ? CondMode::kFixFalse : CondMode::kFixTrue;
+      }
+    }
+    return CondMode::kGeneric;
+  }
+
+  // For a lambda introducer at `i`, the index of its body's '{' (skipping the
+  // capture list, parameter list, specifiers and trailing return type), or
+  // `end` when this is not a lambda.
+  std::size_t LambdaBody(std::size_t i, std::size_t end) const {
+    std::size_t j = Match(i, end);  // matching ']'
+    if (j >= end) {
+      return end;
+    }
+    ++j;
+    if (j < end && IsPunct(toks_[j], "(")) {
+      j = Match(j, end) + 1;
+    }
+    while (j < end && toks_[j].kind == TokKind::kIdent &&
+           (toks_[j].text == "mutable" || toks_[j].text == "noexcept")) {
+      ++j;
+    }
+    if (j < end && IsPunct(toks_[j], "->")) {
+      ++j;
+      while (j < end && !IsPunct(toks_[j], "{") && !IsPunct(toks_[j], ";")) {
+        ++j;
+      }
+    }
+    return j < end && IsPunct(toks_[j], "{") ? j : end;
+  }
+
+  // First top-level ',' in [begin, end) (or `end`).
+  std::size_t FirstTopComma(std::size_t begin, std::size_t end) const {
+    int depth = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (toks_[i].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = toks_[i].text;
+      if (p == "(" || p == "[" || p == "{") {
+        ++depth;
+      } else if (p == ")" || p == "]" || p == "}") {
+        --depth;
+      } else if (p == "," && depth == 0) {
+        return i;
+      }
+    }
+    return end;
+  }
+
+  std::string JoinTokens(std::size_t begin, std::size_t end) const {
+    std::string out;
+    for (std::size_t i = begin; i < end; ++i) {
+      bool space = !out.empty() && srcparse::IsIdentChar(out.back()) &&
+                   !toks_[i].text.empty() && srcparse::IsIdentChar(toks_[i].text[0]);
+      if (space) {
+        out.push_back(' ');
+      }
+      out += toks_[i].text;
+    }
+    return out;
+  }
+
+  int AddSite(const std::string& expr, int line, bool is_store) {
+    AccessSite site;
+    site.file = path_;
+    site.function = current_function_;
+    site.expr = expr;
+    site.line = line;
+    site.is_store = is_store;
+    model_.sites.push_back(std::move(site));
+    return static_cast<int>(model_.sites.size()) - 1;
+  }
+
+  void PushOp(Op op, int line, std::vector<Stmt>* out) {
+    Stmt s;
+    s.kind = Stmt::Kind::kOp;
+    s.line = line;
+    op.line = line;
+    s.op = std::move(op);
+    out->push_back(std::move(s));
+  }
+
+  void EmitOsk(OskSem sem, const std::string& expr, int line, std::vector<Stmt>* out) {
+    Op op;
+    switch (sem) {
+      case OskSem::kLoadRelaxed:
+        op.load_site = AddSite(expr, line, /*is_store=*/false);
+        break;
+      case OskSem::kLoadAcquire:
+        op.kill_load = true;  // later loads are ordered after the acquire
+        break;
+      case OskSem::kStoreRelaxed:
+        op.store_site = AddSite(expr, line, /*is_store=*/true);
+        break;
+      case OskSem::kStoreRelease:
+        op.kill_store = true;  // earlier stores drain before the release
+        break;
+      case OskSem::kRmwFull:
+        op.kind = Op::Kind::kBarrier;
+        op.kill_store = op.kill_load = op.kill_sl = true;
+        break;
+      case OskSem::kRmwAcquire:
+        op.kill_load = true;
+        op.store_site = AddSite(expr, line, /*is_store=*/true);
+        break;
+      case OskSem::kRmwRelease:
+        op.kill_store = true;
+        op.load_site = AddSite(expr, line, /*is_store=*/false);
+        break;
+      case OskSem::kRmwRelaxed:
+        op.load_site = AddSite(expr, line, /*is_store=*/false);
+        op.store_site = AddSite(expr, line, /*is_store=*/true);
+        break;
+      case OskSem::kWmb:
+        op.kind = Op::Kind::kBarrier;
+        op.kill_store = true;
+        break;
+      case OskSem::kRmb:
+        op.kind = Op::Kind::kBarrier;
+        op.kill_load = true;
+        break;
+      case OskSem::kMb:
+        op.kind = Op::Kind::kBarrier;
+        op.kill_store = op.kill_load = op.kill_sl = true;
+        break;
+    }
+    PushOp(std::move(op), line, out);
+  }
+
+  // Linear scan of an expression/statement token range: instrumented ops,
+  // lock calls, candidate function calls, and the fix-flag ternary
+  // (`fixed_ ? A : B`, modeled as a branch).
+  void ScanExpr(std::size_t begin, std::size_t end, std::vector<Stmt>* out) {
+    // Fix-flag ternary at top level?
+    int depth = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (toks_[i].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = toks_[i].text;
+      if (p == "(" || p == "[" || p == "{") {
+        ++depth;
+      } else if (p == ")" || p == "]" || p == "}") {
+        --depth;
+      } else if (p == "?" && depth == 0) {
+        // Find the matching ':'.
+        int q = 0;
+        std::size_t colon = end;
+        for (std::size_t j = i + 1; j < end; ++j) {
+          if (toks_[j].kind != TokKind::kPunct) {
+            continue;
+          }
+          const std::string& pj = toks_[j].text;
+          if (pj == "(" || pj == "[" || pj == "{") {
+            ++q;
+          } else if (pj == ")" || pj == "]" || pj == "}") {
+            --q;
+          } else if (pj == "?" && q == 0) {
+            ++q;  // nested ternary: its ':' pairs with it
+          } else if (pj == ":" && q == 0) {
+            colon = j;
+            break;
+          } else if (pj == ":" && q > 0 && toks_[j - 1].kind == TokKind::kPunct) {
+            --q;
+          }
+        }
+        if (colon == end) {
+          break;  // malformed; fall through to the linear scan
+        }
+        ScanLinear(begin, i, out);  // condition ops first
+        Stmt s;
+        s.kind = Stmt::Kind::kBranch;
+        s.line = toks_[i].line;
+        s.cond = CondModeOf(begin, i);
+        ScanExpr(i + 1, colon, &s.body);
+        ScanExpr(colon + 1, end, &s.else_body);
+        out->push_back(std::move(s));
+        return;
+      }
+    }
+    ScanLinear(begin, end, out);
+  }
+
+  void ScanLinear(std::size_t begin, std::size_t end, std::vector<Stmt>* out) {
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (IsPunct(t, "[")) {
+        // Lambda vs array index: an index follows a value (ident/number/
+        // closing bracket); a lambda introducer follows anything else.
+        bool indexing = i > begin && (toks_[i - 1].kind == TokKind::kIdent ||
+                                      toks_[i - 1].kind == TokKind::kNumber ||
+                                      IsPunct(toks_[i - 1], ")") || IsPunct(toks_[i - 1], "]"));
+        std::size_t body = indexing ? end : LambdaBody(i, end);
+        if (body != end) {
+          // Parse the lambda body as its own anonymous function: it runs when
+          // *invoked* (e.g. as a syscall handler), not here — splicing it into
+          // the enclosing statement would sequentially compose unrelated
+          // handlers registered next to each other.
+          std::size_t body_close = Match(body, end);
+          Function fn;
+          fn.name = "<lambda@" + std::to_string(t.line) + ">";
+          fn.line = t.line;
+          std::string saved = current_function_;
+          current_function_ = fn.name;
+          ParseBlock(body + 1, body_close, &fn.body);
+          current_function_ = std::move(saved);
+          model_.functions.push_back(std::move(fn));
+          i = body_close + 1;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) {
+        ++i;
+        continue;
+      }
+      bool has_paren = i + 1 < end && IsPunct(toks_[i + 1], "(");
+      // Instrumented macro invocation?
+      OskSem sem;
+      bool is_op = false;
+      auto builtin = BuiltinOps().find(t.text);
+      if (builtin != BuiltinOps().end()) {
+        sem = builtin->second;
+        is_op = true;
+      } else {
+        auto local = local_macros_.find(t.text);
+        if (local != local_macros_.end()) {
+          sem = local->second;
+          is_op = true;
+        }
+      }
+      if (is_op) {
+        if (!has_paren) {  // a mention, not an invocation (e.g. in a #define)
+          ++i;
+          continue;
+        }
+        std::size_t close = Match(i + 1, end);
+        std::size_t arg_end = FirstTopComma(i + 2, close);
+        std::string target = JoinTokens(i + 2, arg_end);
+        // OSK_RMW(cell, order, ...): the memory order is the second argument.
+        if (t.text == "OSK_RMW") {
+          sem = OskSem::kRmwRelaxed;
+          for (std::size_t j = arg_end; j < close; ++j) {
+            if (IsIdent(toks_[j], "kFull")) {
+              sem = OskSem::kRmwFull;
+            } else if (IsIdent(toks_[j], "kAcquire")) {
+              sem = OskSem::kRmwAcquire;
+            } else if (IsIdent(toks_[j], "kRelease")) {
+              sem = OskSem::kRmwRelease;
+            } else if (IsIdent(toks_[j], "kRelaxed")) {
+              sem = OskSem::kRmwRelaxed;
+            }
+          }
+        }
+        // Scan value arguments for nested invocations first (they evaluate
+        // before the outer op).
+        if (arg_end < close) {
+          ScanLinear(arg_end + 1, close, out);
+        }
+        EmitOsk(sem, target, t.line, out);
+        i = close + 1;
+        continue;
+      }
+      // Explicit lock calls: `x.Lock(k)` / `x->Unlock(k)`.
+      if ((t.text == "Lock" || t.text == "Unlock") && has_paren && i > begin &&
+          (IsPunct(toks_[i - 1], ".") || IsPunct(toks_[i - 1], "->"))) {
+        // Lock id: the longest ident/./->/:: chain ending just before.
+        std::size_t b = i - 1;
+        while (b > begin) {
+          const Token& prev = toks_[b - 1];
+          if (prev.kind == TokKind::kIdent || IsPunct(prev, ".") || IsPunct(prev, "->") ||
+              IsPunct(prev, "::")) {
+            --b;
+          } else {
+            break;
+          }
+        }
+        Op op;
+        op.kind = t.text == "Lock" ? Op::Kind::kLockEnter : Op::Kind::kLockExit;
+        op.lock_id = JoinTokens(b, i - 1);
+        PushOp(std::move(op), t.line, out);
+        i = Match(i + 1, end) + 1;
+        continue;
+      }
+      // Candidate intra-file call: bare identifier + '(' not preceded by a
+      // member/scope operator or a declaration-shaped identifier.
+      if (has_paren && t.text != "sizeof") {
+        bool qualified = i > begin && (IsPunct(toks_[i - 1], ".") || IsPunct(toks_[i - 1], "->") ||
+                                       IsPunct(toks_[i - 1], "::") || IsPunct(toks_[i - 1], "&"));
+        bool declaration = i > begin && toks_[i - 1].kind == TokKind::kIdent &&
+                           !IsExprKeyword(toks_[i - 1].text);
+        if (!qualified && !declaration) {
+          Op op;
+          op.kind = Op::Kind::kCall;
+          op.callee = t.text;
+          PushOp(std::move(op), t.line, out);
+        }
+        // Arguments may contain nested ops/calls: keep scanning inside.
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  std::string path_;
+  std::vector<Token> toks_;
+  std::map<std::string, OskSem> local_macros_;
+  std::string current_function_;
+  FileModel model_;
+};
+
+// --- dataflow ----------------------------------------------------------
+
+// Probe site indices used while computing interprocedural summaries: a
+// pending entry of each class injected at function entry. Pairs whose first
+// member is a probe become the function's "entry-exposed" sites; probes
+// surviving to exit mean the function kills nothing on some path.
+constexpr int kProbeStore = -101;
+constexpr int kProbeLoad = -102;
+constexpr int kProbeSl = -103;
+
+using LockSet = std::set<std::string>;
+using Pending = std::map<int, LockSet>;  // site index -> locks held at site
+
+struct EvalState {
+  bool reachable = true;
+  Pending ps;   // stores pending a store-ordering barrier
+  Pending pl;   // loads pending a load-ordering barrier
+  Pending psl;  // stores pending a full barrier (store->load class)
+  LockSet held;
+
+  friend bool operator==(const EvalState& a, const EvalState& b) {
+    return a.reachable == b.reachable && a.ps == b.ps && a.pl == b.pl && a.psl == b.psl &&
+           a.held == b.held;
+  }
+};
+
+Pending MergePending(const Pending& a, const Pending& b) {
+  Pending out = a;
+  for (const auto& [site, locks] : b) {
+    auto it = out.find(site);
+    if (it == out.end()) {
+      out[site] = locks;
+    } else {
+      LockSet both;
+      std::set_intersection(it->second.begin(), it->second.end(), locks.begin(), locks.end(),
+                            std::inserter(both, both.begin()));
+      it->second = std::move(both);
+    }
+  }
+  return out;
+}
+
+EvalState Merge(const EvalState& a, const EvalState& b) {
+  if (!a.reachable) {
+    return b;
+  }
+  if (!b.reachable) {
+    return a;
+  }
+  EvalState out;
+  out.ps = MergePending(a.ps, b.ps);
+  out.pl = MergePending(a.pl, b.pl);
+  out.psl = MergePending(a.psl, b.psl);
+  std::set_intersection(a.held.begin(), a.held.end(), b.held.begin(), b.held.end(),
+                        std::inserter(out.held, out.held.begin()));
+  return out;
+}
+
+// Interprocedural summary of one function under one fix-flag assumption.
+struct FnSummary {
+  bool kills_store = false;  // a store-ordering barrier on every path
+  bool kills_load = false;
+  bool kills_sl = false;
+  std::set<int> entry_store;  // store sites reachable before any store kill
+  std::set<int> entry_load;   // load sites reachable before any load kill
+  std::set<int> entry_sl;     // load sites reachable before any full kill
+  std::set<int> exit_store;   // sites still pending at exit
+  std::set<int> exit_load;
+  std::set<int> exit_sl;
+
+  friend bool operator==(const FnSummary& a, const FnSummary& b) {
+    return a.kills_store == b.kills_store && a.kills_load == b.kills_load &&
+           a.kills_sl == b.kills_sl && a.entry_store == b.entry_store &&
+           a.entry_load == b.entry_load && a.entry_sl == b.entry_sl &&
+           a.exit_store == b.exit_store && a.exit_load == b.exit_load && a.exit_sl == b.exit_sl;
+  }
+};
+
+class Dataflow {
+ public:
+  Dataflow(const FileModel& model, bool assume_fixed)
+      : model_(model), assume_fixed_(assume_fixed) {
+    for (std::size_t f = 0; f < model_.functions.size(); ++f) {
+      by_name_[model_.functions[f].name].push_back(f);
+    }
+  }
+
+  std::vector<SitePair> Run() {
+    // Bottom-up over call-graph SCCs (Tarjan), iterating each SCC to a
+    // fixpoint so recursion converges.
+    ComputeSccs();
+    for (const std::vector<std::size_t>& scc : sccs_) {
+      // Pessimistic start for the cycle: kills everything, exposes nothing.
+      for (std::size_t f : scc) {
+        summaries_[f].kills_store = summaries_[f].kills_load = summaries_[f].kills_sl = true;
+        have_summary_.insert(f);
+      }
+      for (int iter = 0; iter < 10; ++iter) {
+        bool changed = false;
+        for (std::size_t f : scc) {
+          FnSummary next = Summarize(model_.functions[f]);
+          if (!(next == summaries_[f])) {
+            summaries_[f] = next;
+            changed = true;
+          }
+        }
+        if (!changed) {
+          break;
+        }
+      }
+    }
+    std::vector<SitePair> out(pairs_.begin(), pairs_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  // --- call graph / SCCs ---
+  std::vector<std::size_t> CalleesOf(const Function& fn) const {
+    std::set<std::size_t> out;
+    CollectCallees(fn.body, &out);
+    return {out.begin(), out.end()};
+  }
+
+  void CollectCallees(const std::vector<Stmt>& stmts, std::set<std::size_t>* out) const {
+    for (const Stmt& s : stmts) {
+      if (s.kind == Stmt::Kind::kOp && s.op.kind == Op::Kind::kCall) {
+        auto it = by_name_.find(s.op.callee);
+        if (it != by_name_.end()) {
+          out->insert(it->second.begin(), it->second.end());
+        }
+      }
+      CollectCallees(s.body, out);
+      CollectCallees(s.else_body, out);
+    }
+  }
+
+  void ComputeSccs() {
+    const std::size_t n = model_.functions.size();
+    std::vector<int> index(n, -1);
+    std::vector<int> low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    int counter = 0;
+    // Iterative Tarjan to avoid deep recursion on big files.
+    struct Frame {
+      std::size_t v;
+      std::vector<std::size_t> edges;
+      std::size_t next = 0;
+    };
+    for (std::size_t root = 0; root < n; ++root) {
+      if (index[root] != -1) {
+        continue;
+      }
+      std::vector<Frame> frames;
+      frames.push_back({root, CalleesOf(model_.functions[root])});
+      index[root] = low[root] = counter++;
+      stack.push_back(root);
+      on_stack[root] = true;
+      while (!frames.empty()) {
+        Frame& fr = frames.back();
+        if (fr.next < fr.edges.size()) {
+          std::size_t w = fr.edges[fr.next++];
+          if (index[w] == -1) {
+            index[w] = low[w] = counter++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            frames.push_back({w, CalleesOf(model_.functions[w])});
+          } else if (on_stack[w]) {
+            low[fr.v] = std::min(low[fr.v], index[w]);
+          }
+          continue;
+        }
+        std::size_t v = fr.v;
+        if (low[v] == index[v]) {
+          std::vector<std::size_t> scc;
+          while (true) {
+            std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == v) {
+              break;
+            }
+          }
+          sccs_.push_back(std::move(scc));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+    // Tarjan emits SCCs in reverse topological order (callees before
+    // callers), which is exactly the bottom-up order we need.
+  }
+
+  // --- evaluation ---
+  bool SameTarget(int a, int b) const {
+    return NormalizeExpr(model_.sites[static_cast<std::size_t>(a)].expr) ==
+           NormalizeExpr(model_.sites[static_cast<std::size_t>(b)].expr);
+  }
+
+  static bool LocksOverlap(const LockSet& a, const LockSet& b) {
+    for (const std::string& l : a) {
+      if (b.count(l) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Emit(int first, int second, PairClass cls, const LockSet& first_locks,
+            const LockSet& held) {
+    if (LocksOverlap(first_locks, held)) {
+      return;  // both members inside the same critical section
+    }
+    if (first >= 0 && SameTarget(first, second)) {
+      return;  // same cell: coherence orders the pair
+    }
+    if (first < 0) {
+      // Pairing against an entry probe: record exposure in the summary
+      // being computed instead of a concrete pair.
+      switch (cls) {
+        case PairClass::kStoreStore:
+          cur_->entry_store.insert(second);
+          break;
+        case PairClass::kLoadLoad:
+          cur_->entry_load.insert(second);
+          break;
+        case PairClass::kStoreLoad:
+          cur_->entry_sl.insert(second);
+          break;
+      }
+      return;
+    }
+    pairs_.insert(SitePair{first, second, cls});
+  }
+
+  void ApplyLoadSite(int site, EvalState* s) {
+    for (const auto& [a, locks] : s->pl) {
+      Emit(a, site, PairClass::kLoadLoad, locks, s->held);
+    }
+    for (const auto& [a, locks] : s->psl) {
+      Emit(a, site, PairClass::kStoreLoad, locks, s->held);
+    }
+    s->pl[site] = s->held;
+  }
+
+  void ApplyStoreSite(int site, EvalState* s) {
+    for (const auto& [a, locks] : s->ps) {
+      Emit(a, site, PairClass::kStoreStore, locks, s->held);
+    }
+    s->ps[site] = s->held;
+    s->psl[site] = s->held;
+  }
+
+  void ApplyOp(const Op& op, EvalState* s) {
+    switch (op.kind) {
+      case Op::Kind::kLockEnter:
+        s->held.insert(op.lock_id);
+        return;
+      case Op::Kind::kLockExit:
+        s->held.erase(op.lock_id);
+        return;
+      case Op::Kind::kCall: {
+        auto it = by_name_.find(op.callee);
+        if (it == by_name_.end()) {
+          return;  // unknown / cross-file callee: no effect
+        }
+        FnSummary merged;
+        bool any = false;
+        for (std::size_t f : it->second) {
+          if (have_summary_.count(f) == 0) {
+            continue;
+          }
+          const FnSummary& sum = summaries_[f];
+          if (!any) {
+            merged = sum;
+            any = true;
+            continue;
+          }
+          // Overload merge: kill only when every candidate kills; expose
+          // and export the union.
+          merged.kills_store = merged.kills_store && sum.kills_store;
+          merged.kills_load = merged.kills_load && sum.kills_load;
+          merged.kills_sl = merged.kills_sl && sum.kills_sl;
+          merged.entry_store.insert(sum.entry_store.begin(), sum.entry_store.end());
+          merged.entry_load.insert(sum.entry_load.begin(), sum.entry_load.end());
+          merged.entry_sl.insert(sum.entry_sl.begin(), sum.entry_sl.end());
+          merged.exit_store.insert(sum.exit_store.begin(), sum.exit_store.end());
+          merged.exit_load.insert(sum.exit_load.begin(), sum.exit_load.end());
+          merged.exit_sl.insert(sum.exit_sl.begin(), sum.exit_sl.end());
+        }
+        if (!any) {
+          return;
+        }
+        for (int site : merged.entry_store) {
+          for (const auto& [a, locks] : s->ps) {
+            Emit(a, site, PairClass::kStoreStore, locks, s->held);
+          }
+        }
+        for (int site : merged.entry_load) {
+          for (const auto& [a, locks] : s->pl) {
+            Emit(a, site, PairClass::kLoadLoad, locks, s->held);
+          }
+        }
+        for (int site : merged.entry_sl) {
+          for (const auto& [a, locks] : s->psl) {
+            Emit(a, site, PairClass::kStoreLoad, locks, s->held);
+          }
+        }
+        if (merged.kills_store) {
+          s->ps.clear();
+        }
+        if (merged.kills_load) {
+          s->pl.clear();
+        }
+        if (merged.kills_sl) {
+          s->psl.clear();
+        }
+        for (int site : merged.exit_store) {
+          s->ps[site] = s->held;
+        }
+        for (int site : merged.exit_load) {
+          s->pl[site] = s->held;
+        }
+        for (int site : merged.exit_sl) {
+          s->psl[site] = s->held;
+        }
+        return;
+      }
+      case Op::Kind::kAccess:
+      case Op::Kind::kBarrier:
+        break;
+    }
+    if (op.kill_store) {
+      s->ps.clear();
+    }
+    if (op.kill_load) {
+      s->pl.clear();
+    }
+    if (op.kill_sl) {
+      s->psl.clear();
+    }
+    if (op.load_site >= 0) {
+      ApplyLoadSite(op.load_site, s);
+    }
+    if (op.store_site >= 0) {
+      ApplyStoreSite(op.store_site, s);
+    }
+  }
+
+  struct LoopCtx {
+    std::vector<EvalState> breaks;
+    std::vector<EvalState> continues;
+  };
+
+  EvalState EvalStmts(const std::vector<Stmt>& stmts, EvalState s,
+                      std::vector<EvalState>* returns, LoopCtx* loop) {
+    for (const Stmt& st : stmts) {
+      if (!s.reachable) {
+        return s;
+      }
+      switch (st.kind) {
+        case Stmt::Kind::kOp:
+          ApplyOp(st.op, &s);
+          break;
+        case Stmt::Kind::kBlock:
+          s = EvalStmts(st.body, std::move(s), returns, loop);
+          break;
+        case Stmt::Kind::kBranch: {
+          bool take_then = true;
+          bool take_else = true;
+          if (st.cond == CondMode::kFixTrue) {
+            take_then = assume_fixed_;
+            take_else = !assume_fixed_;
+          } else if (st.cond == CondMode::kFixFalse) {
+            take_then = !assume_fixed_;
+            take_else = assume_fixed_;
+          }
+          EvalState after_then = take_then ? EvalStmts(st.body, s, returns, loop) : EvalState{};
+          if (!take_then) {
+            after_then.reachable = false;
+          }
+          EvalState after_else =
+              take_else ? EvalStmts(st.else_body, std::move(s), returns, loop) : EvalState{};
+          if (!take_else) {
+            after_else.reachable = false;
+          }
+          s = Merge(after_then, after_else);
+          break;
+        }
+        case Stmt::Kind::kLoop: {
+          LoopCtx ctx;
+          EvalState entry = s;
+          EvalState cur = s;
+          for (int iter = 0; iter < 4; ++iter) {
+            EvalState body_out = EvalStmts(st.body, cur, returns, &ctx);
+            for (EvalState& c : ctx.continues) {
+              body_out = Merge(body_out, c);
+            }
+            ctx.continues.clear();
+            EvalState next = Merge(entry, body_out);
+            if (next == cur) {
+              break;
+            }
+            cur = std::move(next);
+          }
+          for (EvalState& b : ctx.breaks) {
+            cur = Merge(cur, b);
+          }
+          s = std::move(cur);
+          break;
+        }
+        case Stmt::Kind::kReturn:
+          returns->push_back(s);
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kBreak:
+          if (loop != nullptr) {
+            loop->breaks.push_back(s);
+          }
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kContinue:
+          if (loop != nullptr) {
+            loop->continues.push_back(s);
+          }
+          s.reachable = false;
+          break;
+      }
+    }
+    return s;
+  }
+
+  FnSummary Summarize(const Function& fn) {
+    FnSummary summary;
+    cur_ = &summary;
+    EvalState entry;
+    entry.ps[kProbeStore] = {};
+    entry.pl[kProbeLoad] = {};
+    entry.psl[kProbeSl] = {};
+    std::vector<EvalState> returns;
+    EvalState out = EvalStmts(fn.body, std::move(entry), &returns, nullptr);
+    for (EvalState& r : returns) {
+      out = Merge(out, r);
+    }
+    if (!out.reachable) {
+      // No path reaches an exit (e.g. empty body after a return-only CFG
+      // quirk): treat as killing everything.
+      summary.kills_store = summary.kills_load = summary.kills_sl = true;
+      cur_ = nullptr;
+      return summary;
+    }
+    summary.kills_store = out.ps.count(kProbeStore) == 0;
+    summary.kills_load = out.pl.count(kProbeLoad) == 0;
+    summary.kills_sl = out.psl.count(kProbeSl) == 0;
+    for (const auto& [site, locks] : out.ps) {
+      if (site >= 0) {
+        summary.exit_store.insert(site);
+      }
+    }
+    for (const auto& [site, locks] : out.pl) {
+      if (site >= 0) {
+        summary.exit_load.insert(site);
+      }
+    }
+    for (const auto& [site, locks] : out.psl) {
+      if (site >= 0) {
+        summary.exit_sl.insert(site);
+      }
+    }
+    cur_ = nullptr;
+    return summary;
+  }
+
+  const FileModel& model_;
+  bool assume_fixed_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+  std::vector<std::vector<std::size_t>> sccs_;
+  std::map<std::size_t, FnSummary> summaries_;
+  std::set<std::size_t> have_summary_;
+  std::set<SitePair> pairs_;
+  FnSummary* cur_ = nullptr;
+};
+
+// --- lock balance ------------------------------------------------------
+
+using HeldLocks = std::vector<std::pair<std::string, int>>;  // lock id, entry line
+
+void CollectExits(const std::vector<Stmt>& stmts, HeldLocks held,
+                  std::vector<HeldLocks>* exits, std::vector<HeldLocks>* fallthrough) {
+  for (const Stmt& s : stmts) {
+    switch (s.kind) {
+      case Stmt::Kind::kOp:
+        if (s.op.guard) {
+          break;  // RAII guards release on every exit path by construction
+        }
+        if (s.op.kind == Op::Kind::kLockEnter) {
+          held.emplace_back(s.op.lock_id, s.op.line != 0 ? s.op.line : s.line);
+        } else if (s.op.kind == Op::Kind::kLockExit) {
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (it->first == s.op.lock_id) {
+              held.erase(std::next(it).base());
+              break;
+            }
+          }
+        }
+        break;
+      case Stmt::Kind::kBlock: {
+        std::vector<HeldLocks> inner;
+        CollectExits(s.body, held, exits, &inner);
+        if (inner.empty()) {
+          return;  // every path inside returned/broke
+        }
+        held = inner.front();  // lock state is path-insensitive enough here
+        break;
+      }
+      case Stmt::Kind::kBranch: {
+        std::vector<HeldLocks> then_out;
+        std::vector<HeldLocks> else_out;
+        CollectExits(s.body, held, exits, &then_out);
+        CollectExits(s.else_body, held, exits, &else_out);
+        std::vector<HeldLocks> merged;
+        merged.insert(merged.end(), then_out.begin(), then_out.end());
+        merged.insert(merged.end(), else_out.begin(), else_out.end());
+        if (merged.empty()) {
+          return;
+        }
+        // Continue each surviving path; to bound the walk, continue with
+        // each distinct lock state once.
+        if (merged.size() > 1) {
+          std::sort(merged.begin(), merged.end());
+          merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        }
+        if (merged.size() == 1) {
+          held = merged.front();
+          break;
+        }
+        // Fork: finish the remaining statements once per state.
+        const Stmt* rest_begin = &s;
+        std::size_t idx = static_cast<std::size_t>(rest_begin - stmts.data()) + 1;
+        std::vector<Stmt> rest(stmts.begin() + static_cast<std::ptrdiff_t>(idx), stmts.end());
+        for (const HeldLocks& h : merged) {
+          CollectExits(rest, h, exits, fallthrough);
+        }
+        return;
+      }
+      case Stmt::Kind::kLoop: {
+        std::vector<HeldLocks> inner;
+        CollectExits(s.body, held, exits, &inner);
+        // 0 iterations keeps `held`; 1 iteration may change it — both flow on.
+        for (const HeldLocks& h : inner) {
+          if (h != held) {
+            const Stmt* rest_begin = &s;
+            std::size_t idx = static_cast<std::size_t>(rest_begin - stmts.data()) + 1;
+            std::vector<Stmt> rest(stmts.begin() + static_cast<std::ptrdiff_t>(idx),
+                                   stmts.end());
+            CollectExits(rest, h, exits, fallthrough);
+          }
+        }
+        break;
+      }
+      case Stmt::Kind::kReturn:
+        exits->push_back(held);
+        return;
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue:
+        // Path leaves this statement list; treat like a fallthrough exit of
+        // the enclosing loop for balance purposes.
+        fallthrough->push_back(held);
+        return;
+    }
+  }
+  fallthrough->push_back(held);
+}
+
+}  // namespace
+
+std::string NormalizeSrcPath(const std::string& path) {
+  std::string p = path;
+  for (char& c : p) {
+    if (c == '\\') {
+      c = '/';
+    }
+  }
+  std::size_t pos = p.rfind("src/");
+  // Prefer the earliest "src/" that starts a path component, so nested
+  // checkouts ("/home/x/src/repo/src/osk") still normalize consistently.
+  std::size_t first = p.find("src/");
+  while (first != std::string::npos && first != 0 && p[first - 1] != '/') {
+    first = p.find("src/", first + 1);
+  }
+  pos = first != std::string::npos ? first : pos;
+  return pos != std::string::npos ? p.substr(pos) : p;
+}
+
+const char* PairClassName(PairClass cls) {
+  switch (cls) {
+    case PairClass::kStoreStore:
+      return "S-S";
+    case PairClass::kLoadLoad:
+      return "L-L";
+    case PairClass::kStoreLoad:
+      return "S-L";
+  }
+  return "?";
+}
+
+FileModel ParseFile(const std::string& path, const std::string& contents) {
+  return Parser(path, contents).Run();
+}
+
+std::vector<SitePair> UnorderedPairs(const FileModel& model, bool assume_fixed) {
+  return Dataflow(model, assume_fixed).Run();
+}
+
+std::vector<LockImbalance> CheckLockBalance(const FileModel& model) {
+  std::vector<LockImbalance> out;
+  std::set<std::pair<std::string, int>> seen;
+  for (const Function& fn : model.functions) {
+    std::vector<HeldLocks> exits;
+    std::vector<HeldLocks> fallthrough;
+    CollectExits(fn.body, {}, &exits, &fallthrough);
+    exits.insert(exits.end(), fallthrough.begin(), fallthrough.end());
+    for (const HeldLocks& held : exits) {
+      for (const auto& [lock, line] : held) {
+        if (seen.insert({lock, line}).second) {
+          out.push_back(LockImbalance{fn.name, lock, line});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const LockImbalance& a, const LockImbalance& b) {
+    return a.line < b.line;
+  });
+  return out;
+}
+
+}  // namespace ozz::analysis::srcmodel

@@ -1,0 +1,142 @@
+// Source-level model of the instrumented OSK kernel: per-function sequences
+// of instrumented accesses, barriers, lock entry/exit and calls, recovered
+// from the token stream (src/analysis/srcmodel/srcparse.h) without a real
+// C++ frontend.
+//
+// The model drives two consumers:
+//   * the barrier-availability dataflow (UnorderedPairs) behind `ozz_audit`:
+//     a forward may-analysis over the intraprocedural CFG (branches, loops,
+//     early returns), lifted interprocedurally with bottom-up call-graph
+//     summaries (SCC-collapsed for recursion), that emits same-class access
+//     pairs reachable on some path with no intervening matching-class
+//     barrier and no common lock;
+//   * the CFG-backed lock-imbalance lint rule (CheckLockBalance).
+//
+// The analysis runs under a *fix-flag assumption*: conditions that test an
+// identifier starting with "fix" (`fixed_`, `fix_wmb_`, ...) resolve to the
+// assumed value, so the same source can be audited in its buggy form
+// (assume_fixed = false) and its fully-patched form (assume_fixed = true).
+// Pairs unordered in the buggy form but ordered in the fixed form are
+// exactly the documented missing-barrier sites.
+//
+// Soundness caveats (see DESIGN.md "Source-level barrier audit"): the model
+// is syntactic — aliasing is approximated by target-expression text,
+// indirect calls are ignored, and loop bodies are iterated to a small
+// fixpoint. The audit is therefore advisory only: it ranks and steers, it
+// never prunes a dynamic hint.
+#ifndef OZZ_SRC_ANALYSIS_SRCMODEL_SRCMODEL_H_
+#define OZZ_SRC_ANALYSIS_SRCMODEL_SRCMODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace ozz::analysis::srcmodel {
+
+// Normalizes a path to its "src/..." suffix so audit sites join against
+// std::source_location file names regardless of the build's working
+// directory (both "/repo/src/osk/x.cc" and "src/osk/x.cc" -> "src/osk/x.cc").
+std::string NormalizeSrcPath(const std::string& path);
+
+// One instrumented access (the store side or the load side of an op). RMWs
+// contribute up to two sites; pure barriers contribute none.
+struct AccessSite {
+  std::string file;      // normalized (NormalizeSrcPath)
+  std::string function;  // enclosing function/method name
+  std::string expr;      // target expression text, e.g. "pipe_->head"
+  int line = 0;          // 1-based line of the macro invocation
+  bool is_store = false;
+};
+
+// How a branch condition resolves under the fix-flag assumption.
+enum class CondMode {
+  kGeneric,   // explore both arms
+  kFixTrue,   // `if (fixed_)`: then-arm iff assume_fixed
+  kFixFalse,  // `if (!fixed_)`: then-arm iff !assume_fixed
+};
+
+// A primitive step in a function body.
+struct Op {
+  enum class Kind { kAccess, kBarrier, kLockEnter, kLockExit, kCall };
+  Kind kind = Kind::kAccess;
+  int line = 0;
+  int store_site = -1;  // index into FileModel::sites, -1 if none
+  int load_site = -1;
+  // Pending-pair classes this op discharges (applied before its own sites
+  // are considered): acquire/release/full semantics and pure barriers.
+  bool kill_store = false;  // smp_wmb / smp_mb / release / full RMW
+  bool kill_load = false;   // smp_rmb / smp_mb / acquire / full RMW
+  bool kill_sl = false;     // smp_mb / full RMW only (store->load class)
+  bool guard = false;       // RAII (SpinGuard) lock op — balanced by construction
+  std::string lock_id;      // kLockEnter / kLockExit
+  std::string callee;       // kCall
+};
+
+struct Stmt {
+  enum class Kind { kOp, kBranch, kLoop, kReturn, kBreak, kContinue, kBlock };
+  Kind kind = Kind::kOp;
+  int line = 0;
+  Op op;                        // kOp
+  CondMode cond = CondMode::kGeneric;  // kBranch
+  std::vector<Stmt> body;       // kBranch then-arm, kLoop body, kBlock
+  std::vector<Stmt> else_body;  // kBranch
+};
+
+struct Function {
+  std::string name;
+  int line = 0;
+  std::vector<Stmt> body;
+};
+
+struct FileModel {
+  std::string path;  // normalized
+  std::vector<AccessSite> sites;
+  std::vector<Function> functions;
+};
+
+// Parses one source file into its model. Never fails: unrecognized syntax
+// is skipped, leaving a (possibly empty) best-effort model.
+FileModel ParseFile(const std::string& path, const std::string& contents);
+
+enum class PairClass { kStoreStore, kLoadLoad, kStoreLoad };
+
+const char* PairClassName(PairClass cls);
+
+// A same-class access pair with no ordering guarantee on some path.
+struct SitePair {
+  int first = -1;  // indices into FileModel::sites; first precedes second
+  int second = -1;
+  PairClass cls = PairClass::kStoreStore;
+
+  friend bool operator<(const SitePair& a, const SitePair& b) {
+    if (a.first != b.first) return a.first < b.first;
+    if (a.second != b.second) return a.second < b.second;
+    return static_cast<int>(a.cls) < static_cast<int>(b.cls);
+  }
+  friend bool operator==(const SitePair& a, const SitePair& b) {
+    return a.first == b.first && a.second == b.second && a.cls == b.cls;
+  }
+};
+
+// Runs the barrier-availability dataflow over every function in the file
+// (interprocedural within the file — subsystem method names collide across
+// files, and each subsystem is a single translation unit) under the given
+// fix-flag assumption, and returns the unordered same-class pairs, sorted.
+// Same-target pairs (coherence-ordered) and pairs whose members share a
+// held lock are excluded.
+std::vector<SitePair> UnorderedPairs(const FileModel& model, bool assume_fixed);
+
+// A lock entered but not exited on some path to a return — input to the
+// lint's `lock-imbalance` rule. Only explicit `.Lock()` / `.Unlock()` calls
+// count; SpinGuard balances by construction and bit-lock macros are try-lock
+// shaped (the token scanner cannot see which branch owns the lock).
+struct LockImbalance {
+  std::string function;
+  std::string lock_id;
+  int line = 0;  // of the lock entry
+};
+
+std::vector<LockImbalance> CheckLockBalance(const FileModel& model);
+
+}  // namespace ozz::analysis::srcmodel
+
+#endif  // OZZ_SRC_ANALYSIS_SRCMODEL_SRCMODEL_H_

@@ -1,0 +1,310 @@
+#include "src/analysis/srcmodel/srcparse.h"
+
+#include <cctype>
+
+namespace ozz::analysis::srcparse {
+
+std::vector<std::string> SplitLines(const std::string& contents) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : contents) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    lines.push_back(cur);
+  }
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool Contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool Suppressed(const std::vector<std::string>& lines, std::size_t i, const char* marker) {
+  if (Contains(lines[i], marker)) {
+    return true;
+  }
+  return i > 0 && Contains(lines[i - 1], marker);
+}
+
+bool IsCommentLine(const std::string& line) {
+  std::size_t p = line.find_first_not_of(" \t");
+  return p != std::string::npos && line.compare(p, 2, "//") == 0;
+}
+
+std::string StripStrings(const std::string& line) {
+  std::string out = line;
+  bool in_string = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (in_string) {
+      if (out[i] == '\\') {
+        if (i + 1 < out.size()) {
+          out[i + 1] = ' ';
+        }
+        out[i] = ' ';
+        ++i;
+        continue;
+      }
+      if (out[i] == '"') {
+        in_string = false;
+      } else {
+        out[i] = ' ';
+      }
+    } else if (out[i] == '"') {
+      in_string = true;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> WordOccurrences(const std::string& line, const std::string& name) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    std::size_t end = pos + name.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      out.push_back(pos);
+    }
+    pos = end;
+  }
+  return out;
+}
+
+std::vector<MacroDef> CollectMacroDefs(const std::vector<std::string>& lines) {
+  std::vector<MacroDef> defs;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    std::size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line.compare(p, 8, "#define ") != 0) {
+      continue;
+    }
+    std::size_t name_begin = p + 8;
+    std::size_t name_end = name_begin;
+    while (name_end < line.size() && IsIdentChar(line[name_end])) {
+      ++name_end;
+    }
+    if (name_end == name_begin) {
+      continue;
+    }
+    MacroDef def;
+    def.name = line.substr(name_begin, name_end - name_begin);
+    def.line = static_cast<int>(i) + 1;
+    // The definition spans continuation lines ending in '\'.
+    for (std::size_t j = i; j < lines.size(); ++j) {
+      std::string piece = j == i ? line.substr(name_end) : lines[j];
+      if (!piece.empty() && piece.back() == '\\') {
+        piece.pop_back();
+        def.body += piece;
+        def.body += ' ';
+        continue;
+      }
+      def.body += piece;
+      break;
+    }
+    defs.push_back(std::move(def));
+  }
+  return defs;
+}
+
+std::set<std::string> CollectInstrumentedMacros(const std::vector<std::string>& lines) {
+  std::set<std::string> macros;
+  for (const MacroDef& def : CollectMacroDefs(lines)) {
+    if (Contains(def.body, "OSK_")) {
+      macros.insert(def.name);
+    }
+  }
+  return macros;
+}
+
+std::set<std::string> CollectCellNames(const std::vector<std::string>& lines) {
+  std::set<std::string> names;
+  for (const std::string& raw : lines) {
+    if (IsCommentLine(raw)) {
+      continue;
+    }
+    std::size_t cell = raw.find("Cell<");
+    if (cell == std::string::npos || (cell > 0 && IsIdentChar(raw[cell - 1]))) {
+      continue;
+    }
+    std::string line = raw;
+    std::size_t comment = line.find("//");
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    std::size_t stop = line.find_first_of(";={(", cell);
+    if (stop == std::string::npos) {
+      stop = line.size();
+    }
+    std::size_t end = stop;
+    while (end > cell) {
+      char c = line[end - 1];
+      if (c == ']') {
+        // Array declaration `Cell<T> fd[kMaxFds];` — skip the bound so the
+        // walk lands on the declared identifier, not on the bound.
+        int depth = 0;
+        while (end > cell) {
+          char d = line[end - 1];
+          depth += d == ']' ? 1 : d == '[' ? -1 : 0;
+          --end;
+          if (depth == 0) {
+            break;
+          }
+        }
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        break;
+      }
+      --end;
+    }
+    std::size_t begin = end;
+    while (begin > cell && IsIdentChar(line[begin - 1])) {
+      --begin;
+    }
+    if (begin < end && !std::isdigit(static_cast<unsigned char>(line[begin]))) {
+      std::string name = line.substr(begin, end - begin);
+      // `Cell<u64> head;` yields "head"; a bare `Cell<u64>` in template code
+      // would yield the type parameter — filter the obvious type spellings.
+      if (name != "Cell" && name != "u8" && name != "u16" && name != "u32" && name != "u64") {
+        names.insert(name);
+      }
+    }
+  }
+  return names;
+}
+
+namespace {
+
+// Two-char operators kept as one token; everything else is single-char.
+bool IsTwoCharOp(char a, char b) {
+  static const char* kOps[] = {"->", "::", "==", "!=", "<=", ">=",
+                               "&&", "||", "<<", ">>", "++", "--"};
+  for (const char* op : kOps) {
+    if (op[0] == a && op[1] == b) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& contents) {
+  std::vector<Token> toks;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = contents.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto push = [&](TokKind kind, std::string text) {
+    toks.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    char c = contents[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (contents[i] == '\n') {
+          if (i > 0 && contents[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;  // leave the '\n' for the main loop
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+      while (i < n && contents[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(contents[i] == '*' && contents[i + 1] == '/')) {
+        if (contents[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      continue;
+    }
+    // String / char literals: contents dropped.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < n && contents[i] != quote) {
+        if (contents[i] == '\\') {
+          ++i;
+        }
+        if (i < n && contents[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i < n) {
+        ++i;  // closing quote
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           quote == '"' ? "\"\"" : "''");
+      continue;
+    }
+    // Identifiers.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t b = i;
+      while (i < n && IsIdentChar(contents[i])) {
+        ++i;
+      }
+      push(TokKind::kIdent, contents.substr(b, i - b));
+      continue;
+    }
+    // Numbers (incl. hex and suffixes; '.' kept for float literals).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t b = i;
+      while (i < n && (IsIdentChar(contents[i]) || contents[i] == '.')) {
+        ++i;
+      }
+      push(TokKind::kNumber, contents.substr(b, i - b));
+      continue;
+    }
+    // Punctuation.
+    if (i + 1 < n && IsTwoCharOp(c, contents[i + 1])) {
+      push(TokKind::kPunct, contents.substr(i, 2));
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return toks;
+}
+
+}  // namespace ozz::analysis::srcparse

@@ -1,0 +1,86 @@
+// Shared lightweight C++ source scanning: line utilities and a token
+// scanner. One tokenizer, two consumers — the instrumentation lint
+// (src/analysis/lint.cc) and the source-level barrier auditor
+// (src/analysis/srcmodel/srcmodel.h).
+//
+// This is deliberately NOT a C++ parser (no libclang in the toolchain): it
+// tokenizes enough of the language to recover identifiers, punctuation and
+// line numbers, with comments, string-literal contents and preprocessor
+// directives stripped. Macro definitions are collected separately (with
+// continuation lines joined) so consumers can classify file-local wrappers
+// of the OSK_* instrumentation macros.
+#ifndef OZZ_SRC_ANALYSIS_SRCMODEL_SRCPARSE_H_
+#define OZZ_SRC_ANALYSIS_SRCMODEL_SRCPARSE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ozz::analysis::srcparse {
+
+// --- line utilities (shared with the lint) ---
+
+std::vector<std::string> SplitLines(const std::string& contents);
+
+bool IsIdentChar(char c);
+
+bool Contains(const std::string& s, const char* needle);
+
+// True when line `i` (or the preceding line, for a standalone comment)
+// carries the given suppression marker.
+bool Suppressed(const std::vector<std::string>& lines, std::size_t i, const char* marker);
+
+bool IsCommentLine(const std::string& line);
+
+// Blanks out "..." string-literal contents (keeping the quotes) so names
+// mentioned in messages or ArgDesc labels don't look like accesses.
+std::string StripStrings(const std::string& line);
+
+// Whole-word occurrences of `name` in `line`.
+std::vector<std::size_t> WordOccurrences(const std::string& line, const std::string& name);
+
+// Macro names #define'd in this file whose replacement (continuation lines
+// included) contains an OSK_* macro — invocations of those are instrumented
+// accesses, not bypasses.
+std::set<std::string> CollectInstrumentedMacros(const std::vector<std::string>& lines);
+
+// Identifiers declared with a Cell<...> (possibly nested, e.g.
+// PerCpu<Cell<u64>>) type.
+std::set<std::string> CollectCellNames(const std::vector<std::string>& lines);
+
+// --- token scanner ---
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. 0x..., suffixes)
+  kString,  // a "..." literal; text is the *blanked* literal ("")
+  kChar,    // a '.' literal
+  kPunct,   // punctuation; common two-char operators are one token
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+// Tokenizes `contents`. Comments and preprocessor directives (with
+// backslash continuations) are skipped entirely; string/char literal
+// contents are dropped. Two-char operators that matter for scanning
+// ("->", "::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++",
+// "--") come out as single tokens.
+std::vector<Token> Tokenize(const std::string& contents);
+
+// A #define collected from the file: name plus the continuation-joined
+// replacement text.
+struct MacroDef {
+  std::string name;
+  std::string body;
+  int line = 0;  // 1-based, of the #define
+};
+
+std::vector<MacroDef> CollectMacroDefs(const std::vector<std::string>& lines);
+
+}  // namespace ozz::analysis::srcparse
+
+#endif  // OZZ_SRC_ANALYSIS_SRCMODEL_SRCPARSE_H_

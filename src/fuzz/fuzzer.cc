@@ -4,11 +4,73 @@
 #include <map>
 #include <sstream>
 
+#include "src/analysis/srcmodel/srcmodel.h"
 #include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/fuzz/profile.h"
+#include "src/oemu/instr.h"
 
 namespace ozz::fuzz {
+namespace {
+
+// Joins a dynamic instruction onto the audit's (normalized file, line) key.
+// Unregistered ids (synthetic traces in tests) yield no key.
+bool InstrKey(InstrId id, GuideKey* key) {
+  if (id == kInvalidInstr || id > oemu::InstrRegistry::Count()) {
+    return false;
+  }
+  const oemu::InstrInfo& info = oemu::InstrRegistry::Info(id);
+  key->first = analysis::srcmodel::NormalizeSrcPath(info.file);
+  key->second = info.line;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>> GuidedPairOrder(
+    const ProgProfile& profile, const std::set<GuideKey>& guide_sites,
+    const std::set<GuideKey>& already_tested) {
+  const std::size_t n = profile.calls.size();
+  // Untested guide sites touched by each call's trace.
+  std::vector<std::set<GuideKey>> touched(n);
+  if (!guide_sites.empty()) {
+    for (std::size_t c = 0; c < n; ++c) {
+      for (const oemu::Event& ev : profile.calls[c].trace) {
+        GuideKey key;
+        if (!InstrKey(ev.instr, &key)) {
+          continue;
+        }
+        if (guide_sites.count(key) != 0 && already_tested.count(key) == 0) {
+          touched[c].insert(std::move(key));
+        }
+      }
+    }
+  }
+  struct Scored {
+    std::size_t a;
+    std::size_t b;
+    std::size_t score;
+  };
+  std::vector<Scored> scored;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) {
+        continue;
+      }
+      std::set<GuideKey> both = touched[a];
+      both.insert(touched[b].begin(), touched[b].end());
+      scored.push_back(Scored{a, b, both.size()});
+    }
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& x, const Scored& y) { return x.score > y.score; });
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(scored.size());
+  for (const Scored& s : scored) {
+    out.emplace_back(s.a, s.b);
+  }
+  return out;
+}
 
 std::string CampaignToJson(const CampaignResult& result) {
   std::ostringstream os;
@@ -22,7 +84,9 @@ std::string CampaignToJson(const CampaignResult& result) {
      << ",\"pairs_refuted\":" << hs.pairs_refuted
      << ",\"pairs_bounded\":" << hs.pairs_bounded
      << ",\"pair_candidates\":" << hs.pairs.candidates()
-     << ",\"pair_proven\":" << hs.pairs.proven() << ",\"bugs\":[";
+     << ",\"pair_proven\":" << hs.pairs.proven()
+     << ",\"guide_sites\":" << result.guide_sites
+     << ",\"guide_sites_tested\":" << result.guide_sites_tested << ",\"bugs\":[";
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {
     if (i > 0) {
       os << ',';
@@ -53,6 +117,9 @@ Fuzzer::Fuzzer(FuzzerOptions options) : options_(std::move(options)), rng_(optio
   template_kernel_ = std::make_unique<osk::Kernel>(options_.kernel_config);
   osk::InstallDefaultSubsystems(*template_kernel_);
   generator_ = std::make_unique<ProgGenerator>(template_kernel_->table(), &rng_);
+  for (const GuideSite& site : options_.static_guide) {
+    guide_sites_.insert({analysis::srcmodel::NormalizeSrcPath(site.file), site.line});
+  }
 }
 
 Fuzzer::~Fuzzer() = default;
@@ -76,6 +143,36 @@ void Fuzzer::RecordBug(const MtiSpec& spec, const MtiResult& mti, std::size_t hi
   result->bugs.push_back(std::move(bug));
 }
 
+std::size_t Fuzzer::GuideScore(const std::set<InstrId>& coverage) const {
+  if (guide_sites_.empty()) {
+    return 0;
+  }
+  std::set<GuideKey> hit;
+  for (InstrId id : coverage) {
+    GuideKey key;
+    if (InstrKey(id, &key) && guide_sites_.count(key) != 0 && guide_tested_.count(key) == 0) {
+      hit.insert(std::move(key));
+    }
+  }
+  return hit.size();
+}
+
+void Fuzzer::MarkHintTested(const SchedHint& hint) {
+  if (guide_sites_.empty()) {
+    return;
+  }
+  auto mark = [&](InstrId id) {
+    GuideKey key;
+    if (InstrKey(id, &key) && guide_sites_.count(key) != 0) {
+      guide_tested_.insert(std::move(key));
+    }
+  };
+  mark(hint.sched.instr);
+  for (const DynAccess& access : hint.reorder) {
+    mark(access.instr);
+  }
+}
+
 std::size_t Fuzzer::StiBudget() const {
   return options_.max_sti_runs != 0 ? options_.max_sti_runs : options_.max_mti_runs;
 }
@@ -97,17 +194,22 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
     OZZ_LOG(Warn) << "STI crashed sequentially: " << profile.crash.title;
     return false;
   }
-  corpus_.Add(prog, profile.coverage);
+  corpus_.Add(prog, profile.coverage, GuideScore(profile.coverage));
 
-  // Hypothetical-barrier tests for every ordered pair of calls.
+  // Hypothetical-barrier tests for every ordered pair of calls. With a
+  // static guide, pairs touching untested suspicious sites go first; the
+  // pair set itself is unchanged (guidance reorders, never drops).
   std::size_t pairs_tested = 0;
-  for (std::size_t a = 0; a < profile.calls.size(); ++a) {
-    for (std::size_t b = 0; b < profile.calls.size(); ++b) {
-      if (a == b || pairs_tested >= options_.max_pairs_per_prog) {
-        continue;
-      }
+  for (const auto& [a, b] : GuidedPairOrder(profile, guide_sites_, guide_tested_)) {
+    if (pairs_tested >= options_.max_pairs_per_prog) {
+      continue;
+    }
+    {
       std::vector<SchedHint> hints = ComputeHints(profile.calls[a].trace, profile.calls[b].trace,
                                                   options_.hints, &result->hint_stats);
+      for (const SchedHint& hint : hints) {
+        MarkHintTested(hint);
+      }
       if (hints.empty()) {
         continue;
       }
@@ -160,6 +262,8 @@ CampaignResult Fuzzer::Run() {
       if (TestProg(seed, &result)) {
         result.corpus_size = corpus_.size();
         result.coverage = corpus_.coverage_size();
+        result.guide_sites = guide_sites_.size();
+        result.guide_sites_tested = guide_tested_.size();
         return result;
       }
     }
@@ -174,6 +278,8 @@ CampaignResult Fuzzer::Run() {
   }
   result.corpus_size = corpus_.size();
   result.coverage = corpus_.coverage_size();
+  result.guide_sites = guide_sites_.size();
+  result.guide_sites_tested = guide_tested_.size();
   return result;
 }
 
@@ -190,6 +296,8 @@ CampaignResult Fuzzer::RunProg(const Prog& prog) {
   }
   result.corpus_size = corpus_.size();
   result.coverage = corpus_.coverage_size();
+  result.guide_sites = guide_sites_.size();
+  result.guide_sites_tested = guide_tested_.size();
   return result;
 }
 

@@ -9,14 +9,26 @@
 #include <string>
 #include <vector>
 
+#include <set>
+#include <utility>
+
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/executor.h"
 #include "src/fuzz/hints.h"
+#include "src/fuzz/profile.h"
 #include "src/fuzz/report.h"
 #include "src/fuzz/syslang.h"
 #include "src/osk/kernel.h"
 
 namespace ozz::fuzz {
+
+// A statically-suspicious access site (from the src/analysis/srcmodel
+// audit), identified the same way InstrRegistry identifies dynamic sites:
+// normalized source path + line. See src/fuzz/static_guide.h.
+struct GuideSite {
+  std::string file;
+  u32 line = 0;
+};
 
 struct FuzzerOptions {
   u64 seed = 1;
@@ -37,6 +49,11 @@ struct FuzzerOptions {
   // Hint ordering, for the §4.3 search-heuristic ablation.
   enum class HintOrder { kHeuristic, kReverse, kRandom };
   HintOrder hint_order = HintOrder::kHeuristic;
+  // Static guidance (`ozz_fuzz --static-guide`): call pairs whose traces
+  // touch guide sites not yet covered by any hint are tested first, and
+  // corpus picks are biased toward programs covering untested guide sites.
+  // Purely a priority boost — no hint or pair is ever skipped because of it.
+  std::vector<GuideSite> static_guide;
 };
 
 struct FoundBug {
@@ -56,12 +73,29 @@ struct CampaignResult {
   // Static pre-filter accounting across every hint calculation of the
   // campaign (pair stats are collected even when pruning is disabled).
   HintStats hint_stats;
+  // Static-guide accounting: sites supplied, and sites some hint's
+  // sched/reorder set covered during the campaign.
+  std::size_t guide_sites = 0;
+  std::size_t guide_sites_tested = 0;
 
   const FoundBug* FindByTitle(const std::string& needle) const;
 };
 
 // Machine-readable campaign summary (JSON) for dashboards/CI.
 std::string CampaignToJson(const CampaignResult& result);
+
+// The (file, line) key a GuideSite or a registered InstrId joins on.
+using GuideKey = std::pair<std::string, u32>;
+
+// Orders the ordered call pairs (a, b), a != b, of a profiled program so
+// pairs whose two traces touch more not-yet-tested guide sites come first
+// (stable: equal scores keep the natural (a, b) order, which is also the
+// full order when no guide is configured). Exposed for tests — this is the
+// "measurably reorders STI scheduling" contract of --static-guide. Every
+// pair is always present exactly once: guidance reorders, never drops.
+std::vector<std::pair<std::size_t, std::size_t>> GuidedPairOrder(
+    const ProgProfile& profile, const std::set<GuideKey>& guide_sites,
+    const std::set<GuideKey>& already_tested);
 
 class Fuzzer {
  public:
@@ -89,11 +123,18 @@ class Fuzzer {
   void RecordBug(const MtiSpec& spec, const MtiResult& mti, std::size_t hint_rank,
                  CampaignResult* result);
 
+  // Distinct untested guide sites covered by `coverage` (corpus-pick bias).
+  std::size_t GuideScore(const std::set<InstrId>& coverage) const;
+  // Marks guide sites covered by this hint's sched/reorder sets as tested.
+  void MarkHintTested(const SchedHint& hint);
+
   FuzzerOptions options_;
   base::Rng rng_;
   std::unique_ptr<osk::Kernel> template_kernel_;
   std::unique_ptr<ProgGenerator> generator_;
   Corpus corpus_;
+  std::set<GuideKey> guide_sites_;
+  std::set<GuideKey> guide_tested_;
 };
 
 }  // namespace ozz::fuzz

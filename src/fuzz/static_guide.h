@@ -1,0 +1,54 @@
+// Coverage cross-check between the source-level barrier audit
+// (src/analysis/srcmodel) and the dynamic side of the pipeline.
+//
+// The audit sees every instrumented access in the source; the fuzzer only
+// sees the InstrIds its corpus has executed. Joining the two (on normalized
+// file path + line) answers two questions the trace-based tiers cannot:
+//   (a) which statically-known access sites has the corpus never profiled?
+//   (b) which statically-unordered pairs has the hint machinery never
+//       actually tested (no hint whose sched/reorder sets cover both
+//       endpoints)?
+//
+// `ozz_fuzz --static-guide` consumes the same join live: guide sites boost
+// the scheduling priority of call pairs (and the corpus-pick probability of
+// programs) that touch statically-suspicious, not-yet-tested sites. The
+// signal is purely a priority boost — it never prunes a hint or skips a
+// pair (see tests/static_prune_test.cc).
+#ifndef OZZ_SRC_FUZZ_STATIC_GUIDE_H_
+#define OZZ_SRC_FUZZ_STATIC_GUIDE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/srcmodel/audit.h"
+#include "src/fuzz/fuzzer.h"
+
+namespace ozz::fuzz {
+
+struct CoverageGap {
+  int static_sites = 0;    // sites the audit knows about
+  int profiled_sites = 0;  // of those, sites some seed-corpus profile hit
+  int tested_pairs = 0;    // statically-unordered pairs some hint covered
+  std::vector<analysis::srcmodel::AccessSite> unprofiled;     // (a)
+  std::vector<analysis::srcmodel::AuditPair> untested_pairs;  // (b)
+};
+
+// Profiles the seed programs under `config` and joins their traces/hints
+// against the audit report. Deterministic (profiling is single-threaded and
+// the axiomatic tier is disabled for speed).
+CoverageGap CrossCheckCoverage(const analysis::srcmodel::AuditReport& report,
+                               const osk::KernelConfig& config);
+
+std::string FormatCoverageGap(const CoverageGap& gap);
+
+// A `"coverage": {...}` JSON member for AuditReportJson's extra slot.
+std::string CoverageGapJsonMember(const CoverageGap& gap);
+
+// Guide sites for `ozz_fuzz --static-guide`: the de-duplicated endpoints of
+// the audit's pairs, fix-gated pairs first. The fuzzer tracks live which of
+// them its hints have covered, so no pre-filtering by coverage is needed.
+std::vector<GuideSite> GuideSitesFromReport(const analysis::srcmodel::AuditReport& report);
+
+}  // namespace ozz::fuzz
+
+#endif  // OZZ_SRC_FUZZ_STATIC_GUIDE_H_

@@ -74,7 +74,7 @@ class SpinLock {
 class SpinGuard {
  public:
   SpinGuard(Kernel& kernel, SpinLock& lock) : kernel_(kernel), lock_(lock) {
-    lock_.Lock(kernel_);
+    lock_.Lock(kernel_);  // ozz-lint: allow-imbalance (released in ~SpinGuard)
   }
   ~SpinGuard() { lock_.Unlock(kernel_); }
 

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/base/log.h"
+#include "src/fuzz/profile.h"
 
 namespace ozz::fuzz {
 namespace {
@@ -71,6 +74,64 @@ TEST(FuzzerTest, ReportsHypotheticalBarrier) {
   EXPECT_FALSE(report.hypothetical_barrier.empty());
   EXPECT_FALSE(report.reordered_accesses.empty());
   EXPECT_NE(FormatBugReport(report).find("hypothetical barrier"), std::string::npos);
+}
+
+// --static-guide must measurably reorder STI scheduling: with a guide made
+// of rds.cc sites, call pairs involving the rds calls of a mixed program
+// jump ahead of the watch_queue pair that natural order tests first — and
+// the guided order is a permutation of the natural one (nothing dropped).
+TEST(FuzzerTest, GuidedPairOrderReordersTowardGuideSites) {
+  osk::Kernel kernel;
+  osk::InstallDefaultSubsystems(kernel);
+  Prog prog = SeedProgramFor(kernel.table(), "watch_queue");
+  Prog rds = SeedProgramFor(kernel.table(), "rds");
+  std::size_t first_rds_call = prog.calls.size();
+  prog.calls.insert(prog.calls.end(), rds.calls.begin(), rds.calls.end());
+  ProgProfile profile = ProfileProg(prog, {});
+  ASSERT_FALSE(profile.crashed) << profile.crash.title;
+  ASSERT_GE(profile.calls.size(), 4u);
+
+  std::vector<std::pair<std::size_t, std::size_t>> natural = GuidedPairOrder(profile, {}, {});
+  const std::size_t n = profile.calls.size();
+  ASSERT_EQ(natural.size(), n * n - n);
+  EXPECT_EQ(natural.front(), (std::pair<std::size_t, std::size_t>{0, 1}));
+
+  std::set<GuideKey> guide;
+  for (u32 line = 1; line < 300; ++line) {
+    guide.insert({"src/osk/subsys/rds.cc", line});
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> guided =
+      GuidedPairOrder(profile, guide, /*already_tested=*/{});
+  // The top pair now involves an rds call.
+  EXPECT_TRUE(guided.front().first >= first_rds_call || guided.front().second >= first_rds_call)
+      << guided.front().first << "," << guided.front().second;
+  EXPECT_NE(guided.front(), natural.front());
+  // Permutation: guidance reorders, never drops or duplicates.
+  std::vector<std::pair<std::size_t, std::size_t>> a = natural;
+  std::vector<std::pair<std::size_t, std::size_t>> b = guided;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // Once the guide sites are all tested, the natural order returns.
+  EXPECT_EQ(GuidedPairOrder(profile, guide, guide), natural);
+}
+
+TEST(FuzzerTest, CorpusPickBiasedTowardGuideScore) {
+  Corpus corpus;
+  Prog plain;  // zero calls
+  Prog scored;
+  scored.calls.emplace_back();  // one (null-desc) call — distinguishable
+  ASSERT_TRUE(corpus.Add(plain, {1}, /*guide_score=*/0));
+  ASSERT_TRUE(corpus.Add(scored, {2}, /*guide_score=*/3));
+  base::Rng rng(42);
+  int scored_picks = 0;
+  const int kTrials = 1000;
+  for (int i = 0; i < kTrials; ++i) {
+    scored_picks += corpus.Pick(rng).calls.empty() ? 0 : 1;
+  }
+  // Expected ~75% (half the picks forced to the top-scored program, half
+  // uniform); well above the 50% an unbiased pick would give.
+  EXPECT_GT(scored_picks, kTrials * 6 / 10) << scored_picks;
 }
 
 TEST(FuzzerTest, CampaignOverSeedsFindsMultipleBugs) {

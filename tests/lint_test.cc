@@ -237,6 +237,63 @@ TEST(LintTest, BarrierMentionInCommentOrStringNotFlagged) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintTest, LockImbalanceFlagged) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "long F(S* s, bool c) {\n"
+                                                 "  lock_.Lock(k);\n"
+                                                 "  if (c) {\n"
+                                                 "    return -1;\n"
+                                                 "  }\n"
+                                                 "  lock_.Unlock(k);\n"
+                                                 "  return 0;\n"
+                                                 "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-imbalance");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("lock_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("F()"), std::string::npos);
+}
+
+TEST(LintTest, LockImbalanceSuppressed) {
+  std::vector<LintFinding> findings =
+      LintSource("sub.cc",
+                 "long F(S* s, bool c) {\n"
+                 "  lock_.Lock(k);  // ozz-lint: allow-imbalance (released by callee)\n"
+                 "  if (c) {\n"
+                 "    return -1;\n"
+                 "  }\n"
+                 "  lock_.Unlock(k);\n"
+                 "  return 0;\n"
+                 "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, BalancedLockIsClean) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "long F(S* s, bool c) {\n"
+                                                 "  lock_.Lock(k);\n"
+                                                 "  if (c) {\n"
+                                                 "    lock_.Unlock(k);\n"
+                                                 "    return -1;\n"
+                                                 "  }\n"
+                                                 "  lock_.Unlock(k);\n"
+                                                 "  return 0;\n"
+                                                 "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, SpinGuardIsAlwaysBalanced) {
+  std::vector<LintFinding> findings = LintSource("sub.cc",
+                                                 "long F(Kernel& k, bool c) {\n"
+                                                 "  SpinGuard g(k, lock_);\n"
+                                                 "  if (c) {\n"
+                                                 "    return -1;\n"
+                                                 "  }\n"
+                                                 "  return 0;\n"
+                                                 "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintTest, FormatFindingIncludesLocationAndRule) {
   LintFinding f{"src/osk/subsys/x.cc", 42, "raw-accessor", "raw() bypasses OEMU"};
   std::string s = FormatFinding(f);

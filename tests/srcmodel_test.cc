@@ -1,0 +1,598 @@
+// Unit tests for the source-level barrier audit (src/analysis/srcmodel):
+// tokenizer, CFG recovery, the two-mode barrier-availability dataflow, the
+// interprocedural lift, the lock-imbalance check — all on inline snippets —
+// plus a golden audit over the real src/osk tree asserting every documented
+// missing-barrier scenario is flagged in its buggy form and none survive in
+// the fully fixed form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/srcmodel/audit.h"
+#include "src/analysis/srcmodel/srcmodel.h"
+#include "src/analysis/srcmodel/srcparse.h"
+#include "tests/scenarios.h"
+
+namespace ozz::analysis::srcmodel {
+namespace {
+
+FileModel Parse(const std::string& src) { return ParseFile("src/osk/t.cc", src); }
+
+// Renders one unordered pair as "functionA:exprA[S] -> functionB:exprB[L]".
+std::string Render(const FileModel& m, const SitePair& p) {
+  const AccessSite& a = m.sites[static_cast<std::size_t>(p.first)];
+  const AccessSite& b = m.sites[static_cast<std::size_t>(p.second)];
+  auto side = [](const AccessSite& s) {
+    return s.function + ":" + s.expr + (s.is_store ? "[S]" : "[L]");
+  };
+  return side(a) + " -> " + side(b);
+}
+
+std::vector<std::string> Pairs(const std::string& src, bool assume_fixed = false) {
+  FileModel m = Parse(src);
+  std::vector<std::string> out;
+  for (const SitePair& p : UnorderedPairs(m, assume_fixed)) {
+    out.push_back(Render(m, p));
+  }
+  return out;
+}
+
+bool HasPair(const std::vector<std::string>& pairs, const std::string& needle) {
+  return std::find(pairs.begin(), pairs.end(), needle) != pairs.end();
+}
+
+// --- tokenizer --------------------------------------------------------------
+
+TEST(SrcParseTest, TokenizeBasics) {
+  std::vector<srcparse::Token> toks = srcparse::Tokenize("a->b == 0x1f; // gone\ns::t(\"x\")");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[0].kind, srcparse::TokKind::kIdent);
+  EXPECT_EQ(toks[1].text, "->");  // two-char operator is one token
+  EXPECT_EQ(toks[3].text, "==");
+  EXPECT_EQ(toks[4].text, "0x1f");
+  EXPECT_EQ(toks[4].kind, srcparse::TokKind::kNumber);
+  // The comment is skipped entirely; the next token is on line 2.
+  EXPECT_EQ(toks[6].text, "s");
+  EXPECT_EQ(toks[6].line, 2);
+  EXPECT_EQ(toks[7].text, "::");
+  // String contents are blanked.
+  bool has_string = false;
+  for (const auto& t : toks) {
+    if (t.kind == srcparse::TokKind::kString) {
+      has_string = true;
+      EXPECT_EQ(t.text.find('x'), std::string::npos);
+    }
+    EXPECT_NE(t.text, "gone");
+  }
+  EXPECT_TRUE(has_string);
+}
+
+TEST(SrcParseTest, TokenizeSkipsPreprocessorWithContinuation) {
+  std::vector<srcparse::Token> toks =
+      srcparse::Tokenize("#define M(x) \\\n  OSK_STORE(x, 1)\nreal;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].text, "real");
+  EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(SrcParseTest, CollectMacroDefsJoinsContinuations) {
+  std::vector<std::string> lines = srcparse::SplitLines(
+      "#define SET_FLAG(s) \\\n  OSK_STORE((s)->flag, \\\n            1)\nint x;\n");
+  std::vector<srcparse::MacroDef> defs = srcparse::CollectMacroDefs(lines);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "SET_FLAG");
+  EXPECT_NE(defs[0].body.find("OSK_STORE"), std::string::npos);
+  EXPECT_NE(defs[0].body.find("1)"), std::string::npos);
+}
+
+// --- parser / CFG -----------------------------------------------------------
+
+TEST(SrcModelTest, StraightLineStoresPair) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, WmbOrdersStores) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_SMP_WMB();\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, StoreReleaseOrdersPriorStores) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_STORE_RELEASE(s->flag, 1);\n"
+      "}\n");
+  EXPECT_TRUE(pairs.empty()) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, RmbOrdersLoads) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  u32 a = OSK_LOAD(s->x);\n"
+      "  OSK_SMP_RMB();\n"
+      "  u32 b = OSK_LOAD(s->y);\n"
+      "  (void)a; (void)b;\n"
+      "}\n");
+  EXPECT_TRUE(pairs.empty()) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, LoadAcquireOrdersLaterLoads) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  u32 a = OSK_LOAD_ACQUIRE(s->flag);\n"
+      "  u32 b = OSK_LOAD(s->x);\n"
+      "  (void)a; (void)b;\n"
+      "}\n");
+  EXPECT_TRUE(pairs.empty()) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, WmbDoesNotOrderStoreLoad) {
+  // Only a full barrier discharges the store->load class; wmb does not. The
+  // S-L pair is residual-dropped by the audit layer but UnorderedPairs
+  // itself must still see it.
+  FileModel m = Parse(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_SMP_WMB();\n"
+      "  u32 r = OSK_LOAD(s->y);\n"
+      "  (void)r;\n"
+      "}\n");
+  std::vector<SitePair> pairs = UnorderedPairs(m, /*assume_fixed=*/false);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].cls, PairClass::kStoreLoad);
+}
+
+TEST(SrcModelTest, FullBarrierOrdersStoreLoad) {
+  FileModel m = Parse(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_SMP_MB();\n"
+      "  u32 r = OSK_LOAD(s->y);\n"
+      "  (void)r;\n"
+      "}\n");
+  EXPECT_TRUE(UnorderedPairs(m, false).empty());
+}
+
+TEST(SrcModelTest, FullRmwActsAsFullBarrier) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_RMW(s->state, oemu::RmwOrder::kFull, oemu::RmwOp::kSetBit, 1);\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_TRUE(pairs.empty()) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, SameTargetPairIsCoherenceOrdered) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_STORE(s->x, 2);\n"
+      "}\n");
+  EXPECT_TRUE(pairs.empty()) << ::testing::PrintToString(pairs);
+}
+
+// --- fix-flag differential --------------------------------------------------
+
+TEST(SrcModelTest, FixGatedBarrierOrdersOnlyFixedForm) {
+  const char* src =
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (fix_wmb_) {\n"
+      "    OSK_SMP_WMB();\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(HasPair(Pairs(src, /*assume_fixed=*/false), "F:s->x[S] -> F:s->y[S]"));
+  EXPECT_FALSE(HasPair(Pairs(src, /*assume_fixed=*/true), "F:s->x[S] -> F:s->y[S]"));
+}
+
+TEST(SrcModelTest, NegatedFixConditionInverts) {
+  const char* src =
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (!fixed_) {\n"
+      "    OSK_STORE(s->y, 2);\n"
+      "  }\n"
+      "}\n";
+  // The buggy form executes the then-arm; the fixed form never reaches s->y.
+  EXPECT_TRUE(HasPair(Pairs(src, false), "F:s->x[S] -> F:s->y[S]"));
+  EXPECT_TRUE(Pairs(src, true).empty());
+}
+
+TEST(SrcModelTest, GenericBranchBarrierInOneArmStillUnordered) {
+  // A barrier on only one arm of a data-dependent branch does not order the
+  // pair: the may-analysis keeps the barrier-free path in both modes.
+  const char* src =
+      "void F(S* s, bool c) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (c) {\n"
+      "    OSK_SMP_WMB();\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(HasPair(Pairs(src, false), "F:s->x[S] -> F:s->y[S]"));
+  EXPECT_TRUE(HasPair(Pairs(src, true), "F:s->x[S] -> F:s->y[S]"));
+}
+
+TEST(SrcModelTest, BarrierOnBothArmsOrders) {
+  const char* src =
+      "void F(S* s, bool c) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (c) {\n"
+      "    OSK_SMP_WMB();\n"
+      "  } else {\n"
+      "    OSK_SMP_MB();\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(Pairs(src, false).empty()) << ::testing::PrintToString(Pairs(src, false));
+}
+
+// --- control flow -----------------------------------------------------------
+
+TEST(SrcModelTest, EarlyReturnArmDoesNotKill) {
+  // Path A: return before the second store (no pair on that path).
+  // Path B: falls through — the pair exists.
+  const char* src =
+      "void F(S* s, bool c) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (c) {\n"
+      "    return;\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(HasPair(Pairs(src, false), "F:s->x[S] -> F:s->y[S]"));
+}
+
+TEST(SrcModelTest, CodeAfterUnconditionalReturnIsDead) {
+  const char* src =
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  return;\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(Pairs(src, false).empty()) << ::testing::PrintToString(Pairs(src, false));
+}
+
+TEST(SrcModelTest, LoopCarriesPairsAcrossIterations) {
+  // One iteration orders a before b textually; the back edge also makes
+  // (b, a) reachable with no barrier between.
+  const char* src =
+      "void F(S* s, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    OSK_STORE(s->a, i);\n"
+      "    OSK_STORE(s->b, i);\n"
+      "  }\n"
+      "}\n";
+  std::vector<std::string> pairs = Pairs(src, false);
+  EXPECT_TRUE(HasPair(pairs, "F:s->a[S] -> F:s->b[S]")) << ::testing::PrintToString(pairs);
+  EXPECT_TRUE(HasPair(pairs, "F:s->b[S] -> F:s->a[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, LoopBodyBarrierOrdersWithinIteration) {
+  const char* src =
+      "void F(S* s, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    OSK_STORE(s->a, i);\n"
+      "    OSK_SMP_WMB();\n"
+      "    OSK_STORE(s->b, i);\n"
+      "  }\n"
+      "}\n";
+  std::vector<std::string> pairs = Pairs(src, false);
+  EXPECT_FALSE(HasPair(pairs, "F:s->a[S] -> F:s->b[S]")) << ::testing::PrintToString(pairs);
+  // Across the back edge b -> (next iteration) a there is still no wmb
+  // AFTER b before a: b; [back edge] a has the wmb of the next iteration
+  // between a and b only. So (b, a) stays unordered.
+  EXPECT_TRUE(HasPair(pairs, "F:s->b[S] -> F:s->a[S]")) << ::testing::PrintToString(pairs);
+}
+
+// --- locks ------------------------------------------------------------------
+
+TEST(SrcModelTest, CommonLockSuppressesPair) {
+  const char* src =
+      "void F(S* s) {\n"
+      "  lock_.Lock(k);\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "  lock_.Unlock(k);\n"
+      "}\n";
+  EXPECT_TRUE(Pairs(src, false).empty()) << ::testing::PrintToString(Pairs(src, false));
+}
+
+TEST(SrcModelTest, LockedAndUnlockedAccessStillPairs) {
+  const char* src =
+      "void F(S* s) {\n"
+      "  lock_.Lock(k);\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  lock_.Unlock(k);\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(HasPair(Pairs(src, false), "F:s->x[S] -> F:s->y[S]"));
+}
+
+TEST(SrcModelTest, SpinGuardHoldsLockToScopeEnd) {
+  const char* src =
+      "void F(Kernel& k, S* s) {\n"
+      "  SpinGuard g(k, lock_);\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(Pairs(src, false).empty()) << ::testing::PrintToString(Pairs(src, false));
+}
+
+TEST(SrcModelTest, SpinGuardInnerScopeReleases) {
+  const char* src =
+      "void F(Kernel& k, S* s) {\n"
+      "  {\n"
+      "    SpinGuard g(k, lock_);\n"
+      "    OSK_STORE(s->x, 1);\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  EXPECT_TRUE(HasPair(Pairs(src, false), "F:s->x[S] -> F:s->y[S]"));
+}
+
+// --- interprocedural --------------------------------------------------------
+
+TEST(SrcModelTest, HelperBarrierKillsAcrossCall) {
+  const char* src =
+      "void Publish() {\n"
+      "  OSK_SMP_WMB();\n"
+      "}\n"
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  Publish();\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n";
+  std::vector<std::string> pairs = Pairs(src, false);
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, HelperStoresPairWithCallerStores) {
+  const char* src =
+      "void SetFlag(S* s) {\n"
+      "  OSK_STORE(s->flag, 1);\n"
+      "}\n"
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  SetFlag(s);\n"
+      "}\n";
+  std::vector<std::string> pairs = Pairs(src, false);
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[S] -> SetFlag:s->flag[S]"))
+      << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, FixGatedHelperGatesTheCallerPair) {
+  const char* src =
+      "void Publish(S* s) {\n"
+      "  if (fixed_) {\n"
+      "    OSK_SMP_WMB();\n"
+      "  }\n"
+      "  OSK_STORE(s->flag, 1);\n"
+      "}\n"
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  Publish(s);\n"
+      "}\n";
+  EXPECT_TRUE(HasPair(Pairs(src, false), "F:s->x[S] -> Publish:s->flag[S]"));
+  EXPECT_FALSE(HasPair(Pairs(src, true), "F:s->x[S] -> Publish:s->flag[S]"));
+}
+
+TEST(SrcModelTest, RecursionTerminates) {
+  const char* src =
+      "void A(S* s, int n);\n"
+      "void B(S* s, int n) {\n"
+      "  OSK_STORE(s->b, n);\n"
+      "  A(s, n - 1);\n"
+      "}\n"
+      "void A(S* s, int n) {\n"
+      "  OSK_STORE(s->a, n);\n"
+      "  if (n > 0) {\n"
+      "    B(s, n);\n"
+      "  }\n"
+      "}\n";
+  std::vector<std::string> pairs = Pairs(src, false);  // must not hang
+  EXPECT_TRUE(HasPair(pairs, "A:s->a[S] -> B:s->b[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, LambdasAreSeparateFunctions) {
+  // Registration lambdas (the subsystem Init idiom) must not be flattened
+  // into the enclosing body — that would sequentially compose unrelated
+  // handlers into bogus cross-handler pairs.
+  const char* src =
+      "void Init(K& kernel) {\n"
+      "  reg([this](K& k) {\n"
+      "    OSK_STORE(s_->a, 1);\n"
+      "    return 0;\n"
+      "  });\n"
+      "  reg([this](K& k) {\n"
+      "    OSK_STORE(s_->b, 1);\n"
+      "    return 0;\n"
+      "  });\n"
+      "}\n";
+  FileModel m = Parse(src);
+  // Each lambda body is its own anonymous function...
+  int lambdas = 0;
+  for (const Function& f : m.functions) {
+    lambdas += f.name.rfind("<lambda@", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(lambdas, 2);
+  // ...so the two handlers' stores never pair up.
+  for (const std::string& p : Pairs(src, false)) {
+    EXPECT_EQ(p.find("s_->a[S] -> "), std::string::npos) << p;
+  }
+}
+
+TEST(SrcModelTest, PairWithinOneLambdaIsStillSeen) {
+  const char* src =
+      "void Init(K& kernel) {\n"
+      "  reg([this](K& k) {\n"
+      "    OSK_STORE(s_->a, 1);\n"
+      "    OSK_STORE(s_->b, 2);\n"
+      "    return 0;\n"
+      "  });\n"
+      "}\n";
+  std::vector<std::string> pairs = Pairs(src, false);
+  ASSERT_EQ(pairs.size(), 1u) << ::testing::PrintToString(pairs);
+  EXPECT_NE(pairs[0].find("s_->a[S] -> "), std::string::npos);
+}
+
+// --- lock imbalance ---------------------------------------------------------
+
+TEST(SrcModelTest, LockImbalanceOnEarlyReturn) {
+  FileModel m = Parse(
+      "long F(S* s, bool c) {\n"
+      "  lock_.Lock(k);\n"
+      "  if (c) {\n"
+      "    return -1;\n"
+      "  }\n"
+      "  lock_.Unlock(k);\n"
+      "  return 0;\n"
+      "}\n");
+  std::vector<LockImbalance> im = CheckLockBalance(m);
+  ASSERT_EQ(im.size(), 1u);
+  EXPECT_EQ(im[0].function, "F");
+  EXPECT_EQ(im[0].lock_id, "lock_");
+  EXPECT_EQ(im[0].line, 2);
+}
+
+TEST(SrcModelTest, BalancedLockIsClean) {
+  FileModel m = Parse(
+      "long F(S* s, bool c) {\n"
+      "  lock_.Lock(k);\n"
+      "  if (c) {\n"
+      "    lock_.Unlock(k);\n"
+      "    return -1;\n"
+      "  }\n"
+      "  lock_.Unlock(k);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(CheckLockBalance(m).empty());
+}
+
+TEST(SrcModelTest, SpinGuardNeverImbalanced) {
+  FileModel m = Parse(
+      "long F(Kernel& k, bool c) {\n"
+      "  SpinGuard g(k, lock_);\n"
+      "  if (c) {\n"
+      "    return -1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(CheckLockBalance(m).empty());
+}
+
+// --- path normalization -----------------------------------------------------
+
+TEST(SrcModelTest, NormalizeSrcPath) {
+  EXPECT_EQ(NormalizeSrcPath("/repo/src/osk/subsys/x.cc"), "src/osk/subsys/x.cc");
+  EXPECT_EQ(NormalizeSrcPath("src/osk/x.cc"), "src/osk/x.cc");
+  EXPECT_EQ(NormalizeSrcPath("unrelated.cc"), "unrelated.cc");
+}
+
+// --- golden audit over the real tree ---------------------------------------
+
+// Maps a scenario's fix_key to the subsystem source file its documented
+// missing barrier lives in.
+const char* ScenarioFile(const std::string& fix_key) {
+  if (fix_key == "fs") return "src/osk/subsys/fs_fdtable.cc";
+  if (fix_key == "mq") return "src/osk/subsys/mq_sbitmap.cc";
+  if (fix_key == "unix") return "src/osk/subsys/unix_sock.cc";
+  if (fix_key == "buffer") return "src/osk/subsys/buffer_head.cc";
+  return nullptr;  // the rest: src/osk/subsys/<fix_key>.cc
+}
+
+TEST(AuditGoldenTest, FlagsDocumentedScenariosAndOnlyThem) {
+  std::vector<SourceFile> files = LoadSourceDir(OZZ_SOURCE_DIR "/src/osk/subsys");
+  ASSERT_FALSE(files.empty());
+  AuditReport report = RunAudit(files);
+  EXPECT_GT(report.gated_pairs, 0);
+
+  // Greedy distinct matching: each scenario claims one unclaimed fix-gated
+  // pair in its subsystem file with the documented reorder class. An "S-S"
+  // scenario may also match a store->load pair (the same missing store
+  // barrier manifests as either class at the source level).
+  std::set<std::string> claimed;
+  int matched = 0;
+  std::vector<std::string> missed;
+  for (const fuzz::Scenario& s : ozz::fuzz::kBugScenarios) {
+    const char* mapped = ScenarioFile(s.fix_key);
+    std::string file = mapped != nullptr
+                           ? mapped
+                           : "src/osk/subsys/" + std::string(s.fix_key) + ".cc";
+    bool found = false;
+    for (const AuditPair& pair : report.pairs) {
+      if (!pair.fix_gated || pair.first.file != file) {
+        continue;
+      }
+      bool class_ok = std::string(s.reorder_type) == "L-L"
+                          ? pair.cls == PairClass::kLoadLoad
+                          : pair.cls != PairClass::kLoadLoad;
+      if (!class_ok || claimed.count(pair.Identity()) != 0) {
+        continue;
+      }
+      claimed.insert(pair.Identity());
+      found = true;
+      break;
+    }
+    if (found) {
+      ++matched;
+    } else {
+      missed.push_back(s.name);
+    }
+  }
+  EXPECT_GE(matched, 19) << "missed scenarios: " << ::testing::PrintToString(missed);
+
+  // Fixed-form check: no documented (fix-gated) pair survives when every fix
+  // flag is assumed applied — the audit reports zero sites on fixed forms.
+  std::set<std::string> fixed_ids = UnorderedIdentities(files, /*assume_fixed=*/true);
+  for (const AuditPair& pair : report.pairs) {
+    if (pair.fix_gated) {
+      EXPECT_EQ(fixed_ids.count(pair.Identity()), 0u) << pair.Identity();
+    }
+  }
+}
+
+TEST(AuditGoldenTest, ReportShapesAreConsistent) {
+  std::vector<SourceFile> files = LoadSourceDir(OZZ_SOURCE_DIR "/src/osk");
+  ASSERT_FALSE(files.empty());
+  AuditReport report = RunAudit(files);
+  EXPECT_EQ(report.gated_pairs + report.residual_pairs, static_cast<int>(report.pairs.size()));
+  EXPECT_EQ(report.sites, static_cast<int>(report.site_list.size()));
+  // Fix-gated pairs come first, and every pair identity is unique.
+  std::set<std::string> ids;
+  bool in_residual = false;
+  for (const AuditPair& pair : report.pairs) {
+    EXPECT_TRUE(ids.insert(pair.Identity()).second) << pair.Identity();
+    if (!pair.fix_gated) {
+      in_residual = true;
+    }
+    EXPECT_FALSE(in_residual && pair.fix_gated) << "gated pair after residual";
+    // Residual store->load pairs are dropped by design (TSO noise).
+    if (!pair.fix_gated) {
+      EXPECT_NE(pair.cls, PairClass::kStoreLoad) << pair.Identity();
+    }
+  }
+  // The JSON rendering is well-formed enough to contain the headline counts.
+  std::string json = AuditReportJson(report, "");
+  EXPECT_NE(json.find("\"gated_pairs\""), std::string::npos);
+  EXPECT_NE(json.find("\"subsystems\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ozz::analysis::srcmodel

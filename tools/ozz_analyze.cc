@@ -23,7 +23,9 @@
 #include "src/analysis/axiomatic.h"
 #include "src/analysis/fence_synth.h"
 #include "src/analysis/report.h"
+#include "src/analysis/srcmodel/audit.h"
 #include "src/fuzz/profile.h"
+#include "src/fuzz/static_guide.h"
 #include "src/fuzz/syslang.h"
 #include "src/oemu/instr.h"
 #include "src/osk/kernel.h"
@@ -42,6 +44,8 @@ void Usage() {
       "  --json              emit one machine-readable JSON report on stdout\n"
       "  --no-axiomatic      skip the axiomatic witness engine / fence synthesis\n"
       "  --budget N          axiomatic executions budget per pair (default 1<<18)\n"
+      "  --audit             run the source-level barrier audit instead (ozz_audit)\n"
+      "  --src DIR           source tree for --audit (default: src/osk)\n"
       "  --list              print known subsystems and exit\n");
 }
 
@@ -103,7 +107,9 @@ PairVerdict Judge(const analysis::PairAnalysis& pa, const analysis::RankedPair& 
 int main(int argc, char** argv) {
   osk::KernelConfig config;
   std::string subsystem;
+  std::string audit_src = "src/osk";
   std::size_t max_pairs = 8;
+  bool audit = false;
   bool list = false;
   bool json = false;
   bool axiomatic = true;
@@ -125,6 +131,10 @@ int main(int argc, char** argv) {
       axiomatic = false;
     } else if (arg == "--budget") {
       ax.max_executions = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg == "--src") {
+      audit_src = next();
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -136,6 +146,26 @@ int main(int argc, char** argv) {
     } else {
       subsystem = arg;
     }
+  }
+
+  if (audit) {
+    // Same report as the standalone ozz_audit tool: source-level barrier
+    // audit plus the dynamic coverage cross-check against the seed corpus.
+    namespace srcmodel = analysis::srcmodel;
+    std::vector<srcmodel::SourceFile> files = srcmodel::LoadSourceDir(audit_src);
+    if (files.empty()) {
+      std::fprintf(stderr, "ozz_analyze: no .cc/.h files under '%s'\n", audit_src.c_str());
+      return 2;
+    }
+    srcmodel::AuditReport report = srcmodel::RunAudit(files);
+    fuzz::CoverageGap gap = fuzz::CrossCheckCoverage(report, config);
+    if (json) {
+      std::printf("%s", srcmodel::AuditReportJson(report, fuzz::CoverageGapJsonMember(gap)).c_str());
+    } else {
+      std::printf("%s\n%s", srcmodel::FormatAuditText(report).c_str(),
+                  fuzz::FormatCoverageGap(gap).c_str());
+    }
+    return 0;
   }
 
   // A template kernel exposes the syscall table; it is never executed

@@ -1,0 +1,155 @@
+// ozz_audit: source-level barrier audit of the instrumented OSK kernel.
+//
+// Usage:
+//   ozz_audit [--src DIR] [--json] [--assume-fixed] [--no-coverage]
+//             [--baseline FILE] [--print-baseline]
+//
+// Parses every .cc/.h under DIR (default src/osk) with the srcmodel token
+// parser, runs the barrier-availability dataflow in both fix-flag modes, and
+// reports:
+//   * fix-gated pairs — unordered in the buggy form, ordered in the fixed
+//     form: the documented missing-barrier sites;
+//   * residual pairs  — unordered in both forms: benign under invariants the
+//     syntactic model cannot see. These feed the CI baseline
+//     (ci/audit_baseline.txt): --baseline fails (exit 1) on any residual
+//     pair not listed there, so new statically-unordered pairs need an
+//     explicit baseline update to land.
+// By default the report also joins static sites against the seed-corpus
+// dynamic profile (never-profiled sites, never-hint-tested pairs); that is
+// the signal `ozz_fuzz --static-guide` consumes. The audit is advisory: it
+// never prunes a hint (tests/static_prune_test.cc asserts this).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "src/analysis/srcmodel/audit.h"
+#include "src/fuzz/static_guide.h"
+
+using namespace ozz;
+namespace srcmodel = ozz::analysis::srcmodel;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "ozz_audit — source-level barrier audit over the instrumented kernel\n\n"
+      "  ozz_audit [options]\n\n"
+      "  --src DIR          source tree to audit (default: src/osk)\n"
+      "  --json             emit one machine-readable JSON report on stdout\n"
+      "  --assume-fixed     print the unordered-pair identities of the fixed form only\n"
+      "  --no-coverage      skip the dynamic coverage cross-check (faster; CI uses this)\n"
+      "  --baseline FILE    fail (exit 1) on residual pairs missing from FILE\n"
+      "  --print-baseline   print the residual-pair identities (the baseline format)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string src_dir = "src/osk";
+  std::string baseline_path;
+  bool json = false;
+  bool assume_fixed = false;
+  bool coverage = true;
+  bool print_baseline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--src") {
+      src_dir = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--assume-fixed") {
+      assume_fixed = true;
+    } else if (arg == "--no-coverage") {
+      coverage = false;
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--print-baseline") {
+      print_baseline = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  std::vector<srcmodel::SourceFile> files = srcmodel::LoadSourceDir(src_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "ozz_audit: no .cc/.h files under '%s'\n", src_dir.c_str());
+    return 2;
+  }
+
+  if (assume_fixed) {
+    for (const std::string& id : srcmodel::UnorderedIdentities(files, /*assume_fixed=*/true)) {
+      std::printf("%s\n", id.c_str());
+    }
+    return 0;
+  }
+
+  srcmodel::AuditReport report = srcmodel::RunAudit(files);
+
+  if (print_baseline) {
+    std::printf("# residual (non-fix-gated) statically-unordered pairs in %s.\n", src_dir.c_str());
+    std::printf("# regenerate with: ozz_audit --src %s --print-baseline\n", src_dir.c_str());
+    for (const srcmodel::AuditPair& pair : report.pairs) {
+      if (!pair.fix_gated) {
+        std::printf("%s\n", pair.Identity().c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "ozz_audit: cannot read baseline '%s'\n", baseline_path.c_str());
+      return 2;
+    }
+    std::set<std::string> allowed;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') {
+        allowed.insert(line);
+      }
+    }
+    int fresh = 0;
+    for (const srcmodel::AuditPair& pair : report.pairs) {
+      if (!pair.fix_gated && allowed.count(pair.Identity()) == 0) {
+        std::fprintf(stderr, "ozz_audit: NEW statically-unordered pair (not in %s):\n  %s\n",
+                     baseline_path.c_str(), pair.Identity().c_str());
+        ++fresh;
+      }
+    }
+    if (fresh != 0) {
+      std::fprintf(stderr,
+                   "ozz_audit: %d new pair(s); add a barrier or update the baseline "
+                   "(ozz_audit --src %s --print-baseline)\n",
+                   fresh, src_dir.c_str());
+      return 1;
+    }
+  }
+
+  std::string coverage_text;
+  std::string coverage_json;
+  if (coverage) {
+    osk::KernelConfig config;
+    fuzz::CoverageGap gap = fuzz::CrossCheckCoverage(report, config);
+    coverage_text = fuzz::FormatCoverageGap(gap);
+    coverage_json = fuzz::CoverageGapJsonMember(gap);
+  }
+
+  if (json) {
+    std::printf("%s", srcmodel::AuditReportJson(report, coverage_json).c_str());
+  } else {
+    std::printf("%s", srcmodel::FormatAuditText(report).c_str());
+    if (!coverage_text.empty()) {
+      std::printf("\n%s", coverage_text.c_str());
+    }
+  }
+  return 0;
+}

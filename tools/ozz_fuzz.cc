@@ -13,9 +13,11 @@
 #include <fstream>
 #include <string>
 
+#include "src/analysis/srcmodel/audit.h"
 #include "src/base/log.h"
 #include "src/fuzz/fuzzer.h"
 #include "src/fuzz/replay.h"
+#include "src/fuzz/static_guide.h"
 
 using namespace ozz;
 
@@ -33,6 +35,8 @@ void Usage() {
       "  --fixed SUBSYS      apply the barrier patch for SUBSYS (repeatable)\n"
       "  --hack-migration    emulate per-CPU thread migration (Table 4 #6)\n"
       "  --hint-order X      heuristic | reverse | random (ablation)\n"
+      "  --static-guide      boost STIs covering statically-suspicious untested pairs\n"
+      "  --guide-src DIR     source tree for --static-guide (default: src/osk)\n"
       "  --seed-prog NAME    hunt around one scenario's seed program only\n"
       "  --save-dir DIR      write replayable crash specs into DIR\n"
       "  --list-syscalls     print the syscall table and exit\n"
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
   options.max_mti_runs = 20000;
   std::string save_dir;
   std::string seed_prog;
+  std::string guide_src = "src/osk";
+  bool static_guide = false;
   bool list_syscalls = false;
   bool json = false;
 
@@ -74,6 +80,10 @@ int main(int argc, char** argv) {
       options.hint_order = order == "reverse"  ? fuzz::FuzzerOptions::HintOrder::kReverse
                            : order == "random" ? fuzz::FuzzerOptions::HintOrder::kRandom
                                                : fuzz::FuzzerOptions::HintOrder::kHeuristic;
+    } else if (arg == "--static-guide") {
+      static_guide = true;
+    } else if (arg == "--guide-src") {
+      guide_src = next();
     } else if (arg == "--seed-prog") {
       seed_prog = next();
     } else if (arg == "--save-dir") {
@@ -87,6 +97,17 @@ int main(int argc, char** argv) {
     } else {
       Usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  if (static_guide) {
+    namespace srcmodel = analysis::srcmodel;
+    std::vector<srcmodel::SourceFile> files = srcmodel::LoadSourceDir(guide_src);
+    if (files.empty()) {
+      std::fprintf(stderr, "ozz_fuzz: --static-guide: no .cc/.h files under '%s'; unguided\n",
+                   guide_src.c_str());
+    } else {
+      options.static_guide = fuzz::GuideSitesFromReport(srcmodel::RunAudit(files));
     }
   }
 
@@ -119,6 +140,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.mti_runs),
               static_cast<unsigned long long>(result.sti_runs), result.corpus_size,
               result.coverage);
+  if (result.guide_sites > 0) {
+    std::printf("static guide: %zu suspicious sites, %zu reached by a tested hint\n",
+                result.guide_sites, result.guide_sites_tested);
+  }
   std::printf(
       "hints: %llu generated, pruned %llu static + %llu axiomatic; "
       "pairs: %llu proven / %llu, verdicts %llu witnessed / %llu refuted / %llu bounded\n\n",
