@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Reorder-trace triage gate over the 21 known-bug scenarios (tests/scenarios.h).
+#
+# For every scenario this script hunts the bug with `ozz_fuzz --trace-out`
+# (same recipe as bug_scenarios_test: seed 99, budget 2500, stop at 1 bug)
+# and then triages the recorded traces with `ozz_trace --json`, asserting
+#   1. every recorded trace is classified into exactly one lifecycle verdict,
+#   2. at least one trace of the campaign reaches the `triggered` verdict
+#      (the run that found the bug must carry an oracle event in its trace).
+#
+# Usage: ci/check_trace.sh [path/to/ozz_fuzz] [path/to/ozz_trace]
+set -u
+
+FUZZ=${1:-./build/tools/ozz_fuzz}
+TRACE=${2:-./build/tools/ozz_trace}
+
+if [[ ! -x "$FUZZ" || ! -x "$TRACE" ]]; then
+  echo "check_trace: need ozz_fuzz and ozz_trace binaries ($FUZZ, $TRACE)" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# name|seed|pre_fixed|migration_hack — mirrors tests/scenarios.h.
+SCENARIOS="
+rds_bug1|rds||
+watch_queue_bug2|watch_queue|watch_queue.rmb|
+vmci_bug3|vmci||
+xsk_poll_bug4|xsk||
+tls_getsockopt_bug5|tls_getsockopt||
+bpf_sockmap_bug6|bpf_sockmap||
+xsk_xmit_bug7|xsk_xmit||
+smc_connect_bug8|smc||
+tls_setsockopt_bug9|tls||
+smc_fput_bug10|smc_close||
+gsm_bug11|gsm||
+vlan_t4_1|vlan||
+watch_queue_rmb_t4_2|watch_queue|watch_queue.wmb|
+fs_fget_t4_5|fs||
+mq_sbitmap_t4_6|mq||hack
+nbd_t4_7|nbd||
+unix_t4_9|unix||
+ringbuf_torn_read|ringbuf||
+rdma_hw_t45|rdma||
+buffer_memorder_82|buffer||
+synthetic_sb_fig10|synthetic||
+"
+
+fail=0
+total=0
+while IFS='|' read -r name seed pre_fixed hack; do
+  [[ -z "$name" ]] && continue
+  total=$((total + 1))
+  dir="$WORK/$name"
+  args=(--seed 99 --budget 2500 --bugs 1 --seed-prog "$seed" --trace-out "$dir")
+  [[ -n "$pre_fixed" ]] && args+=(--fixed "$pre_fixed")
+  [[ "$hack" == "hack" ]] && args+=(--hack-migration)
+
+  if ! "$FUZZ" "${args[@]}" >"$WORK/$name.log" 2>&1; then
+    echo "FAIL $name: ozz_fuzz did not find the bug (see log below)"
+    tail -5 "$WORK/$name.log"
+    fail=1
+    continue
+  fi
+
+  json="$WORK/$name.json"
+  if ! "$TRACE" --json "$dir" >"$json" 2>&1; then
+    echo "FAIL $name: ozz_trace could not triage $dir"
+    fail=1
+    continue
+  fi
+
+  traces=$(find "$dir" -name '*.ozztrace' | wc -l)
+  verdicts=$(grep -o '"verdict":' "$json" | wc -l)
+  triggered=$(grep -o '"verdict":"triggered"' "$json" | wc -l)
+
+  if [[ "$verdicts" -ne "$traces" ]]; then
+    echo "FAIL $name: $traces trace(s) but $verdicts verdict(s) — not exactly one each"
+    fail=1
+  elif [[ "$triggered" -lt 1 ]]; then
+    echo "FAIL $name: no trace reached the 'triggered' verdict ($traces traces)"
+    fail=1
+  else
+    echo "ok   $name: $traces trace(s), $triggered triggered"
+  fi
+done <<< "$SCENARIOS"
+
+if [[ "$total" -ne 21 ]]; then
+  echo "check_trace: scenario table out of sync ($total != 21)" >&2
+  fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_trace: FAILED"
+  exit 1
+fi
+echo "check_trace: all $total scenarios produce a 'triggered' hint lifecycle"

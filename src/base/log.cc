@@ -1,7 +1,9 @@
 #include "src/base/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <mutex>
 
 namespace ozz::base {
@@ -26,15 +28,67 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+struct RateLimitState {
+  u64 last_emit_us = 0;
+  bool emitted_once = false;
+  u64 suppressed = 0;
+};
+
+std::mutex g_rate_mutex;
+std::map<std::string, RateLimitState>& RateLimits() {
+  static std::map<std::string, RateLimitState>* limits =
+      new std::map<std::string, RateLimitState>();
+  return *limits;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
 
+u64 MonotonicMicros() {
+  static const std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+}
+
+int CurrentLogThreadId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void LogLine(LogLevel level, const std::string& line) {
+  u64 us = MonotonicMicros();
+  int tid = CurrentLogThreadId();
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), line.c_str());
+  std::fprintf(stderr, "[%8.3fs] [t%d] [%s] %s\n", static_cast<double>(us) / 1e6, tid,
+               LevelTag(level), line.c_str());
+}
+
+void LogLineRateLimited(LogLevel level, const std::string& key, u64 min_interval_us,
+                        const std::string& line) {
+  u64 now = MonotonicMicros();
+  u64 suppressed = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_rate_mutex);
+    RateLimitState& state = RateLimits()[key];
+    if (state.emitted_once && now - state.last_emit_us < min_interval_us) {
+      ++state.suppressed;
+      return;
+    }
+    state.last_emit_us = now;
+    state.emitted_once = true;
+    suppressed = state.suppressed;
+    state.suppressed = 0;
+  }
+  if (suppressed > 0) {
+    LogLine(level, line + " (" + std::to_string(suppressed) + " suppressed)");
+  } else {
+    LogLine(level, line);
+  }
 }
 
 namespace detail {

@@ -1,18 +1,72 @@
 #include "src/fuzz/executor.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/base/check.h"
+#include "src/base/log.h"
 #include "src/fuzz/profile.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_io.h"
+#include "src/oemu/instr.h"
 #include "src/rt/machine.h"
 
 namespace ozz::fuzz {
+namespace {
+
+// Resolves ids through the process's InstrRegistry for serialization.
+// Unregistered ids (synthetic traces in tests) are left out of the table.
+bool ResolveInstr(InstrId id, obs::InstrTableEntry* out) {
+  if (id == kInvalidInstr || id > oemu::InstrRegistry::Count()) {
+    return false;
+  }
+  const oemu::InstrInfo& info = oemu::InstrRegistry::Info(id);
+  out->line = info.line;
+  out->kind = static_cast<u8>(info.kind);
+  out->file = info.file;
+  out->function = info.function;
+  out->expr = info.expr;
+  return true;
+}
+
+obs::TraceMeta MetaFor(const MtiSpec& spec, const MtiOptions& options,
+                       const MtiResult& result) {
+  obs::TraceMeta meta;
+  meta.has_hint = true;
+  meta.store_test = spec.hint.store_test;
+  meta.sched_before = spec.hint.sched_phase == rt::SwitchWhen::kBeforeAccess;
+  meta.sched_instr = spec.hint.sched.instr;
+  meta.sched_occurrence = spec.hint.sched.occurrence;
+  for (const DynAccess& a : spec.hint.reorder) {
+    obs::TraceMember m;
+    m.instr = a.instr;
+    m.occurrence = a.occurrence;
+    m.is_store = spec.hint.store_test;
+    meta.members.push_back(m);
+  }
+  meta.label = options.trace_label;
+  if (result.crashed) {
+    meta.crash_title = result.crash.title;
+  }
+  return meta;
+}
+
+}  // namespace
 
 MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
   MtiResult result;
   OZZ_CHECK(spec.call_a < spec.prog.calls.size());
   OZZ_CHECK(spec.call_b < spec.prog.calls.size());
   OZZ_CHECK(spec.call_a != spec.call_b);
+
+  // The recorder spans the whole execution so prefix-call activity (which can
+  // explain a never-armed hint) is in the trace too.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!options.trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->Activate();
+  }
 
   oemu::Runtime::Options rt_opts;
   rt_opts.reordering_enabled = options.reordering;
@@ -58,6 +112,14 @@ MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
     // then arm the breakpoint so occurrences count from call_a's start.
     ThreadId tid = oemu::Runtime::CurrentThreadId();
     for (const DynAccess& a : spec.hint.reorder) {
+      // With reordering disabled the runtime ignores the controls entirely —
+      // the hint is never armed (the trace triage agrees: a baseline run's
+      // hint lifecycle is "never-armed").
+      if (options.reordering) {
+        ++result.hint_armed;
+        OZZ_TRACE_EMIT(obs::EvType::kHintArm, tid, 0, a.instr, a.occurrence,
+                       spec.hint.store_test ? 1 : 0);
+      }
       if (spec.hint.store_test) {
         runtime.DelayStoreAt(tid, a.instr, a.occurrence);
       } else {
@@ -92,11 +154,35 @@ MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
   result.ret_b = results[spec.call_b];
   result.switch_fired = machine.plan_points_consumed() > 0;
   result.stats = runtime.stats();
+  result.hint_hits = spec.hint.store_test
+                         ? result.stats.spec_delayed_stores
+                         : result.stats.spec_stale_loads + result.stats.spec_fresh_loads;
   if (kernel.crashed()) {
     result.crashed = true;
     result.crash = *kernel.crash();
   }
   runtime.Deactivate();
+
+  {
+    obs::Metrics& metrics = obs::Metrics::Global();
+    metrics.GetCounter("fuzz.mti_runs").Add();
+    metrics.GetCounter("fuzz.hints_armed").Add(result.hint_armed);
+    if (result.hint_hits > 0) {
+      metrics.GetCounter("fuzz.hints_hit").Add();
+    }
+    if (result.crashed) {
+      metrics.GetCounter("fuzz.hints_triggered").Add();
+    }
+  }
+
+  if (recorder != nullptr) {
+    recorder->Deactivate();
+    std::string error;
+    if (!obs::WriteTraceFile(options.trace_path, MetaFor(spec, options, result),
+                             recorder->Collect(), ResolveInstr, &error)) {
+      OZZ_LOG(Warn) << "trace not written: " << error;
+    }
+  }
   return result;
 }
 

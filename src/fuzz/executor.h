@@ -32,6 +32,10 @@ struct MtiResult {
   long ret_b = 0;
   bool switch_fired = false;  // the scheduling point was reached
   oemu::Runtime::Stats stats;
+  // Hint-lifecycle accounting (mirrors the trace triage, available even
+  // without a trace): controls installed, and accesses that matched one.
+  u64 hint_armed = 0;
+  u64 hint_hits = 0;
   // Return values of every call: prefix calls (index < max(a,b), run before
   // the pair), the pair itself, and epilogue calls (index > max(a,b), run
   // after the pair — handy as postcondition oracles).
@@ -43,6 +47,10 @@ struct MtiOptions {
   // false: ignore the hint's reorder set (in-order execution — what a
   // conventional concurrency fuzzer tests; the §6.1 "x86-64/TCG" point).
   bool reordering = true;
+  // Non-empty: record a reorder trace of this execution and serialize it to
+  // the given .ozztrace path (inspect with ozz_trace).
+  std::string trace_path;
+  std::string trace_label;
 };
 
 MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options = {});

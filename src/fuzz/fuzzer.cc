@@ -1,6 +1,7 @@
 #include "src/fuzz/fuzzer.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <map>
 #include <sstream>
 
@@ -8,6 +9,7 @@
 #include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/fuzz/profile.h"
+#include "src/obs/metrics.h"
 #include "src/oemu/instr.h"
 
 namespace ozz::fuzz {
@@ -86,7 +88,9 @@ std::string CampaignToJson(const CampaignResult& result) {
      << ",\"pair_candidates\":" << hs.pairs.candidates()
      << ",\"pair_proven\":" << hs.pairs.proven()
      << ",\"guide_sites\":" << result.guide_sites
-     << ",\"guide_sites_tested\":" << result.guide_sites_tested << ",\"bugs\":[";
+     << ",\"guide_sites_tested\":" << result.guide_sites_tested
+     << ",\"metrics\":" << (result.metrics_json.empty() ? "{}" : result.metrics_json)
+     << ",\"bugs\":[";
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {
     if (i > 0) {
       os << ',';
@@ -244,6 +248,14 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
         MtiOptions mti_opts;
         mti_opts.kernel_config = options_.kernel_config;
         mti_opts.reordering = options_.reordering;
+        if (!options_.trace_dir.empty()) {
+          std::ostringstream path;
+          path << options_.trace_dir << "/mti_" << std::setw(6) << std::setfill('0')
+               << result->mti_runs << ".ozztrace";
+          mti_opts.trace_path = path.str();
+          mti_opts.trace_label = prog.calls[a].desc->name + std::string(" || ") +
+                                 prog.calls[b].desc->name;
+        }
         MtiResult mti = RunMti(spec, mti_opts);
         ++result->mti_runs;
         if (mti.crashed) {
@@ -255,15 +267,22 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
   return Exhausted(*result);
 }
 
+void Fuzzer::Finalize(const obs::MetricsSnapshot& begin, CampaignResult* result) const {
+  result->corpus_size = corpus_.size();
+  result->coverage = corpus_.coverage_size();
+  result->guide_sites = guide_sites_.size();
+  result->guide_sites_tested = guide_tested_.size();
+  result->metrics_json =
+      obs::Metrics::ToJson(obs::Metrics::Delta(begin, obs::Metrics::Global().Snapshot()));
+}
+
 CampaignResult Fuzzer::Run() {
   CampaignResult result;
+  const obs::MetricsSnapshot metrics_begin = obs::Metrics::Global().Snapshot();
   if (options_.use_seed_programs) {
     for (const Prog& seed : SeedPrograms(template_kernel_->table())) {
       if (TestProg(seed, &result)) {
-        result.corpus_size = corpus_.size();
-        result.coverage = corpus_.coverage_size();
-        result.guide_sites = guide_sites_.size();
-        result.guide_sites_tested = guide_tested_.size();
+        Finalize(metrics_begin, &result);
         return result;
       }
     }
@@ -276,15 +295,13 @@ CampaignResult Fuzzer::Run() {
       break;
     }
   }
-  result.corpus_size = corpus_.size();
-  result.coverage = corpus_.coverage_size();
-  result.guide_sites = guide_sites_.size();
-  result.guide_sites_tested = guide_tested_.size();
+  Finalize(metrics_begin, &result);
   return result;
 }
 
 CampaignResult Fuzzer::RunProg(const Prog& prog) {
   CampaignResult result;
+  const obs::MetricsSnapshot metrics_begin = obs::Metrics::Global().Snapshot();
   Prog current = prog;
   while (!Exhausted(result) && result.bugs.empty()) {
     if (TestProg(current, &result)) {
@@ -294,10 +311,7 @@ CampaignResult Fuzzer::RunProg(const Prog& prog) {
     // so the search explores around the seed instead of oscillating on it.
     current = generator_->Mutate(rng_.OneIn(4) ? prog : current, options_.max_calls);
   }
-  result.corpus_size = corpus_.size();
-  result.coverage = corpus_.coverage_size();
-  result.guide_sites = guide_sites_.size();
-  result.guide_sites_tested = guide_tested_.size();
+  Finalize(metrics_begin, &result);
   return result;
 }
 

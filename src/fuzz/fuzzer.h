@@ -18,6 +18,7 @@
 #include "src/fuzz/profile.h"
 #include "src/fuzz/report.h"
 #include "src/fuzz/syslang.h"
+#include "src/obs/metrics.h"
 #include "src/osk/kernel.h"
 
 namespace ozz::fuzz {
@@ -54,6 +55,9 @@ struct FuzzerOptions {
   // corpus picks are biased toward programs covering untested guide sites.
   // Purely a priority boost — no hint or pair is ever skipped because of it.
   std::vector<GuideSite> static_guide;
+  // Non-empty: every MTI execution writes a reorder trace into this directory
+  // as mti_NNNNNN.ozztrace (triage the set with ozz_trace).
+  std::string trace_dir;
 };
 
 struct FoundBug {
@@ -77,6 +81,9 @@ struct CampaignResult {
   // sched/reorder set covered during the campaign.
   std::size_t guide_sites = 0;
   std::size_t guide_sites_tested = 0;
+  // This campaign's contribution to the obs metrics registry (counter and
+  // histogram deltas as JSON); embedded under "metrics" by CampaignToJson.
+  std::string metrics_json;
 
   const FoundBug* FindByTitle(const std::string& needle) const;
 };
@@ -122,6 +129,10 @@ class Fuzzer {
   bool TestProg(const Prog& prog, CampaignResult* result);
   void RecordBug(const MtiSpec& spec, const MtiResult& mti, std::size_t hint_rank,
                  CampaignResult* result);
+
+  // Fills the end-of-campaign fields: corpus/coverage/guide accounting and
+  // the metrics delta since `begin` (this campaign's contribution).
+  void Finalize(const obs::MetricsSnapshot& begin, CampaignResult* result) const;
 
   // Distinct untested guide sites covered by `coverage` (corpus-pick bias).
   std::size_t GuideScore(const std::set<InstrId>& coverage) const;

@@ -1,0 +1,27 @@
+// Trace exporters.
+//
+// ToPerfettoJson emits the Chrome trace-event JSON format, which both
+// chrome://tracing and ui.perfetto.dev open directly: syscalls become B/E
+// duration slices, everything else instant events, one track per simulated
+// thread. The timestamp axis is the deterministic global emission sequence
+// (`seq`), not wall time — identical runs export byte-identical JSON, which
+// is what the golden test in tests/obs_test.cc pins down.
+//
+// ToTimeline is the plain-text rendering of the same merged order, for
+// terminals and diffs.
+#ifndef OZZ_SRC_OBS_EXPORT_H_
+#define OZZ_SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/trace_io.h"
+
+namespace ozz::obs {
+
+std::string ToPerfettoJson(const TraceFile& file);
+
+std::string ToTimeline(const TraceFile& file);
+
+}  // namespace ozz::obs
+
+#endif  // OZZ_SRC_OBS_EXPORT_H_

@@ -1,0 +1,144 @@
+#include "src/obs/metrics.h"
+
+#include <sstream>
+
+namespace ozz::obs {
+
+Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (bounds_[i] >= bounds_[i + 1]) {
+      bounds_.clear();  // malformed bounds: degenerate to overflow-only
+      break;
+    }
+  }
+  cells_.resize(bounds_.size() + 1);
+}
+
+void Histogram::Record(u64 value) {
+  std::size_t bucket = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  cells_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  u64 prev = max_.load(std::memory_order_relaxed);
+  while (value > prev && !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<u64> Histogram::counts() const {
+  std::vector<u64> out;
+  out.reserve(cells_.size());
+  for (const std::atomic<u64>& c : cells_) {
+    out.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+Metrics& Metrics::Global() {
+  static Metrics* instance = new Metrics();
+  return *instance;
+}
+
+Counter& Metrics::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Histogram& Metrics::GetHistogram(const std::string& name, const std::vector<u64>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(bounds);
+  }
+  return *slot;
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::Hist h;
+    h.bounds = hist->bounds();
+    h.counts = hist->counts();
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.max = hist->max();
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+MetricsSnapshot Metrics::Delta(const MetricsSnapshot& begin, const MetricsSnapshot& end) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : end.counters) {
+    auto it = begin.counters.find(name);
+    u64 base = it == begin.counters.end() ? 0 : it->second;
+    out.counters[name] = value - base;
+  }
+  for (const auto& [name, hist] : end.histograms) {
+    MetricsSnapshot::Hist h = hist;
+    auto it = begin.histograms.find(name);
+    if (it != begin.histograms.end() && it->second.counts.size() == h.counts.size()) {
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        h.counts[i] -= it->second.counts[i];
+      }
+      h.count -= it->second.count;
+      h.sum -= it->second.sum;
+    }
+    out.histograms[name] = std::move(h);
+  }
+  return out;
+}
+
+std::string Metrics::ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "" : ",") << '"' << name << "\":" << value;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    os << (first ? "" : ",") << '"' << name << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      os << (i > 0 ? "," : "") << hist.bounds[i];
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      os << (i > 0 ? "," : "") << hist.counts[i];
+    }
+    os << "],\"count\":" << hist.count << ",\"sum\":" << hist.sum << ",\"max\":" << hist.max
+       << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+const std::vector<u64>& TickBuckets() {
+  static const std::vector<u64>* buckets = new std::vector<u64>{
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536};
+  return *buckets;
+}
+
+const std::vector<u64>& SmallBuckets() {
+  static const std::vector<u64>* buckets =
+      new std::vector<u64>{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256};
+  return *buckets;
+}
+
+}  // namespace ozz::obs

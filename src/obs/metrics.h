@@ -1,0 +1,108 @@
+// Campaign metrics registry: named counters and fixed-bucket histograms.
+//
+// The fuzzer, the OEMU runtime, and the trace recorder publish cheap
+// process-wide metrics here (hints armed/hit/triggered, store-buffer
+// residency, versioning-window age, trace drops, ...). Values accumulate for
+// the process lifetime; campaign consumers take a snapshot before and after
+// a run and report the delta, which is what CampaignToJson embeds under
+// "metrics".
+//
+// Concurrency: counters and histogram cells are relaxed atomics — safe from
+// any thread, with the usual "sum/count read independently" caveat that only
+// matters mid-flight. Registration (name -> object) takes a mutex; hot call
+// sites cache the returned reference (objects are never invalidated).
+#ifndef OZZ_SRC_OBS_METRICS_H_
+#define OZZ_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace ozz::obs {
+
+class Counter {
+ public:
+  void Add(u64 n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+// Histogram over fixed upper-inclusive bucket bounds plus an overflow
+// bucket: a sample v lands in the first bucket with v <= bounds[i], else in
+// counts[bounds.size()].
+class Histogram {
+ public:
+  explicit Histogram(std::vector<u64> bounds);
+
+  void Record(u64 value);
+
+  const std::vector<u64>& bounds() const { return bounds_; }
+  std::vector<u64> counts() const;  // bounds().size() + 1 entries
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+  u64 max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<u64> bounds_;
+  std::deque<std::atomic<u64>> cells_;  // deque: atomics are not movable
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> max_{0};
+};
+
+// Point-in-time copy of every registered metric, plus delta arithmetic so a
+// campaign can report only what it contributed.
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<u64> bounds;
+    std::vector<u64> counts;
+    u64 count = 0;
+    u64 sum = 0;
+    u64 max = 0;
+  };
+  std::map<std::string, u64> counters;
+  std::map<std::string, Hist> histograms;
+};
+
+class Metrics {
+ public:
+  static Metrics& Global();
+
+  // Returns the counter/histogram registered under `name`, creating it on
+  // first use. A histogram's bounds are fixed by the first registration;
+  // later callers get the existing object regardless of `bounds`.
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name, const std::vector<u64>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  // end - begin, per counter and per histogram cell. Metrics absent from
+  // `begin` count from zero; `max` is taken from `end` (high-water mark).
+  static MetricsSnapshot Delta(const MetricsSnapshot& begin, const MetricsSnapshot& end);
+
+  static std::string ToJson(const MetricsSnapshot& snapshot);
+
+ private:
+  Metrics() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Default bucket bounds for logical-clock-tick scales (1..64k, power of two).
+const std::vector<u64>& TickBuckets();
+// Default bucket bounds for small cardinal scales (0..256).
+const std::vector<u64>& SmallBuckets();
+
+}  // namespace ozz::obs
+
+#endif  // OZZ_SRC_OBS_METRICS_H_

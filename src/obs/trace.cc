@@ -1,0 +1,190 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+#include "src/obs/metrics.h"
+
+namespace ozz::obs {
+namespace {
+
+TraceRecorder* g_active = nullptr;
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+const char* EvTypeName(EvType t) {
+  switch (t) {
+    case EvType::kStoreDelayed:
+      return "store-delayed";
+    case EvType::kStoreCommit:
+      return "store-commit";
+    case EvType::kStoreForward:
+      return "store-forward";
+    case EvType::kLoadOld:
+      return "load-old";
+    case EvType::kLoadNew:
+      return "load-new";
+    case EvType::kBarrierFlush:
+      return "barrier-flush";
+    case EvType::kInterruptCommit:
+      return "interrupt-commit";
+    case EvType::kSegmentSwitch:
+      return "segment-switch";
+    case EvType::kHintArm:
+      return "hint-arm";
+    case EvType::kHintHit:
+      return "hint-hit";
+    case EvType::kOracle:
+      return "oracle";
+    case EvType::kSyscallEnter:
+      return "syscall-enter";
+    case EvType::kSyscallExit:
+      return "syscall-exit";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {}
+
+std::size_t TraceRing::size() const {
+  u64 h = head_.load(std::memory_order_acquire);
+  u64 t = tail_.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(h - t);
+}
+
+bool TraceRing::TryPush(const TraceEvent& e) {
+  u64 h = head_.load(std::memory_order_relaxed);
+  u64 t = tail_.load(std::memory_order_acquire);
+  if (h - t >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[static_cast<std::size_t>(h) & mask_] = e;
+  head_.store(h + 1, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<TraceEvent> TraceRing::Drain() {
+  u64 t = tail_.load(std::memory_order_relaxed);
+  u64 h = head_.load(std::memory_order_acquire);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(h - t));
+  for (u64 i = t; i != h; ++i) {
+    out.push_back(slots_[static_cast<std::size_t>(i) & mask_]);
+  }
+  tail_.store(h, std::memory_order_release);
+  return out;
+}
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options()) {}
+
+TraceRecorder::TraceRecorder(Options opts) : opts_(opts) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (g_active == this) {
+    Deactivate();
+  }
+}
+
+void TraceRecorder::Activate() {
+  OZZ_CHECK_MSG(g_active == nullptr, "another trace recorder is already active");
+  g_active = this;
+}
+
+void TraceRecorder::Deactivate() {
+  if (g_active != this) {
+    return;
+  }
+  g_active = nullptr;
+  u64 dropped = total_dropped();
+  if (dropped > 0) {
+    Metrics::Global().GetCounter("obs.trace_drops").Add(dropped);
+    // One rate-limited line per drop burst, never per-event spam: campaigns
+    // deactivate a recorder per MTI, so the limiter is keyed process-wide.
+    base::LogLineRateLimited(
+        base::LogLevel::kWarn, "obs.trace_drops", /*min_interval_us=*/1000000,
+        "trace recorder dropped " + std::to_string(dropped) +
+            " event(s); raise TraceRecorder::Options::ring_capacity for complete traces");
+  }
+}
+
+TraceRecorder* TraceRecorder::Active() { return g_active; }
+
+TraceRing* TraceRecorder::RingFor(ThreadId thread) {
+  int slot = thread + kThreadBias;
+  if (slot < 0 || static_cast<std::size_t>(slot) >= kMaxThreadSlots) {
+    return nullptr;
+  }
+  std::atomic<TraceRing*>& cell = rings_[static_cast<std::size_t>(slot)];
+  TraceRing* ring = cell.load(std::memory_order_acquire);
+  if (ring != nullptr) {
+    return ring;
+  }
+  std::lock_guard<std::mutex> lock(create_mutex_);
+  ring = cell.load(std::memory_order_acquire);
+  if (ring == nullptr) {
+    owned_.push_back(std::make_unique<TraceRing>(opts_.ring_capacity));
+    owned_threads_.push_back(thread);
+    ring = owned_.back().get();
+    cell.store(ring, std::memory_order_release);
+  }
+  return ring;
+}
+
+void TraceRecorder::Emit(EvType type, ThreadId thread, u64 ts, InstrId instr, u64 a0,
+                         u64 a1) {
+  if (type == EvType::kSegmentSwitch) {
+    segment_.fetch_add(1, std::memory_order_relaxed);
+  }
+  TraceRing* ring = RingFor(thread);
+  if (ring == nullptr) {
+    unmapped_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  e.ts = ts;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.instr = instr;
+  e.type = static_cast<u16>(type);
+  e.thread = static_cast<i16>(thread);
+  ring->TryPush(e);
+}
+
+std::vector<TraceRecorder::ThreadLog> TraceRecorder::Collect() {
+  std::vector<ThreadLog> out;
+  std::lock_guard<std::mutex> lock(create_mutex_);
+  for (std::size_t i = 0; i < owned_.size(); ++i) {
+    ThreadLog log;
+    log.thread = owned_threads_[i];
+    log.events = owned_[i]->Drain();
+    log.dropped = owned_[i]->dropped();
+    out.push_back(std::move(log));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadLog& a, const ThreadLog& b) { return a.thread < b.thread; });
+  return out;
+}
+
+u64 TraceRecorder::total_dropped() const {
+  std::lock_guard<std::mutex> lock(create_mutex_);
+  u64 total = unmapped_dropped_.load(std::memory_order_relaxed);
+  for (const auto& ring : owned_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+}  // namespace ozz::obs

@@ -1,0 +1,207 @@
+// Reorder-trace recorder: lock-free per-thread event tracing for the OEMU
+// runtime, the deterministic scheduler, and the fuzzing executor.
+//
+// The paper's evaluation (§6) depends on explaining *why* a hypothetical
+// barrier test did or did not trigger: which stores sat delayed in the
+// virtual store buffer, which loads were served stale from the store history,
+// and where the scheduler switched segments. This layer records those facts
+// as fixed-size binary events in per-thread single-producer rings:
+//
+//   * Emission is wait-free for the producer: one global sequence fetch_add
+//     plus a bounded ring push. A full ring *drops the event and counts it*
+//     (bounded-drop policy) — tracing never blocks or reallocates on the
+//     simulated kernel's hot path.
+//   * One ring per simulated thread (plus the host pseudo-thread). The
+//     rt::Machine token guarantees a single producer per ring; host-side
+//     stress tests may also use distinct thread ids concurrently.
+//   * Compile-out: all emission sites route through OZZ_TRACE_EMIT /
+//     OZZ_TRACE_ACTIVE below. Configuring with -DOZZ_TRACE=OFF turns them
+//     into statically-false branches the compiler deletes, so the runtime
+//     carries zero tracing overhead (the obs library itself still builds, so
+//     tools and tests keep linking).
+//
+// Layering: obs depends only on src/base. It knows nothing about OEMU or the
+// fuzzer; those layers emit events and attach meaning via src/obs/trace_io.h
+// (serialization + instruction table) and src/obs/triage.h (hint lifecycle).
+#ifndef OZZ_SRC_OBS_TRACE_H_
+#define OZZ_SRC_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace ozz::obs {
+
+// Event schema. Payload slots a0/a1 are type-specific (see the table in
+// DESIGN.md §Observability):
+//   kStoreDelayed    store parked in the virtual store buffer  a0=addr a1=value
+//   kStoreCommit     store became globally visible             a0=addr a1=was_delayed
+//   kStoreForward    load served bytes from own store buffer   a0=addr a1=bytes
+//   kLoadOld         versioned load observably read stale data a0=addr a1=age (ticks)
+//   kLoadNew         read-old spec matched, nothing stale      a0=addr a1=0
+//   kBarrierFlush    store-ordering barrier drained the buffer a0=#stores a1=BarrierType
+//   kInterruptCommit virtual interrupt drained the buffer      a0=#stores a1=0
+//   kSegmentSwitch   scheduler moved the token                 a0=from a1=to
+//   kHintArm         executor installed a reorder control      a0=occurrence a1=store_test
+//   kHintHit         a control matched an executing access     a0=occurrence a1=store_test
+//   kOracle          a bug-detecting oracle raised an oops     a0=OopsKind a1=addr
+//   kSyscallEnter    syscall began on the thread               a0=0 a1=0
+//   kSyscallExit     syscall returned (buffer flushes)         a0=#stores a1=0
+enum class EvType : u16 {
+  kStoreDelayed = 0,
+  kStoreCommit = 1,
+  kStoreForward = 2,
+  kLoadOld = 3,
+  kLoadNew = 4,
+  kBarrierFlush = 5,
+  kInterruptCommit = 6,
+  kSegmentSwitch = 7,
+  kHintArm = 8,
+  kHintHit = 9,
+  kOracle = 10,
+  kSyscallEnter = 11,
+  kSyscallExit = 12,
+};
+
+const char* EvTypeName(EvType t);
+
+// Fixed-size binary trace event. `seq` is a global emission index: the
+// machine token serializes simulated threads, so seq gives a deterministic
+// total order across per-thread rings (and is what exporters use as the
+// timeline axis). `ts` is the OEMU logical clock where the emitter knows it
+// (0 for scheduler/executor events, which advance no clock).
+struct TraceEvent {
+  u64 seq = 0;
+  u64 ts = 0;
+  u64 a0 = 0;
+  u64 a1 = 0;
+  InstrId instr = kInvalidInstr;
+  u16 type = 0;  // EvType
+  i16 thread = 0;
+
+  EvType ev_type() const { return static_cast<EvType>(type); }
+};
+
+static_assert(sizeof(TraceEvent) == 40, "fixed-size binary event");
+static_assert(std::is_trivially_copyable_v<TraceEvent>, "rings memcpy events");
+
+// Bounded single-producer/single-consumer ring of TraceEvents. The producer
+// never blocks: pushing into a full ring increments `dropped` and returns
+// false. The consumer drains in FIFO order; concurrent producer pushes during
+// a drain are safe (classic SPSC head/tail protocol).
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 8).
+  explicit TraceRing(std::size_t capacity);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const;
+
+  bool TryPush(const TraceEvent& e);
+
+  // Consumes and returns all currently-visible events, oldest first.
+  std::vector<TraceEvent> Drain();
+
+  u64 pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_;
+  std::atomic<u64> head_{0};     // next write index (producer-owned)
+  std::atomic<u64> tail_{0};     // next read index (consumer-owned)
+  std::atomic<u64> pushed_{0};
+  std::atomic<u64> dropped_{0};
+};
+
+// Per-thread ring registry + the process-wide active recorder (mirrors
+// oemu::Runtime::Active()). Ring creation takes a mutex once per thread; the
+// emission fast path is a relaxed atomic pointer load.
+class TraceRecorder {
+ public:
+  struct Options {
+    // Events per thread. One MTI's trace is typically a few hundred events;
+    // 16k slots (640 KiB) keeps per-recorder setup cheap for trace-per-MTI
+    // campaigns while leaving ample headroom (overflow drops are counted and
+    // surfaced, never fatal).
+    std::size_t ring_capacity = std::size_t{1} << 14;
+  };
+
+  TraceRecorder();
+  explicit TraceRecorder(Options opts);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Exactly one recorder may be active at a time. Deactivate() routes a
+  // single rate-limited warning through the logger when events were dropped.
+  void Activate();
+  void Deactivate();
+  static TraceRecorder* Active();
+
+  void Emit(EvType type, ThreadId thread, u64 ts, InstrId instr, u64 a0, u64 a1);
+
+  // Scheduler segments seen so far (kSegmentSwitch emissions). The runtime
+  // samples this to measure store-buffer residency in segments.
+  u64 segment() const { return segment_.load(std::memory_order_relaxed); }
+
+  struct ThreadLog {
+    ThreadId thread = kAnyThread;
+    u64 dropped = 0;
+    std::vector<TraceEvent> events;  // FIFO order
+  };
+
+  // Drains every per-thread ring (call with producers quiesced for a
+  // complete picture). Sorted by thread id.
+  std::vector<ThreadLog> Collect();
+
+  u64 total_dropped() const;
+
+ private:
+  // Thread ids map to dense slots: sim threads are small non-negative ids,
+  // the host pseudo-thread is -2. Ids outside the slot range are counted as
+  // drops rather than traced.
+  static constexpr int kThreadBias = 4;
+  static constexpr std::size_t kMaxThreadSlots = 68;
+
+  TraceRing* RingFor(ThreadId thread);
+
+  Options opts_;
+  std::atomic<u64> seq_{0};
+  std::atomic<u64> segment_{0};
+  std::atomic<u64> unmapped_dropped_{0};  // events from out-of-range thread ids
+  std::array<std::atomic<TraceRing*>, kMaxThreadSlots> rings_{};
+  mutable std::mutex create_mutex_;
+  std::vector<std::unique_ptr<TraceRing>> owned_;
+  std::vector<ThreadId> owned_threads_;
+};
+
+}  // namespace ozz::obs
+
+// Emission macros. OZZ_TRACE_ACTIVE() is the guard for hook blocks that do
+// more than a single emission (counting stores about to flush, sampling
+// residency); with tracing compiled out it is the constant false and the
+// whole block is dead code. All arguments are syntactically present in both
+// modes, so -Werror stays clean without #ifdef at call sites.
+#if defined(OZZ_TRACE_ENABLED)
+#define OZZ_TRACE_ACTIVE() (::ozz::obs::TraceRecorder::Active() != nullptr)
+#else
+#define OZZ_TRACE_ACTIVE() (false)
+#endif
+
+#define OZZ_TRACE_EMIT(type, thread, ts, instr, a0, a1)                           \
+  do {                                                                            \
+    if (OZZ_TRACE_ACTIVE()) {                                                     \
+      ::ozz::obs::TraceRecorder::Active()->Emit((type), (thread), (ts), (instr),  \
+                                                (a0), (a1));                      \
+    }                                                                             \
+  } while (0)
+
+#endif  // OZZ_SRC_OBS_TRACE_H_

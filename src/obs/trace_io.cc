@@ -1,0 +1,267 @@
+#include "src/obs/trace_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <set>
+
+namespace ozz::obs {
+namespace {
+
+constexpr char kMagic[8] = {'O', 'Z', 'Z', 'T', 'R', 'A', 'C', 'E'};
+constexpr u32 kVersion = 1;
+
+// Sanity caps so a corrupt file fails the read instead of a 4GB allocation.
+constexpr u32 kMaxString = 1u << 20;
+constexpr u32 kMaxEntries = 1u << 24;
+
+void PutU8(std::ostream& os, u8 v) { os.put(static_cast<char>(v)); }
+
+void PutU32(std::ostream& os, u32 v) { os.write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+
+void PutU64(std::ostream& os, u64 v) { os.write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+
+void PutI32(std::ostream& os, i32 v) { os.write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+
+void PutStr(std::ostream& os, const std::string& s) {
+  PutU32(os, static_cast<u32>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetU8(std::istream& is, u8* v) {
+  int c = is.get();
+  if (c == std::char_traits<char>::eof()) {
+    return false;
+  }
+  *v = static_cast<u8>(c);
+  return true;
+}
+
+bool GetU32(std::istream& is, u32* v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool GetU64(std::istream& is, u64* v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool GetI32(std::istream& is, i32* v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool GetStr(std::istream& is, std::string* s) {
+  u32 len = 0;
+  if (!GetU32(is, &len) || len > kMaxString) {
+    return false;
+  }
+  s->resize(len);
+  return len == 0 || static_cast<bool>(is.read(s->data(), len));
+}
+
+bool Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what;
+  }
+  return false;
+}
+
+std::string Basename(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+const InstrTableEntry* TraceFile::FindInstr(InstrId id) const {
+  for (const InstrTableEntry& e : instrs) {
+    if (e.id == id) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::string TraceFile::DescribeInstr(InstrId id) const {
+  if (id == kInvalidInstr) {
+    return "";
+  }
+  const InstrTableEntry* e = FindInstr(id);
+  if (e == nullptr) {
+    return "instr#" + std::to_string(id);
+  }
+  return Basename(e->file) + ":" + std::to_string(e->line) + " (" + e->expr + ")";
+}
+
+u64 TraceFile::total_dropped() const {
+  u64 total = 0;
+  for (const TraceThread& t : threads) {
+    total += t.dropped;
+  }
+  return total;
+}
+
+bool WriteTraceFile(const std::string& path, const TraceMeta& meta,
+                    const std::vector<TraceRecorder::ThreadLog>& logs,
+                    const InstrResolver& resolver, std::string* error) {
+  // Table = every distinct id the trace or the hint references.
+  std::set<InstrId> ids;
+  auto note = [&ids](InstrId id) {
+    if (id != kInvalidInstr) {
+      ids.insert(id);
+    }
+  };
+  note(meta.sched_instr);
+  for (const TraceMember& m : meta.members) {
+    note(m.instr);
+  }
+  for (const TraceRecorder::ThreadLog& log : logs) {
+    for (const TraceEvent& e : log.events) {
+      note(e.instr);
+    }
+  }
+  std::vector<InstrTableEntry> table;
+  if (resolver) {
+    for (InstrId id : ids) {
+      InstrTableEntry entry;
+      if (resolver(id, &entry)) {
+        entry.id = id;
+        table.push_back(std::move(entry));
+      }
+    }
+  }
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return Fail(error, "cannot open " + path + " for writing");
+  }
+  os.write(kMagic, sizeof(kMagic));
+  PutU32(os, kVersion);
+
+  PutU8(os, meta.has_hint ? 1 : 0);
+  PutU8(os, meta.store_test ? 1 : 0);
+  PutU8(os, meta.sched_before ? 1 : 0);
+  PutU32(os, meta.sched_instr);
+  PutU32(os, meta.sched_occurrence);
+  PutU32(os, static_cast<u32>(meta.members.size()));
+  for (const TraceMember& m : meta.members) {
+    PutU32(os, m.instr);
+    PutU32(os, m.occurrence);
+    PutU8(os, m.is_store ? 1 : 0);
+  }
+  PutStr(os, meta.label);
+  PutStr(os, meta.crash_title);
+
+  PutU32(os, static_cast<u32>(table.size()));
+  for (const InstrTableEntry& e : table) {
+    PutU32(os, e.id);
+    PutU32(os, e.line);
+    PutU8(os, e.kind);
+    PutStr(os, e.file);
+    PutStr(os, e.function);
+    PutStr(os, e.expr);
+  }
+
+  PutU32(os, static_cast<u32>(logs.size()));
+  for (const TraceRecorder::ThreadLog& log : logs) {
+    PutI32(os, log.thread);
+    PutU64(os, log.dropped);
+    PutU64(os, log.events.size());
+    os.write(reinterpret_cast<const char*>(log.events.data()),
+             static_cast<std::streamsize>(log.events.size() * sizeof(TraceEvent)));
+  }
+  os.flush();
+  if (!os) {
+    return Fail(error, "short write to " + path);
+  }
+  return true;
+}
+
+bool ReadTraceFile(const std::string& path, TraceFile* out, std::string* error) {
+  *out = TraceFile();
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Fail(error, "cannot open " + path);
+  }
+  char magic[8];
+  if (!is.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Fail(error, path + ": not an .ozztrace file");
+  }
+  u32 version = 0;
+  if (!GetU32(is, &version) || version != kVersion) {
+    return Fail(error, path + ": unsupported trace version");
+  }
+
+  TraceMeta& meta = out->meta;
+  u8 b = 0;
+  if (!GetU8(is, &b)) {
+    return Fail(error, path + ": truncated meta");
+  }
+  meta.has_hint = b != 0;
+  if (!GetU8(is, &b)) {
+    return Fail(error, path + ": truncated meta");
+  }
+  meta.store_test = b != 0;
+  if (!GetU8(is, &b)) {
+    return Fail(error, path + ": truncated meta");
+  }
+  meta.sched_before = b != 0;
+  u32 member_count = 0;
+  if (!GetU32(is, &meta.sched_instr) || !GetU32(is, &meta.sched_occurrence) ||
+      !GetU32(is, &member_count) || member_count > kMaxEntries) {
+    return Fail(error, path + ": truncated meta");
+  }
+  meta.members.resize(member_count);
+  for (TraceMember& m : meta.members) {
+    if (!GetU32(is, &m.instr) || !GetU32(is, &m.occurrence) || !GetU8(is, &b)) {
+      return Fail(error, path + ": truncated member list");
+    }
+    m.is_store = b != 0;
+  }
+  if (!GetStr(is, &meta.label) || !GetStr(is, &meta.crash_title)) {
+    return Fail(error, path + ": truncated meta strings");
+  }
+
+  u32 table_count = 0;
+  if (!GetU32(is, &table_count) || table_count > kMaxEntries) {
+    return Fail(error, path + ": truncated instruction table");
+  }
+  out->instrs.resize(table_count);
+  for (InstrTableEntry& e : out->instrs) {
+    if (!GetU32(is, &e.id) || !GetU32(is, &e.line) || !GetU8(is, &e.kind) ||
+        !GetStr(is, &e.file) || !GetStr(is, &e.function) || !GetStr(is, &e.expr)) {
+      return Fail(error, path + ": truncated instruction table");
+    }
+  }
+
+  u32 thread_count = 0;
+  if (!GetU32(is, &thread_count) || thread_count > kMaxEntries) {
+    return Fail(error, path + ": truncated thread sections");
+  }
+  out->threads.resize(thread_count);
+  for (TraceThread& t : out->threads) {
+    u64 event_count = 0;
+    if (!GetI32(is, &t.thread) || !GetU64(is, &t.dropped) || !GetU64(is, &event_count) ||
+        event_count > kMaxEntries) {
+      return Fail(error, path + ": truncated thread header");
+    }
+    t.events.resize(event_count);
+    if (event_count > 0 &&
+        !is.read(reinterpret_cast<char*>(t.events.data()),
+                 static_cast<std::streamsize>(event_count * sizeof(TraceEvent)))) {
+      return Fail(error, path + ": truncated event section");
+    }
+  }
+  return true;
+}
+
+std::vector<TraceEvent> MergedEvents(const TraceFile& file) {
+  std::vector<TraceEvent> out;
+  for (const TraceThread& t : file.threads) {
+    out.insert(out.end(), t.events.begin(), t.events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+}  // namespace ozz::obs

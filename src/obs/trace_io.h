@@ -1,0 +1,93 @@
+// Trace serialization: the .ozztrace container.
+//
+// A trace file is one MTI execution's worth of evidence: the hint under test
+// (so triage knows what *should* have happened), the instruction table (ids
+// are process-local — InstrRegistry assigns them in first-execution order, so
+// a serialized trace must carry its own id -> source-location mapping), and
+// the raw per-thread event rings.
+//
+// obs stays below oemu in the layer graph, so WriteTraceFile does not talk to
+// InstrRegistry directly: callers (the executor, tools) supply an
+// InstrResolver that maps ids they know about to table entries.
+//
+// The format is a host-endian binary dump (a debugging artifact consumed on
+// the machine that wrote it, like a core file), versioned by a magic header.
+#ifndef OZZ_SRC_OBS_TRACE_IO_H_
+#define OZZ_SRC_OBS_TRACE_IO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/obs/trace.h"
+
+namespace ozz::obs {
+
+// One row of the serialized instruction table. `kind` is the numeric
+// oemu::InstrKind — obs carries it opaquely and only prints it.
+struct InstrTableEntry {
+  InstrId id = kInvalidInstr;
+  u32 line = 0;
+  u8 kind = 0;
+  std::string file;
+  std::string function;
+  std::string expr;
+};
+
+// A member of the hint's reorder set (a delay-store or read-old target).
+struct TraceMember {
+  InstrId instr = kInvalidInstr;
+  u32 occurrence = 0;  // 0 = every occurrence
+  bool is_store = true;
+};
+
+struct TraceMeta {
+  bool has_hint = false;
+  bool store_test = true;    // hypothetical store barrier vs load barrier
+  bool sched_before = false;  // scheduler switches before (vs after) sched_instr
+  InstrId sched_instr = kInvalidInstr;
+  u32 sched_occurrence = 1;
+  std::vector<TraceMember> members;
+  std::string label;        // free-form run label, e.g. "mti_000042 pair=(0,1)"
+  std::string crash_title;  // empty when the run did not crash
+};
+
+struct TraceThread {
+  ThreadId thread = kAnyThread;
+  u64 dropped = 0;
+  std::vector<TraceEvent> events;  // FIFO order
+};
+
+struct TraceFile {
+  TraceMeta meta;
+  std::vector<InstrTableEntry> instrs;
+  std::vector<TraceThread> threads;
+
+  const InstrTableEntry* FindInstr(InstrId id) const;
+  // "file.cc:line (expr)" when the table knows the id, "instr#N" otherwise,
+  // "" for kInvalidInstr.
+  std::string DescribeInstr(InstrId id) const;
+  u64 total_dropped() const;
+};
+
+// Maps an InstrId the caller knows about to a table entry; returns false to
+// leave the id out of the table (it will print as "instr#N").
+using InstrResolver = std::function<bool(InstrId id, InstrTableEntry* out)>;
+
+// Serializes `logs` (from TraceRecorder::Collect) plus `meta`. The table is
+// built from every distinct id in the events and the meta via `resolver`
+// (which may be null). Returns false and sets *error on I/O failure.
+bool WriteTraceFile(const std::string& path, const TraceMeta& meta,
+                    const std::vector<TraceRecorder::ThreadLog>& logs,
+                    const InstrResolver& resolver, std::string* error = nullptr);
+
+bool ReadTraceFile(const std::string& path, TraceFile* out, std::string* error = nullptr);
+
+// All events of every thread merged into the deterministic global emission
+// order (ascending seq).
+std::vector<TraceEvent> MergedEvents(const TraceFile& file);
+
+}  // namespace ozz::obs
+
+#endif  // OZZ_SRC_OBS_TRACE_IO_H_

@@ -1,0 +1,163 @@
+#include "src/obs/triage.h"
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace ozz::obs {
+namespace {
+
+const char* Explanation(Verdict v, bool store_test) {
+  switch (v) {
+    case Verdict::kTriggered:
+      return "an oracle fired";
+    case Verdict::kNeverArmed:
+      return "no reorder control was installed";
+    case Verdict::kArmedNeverHit:
+      return "no targeted access executed (program/occurrence mismatch)";
+    case Verdict::kHitCommittedEarly:
+      return store_test
+                 ? "every delayed store committed before the segment switch"
+                 : "targeted loads matched but the history held nothing stale";
+    case Verdict::kReorderedOracleSilent:
+      return store_test ? "delayed stores stayed parked across the switch but no oracle fired"
+                        : "stale values were observably read but no oracle fired";
+    case Verdict::kNoHint:
+      return "trace carries no hint metadata";
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kTriggered:
+      return "triggered";
+    case Verdict::kNeverArmed:
+      return "never-armed";
+    case Verdict::kArmedNeverHit:
+      return "armed-never-hit";
+    case Verdict::kHitCommittedEarly:
+      return "hit-committed-early";
+    case Verdict::kReorderedOracleSilent:
+      return "reordered-oracle-silent";
+    case Verdict::kNoHint:
+      return "no-hint";
+  }
+  return "?";
+}
+
+HintLifecycle TriageTrace(const TraceFile& file) {
+  HintLifecycle out;
+  out.dropped = file.total_dropped();
+  const std::vector<TraceEvent> events = MergedEvents(file);
+
+  std::set<InstrId> member_instrs;
+  for (const TraceMember& m : file.meta.members) {
+    member_instrs.insert(m.instr);
+  }
+  // A hand-rolled trace without member metadata still triages: every
+  // delayed store / stale load is then treated as targeted.
+  auto is_member = [&member_instrs](InstrId id) {
+    return member_instrs.empty() || member_instrs.count(id) > 0;
+  };
+
+  bool saw_hit = false;
+  u64 first_hit_seq = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.ev_type()) {
+      case EvType::kHintArm:
+        ++out.armed;
+        break;
+      case EvType::kHintHit:
+        ++out.hits;
+        if (!saw_hit) {
+          saw_hit = true;
+          first_hit_seq = e.seq;
+        }
+        break;
+      case EvType::kOracle:
+        out.oracle = true;
+        break;
+      case EvType::kLoadOld:
+        if (is_member(e.instr)) {
+          ++out.stale_loads;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // The reordering a store test buys lasts from the delay to the commit; it
+  // is observable only if the scheduler moved the token in between. Anchor on
+  // the first segment switch after the first hit and classify each targeted
+  // delayed store by whether its commit crossed it.
+  bool have_switch = false;
+  u64 switch_seq = 0;
+  if (saw_hit) {
+    for (const TraceEvent& e : events) {
+      if (e.ev_type() == EvType::kSegmentSwitch && e.seq > first_hit_seq) {
+        have_switch = true;
+        switch_seq = e.seq;
+        break;
+      }
+    }
+  }
+  std::vector<bool> commit_used(events.size(), false);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& d = events[i];
+    if (d.ev_type() != EvType::kStoreDelayed || !is_member(d.instr)) {
+      continue;
+    }
+    ++out.delayed_stores;
+    bool committed_early = false;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const TraceEvent& c = events[j];
+      if (commit_used[j] || c.ev_type() != EvType::kStoreCommit || c.thread != d.thread ||
+          c.instr != d.instr || c.a0 != d.a0) {
+        continue;
+      }
+      commit_used[j] = true;
+      committed_early = !have_switch || c.seq < switch_seq;
+      break;
+    }
+    // No matching commit: the store was still parked when the trace was
+    // collected (crash teardown abandons buffers) — it did cross the switch.
+    if (committed_early) {
+      ++out.early_commits;
+    } else {
+      ++out.held_across_switch;
+    }
+  }
+
+  if (!file.meta.has_hint) {
+    out.verdict = Verdict::kNoHint;
+  } else if (out.oracle) {
+    out.verdict = Verdict::kTriggered;
+  } else if (out.armed == 0) {
+    out.verdict = Verdict::kNeverArmed;
+  } else if (out.hits == 0) {
+    out.verdict = Verdict::kArmedNeverHit;
+  } else if (file.meta.store_test) {
+    out.verdict = out.held_across_switch > 0 ? Verdict::kReorderedOracleSilent
+                                             : Verdict::kHitCommittedEarly;
+  } else {
+    out.verdict =
+        out.stale_loads > 0 ? Verdict::kReorderedOracleSilent : Verdict::kHitCommittedEarly;
+  }
+
+  std::ostringstream os;
+  os << "armed=" << out.armed << " hits=" << out.hits << " delayed=" << out.delayed_stores
+     << " held=" << out.held_across_switch << " early=" << out.early_commits
+     << " stale=" << out.stale_loads;
+  if (out.dropped > 0) {
+    os << " dropped=" << out.dropped;
+  }
+  os << "; " << Explanation(out.verdict, file.meta.store_test);
+  out.summary = os.str();
+  return out;
+}
+
+}  // namespace ozz::obs

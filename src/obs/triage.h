@@ -1,0 +1,64 @@
+// Hint-lifecycle triage: why did this hypothetical barrier test (not) fire?
+//
+// A scheduling hint promises an observable reordering: the executor arms
+// delay-store / read-old controls, the targeted accesses hit them, the
+// reordered state survives the scheduler's segment switch, and an oracle
+// notices. Each trace gets classified by the earliest stage at which that
+// chain broke (the verdict definitions live in DESIGN.md §Observability):
+//
+//   triggered                 an oracle fired — the test found its bug
+//   never-armed               no control was installed (prefix crash, or the
+//                             reorder set was empty / reordering disabled)
+//   armed-never-hit           controls installed but no targeted access
+//                             executed (mutated program diverged, occurrence
+//                             mismatch)
+//   hit-committed-early       the reordering happened but was undone before
+//                             the observer ran: every delayed member store
+//                             committed before the first post-hit segment
+//                             switch (store test), or the targeted loads
+//                             matched while the history held nothing stale
+//                             (load test — nothing observably old was read)
+//   reordered-oracle-silent   the reordered state was visible across the
+//                             switch (store held in the buffer / stale value
+//                             read) yet no oracle fired — the interleaving or
+//                             the oracle coverage is what's missing
+//   no-hint                   the trace carries no hint metadata
+#ifndef OZZ_SRC_OBS_TRIAGE_H_
+#define OZZ_SRC_OBS_TRIAGE_H_
+
+#include <string>
+
+#include "src/obs/trace_io.h"
+
+namespace ozz::obs {
+
+enum class Verdict : u8 {
+  kTriggered = 0,
+  kNeverArmed = 1,
+  kArmedNeverHit = 2,
+  kHitCommittedEarly = 3,
+  kReorderedOracleSilent = 4,
+  kNoHint = 5,
+};
+
+const char* VerdictName(Verdict v);
+
+struct HintLifecycle {
+  Verdict verdict = Verdict::kNoHint;
+  u64 armed = 0;               // kHintArm events (controls installed)
+  u64 hits = 0;                // kHintHit events (a control matched)
+  u64 delayed_stores = 0;      // member stores parked in the store buffer
+  u64 held_across_switch = 0;  // member stores still parked at the first
+                               // post-hit segment switch
+  u64 early_commits = 0;       // member stores committed before that switch
+  u64 stale_loads = 0;         // member loads observably served old values
+  bool oracle = false;
+  u64 dropped = 0;  // ring drops — verdicts on a lossy trace are best-effort
+  std::string summary;  // one human-readable line
+};
+
+HintLifecycle TriageTrace(const TraceFile& file);
+
+}  // namespace ozz::obs
+
+#endif  // OZZ_SRC_OBS_TRIAGE_H_

@@ -4,6 +4,8 @@
 
 #include "src/base/check.h"
 #include "src/base/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/oemu/instr.h"
 
 namespace ozz::oemu {
@@ -67,7 +69,7 @@ void Runtime::Activate(rt::Machine* machine) {
   machine_ = machine;
   if (machine_ != nullptr) {
     // The store buffer commits on interrupts (§3.1).
-    machine_->SetInterruptHook([this](ThreadId t) { FlushThread(t); });
+    machine_->SetInterruptHook([this](ThreadId t) { OnInterrupt(t); });
   }
 }
 
@@ -151,9 +153,20 @@ void Runtime::ClearControls(ThreadId thread) {
   ctx.read_old.clear();
 }
 
-void Runtime::OnSyscallEnter(ThreadId thread) { Ctx(thread).occurrences.clear(); }
+void Runtime::OnSyscallEnter(ThreadId thread) {
+  Ctx(thread).occurrences.clear();
+  OZZ_TRACE_EMIT(obs::EvType::kSyscallEnter, thread, clock_, kInvalidInstr, 0, 0);
+}
 
-void Runtime::OnSyscallExit(ThreadId thread) { FlushThread(thread); }
+void Runtime::OnSyscallExit(ThreadId thread) {
+  u64 pending = 0;
+  if (OZZ_TRACE_ACTIVE()) {
+    auto it = ctxs_.find(thread);
+    pending = it == ctxs_.end() ? 0 : it->second.buffer.size();
+  }
+  FlushThread(thread);
+  OZZ_TRACE_EMIT(obs::EvType::kSyscallExit, thread, clock_, kInvalidInstr, pending, 0);
+}
 
 void Runtime::StartRecording(ThreadId thread) {
   ThreadCtx& ctx = Ctx(thread);
@@ -214,6 +227,22 @@ void Runtime::CommitStore(ThreadId thread, const BufferedStore& s) {
   history_.Append(e);
   ++stats_.commits;
 
+  if (s.delayed_at != 0) {
+    // Residency of the delayed store in the virtual buffer, in logical-clock
+    // ticks and (when tracing) in scheduler segments — the paper's measure of
+    // how long a reordering window actually stayed open.
+    obs::Metrics::Global()
+        .GetHistogram("oemu.sb_residency_ticks", obs::TickBuckets())
+        .Record(e.timestamp - s.delayed_at);
+    if (OZZ_TRACE_ACTIVE()) {
+      obs::Metrics::Global()
+          .GetHistogram("oemu.sb_residency_segments", obs::SmallBuckets())
+          .Record(::ozz::obs::TraceRecorder::Active()->segment() - s.delay_seg);
+    }
+  }
+  OZZ_TRACE_EMIT(obs::EvType::kStoreCommit, thread, e.timestamp, s.instr, s.addr,
+                 s.delayed_at != 0 ? 1 : 0);
+
   ThreadCtx& ctx = Ctx(thread);
   // The committing thread may never read anything older than its own store.
   u64& floor = ctx.loc_floor[s.addr];
@@ -251,12 +280,24 @@ void Runtime::FlushThread(ThreadId thread) {
   }
 }
 
+void Runtime::OnInterrupt(ThreadId thread) {
+  if (OZZ_TRACE_ACTIVE()) {
+    auto it = ctxs_.find(thread);
+    u64 pending = it == ctxs_.end() ? 0 : it->second.buffer.size();
+    OZZ_TRACE_EMIT(obs::EvType::kInterruptCommit, thread, clock_, kInvalidInstr, pending, 0);
+  }
+  FlushThread(thread);
+}
+
 void Runtime::Fence(ThreadId thread) {
   ThreadCtx& ctx = Ctx(thread);
+  u64 pending = ctx.buffer.size();
   FlushLocked(thread, ctx);
   AdvanceWindow(ctx);
   ++stats_.barriers;
   RecordBarrier(ctx, kInvalidInstr, BarrierType::kFull);
+  OZZ_TRACE_EMIT(obs::EvType::kBarrierFlush, thread, clock_, kInvalidInstr, pending,
+                 static_cast<u64>(BarrierType::kFull));
 }
 
 void Runtime::AbandonThread(ThreadId thread) {
@@ -321,7 +362,9 @@ u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 o
   // Byte-granular: rewind non-buffered bytes first, then overlay buffered
   // bytes so in-flight own stores always win.
   u64 effective_time = clock_;
-  if (opts_.reordering_enabled && SpecMatches(ctx.read_old, instr, occurrence)) {
+  const bool spec_matched =
+      opts_.reordering_enabled && SpecMatches(ctx.read_old, instr, occurrence);
+  if (spec_matched) {
     // Coherence floor: never rewind past a value this thread already saw or
     // produced at this location (CoRR/CoWR must hold).
     u64 as_of = ctx.window_start;
@@ -332,9 +375,30 @@ u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 o
     versioned = history_.ValueAsOf(addr, size, as_of, bytes);
     if (versioned) {
       effective_time = as_of;
+      ++stats_.spec_stale_loads;
+      obs::Metrics::Global()
+          .GetHistogram("oemu.version_window_age", obs::TickBuckets())
+          .Record(clock_ - as_of);
+    } else {
+      ++stats_.spec_fresh_loads;
     }
   }
-  ctx.buffer.Forward(addr, size, bytes);
+  u32 forwarded = ctx.buffer.Forward(addr, size, bytes);
+  if (OZZ_TRACE_ACTIVE()) {
+    ThreadId tid = CurrentThreadId();
+    if (spec_matched) {
+      OZZ_TRACE_EMIT(obs::EvType::kHintHit, tid, clock_, instr, occurrence, 0);
+      if (versioned) {
+        OZZ_TRACE_EMIT(obs::EvType::kLoadOld, tid, clock_, instr, addr,
+                       clock_ - effective_time);
+      } else {
+        OZZ_TRACE_EMIT(obs::EvType::kLoadNew, tid, clock_, instr, addr, 0);
+      }
+    }
+    if (forwarded > 0) {
+      OZZ_TRACE_EMIT(obs::EvType::kStoreForward, tid, clock_, instr, addr, forwarded);
+    }
+  }
   // The thread has now observed the value current at effective_time; it may
   // never observe anything older at this location.
   u64& floor = ctx.loc_floor[addr];
@@ -378,7 +442,12 @@ void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotate
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
 
-  bool delayed = opts_.reordering_enabled && SpecMatches(ctx.delay_store, instr, occ);
+  bool spec_delayed = opts_.reordering_enabled && SpecMatches(ctx.delay_store, instr, occ);
+  if (spec_delayed) {
+    ++stats_.spec_delayed_stores;
+    OZZ_TRACE_EMIT(obs::EvType::kHintHit, tid, clock_, instr, occ, 1);
+  }
+  bool delayed = spec_delayed;
   // Coherence: a store overlapping an in-flight delayed store must not
   // overtake it — same-location stores commit in program order on every
   // architecture the kernel supports.
@@ -389,6 +458,11 @@ void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotate
   ++stats_.stores;
   RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, annotated, delayed, false);
   if (delayed) {
+    s.delayed_at = clock_;
+    if (OZZ_TRACE_ACTIVE()) {
+      s.delay_seg = ::ozz::obs::TraceRecorder::Active()->segment();
+    }
+    OZZ_TRACE_EMIT(obs::EvType::kStoreDelayed, tid, clock_, instr, addr, value);
     ctx.buffer.Push(s);
     ++stats_.delayed_stores;
   } else {
@@ -454,8 +528,13 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
   u64 old = BytesToValue(bytes, size);
   u64 updated = fn(old, operand);
 
-  bool delayed = order == RmwOrder::kRelaxed && opts_.reordering_enabled &&
-                 SpecMatches(ctx.delay_store, instr, occ);
+  bool spec_delayed = order == RmwOrder::kRelaxed && opts_.reordering_enabled &&
+                      SpecMatches(ctx.delay_store, instr, occ);
+  if (spec_delayed) {
+    ++stats_.spec_delayed_stores;
+    OZZ_TRACE_EMIT(obs::EvType::kHintHit, tid, clock_, instr, occ, 1);
+  }
+  bool delayed = spec_delayed;
   if (!delayed && ctx.buffer.Overlaps(addr, size)) {
     delayed = true;
   }
@@ -465,6 +544,11 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
   RecordAccess(ctx, instr, AccessType::kLoad, addr, size, old, occ, true, false, false);
   RecordAccess(ctx, instr, AccessType::kStore, addr, size, updated, occ, true, delayed, false);
   if (delayed) {
+    s.delayed_at = clock_;
+    if (OZZ_TRACE_ACTIVE()) {
+      s.delay_seg = ::ozz::obs::TraceRecorder::Active()->segment();
+    }
+    OZZ_TRACE_EMIT(obs::EvType::kStoreDelayed, tid, clock_, instr, addr, updated);
     ctx.buffer.Push(s);
     ++stats_.delayed_stores;
   } else {
@@ -485,7 +569,9 @@ void Runtime::Barrier(InstrId instr, BarrierType type) {
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
   BarrierClass cls = ClassOf(type);
+  u64 pending = 0;
   if (cls.orders_stores) {
+    pending = ctx.buffer.size();
     FlushLocked(tid, ctx);
   }
   if (cls.orders_loads) {
@@ -493,6 +579,8 @@ void Runtime::Barrier(InstrId instr, BarrierType type) {
   }
   ++stats_.barriers;
   RecordBarrier(ctx, instr, type);
+  OZZ_TRACE_EMIT(obs::EvType::kBarrierFlush, tid, clock_, instr, pending,
+                 static_cast<u64>(type));
   NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
 }
 

@@ -75,6 +75,13 @@ class Runtime {
     u64 versioned_load_hits = 0;  // loads that observably read an old value
     u64 commits = 0;
     u64 barriers = 0;
+    // Control-interface accounting (hint-lifecycle triage): accesses that
+    // matched an installed delay-store / read-old spec. A read-old match
+    // splits into stale (history rewound to an older value) and fresh (spec
+    // matched but nothing older was available).
+    u64 spec_delayed_stores = 0;
+    u64 spec_stale_loads = 0;
+    u64 spec_fresh_loads = 0;
   };
 
   enum class CheckPhase : u8 {
@@ -132,6 +139,11 @@ class Runtime {
 
   // Commits all delayed stores of `thread` (interrupt semantics, §3.1).
   void FlushThread(ThreadId thread);
+
+  // FlushThread plus the interrupt-commit trace event; Activate wires this
+  // as the machine's interrupt hook so traces distinguish interrupt-driven
+  // commits from barrier flushes.
+  void OnInterrupt(ThreadId thread);
 
   // Full-fence semantics without an instrumented call site: commits the
   // thread's delayed stores, closes its versioning window, and records a

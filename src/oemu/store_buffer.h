@@ -24,6 +24,11 @@ struct BufferedStore {
   u32 size = 0;  // 1..8 bytes
   u64 value = 0; // little-endian in the low `size` bytes
   u32 occurrence = 0;
+  // Delay provenance, for the residency metrics (src/obs): the logical clock
+  // and scheduler segment at which the store was parked. 0 = not delayed
+  // (committed straight through).
+  u64 delayed_at = 0;
+  u64 delay_seg = 0;
 };
 
 class StoreBuffer {

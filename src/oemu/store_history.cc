@@ -1,5 +1,7 @@
 #include "src/oemu/store_history.h"
 
+#include "src/obs/metrics.h"
+
 namespace ozz::oemu {
 namespace {
 
@@ -18,11 +20,13 @@ bool StoreHistory::ValueAsOf(uptr addr, u32 size, u64 as_of, u8* bytes) const {
   // newest-first; undoing each commit newer than `as_of` reconstructs the
   // value the range held at `as_of` (the final value of each byte is the
   // old_value of the oldest post-`as_of` write touching it).
+  u64 scanned = 0;
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
     const HistoryEntry& e = *it;
     if (e.timestamp <= as_of) {
       break;
     }
+    ++scanned;
     if (!RangesOverlap(e.addr, e.size, addr, size)) {
       continue;
     }
@@ -33,12 +37,24 @@ bool StoreHistory::ValueAsOf(uptr addr, u32 size, u64 as_of, u8* bytes) const {
       }
     }
   }
+  // Lookup cost/benefit of the versioning machinery: how deep each rewind
+  // scanned, and whether it found anything older. ValueAsOf only runs on
+  // read-old spec matches, so the registry calls stay off the hot path.
+  obs::Metrics::Global().GetCounter("oemu.history_lookups").Add();
+  obs::Metrics::Global()
+      .GetHistogram("oemu.history_scan_depth", obs::TickBuckets())
+      .Record(scanned);
+  bool hit = false;
   for (u32 i = 0; i < size; ++i) {
     if (bytes[i] != current[i]) {
-      return true;
+      hit = true;
+      break;
     }
   }
-  return false;
+  if (hit) {
+    obs::Metrics::Global().GetCounter("oemu.history_lookup_hits").Add();
+  }
+  return hit;
 }
 
 bool StoreHistory::ChangedAfter(uptr addr, u32 size, u64 t) const {

@@ -4,6 +4,8 @@
 
 #include "src/base/check.h"
 #include "src/base/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ozz::osk {
 
@@ -91,6 +93,11 @@ void Kernel::KmFree(void* ptr, const char* site) {
 
 void Kernel::RaiseOops(OopsReport report) {
   report.thread = oemu::Runtime::CurrentThreadId();
+  if (!crash_.has_value()) {
+    obs::Metrics::Global().GetCounter("osk.oops").Add();
+    OZZ_TRACE_EMIT(obs::EvType::kOracle, report.thread, 0, report.instr,
+                   static_cast<u64>(report.kind), report.addr);
+  }
   if (std::uncaught_exceptions() > 0) {
     // Raised from a destructor while an exception is unwinding; record the
     // first crash but do not throw a second exception.

@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/base/log.h"
+#include "src/obs/trace.h"
 
 namespace ozz::rt {
 namespace {
@@ -137,6 +138,10 @@ void Machine::SwitchLocked(std::unique_lock<std::mutex>& lock, SimThread* from, 
     from->state_ = SimThread::State::kReady;
   }
   ++context_switches_;
+  // The scheduler segment boundary — the anchor the hint-lifecycle triage
+  // classifies store commits against.
+  OZZ_TRACE_EMIT(obs::EvType::kSegmentSwitch, from->id_, 0, kInvalidInstr,
+                 static_cast<u64>(from->id_), static_cast<u64>(to->id_));
   if (switch_hook_) {
     switch_hook_(from->id_, to->id_);
   }

@@ -1,0 +1,543 @@
+// Tests for the observability subsystem (src/obs): the lock-free trace ring,
+// the recorder's drop accounting, the metrics registry, .ozztrace round-trip
+// serialization, hint-lifecycle triage verdicts, and the exporters (with a
+// golden Perfetto-JSON test — the export is deterministic by construction).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_io.h"
+#include "src/obs/triage.h"
+
+#if defined(OZZ_TRACE_ENABLED)
+#include "src/oemu/cell.h"
+#include "src/oemu/runtime.h"
+#endif
+
+namespace ozz::obs {
+namespace {
+
+TraceEvent Ev(u64 seq, EvType type, ThreadId thread, InstrId instr = kInvalidInstr,
+              u64 a0 = 0, u64 a1 = 0, u64 ts = 0) {
+  TraceEvent e;
+  e.seq = seq;
+  e.ts = ts;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.instr = instr;
+  e.type = static_cast<u16>(type);
+  e.thread = static_cast<i16>(thread);
+  return e;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---- TraceRing ----
+
+TEST(TraceRingTest, FifoDrainAndCapacityRounding) {
+  TraceRing ring(6);  // rounds up to 8
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (u64 i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.TryPush(Ev(i, EvType::kStoreCommit, 0)));
+  }
+  std::vector<TraceEvent> got = ring.Drain();
+  ASSERT_EQ(got.size(), 5u);
+  for (u64 i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i].seq, i) << "FIFO order";
+  }
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TraceRingTest, FullRingDropsNewestAndCounts) {
+  TraceRing ring(8);
+  for (u64 i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.TryPush(Ev(i, EvType::kStoreCommit, 0)));
+  }
+  EXPECT_FALSE(ring.TryPush(Ev(8, EvType::kStoreCommit, 0)));
+  EXPECT_FALSE(ring.TryPush(Ev(9, EvType::kStoreCommit, 0)));
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.pushed(), 8u);
+  // The oldest events survive (drop-newest policy).
+  std::vector<TraceEvent> got = ring.Drain();
+  ASSERT_EQ(got.size(), 8u);
+  EXPECT_EQ(got.front().seq, 0u);
+  EXPECT_EQ(got.back().seq, 7u);
+}
+
+TEST(TraceRingTest, WrapAroundReusesSlots) {
+  TraceRing ring(8);
+  u64 seq = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(ring.TryPush(Ev(seq++, EvType::kLoadNew, 1)));
+    }
+    std::vector<TraceEvent> got = ring.Drain();
+    ASSERT_EQ(got.size(), 6u);
+    EXPECT_EQ(got.back().seq, seq - 1);
+  }
+  EXPECT_EQ(ring.pushed(), 30u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// ---- TraceRecorder ----
+
+TEST(TraceRecorderTest, EmitCollectAndDropAccounting) {
+  TraceRecorder::Options opts;
+  opts.ring_capacity = 8;
+  TraceRecorder recorder(opts);
+  recorder.Activate();
+  ASSERT_EQ(TraceRecorder::Active(), &recorder);
+  for (u64 i = 0; i < 20; ++i) {
+    recorder.Emit(EvType::kStoreCommit, /*thread=*/0, /*ts=*/i, kInvalidInstr, i, 0);
+  }
+  EXPECT_EQ(recorder.total_dropped(), 12u);
+  std::vector<TraceRecorder::ThreadLog> logs = recorder.Collect();
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0].thread, 0);
+  EXPECT_EQ(logs[0].events.size(), 8u);
+  EXPECT_EQ(logs[0].dropped, 12u);
+  recorder.Deactivate();
+  EXPECT_EQ(TraceRecorder::Active(), nullptr);
+  // The drop warning also lands in the metrics registry.
+  EXPECT_GE(Metrics::Global().Snapshot().counters.at("obs.trace_drops"), 12u);
+}
+
+TEST(TraceRecorderTest, SegmentCounterFollowsSwitchEvents) {
+  TraceRecorder recorder;
+  recorder.Activate();
+  EXPECT_EQ(recorder.segment(), 0u);
+  recorder.Emit(EvType::kSegmentSwitch, 0, 0, kInvalidInstr, 0, 1);
+  recorder.Emit(EvType::kSegmentSwitch, 1, 0, kInvalidInstr, 1, 0);
+  EXPECT_EQ(recorder.segment(), 2u);
+  recorder.Deactivate();
+}
+
+TEST(TraceRecorderTest, OutOfRangeThreadIdsCountAsDrops) {
+  TraceRecorder recorder;
+  recorder.Activate();
+  recorder.Emit(EvType::kStoreCommit, /*thread=*/1000, 0, kInvalidInstr, 0, 0);
+  recorder.Emit(EvType::kStoreCommit, /*thread=*/-100, 0, kInvalidInstr, 0, 0);
+  EXPECT_EQ(recorder.total_dropped(), 2u);
+  EXPECT_TRUE(recorder.Collect().empty());
+  recorder.Deactivate();
+}
+
+TEST(TraceRecorderTest, ConcurrentWritersKeepDistinctSequences) {
+  constexpr int kThreads = 4;
+  constexpr u64 kPerThread = 2000;
+  TraceRecorder recorder;
+  recorder.Activate();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (u64 i = 0; i < kPerThread; ++i) {
+        recorder.Emit(EvType::kStoreCommit, t, i, kInvalidInstr, i, 0);
+      }
+    });
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  std::vector<TraceRecorder::ThreadLog> logs = recorder.Collect();
+  ASSERT_EQ(logs.size(), static_cast<std::size_t>(kThreads));
+  std::set<u64> seqs;
+  for (const TraceRecorder::ThreadLog& log : logs) {
+    EXPECT_EQ(log.events.size(), kPerThread);
+    EXPECT_EQ(log.dropped, 0u);
+    u64 prev_ts = 0;
+    for (const TraceEvent& e : log.events) {
+      EXPECT_EQ(e.thread, log.thread);
+      EXPECT_GE(e.ts, prev_ts) << "per-ring FIFO preserved";
+      prev_ts = e.ts;
+      seqs.insert(e.seq);
+    }
+  }
+  EXPECT_EQ(seqs.size(), kThreads * kPerThread) << "global seq is unique across rings";
+  recorder.Deactivate();
+}
+
+// ---- Metrics ----
+
+TEST(MetricsTest, CountersAndHistogramsAccumulate) {
+  Metrics& m = Metrics::Global();
+  Counter& c = m.GetCounter("test.obs.counter");
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&c, &m.GetCounter("test.obs.counter")) << "stable registration";
+
+  Histogram& h = m.GetHistogram("test.obs.hist", {1, 4, 16});
+  h.Record(0);
+  h.Record(1);   // bucket 0 (bounds are upper-inclusive)
+  h.Record(3);   // bucket 1
+  h.Record(16);  // bucket 2
+  h.Record(99);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 119u);
+  EXPECT_EQ(h.max(), 99u);
+  EXPECT_EQ(h.counts(), (std::vector<u64>{2, 1, 1, 1}));
+}
+
+TEST(MetricsTest, DeltaReportsOnlyTheContribution) {
+  Metrics& m = Metrics::Global();
+  m.GetCounter("test.obs.delta").Add(10);
+  m.GetHistogram("test.obs.delta_hist", {8}).Record(3);
+  MetricsSnapshot begin = m.Snapshot();
+  m.GetCounter("test.obs.delta").Add(7);
+  m.GetHistogram("test.obs.delta_hist", {8}).Record(100);
+  MetricsSnapshot delta = Metrics::Delta(begin, m.Snapshot());
+  EXPECT_EQ(delta.counters.at("test.obs.delta"), 7u);
+  const MetricsSnapshot::Hist& h = delta.histograms.at("test.obs.delta_hist");
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.sum, 100u);
+  EXPECT_EQ(h.counts, (std::vector<u64>{0, 1}));
+  EXPECT_EQ(h.max, 100u) << "max is the end snapshot's high-water mark";
+}
+
+TEST(MetricsTest, ToJsonShape) {
+  MetricsSnapshot snap;
+  snap.counters["a"] = 3;
+  MetricsSnapshot::Hist h;
+  h.bounds = {1, 2};
+  h.counts = {4, 0, 1};
+  h.count = 5;
+  h.sum = 9;
+  h.max = 7;
+  snap.histograms["lat"] = h;
+  EXPECT_EQ(Metrics::ToJson(snap),
+            "{\"counters\":{\"a\":3},\"histograms\":{\"lat\":{\"bounds\":[1,2],"
+            "\"counts\":[4,0,1],\"count\":5,\"sum\":9,\"max\":7}}}");
+}
+
+// ---- .ozztrace round-trip ----
+
+TraceMeta GoldenMeta() {
+  TraceMeta meta;
+  meta.has_hint = true;
+  meta.store_test = true;
+  meta.sched_before = true;
+  meta.sched_instr = 9;
+  meta.sched_occurrence = 2;
+  TraceMember m;
+  m.instr = 7;
+  m.occurrence = 1;
+  m.is_store = true;
+  meta.members.push_back(m);
+  meta.label = "round \"trip\"";
+  meta.crash_title = "BUG: something";
+  return meta;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  std::vector<TraceRecorder::ThreadLog> logs(2);
+  logs[0].thread = -2;
+  logs[0].dropped = 3;
+  logs[0].events = {Ev(0, EvType::kSyscallEnter, -2, kInvalidInstr, 0, 0, 1)};
+  logs[1].thread = 0;
+  logs[1].events = {Ev(1, EvType::kStoreDelayed, 0, 7, 0x10, 5, 2),
+                    Ev(2, EvType::kStoreCommit, 0, 7, 0x10, 1, 3)};
+
+  auto resolver = [](InstrId id, InstrTableEntry* out) {
+    if (id != 7) {
+      return false;  // id 9 (the sched instr) stays unresolved on purpose
+    }
+    out->line = 42;
+    out->kind = 1;
+    out->file = "src/osk/foo.cc";
+    out->function = "foo";
+    out->expr = "x->y";
+    return true;
+  };
+
+  const std::string path = TempPath("roundtrip.ozztrace");
+  std::string error;
+  ASSERT_TRUE(WriteTraceFile(path, GoldenMeta(), logs, resolver, &error)) << error;
+
+  TraceFile file;
+  ASSERT_TRUE(ReadTraceFile(path, &file, &error)) << error;
+  EXPECT_TRUE(file.meta.has_hint);
+  EXPECT_TRUE(file.meta.store_test);
+  EXPECT_TRUE(file.meta.sched_before);
+  EXPECT_EQ(file.meta.sched_instr, 9u);
+  EXPECT_EQ(file.meta.sched_occurrence, 2u);
+  ASSERT_EQ(file.meta.members.size(), 1u);
+  EXPECT_EQ(file.meta.members[0].instr, 7u);
+  EXPECT_EQ(file.meta.label, "round \"trip\"");
+  EXPECT_EQ(file.meta.crash_title, "BUG: something");
+
+  ASSERT_EQ(file.instrs.size(), 1u) << "only resolvable ids enter the table";
+  EXPECT_EQ(file.instrs[0].id, 7u);
+  EXPECT_EQ(file.DescribeInstr(7), "foo.cc:42 (x->y)");
+  EXPECT_EQ(file.DescribeInstr(9), "instr#9");
+  EXPECT_EQ(file.DescribeInstr(kInvalidInstr), "");
+
+  ASSERT_EQ(file.threads.size(), 2u);
+  EXPECT_EQ(file.threads[0].thread, -2);
+  EXPECT_EQ(file.threads[0].dropped, 3u);
+  ASSERT_EQ(file.threads[1].events.size(), 2u);
+  EXPECT_EQ(file.threads[1].events[0].a0, 0x10u);
+  EXPECT_EQ(file.threads[1].events[0].ev_type(), EvType::kStoreDelayed);
+  EXPECT_EQ(file.total_dropped(), 3u);
+
+  std::vector<TraceEvent> merged = MergedEvents(file);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].seq, 0u);
+  EXPECT_EQ(merged[2].seq, 2u);
+}
+
+TEST(TraceIoTest, RejectsGarbageAndTruncation) {
+  const std::string path = TempPath("garbage.ozztrace");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a trace";
+  }
+  TraceFile file;
+  std::string error;
+  EXPECT_FALSE(ReadTraceFile(path, &file, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ReadTraceFile(TempPath("missing.ozztrace"), &file, &error));
+}
+
+// ---- Triage ----
+
+TraceFile HintTrace(bool store_test) {
+  TraceFile file;
+  file.meta.has_hint = true;
+  file.meta.store_test = store_test;
+  TraceMember m;
+  m.instr = 7;
+  m.is_store = store_test;
+  file.meta.members.push_back(m);
+  file.threads.resize(1);
+  file.threads[0].thread = 0;
+  return file;
+}
+
+TEST(TriageTest, NoHintMetadata) {
+  TraceFile file;
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.verdict, Verdict::kNoHint);
+  EXPECT_STREQ(VerdictName(lc.verdict), "no-hint");
+}
+
+TEST(TriageTest, NeverArmed) {
+  TraceFile file = HintTrace(true);
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.verdict, Verdict::kNeverArmed);
+}
+
+TEST(TriageTest, ArmedNeverHit) {
+  TraceFile file = HintTrace(true);
+  file.threads[0].events = {Ev(0, EvType::kHintArm, 0, 7, 1, 1)};
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.verdict, Verdict::kArmedNeverHit);
+  EXPECT_EQ(lc.armed, 1u);
+  EXPECT_EQ(lc.hits, 0u);
+}
+
+TEST(TriageTest, StoreCommittedBeforeSwitchIsEarly) {
+  TraceFile file = HintTrace(true);
+  file.threads[0].events = {
+      Ev(0, EvType::kHintArm, 0, 7, 1, 1),
+      Ev(1, EvType::kHintHit, 0, 7, 1, 1),
+      Ev(2, EvType::kStoreDelayed, 0, 7, 0x10, 5),
+      Ev(3, EvType::kStoreCommit, 0, 7, 0x10, 1),  // commits before the switch
+      Ev(4, EvType::kSegmentSwitch, 0, kInvalidInstr, 0, 1),
+  };
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.verdict, Verdict::kHitCommittedEarly);
+  EXPECT_EQ(lc.delayed_stores, 1u);
+  EXPECT_EQ(lc.early_commits, 1u);
+  EXPECT_EQ(lc.held_across_switch, 0u);
+}
+
+TEST(TriageTest, StoreHeldAcrossSwitchIsReorderedOracleSilent) {
+  TraceFile file = HintTrace(true);
+  file.threads[0].events = {
+      Ev(0, EvType::kHintArm, 0, 7, 1, 1),
+      Ev(1, EvType::kHintHit, 0, 7, 1, 1),
+      Ev(2, EvType::kStoreDelayed, 0, 7, 0x10, 5),
+      Ev(3, EvType::kSegmentSwitch, 0, kInvalidInstr, 0, 1),
+      Ev(4, EvType::kStoreCommit, 0, 7, 0x10, 1),  // commit after the switch
+  };
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.verdict, Verdict::kReorderedOracleSilent);
+  EXPECT_EQ(lc.held_across_switch, 1u);
+  EXPECT_NE(lc.summary.find("no oracle fired"), std::string::npos);
+}
+
+TEST(TriageTest, StoreWithNoCommitCountsAsHeld) {
+  // Crash teardown abandons buffers: a delayed store with no commit event was
+  // still parked when the trace ended.
+  TraceFile file = HintTrace(true);
+  file.threads[0].events = {
+      Ev(0, EvType::kHintArm, 0, 7, 1, 1),
+      Ev(1, EvType::kHintHit, 0, 7, 1, 1),
+      Ev(2, EvType::kStoreDelayed, 0, 7, 0x10, 5),
+      Ev(3, EvType::kSegmentSwitch, 0, kInvalidInstr, 0, 1),
+  };
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.verdict, Verdict::kReorderedOracleSilent);
+  EXPECT_EQ(lc.held_across_switch, 1u);
+}
+
+TEST(TriageTest, NonMemberStoresAreIgnored) {
+  TraceFile file = HintTrace(true);
+  file.threads[0].events = {
+      Ev(0, EvType::kHintArm, 0, 7, 1, 1),
+      Ev(1, EvType::kHintHit, 0, 7, 1, 1),
+      Ev(2, EvType::kStoreDelayed, 0, /*instr=*/8, 0x20, 5),  // not in the reorder set
+      Ev(3, EvType::kSegmentSwitch, 0, kInvalidInstr, 0, 1),
+  };
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.delayed_stores, 0u);
+  EXPECT_EQ(lc.verdict, Verdict::kHitCommittedEarly);
+}
+
+TEST(TriageTest, LoadTestStaleVsFresh) {
+  TraceFile stale = HintTrace(false);
+  stale.threads[0].events = {
+      Ev(0, EvType::kHintArm, 0, 7, 1, 0),
+      Ev(1, EvType::kHintHit, 0, 7, 1, 0),
+      Ev(2, EvType::kLoadOld, 0, 7, 0x10, 4),
+  };
+  EXPECT_EQ(TriageTrace(stale).verdict, Verdict::kReorderedOracleSilent);
+
+  TraceFile fresh = HintTrace(false);
+  fresh.threads[0].events = {
+      Ev(0, EvType::kHintArm, 0, 7, 1, 0),
+      Ev(1, EvType::kHintHit, 0, 7, 1, 0),
+      Ev(2, EvType::kLoadNew, 0, 7, 0x10, 0),
+  };
+  EXPECT_EQ(TriageTrace(fresh).verdict, Verdict::kHitCommittedEarly);
+}
+
+TEST(TriageTest, OracleAlwaysWins) {
+  TraceFile file = HintTrace(true);
+  file.threads[0].events = {
+      Ev(0, EvType::kHintArm, 0, 7, 1, 1),
+      Ev(1, EvType::kHintHit, 0, 7, 1, 1),
+      Ev(2, EvType::kStoreDelayed, 0, 7, 0x10, 5),
+      Ev(3, EvType::kSegmentSwitch, 0, kInvalidInstr, 0, 1),
+      Ev(4, EvType::kOracle, 1, 9, 0, 0xdead),
+  };
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.verdict, Verdict::kTriggered);
+  EXPECT_TRUE(lc.oracle);
+  EXPECT_NE(lc.summary.find("an oracle fired"), std::string::npos);
+}
+
+TEST(TriageTest, DropsAreSurfacedInTheSummary) {
+  TraceFile file = HintTrace(true);
+  file.threads[0].dropped = 5;
+  HintLifecycle lc = TriageTrace(file);
+  EXPECT_EQ(lc.dropped, 5u);
+  EXPECT_NE(lc.summary.find("dropped=5"), std::string::npos);
+}
+
+// ---- Exporters ----
+
+TraceFile GoldenFile() {
+  TraceFile file;
+  file.meta.has_hint = true;
+  file.meta.label = "golden";
+  InstrTableEntry e;
+  e.id = 7;
+  e.line = 42;
+  e.file = "src/osk/foo.cc";
+  e.expr = "x->y";
+  file.instrs.push_back(e);
+  file.threads.resize(2);
+  file.threads[0].thread = -2;
+  file.threads[0].events = {Ev(0, EvType::kSyscallEnter, -2, kInvalidInstr, 0, 0, 1),
+                            Ev(2, EvType::kSyscallExit, -2, kInvalidInstr, 1, 0, 3)};
+  file.threads[1].thread = 0;
+  file.threads[1].events = {Ev(1, EvType::kStoreDelayed, 0, 7, 0x10, 5, 2)};
+  return file;
+}
+
+// The export is deterministic (ts is the emission sequence, not wall time),
+// so identical traces export byte-identical JSON — pinned down here.
+TEST(ExportTest, GoldenPerfettoJson) {
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"label\":\"golden\",\"crash\":\"\"},"
+      "\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"host\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":4,\"name\":\"thread_name\",\"args\":{\"name\":\"sim-0\"}},\n"
+      "{\"ph\":\"B\",\"pid\":1,\"tid\":2,\"ts\":0,\"name\":\"syscall\",\"args\":{\"clock\":1}},\n"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":4,\"ts\":1,\"s\":\"t\",\"name\":\"store-delayed\","
+      "\"args\":{\"instr\":\"foo.cc:42 (x->y)\",\"a0\":16,\"a1\":5,\"clock\":2}},\n"
+      "{\"ph\":\"E\",\"pid\":1,\"tid\":2,\"ts\":2,\"args\":{\"flushed\":1}}\n"
+      "]}";
+  EXPECT_EQ(ToPerfettoJson(GoldenFile()), expected);
+}
+
+TEST(ExportTest, TimelineRendersSemanticDetails) {
+  std::string timeline = ToTimeline(GoldenFile());
+  EXPECT_NE(timeline.find("# golden"), std::string::npos);
+  EXPECT_NE(timeline.find("syscall-enter"), std::string::npos);
+  EXPECT_NE(timeline.find("store-delayed"), std::string::npos);
+  EXPECT_NE(timeline.find("addr=0x10 value=5 foo.cc:42 (x->y)"), std::string::npos);
+  EXPECT_NE(timeline.find("t-2"), std::string::npos);
+}
+
+TEST(ExportTest, TimelineWarnsOnDrops) {
+  TraceFile file = GoldenFile();
+  file.threads[1].dropped = 4;
+  EXPECT_NE(ToTimeline(file).find("4 event(s) dropped"), std::string::npos);
+}
+
+#if defined(OZZ_TRACE_ENABLED)
+
+// End-to-end: the OEMU runtime hooks emit the expected event chain for a
+// delayed store (hint hit -> store parked -> barrier flush commits it).
+TEST(TraceHooksTest, RuntimeEmitsDelayedStoreLifecycle) {
+  TraceRecorder recorder;
+  recorder.Activate();
+  {
+    oemu::Runtime runtime;
+    runtime.Activate(nullptr);
+    oemu::Cell<u64> x{0};
+    ThreadId tid = oemu::Runtime::CurrentThreadId();
+    InstrId store_instr = kInvalidInstr;
+    auto store = [&](u64 v) {
+      store_instr = OZZ_OEMU_SITE(oemu::InstrKind::kStore, "x");
+      oemu::StoreCell(store_instr, x, v);
+    };
+    store(0);  // learn the id
+    runtime.DelayStoreAt(tid, store_instr);
+    store(1);
+    EXPECT_EQ(x.raw(), 0u);
+    runtime.Barrier(kInvalidInstr, oemu::BarrierType::kStoreBarrier);
+    EXPECT_EQ(x.raw(), 1u);
+    runtime.Deactivate();
+  }
+  recorder.Deactivate();
+
+  std::vector<u64> seen(13, 0);
+  for (const TraceRecorder::ThreadLog& log : recorder.Collect()) {
+    for (const TraceEvent& e : log.events) {
+      ++seen[e.type];
+    }
+  }
+  EXPECT_EQ(seen[static_cast<u16>(EvType::kHintHit)], 1u);
+  EXPECT_EQ(seen[static_cast<u16>(EvType::kStoreDelayed)], 1u);
+  EXPECT_GE(seen[static_cast<u16>(EvType::kStoreCommit)], 2u)
+      << "both the immediate and the delayed store commit";
+  EXPECT_GE(seen[static_cast<u16>(EvType::kBarrierFlush)], 1u);
+}
+
+#endif  // OZZ_TRACE_ENABLED
+
+}  // namespace
+}  // namespace ozz::obs

@@ -10,6 +10,7 @@
 // (see ozz_repro).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -39,6 +40,8 @@ void Usage() {
       "  --guide-src DIR     source tree for --static-guide (default: src/osk)\n"
       "  --seed-prog NAME    hunt around one scenario's seed program only\n"
       "  --save-dir DIR      write replayable crash specs into DIR\n"
+      "  --trace-out DIR     write a reorder trace per MTI into DIR (see ozz_trace)\n"
+      "  --metrics-out FILE  write the campaign's metrics delta (JSON) to FILE\n"
       "  --list-syscalls     print the syscall table and exit\n"
       "  -v                  verbose logging\n");
 }
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
   options.seed = 1;
   options.max_mti_runs = 20000;
   std::string save_dir;
+  std::string metrics_out;
   std::string seed_prog;
   std::string guide_src = "src/osk";
   bool static_guide = false;
@@ -88,6 +92,10 @@ int main(int argc, char** argv) {
       seed_prog = next();
     } else if (arg == "--save-dir") {
       save_dir = next();
+    } else if (arg == "--trace-out") {
+      options.trace_dir = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--list-syscalls") {
       list_syscalls = true;
     } else if (arg == "--json") {
@@ -111,6 +119,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!options.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "ozz_fuzz: cannot create --trace-out dir '%s': %s\n",
+                   options.trace_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
   fuzz::Fuzzer fuzzer(options);
 
   if (list_syscalls) {
@@ -130,6 +148,16 @@ int main(int argc, char** argv) {
   fuzz::CampaignResult result =
       seed_prog.empty() ? fuzzer.Run()
                         : fuzzer.RunProg(fuzz::SeedProgramFor(fuzzer.table(), seed_prog));
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "ozz_fuzz: cannot write --metrics-out file '%s'\n",
+                   metrics_out.c_str());
+    } else {
+      out << (result.metrics_json.empty() ? "{}" : result.metrics_json) << "\n";
+    }
+  }
 
   if (json) {
     std::printf("%s\n", fuzz::CampaignToJson(result).c_str());

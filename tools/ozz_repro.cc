@@ -1,10 +1,14 @@
 // ozz_repro: replays a crash spec saved by ozz_fuzz --save-dir.
 //
 // Usage: ozz_repro SPEC_FILE [--fixed SUBSYS]... [--no-reorder] [--runs N]
+//                  [--trace-out FILE]
 //
 // Replays deterministically; --fixed lets a developer confirm a candidate
 // patch kills the reproduction, and --no-reorder demonstrates the crash
-// needs out-of-order execution.
+// needs out-of-order execution. A reproduced crash automatically dumps a
+// reorder trace next to the spec (SPEC_FILE.ozztrace; override with
+// --trace-out, which also forces a dump for non-crashing replays) — inspect
+// it with ozz_trace.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,12 +23,16 @@ using namespace ozz;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::printf("usage: ozz_repro SPEC_FILE [--fixed SUBSYS]... [--no-reorder] [--runs N]\n");
+    std::printf(
+        "usage: ozz_repro SPEC_FILE [--fixed SUBSYS]... [--no-reorder] [--runs N]\n"
+        "                 [--trace-out FILE]\n");
     return 2;
   }
   std::string path = argv[1];
   osk::KernelConfig config;
   bool reorder = true;
+  bool trace_requested = false;
+  std::string trace_out;
   int runs = 1;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -34,6 +42,9 @@ int main(int argc, char** argv) {
       reorder = false;
     } else if (arg == "--runs" && i + 1 < argc) {
       runs = std::atoi(argv[++i]);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_requested = true;
+      trace_out = argv[++i];
     } else if (arg == "--hack-migration") {
       config.percpu_migration_hack = true;
     }
@@ -75,5 +86,18 @@ int main(int argc, char** argv) {
     std::printf("%s\n", fuzz::FormatBugReport(fuzz::MakeBugReport(spec, last)).c_str());
   }
   std::printf("%d/%d runs crashed (deterministic: expect all or none)\n", crashes, runs);
+
+  // Reproduced crashes auto-dump a reorder trace (the replay is
+  // deterministic, so one more traced run reproduces the same execution).
+  if (crashes > 0 || trace_requested) {
+    fuzz::MtiOptions options;
+    options.kernel_config = config;
+    options.reordering = reorder;
+    options.trace_path = trace_out.empty() ? path + ".ozztrace" : trace_out;
+    options.trace_label = "ozz_repro " + path;
+    fuzz::RunMti(spec, options);
+    std::printf("reorder trace written to %s (inspect with ozz_trace)\n",
+                options.trace_path.c_str());
+  }
   return crashes > 0 ? 0 : 1;
 }
