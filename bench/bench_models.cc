@@ -1,0 +1,170 @@
+// Per-model bug-trigger matrix over the 21 bug scenarios (BENCH_models.json).
+//
+// Runs every Table 3/4 scenario's seed-program campaign (same recipe as
+// bug_scenarios_test / ci/check_trace.sh: seed 99, budget 2500, stop at one
+// bug) once per MemoryModel backend and reports which scenarios still
+// trigger. "Bug X triggers under lkmm/armv8x but not tso" is the
+// differential fact the pluggable backends exist to produce: a bug whose
+// trigger set shrinks to the stronger models needs only the cheaper fence.
+//
+// Acceptance gates (CI runs this binary directly):
+//   1. lkmm triggers all scenarios — the default backend must stay bit-exact
+//      with the historical inline rules (21/21);
+//   2. tso triggers strictly fewer — the store-store and load-load bugs in
+//      the table are not emulatable when only store-load reordering exists;
+//   3. armv8x triggers at least everything lkmm does — its relaxation set
+//      is a superset.
+// The exact per-scenario expectations are pinned by ci/check_models.sh
+// against ci/models_baseline.txt.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/oemu/memory_model.h"
+#include "tests/scenarios.h"
+
+namespace {
+
+using namespace ozz;
+using fuzz::CampaignResult;
+using fuzz::Fuzzer;
+using fuzz::FuzzerOptions;
+using fuzz::SeedProgramFor;
+
+struct Cell {
+  bool triggered = false;
+  unsigned long long tests = 0;  // MTI tests until the trigger (0 if missed)
+  double wall_s = 0.0;
+};
+
+Cell Hunt(const fuzz::Scenario& s, const oemu::MemoryModel* model) {
+  FuzzerOptions options;
+  options.seed = 99;
+  options.max_mti_runs = 2500;
+  options.stop_after_bugs = 1;
+  options.model = model;
+  if (s.pre_fixed != nullptr) {
+    options.kernel_config.fixed.insert(s.pre_fixed);
+  }
+  options.kernel_config.percpu_migration_hack = s.migration_hack;
+  auto t0 = std::chrono::steady_clock::now();
+  Fuzzer fuzzer(options);
+  CampaignResult result = fuzzer.RunProg(SeedProgramFor(fuzzer.table(), s.seed));
+  auto t1 = std::chrono::steady_clock::now();
+  Cell cell;
+  cell.triggered = !result.bugs.empty();
+  cell.tests = cell.triggered ? result.bugs[0].found_at_test : 0;
+  cell.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --baseline prints the machine-readable trigger matrix (the
+  // ci/models_baseline.txt format) instead of the human table + JSON.
+  const bool baseline_mode = argc > 1 && std::strcmp(argv[1], "--baseline") == 0;
+
+  const std::size_t count = sizeof(fuzz::kBugScenarios) / sizeof(fuzz::kBugScenarios[0]);
+  const std::vector<const oemu::MemoryModel*>& models = oemu::MemoryModel::All();
+
+  if (!baseline_mode) {
+    std::printf("=== per-model bug-trigger matrix (%zu scenarios x %zu models) ===\n\n",
+                count, models.size());
+    std::printf("%-24s %-5s", "scenario", "type");
+    for (const oemu::MemoryModel* m : models) {
+      std::printf(" %-12s", m->name());
+    }
+    std::printf("\n");
+  }
+
+  FILE* json = baseline_mode ? nullptr : std::fopen("BENCH_models.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"scenarios\": %zu,\n  \"matrix\": [\n", count);
+  }
+
+  std::map<std::string, std::size_t> triggered_per_model;
+  for (std::size_t i = 0; i < count; ++i) {
+    const fuzz::Scenario& s = fuzz::kBugScenarios[i];
+    std::map<std::string, Cell> row;
+    for (const oemu::MemoryModel* m : models) {
+      row[m->name()] = Hunt(s, m);
+      triggered_per_model[m->name()] += row[m->name()].triggered ? 1 : 0;
+    }
+    if (baseline_mode) {
+      for (const oemu::MemoryModel* m : models) {
+        std::printf("%s|%s|%s\n", m->name(), s.name,
+                    row[m->name()].triggered ? "yes" : "no");
+      }
+      continue;
+    }
+    std::printf("%-24s %-5s", s.name, s.reorder_type);
+    for (const oemu::MemoryModel* m : models) {
+      const Cell& c = row[m->name()];
+      char buf[32];
+      if (c.triggered) {
+        std::snprintf(buf, sizeof buf, "yes@%llu", c.tests);
+      } else {
+        std::snprintf(buf, sizeof buf, "-");
+      }
+      std::printf(" %-12s", buf);
+    }
+    std::printf("\n");
+    if (json != nullptr) {
+      std::fprintf(json, "    {\"name\": \"%s\", \"reorder_type\": \"%s\"", s.name,
+                   s.reorder_type);
+      for (const oemu::MemoryModel* m : models) {
+        const Cell& c = row[m->name()];
+        std::fprintf(json, ", \"%s\": {\"triggered\": %s, \"tests\": %llu, \"wall_s\": %.3f}",
+                     m->name(), c.triggered ? "true" : "false", c.tests, c.wall_s);
+      }
+      std::fprintf(json, "}%s\n", i + 1 < count ? "," : "");
+    }
+  }
+
+  if (baseline_mode) {
+    return 0;
+  }
+
+  if (json != nullptr) {
+    std::fprintf(json, "  ],\n  \"totals\": {");
+    bool first = true;
+    for (const oemu::MemoryModel* m : models) {
+      std::fprintf(json, "%s\"%s\": %zu", first ? "" : ", ", m->name(),
+                   triggered_per_model[m->name()]);
+      first = false;
+    }
+    std::fprintf(json, "}\n}\n");
+    std::fclose(json);
+  }
+
+  std::printf("\nTriggered:");
+  for (const oemu::MemoryModel* m : models) {
+    std::printf(" %s=%zu/%zu", m->name(), triggered_per_model[m->name()], count);
+  }
+  std::printf("\nwrote BENCH_models.json\n");
+
+  const std::size_t lkmm = triggered_per_model["lkmm"];
+  const std::size_t tso = triggered_per_model["tso"];
+  const std::size_t armv8x = triggered_per_model["armv8x"];
+  bool ok = true;
+  if (lkmm != count) {
+    std::printf("FAILED: lkmm must trigger %zu/%zu (the default backend regressed)\n", count,
+                count);
+    ok = false;
+  }
+  if (tso >= lkmm) {
+    std::printf("FAILED: tso must suppress at least one scenario (got %zu >= %zu)\n", tso,
+                lkmm);
+    ok = false;
+  }
+  if (armv8x < lkmm) {
+    std::printf("FAILED: armv8x relaxations are a superset of lkmm's (got %zu < %zu)\n",
+                armv8x, lkmm);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# CI gate for the pluggable memory-model backends.
+#
+# Runs bench_models in --baseline mode (21 scenarios x 4 backends, the same
+# seed-99/budget-2500 recipe as check_trace.sh) and diffs the per-cell trigger
+# matrix against ci/models_baseline.txt. Any flip in either direction fails:
+#  - a "yes" turning "no" means a backend stopped emulating a reordering it
+#    used to produce (lkmm regressing here breaks the bit-exactness promise);
+#  - a "no" turning "yes" means a strong model started emulating a reordering
+#    its relaxation matrix forbids (e.g. tso exhibiting store-store).
+#
+# Regenerate the baseline after an intentional matrix change with:
+#   ./build/bench/bench_models --baseline > ci/models_baseline.txt
+#
+# Usage: ci/check_models.sh [BENCH_BINARY]
+#        ci/check_models.sh --print-current [BENCH_BINARY]
+set -u
+
+print_current=0
+if [ "${1:-}" = "--print-current" ]; then
+  print_current=1
+  shift
+fi
+bench="${1:-./build/bench/bench_models}"
+baseline="$(dirname "$0")/models_baseline.txt"
+
+if [ ! -x "$bench" ]; then
+  echo "check_models: bench binary not found: $bench" >&2
+  exit 2
+fi
+
+current=$("$bench" --baseline) || { echo "check_models: $bench --baseline errored" >&2; exit 2; }
+
+if [ "$print_current" = 1 ]; then
+  printf '%s\n' "$current"
+  exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+  echo "check_models: baseline not found: $baseline" >&2
+  exit 2
+fi
+
+fail=0
+seen=0
+while IFS='|' read -r model scenario want; do
+  case "$model" in ''|'#'*) continue ;; esac
+  seen=$((seen + 1))
+  got=$(printf '%s\n' "$current" | awk -F'|' -v m="$model" -v s="$scenario" \
+        '$1 == m && $2 == s { print $3 }')
+  if [ -z "$got" ]; then
+    echo "FAIL $model/$scenario: missing from bench output (scenario table changed without a baseline update?)"
+    fail=1
+  elif [ "$got" != "$want" ]; then
+    echo "FAIL $model/$scenario: triggered=$got, baseline says $want"
+    fail=1
+  fi
+done < "$baseline"
+
+extra=$(printf '%s\n' "$current" | wc -l)
+if [ "$extra" -ne "$seen" ]; then
+  echo "FAIL matrix size: bench emitted $extra cells, baseline pins $seen (new scenario or backend — regenerate the baseline)"
+  fail=1
+fi
+
+if [ "$fail" = 0 ]; then
+  echo "ok   per-model trigger matrix matches baseline ($seen cells)"
+fi
+exit "$fail"

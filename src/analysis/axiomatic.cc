@@ -152,7 +152,7 @@ bool BuildSlice(const PairAnalysis& pa, std::size_t first, std::size_t second,
       b.kind = AxEvent::Kind::kBarrier;
       b.thread = 0;
       b.instr = e.instr;
-      b.cls = oemu::ClassOf(e.barrier);
+      b.cls = pa.model().EffectOf(e.barrier);
       out->events.push_back(b);
       continue;
     }
@@ -188,6 +188,7 @@ bool BuildSlice(const PairAnalysis& pa, std::size_t first, std::size_t second,
   }
   out->first = first_slice;
   out->second = second_slice;
+  out->model = &pa.model();
   return true;
 }
 
@@ -293,6 +294,14 @@ AxResult CheckSlice(const AxSlice& slice, const AxOptions& opts) {
   };
 
   // Static part of the global time graph: reorder-side ppo + observer po.
+  // Each rung of the ppo ladder is gated by the slice's memory model: when a
+  // model never emulates a reordering class, the edge is unconditional (tso
+  // orders every store-store pair), and when it relaxes a class lkmm keeps
+  // (armv8x load-store), the edge weakens to barrier-enforced only. The
+  // engine being more permissive than the runtime keeps refutations sound —
+  // the runtime never mechanically delays loads under any model, so armv8x
+  // load-store reordering exists only here.
+  const oemu::RelaxationMatrix& rx = oemu::MemoryModel::Resolve(slice.model).relaxations();
   TimeGraph base(n);
   for (std::size_t pi = 0; pi < slice.reorder_count; pi++) {
     if (!ev[pi].IsAccess()) {
@@ -306,15 +315,26 @@ AxResult CheckSlice(const AxSlice& slice, const AxOptions& opts) {
       const AxEvent& b = ev[pj];
       bool edge = false;
       if (a.IsLoad() && b.IsStore()) {
-        edge = true;  // loads are never delayed (§10.1 Case 7)
+        // lkmm/tso/pso: loads are never delayed (§10.1 Case 7). armv8x
+        // relaxes load-store; a load-ordering barrier or the release store's
+        // own undelayability restores the edge.
+        edge = !rx.load_store ||
+               has_bar(pi, pj, /*stores=*/false) || b.undelayable;
       } else if (a.IsStore() && b.IsStore()) {
-        edge = SameLoc(a, b) || has_bar(pi, pj, /*stores=*/true) || a.undelayable;
+        edge = !rx.store_store || SameLoc(a, b) ||
+               has_bar(pi, pj, /*stores=*/true) || a.undelayable;
       } else if (a.IsLoad() && b.IsLoad()) {
         // Same-location loads get no *global* edge: their effective read
         // times can coincide; the per-location check owns their ordering.
-        edge = !SameLoc(a, b) && (has_bar(pi, pj, /*stores=*/false) || b.rmw_load);
-      } else {
+        edge = !SameLoc(a, b) &&
+               (!rx.load_load || has_bar(pi, pj, /*stores=*/false) || b.rmw_load);
+      } else if (rx.load_load) {
         edge = store_load_ordered(pi, pj, b.rmw_load);
+      } else {
+        // No versioned loads (tso/pso): a load always reads fresh memory, so
+        // a store-ordering flush alone commits the store before the load
+        // executes — the two-step window-close requirement disappears.
+        edge = has_bar(pi, pj, /*stores=*/true);
       }
       if (edge) {
         base.AddEdge(node_of[pi], node_of[pj]);

@@ -29,15 +29,21 @@
 //       the per-location read floor and in-order buffer drain make OEMU
 //       exactly sequentially consistent per location), and
 //   (b) the global time graph is acyclic, where edges assert "takes effect
-//       earlier": preserved-program-order edges on the reorder side (the
-//       seven prohibition cases of src/lkmm/checker.cc, re-derived over the
-//       slice: load->store always; store->store on coherence, store-ordering
-//       barriers or undelayable stores; load->load on load-ordering barriers
-//       or RMW loads; store->load only behind a store-ordering barrier that
-//       is itself followed by a load-ordering barrier before the load), full
-//       program order on the observer side (it runs spec-free), co, fr, and
-//       external rf. Internal rf is excluded globally: store forwarding lets
-//       a load read its own thread's store before that store commits.
+//       earlier": preserved-program-order edges on the reorder side, derived
+//       from the slice's memory-model backend (src/oemu/memory_model.h).
+//       Under the default lkmm these are the seven prohibition cases of
+//       src/lkmm/checker.cc, re-derived over the slice: load->store always;
+//       store->store on coherence, store-ordering barriers or undelayable
+//       stores; load->load on load-ordering barriers or RMW loads;
+//       store->load only behind a store-ordering barrier that is itself
+//       followed by a load-ordering barrier before the load. Other backends
+//       strengthen rungs the model never relaxes (tso orders all
+//       store-store and load-load pairs) or weaken rungs it additionally
+//       relaxes (armv8x load->store needs a barrier). Full program order on
+//       the observer side (it runs spec-free), co, fr, and external rf
+//       complete the graph. Internal rf is excluded globally: store
+//       forwarding lets a load read its own thread's store before that
+//       store commits.
 //
 // Every possible cycle in these graphs contains at least one strict edge
 // (only rf is non-strict, and no cycle can consist of rf edges alone), so

@@ -103,25 +103,44 @@ FenceSuggestion SynthesizeFence(const AxSlice& slice, const AxOptions& opts) {
     return false;
   };
 
-  if (try_barrier(FenceKind::kWmb, {/*orders_stores=*/true, /*orders_loads=*/false})) {
-    return out;
-  }
-  if (try_barrier(FenceKind::kRmb, {/*orders_stores=*/false, /*orders_loads=*/true})) {
-    return out;
-  }
-  if (slice.events[slice.second].IsStore() &&
-      refutes(WithBarrierAt(slice, slice.second, {true, false},
-                            /*undelayable_second=*/true))) {
-    fill(FenceKind::kRelease, AccessBefore(slice, slice.second), slice.second);
-    return out;
-  }
-  if (slice.events[slice.first].IsLoad() &&
-      refutes(WithBarrierAt(slice, slice.first + 1, {false, true}))) {
-    fill(FenceKind::kAcquire, slice.first, AccessAtOrAfter(slice, slice.first + 1));
-    return out;
-  }
-  if (try_barrier(FenceKind::kMb, {/*orders_stores=*/true, /*orders_loads=*/true})) {
-    return out;
+  // Candidate order comes from the model's fence lattice: backends whose
+  // partial barriers are no-ops (smp_wmb under tso, smp_rmb under tso/pso)
+  // never try them, so the suggestion is always a primitive that actually
+  // repairs something under that model.
+  using FenceOp = oemu::MemoryModel::FenceOp;
+  for (FenceOp op : oemu::MemoryModel::Resolve(slice.model).FenceLattice()) {
+    switch (op) {
+      case FenceOp::kWmb:
+        if (try_barrier(FenceKind::kWmb, {/*orders_stores=*/true, /*orders_loads=*/false})) {
+          return out;
+        }
+        break;
+      case FenceOp::kRmb:
+        if (try_barrier(FenceKind::kRmb, {/*orders_stores=*/false, /*orders_loads=*/true})) {
+          return out;
+        }
+        break;
+      case FenceOp::kReleaseUpgrade:
+        if (slice.events[slice.second].IsStore() &&
+            refutes(WithBarrierAt(slice, slice.second, {true, false},
+                                  /*undelayable_second=*/true))) {
+          fill(FenceKind::kRelease, AccessBefore(slice, slice.second), slice.second);
+          return out;
+        }
+        break;
+      case FenceOp::kAcquireUpgrade:
+        if (slice.events[slice.first].IsLoad() &&
+            refutes(WithBarrierAt(slice, slice.first + 1, {false, true}))) {
+          fill(FenceKind::kAcquire, slice.first, AccessAtOrAfter(slice, slice.first + 1));
+          return out;
+        }
+        break;
+      case FenceOp::kMb:
+        if (try_barrier(FenceKind::kMb, {/*orders_stores=*/true, /*orders_loads=*/true})) {
+          return out;
+        }
+        break;
+    }
   }
   return out;
 }

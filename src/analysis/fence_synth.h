@@ -2,11 +2,17 @@
 //
 // Given a slice whose pair was classified witnessed, search the program-order
 // interval between the two accesses for the cheapest repair that turns the
-// verdict into refuted-exact, i.e. forbids every witness execution. The cost
-// order follows the strength (and typical kernel cost) of the primitives:
+// verdict into refuted-exact, i.e. forbids every witness execution. The
+// candidate order is the slice's memory-model fence lattice
+// (MemoryModel::FenceLattice); under the default lkmm it follows the
+// strength (and typical kernel cost) of the primitives:
 //
 //   smp_wmb() < smp_rmb() < smp_store_release() upgrade
 //             < smp_load_acquire() upgrade < smp_mb()
+//
+// while models with fewer relaxations drop the partial barriers that are
+// no-ops there (tso tries only smp_mb; pso skips smp_rmb and the acquire
+// upgrade).
 //
 // Standalone barriers are tried at every insertion point of the interval
 // (left to right); the release upgrade makes the po-later store a release

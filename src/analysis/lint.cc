@@ -162,6 +162,55 @@ std::vector<LintFinding> LintSource(const std::string& path, const std::string& 
   return findings;
 }
 
+std::vector<LintFinding> LintModelDiscipline(const std::string& path,
+                                             const std::string& contents) {
+  std::vector<LintFinding> findings;
+  // The model layer itself: event.h defines the ClassOf reference table and
+  // memory_model.cc is the one consumer allowed to re-derive it per model.
+  auto ends_with = [&](const char* suffix) {
+    std::size_t n = std::string(suffix).size();
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("oemu/event.h") || ends_with("oemu/memory_model.h") ||
+      ends_with("oemu/memory_model.cc")) {
+    return findings;
+  }
+
+  static const char* kInlineRuleHelpers[] = {"ClassOf"};
+  const std::vector<std::string> lines = SplitLines(contents);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (IsCommentLine(line) || Suppressed(lines, i, "ozz-lint: allow-model")) {
+      continue;
+    }
+    std::string stripped = StripStrings(line);
+    std::size_t comment = stripped.find("//");
+    if (comment != std::string::npos) {
+      stripped.resize(comment);
+    }
+    for (const char* helper : kInlineRuleHelpers) {
+      bool hit = false;
+      for (std::size_t pos : WordOccurrences(stripped, helper)) {
+        std::size_t after = pos + std::string(helper).size();
+        if (after < stripped.size() && stripped[after] == '(') {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        findings.push_back(LintFinding{
+            path, static_cast<int>(i) + 1, "model-discipline",
+            std::string("`") + helper +
+                "()` hardcodes the LKMM barrier table and bypasses the session's "
+                "MemoryModel backend; query MemoryModel::EffectOf instead (or annotate a "
+                "deliberate LKMM reference use with `ozz-lint: allow-model`)"});
+        break;  // one model-discipline finding per line is enough
+      }
+    }
+  }
+  return findings;
+}
+
 std::string FormatFinding(const LintFinding& finding) {
   std::ostringstream os;
   os << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;

@@ -44,6 +44,20 @@ struct LintFinding {
 // Lints one source file (path is used for reporting only).
 std::vector<LintFinding> LintSource(const std::string& path, const std::string& contents);
 
+// Model-discipline lint (ozz_lint --model-discipline): flags call sites of
+// the LKMM reference helper ClassOf() outside the memory-model layer.
+// ClassOf encodes Table 1 for LKMM only; runtime/analysis/fuzz code that
+// calls it directly re-hardcodes LKMM and silently ignores the session's
+// --model backend — the per-model effect must come from
+// MemoryModel::EffectOf. The definition site (src/oemu/event.h) and the
+// model layer itself (src/oemu/memory_model.*) are exempt; deliberate
+// reference uses (e.g. the LKMM conformance checker) suppress with
+// "ozz-lint: allow-model" on the same or preceding line. This rule runs
+// over src/ trees where the instrumentation-discipline rules of LintSource
+// would false-positive, so it is a separate entry point.
+std::vector<LintFinding> LintModelDiscipline(const std::string& path,
+                                             const std::string& contents);
+
 std::string FormatFinding(const LintFinding& finding);
 
 }  // namespace ozz::analysis

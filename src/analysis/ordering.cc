@@ -62,6 +62,8 @@ const char* OrderEdgeName(OrderEdge e) {
       return "unversionable";
     case OrderEdge::kLockset:
       return "lockset";
+    case OrderEdge::kModel:
+      return "model";
   }
   return "?";
 }
@@ -76,10 +78,14 @@ void PairStats::Add(const PairStats& o) {
   proven_undelayable += o.proven_undelayable;
   proven_unversionable += o.proven_unversionable;
   proven_lockset += o.proven_lockset;
+  proven_model += o.proven_model;
 }
 
-PairAnalysis::PairAnalysis(const oemu::Trace& reorder_trace, const oemu::Trace& other_trace)
-    : reorder_(&reorder_trace), other_(&other_trace) {
+PairAnalysis::PairAnalysis(const oemu::Trace& reorder_trace, const oemu::Trace& other_trace,
+                           const oemu::MemoryModel* model)
+    : reorder_(&reorder_trace),
+      other_(&other_trace),
+      model_(&oemu::MemoryModel::Resolve(model)) {
   sections_ = FindCriticalSections(reorder_trace);
   other_sections_ = FindCriticalSections(other_trace);
 
@@ -95,7 +101,7 @@ PairAnalysis::PairAnalysis(const oemu::Trace& reorder_trace, const oemu::Trace& 
     store_bar_prefix_[i + 1] = store_bar_prefix_[i];
     load_bar_prefix_[i + 1] = load_bar_prefix_[i];
     if (e.IsBarrier()) {
-      oemu::BarrierClass cls = oemu::ClassOf(e.barrier);
+      oemu::BarrierClass cls = model_->EffectOf(e.barrier);
       if (cls.orders_stores) {
         ++store_bar_prefix_[i + 1];
       }
@@ -231,6 +237,14 @@ OrderEdge PairAnalysis::ClassifyStorePair(std::size_t first, std::size_t second)
   if (RangesOverlap(a.addr, a.size, b.addr, b.size)) {
     return OrderEdge::kCoherence;
   }
+  // Model legality: a backend that never delays stores at all orders every
+  // store pair; one that forbids store-store reordering (tso) still lets a
+  // store sit past a later *load* (the one relaxation TSO keeps), so only
+  // store-store pairs get the model edge there.
+  if (!model_->StoresDelayable() ||
+      (!model_->relaxations().store_store && b.IsStore())) {
+    return OrderEdge::kModel;
+  }
   if (store_bar_prefix_[second] > store_bar_prefix_[first + 1]) {
     return OrderEdge::kBarrier;
   }
@@ -251,6 +265,11 @@ OrderEdge PairAnalysis::ClassifyLoadPair(std::size_t first, std::size_t second) 
   // the same location already saw (CoRR).
   if (a.addr == b.addr && a.size == b.size) {
     return OrderEdge::kCoherence;
+  }
+  // Model legality: backends whose loads never reorder (tso, pso) make every
+  // read-old spec inert.
+  if (!model_->LoadsVersionable()) {
+    return OrderEdge::kModel;
   }
   if (load_bar_prefix_[second] > load_bar_prefix_[first + 1]) {
     return OrderEdge::kBarrier;
@@ -305,6 +324,9 @@ PairStats PairAnalysis::ComputeStats() const {
         break;
       case OrderEdge::kLockset:
         ++stats.proven_lockset;
+        break;
+      case OrderEdge::kModel:
+        ++stats.proven_model;
         break;
     }
   };

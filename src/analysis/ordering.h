@@ -21,6 +21,10 @@
 //   kUnversionable the later load is an RMW load — RMWs read memory (and the
 //                  own buffer) directly, never the store history, so a
 //                  read-old spec on it is a no-op.
+//   kModel         the active memory model never emulates this reordering
+//                  class at all (e.g. store-store under tso, load-load under
+//                  tso/pso) — the corresponding control spec is inert, so no
+//                  hint can produce the inversion.
 //   kLockset       Eraser-style: both accesses sit in a critical section
 //                  whose ordering qualifications make the inversion
 //                  unobservable, and every conflicting observer-side access
@@ -45,6 +49,7 @@
 #include "src/analysis/lockset.h"
 #include "src/base/ids.h"
 #include "src/oemu/event.h"
+#include "src/oemu/memory_model.h"
 
 namespace ozz::analysis {
 
@@ -63,6 +68,7 @@ enum class OrderEdge : u8 {
   kUndelayable,
   kUnversionable,
   kLockset,
+  kModel,
 };
 
 const char* OrderEdgeName(OrderEdge e);
@@ -80,6 +86,7 @@ struct PairStats {
   u64 proven_undelayable = 0;
   u64 proven_unversionable = 0;
   u64 proven_lockset = 0;
+  u64 proven_model = 0;
 
   u64 candidates() const { return store_pairs + load_pairs; }
   u64 proven() const { return store_pairs_proven + load_pairs_proven; }
@@ -90,7 +97,11 @@ class PairAnalysis {
  public:
   // Both traces must outlive the analysis. Raw (unfiltered) traces are
   // expected; commit/lock events carry information the analysis needs.
-  PairAnalysis(const oemu::Trace& reorder_trace, const oemu::Trace& other_trace);
+  // `model` selects the memory-model backend whose rules the proofs assume
+  // (barrier classes, which reordering classes exist at all); nullptr
+  // resolves to lkmm.
+  PairAnalysis(const oemu::Trace& reorder_trace, const oemu::Trace& other_trace,
+               const oemu::MemoryModel* model = nullptr);
 
   // Pair classifiers over event indices of the reorder trace (first comes
   // before second in program order).
@@ -128,6 +139,7 @@ class PairAnalysis {
 
   const oemu::Trace& reorder_trace() const { return *reorder_; }
   const oemu::Trace& other_trace() const { return *other_; }
+  const oemu::MemoryModel& model() const { return *model_; }
   const std::vector<CriticalSection>& sections() const { return sections_; }
   const std::vector<CriticalSection>& other_sections() const { return other_sections_; }
 
@@ -141,6 +153,7 @@ class PairAnalysis {
 
   const oemu::Trace* reorder_;
   const oemu::Trace* other_;
+  const oemu::MemoryModel* model_;  // never null
   std::vector<CriticalSection> sections_;
   std::vector<CriticalSection> other_sections_;
   std::vector<u8> shared_;         // per reorder-trace event

@@ -26,6 +26,7 @@
 
 #include "src/base/ids.h"
 #include "src/oemu/event.h"
+#include "src/oemu/memory_model.h"
 
 namespace ozz::analysis {
 
@@ -55,6 +56,10 @@ struct AxSlice {
   std::size_t reorder_count = 0;  // events[0, reorder_count) are thread 0
   std::size_t first = 0;          // the tested pair (reorder side, po order)
   std::size_t second = 0;
+  // Memory model whose ppo rules CheckSlice derives edges from. BuildSlice
+  // sets it from the PairAnalysis; nullptr resolves to lkmm (hand-built
+  // litmus slices).
+  const oemu::MemoryModel* model = nullptr;
 };
 
 // Dense directed graph over at most 64 nodes with bitset adjacency; nodes

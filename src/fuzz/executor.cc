@@ -49,6 +49,7 @@ obs::TraceMeta MetaFor(const MtiSpec& spec, const MtiOptions& options,
   if (result.crashed) {
     meta.crash_title = result.crash.title;
   }
+  meta.model = oemu::MemoryModel::Resolve(options.model).name();
   return meta;
 }
 
@@ -70,6 +71,7 @@ MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
 
   oemu::Runtime::Options rt_opts;
   rt_opts.reordering_enabled = options.reordering;
+  rt_opts.model = options.model;
   oemu::Runtime runtime(rt_opts);
   rt::Machine machine(2);
   runtime.Activate(&machine);

@@ -47,6 +47,10 @@ struct MtiOptions {
   // false: ignore the hint's reorder set (in-order execution — what a
   // conventional concurrency fuzzer tests; the §6.1 "x86-64/TCG" point).
   bool reordering = true;
+  // Memory-model backend for the execution's runtime (also stamped into the
+  // trace meta). Must match the model the hint was computed under; nullptr
+  // resolves to lkmm.
+  const oemu::MemoryModel* model = nullptr;
   // Non-empty: record a reorder trace of this execution and serialize it to
   // the given .ozztrace path (inspect with ozz_trace).
   std::string trace_path;

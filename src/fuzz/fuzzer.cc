@@ -77,7 +77,8 @@ std::vector<std::pair<std::size_t, std::size_t>> GuidedPairOrder(
 std::string CampaignToJson(const CampaignResult& result) {
   std::ostringstream os;
   const HintStats& hs = result.hint_stats;
-  os << "{\"mti_runs\":" << result.mti_runs << ",\"sti_runs\":" << result.sti_runs
+  os << "{\"model\":\"" << result.model << "\""
+     << ",\"mti_runs\":" << result.mti_runs << ",\"sti_runs\":" << result.sti_runs
      << ",\"corpus_size\":" << result.corpus_size << ",\"coverage\":" << result.coverage
      << ",\"hints_generated\":" << hs.hints_generated << ",\"hints_pruned\":" << hs.hints_pruned()
      << ",\"hints_pruned_static\":" << hs.hints_pruned_static
@@ -116,6 +117,11 @@ const FoundBug* CampaignResult::FindByTitle(const std::string& needle) const {
 }
 
 Fuzzer::Fuzzer(FuzzerOptions options) : options_(std::move(options)), rng_(options_.seed) {
+  // One source of truth for the campaign's memory model: resolve it once and
+  // force the hint options onto it (a mismatched hints.model would compute
+  // hints the executing runtime cannot honor).
+  options_.model = &oemu::MemoryModel::Resolve(options_.model);
+  options_.hints.model = options_.model;
   // The template kernel exists only to expose the syscall table to the
   // generator; it is never executed.
   template_kernel_ = std::make_unique<osk::Kernel>(options_.kernel_config);
@@ -190,7 +196,7 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
   if (prog.calls.empty()) {
     return false;
   }
-  ProgProfile profile = ProfileProg(prog, options_.kernel_config);
+  ProgProfile profile = ProfileProg(prog, options_.kernel_config, options_.model);
   ++result->sti_runs;
   if (profile.crashed) {
     // A sequential (non-concurrency) crash — out of scope for OZZ but worth
@@ -248,6 +254,7 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
         MtiOptions mti_opts;
         mti_opts.kernel_config = options_.kernel_config;
         mti_opts.reordering = options_.reordering;
+        mti_opts.model = options_.model;
         if (!options_.trace_dir.empty()) {
           std::ostringstream path;
           path << options_.trace_dir << "/mti_" << std::setw(6) << std::setfill('0')
@@ -268,6 +275,8 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
 }
 
 void Fuzzer::Finalize(const obs::MetricsSnapshot& begin, CampaignResult* result) const {
+  result->model = oemu::MemoryModel::Resolve(options_.model).name();
+  obs::Metrics::Global().GetCounter("fuzz.campaigns." + result->model).Add();
   result->corpus_size = corpus_.size();
   result->coverage = corpus_.coverage_size();
   result->guide_sites = guide_sites_.size();

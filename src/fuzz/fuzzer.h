@@ -42,6 +42,10 @@ struct FuzzerOptions {
   std::size_t max_pairs_per_prog = 8;
   HintOptions hints;
   osk::KernelConfig kernel_config;
+  // Memory-model backend for the whole campaign: profiling, hint
+  // calculation, and MTI execution all use it (the constructor copies it
+  // into hints.model — one source of truth). nullptr resolves to lkmm.
+  const oemu::MemoryModel* model = nullptr;
   // false: run the same MTIs without OEMU reordering — the conventional
   // interleaving-only concurrency fuzzer (the x86-64 / TCG comparison).
   bool reordering = true;
@@ -70,6 +74,7 @@ struct FoundBug {
 
 struct CampaignResult {
   std::vector<FoundBug> bugs;  // deduplicated by crash title
+  std::string model;           // memory-model backend the campaign ran under
   u64 mti_runs = 0;
   u64 sti_runs = 0;
   std::size_t corpus_size = 0;

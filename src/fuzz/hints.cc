@@ -228,12 +228,18 @@ oemu::Trace FilterShared(const oemu::Trace& trace, const oemu::Trace& other) {
 std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
                                     const oemu::Trace& other_trace,
                                     const HintOptions& options, HintStats* stats) {
+  const oemu::MemoryModel& model = oemu::MemoryModel::Resolve(options.model);
   const oemu::Trace filtered = FilterShared(reorder_trace, other_trace);
   std::vector<SchedHint> hints;
 
   for (int pass = 0; pass < 2; ++pass) {
     const bool store_test = pass == 0;
     if ((store_test && !options.store_tests) || (!store_test && !options.load_tests)) {
+      continue;
+    }
+    // A model that never emulates the tested reordering class makes every
+    // hint of this pass a guaranteed no-op — the specs are inert under it.
+    if (store_test ? !model.StoresDelayable() : !model.LoadsVersionable()) {
       continue;
     }
     // Step 2: group accesses between barriers of the tested type.
@@ -244,7 +250,7 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
         group.push_back(e);
         continue;
       }
-      oemu::BarrierClass cls = oemu::ClassOf(e.barrier);
+      oemu::BarrierClass cls = model.EffectOf(e.barrier);
       const bool splits = store_test ? cls.orders_stores : cls.orders_loads;
       if (splits && !group.empty()) {
         groups.push_back(std::move(group));
@@ -337,7 +343,7 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
   // Prune tiers (and their accounting). The analysis runs on the raw traces:
   // lock events and commit adjacency are stripped by FilterShared.
   if (options.static_prune || options.axiomatic_prune || stats != nullptr) {
-    analysis::PairAnalysis pa(reorder_trace, other_trace);
+    analysis::PairAnalysis pa(reorder_trace, other_trace, &model);
     if (stats != nullptr) {
       stats->hints_generated += hints.size();
       stats->pairs.Add(pa.ComputeStats());

@@ -53,6 +53,12 @@ struct SchedHint {
 struct HintOptions {
   bool store_tests = true;
   bool load_tests = true;
+  // Memory-model backend the hints assume (barrier grouping, which test
+  // passes apply at all, prune-tier rules). Must match the model the
+  // executing runtime uses; nullptr resolves to lkmm. Under a model without
+  // versioned loads (tso, pso) the load-test pass is skipped entirely, and
+  // under one without delayed stores the store-test pass is.
+  const oemu::MemoryModel* model = nullptr;
   // Enables the suffix-shaped store reorder sets (extension; see above).
   bool suffix_store_hints = true;
   // Static ordering pre-filter (src/analysis): drops hints whose every

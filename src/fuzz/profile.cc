@@ -19,9 +19,12 @@ std::vector<i64> ResolveArgs(const Call& call, const std::vector<long>& results)
   return args;
 }
 
-ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config) {
+ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config,
+                        const oemu::MemoryModel* model) {
   ProgProfile profile;
-  oemu::Runtime runtime;  // in-order by default spec (no controls installed)
+  oemu::Runtime::Options rt_opts;
+  rt_opts.model = model;
+  oemu::Runtime runtime(rt_opts);  // in-order by default spec (no controls installed)
   runtime.Activate(nullptr);
   osk::Kernel kernel(config);
   kernel.Attach(nullptr, &runtime);

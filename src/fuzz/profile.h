@@ -11,6 +11,7 @@
 
 #include "src/fuzz/syslang.h"
 #include "src/oemu/event.h"
+#include "src/oemu/memory_model.h"
 #include "src/osk/kernel.h"
 
 namespace ozz::fuzz {
@@ -28,8 +29,13 @@ struct ProgProfile {
 };
 
 // Runs `prog` single-threaded under a fresh kernel built with `config` and
-// returns per-call traces. Deterministic.
-ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config);
+// returns per-call traces. Deterministic. `model` selects the runtime's
+// memory-model backend (nullptr = lkmm); the profile itself runs in order,
+// but the model decides which implied barriers the trace records (e.g. a
+// relaxed RMW is a full fence under tso), so it must match the model the
+// hints and the MTI executions will use.
+ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config,
+                        const oemu::MemoryModel* model = nullptr);
 
 // Resolves a call's arguments given the results of earlier calls.
 std::vector<i64> ResolveArgs(const Call& call, const std::vector<long>& results);

@@ -134,6 +134,9 @@ void Checker::CheckThread(ThreadId thread, const oemu::Trace& trace,
         break;
       }
       case oemu::Event::Kind::kBarrier: {
+        // The conformance checker deliberately validates against the LKMM
+        // reference table: litmus runs always execute under the lkmm
+        // backend, and the check is *of* that backend. ozz-lint: allow-model
         oemu::BarrierClass cls = oemu::ClassOf(e.barrier);
         if (cls.orders_stores && !pending.empty()) {
           std::ostringstream detail;

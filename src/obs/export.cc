@@ -113,7 +113,7 @@ std::string ToPerfettoJson(const TraceFile& file) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"label\":\""
      << JsonEscape(file.meta.label) << "\",\"crash\":\"" << JsonEscape(file.meta.crash_title)
-     << "\"},\"traceEvents\":[";
+     << "\",\"model\":\"" << JsonEscape(file.meta.model) << "\"},\"traceEvents\":[";
   bool first = true;
   auto sep = [&os, &first]() {
     if (!first) {
@@ -162,6 +162,9 @@ std::string ToTimeline(const TraceFile& file) {
   }
   if (!file.meta.crash_title.empty()) {
     os << "# crash: " << file.meta.crash_title << '\n';
+  }
+  if (!file.meta.model.empty()) {
+    os << "# model: " << file.meta.model << '\n';
   }
   u64 dropped = file.total_dropped();
   if (dropped > 0) {

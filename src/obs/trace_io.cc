@@ -9,7 +9,8 @@ namespace ozz::obs {
 namespace {
 
 constexpr char kMagic[8] = {'O', 'Z', 'Z', 'T', 'R', 'A', 'C', 'E'};
-constexpr u32 kVersion = 1;
+// Version 2 appended TraceMeta::model after the crash title.
+constexpr u32 kVersion = 2;
 
 // Sanity caps so a corrupt file fails the read instead of a 4GB allocation.
 constexpr u32 kMaxString = 1u << 20;
@@ -150,6 +151,7 @@ bool WriteTraceFile(const std::string& path, const TraceMeta& meta,
   }
   PutStr(os, meta.label);
   PutStr(os, meta.crash_title);
+  PutStr(os, meta.model);
 
   PutU32(os, static_cast<u32>(table.size()));
   for (const InstrTableEntry& e : table) {
@@ -187,7 +189,7 @@ bool ReadTraceFile(const std::string& path, TraceFile* out, std::string* error) 
     return Fail(error, path + ": not an .ozztrace file");
   }
   u32 version = 0;
-  if (!GetU32(is, &version) || version != kVersion) {
+  if (!GetU32(is, &version) || version == 0 || version > kVersion) {
     return Fail(error, path + ": unsupported trace version");
   }
 
@@ -218,6 +220,9 @@ bool ReadTraceFile(const std::string& path, TraceFile* out, std::string* error) 
     m.is_store = b != 0;
   }
   if (!GetStr(is, &meta.label) || !GetStr(is, &meta.crash_title)) {
+    return Fail(error, path + ": truncated meta strings");
+  }
+  if (version >= 2 && !GetStr(is, &meta.model)) {
     return Fail(error, path + ": truncated meta strings");
   }
 

@@ -51,6 +51,9 @@ struct TraceMeta {
   std::vector<TraceMember> members;
   std::string label;        // free-form run label, e.g. "mti_000042 pair=(0,1)"
   std::string crash_title;  // empty when the run did not crash
+  // Memory-model backend the run executed under ("lkmm", "tso", ...). Empty
+  // for version-1 traces written before the field existed (those ran lkmm).
+  std::string model;
 };
 
 struct TraceThread {

@@ -34,6 +34,12 @@ enum class BarrierType : u8 {
   kRmwFull,       // value-returning RMW: full barrier both sides
 };
 
+// The LKMM barrier-class table. This is the *reference* encoding of Table 1;
+// runtime/analysis code must not consult it directly — the per-model effect
+// comes from MemoryModel::EffectOf (src/oemu/memory_model.h), which equals
+// this table for lkmm and weakens rows for tso/pso/armv8x. Direct calls
+// outside the model layer re-hardcode LKMM and are flagged by the ozz_lint
+// model-discipline rule.
 constexpr BarrierClass ClassOf(BarrierType t) {
   switch (t) {
     case BarrierType::kFull:

@@ -1,0 +1,168 @@
+#include "src/oemu/memory_model.h"
+
+#include <cstdlib>
+
+namespace ozz::oemu {
+namespace {
+
+// The four instantiations. lkmm is bit-exact with the historical inline
+// rules; tso keeps only store-load reordering (x86: the store buffer exists
+// but drains in order and every barrier except a full fence is a no-op);
+// pso adds store-store on top of tso (wmb becomes meaningful); armv8x
+// exhibits all four relaxations modulo coherence and release/acquire.
+constexpr MemoryModel kLkmm{ModelId::kLkmm, "lkmm",
+                            {/*store_store=*/true, /*store_load=*/true,
+                             /*load_load=*/true, /*load_store=*/false}};
+constexpr MemoryModel kTso{ModelId::kTso, "tso",
+                           {/*store_store=*/false, /*store_load=*/true,
+                            /*load_load=*/false, /*load_store=*/false}};
+constexpr MemoryModel kPso{ModelId::kPso, "pso",
+                           {/*store_store=*/true, /*store_load=*/true,
+                            /*load_load=*/false, /*load_store=*/false}};
+constexpr MemoryModel kArmv8x{ModelId::kArmv8x, "armv8x",
+                              {/*store_store=*/true, /*store_load=*/true,
+                               /*load_load=*/true, /*load_store=*/true}};
+
+}  // namespace
+
+BarrierClass MemoryModel::EffectOf(BarrierType type) const {
+  // Model-independent rows first. Release stores always drain the buffer
+  // (the runtime never delays them, in any model: a release that jumped the
+  // queue would break store-store order of models that forbid it, and
+  // skipping a legal reordering is always sound). Acquire always closes the
+  // window (inert when loads are unversionable). Full barriers are full
+  // barriers everywhere.
+  switch (type) {
+    case BarrierType::kFull:
+    case BarrierType::kRmwFull:
+      return {true, true};
+    case BarrierType::kRelease:
+      return {true, false};
+    case BarrierType::kAcquire:
+      return {false, true};
+    case BarrierType::kStoreBarrier:
+      // smp_wmb orders stores only where stores can reorder; on TSO the
+      // hardware already keeps them in order and wmb compiles to nothing.
+      return {rx_.store_store, false};
+    case BarrierType::kLoadBarrier:
+      // smp_rmb symmetrically: a no-op where loads never reorder.
+      return {false, rx_.load_load};
+    case BarrierType::kImpliedLoad:
+      // The Alpha address-dependency rule (LKMM Case 6): READ_ONCE heads a
+      // dependency and so acts as a load barrier — an LKMM-only obligation;
+      // tso/pso loads never reorder anyway and armv8x honors dependencies
+      // in hardware without ordering unrelated later loads.
+      return {false, id_ == ModelId::kLkmm && rx_.load_load};
+  }
+  return {false, false};
+}
+
+RmwEffect MemoryModel::EffectOfRmw(RmwOrder order) const {
+  // On TSO every atomic RMW is a locked instruction and therefore a full
+  // fence regardless of the requested strength.
+  if (id_ == ModelId::kTso) {
+    return {/*flush_before=*/true, /*advance_after=*/true, /*delayable=*/false};
+  }
+  switch (order) {
+    case RmwOrder::kFull:
+      return {true, true, false};
+    case RmwOrder::kAcquire:
+      return {false, true, false};
+    case RmwOrder::kRelease:
+      return {true, false, false};
+    case RmwOrder::kRelaxed:
+      return {false, false, true};
+  }
+  return {false, false, false};
+}
+
+const std::vector<MemoryModel::FenceOp>& MemoryModel::FenceLattice() const {
+  // Cheapest-first candidate order per model. Operations that cannot repair
+  // anything under the model (smp_wmb on TSO, smp_rmb / acquire upgrades on
+  // in-order-load models) are omitted entirely.
+  static const std::vector<FenceOp> kFullLattice = {
+      FenceOp::kWmb, FenceOp::kRmb, FenceOp::kReleaseUpgrade,
+      FenceOp::kAcquireUpgrade, FenceOp::kMb};
+  static const std::vector<FenceOp> kStoreOnlyLattice = {
+      FenceOp::kWmb, FenceOp::kReleaseUpgrade, FenceOp::kMb};
+  static const std::vector<FenceOp> kMbOnlyLattice = {FenceOp::kMb};
+  if (rx_.store_store && rx_.load_load) {
+    return kFullLattice;
+  }
+  if (rx_.store_store) {
+    return kStoreOnlyLattice;
+  }
+  return kMbOnlyLattice;
+}
+
+MemoryModel::FenceOp MemoryModel::MinimalFenceFor(AccessType first, AccessType second) const {
+  const bool stores = first == AccessType::kStore && second == AccessType::kStore;
+  const bool loads = first == AccessType::kLoad && second == AccessType::kLoad;
+  if (stores && EffectOf(BarrierType::kStoreBarrier).orders_stores) {
+    return FenceOp::kWmb;
+  }
+  if (loads && EffectOf(BarrierType::kLoadBarrier).orders_loads) {
+    return FenceOp::kRmb;
+  }
+  // Store-load (and load-store where modeled) needs the full fence, as does
+  // any class whose dedicated barrier is a no-op under this model.
+  return FenceOp::kMb;
+}
+
+const MemoryModel& MemoryModel::Lkmm() { return kLkmm; }
+const MemoryModel& MemoryModel::Tso() { return kTso; }
+const MemoryModel& MemoryModel::Pso() { return kPso; }
+const MemoryModel& MemoryModel::Armv8x() { return kArmv8x; }
+
+const std::vector<const MemoryModel*>& MemoryModel::All() {
+  static const std::vector<const MemoryModel*> kAll = {&kLkmm, &kTso, &kPso, &kArmv8x};
+  return kAll;
+}
+
+const MemoryModel* MemoryModel::ByName(const std::string& name) {
+  for (const MemoryModel* m : All()) {
+    if (name == m->name()) {
+      return m;
+    }
+  }
+  return nullptr;
+}
+
+const MemoryModel& MemoryModel::Default() {
+  const char* env = std::getenv("OZZ_DEFAULT_MODEL");
+  if (env != nullptr) {
+    if (const MemoryModel* m = ByName(env)) {
+      return *m;
+    }
+  }
+  return kLkmm;
+}
+
+std::string MemoryModel::NamesForHelp() {
+  std::string out;
+  for (const MemoryModel* m : All()) {
+    if (!out.empty()) {
+      out += '|';
+    }
+    out += m->name();
+  }
+  return out;
+}
+
+const char* FenceOpName(MemoryModel::FenceOp op) {
+  switch (op) {
+    case MemoryModel::FenceOp::kWmb:
+      return "smp_wmb";
+    case MemoryModel::FenceOp::kRmb:
+      return "smp_rmb";
+    case MemoryModel::FenceOp::kReleaseUpgrade:
+      return "smp_store_release";
+    case MemoryModel::FenceOp::kAcquireUpgrade:
+      return "smp_load_acquire";
+    case MemoryModel::FenceOp::kMb:
+      return "smp_mb";
+  }
+  return "?";
+}
+
+}  // namespace ozz::oemu

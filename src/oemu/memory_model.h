@@ -1,0 +1,146 @@
+// Pluggable memory-model backends (ROADMAP item 3).
+//
+// OZZ's delay/version discipline encodes one memory model. Historically that
+// was the LKMM-compliant rule set of §3.3/§10.1, hard-coded in three places
+// that had to agree by hand: the OEMU runtime's commit/window logic, the
+// axiomatic engine's ppo cases, and the fence synthesizer's barrier lattice.
+// MemoryModel extracts those rules into one shared table so that the same
+// scenarios become a per-model workload matrix ("bug triggers under ARM but
+// not TSO" is a reportable fact, not a code fork).
+//
+// A model answers exactly the questions the system used to answer inline:
+//   * may a store be delayed past a later access (RelaxationMatrix
+//     store_store / store_load), and may a versioned load's window rewind
+//     (load_load), and is load-store reordering emulated (load_store)?
+//   * what does each Table-1 barrier flush/advance under this model
+//     (EffectOf)?
+//   * what does each RmwOrder strength flush/advance, and is its store half
+//     delayable (EffectOfRmw)?
+//   * which fence repairs a given reordering class, and in which cost order
+//     should synthesis try candidates (MinimalFenceFor / FenceLattice)?
+//
+// Model-independent invariants the runtime enforces regardless of the matrix
+// (they hold on every architecture the kernel supports):
+//   * per-location coherence — same-location stores never bypass each other,
+//     and a thread never reads a value older than one it already observed;
+//   * release stores are never delayed (forgoes a legal reordering, never
+//     emulates an illegal one) and acquire loads close the window;
+//   * loads are never *delayed* mechanically — load-store reordering, where a
+//     model allows it (armv8x), exists only in the axiomatic engine's edge
+//     set, making the engine more permissive than the runtime, which keeps
+//     refutations sound (see tests/axiomatic_test.cc's property direction).
+//
+// Everything here is a plain constexpr-constructible table: no virtual
+// dispatch on the hot path, and the four instances live in static storage
+// (Lkmm()/Tso()/Pso()/Armv8x()).
+#ifndef OZZ_SRC_OEMU_MEMORY_MODEL_H_
+#define OZZ_SRC_OEMU_MEMORY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/oemu/event.h"
+
+namespace ozz::oemu {
+
+// Memory-ordering strength of a read-modify-write operation; mirrors the
+// Linux kernel's atomic families (value-returning RMWs are fully ordered,
+// *_lock/_unlock variants are acquire/release, plain bitops are relaxed).
+// Lives here (not runtime.h) because the per-model RMW effect table is part
+// of the memory model.
+enum class RmwOrder : u8 { kRelaxed, kFull, kAcquire, kRelease };
+
+enum class ModelId : u8 { kLkmm, kTso, kPso, kArmv8x };
+
+// Which of the four reordering classes the model exhibits. The runtime's
+// emulation mechanisms map onto them directly: store_store and store_load
+// gate the virtual store buffer (delayed stores), load_load gates the
+// versioning window (stale loads), load_store exists only axiomatically.
+struct RelaxationMatrix {
+  bool store_store = false;  // a later store may become visible first
+  bool store_load = false;   // a store may commit after a later load executed
+  bool load_load = false;    // a later load may observe an older value
+  bool load_store = false;   // a load may bind after a later store commits
+};
+
+// What an RMW of a given strength does to the emulation state.
+struct RmwEffect {
+  bool flush_before = false;   // drain the store buffer before the RMW
+  bool advance_after = false;  // close the versioning window after the RMW
+  bool delayable = false;      // the RMW's store half may honor delay specs
+};
+
+class MemoryModel {
+ public:
+  // Fence-synthesis candidate operations, model-independent identities; the
+  // per-model lattice orders the subset that is meaningful under the model
+  // by repair cost (cheapest first).
+  enum class FenceOp : u8 {
+    kWmb,             // insert smp_wmb() between the pair
+    kRmb,             // insert smp_rmb() between the pair
+    kReleaseUpgrade,  // upgrade the second store to smp_store_release()
+    kAcquireUpgrade,  // upgrade the first load to smp_load_acquire()
+    kMb,              // insert smp_mb() between the pair
+  };
+
+  constexpr MemoryModel(ModelId id, const char* name, RelaxationMatrix rx)
+      : id_(id), name_(name), rx_(rx) {}
+
+  ModelId id() const { return id_; }
+  const char* name() const { return name_; }
+  const RelaxationMatrix& relaxations() const { return rx_; }
+
+  // Can any store be parked in the virtual store buffer at all / can any
+  // load be served from the store history? When false the corresponding
+  // control interface (delay_store_at / read_old_value_at) is inert.
+  bool StoresDelayable() const { return rx_.store_store || rx_.store_load; }
+  bool LoadsVersionable() const { return rx_.load_load; }
+
+  // Table-1 barrier effect under this model: orders_stores drains the store
+  // buffer, orders_loads closes the versioning window. For lkmm this is
+  // exactly the historical ClassOf(); weaker models turn barriers that the
+  // hardware already guarantees into no-ops (e.g. smp_wmb on TSO).
+  BarrierClass EffectOf(BarrierType type) const;
+
+  RmwEffect EffectOfRmw(RmwOrder order) const;
+
+  // Candidate repairs in ascending cost, restricted to operations that are
+  // meaningful under this model (no smp_rmb candidates on a model whose
+  // loads never reorder).
+  const std::vector<FenceOp>& FenceLattice() const;
+
+  // The minimal fence repairing a reordering of `first` followed by `second`
+  // (the reordering classes of the matrix). This is the model's a-priori
+  // answer; fence synthesis still verifies candidates against the slice.
+  FenceOp MinimalFenceFor(AccessType first, AccessType second) const;
+
+  // ---- Registry ----
+  static const MemoryModel& Lkmm();
+  static const MemoryModel& Tso();
+  static const MemoryModel& Pso();
+  static const MemoryModel& Armv8x();
+  // nullptr when `name` names no model.
+  static const MemoryModel* ByName(const std::string& name);
+  static const std::vector<const MemoryModel*>& All();
+  // The tool-level default: $OZZ_DEFAULT_MODEL when set and valid, else
+  // lkmm. Library code must NOT call this — a null options.model always
+  // resolves to Lkmm() (hermetic, environment-independent) via Resolve().
+  static const MemoryModel& Default();
+  static const MemoryModel& Resolve(const MemoryModel* model) {
+    return model != nullptr ? *model : Lkmm();
+  }
+  // "lkmm|tso|pso|armv8x" for --help texts.
+  static std::string NamesForHelp();
+
+ private:
+  ModelId id_;
+  const char* name_;
+  RelaxationMatrix rx_;
+};
+
+const char* FenceOpName(MemoryModel::FenceOp op);
+
+}  // namespace ozz::oemu
+
+#endif  // OZZ_SRC_OEMU_MEMORY_MODEL_H_

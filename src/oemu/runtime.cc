@@ -55,7 +55,7 @@ const char* BarrierTypeName(BarrierType t) {
   return "?";
 }
 
-Runtime::Runtime(Options opts) : opts_(opts) {}
+Runtime::Runtime(Options opts) : opts_(opts), model_(&MemoryModel::Resolve(opts.model)) {}
 
 Runtime::~Runtime() {
   if (g_active == this) {
@@ -362,8 +362,8 @@ u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 o
   // Byte-granular: rewind non-buffered bytes first, then overlay buffered
   // bytes so in-flight own stores always win.
   u64 effective_time = clock_;
-  const bool spec_matched =
-      opts_.reordering_enabled && SpecMatches(ctx.read_old, instr, occurrence);
+  const bool spec_matched = opts_.reordering_enabled && model_->LoadsVersionable() &&
+                            SpecMatches(ctx.read_old, instr, occurrence);
   if (spec_matched) {
     // Coherence floor: never rewind past a value this thread already saw or
     // produced at this location (CoRR/CoWR must hold).
@@ -426,9 +426,13 @@ u64 Runtime::Load(InstrId instr, uptr addr, u32 size, bool annotated) {
   RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, annotated, false, versioned);
   if (annotated) {
     // LKMM Case 6 (the Alpha rule): READ_ONCE / atomic loads head address
-    // dependencies, so OEMU treats them as a load barrier — later versioned
-    // loads cannot read values older than this point.
-    AdvanceWindow(ctx);
+    // dependencies, so lkmm treats them as a load barrier — later versioned
+    // loads cannot read values older than this point. Other models drop the
+    // obligation (EffectOf returns no-op); the annotation event is still
+    // recorded so analyses see the site.
+    if (model_->EffectOf(BarrierType::kImpliedLoad).orders_loads) {
+      AdvanceWindow(ctx);
+    }
     RecordBarrier(ctx, instr, BarrierType::kImpliedLoad);
   }
   NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
@@ -442,18 +446,22 @@ void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotate
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
 
-  bool spec_delayed = opts_.reordering_enabled && SpecMatches(ctx.delay_store, instr, occ);
-  if (spec_delayed) {
+  // Coherence / model order: a store overlapping an in-flight delayed store
+  // must not overtake it (same-location stores commit in program order on
+  // every architecture), and models that forbid store-store reordering park
+  // any store behind a non-empty buffer so FIFO drain preserves program
+  // order.
+  bool forced_delay = ctx.buffer.DelayRequiredFor(*model_, addr, size);
+  bool spec_delayed = opts_.reordering_enabled && model_->StoresDelayable() &&
+                      SpecMatches(ctx.delay_store, instr, occ);
+  if (spec_delayed && !forced_delay) {
+    // Count the hint hit only when the spec actually changed the commit
+    // order — a store the coherence/model rule forces to queue anyway would
+    // have been delayed with or without the spec.
     ++stats_.spec_delayed_stores;
     OZZ_TRACE_EMIT(obs::EvType::kHintHit, tid, clock_, instr, occ, 1);
   }
-  bool delayed = spec_delayed;
-  // Coherence: a store overlapping an in-flight delayed store must not
-  // overtake it — same-location stores commit in program order on every
-  // architecture the kernel supports.
-  if (!delayed && ctx.buffer.Overlaps(addr, size)) {
-    delayed = true;
-  }
+  bool delayed = spec_delayed || forced_delay;
   BufferedStore s{instr, addr, size, value, occ};
   ++stats_.stores;
   RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, annotated, delayed, false);
@@ -484,8 +492,12 @@ u64 Runtime::LoadAcquire(InstrId instr, uptr addr, u32 size) {
     ++stats_.versioned_load_hits;
   }
   RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, true, false, versioned);
-  // Case 4: behave as if a load barrier sits right after the acquire load.
-  AdvanceWindow(ctx);
+  // Case 4: behave as if a load barrier sits right after the acquire load
+  // (acquire closes the window under every model — release/acquire are
+  // respected modulo every relaxation matrix).
+  if (model_->EffectOf(BarrierType::kAcquire).orders_loads) {
+    AdvanceWindow(ctx);
+  }
   RecordBarrier(ctx, instr, BarrierType::kAcquire);
   NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
   return v;
@@ -499,7 +511,9 @@ void Runtime::StoreRelease(InstrId instr, uptr addr, u32 size, u64 value) {
   RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
   // Case 5: behave as if a store barrier sits right before the release
   // store — every precedent access completes before it, and the release
-  // store itself is never delayed.
+  // store itself is never delayed. This holds under every model: a release
+  // that jumped the queue would break the store order of models that forbid
+  // store-store reordering, and skipping a legal reordering is always sound.
   FlushLocked(tid, ctx);
   RecordBarrier(ctx, instr, BarrierType::kRelease);
   ++stats_.stores;
@@ -516,10 +530,11 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
 
-  if (order == RmwOrder::kFull || order == RmwOrder::kRelease) {
+  const RmwEffect eff = model_->EffectOfRmw(order);
+  if (eff.flush_before) {
     FlushLocked(tid, ctx);
     RecordBarrier(ctx, instr,
-                  order == RmwOrder::kFull ? BarrierType::kRmwFull : BarrierType::kRelease);
+                  order == RmwOrder::kRelease ? BarrierType::kRelease : BarrierType::kRmwFull);
   }
   // Read through the buffer so a pending own store to this location is seen.
   u8 bytes[8];
@@ -528,16 +543,15 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
   u64 old = BytesToValue(bytes, size);
   u64 updated = fn(old, operand);
 
-  bool spec_delayed = order == RmwOrder::kRelaxed && opts_.reordering_enabled &&
+  bool forced_delay = ctx.buffer.DelayRequiredFor(*model_, addr, size);
+  bool spec_delayed = eff.delayable && opts_.reordering_enabled && model_->StoresDelayable() &&
                       SpecMatches(ctx.delay_store, instr, occ);
-  if (spec_delayed) {
+  if (spec_delayed && !forced_delay) {
+    // Same rule as Store(): only specs that changed the commit order count.
     ++stats_.spec_delayed_stores;
     OZZ_TRACE_EMIT(obs::EvType::kHintHit, tid, clock_, instr, occ, 1);
   }
-  bool delayed = spec_delayed;
-  if (!delayed && ctx.buffer.Overlaps(addr, size)) {
-    delayed = true;
-  }
+  bool delayed = spec_delayed || forced_delay;
   BufferedStore s{instr, addr, size, updated, occ};
   ++stats_.stores;
   ++stats_.loads;
@@ -554,9 +568,9 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
   } else {
     CommitStore(tid, s);
   }
-  if (order == RmwOrder::kFull || order == RmwOrder::kAcquire) {
+  if (eff.advance_after) {
     AdvanceWindow(ctx);
-    if (order == RmwOrder::kAcquire) {
+    if (order == RmwOrder::kAcquire && !eff.flush_before) {
       RecordBarrier(ctx, instr, BarrierType::kAcquire);
     }
   }
@@ -568,7 +582,7 @@ void Runtime::Barrier(InstrId instr, BarrierType type) {
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
-  BarrierClass cls = ClassOf(type);
+  BarrierClass cls = model_->EffectOf(type);
   u64 pending = 0;
   if (cls.orders_stores) {
     pending = ctx.buffer.size();

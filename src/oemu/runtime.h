@@ -12,7 +12,10 @@
 //   * the userspace control interfaces delay_store_at / read_old_value_at
 //     (Table 2).
 //
-// Reordering discipline (LKMM compliance, §3.3/§10.1):
+// Reordering discipline (§3.3/§10.1), as instantiated by the default lkmm
+// memory model — RuntimeOptions::model selects a different backend (tso,
+// pso, armv8x) whose tables weaken or keep each rule; the invariants marked
+// "every architecture" below hold under every model:
 //   - Loads are never delayed, so a prior load always executes before a later
 //     store commits (Case 7: no load-store reordering).
 //   - Stores commit no later than the next store/full/release barrier or
@@ -46,22 +49,24 @@
 
 #include "src/base/ids.h"
 #include "src/oemu/event.h"
+#include "src/oemu/memory_model.h"
 #include "src/oemu/store_buffer.h"
 #include "src/oemu/store_history.h"
 #include "src/rt/machine.h"
 
 namespace ozz::oemu {
 
-// Memory-ordering strength of a read-modify-write operation; mirrors the
-// Linux kernel's atomic families (value-returning RMWs are fully ordered,
-// *_lock/_unlock variants are acquire/release, plain bitops are relaxed).
-enum class RmwOrder : u8 { kRelaxed, kFull, kAcquire, kRelease };
-
 struct RuntimeOptions {
   // Honor DelayStoreAt/ReadOldValueAt specs. When false the runtime
   // performs strictly in-order execution (the store buffer commits
   // immediately), modelling a conventional concurrency fuzzer.
   bool reordering_enabled = true;
+  // Memory model governing which reorderings are emulated and what each
+  // barrier/RMW strength flushes or advances. nullptr resolves to
+  // MemoryModel::Lkmm() — deliberately NOT MemoryModel::Default(): library
+  // behavior must never depend on the environment, only tools read
+  // $OZZ_DEFAULT_MODEL.
+  const MemoryModel* model = nullptr;
 };
 
 class Runtime {
@@ -161,6 +166,7 @@ class Runtime {
   const StoreHistory& history() const { return history_; }
   const Stats& stats() const { return stats_; }
   bool reordering_enabled() const { return opts_.reordering_enabled; }
+  const MemoryModel& model() const { return *model_; }
 
   // Thread id the calling context maps to (sim thread id, or the host
   // pseudo-thread when called outside a machine).
@@ -225,6 +231,7 @@ class Runtime {
                 bool* versioned_out);
 
   Options opts_;
+  const MemoryModel* model_ = nullptr;  // never null after construction
   rt::Machine* machine_ = nullptr;
   StoreHistory history_;
   u64 clock_ = 1;

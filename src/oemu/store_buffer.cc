@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/oemu/memory_model.h"
+
 namespace ozz::oemu {
 namespace {
 
@@ -18,6 +20,11 @@ bool StoreBuffer::Overlaps(uptr addr, u32 size) const {
     }
   }
   return false;
+}
+
+bool StoreBuffer::DelayRequiredFor(const MemoryModel& model, uptr addr, u32 size) const {
+  return Overlaps(addr, size) ||
+         (!model.relaxations().store_store && !entries_.empty());
 }
 
 u32 StoreBuffer::Forward(uptr addr, u32 size, u8* bytes) const {

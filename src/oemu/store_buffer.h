@@ -18,6 +18,8 @@
 
 namespace ozz::oemu {
 
+class MemoryModel;
+
 struct BufferedStore {
   InstrId instr = kInvalidInstr;
   uptr addr = 0;
@@ -40,6 +42,14 @@ class StoreBuffer {
 
   // True if any pending entry overlaps [addr, addr+size).
   bool Overlaps(uptr addr, u32 size) const;
+
+  // Must a new store to [addr, addr+size) be parked behind the buffered
+  // entries under `model`? True when it overlaps an in-flight entry
+  // (per-location coherence, every model) or when the model forbids
+  // store-store reordering and anything is pending at all — FIFO drain then
+  // preserves program order, which is how TSO keeps stores in order while
+  // still letting them sit past later loads.
+  bool DelayRequiredFor(const MemoryModel& model, uptr addr, u32 size) const;
 
   // Overlays the newest buffered value of each byte of [addr, addr+size) onto
   // `bytes` (which the caller pre-filled from memory/history). Returns the

@@ -314,5 +314,63 @@ TEST(LintTest, ShippedSubsystemsAreClean) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintModelDisciplineTest, DirectClassOfCallFlagged) {
+  std::vector<LintFinding> findings =
+      LintModelDiscipline("src/fuzz/hints.cc",
+                          "void F(const oemu::Event& e) {\n"
+                          "  oemu::BarrierClass cls = oemu::ClassOf(e.barrier);\n"
+                          "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "model-discipline");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("EffectOf"), std::string::npos);
+}
+
+TEST(LintModelDisciplineTest, ModelQueryIsClean) {
+  std::vector<LintFinding> findings =
+      LintModelDiscipline("src/fuzz/hints.cc",
+                          "  oemu::BarrierClass cls = model.EffectOf(e.barrier);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintModelDisciplineTest, DefinitionSiteExempt) {
+  // event.h defines the reference table; memory_model.* consumes it.
+  const std::string call = "  return ClassOf(t);\n";
+  EXPECT_TRUE(LintModelDiscipline("src/oemu/event.h", call).empty());
+  EXPECT_TRUE(LintModelDiscipline("src/oemu/memory_model.h", call).empty());
+  EXPECT_TRUE(LintModelDiscipline("src/oemu/memory_model.cc", call).empty());
+  EXPECT_EQ(LintModelDiscipline("src/analysis/ordering.cc", call).size(), 1u);
+}
+
+TEST(LintModelDisciplineTest, SuppressedWithAllowModel) {
+  std::vector<LintFinding> findings = LintModelDiscipline(
+      "src/lkmm/checker.cc",
+      "  // LKMM conformance reference. ozz-lint: allow-model\n"
+      "  oemu::BarrierClass cls = oemu::ClassOf(e.barrier);\n"
+      "  auto c2 = oemu::ClassOf(e.barrier);  // ozz-lint: allow-model\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintModelDisciplineTest, MentionsInCommentsAndStringsNotFlagged) {
+  std::vector<LintFinding> findings =
+      LintModelDiscipline("src/fuzz/hints.cc",
+                          "  // historically this called ClassOf(e.barrier)\n"
+                          "  Log(\"ClassOf(x) is the reference\");\n"
+                          "  int ClassOfCount = 0;\n"
+                          "  use(ClassOfCount);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintModelDisciplineTest, InstrumentationRulesDoNotLeakIn) {
+  // --model-discipline mode must not fire the OSK instrumentation rules
+  // (those false-positive outside src/osk, which is why this is a mode).
+  std::vector<LintFinding> findings =
+      LintModelDiscipline("src/oemu/runtime.cc",
+                          "  std::atomic<int> host_side;\n"
+                          "  smp_mb();\n"
+                          "  u32 v = state.len.raw();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 }  // namespace
 }  // namespace ozz::analysis

@@ -451,6 +451,7 @@ TraceFile GoldenFile() {
   TraceFile file;
   file.meta.has_hint = true;
   file.meta.label = "golden";
+  file.meta.model = "lkmm";
   InstrTableEntry e;
   e.id = 7;
   e.line = 42;
@@ -470,7 +471,8 @@ TraceFile GoldenFile() {
 // so identical traces export byte-identical JSON — pinned down here.
 TEST(ExportTest, GoldenPerfettoJson) {
   const std::string expected =
-      "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"label\":\"golden\",\"crash\":\"\"},"
+      "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"label\":\"golden\",\"crash\":\"\","
+      "\"model\":\"lkmm\"},"
       "\"traceEvents\":[\n"
       "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"host\"}},\n"
       "{\"ph\":\"M\",\"pid\":1,\"tid\":4,\"name\":\"thread_name\",\"args\":{\"name\":\"sim-0\"}},\n"

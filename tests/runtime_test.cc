@@ -200,6 +200,39 @@ TEST_F(RuntimeTest, OccurrenceSpecificControls) {
   EXPECT_EQ(x_.raw(), 2u);
 }
 
+// Regression: a delay-store spec matching a store that the coherence rule
+// forces to queue anyway (overlap with an in-flight delayed store) must NOT
+// count as a spec hit — the spec did not change the commit order, and
+// triage would otherwise over-report hint hits.
+TEST_F(RuntimeTest, OverlapForcedDelayIsNotASpecHit) {
+  InstrId first = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  InstrId second = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), first);
+  runtime_.DelayStoreAt(Tid(), second);
+  StoreCell(first, x_, 1);   // the spec parks it: a real hint hit
+  StoreCell(second, x_, 2);  // overlap-forced: queues with or without the spec
+  EXPECT_EQ(runtime_.stats().delayed_stores, 2u);
+  EXPECT_EQ(runtime_.stats().spec_delayed_stores, 1u)
+      << "only the spec that changed the commit order counts";
+  OSK_SMP_WMB();
+  EXPECT_EQ(x_.raw(), 2u);
+}
+
+TEST_F(RuntimeTest, OverlapForcedRmwDelayIsNotASpecHit) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  InstrId rmw_instr = OZZ_OEMU_SITE(InstrKind::kRmw, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  runtime_.DelayStoreAt(Tid(), rmw_instr);
+  StoreCell(store_instr, x_, 1);
+  // The relaxed RMW overlaps the buffered store: its store half is forced
+  // to queue regardless of the armed spec.
+  OSK_RMW(x_, RmwOrder::kRelaxed, [](u64 o, u64 v) { return o | v; }, 4ull);
+  EXPECT_EQ(runtime_.stats().delayed_stores, 2u);
+  EXPECT_EQ(runtime_.stats().spec_delayed_stores, 1u);
+  OSK_SMP_WMB();
+  EXPECT_EQ(x_.raw(), 5u);
+}
+
 TEST_F(RuntimeTest, ClearControlsRestoresInOrder) {
   InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
   runtime_.DelayStoreAt(Tid(), store_instr);

@@ -42,11 +42,14 @@ void Usage() {
       "  --hack-migration    emulate per-CPU thread migration (Table 4 #6)\n"
       "  --pairs N           print at most N ranked pairs per call pair (default 8)\n"
       "  --json              emit one machine-readable JSON report on stdout\n"
+      "  --model NAME        memory-model backend: %s\n"
+      "                      (default: $OZZ_DEFAULT_MODEL or lkmm)\n"
       "  --no-axiomatic      skip the axiomatic witness engine / fence synthesis\n"
       "  --budget N          axiomatic executions budget per pair (default 1<<18)\n"
       "  --audit             run the source-level barrier audit instead (ozz_audit)\n"
       "  --src DIR           source tree for --audit (default: src/osk)\n"
-      "  --list              print known subsystems and exit\n");
+      "  --list              print known subsystems and exit\n",
+      oemu::MemoryModel::NamesForHelp().c_str());
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -115,12 +118,21 @@ int main(int argc, char** argv) {
   bool axiomatic = true;
   analysis::AxOptions ax;
   ax.max_executions = u64{1} << 18;  // offline tool: be generous
+  const oemu::MemoryModel* model = &oemu::MemoryModel::Default();  // $OZZ_DEFAULT_MODEL
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (arg == "--fixed") {
       config.fixed.insert(next());
+    } else if (arg == "--model") {
+      const char* name = next();
+      model = oemu::MemoryModel::ByName(name);
+      if (model == nullptr) {
+        std::fprintf(stderr, "ozz_analyze: unknown memory model '%s' (known: %s)\n", name,
+                     oemu::MemoryModel::NamesForHelp().c_str());
+        return 2;
+      }
     } else if (arg == "--hack-migration") {
       config.percpu_migration_hack = true;
     } else if (arg == "--pairs") {
@@ -194,7 +206,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  fuzz::ProgProfile profile = fuzz::ProfileProg(seed, config);
+  fuzz::ProgProfile profile = fuzz::ProfileProg(seed, config, model);
   if (profile.crashed) {
     std::fprintf(stderr, "ozz_analyze: seed program crashed sequentially: %s\n",
                  profile.crash.title.c_str());
@@ -213,7 +225,7 @@ int main(int argc, char** argv) {
       if (a == b) {
         continue;
       }
-      analysis::PairAnalysis pa(profile.calls[a].trace, profile.calls[b].trace);
+      analysis::PairAnalysis pa(profile.calls[a].trace, profile.calls[b].trace, model);
       analysis::PairStats stats = pa.ComputeStats();
       total.Add(stats);
       if (stats.candidates() == 0) {
@@ -306,10 +318,10 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::printf(
-        "{\n  \"subsystem\": \"%s\",\n  \"call_pairs\": [\n%s\n  ],\n"
+        "{\n  \"subsystem\": \"%s\",\n  \"model\": \"%s\",\n  \"call_pairs\": [\n%s\n  ],\n"
         "  \"totals\": {\"pair_candidates\": %llu, \"pair_proven\": %llu, "
         "\"witnessed_pairs\": %llu, \"refuted_pairs\": %llu, \"bounded_pairs\": %llu}\n}\n",
-        JsonEscape(subsystem).c_str(), json_pairs.c_str(),
+        JsonEscape(subsystem).c_str(), model->name(), json_pairs.c_str(),
         static_cast<unsigned long long>(total.candidates()),
         static_cast<unsigned long long>(total.proven()),
         static_cast<unsigned long long>(witnessed_total),
@@ -318,8 +330,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("=== %s: totals across all directed call pairs ===\n%s", subsystem.c_str(),
-              analysis::FormatStats(total).c_str());
+  std::printf("=== %s: totals across all directed call pairs (model %s) ===\n%s",
+              subsystem.c_str(), model->name(), analysis::FormatStats(total).c_str());
   if (axiomatic) {
     std::printf(
         "axiomatic verdicts over ranked pairs: %llu witnessed, %llu refuted-exact, %llu "

@@ -26,6 +26,7 @@
 
 #include "src/analysis/srcmodel/audit.h"
 #include "src/fuzz/static_guide.h"
+#include "src/oemu/memory_model.h"
 
 using namespace ozz;
 namespace srcmodel = ozz::analysis::srcmodel;
@@ -144,7 +145,15 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
-    std::printf("%s", srcmodel::AuditReportJson(report, coverage_json).c_str());
+    // The audit itself is source-level (its barrier dataflow follows the
+    // LKMM-annotated sources), but the report records the session's default
+    // model so differential pipelines can key reports by backend.
+    std::string extra =
+        std::string("\"model\": \"") + oemu::MemoryModel::Default().name() + "\"";
+    if (!coverage_json.empty()) {
+      extra += ",\n  " + coverage_json;
+    }
+    std::printf("%s", srcmodel::AuditReportJson(report, extra).c_str());
   } else {
     std::printf("%s", srcmodel::FormatAuditText(report).c_str());
     if (!coverage_text.empty()) {

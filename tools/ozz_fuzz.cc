@@ -31,6 +31,8 @@ void Usage() {
       "  --budget N          MTI test budget (default 20000)\n"
       "  --bugs N            stop after N unique bugs (default: run out the budget)\n"
       "  --no-reorder        disable OEMU reordering (interleaving-only baseline)\n"
+      "  --model NAME        memory-model backend: %s\n"
+      "                      (default: $OZZ_DEFAULT_MODEL or lkmm)\n"
       "  --no-static-prune   disable the static ordering pre-filter on hints\n"
       "  --no-axiomatic-prune disable the axiomatic model-checking prune tier\n"
       "  --fixed SUBSYS      apply the barrier patch for SUBSYS (repeatable)\n"
@@ -43,7 +45,8 @@ void Usage() {
       "  --trace-out DIR     write a reorder trace per MTI into DIR (see ozz_trace)\n"
       "  --metrics-out FILE  write the campaign's metrics delta (JSON) to FILE\n"
       "  --list-syscalls     print the syscall table and exit\n"
-      "  -v                  verbose logging\n");
+      "  -v                  verbose logging\n",
+      oemu::MemoryModel::NamesForHelp().c_str());
 }
 
 }  // namespace
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
   fuzz::FuzzerOptions options;
   options.seed = 1;
   options.max_mti_runs = 20000;
+  options.model = &oemu::MemoryModel::Default();  // honors $OZZ_DEFAULT_MODEL
   std::string save_dir;
   std::string metrics_out;
   std::string seed_prog;
@@ -71,6 +75,14 @@ int main(int argc, char** argv) {
       options.stop_after_bugs = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-reorder") {
       options.reordering = false;
+    } else if (arg == "--model") {
+      const char* name = next();
+      options.model = oemu::MemoryModel::ByName(name);
+      if (options.model == nullptr) {
+        std::fprintf(stderr, "ozz_fuzz: unknown memory model '%s' (known: %s)\n", name,
+                     oemu::MemoryModel::NamesForHelp().c_str());
+        return 2;
+      }
     } else if (arg == "--no-static-prune") {
       options.hints.static_prune = false;
     } else if (arg == "--no-axiomatic-prune") {
@@ -140,9 +152,9 @@ int main(int argc, char** argv) {
   }
 
   if (!json) {
-    std::printf("ozz_fuzz: seed=%llu budget=%zu reordering=%s\n",
+    std::printf("ozz_fuzz: seed=%llu budget=%zu reordering=%s model=%s\n",
                 static_cast<unsigned long long>(options.seed), options.max_mti_runs,
-                options.reordering ? "on" : "OFF");
+                options.reordering ? "on" : "OFF", options.model->name());
   }
 
   fuzz::CampaignResult result =

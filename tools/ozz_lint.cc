@@ -1,12 +1,15 @@
 // ozz_lint: instrumentation-discipline lint over simulated-kernel sources.
 //
 // Usage:
-//   ozz_lint FILE_OR_DIR...
+//   ozz_lint [--model-discipline] FILE_OR_DIR...
 //
-// Flags shared-state accesses that bypass the OSK_* instrumentation macros
-// (see src/analysis/lint.h for the rules and suppression comments).
-// Directories are scanned recursively for .cc/.h files. Exits 1 when any
-// finding is reported — suitable as a CI gate.
+// Default mode flags shared-state accesses that bypass the OSK_* macros
+// (see src/analysis/lint.h for the rules and suppression comments); it is
+// meant for simulated-kernel sources (src/osk). --model-discipline instead
+// flags direct calls to the LKMM inline-rule helpers (ClassOf) that bypass
+// the MemoryModel query points — that mode is safe over the whole src/
+// tree. Directories are scanned recursively for .cc/.h files. Exits 1 when
+// any finding is reported — suitable as a CI gate.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -25,7 +28,7 @@ bool LintableFile(const fs::path& p) {
   return p.extension() == ".cc" || p.extension() == ".h";
 }
 
-int LintFile(const fs::path& path, std::size_t* findings) {
+int LintFile(const fs::path& path, bool model_discipline, std::size_t* findings) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "ozz_lint: cannot read %s\n", path.c_str());
@@ -33,7 +36,10 @@ int LintFile(const fs::path& path, std::size_t* findings) {
   }
   std::ostringstream contents;
   contents << in.rdbuf();
-  for (const analysis::LintFinding& f : analysis::LintSource(path.string(), contents.str())) {
+  std::vector<analysis::LintFinding> found =
+      model_discipline ? analysis::LintModelDiscipline(path.string(), contents.str())
+                       : analysis::LintSource(path.string(), contents.str());
+  for (const analysis::LintFinding& f : found) {
     std::printf("%s\n", analysis::FormatFinding(f).c_str());
     ++*findings;
   }
@@ -43,27 +49,36 @@ int LintFile(const fs::path& path, std::size_t* findings) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: ozz_lint FILE_OR_DIR...\n");
+  bool model_discipline = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--model-discipline") {
+      model_discipline = true;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: ozz_lint [--model-discipline] FILE_OR_DIR...\n");
     return 2;
   }
   std::size_t findings = 0;
   std::size_t files = 0;
-  for (int i = 1; i < argc; ++i) {
-    fs::path p = argv[i];
+  for (const std::string& in_path : inputs) {
+    fs::path p = in_path;
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       for (const fs::directory_entry& e : fs::recursive_directory_iterator(p)) {
         if (e.is_regular_file() && LintableFile(e.path())) {
           ++files;
-          if (int rc = LintFile(e.path(), &findings); rc != 0) {
+          if (int rc = LintFile(e.path(), model_discipline, &findings); rc != 0) {
             return rc;
           }
         }
       }
     } else {
       ++files;
-      if (int rc = LintFile(p, &findings); rc != 0) {
+      if (int rc = LintFile(p, model_discipline, &findings); rc != 0) {
         return rc;
       }
     }

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::printf(
         "usage: ozz_repro SPEC_FILE [--fixed SUBSYS]... [--no-reorder] [--runs N]\n"
-        "                 [--trace-out FILE]\n");
+        "                 [--model NAME] [--trace-out FILE]\n");
     return 2;
   }
   std::string path = argv[1];
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   bool reorder = true;
   bool trace_requested = false;
   std::string trace_out;
+  const oemu::MemoryModel* model = &oemu::MemoryModel::Default();  // $OZZ_DEFAULT_MODEL
   int runs = 1;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -40,6 +41,13 @@ int main(int argc, char** argv) {
       config.fixed.insert(argv[++i]);
     } else if (arg == "--no-reorder") {
       reorder = false;
+    } else if (arg == "--model" && i + 1 < argc) {
+      model = oemu::MemoryModel::ByName(argv[++i]);
+      if (model == nullptr) {
+        std::printf("unknown memory model '%s' (known: %s)\n", argv[i],
+                    oemu::MemoryModel::NamesForHelp().c_str());
+        return 2;
+      }
     } else if (arg == "--runs" && i + 1 < argc) {
       runs = std::atoi(argv[++i]);
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -68,8 +76,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("replaying %s (%d run%s, reordering %s)\n", path.c_str(), runs,
-              runs == 1 ? "" : "s", reorder ? "on" : "OFF");
+  std::printf("replaying %s (%d run%s, reordering %s, model %s)\n", path.c_str(), runs,
+              runs == 1 ? "" : "s", reorder ? "on" : "OFF", model->name());
   std::printf("program: %s\n", spec.prog.ToString().c_str());
   std::printf("hint:    %s\n\n", spec.hint.ToString().c_str());
 
@@ -79,6 +87,7 @@ int main(int argc, char** argv) {
     fuzz::MtiOptions options;
     options.kernel_config = config;
     options.reordering = reorder;
+    options.model = model;
     last = fuzz::RunMti(spec, options);
     crashes += last.crashed ? 1 : 0;
   }
@@ -93,6 +102,7 @@ int main(int argc, char** argv) {
     fuzz::MtiOptions options;
     options.kernel_config = config;
     options.reordering = reorder;
+    options.model = model;
     options.trace_path = trace_out.empty() ? path + ".ozztrace" : trace_out;
     options.trace_label = "ozz_repro " + path;
     fuzz::RunMti(spec, options);

@@ -31,6 +31,8 @@ void Usage() {
       "  --timeline          print the merged event timeline (text)\n"
       "  --perfetto OUT      write Chrome trace-event JSON (open in ui.perfetto.dev);\n"
       "                      requires exactly one input trace\n"
+      "  --model NAME        only triage traces recorded under this memory model\n"
+      "                      (version-1 traces predate the field and match 'lkmm')\n"
       "  --json              machine-readable triage output\n");
 }
 
@@ -50,6 +52,7 @@ std::string JsonEscape(const std::string& s) {
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string perfetto_out;
+  std::string model_filter;
   bool timeline = false;
   bool json = false;
 
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
       timeline = true;
     } else if (arg == "--perfetto" && i + 1 < argc) {
       perfetto_out = argv[++i];
+    } else if (arg == "--model" && i + 1 < argc) {
+      model_filter = argv[++i];
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -113,6 +118,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ozz_trace: %s\n", error.c_str());
       return 2;
     }
+    // Pre-model (version 1) traces carry no model string; they were
+    // necessarily recorded under lkmm, the only backend that existed.
+    const std::string trace_model = file.meta.model.empty() ? "lkmm" : file.meta.model;
+    if (!model_filter.empty() && trace_model != model_filter) {
+      continue;
+    }
 
     if (!perfetto_out.empty()) {
       std::ofstream os(perfetto_out, std::ios::trunc);
@@ -131,10 +142,12 @@ int main(int argc, char** argv) {
     obs::HintLifecycle life = obs::TriageTrace(file);
     ++verdict_counts[life.verdict];
     if (json) {
-      std::printf("%s\n{\"file\":\"%s\",\"verdict\":\"%s\",\"armed\":%llu,\"hits\":%llu,"
+      std::printf("%s\n{\"file\":\"%s\",\"model\":\"%s\",\"verdict\":\"%s\","
+                  "\"armed\":%llu,\"hits\":%llu,"
                   "\"delayed\":%llu,\"held\":%llu,\"early\":%llu,\"stale\":%llu,"
                   "\"dropped\":%llu,\"crash\":\"%s\"}",
                   first_json ? "" : ",", JsonEscape(path).c_str(),
+                  JsonEscape(trace_model).c_str(),
                   obs::VerdictName(life.verdict), static_cast<unsigned long long>(life.armed),
                   static_cast<unsigned long long>(life.hits),
                   static_cast<unsigned long long>(life.delayed_stores),
@@ -145,8 +158,9 @@ int main(int argc, char** argv) {
                   JsonEscape(file.meta.crash_title).c_str());
       first_json = false;
     } else if (!timeline) {
-      std::printf("%-24s %s  (%s)%s%s\n", obs::VerdictName(life.verdict), path.c_str(),
-                  life.summary.c_str(), file.meta.crash_title.empty() ? "" : " crash: ",
+      std::printf("%-24s %s  [%s] (%s)%s%s\n", obs::VerdictName(life.verdict), path.c_str(),
+                  trace_model.c_str(), life.summary.c_str(),
+                  file.meta.crash_title.empty() ? "" : " crash: ",
                   file.meta.crash_title.c_str());
     }
   }
