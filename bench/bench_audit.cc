@@ -5,7 +5,7 @@
 //   1. recall — does the audit flag a fix-gated pair of the documented
 //      reorder class in the scenario's subsystem file? Each scenario must
 //      claim a distinct pair (greedy matching), so two scenarios in the same
-//      file need two pairs. Acceptance: >= 19/21.
+//      file need two pairs. Acceptance: >= 19/22.
 //   2. false sites — fix-gated pairs whose identity still shows up in the
 //      fully fixed form (assume_fixed = true). The audit must report zero
 //      sites on fixed forms. Acceptance: 0.
@@ -125,7 +125,7 @@ int main() {
               report.residual_pairs, audit_s, fixed_s);
   std::printf("wrote BENCH_audit.json\n");
 
-  // Acceptance gates: recall >= 19/21 and zero false sites on fixed forms.
+  // Acceptance gates: recall >= 19/22 and zero false sites on fixed forms.
   const bool ok = matched >= 19 && false_sites == 0;
   if (!ok) {
     std::printf("FAILED acceptance: need >= 19/%zu scenarios flagged and 0 false sites\n", count);

@@ -5,12 +5,12 @@
 //      requires the crash to still surface — soundness of pruning end-to-end;
 //   2. re-derives the triggering hint's reorder pairs from the replay spec
 //      and requires at least one of them to be classified `witnessed` by the
-//      axiomatic engine — witness coverage (acceptance: 21/21);
+//      axiomatic engine — witness coverage (acceptance: 22/22);
 //   3. synthesizes the minimal fence for the witnessed pair and checks it
 //      against the scenario's documented missing-barrier class: a
 //      store-ordering fence (smp_wmb / release upgrade / smp_mb) for S-S
 //      scenarios, a load-ordering fence (smp_rmb / acquire upgrade / smp_mb)
-//      for L-L scenarios (acceptance: >= 15/21 matches);
+//      for L-L scenarios (acceptance: >= 15/22 matches);
 //   4. reports campaign prune accounting (per-tier prune counts and the
 //      verdict split over checked pairs).
 //
@@ -239,7 +239,7 @@ int main() {
               static_cast<unsigned long long>(pairs_bounded));
   std::printf("wrote BENCH_axiomatic.json\n");
 
-  // Acceptance gates: every bug found and witnessed; >= 15/21 fence matches.
+  // Acceptance gates: every bug found and witnessed; >= 15/22 fence matches.
   const bool ok = bugs_found == count && witnessed_count == count && fence_matches >= 15;
   if (!ok) {
     std::printf("FAILED acceptance: need %zu/%zu bugs+witnesses and >= 15 fence matches\n",

@@ -1,4 +1,4 @@
-// Per-model bug-trigger matrix over the 21 bug scenarios (BENCH_models.json).
+// Per-model bug-trigger matrix over the 22 bug scenarios (BENCH_models.json).
 //
 // Runs every Table 3/4 scenario's seed-program campaign (same recipe as
 // bug_scenarios_test / ci/check_trace.sh: seed 99, budget 2500, stop at one
@@ -9,7 +9,7 @@
 //
 // Acceptance gates (CI runs this binary directly):
 //   1. lkmm triggers all scenarios — the default backend must stay bit-exact
-//      with the historical inline rules (21/21);
+//      with the historical inline rules (22/22);
 //   2. tso triggers strictly fewer — the store-store and load-load bugs in
 //      the table are not emulatable when only store-load reordering exists;
 //   3. armv8x triggers at least everything lkmm does — its relaxation set

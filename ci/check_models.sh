@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate for the pluggable memory-model backends.
 #
-# Runs bench_models in --baseline mode (21 scenarios x 4 backends, the same
+# Runs bench_models in --baseline mode (22 scenarios x 4 backends, the same
 # seed-99/budget-2500 recipe as check_trace.sh) and diffs the per-cell trigger
 # matrix against ci/models_baseline.txt. Any flip in either direction fails:
 #  - a "yes" turning "no" means a backend stopped emulating a reordering it

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# CI gate for the model-aware static race & deadlock analyzer.
+#
+# Three checks:
+#  1. The per-(model, subsystem) fix-gated/residual race-count matrix must
+#     match ci/races_baseline.txt exactly. A gated count dropping means the
+#     analyzer lost recall on a documented planted bug; a residual count
+#     rising means a new statically-racy pair snuck into the tree without a
+#     baseline update.
+#  2. The fixed form must be race-free: `ozz_races --assume-fixed` prints no
+#     racy-pair identity under any registered model (every planted bug is
+#     fix-gated, and no "fix" fails to order its pair).
+#  3. Dynamic consistency: every (model, scenario) cell the dynamic trigger
+#     matrix (ci/models_baseline.txt) pins as "yes" must have >= 1 fix-gated
+#     static race under that model in the scenario's subsystem file — the
+#     analyzer may over-approximate, but it must never call a subsystem
+#     statically safe under a model that dynamically triggers its bug.
+#
+# Regenerate the baseline after an intentional change with:
+#   ./build/tools/ozz_races --src src/osk --print-baseline > ci/races_baseline.txt
+#
+# Usage: ci/check_races.sh [OZZ_RACES_BINARY]
+set -u
+
+bin="${1:-./build/tools/ozz_races}"
+ci_dir="$(dirname "$0")"
+baseline="$ci_dir/races_baseline.txt"
+models_baseline="$ci_dir/models_baseline.txt"
+
+if [ ! -x "$bin" ]; then
+  echo "check_races: ozz_races binary not found: $bin" >&2
+  exit 2
+fi
+if [ ! -f "$baseline" ]; then
+  echo "check_races: baseline not found: $baseline" >&2
+  exit 2
+fi
+
+fail=0
+
+# 1. Matrix diff (ozz_races exits 1 and explains each changed cell).
+if "$bin" --src src/osk --baseline "$baseline" >/dev/null; then
+  cells=$(grep -cv '^#' "$baseline")
+  echo "ok   race matrix matches baseline ($cells cells)"
+else
+  echo "FAIL race matrix differs from $baseline"
+  fail=1
+fi
+
+# 2. Fixed forms are race-free under every model.
+for model in lkmm tso pso armv8x; do
+  fixed=$("$bin" --src src/osk --model "$model" --assume-fixed)
+  if [ -n "$fixed" ]; then
+    echo "FAIL fixed form still racy under $model:"
+    printf '%s\n' "$fixed" | sed 's/^/       /'
+    fail=1
+  else
+    echo "ok   fixed form race-free under $model"
+  fi
+done
+
+# 3. Dynamic "yes" implies static fix-gated race under the same model.
+scenario_file() {
+  case "$1" in
+    fs_*) echo fs_fdtable ;;
+    mq_*) echo mq_sbitmap ;;
+    unix_*) echo unix_sock ;;
+    buffer_*) echo buffer_head ;;
+    bpf_*) echo bpf_sockmap ;;
+    watch_queue*) echo watch_queue ;;
+    synthetic*) echo synthetic ;;
+    ringbuf*) echo ringbuf ;;
+    seqlock*) echo seqlock ;;
+    *) echo "${1%%_*}" ;;
+  esac
+}
+
+if [ ! -f "$models_baseline" ]; then
+  echo "check_races: dynamic matrix not found: $models_baseline" >&2
+  exit 2
+fi
+
+checked=0
+while IFS='|' read -r model scenario triggered; do
+  case "$model" in ''|'#'*) continue ;; esac
+  [ "$triggered" = "yes" ] || continue
+  checked=$((checked + 1))
+  file="src/osk/subsys/$(scenario_file "$scenario").cc"
+  gated=$(awk -F'|' -v m="$model" -v f="$file" '$1 == m && $2 == f { print $3 }' "$baseline")
+  if [ -z "$gated" ] || [ "$gated" -lt 1 ]; then
+    echo "FAIL $scenario triggers dynamically under $model but $file has no fix-gated static race under it (gated=${gated:-missing})"
+    fail=1
+  fi
+done < "$models_baseline"
+
+if [ "$fail" = 0 ]; then
+  echo "ok   all $checked dynamic-yes cells statically racy under their model"
+fi
+exit "$fail"

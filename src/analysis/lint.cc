@@ -1,6 +1,7 @@
 #include "src/analysis/lint.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -208,6 +209,152 @@ std::vector<LintFinding> LintModelDiscipline(const std::string& path,
       }
     }
   }
+  return findings;
+}
+
+namespace {
+
+// Access macros that take the target cell as their first argument, split
+// into plain and marked. Byte ops are excluded (their operand is an address
+// expression, not a cell) and so are the barriers (no target).
+struct AccessMacro {
+  const char* name;
+  bool marked;
+};
+
+constexpr AccessMacro kAccessMacros[] = {
+    {"OSK_LOAD", false},
+    {"OSK_STORE", false},
+    {"OSK_READ_ONCE", true},
+    {"OSK_WRITE_ONCE", true},
+    {"OSK_LOAD_ACQUIRE", true},
+    {"OSK_STORE_RELEASE", true},
+    {"OSK_RMW", true},
+    {"OSK_TEST_BIT", true},
+    {"OSK_SET_BIT", true},
+    {"OSK_CLEAR_BIT", true},
+    {"OSK_TEST_AND_SET_BIT", true},
+    {"OSK_TEST_AND_CLEAR_BIT", true},
+    {"OSK_TEST_AND_SET_BIT_LOCK", true},
+    {"OSK_CLEAR_BIT_UNLOCK", true},
+};
+
+// First macro argument starting right after `open` (the '('), balanced to
+// the top-level ',' or ')'. Empty when the line truncates mid-argument.
+std::string FirstMacroArg(const std::string& line, std::size_t open) {
+  int depth = 0;
+  std::string out;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '(') {
+      ++depth;
+      if (depth == 1) {
+        continue;
+      }
+    }
+    if (c == ')') {
+      --depth;
+      if (depth == 0) {
+        return out;
+      }
+    }
+    if (depth == 1 && c == ',') {
+      return out;
+    }
+    if (depth >= 1) {
+      out.push_back(c);
+    }
+  }
+  return std::string();
+}
+
+// The race analyzer's conflicting-pair key: spaces stripped, array
+// subscripts erased (`fd[slot]` and `fd[i]` may alias).
+std::string CanonMixedTarget(const std::string& expr) {
+  std::string out;
+  int depth = 0;
+  for (char c : expr) {
+    if (c == '[') {
+      if (depth == 0) {
+        out.push_back('[');
+      }
+      ++depth;
+      continue;
+    }
+    if (c == ']') {
+      --depth;
+      if (depth == 0) {
+        out.push_back(']');
+      }
+      continue;
+    }
+    if (depth == 0 && c != ' ') {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintMixedAccess(const std::string& path, const std::string& contents) {
+  std::vector<LintFinding> findings;
+  const std::vector<std::string> lines = SplitLines(contents);
+
+  struct PlainUse {
+    std::size_t line_idx;
+    std::string macro;
+  };
+  std::set<std::string> marked_targets;
+  std::map<std::string, std::vector<PlainUse>> plain_uses;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& raw = lines[i];
+    if (IsCommentLine(raw) || raw.find("#define") != std::string::npos) {
+      continue;  // macro definitions access their parameters, not targets
+    }
+    std::string line = StripStrings(raw);
+    std::size_t comment = line.find("//");
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    for (const AccessMacro& m : kAccessMacros) {
+      for (std::size_t pos : WordOccurrences(line, m.name)) {
+        std::size_t open = pos + std::string(m.name).size();
+        if (open >= line.size() || line[open] != '(') {
+          continue;
+        }
+        std::string target = CanonMixedTarget(FirstMacroArg(line, open));
+        if (target.empty()) {
+          continue;
+        }
+        if (m.marked) {
+          marked_targets.insert(std::move(target));
+        } else {
+          plain_uses[target].push_back(PlainUse{i, m.name});
+        }
+      }
+    }
+  }
+
+  for (const auto& [target, uses] : plain_uses) {
+    if (marked_targets.count(target) == 0) {
+      continue;
+    }
+    for (const PlainUse& use : uses) {
+      if (Suppressed(lines, use.line_idx, "ozz-lint: allow-mixed")) {
+        continue;
+      }
+      findings.push_back(LintFinding{
+          path, static_cast<int>(use.line_idx) + 1, "mixed-access",
+          "`" + target + "` is accessed with marked accessors elsewhere in this file but " +
+              use.macro + " here is plain; concurrent plain accesses are data races the " +
+              "marked sites imply exist (mark this access, or annotate a protected/" +
+              "deliberate one with `ozz-lint: allow-mixed`)"});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) { return a.line < b.line; });
   return findings;
 }
 

@@ -58,6 +58,19 @@ std::vector<LintFinding> LintSource(const std::string& path, const std::string& 
 std::vector<LintFinding> LintModelDiscipline(const std::string& path,
                                              const std::string& contents);
 
+// Mixed-access lint (ozz_lint --mixed-access): KCSAN's "mixed marked and
+// plain accesses" rule ported to the OSK macros. A location some site
+// accesses with a *marked* accessor (OSK_READ_ONCE / OSK_WRITE_ONCE /
+// acquire / release / any RMW or bit op) is by declaration concurrently
+// accessed — every *plain* OSK_LOAD / OSK_STORE of the same target in the
+// file is then a candidate data race the instrumentation discipline hides,
+// and is flagged. Targets are canonicalized the way the race analyzer groups
+// conflicting pairs (spaces stripped, array subscripts erased). Plain sites
+// that are genuinely protected (init before threads exist, under the one
+// lock every accessor takes, or a deliberately-modelled buggy idiom)
+// suppress with "ozz-lint: allow-mixed" on the same or preceding line.
+std::vector<LintFinding> LintMixedAccess(const std::string& path, const std::string& contents);
+
 std::string FormatFinding(const LintFinding& finding);
 
 }  // namespace ozz::analysis

@@ -9,20 +9,6 @@
 namespace ozz::analysis::srcmodel {
 namespace {
 
-std::string SiteIdentity(const AccessSite& site) {
-  std::string out = site.file;
-  out += ':';
-  out += site.function;
-  out += ':';
-  for (char c : site.expr) {
-    if (c != ' ') {
-      out.push_back(c);
-    }
-  }
-  out += site.is_store ? "[S]" : "[L]";
-  return out;
-}
-
 bool PairLess(const AuditPair& a, const AuditPair& b) {
   if (a.first.file != b.first.file) {
     return a.first.file < b.first.file;
@@ -64,6 +50,20 @@ std::vector<SourceFile> LoadSourceDir(const std::string& dir) {
   }
   std::sort(out.begin(), out.end(),
             [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
+  return out;
+}
+
+std::string SiteIdentity(const AccessSite& site) {
+  std::string out = site.file;
+  out += ':';
+  out += site.function;
+  out += ':';
+  for (char c : site.expr) {
+    if (c != ' ') {
+      out.push_back(c);
+    }
+  }
+  out += site.is_store ? "[S]" : "[L]";
   return out;
 }
 

@@ -38,6 +38,12 @@ struct SourceFile {
 // empty vector when the directory does not exist.
 std::vector<SourceFile> LoadSourceDir(const std::string& dir);
 
+// Stable, line-free identity of one access site ("file:function:expr[S]"),
+// the unit both the audit's and the race analyzer's identities are built
+// from (line numbers churn on unrelated edits; file/function/expr/kind do
+// not).
+std::string SiteIdentity(const AccessSite& site);
+
 // One audited pair, with its classification.
 struct AuditPair {
   AccessSite first;

@@ -1,0 +1,426 @@
+#include "src/analysis/srcmodel/locks.h"
+
+#include <algorithm>
+
+namespace ozz::analysis::srcmodel {
+namespace {
+
+// Path state of the must-hold walk: like the barrier dataflow's EvalState
+// but tracking only the held set (intersected at merges).
+struct LState {
+  bool reachable = true;
+  LockSet held;
+
+  friend bool operator==(const LState& a, const LState& b) {
+    return a.reachable == b.reachable && a.held == b.held;
+  }
+};
+
+LState MergeL(const LState& a, const LState& b) {
+  if (!a.reachable) {
+    return b;
+  }
+  if (!b.reachable) {
+    return a;
+  }
+  LState out;
+  std::set_intersection(a.held.begin(), a.held.end(), b.held.begin(), b.held.end(),
+                        std::inserter(out.held, out.held.begin()));
+  return out;
+}
+
+void IntersectInto(std::map<std::string, LockSet>* dst, const std::string& key,
+                   const LockSet& held, std::set<std::string>* seen) {
+  if (seen->insert(key).second) {
+    (*dst)[key] = held;
+    return;
+  }
+  LockSet both;
+  const LockSet& cur = (*dst)[key];
+  std::set_intersection(cur.begin(), cur.end(), held.begin(), held.end(),
+                        std::inserter(both, both.begin()));
+  (*dst)[key] = std::move(both);
+}
+
+// Per-function facts gathered by one walk with an empty entry held set.
+// Interprocedural context is added uniformly afterwards (callees are assumed
+// lock-balanced, so a caller's held set is constant across the call).
+struct FnLocal {
+  std::map<int, LockSet> site_held;              // intersected across visits
+  std::set<int> sites_seen;
+  std::map<std::string, LockSet> callsite_held;  // per callee name
+  std::set<std::string> callees_seen;
+  std::set<LockOrderEdge> edges;                 // with locally-held sources
+  std::map<std::string, int> acquires;           // lock -> first acquisition line
+};
+
+class Walker {
+ public:
+  Walker(const Function& fn, bool assume_fixed, FnLocal* out)
+      : fn_(fn), assume_fixed_(assume_fixed), out_(out) {}
+
+  void Run() {
+    // Same goto fixpoint as the barrier dataflow: re-evaluate until the
+    // per-label merged states stabilize; goto-free functions run once.
+    for (int iter = 0; iter < 4; ++iter) {
+      labels_changed_ = false;
+      LState entry;
+      Eval(fn_.body, entry, nullptr);
+      if (!labels_changed_) {
+        break;
+      }
+    }
+  }
+
+ private:
+  struct LoopCtx {
+    std::vector<LState> breaks;
+    std::vector<LState> continues;
+  };
+
+  void RecordSite(int site, const LockSet& held) {
+    if (out_->sites_seen.insert(site).second) {
+      out_->site_held[site] = held;
+      return;
+    }
+    LockSet both;
+    const LockSet& cur = out_->site_held[site];
+    std::set_intersection(cur.begin(), cur.end(), held.begin(), held.end(),
+                          std::inserter(both, both.begin()));
+    out_->site_held[site] = std::move(both);
+  }
+
+  void ApplyOp(const Op& op, LState* s) {
+    switch (op.kind) {
+      case Op::Kind::kLockEnter:
+        for (const std::string& h : s->held) {
+          out_->edges.insert(LockOrderEdge{h, op.lock_id, fn_.name, op.line});
+        }
+        if (out_->acquires.count(op.lock_id) == 0) {
+          out_->acquires[op.lock_id] = op.line;
+        }
+        s->held.insert(op.lock_id);
+        return;
+      case Op::Kind::kLockExit:
+        s->held.erase(op.lock_id);
+        return;
+      case Op::Kind::kCall:
+        IntersectInto(&out_->callsite_held, op.callee, s->held, &out_->callees_seen);
+        return;
+      case Op::Kind::kAccess:
+      case Op::Kind::kBarrier:
+        break;
+    }
+    if (op.load_site >= 0) {
+      RecordSite(op.load_site, s->held);
+    }
+    if (op.store_site >= 0) {
+      RecordSite(op.store_site, s->held);
+    }
+    if (op.ghost_load_site >= 0) {
+      RecordSite(op.ghost_load_site, s->held);
+    }
+    if (op.ghost_store_site >= 0) {
+      RecordSite(op.ghost_store_site, s->held);
+    }
+  }
+
+  LState Eval(const std::vector<Stmt>& stmts, LState s, LoopCtx* loop) {
+    for (const Stmt& st : stmts) {
+      if (!s.reachable && st.kind != Stmt::Kind::kLabel) {
+        continue;
+      }
+      switch (st.kind) {
+        case Stmt::Kind::kOp:
+          ApplyOp(st.op, &s);
+          break;
+        case Stmt::Kind::kBlock:
+          s = Eval(st.body, std::move(s), loop);
+          break;
+        case Stmt::Kind::kBranch: {
+          bool take_then = true;
+          bool take_else = true;
+          if (st.cond == CondMode::kFixTrue) {
+            take_then = assume_fixed_;
+            take_else = !assume_fixed_;
+          } else if (st.cond == CondMode::kFixFalse) {
+            take_then = !assume_fixed_;
+            take_else = assume_fixed_;
+          }
+          LState after_then = take_then ? Eval(st.body, s, loop) : LState{};
+          if (!take_then) {
+            after_then.reachable = false;
+          }
+          LState after_else = take_else ? Eval(st.else_body, std::move(s), loop) : LState{};
+          if (!take_else) {
+            after_else.reachable = false;
+          }
+          s = MergeL(after_then, after_else);
+          break;
+        }
+        case Stmt::Kind::kLoop: {
+          LoopCtx ctx;
+          LState entry = s;
+          LState cur = s;
+          for (int iter = 0; iter < 4; ++iter) {
+            LState body_out = Eval(st.body, cur, &ctx);
+            for (LState& c : ctx.continues) {
+              body_out = MergeL(body_out, c);
+            }
+            ctx.continues.clear();
+            LState next = MergeL(entry, body_out);
+            if (next == cur) {
+              break;
+            }
+            cur = std::move(next);
+          }
+          for (LState& b : ctx.breaks) {
+            cur = MergeL(cur, b);
+          }
+          s = std::move(cur);
+          break;
+        }
+        case Stmt::Kind::kReturn:
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kBreak:
+          if (loop != nullptr) {
+            loop->breaks.push_back(s);
+          }
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kContinue:
+          if (loop != nullptr) {
+            loop->continues.push_back(s);
+          }
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kGoto: {
+          auto it = label_states_.find(st.label);
+          if (it == label_states_.end()) {
+            label_states_.emplace(st.label, s);
+            labels_changed_ = true;
+          } else {
+            LState merged = MergeL(it->second, s);
+            if (!(merged == it->second)) {
+              it->second = std::move(merged);
+              labels_changed_ = true;
+            }
+          }
+          s.reachable = false;
+          break;
+        }
+        case Stmt::Kind::kLabel: {
+          auto it = label_states_.find(st.label);
+          if (it != label_states_.end()) {
+            s = MergeL(s, it->second);
+          }
+          break;
+        }
+      }
+    }
+    return s;
+  }
+
+  const Function& fn_;
+  bool assume_fixed_;
+  FnLocal* out_;
+  std::map<std::string, LState> label_states_;
+  bool labels_changed_ = false;
+};
+
+// Lock-order cycle detection: SCCs of the lock digraph (iterative Tarjan,
+// same shape as the call-graph SCC pass in srcmodel.cc); an SCC is a
+// deadlock candidate when it has more than one lock or a self-edge.
+std::vector<DeadlockCycle> FindCycles(const std::vector<LockOrderEdge>& edges) {
+  std::vector<std::string> locks;
+  std::map<std::string, std::size_t> id;
+  auto intern = [&](const std::string& l) {
+    auto it = id.find(l);
+    if (it != id.end()) {
+      return it->second;
+    }
+    id[l] = locks.size();
+    locks.push_back(l);
+    return locks.size() - 1;
+  };
+  std::vector<std::set<std::size_t>> adj;
+  for (const LockOrderEdge& e : edges) {
+    std::size_t a = intern(e.held);
+    std::size_t b = intern(e.acquired);
+    adj.resize(locks.size());
+    adj[a].insert(b);
+  }
+  adj.resize(locks.size());
+
+  const std::size_t n = locks.size();
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  int counter = 0;
+  struct Frame {
+    std::size_t v;
+    std::vector<std::size_t> edges;
+    std::size_t next = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    frames.push_back({root, {adj[root].begin(), adj[root].end()}});
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.next < fr.edges.size()) {
+        std::size_t w = fr.edges[fr.next++];
+        if (index[w] == -1) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, {adj[w].begin(), adj[w].end()}});
+        } else if (on_stack[w]) {
+          low[fr.v] = std::min(low[fr.v], index[w]);
+        }
+        continue;
+      }
+      std::size_t v = fr.v;
+      if (low[v] == index[v]) {
+        std::vector<std::size_t> scc;
+        while (true) {
+          std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        sccs.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+
+  std::vector<DeadlockCycle> out;
+  for (const std::vector<std::size_t>& scc : sccs) {
+    bool self_loop = scc.size() == 1 && adj[scc[0]].count(scc[0]) != 0;
+    if (scc.size() < 2 && !self_loop) {
+      continue;
+    }
+    DeadlockCycle cycle;
+    std::set<std::string> members;
+    for (std::size_t v : scc) {
+      members.insert(locks[v]);
+    }
+    cycle.locks.assign(members.begin(), members.end());
+    for (const LockOrderEdge& e : edges) {
+      if (members.count(e.held) != 0 && members.count(e.acquired) != 0) {
+        cycle.edges.push_back(e);
+      }
+    }
+    out.push_back(std::move(cycle));
+  }
+  std::sort(out.begin(), out.end(), [](const DeadlockCycle& a, const DeadlockCycle& b) {
+    return a.locks < b.locks;
+  });
+  return out;
+}
+
+}  // namespace
+
+LockModel ComputeLockModel(const FileModel& model, bool assume_fixed) {
+  const std::size_t n = model.functions.size();
+  std::vector<FnLocal> locals(n);
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t f = 0; f < n; ++f) {
+    by_name[model.functions[f].name].push_back(f);
+    Walker(model.functions[f], assume_fixed, &locals[f]).Run();
+  }
+
+  // Context fixpoint from below: ctx starts empty everywhere and grows
+  // monotonically (contribution = ctx(caller) ∪ locks held at the callsite,
+  // intersected over all callsites), so the limit under-approximates the
+  // held set — the sound direction for a must-hold analysis; recursion
+  // simply converges to the locks common to all entry paths.
+  std::vector<LockSet> ctx(n);
+  for (std::size_t round = 0; round < n + 2; ++round) {
+    bool changed = false;
+    std::vector<LockSet> next(n);
+    std::vector<bool> has_caller(n, false);
+    for (std::size_t g = 0; g < n; ++g) {
+      for (const auto& [callee, held] : locals[g].callsite_held) {
+        auto it = by_name.find(callee);
+        if (it == by_name.end()) {
+          continue;
+        }
+        LockSet contribution = ctx[g];
+        contribution.insert(held.begin(), held.end());
+        for (std::size_t f : it->second) {
+          if (!has_caller[f]) {
+            next[f] = contribution;
+            has_caller[f] = true;
+          } else {
+            LockSet both;
+            std::set_intersection(next[f].begin(), next[f].end(), contribution.begin(),
+                                  contribution.end(), std::inserter(both, both.begin()));
+            next[f] = std::move(both);
+          }
+        }
+      }
+    }
+    // Roots (never called in-file — the syscall-handler lambdas and dead
+    // helpers) keep an empty context.
+    for (std::size_t f = 0; f < n; ++f) {
+      if (!has_caller[f]) {
+        next[f].clear();
+      }
+      if (next[f] != ctx[f]) {
+        changed = true;
+      }
+    }
+    ctx = std::move(next);
+    if (!changed) {
+      break;
+    }
+  }
+
+  LockModel out;
+  std::set<LockOrderEdge> edges;
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const auto& [site, held] : locals[f].site_held) {
+      LockSet abs = held;
+      abs.insert(ctx[f].begin(), ctx[f].end());
+      auto it = out.must_hold.find(site);
+      if (it == out.must_hold.end()) {
+        out.must_hold[site] = std::move(abs);
+      } else {
+        // A site index is unique to one function, but keep the merge
+        // defensive (intersection) in case that ever changes.
+        LockSet both;
+        std::set_intersection(it->second.begin(), it->second.end(), abs.begin(), abs.end(),
+                              std::inserter(both, both.begin()));
+        it->second = std::move(both);
+      }
+    }
+    edges.insert(locals[f].edges.begin(), locals[f].edges.end());
+    // Context locks are held across every acquisition in this function.
+    for (const std::string& h : ctx[f]) {
+      for (const auto& [acquired, line] : locals[f].acquires) {
+        edges.insert(LockOrderEdge{h, acquired, model.functions[f].name, line});
+      }
+    }
+  }
+  out.edges.assign(edges.begin(), edges.end());
+  out.cycles = FindCycles(out.edges);
+  return out;
+}
+
+}  // namespace ozz::analysis::srcmodel

@@ -1,0 +1,74 @@
+// Interprocedural must-hold lockset analysis over the srcmodel CFG, plus
+// the lock-order graph it induces (the static-deadlock side of ozz_races).
+//
+// Must-hold is the Eraser-style invariant the race classifier needs: the set
+// of locks provably held on *every* path reaching an instrumented access.
+// It is computed in two layers:
+//   * intraprocedural — a forward walk of each function's Stmt tree under
+//     the fix-flag assumption, intersecting the held set at merges (branch
+//     joins, loop back-edges, goto labels), exactly mirroring the barrier
+//     dataflow's path treatment;
+//   * interprocedural — a context fixpoint over the in-file call graph:
+//     ctx(f) = ∩ over every callsite of f of (ctx(caller) ∪ locks held
+//     locally at the callsite). Functions never called in-file — including
+//     lambdas, which are the syscall handlers — are roots with ctx = {}.
+//     The absolute must-hold at a site is ctx(enclosing fn) ∪ the local
+//     held set. Callees are assumed lock-balanced (the lint's
+//     lock-imbalance rule enforces this over src/osk).
+//
+// The same walk records lock-order edges (lock A held while lock B is
+// acquired); cycles in that digraph — including self-loops, a re-entered
+// non-recursive lock — are ABBA deadlock candidates. Lock identities are
+// the textual lock expressions, per file, matching the rest of srcmodel's
+// syntactic aliasing model.
+#ifndef OZZ_SRC_ANALYSIS_SRCMODEL_LOCKS_H_
+#define OZZ_SRC_ANALYSIS_SRCMODEL_LOCKS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/srcmodel/srcmodel.h"
+
+namespace ozz::analysis::srcmodel {
+
+using LockSet = std::set<std::string>;
+
+// "`held` was held while `acquired` was acquired" — one edge of the
+// lock-order graph.
+struct LockOrderEdge {
+  std::string held;
+  std::string acquired;
+  std::string function;  // where the acquisition happens
+  int line = 0;          // of the acquisition
+
+  friend bool operator<(const LockOrderEdge& a, const LockOrderEdge& b) {
+    if (a.held != b.held) return a.held < b.held;
+    if (a.acquired != b.acquired) return a.acquired < b.acquired;
+    if (a.function != b.function) return a.function < b.function;
+    return a.line < b.line;
+  }
+};
+
+// A cycle in the lock-order graph: a set of locks that can be acquired in
+// conflicting orders on different paths (ABBA), or a single re-entered lock
+// (self-loop).
+struct DeadlockCycle {
+  std::vector<std::string> locks;       // sorted
+  std::vector<LockOrderEdge> edges;     // the edges internal to the cycle
+};
+
+struct LockModel {
+  // Site index (into FileModel::sites) -> locks held on every execution of
+  // the site. Sites never reached under the fix assumption are absent.
+  std::map<int, LockSet> must_hold;
+  std::vector<LockOrderEdge> edges;   // deduped, sorted
+  std::vector<DeadlockCycle> cycles;  // static deadlock candidates
+};
+
+LockModel ComputeLockModel(const FileModel& model, bool assume_fixed);
+
+}  // namespace ozz::analysis::srcmodel
+
+#endif  // OZZ_SRC_ANALYSIS_SRCMODEL_LOCKS_H_

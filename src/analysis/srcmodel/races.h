@@ -1,0 +1,128 @@
+// Model-aware static race & deadlock analyzer (the third static tier, on
+// top of PR 1's trace-level prune and PR 4's source-level barrier audit).
+//
+// A *conflicting pair* is two instrumented accesses in the same file to the
+// same target expression, at least one a store — the cross-thread surface
+// OZZ's out-of-order bugs live on. Each conflicting pair is classified as:
+//
+//   locked           both endpoints provably hold a common lock (the
+//                    interprocedural must-hold locksets of locks.h): the
+//                    critical sections serialize, no reordering observable.
+//   barrier-ordered  no common lock, but under the model in question
+//                    neither endpoint participates in any unordered
+//                    same-thread pair (the pending-pair dataflow of
+//                    srcmodel.h, run with that model's relaxation matrix
+//                    and barrier-effect tables): every publication /
+//                    observation protocol touching the location is fenced.
+//   racy-under(M)    no common lock and some endpoint's protocol is broken
+//                    under model M — a store left store-store-reorderable,
+//                    or a load left load-load-reorderable, feeding this
+//                    location. The *same* pair can be racy under
+//                    lkmm/armv8x yet safe under tso, which is the
+//                    per-model differential this analyzer exists to emit.
+//
+// Like the audit, the analyzer runs under both fix-flag assumptions:
+// fix-gated races (racy under some model in the buggy form, racy under none
+// in the fixed form) are the documented planted bugs; pairs racy even when
+// fixed are residual and feed the CI baseline (ci/races_baseline.txt).
+//
+// The per-model verdicts are one-directional by construction: a scenario
+// that dynamically triggers under M (BENCH_models.json) must be statically
+// racy under M — the reverse is not claimed (the syntactic model
+// over-approximates). ABBA lock-order cycles from the lock graph are
+// reported as static deadlock candidates alongside.
+//
+// Everything here is advisory: `ozz_fuzz --race-guide` uses it to boost
+// STI priority, never to prune (tests/static_prune_test.cc).
+#ifndef OZZ_SRC_ANALYSIS_SRCMODEL_RACES_H_
+#define OZZ_SRC_ANALYSIS_SRCMODEL_RACES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/srcmodel/audit.h"
+#include "src/analysis/srcmodel/locks.h"
+
+namespace ozz::oemu {
+class MemoryModel;
+}  // namespace ozz::oemu
+
+namespace ozz::analysis::srcmodel {
+
+// One conflicting pair that is racy under at least one model in at least
+// one fix mode (locked and fully barrier-ordered pairs are summarized in
+// the per-file stats, not listed).
+struct RacePair {
+  AccessSite first;   // the store side when exactly one endpoint stores
+  AccessSite second;
+  bool write_write = false;
+  // Models under which some concrete occurrence pair is racy.
+  std::vector<std::string> racy_models;        // buggy form (fix flags off)
+  std::vector<std::string> racy_fixed_models;  // fixed form
+  bool fix_gated = false;  // racy under >= 1 model buggy, under none fixed
+  // A common must-hold lockset of some locked occurrence pair, when the
+  // pair is *also* reachable locked (diagnostic only).
+  LockSet sample_locks;
+
+  // Line-free identity: "file:fn:expr[S] <-> file:fn:expr[L] W-R".
+  std::string Identity() const;
+};
+
+struct FileDeadlock {
+  std::string file;
+  DeadlockCycle cycle;
+};
+
+struct FileRaceStats {
+  std::string file;
+  int sites = 0;
+  int conflicting = 0;  // distinct conflicting-pair identities
+  int locked = 0;       // every live occurrence locked, racy nowhere
+  int ordered = 0;      // barrier-ordered under every model, racy nowhere
+  std::map<std::string, int> gated_by_model;     // model -> fix-gated races
+  std::map<std::string, int> residual_by_model;  // model -> racy-even-fixed
+  int deadlocks = 0;
+};
+
+struct RaceReport {
+  std::vector<std::string> models;  // analyzed model names, registry order
+  std::vector<RacePair> races;      // fix-gated first, then residual
+  std::vector<FileDeadlock> deadlocks;
+  std::vector<FileRaceStats> files;
+  int files_scanned = 0;
+  int sites = 0;
+  int conflicting = 0;
+  int locked = 0;
+  int ordered = 0;
+  int gated = 0;
+  int residual = 0;
+};
+
+// Runs the analyzer over every file under all registered memory models
+// (or the given subset). Each file is parsed once; the barrier dataflow
+// runs per (model, fix mode) and the lockset analysis per fix mode.
+RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files);
+RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
+                           const std::vector<const oemu::MemoryModel*>& models);
+
+// Identities of pairs racy under `model` in the given fix mode — an
+// independent recomputation path for bench_races' false-positive check
+// (no claimed fix-gated race may still be racy with the fixes applied).
+std::set<std::string> RacyIdentities(const std::vector<SourceFile>& files,
+                                     const oemu::MemoryModel* model, bool assume_fixed);
+
+// Human-readable report. `focus_model` (a model name, may be empty for the
+// full matrix view) selects which model's racy pairs are listed in detail.
+std::string FormatRaceText(const RaceReport& report, const std::string& focus_model);
+
+std::string RaceReportJson(const RaceReport& report);
+
+// Machine-readable per-cell matrix for ci/races_baseline.txt:
+//   "model|file|gated|residual" per line, registry order then path order.
+std::string RaceBaselineMatrix(const RaceReport& report);
+
+}  // namespace ozz::analysis::srcmodel
+
+#endif  // OZZ_SRC_ANALYSIS_SRCMODEL_RACES_H_

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/analysis/srcmodel/srcparse.h"
+#include "src/oemu/memory_model.h"
 
 namespace ozz::analysis::srcmodel {
 namespace {
@@ -25,20 +26,9 @@ std::string NormalizeExpr(const std::string& expr) {
 
 // --- op classification -------------------------------------------------
 
-// Memory-model meaning of one instrumentation macro.
-enum class OskSem {
-  kLoadRelaxed,
-  kLoadAcquire,
-  kStoreRelaxed,
-  kStoreRelease,
-  kRmwFull,
-  kRmwAcquire,
-  kRmwRelease,
-  kRmwRelaxed,
-  kWmb,
-  kRmb,
-  kMb,
-};
+// Memory-model meaning of one instrumentation macro (now the public OpSem;
+// the parser records it on each op for model-parameterized consumers).
+using OskSem = OpSem;
 
 // The builtin OSK_* vocabulary (src/oemu/cell.h + src/osk/bitops.h).
 const std::map<std::string, OskSem>& BuiltinOps() {
@@ -341,6 +331,23 @@ class Parser {
         ++i;  // orphaned else (shouldn't happen; ParseIf consumes its else)
         continue;
       }
+      if (IsIdent(t, "goto")) {
+        i = ParseGoto(i, end, out);
+        continue;
+      }
+      // Statement label `name:` — `case`/`default` and access specifiers are
+      // not control-flow labels ("::" is one token, so a qualified call never
+      // matches).
+      if (t.kind == TokKind::kIdent && i + 1 < end && IsPunct(toks_[i + 1], ":") &&
+          !IsLabelExcluded(t.text)) {
+        Stmt s;
+        s.kind = Stmt::Kind::kLabel;
+        s.line = t.line;
+        s.label = t.text;
+        out->push_back(std::move(s));
+        i += 2;
+        continue;
+      }
       // SpinGuard RAII: `SpinGuard g(lock_, k);` holds `lock_` to block end.
       if (IsIdent(t, "SpinGuard") && i + 2 < end && toks_[i + 1].kind == TokKind::kIdent &&
           IsPunct(toks_[i + 2], "(")) {
@@ -477,9 +484,30 @@ class Parser {
       out->push_back(std::move(s));
       return i + 2;
     }
+    if (IsIdent(toks_[i], "goto")) {
+      return ParseGoto(i, end, out);
+    }
     std::size_t stop = StatementEnd(i, end);
     ScanExpr(i, stop, out);
     return stop + 1;
+  }
+
+  // `goto label;` — i at the `goto` keyword; returns the index past ';'.
+  std::size_t ParseGoto(std::size_t i, std::size_t end, std::vector<Stmt>* out) {
+    if (i + 1 < end && toks_[i + 1].kind == TokKind::kIdent) {
+      Stmt s;
+      s.kind = Stmt::Kind::kGoto;
+      s.line = toks_[i].line;
+      s.label = toks_[i + 1].text;
+      out->push_back(std::move(s));
+    }
+    std::size_t stop = StatementEnd(i, end);
+    return stop + 1;
+  }
+
+  static bool IsLabelExcluded(const std::string& name) {
+    return name == "case" || name == "default" || name == "public" || name == "private" ||
+           name == "protected";
   }
 
   // Condition classification: a fix-flag condition mentions an identifier
@@ -578,30 +606,37 @@ class Parser {
 
   void EmitOsk(OskSem sem, const std::string& expr, int line, std::vector<Stmt>* out) {
     Op op;
+    op.sem = sem;
     switch (sem) {
       case OskSem::kLoadRelaxed:
         op.load_site = AddSite(expr, line, /*is_store=*/false);
         break;
       case OskSem::kLoadAcquire:
         op.kill_load = true;  // later loads are ordered after the acquire
+        op.ghost_load_site = AddSite(expr, line, /*is_store=*/false);
         break;
       case OskSem::kStoreRelaxed:
         op.store_site = AddSite(expr, line, /*is_store=*/true);
         break;
       case OskSem::kStoreRelease:
         op.kill_store = true;  // earlier stores drain before the release
+        op.ghost_store_site = AddSite(expr, line, /*is_store=*/true);
         break;
       case OskSem::kRmwFull:
         op.kind = Op::Kind::kBarrier;
         op.kill_store = op.kill_load = op.kill_sl = true;
+        op.ghost_load_site = AddSite(expr, line, /*is_store=*/false);
+        op.ghost_store_site = AddSite(expr, line, /*is_store=*/true);
         break;
       case OskSem::kRmwAcquire:
         op.kill_load = true;
         op.store_site = AddSite(expr, line, /*is_store=*/true);
+        op.ghost_load_site = AddSite(expr, line, /*is_store=*/false);
         break;
       case OskSem::kRmwRelease:
         op.kill_store = true;
         op.load_site = AddSite(expr, line, /*is_store=*/false);
+        op.ghost_store_site = AddSite(expr, line, /*is_store=*/true);
         break;
       case OskSem::kRmwRelaxed:
         op.load_site = AddSite(expr, line, /*is_store=*/false);
@@ -618,6 +653,8 @@ class Parser {
       case OskSem::kMb:
         op.kind = Op::Kind::kBarrier;
         op.kill_store = op.kill_load = op.kill_sl = true;
+        break;
+      case OskSem::kNone:
         break;
     }
     PushOp(std::move(op), line, out);
@@ -888,8 +925,7 @@ struct FnSummary {
 
 class Dataflow {
  public:
-  Dataflow(const FileModel& model, bool assume_fixed)
-      : model_(model), assume_fixed_(assume_fixed) {
+  Dataflow(const FileModel& model, const DataflowOptions& opts) : model_(model), opts_(opts) {
     for (std::size_t f = 0; f < model_.functions.size(); ++f) {
       by_name_[model_.functions[f].name].push_back(f);
     }
@@ -1020,9 +1056,30 @@ class Dataflow {
     return false;
   }
 
+  // Is `cls` a reordering the configured model exhibits at all? (Always yes
+  // for the legacy LKMM bit path — lkmm relaxes all three tracked classes.)
+  bool ClassRelaxed(PairClass cls) const {
+    if (opts_.model == nullptr) {
+      return true;
+    }
+    const oemu::RelaxationMatrix& rx = opts_.model->relaxations();
+    switch (cls) {
+      case PairClass::kStoreStore:
+        return rx.store_store;
+      case PairClass::kLoadLoad:
+        return rx.load_load;
+      case PairClass::kStoreLoad:
+        return rx.store_load;
+    }
+    return true;
+  }
+
   void Emit(int first, int second, PairClass cls, const LockSet& first_locks,
             const LockSet& held) {
-    if (LocksOverlap(first_locks, held)) {
+    if (!ClassRelaxed(cls)) {
+      return;  // the model keeps this class in order by hardware
+    }
+    if (opts_.suppress_locked && LocksOverlap(first_locks, held)) {
       return;  // both members inside the same critical section
     }
     if (first >= 0 && SameTarget(first, second)) {
@@ -1144,14 +1201,34 @@ class Dataflow {
       case Op::Kind::kBarrier:
         break;
     }
-    if (op.kill_store) {
+    bool kill_store = op.kill_store;
+    bool kill_load = op.kill_load;
+    bool kill_sl = op.kill_sl;
+    if (opts_.model != nullptr) {
+      DeriveKills(op.sem, *opts_.model, &kill_store, &kill_load, &kill_sl);
+    }
+    if (kill_store) {
       s->ps.clear();
     }
-    if (op.kill_load) {
+    if (kill_load) {
       s->pl.clear();
     }
-    if (op.kill_sl) {
+    if (kill_sl) {
       s->psl.clear();
+    }
+    // Ghost halves stay out of the S-S / L-L lattices (the op's own
+    // semantics order those directions) but the store->load class is only
+    // half-closed: acquire orders the op against *later* accesses and
+    // release against *earlier* ones, so a pending store can still be
+    // delayed past an acquire-ish load (SB with the load side marked), and
+    // a release-ish store can still be bypassed by a later plain load (SB
+    // with the store side marked). Full-RMW halves are mb-ordered in both
+    // directions and stay out entirely.
+    if (op.ghost_load_site >= 0 &&
+        (op.sem == OpSem::kLoadAcquire || op.sem == OpSem::kRmwAcquire)) {
+      for (const auto& [a, locks] : s->psl) {
+        Emit(a, op.ghost_load_site, PairClass::kStoreLoad, locks, s->held);
+      }
     }
     if (op.load_site >= 0) {
       ApplyLoadSite(op.load_site, s);
@@ -1159,6 +1236,59 @@ class Dataflow {
     if (op.store_site >= 0) {
       ApplyStoreSite(op.store_site, s);
     }
+    if (op.ghost_store_site >= 0 &&
+        (op.sem == OpSem::kStoreRelease || op.sem == OpSem::kRmwRelease)) {
+      s->psl[op.ghost_store_site] = s->held;
+    }
+  }
+
+  // Discharge semantics of one instrumented op under an explicit model,
+  // from MemoryModel's barrier/RMW effect tables. For lkmm this reproduces
+  // the parse-time kill bits exactly (asserted in tests/srcmodel_test.cc);
+  // weaker models turn hardware-guaranteed barriers into no-ops (smp_wmb on
+  // tso) and stronger ones upgrade them (every RMW is a full fence on tso).
+  static void DeriveKills(OpSem sem, const oemu::MemoryModel& m, bool* kill_store,
+                          bool* kill_load, bool* kill_sl) {
+    oemu::BarrierClass bc{false, false};
+    switch (sem) {
+      case OpSem::kWmb:
+        bc = m.EffectOf(oemu::BarrierType::kStoreBarrier);
+        break;
+      case OpSem::kRmb:
+        bc = m.EffectOf(oemu::BarrierType::kLoadBarrier);
+        break;
+      case OpSem::kMb:
+        bc = m.EffectOf(oemu::BarrierType::kFull);
+        break;
+      case OpSem::kStoreRelease:
+        bc = m.EffectOf(oemu::BarrierType::kRelease);
+        break;
+      case OpSem::kLoadAcquire:
+        bc = m.EffectOf(oemu::BarrierType::kAcquire);
+        break;
+      case OpSem::kRmwFull:
+      case OpSem::kRmwAcquire:
+      case OpSem::kRmwRelease:
+      case OpSem::kRmwRelaxed: {
+        oemu::RmwOrder order = sem == OpSem::kRmwFull      ? oemu::RmwOrder::kFull
+                               : sem == OpSem::kRmwAcquire ? oemu::RmwOrder::kAcquire
+                               : sem == OpSem::kRmwRelease ? oemu::RmwOrder::kRelease
+                                                           : oemu::RmwOrder::kRelaxed;
+        oemu::RmwEffect e = m.EffectOfRmw(order);
+        bc = {e.flush_before, e.advance_after};
+        break;
+      }
+      case OpSem::kNone:
+      case OpSem::kLoadRelaxed:
+      case OpSem::kStoreRelaxed:
+        // Plain accesses discharge nothing; the Alpha implied-load rule is
+        // a runtime obligation the syntactic model does not claim.
+        *kill_store = *kill_load = *kill_sl = false;
+        return;
+    }
+    *kill_store = bc.orders_stores;
+    *kill_load = bc.orders_loads;
+    *kill_sl = bc.orders_stores && bc.orders_loads;
   }
 
   struct LoopCtx {
@@ -1169,8 +1299,12 @@ class Dataflow {
   EvalState EvalStmts(const std::vector<Stmt>& stmts, EvalState s,
                       std::vector<EvalState>* returns, LoopCtx* loop) {
     for (const Stmt& st : stmts) {
-      if (!s.reachable) {
-        return s;
+      if (!s.reachable && st.kind != Stmt::Kind::kLabel) {
+        // Dead statements are skipped, but a label may resurrect the path
+        // with the states recorded at its gotos (labels nested deeper than
+        // the dead statement list are not resurrected — kernel-style `goto
+        // out` targets sit at the level their gotos exit to).
+        continue;
       }
       switch (st.kind) {
         case Stmt::Kind::kOp:
@@ -1183,11 +1317,11 @@ class Dataflow {
           bool take_then = true;
           bool take_else = true;
           if (st.cond == CondMode::kFixTrue) {
-            take_then = assume_fixed_;
-            take_else = !assume_fixed_;
+            take_then = opts_.assume_fixed;
+            take_else = !opts_.assume_fixed;
           } else if (st.cond == CondMode::kFixFalse) {
-            take_then = !assume_fixed_;
-            take_else = assume_fixed_;
+            take_then = !opts_.assume_fixed;
+            take_else = opts_.assume_fixed;
           }
           EvalState after_then = take_then ? EvalStmts(st.body, s, returns, loop) : EvalState{};
           if (!take_then) {
@@ -1239,6 +1373,28 @@ class Dataflow {
           }
           s.reachable = false;
           break;
+        case Stmt::Kind::kGoto: {
+          auto it = label_states_.find(st.label);
+          if (it == label_states_.end()) {
+            label_states_.emplace(st.label, s);
+            labels_changed_ = true;
+          } else {
+            EvalState merged = Merge(it->second, s);
+            if (!(merged == it->second)) {
+              it->second = std::move(merged);
+              labels_changed_ = true;
+            }
+          }
+          s.reachable = false;
+          break;
+        }
+        case Stmt::Kind::kLabel: {
+          auto it = label_states_.find(st.label);
+          if (it != label_states_.end()) {
+            s = Merge(s, it->second);
+          }
+          break;
+        }
       }
     }
     return s;
@@ -1247,12 +1403,25 @@ class Dataflow {
   FnSummary Summarize(const Function& fn) {
     FnSummary summary;
     cur_ = &summary;
-    EvalState entry;
-    entry.ps[kProbeStore] = {};
-    entry.pl[kProbeLoad] = {};
-    entry.psl[kProbeSl] = {};
+    label_states_.clear();
+    EvalState out;
     std::vector<EvalState> returns;
-    EvalState out = EvalStmts(fn.body, std::move(entry), &returns, nullptr);
+    // Goto fixpoint: re-evaluate until the per-label merged states are
+    // stable (first pass records each goto's state, second pass flows it
+    // into the label; backward gotos converge like loop bodies). Functions
+    // without gotos never set labels_changed_ and evaluate exactly once.
+    for (int iter = 0; iter < 4; ++iter) {
+      labels_changed_ = false;
+      returns.clear();
+      EvalState entry;
+      entry.ps[kProbeStore] = {};
+      entry.pl[kProbeLoad] = {};
+      entry.psl[kProbeSl] = {};
+      out = EvalStmts(fn.body, std::move(entry), &returns, nullptr);
+      if (!labels_changed_) {
+        break;
+      }
+    }
     for (EvalState& r : returns) {
       out = Merge(out, r);
     }
@@ -1286,8 +1455,10 @@ class Dataflow {
   }
 
   const FileModel& model_;
-  bool assume_fixed_;
+  DataflowOptions opts_;
   std::map<std::string, std::vector<std::size_t>> by_name_;
+  std::map<std::string, EvalState> label_states_;
+  bool labels_changed_ = false;
   std::vector<std::vector<std::size_t>> sccs_;
   std::map<std::size_t, FnSummary> summaries_;
   std::set<std::size_t> have_summary_;
@@ -1377,10 +1548,15 @@ void CollectExits(const std::vector<Stmt>& stmts, HeldLocks held,
         return;
       case Stmt::Kind::kBreak:
       case Stmt::Kind::kContinue:
+      case Stmt::Kind::kGoto:
         // Path leaves this statement list; treat like a fallthrough exit of
-        // the enclosing loop for balance purposes.
+        // the enclosing loop for balance purposes (a goto that jumps over an
+        // Unlock is exactly what the lock-imbalance rule should not excuse,
+        // and the fallthrough exit carries the held set to the check).
         fallthrough->push_back(held);
         return;
+      case Stmt::Kind::kLabel:
+        break;  // a jump target changes nothing about the held set here
     }
   }
   fallthrough->push_back(held);
@@ -1423,7 +1599,13 @@ FileModel ParseFile(const std::string& path, const std::string& contents) {
 }
 
 std::vector<SitePair> UnorderedPairs(const FileModel& model, bool assume_fixed) {
-  return Dataflow(model, assume_fixed).Run();
+  DataflowOptions opts;
+  opts.assume_fixed = assume_fixed;
+  return Dataflow(model, opts).Run();
+}
+
+std::vector<SitePair> UnorderedPairs(const FileModel& model, const DataflowOptions& opts) {
+  return Dataflow(model, opts).Run();
 }
 
 std::vector<LockImbalance> CheckLockBalance(const FileModel& model) {

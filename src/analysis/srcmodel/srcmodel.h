@@ -30,6 +30,10 @@
 #include <string>
 #include <vector>
 
+namespace ozz::oemu {
+class MemoryModel;
+}  // namespace ozz::oemu
+
 namespace ozz::analysis::srcmodel {
 
 // Normalizes a path to its "src/..." suffix so audit sites join against
@@ -54,15 +58,47 @@ enum class CondMode {
   kFixFalse,  // `if (!fixed_)`: then-arm iff !assume_fixed
 };
 
+// Memory-model meaning of one instrumentation macro, recorded on the op so
+// consumers can re-derive barrier effects under a non-LKMM model
+// (MemoryModel::EffectOf / EffectOfRmw) instead of trusting the parse-time
+// kill bits, which encode the LKMM table.
+enum class OpSem {
+  kNone,  // lock ops, calls
+  kLoadRelaxed,
+  kLoadAcquire,
+  kStoreRelaxed,
+  kStoreRelease,
+  kRmwFull,
+  kRmwAcquire,
+  kRmwRelease,
+  kRmwRelaxed,
+  kWmb,
+  kRmb,
+  kMb,
+};
+
 // A primitive step in a function body.
 struct Op {
   enum class Kind { kAccess, kBarrier, kLockEnter, kLockExit, kCall };
   Kind kind = Kind::kAccess;
+  OpSem sem = OpSem::kNone;  // instrumentation semantics (kAccess/kBarrier)
   int line = 0;
   int store_site = -1;  // index into FileModel::sites, -1 if none
   int load_site = -1;
+  // Sites the op touches but whose same-class (S-S / L-L) ordering the op
+  // itself guarantees (the load of an acquire, the store of a release, both
+  // halves of a full RMW). The S-S / L-L lattices ignore them; the
+  // store->load lattice still sees the half the op's one-way semantics
+  // leave open (acquire-ish loads close pending S-L pairs, release-ish
+  // stores open them — SB is possible through either). Site enumeration
+  // (conflicting-pair grouping, must-hold locksets, the race analyzer's
+  // cross-thread access relevance) sees them like any other site.
+  int ghost_store_site = -1;
+  int ghost_load_site = -1;
   // Pending-pair classes this op discharges (applied before its own sites
   // are considered): acquire/release/full semantics and pure barriers.
+  // These are the LKMM effects; a model-parameterized dataflow recomputes
+  // them from `sem` instead.
   bool kill_store = false;  // smp_wmb / smp_mb / release / full RMW
   bool kill_load = false;   // smp_rmb / smp_mb / acquire / full RMW
   bool kill_sl = false;     // smp_mb / full RMW only (store->load class)
@@ -72,11 +108,12 @@ struct Op {
 };
 
 struct Stmt {
-  enum class Kind { kOp, kBranch, kLoop, kReturn, kBreak, kContinue, kBlock };
+  enum class Kind { kOp, kBranch, kLoop, kReturn, kBreak, kContinue, kBlock, kGoto, kLabel };
   Kind kind = Kind::kOp;
   int line = 0;
   Op op;                        // kOp
   CondMode cond = CondMode::kGeneric;  // kBranch
+  std::string label;            // kGoto target / kLabel name
   std::vector<Stmt> body;       // kBranch then-arm, kLoop body, kBlock
   std::vector<Stmt> else_body;  // kBranch
 };
@@ -117,6 +154,26 @@ struct SitePair {
   }
 };
 
+// Tuning knobs for the dataflow. The defaults reproduce the historical
+// (PR 4) audit behavior bit-for-bit.
+struct DataflowOptions {
+  bool assume_fixed = false;
+  // When set, per-op discharge semantics come from the model's barrier/RMW
+  // effect tables and only the pair classes the model's relaxation matrix
+  // relaxes are tracked (an S-S pair cannot exist under tso). Null keeps
+  // the parse-time LKMM kill bits — for lkmm the two paths are equivalent
+  // (asserted in tests/srcmodel_test.cc). Loads never discharge anything in
+  // either path: the Alpha implied-load rule is a runtime obligation the
+  // syntactic model deliberately does not claim.
+  const oemu::MemoryModel* model = nullptr;
+  // The audit suppresses pairs whose two members share a held lock (the
+  // critical section serializes the pair against *lock-taking* observers).
+  // The race analyzer disables this: against a lockless reader the lock
+  // orders nothing, and lockedness is decided per cross-thread pair by the
+  // lockset tier (src/analysis/srcmodel/locks.h) instead.
+  bool suppress_locked = true;
+};
+
 // Runs the barrier-availability dataflow over every function in the file
 // (interprocedural within the file — subsystem method names collide across
 // files, and each subsystem is a single translation unit) under the given
@@ -124,6 +181,9 @@ struct SitePair {
 // Same-target pairs (coherence-ordered) and pairs whose members share a
 // held lock are excluded.
 std::vector<SitePair> UnorderedPairs(const FileModel& model, bool assume_fixed);
+
+// As above, with explicit options (memory model, lock suppression).
+std::vector<SitePair> UnorderedPairs(const FileModel& model, const DataflowOptions& opts);
 
 // A lock entered but not exited on some path to a return — input to the
 // lint's `lock-imbalance` rule. Only explicit `.Lock()` / `.Unlock()` calls

@@ -166,4 +166,20 @@ std::vector<GuideSite> GuideSitesFromReport(const srcmodel::AuditReport& report)
   return out;
 }
 
+std::vector<GuideSite> GuideSitesFromRaces(const srcmodel::RaceReport& report) {
+  std::vector<GuideSite> out;
+  std::set<GuideKey> seen;
+  auto add = [&](const srcmodel::AccessSite& site) {
+    GuideKey key = KeyOf(site);
+    if (seen.insert(key).second) {
+      out.push_back(GuideSite{key.first, key.second});
+    }
+  };
+  for (const srcmodel::RacePair& pair : report.races) {  // gated come first
+    add(pair.first);
+    add(pair.second);
+  }
+  return out;
+}
+
 }  // namespace ozz::fuzz

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/analysis/srcmodel/audit.h"
+#include "src/analysis/srcmodel/races.h"
 #include "src/fuzz/fuzzer.h"
 
 namespace ozz::fuzz {
@@ -48,6 +49,12 @@ std::string CoverageGapJsonMember(const CoverageGap& gap);
 // the audit's pairs, fix-gated pairs first. The fuzzer tracks live which of
 // them its hints have covered, so no pre-filtering by coverage is needed.
 std::vector<GuideSite> GuideSitesFromReport(const analysis::srcmodel::AuditReport& report);
+
+// Guide sites for `ozz_fuzz --race-guide`: the de-duplicated endpoints of
+// the race analyzer's cross-thread racy pairs (fix-gated first — the report
+// is already sorted that way). Same contract as the audit guide: a pure
+// priority boost, never a prune.
+std::vector<GuideSite> GuideSitesFromRaces(const analysis::srcmodel::RaceReport& report);
 
 }  // namespace ozz::fuzz
 

@@ -9,6 +9,7 @@
 #include "src/osk/subsys/rdma.h"
 #include "src/osk/subsys/rds.h"
 #include "src/osk/subsys/ringbuf.h"
+#include "src/osk/subsys/seqlock.h"
 #include "src/osk/subsys/smc.h"
 #include "src/osk/subsys/synthetic.h"
 #include "src/osk/subsys/tls.h"
@@ -35,6 +36,7 @@ void InstallDefaultSubsystems(Kernel& kernel) {
   kernel.Install(MakeMqSbitmapSubsystem());
   kernel.Install(MakeFsFdtableSubsystem());
   kernel.Install(MakeRingbufSubsystem());
+  kernel.Install(MakeSeqlockSubsystem());
   kernel.Install(MakeRdmaSubsystem());
   kernel.Install(MakeBufferHeadSubsystem());
   kernel.Install(MakeSyntheticSubsystem());

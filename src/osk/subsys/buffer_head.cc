@@ -61,9 +61,11 @@ class BufferHeadSubsystem : public Subsystem {
     // Pin the page (fully ordered, like get_page + lock_page): the freer
     // backs off while a writer is in flight.
     (void)OSK_RMW(page_->ref, oemu::RmwOrder::kFull, RmwFnAdd, 1ull);
+    // ozz-lint: allow-mixed — modelled buffer_head code reads the head plain under the ref pin
     BufferHead* bh = AsBh(OSK_LOAD(page_->buffers));
     if (bh == nullptr) {
       bh = k.New<BufferHead>("alloc_buffer_head");
+      // ozz-lint: allow-mixed — first attach; the ref RMW above serializes allocators
       OSK_STORE(page_->buffers, AsBits(bh));
     }
     k.Deref(bh, "lock_buffer");
@@ -98,6 +100,7 @@ class BufferHeadSubsystem : public Subsystem {
       return 0;
     }
     if (OSK_TEST_BIT(bh->b_state, kLockBit)) {
+      // ozz-lint: allow-mixed — put-back under the ref pin, mirroring the plain kernel store
       OSK_STORE(page_->buffers, AsBits(bh));  // still locked: put it back
       return kEBusy;
     }

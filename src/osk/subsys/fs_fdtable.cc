@@ -57,6 +57,7 @@ class FsFdtableSubsystem : public Subsystem {
   long Open(Kernel& k) {
     u32 slot = kMaxFds;
     for (u32 i = 0; i < kMaxFds; ++i) {
+      // ozz-lint: allow-mixed — modelled kernel scans the table plain; the slot is republished below
       if (OSK_LOAD(fdt_->fd[i]) == nullptr) {
         slot = i;
         break;
@@ -69,6 +70,7 @@ class FsFdtableSubsystem : public Subsystem {
     OSK_STORE(f->f_mode, 0444);
     OSK_STORE(f->f_op, &kGenericFops);
     OSK_SMP_WMB();  // publish-side ordering is correct even in the buggy form
+    // ozz-lint: allow-mixed — plain publish is the modelled pre-patch fs/file.c code
     OSK_STORE(fdt_->fd[slot], f);
     return static_cast<long>(slot);
   }
@@ -77,6 +79,7 @@ class FsFdtableSubsystem : public Subsystem {
   // lets the dependent f_op/f_mode loads be satisfied with pre-publication
   // (poison) contents on Alpha-class reordering.
   long Read(Kernel& k, u32 fd) {
+    // ozz-lint: allow-mixed — the buggy form's plain slot load IS the planted bug's surface
     File* f = fixed_ ? OSK_LOAD_ACQUIRE(fdt_->fd[fd]) : OSK_LOAD(fdt_->fd[fd]);
     if (f == nullptr) {
       return kEBadf;

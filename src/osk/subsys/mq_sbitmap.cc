@@ -122,6 +122,7 @@ class MqSbitmapSubsystem : public Subsystem {
     if (fixed_) {
       OSK_SMP_WMB();  // the patch: instance writes complete before the clear
     }
+    // ozz-lint: allow-mixed — plain completion store is the modelled pre-patch blk-mq code
     OSK_STORE(s->state, kCompleted);
     return kOk;
   }

@@ -1,0 +1,107 @@
+// Seqlock subsystem: spinlock-serialized writer, lockless reader.
+#include "src/osk/subsys/seqlock.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+#include "src/osk/spinlock.h"
+
+namespace ozz::osk {
+namespace {
+
+// Invariant: data2 == data1 + 1 outside a write section. The writer updates
+// both words under `lock`; the sequence is odd while they are inconsistent.
+struct SeqlockData {
+  SpinLock lock;
+  oemu::Cell<u64> seq;
+  oemu::Cell<u64> data1;
+  oemu::Cell<u64> data2;
+};
+
+}  // namespace
+
+class SeqlockSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "seqlock"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("seqlock");
+    sl_ = kernel.New<SeqlockData>("seqlock_init");
+    sl_->lock.InitClass(kernel, "seqlock_writer");
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
+    sl_->data1.set_raw(0);
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
+    sl_->data2.set_raw(1);
+
+    SyscallDesc update;
+    update.name = "seqlock$update";
+    update.subsystem = name();
+    update.args.push_back(ArgDesc::IntRange("value", 1, 1 << 20));
+    update.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Update(k, static_cast<u64>(args[0]));
+    };
+    kernel.table().Add(std::move(update));
+
+    SyscallDesc read;
+    read.name = "seqlock$read";
+    read.subsystem = name();
+    read.fn = [this](Kernel& k, const std::vector<i64>&) { return Read(k); };
+    kernel.table().Add(std::move(read));
+  }
+
+  // write_seqlock() + two-word update + write_sequnlock(). The spinlock
+  // excludes other writers (no odd-check needed), but readers never take it:
+  // only the seqcount barriers order the data stores against the sequence,
+  // and the buggy form omits them.
+  long Update(Kernel& k, u64 value) {
+    FunctionContext fn("seqlock_update");
+    SpinGuard g(k, sl_->lock);
+    u64 s = OSK_LOAD(sl_->seq);
+    OSK_STORE(sl_->seq, s + 1);
+    if (fixed_) {
+      OSK_SMP_WMB();  // data stores must not precede the odd sequence
+    }
+    OSK_STORE(sl_->data1, value);
+    OSK_STORE(sl_->data2, value + 1);
+    if (fixed_) {
+      OSK_SMP_WMB();  // data stores must drain before the even sequence
+    }
+    OSK_STORE(sl_->seq, s + 2);
+    return kOk;
+  }
+
+  // read_seqbegin() / read_seqretry() without any lock.
+  long Read(Kernel& k) {
+    FunctionContext fn("seqlock_read");
+    u64 s1 = OSK_LOAD(sl_->seq);
+    if (s1 & 1) {
+      return kEAgain;  // writer mid-section
+    }
+    if (fixed_) {
+      OSK_SMP_RMB();  // data loads must not precede the first seq check
+    }
+    u64 d1 = OSK_LOAD(sl_->data1);
+    u64 d2 = OSK_LOAD(sl_->data2);
+    if (fixed_) {
+      OSK_SMP_RMB();  // data loads must complete before the re-check
+    }
+    u64 s2 = OSK_LOAD(sl_->seq);
+    if (s1 != s2) {
+      return kEAgain;
+    }
+    // Both sequence checks passed, so the pair must be consistent; a torn
+    // pair here means a data store drained after the even sequence (or a
+    // data load was satisfied from before the window).
+    k.BugOn(d2 != d1 + 1, "seqlock read tore (data2 != data1 + 1)");
+    return static_cast<long>(d1 & 0x7fffffff);
+  }
+
+ private:
+  SeqlockData* sl_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeSeqlockSubsystem() {
+  return std::make_unique<SeqlockSubsystem>();
+}
+
+}  // namespace ozz::osk

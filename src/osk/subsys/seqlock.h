@@ -1,0 +1,22 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_SEQLOCK_H_
+#define OZZ_SRC_OSK_SUBSYS_SEQLOCK_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// A seqlock in the include/linux/seqlock.h sense: writers serialize on a real
+// spinlock and bump the sequence around a two-word update; readers take no
+// lock at all and validate the sequence before and after. The spinlock makes
+// the writer-side store pairs *locked* for the static race analyzer — but the
+// lock orders nothing against the lockless reader, so with the write_seqcount
+// barriers missing, delayed data stores can drain after the even sequence
+// and a reader that passes both checks still returns a torn pair
+// (data2 != data1 + 1). Fixed key: "seqlock".
+std::unique_ptr<Subsystem> MakeSeqlockSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_SEQLOCK_H_

@@ -197,6 +197,7 @@ class TlsSubsystem : public Subsystem {
     if (stopped == 0) {
       return 0;
     }
+    // ozz-lint: allow-mixed — the buggy form's plain sk_err load IS the planted bug's surface
     i32 err = OSK_LOAD(sk->sk_err);
     if (err == 0) {
       u64 n = OSK_LOAD(sk->err_anomalies);

@@ -49,6 +49,7 @@ class UnixSockSubsystem : public Subsystem {
   // net/unix/af_unix.c: unix_bind() — the writer side is correctly ordered
   // (initialize the addr, wmb, publish the pointer).
   long Bind(Kernel& k, u32 len) {
+    // ozz-lint: allow-mixed — racy existence check; rebinding is rejected again under publication
     if (OSK_LOAD(u_->addr) != nullptr) {
       return kEAlready;
     }
@@ -56,6 +57,7 @@ class UnixSockSubsystem : public Subsystem {
     OSK_STORE(a->len, len);
     OSK_STORE(a->path, k.New<UnixPath>("unix_bind_path"));
     OSK_SMP_WMB();  // writer barrier present even in the buggy form
+    // ozz-lint: allow-mixed — plain publish is the modelled pre-patch af_unix code
     OSK_STORE(u_->addr, a);
     return kOk;
   }
@@ -64,6 +66,7 @@ class UnixSockSubsystem : public Subsystem {
   // of u->addr; on Alpha-class reordering the dependent loads of a->path and
   // a->len can observe the pre-initialization contents.
   long Getname(Kernel& k) {
+    // ozz-lint: allow-mixed — the buggy form's plain addr load IS the planted bug's surface
     UnixAddr* a = fixed_ ? OSK_LOAD_ACQUIRE(u_->addr) : OSK_LOAD(u_->addr);
     if (a == nullptr) {
       return kENoEnt;

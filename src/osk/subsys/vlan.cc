@@ -47,6 +47,7 @@ class VlanSubsystem : public Subsystem {
 
   // net/8021q/vlan.c: register_vlan_dev() -> vlan_group_set_device().
   long AddDevice(Kernel& k) {
+    // ozz-lint: allow-mixed — single registrar; the count is only grown by this function
     u32 n = OSK_LOAD(grp_->nr_vlan_devs);
     if (n >= kMaxVlans) {
       return kENoMem;
@@ -57,6 +58,7 @@ class VlanSubsystem : public Subsystem {
     if (fixed_) {
       OSK_SMP_WMB();
     }
+    // ozz-lint: allow-mixed — plain count publish is the modelled pre-patch 8021q code
     OSK_STORE(grp_->nr_vlan_devs, n + 1);
     return static_cast<long>(n);
   }
@@ -65,6 +67,7 @@ class VlanSubsystem : public Subsystem {
   // The patch annotates both sides (WRITE_ONCE/READ_ONCE + barriers): the
   // annotated count read also pins the dependent slot load (Case 6).
   long GetDevice(Kernel& k, u32 idx) {
+    // ozz-lint: allow-mixed — the buggy form's plain count load IS the planted bug's surface
     u32 n = fixed_ ? OSK_READ_ONCE(grp_->nr_vlan_devs) : OSK_LOAD(grp_->nr_vlan_devs);
     if (idx >= n) {
       return kENoEnt;

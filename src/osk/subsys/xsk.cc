@@ -109,6 +109,7 @@ class XskSubsystem : public Subsystem {
   // plain state load, so its dependent ring load can also be reordered; the
   // patch annotates the state check (Case 6 then pins the ring load).
   long GenericXmit(Kernel& k, XdpSock* xs) {
+    // ozz-lint: allow-mixed — the buggy form's plain state load IS the planted bug's surface
     u32 state = fixed_ ? OSK_READ_ONCE(xs->state) : OSK_LOAD(xs->state);
     if (state != kXskBound) {
       return kENotConn;

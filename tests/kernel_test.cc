@@ -229,8 +229,9 @@ TEST(PerCpuTest, SlotsAreDistinctAndHackForcesZero) {
 TEST(SubsystemTest, DefaultInstallRegistersAll) {
   Kernel k;
   InstallDefaultSubsystems(k);
-  EXPECT_EQ(k.SubsystemNames().size(), 17u);
+  EXPECT_EQ(k.SubsystemNames().size(), 18u);
   EXPECT_NE(k.Find("watch_queue"), nullptr);
+  EXPECT_NE(k.Find("seqlock"), nullptr);
   EXPECT_NE(k.Find("tls"), nullptr);
   EXPECT_EQ(k.Find("nope"), nullptr);
   EXPECT_GT(k.table().all().size(), 25u);

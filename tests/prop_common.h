@@ -1,0 +1,321 @@
+// Shared property-test harness: the random two-thread litmus-program
+// generator, the concrete OEMU brute-force runner (every delay/read-old spec
+// subset crossed with every interleaving), and the concrete observability
+// oracle. Extracted from the axiomatic cross-validation test (PR 6) so the
+// static race analyzer's property test (tests/races_property_test.cc) can
+// brute-force the *same* program population against its source-level
+// verdicts. Header-only; every definition is inline (each test binary is its
+// own translation unit).
+#ifndef OZZ_TESTS_PROP_COMMON_H_
+#define OZZ_TESTS_PROP_COMMON_H_
+
+#include <algorithm>
+#include <random>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "src/analysis/witness.h"
+#include "src/oemu/instr.h"
+#include "src/oemu/runtime.h"
+
+namespace ozz::analysis::prop {
+
+struct POp {
+  enum Kind : u8 { kLd, kSt, kLdOnce, kStOnce, kLdAcq, kStRel, kWmb, kRmb, kMb };
+  Kind kind = kLd;
+  int cell = 0;
+  u64 value = 0;
+  InstrId instr = kInvalidInstr;
+
+  bool IsStoreOp() const { return kind == kSt || kind == kStOnce || kind == kStRel; }
+  bool IsLoadOp() const { return kind == kLd || kind == kLdOnce || kind == kLdAcq; }
+  bool IsAccessOp() const { return IsStoreOp() || IsLoadOp(); }
+};
+
+inline constexpr int kCells = 3;
+alignas(8) inline u64 g_cells[kCells];
+
+inline uptr CellAddr(int c) { return reinterpret_cast<uptr>(&g_cells[c]); }
+
+inline InstrId PoolInstr(int thread, std::size_t slot) {
+  static std::vector<InstrId> ids[2];
+  while (ids[thread].size() <= slot) {
+    ids[thread].push_back(oemu::InstrRegistry::Register(
+        oemu::InstrKind::kLoad, "prop", std::source_location::current()));
+  }
+  return ids[thread][slot];
+}
+
+inline void ExecOp(oemu::Runtime& rt, const POp& op) {
+  uptr a = CellAddr(op.cell);
+  switch (op.kind) {
+    case POp::kLd:
+      rt.Load(op.instr, a, 8, /*annotated=*/false);
+      break;
+    case POp::kLdOnce:
+      rt.Load(op.instr, a, 8, /*annotated=*/true);
+      break;
+    case POp::kLdAcq:
+      rt.LoadAcquire(op.instr, a, 8);
+      break;
+    case POp::kSt:
+      rt.Store(op.instr, a, 8, op.value, /*annotated=*/false);
+      break;
+    case POp::kStOnce:
+      rt.Store(op.instr, a, 8, op.value, /*annotated=*/true);
+      break;
+    case POp::kStRel:
+      rt.StoreRelease(op.instr, a, 8, op.value);
+      break;
+    case POp::kWmb:
+      rt.Barrier(op.instr, oemu::BarrierType::kStoreBarrier);
+      break;
+    case POp::kRmb:
+      rt.Barrier(op.instr, oemu::BarrierType::kLoadBarrier);
+      break;
+    case POp::kMb:
+      rt.Barrier(op.instr, oemu::BarrierType::kFull);
+      break;
+  }
+}
+
+struct Prog {
+  std::vector<POp> t0, t1;
+};
+
+inline Prog GenProg(std::mt19937& rng) {
+  Prog p;
+  auto gen = [&rng](int thread, std::size_t n) {
+    std::vector<POp> ops;
+    for (std::size_t i = 0; i < n; i++) {
+      POp op;
+      op.kind = static_cast<POp::Kind>(rng() % 9);
+      op.cell = static_cast<int>(rng() % kCells);
+      op.instr = PoolInstr(thread, i);
+      ops.push_back(op);
+    }
+    return ops;
+  };
+  for (;;) {
+    p.t0 = gen(0, 3 + rng() % 2);
+    p.t1 = gen(1, 2 + (rng() % 4 == 0 ? 1 : 0));
+    std::size_t acc = 0;
+    for (const POp& op : p.t0) {
+      acc += op.IsAccessOp() ? 1 : 0;
+    }
+    if (acc >= 2) {
+      break;
+    }
+  }
+  u64 next = 1;
+  for (POp& op : p.t0) {
+    if (op.IsStoreOp()) {
+      op.value = next++;
+    }
+  }
+  for (POp& op : p.t1) {
+    if (op.IsStoreOp()) {
+      op.value = next++;
+    }
+  }
+  return p;
+}
+
+struct RunResult {
+  oemu::Trace t0, t1;
+};
+
+// One concrete run under `model`: `specs` selects which delay/read-old
+// controls are armed (bit i over delay_targets + read_targets), `order` is a
+// bitmask over t0.size()+t1.size()+2 steps (bit set = thread-1 step; each
+// thread's last step is its OnSyscallExit).
+inline RunResult RunConcrete(const Prog& p, const std::vector<InstrId>& delay_targets,
+                             const std::vector<InstrId>& read_targets, u32 specs, u32 order,
+                             const oemu::MemoryModel* model = nullptr) {
+  for (u64& c : g_cells) {
+    c = 0;
+  }
+  oemu::Runtime::Options rt_opts;
+  rt_opts.model = model;
+  oemu::Runtime rt(rt_opts);
+  rt.Activate(nullptr);
+  rt.OnSyscallEnter(0);
+  rt.OnSyscallEnter(1);
+  rt.StartRecording(0);
+  rt.StartRecording(1);
+  for (std::size_t i = 0; i < delay_targets.size(); i++) {
+    if ((specs >> i) & 1) {
+      rt.DelayStoreAt(0, delay_targets[i], 1);
+    }
+  }
+  for (std::size_t i = 0; i < read_targets.size(); i++) {
+    if ((specs >> (delay_targets.size() + i)) & 1) {
+      rt.ReadOldValueAt(0, read_targets[i], 1);
+    }
+  }
+  std::size_t i0 = 0, i1 = 0;
+  const std::size_t steps = p.t0.size() + p.t1.size() + 2;
+  for (std::size_t s = 0; s < steps; s++) {
+    int t = (order >> s) & 1;
+    oemu::Runtime::OverrideThreadForTesting(t);
+    if (t == 0) {
+      if (i0 < p.t0.size()) {
+        ExecOp(rt, p.t0[i0]);
+      } else {
+        rt.OnSyscallExit(0);
+      }
+      i0++;
+    } else {
+      if (i1 < p.t1.size()) {
+        ExecOp(rt, p.t1[i1]);
+      } else {
+        rt.OnSyscallExit(1);
+      }
+      i1++;
+    }
+  }
+  oemu::Runtime::OverrideThreadForTesting(kAnyThread);
+  RunResult r;
+  r.t0 = rt.StopRecording(0);
+  r.t1 = rt.StopRecording(1);
+  rt.Deactivate();
+  return r;
+}
+
+// Concrete observability oracle, mirroring the axiomatic path predicate on
+// the actual execution: nodes are the run's accesses to the pair's two
+// locations, edges are external rf (by unique store-value provenance), co
+// (by commit timestamps), fr (derived), and observer program order. True
+// when a chain second -> ... -> first passes through the observer.
+inline bool ConcreteWitness(const RunResult& run, uptr la, uptr lb, InstrId first_instr,
+                            InstrId second_instr) {
+  struct CN {
+    int thread;
+    bool store;
+    InstrId instr;
+    u64 value;
+    uptr addr;
+    u64 commit_ts = 0;
+  };
+  std::vector<CN> nodes;
+  auto collect = [&](const oemu::Trace& t, int thread) {
+    for (const oemu::Event& e : t) {
+      if (e.IsAccess() && (e.addr == la || e.addr == lb)) {
+        nodes.push_back({thread, e.IsStore(), e.instr, e.value, e.addr});
+      }
+    }
+  };
+  collect(run.t0, 0);
+  collect(run.t1, 1);
+  for (const oemu::Trace* t : {&run.t0, &run.t1}) {
+    for (const oemu::Event& e : *t) {
+      if (!e.IsCommit() || (e.addr != la && e.addr != lb)) {
+        continue;
+      }
+      for (CN& n : nodes) {
+        if (n.store && n.instr == e.instr) {
+          n.commit_ts = e.timestamp;
+        }
+      }
+    }
+  }
+  const std::size_t n_acc = nodes.size();
+  const std::size_t nlocs = la == lb ? 1 : 2;
+  auto loc_idx = [&](uptr a) { return a == la ? std::size_t{0} : std::size_t{1}; };
+  TimeGraph g(n_acc + nlocs);
+  u64 obs_mask = 0;
+  std::size_t src = static_cast<std::size_t>(-1), dst = src;
+  for (std::size_t v = 0; v < n_acc; v++) {
+    if (nodes[v].thread == 1) {
+      obs_mask |= u64{1} << v;
+    }
+    if (nodes[v].thread == 0 && nodes[v].instr == second_instr) {
+      src = v;
+    }
+    if (nodes[v].thread == 0 && nodes[v].instr == first_instr) {
+      dst = v;
+    }
+  }
+  if (src >= n_acc || dst >= n_acc || obs_mask == 0) {
+    return false;
+  }
+  // Observer program order.
+  std::size_t prev = static_cast<std::size_t>(-1);
+  for (std::size_t v = 0; v < n_acc; v++) {
+    if (nodes[v].thread != 1) {
+      continue;
+    }
+    if (prev != static_cast<std::size_t>(-1)) {
+      g.AddEdge(prev, v);
+    }
+    prev = v;
+  }
+  // co per location by commit timestamp, rooted at the init pseudo-store.
+  std::vector<std::size_t> co_next(n_acc + nlocs, static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < nlocs; k++) {
+    uptr a = k == 0 ? la : lb;
+    std::vector<std::size_t> stores;
+    for (std::size_t v = 0; v < n_acc; v++) {
+      if (nodes[v].store && nodes[v].addr == a) {
+        stores.push_back(v);
+      }
+    }
+    std::sort(stores.begin(), stores.end(), [&](std::size_t x, std::size_t y) {
+      return nodes[x].commit_ts < nodes[y].commit_ts;
+    });
+    std::size_t p = n_acc + k;
+    for (std::size_t s : stores) {
+      g.AddEdge(p, s);
+      co_next[p] = s;
+      p = s;
+    }
+  }
+  // rf by value provenance; fr derived.
+  for (std::size_t v = 0; v < n_acc; v++) {
+    if (nodes[v].store) {
+      continue;
+    }
+    std::size_t w = static_cast<std::size_t>(-1);
+    if (nodes[v].value == 0) {
+      w = n_acc + loc_idx(nodes[v].addr);
+    } else {
+      for (std::size_t u = 0; u < n_acc; u++) {
+        if (nodes[u].store && nodes[u].value == nodes[v].value) {
+          w = u;
+          break;
+        }
+      }
+      if (w == static_cast<std::size_t>(-1)) {
+        continue;  // value from outside the pair's locations: impossible here
+      }
+      if (nodes[w].thread != nodes[v].thread) {
+        g.AddEdge(w, v);
+      }
+    }
+    if (co_next[w] != static_cast<std::size_t>(-1)) {
+      g.AddEdge(v, co_next[w]);
+    }
+  }
+  return !g.PathThrough(src, dst, obs_mask).empty();
+}
+
+inline std::string DescribeProg(const Prog& p) {
+  auto one = [](const std::vector<POp>& ops) {
+    const char* names[] = {"Ld", "St", "LdOnce", "StOnce", "LdAcq", "StRel", "wmb", "rmb", "mb"};
+    std::string s;
+    for (const POp& op : ops) {
+      s += names[op.kind];
+      if (op.IsAccessOp()) {
+        s += "(c" + std::to_string(op.cell) + ")";
+      }
+      s += "; ";
+    }
+    return s;
+  };
+  return "T0: " + one(p.t0) + " T1: " + one(p.t1);
+}
+
+}  // namespace ozz::analysis::prop
+
+#endif  // OZZ_TESTS_PROP_COMMON_H_

@@ -45,6 +45,7 @@ inline constexpr Scenario kBugScenarios[] = {
     {"unix_t4_9", "unix", "unix_getname", "unix", "L-L"},
     // Extensions: the seqlock torn-read ([62]-style) and the Fig. 10 SB bug.
     {"ringbuf_torn_read", "ringbuf", "seqcount read tore", "ringbuf", "S-S"},
+    {"seqlock_torn_read", "seqlock", "seqlock read tore", "seqlock", "S-S"},
     {"rdma_hw_t45", "rdma", "irdma_poll_cq", "rdma", "L-L"},
     {"buffer_memorder_82", "buffer", "slab-use-after-free Write", "buffer", "S-S"},
     {"synthetic_sb_fig10", "synthetic", "SB litmus violated", "synthetic", "S-S"},

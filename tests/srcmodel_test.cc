@@ -14,6 +14,7 @@
 #include "src/analysis/srcmodel/audit.h"
 #include "src/analysis/srcmodel/srcmodel.h"
 #include "src/analysis/srcmodel/srcparse.h"
+#include "src/oemu/memory_model.h"
 #include "tests/scenarios.h"
 
 namespace ozz::analysis::srcmodel {
@@ -495,6 +496,116 @@ TEST(SrcModelTest, SpinGuardNeverImbalanced) {
       "  return 0;\n"
       "}\n");
   EXPECT_TRUE(CheckLockBalance(m).empty());
+}
+
+// --- goto / label -----------------------------------------------------------
+
+TEST(SrcModelTest, GotoSkippingBarrierKeepsPairUnordered) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (s->c) { goto out; }\n"
+      "  OSK_SMP_WMB();\n"
+      "out:\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, BarrierOnEveryPathToLabelOrders) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (s->c) {\n"
+      "    OSK_SMP_WMB();\n"
+      "    goto out;\n"
+      "  }\n"
+      "  OSK_SMP_WMB();\n"
+      "out:\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, BackwardGotoCarriesPairsAcrossIterations) {
+  // The (y, x) pair only exists across the backward edge: y stores on
+  // iteration N pair with x's store on iteration N+1, like a `while` body.
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "again:\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (s->c) {\n"
+      "    OSK_STORE(s->y, 2);\n"
+      "    goto again;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->y[S] -> F:s->x[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, BackwardGotoBarrierBeforeJumpOrdersTheBackEdge) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "again:\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (s->c) {\n"
+      "    OSK_STORE(s->y, 2);\n"
+      "    OSK_SMP_WMB();\n"
+      "    goto again;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->y[S] -> F:s->x[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, CodeAfterUnconditionalGotoIsDeadUntilLabel) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  goto out;\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "out:\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, GotoOverFixGatedBarrierStaysGated) {
+  // The error path jumps over the fix-gated wmb: buggy form unordered on the
+  // fall-through path too (no barrier at all), fixed form ordered on the
+  // fall-through path but the goto path still skips the barrier — the goto
+  // path has no store, so the fixed form is clean.
+  const char* src =
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  if (s->err) { goto fail; }\n"
+      "  if (fixed_) {\n"
+      "    OSK_SMP_WMB();\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "fail:\n"
+      "  return;\n"
+      "}\n";
+  EXPECT_TRUE(HasPair(Pairs(src, /*assume_fixed=*/false), "F:s->x[S] -> F:s->y[S]"));
+  EXPECT_FALSE(HasPair(Pairs(src, /*assume_fixed=*/true), "F:s->x[S] -> F:s->y[S]"));
+}
+
+// --- model-parameterized dataflow -------------------------------------------
+
+// The parse-time kill bits encode the LKMM effect table; routing the
+// discharge semantics through the lkmm MemoryModel object must reproduce
+// them bit-for-bit over the whole simulated kernel, in both fix modes.
+TEST(SrcModelTest, LkmmModelPathMatchesParseTimeKillBits) {
+  std::vector<SourceFile> files = LoadSourceDir(OZZ_SOURCE_DIR "/src/osk");
+  ASSERT_FALSE(files.empty());
+  for (const SourceFile& src : files) {
+    FileModel m = ParseFile(src.path, src.contents);
+    for (bool assume_fixed : {false, true}) {
+      DataflowOptions legacy;
+      legacy.assume_fixed = assume_fixed;
+      DataflowOptions via_model = legacy;
+      via_model.model = &oemu::MemoryModel::Lkmm();
+      EXPECT_EQ(UnorderedPairs(m, legacy), UnorderedPairs(m, via_model))
+          << src.path << " fixed=" << assume_fixed;
+    }
+  }
 }
 
 // --- path normalization -----------------------------------------------------

@@ -47,7 +47,8 @@ void Usage() {
       "  --no-axiomatic      skip the axiomatic witness engine / fence synthesis\n"
       "  --budget N          axiomatic executions budget per pair (default 1<<18)\n"
       "  --audit             run the source-level barrier audit instead (ozz_audit)\n"
-      "  --src DIR           source tree for --audit (default: src/osk)\n"
+      "  --races             run the static race & deadlock analyzer instead (ozz_races)\n"
+      "  --src DIR           source tree for --audit/--races (default: src/osk)\n"
       "  --list              print known subsystems and exit\n",
       oemu::MemoryModel::NamesForHelp().c_str());
 }
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   std::string audit_src = "src/osk";
   std::size_t max_pairs = 8;
   bool audit = false;
+  bool races = false;
   bool list = false;
   bool json = false;
   bool axiomatic = true;
@@ -145,6 +147,8 @@ int main(int argc, char** argv) {
       ax.max_executions = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--races") {
+      races = true;
     } else if (arg == "--src") {
       audit_src = next();
     } else if (arg == "--list") {
@@ -158,6 +162,24 @@ int main(int argc, char** argv) {
     } else {
       subsystem = arg;
     }
+  }
+
+  if (races) {
+    // Same report as the standalone ozz_races tool, focused on the chosen
+    // --model (the per-model matrix always covers every registered backend).
+    namespace srcmodel = analysis::srcmodel;
+    std::vector<srcmodel::SourceFile> files = srcmodel::LoadSourceDir(audit_src);
+    if (files.empty()) {
+      std::fprintf(stderr, "ozz_analyze: no .cc/.h files under '%s'\n", audit_src.c_str());
+      return 2;
+    }
+    srcmodel::RaceReport report = srcmodel::RunRaceAnalysis(files);
+    if (json) {
+      std::printf("%s", srcmodel::RaceReportJson(report).c_str());
+    } else {
+      std::printf("%s", srcmodel::FormatRaceText(report, model->name()).c_str());
+    }
+    return 0;
   }
 
   if (audit) {

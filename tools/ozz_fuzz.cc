@@ -39,7 +39,9 @@ void Usage() {
       "  --hack-migration    emulate per-CPU thread migration (Table 4 #6)\n"
       "  --hint-order X      heuristic | reverse | random (ablation)\n"
       "  --static-guide      boost STIs covering statically-suspicious untested pairs\n"
-      "  --guide-src DIR     source tree for --static-guide (default: src/osk)\n"
+      "  --race-guide        like --static-guide, seeded from the cross-thread race\n"
+      "                      analyzer (ozz_races) instead of the barrier audit\n"
+      "  --guide-src DIR     source tree for --static-guide/--race-guide (default: src/osk)\n"
       "  --seed-prog NAME    hunt around one scenario's seed program only\n"
       "  --save-dir DIR      write replayable crash specs into DIR\n"
       "  --trace-out DIR     write a reorder trace per MTI into DIR (see ozz_trace)\n"
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   std::string seed_prog;
   std::string guide_src = "src/osk";
   bool static_guide = false;
+  bool race_guide = false;
   bool list_syscalls = false;
   bool json = false;
 
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
                                                : fuzz::FuzzerOptions::HintOrder::kHeuristic;
     } else if (arg == "--static-guide") {
       static_guide = true;
+    } else if (arg == "--race-guide") {
+      race_guide = true;
     } else if (arg == "--guide-src") {
       guide_src = next();
     } else if (arg == "--seed-prog") {
@@ -120,12 +125,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (static_guide) {
+  if (static_guide || race_guide) {
     namespace srcmodel = analysis::srcmodel;
     std::vector<srcmodel::SourceFile> files = srcmodel::LoadSourceDir(guide_src);
     if (files.empty()) {
-      std::fprintf(stderr, "ozz_fuzz: --static-guide: no .cc/.h files under '%s'; unguided\n",
-                   guide_src.c_str());
+      std::fprintf(stderr, "ozz_fuzz: --%s-guide: no .cc/.h files under '%s'; unguided\n",
+                   race_guide ? "race" : "static", guide_src.c_str());
+    } else if (race_guide) {
+      options.static_guide = fuzz::GuideSitesFromRaces(srcmodel::RunRaceAnalysis(files));
     } else {
       options.static_guide = fuzz::GuideSitesFromReport(srcmodel::RunAudit(files));
     }

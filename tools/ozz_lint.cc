@@ -1,15 +1,17 @@
 // ozz_lint: instrumentation-discipline lint over simulated-kernel sources.
 //
 // Usage:
-//   ozz_lint [--model-discipline] FILE_OR_DIR...
+//   ozz_lint [--model-discipline | --mixed-access] FILE_OR_DIR...
 //
 // Default mode flags shared-state accesses that bypass the OSK_* macros
 // (see src/analysis/lint.h for the rules and suppression comments); it is
 // meant for simulated-kernel sources (src/osk). --model-discipline instead
 // flags direct calls to the LKMM inline-rule helpers (ClassOf) that bypass
 // the MemoryModel query points — that mode is safe over the whole src/
-// tree. Directories are scanned recursively for .cc/.h files. Exits 1 when
-// any finding is reported — suitable as a CI gate.
+// tree. --mixed-access runs the KCSAN-style marked/plain mixed-accessor
+// rule over simulated-kernel sources. Directories are scanned recursively
+// for .cc/.h files. Exits 1 when any finding is reported — suitable as a
+// CI gate.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -28,7 +30,9 @@ bool LintableFile(const fs::path& p) {
   return p.extension() == ".cc" || p.extension() == ".h";
 }
 
-int LintFile(const fs::path& path, bool model_discipline, std::size_t* findings) {
+enum class LintMode { kSource, kModelDiscipline, kMixedAccess };
+
+int LintFile(const fs::path& path, LintMode mode, std::size_t* findings) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "ozz_lint: cannot read %s\n", path.c_str());
@@ -36,9 +40,18 @@ int LintFile(const fs::path& path, bool model_discipline, std::size_t* findings)
   }
   std::ostringstream contents;
   contents << in.rdbuf();
-  std::vector<analysis::LintFinding> found =
-      model_discipline ? analysis::LintModelDiscipline(path.string(), contents.str())
-                       : analysis::LintSource(path.string(), contents.str());
+  std::vector<analysis::LintFinding> found;
+  switch (mode) {
+    case LintMode::kModelDiscipline:
+      found = analysis::LintModelDiscipline(path.string(), contents.str());
+      break;
+    case LintMode::kMixedAccess:
+      found = analysis::LintMixedAccess(path.string(), contents.str());
+      break;
+    case LintMode::kSource:
+      found = analysis::LintSource(path.string(), contents.str());
+      break;
+  }
   for (const analysis::LintFinding& f : found) {
     std::printf("%s\n", analysis::FormatFinding(f).c_str());
     ++*findings;
@@ -49,17 +62,19 @@ int LintFile(const fs::path& path, bool model_discipline, std::size_t* findings)
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool model_discipline = false;
+  LintMode mode = LintMode::kSource;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--model-discipline") {
-      model_discipline = true;
+      mode = LintMode::kModelDiscipline;
+    } else if (std::string(argv[i]) == "--mixed-access") {
+      mode = LintMode::kMixedAccess;
     } else {
       inputs.push_back(argv[i]);
     }
   }
   if (inputs.empty()) {
-    std::fprintf(stderr, "usage: ozz_lint [--model-discipline] FILE_OR_DIR...\n");
+    std::fprintf(stderr, "usage: ozz_lint [--model-discipline | --mixed-access] FILE_OR_DIR...\n");
     return 2;
   }
   std::size_t findings = 0;
@@ -71,14 +86,14 @@ int main(int argc, char** argv) {
       for (const fs::directory_entry& e : fs::recursive_directory_iterator(p)) {
         if (e.is_regular_file() && LintableFile(e.path())) {
           ++files;
-          if (int rc = LintFile(e.path(), model_discipline, &findings); rc != 0) {
+          if (int rc = LintFile(e.path(), mode, &findings); rc != 0) {
             return rc;
           }
         }
       }
     } else {
       ++files;
-      if (int rc = LintFile(p, model_discipline, &findings); rc != 0) {
+      if (int rc = LintFile(p, mode, &findings); rc != 0) {
         return rc;
       }
     }
