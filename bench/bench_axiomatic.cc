@@ -129,6 +129,9 @@ bool FenceMatches(const analysis::FenceSuggestion& fence, const char* reorder_ty
       return !stores;
     case analysis::FenceKind::kMb:
       return true;
+    case analysis::FenceKind::kMarkDep:
+      // A dependency-chain repair orders a load against its source load.
+      return !stores;
   }
   return false;
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Reorder-trace triage gate over the 22 known-bug scenarios (tests/scenarios.h).
+# Reorder-trace triage gate over the 23 known-bug scenarios (tests/scenarios.h).
 #
 # For every scenario this script hunts the bug with `ozz_fuzz --trace-out`
 # (same recipe as bug_scenarios_test: seed 99, budget 2500, stop at 1 bug)
@@ -44,6 +44,7 @@ unix_t4_9|unix||
 ringbuf_torn_read|ringbuf||
 seqlock_torn_read|seqlock||
 rdma_hw_t45|rdma||
+rcu_stale_read|rcu||
 buffer_memorder_82|buffer||
 synthetic_sb_fig10|synthetic||
 "
@@ -87,8 +88,8 @@ while IFS='|' read -r name seed pre_fixed hack; do
   fi
 done <<< "$SCENARIOS"
 
-if [[ "$total" -ne 22 ]]; then
-  echo "check_trace: scenario table out of sync ($total != 21)" >&2
+if [[ "$total" -ne 23 ]]; then
+  echo "check_trace: scenario table out of sync ($total != 23)" >&2
   fail=1
 fi
 

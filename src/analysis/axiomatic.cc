@@ -139,6 +139,32 @@ bool BuildSlice(const PairAnalysis& pa, std::size_t first, std::size_t second,
     if (flags != nullptr) {
       a.undelayable = e.IsStore() && flags->StoreUndelayable(idx);
       a.rmw_load = e.IsLoad() && flags->LoadUnversionable(idx);
+      // Resolve a syntactic dependency against the slice: the source load
+      // must itself be an admitted reorder-side load (po-earlier, so already
+      // pushed), and the model must honor the (kind, marked-head) link.
+      // Sources outside the slice drop the edge — permissive, hence sound.
+      if (e.HasDep()) {
+        const oemu::MemoryModel& model = flags->model();
+        const bool honored = e.IsLoad()
+                                 ? model.DepOrdersLoad(e.dep_kind, e.dep_marked)
+                                 : model.DepOrdersStore(e.dep_kind, e.dep_marked);
+        // Not honored as traced, but honorable if the chain head were a
+        // marked load: recorded separately for fence synthesis' cheaper
+        // repair (mark the head READ_ONCE instead of inserting a barrier).
+        const bool if_marked =
+            !honored && (e.IsLoad() ? model.DepOrdersLoad(e.dep_kind, /*src_marked=*/true)
+                                    : model.DepOrdersStore(e.dep_kind, /*src_marked=*/true));
+        if (honored || if_marked) {
+          for (std::size_t p = 0; p < out->events.size(); p++) {
+            const AxEvent& src = out->events[p];
+            if (src.thread == 0 && src.IsLoad() && src.instr == e.dep_instr &&
+                src.occurrence == e.dep_occurrence) {
+              (honored ? a.dep_on : a.dep_on_if_marked) = p;
+              break;
+            }
+          }
+        }
+      }
     }
     out->events.push_back(a);
     accesses++;
@@ -316,18 +342,23 @@ AxResult CheckSlice(const AxSlice& slice, const AxOptions& opts) {
       bool edge = false;
       if (a.IsLoad() && b.IsStore()) {
         // lkmm/tso/pso: loads are never delayed (§10.1 Case 7). armv8x
-        // relaxes load-store; a load-ordering barrier or the release store's
-        // own undelayability restores the edge.
-        edge = !rx.load_store ||
-               has_bar(pi, pj, /*stores=*/false) || b.undelayable;
+        // relaxes load-store; a load-ordering barrier, the release store's
+        // own undelayability, or a data/ctrl dependency on the load restores
+        // the edge (a store whose value or execution derives from a load
+        // cannot become visible before the load binds).
+        edge = !rx.load_store || has_bar(pi, pj, /*stores=*/false) ||
+               b.undelayable || b.dep_on == pi;
       } else if (a.IsStore() && b.IsStore()) {
         edge = !rx.store_store || SameLoc(a, b) ||
                has_bar(pi, pj, /*stores=*/true) || a.undelayable;
       } else if (a.IsLoad() && b.IsLoad()) {
         // Same-location loads get no *global* edge: their effective read
         // times can coincide; the per-location check owns their ordering.
+        // An address dependency pins the dependent load's bind after its
+        // source's (BuildSlice already applied the model's honor rules).
         edge = !SameLoc(a, b) &&
-               (!rx.load_load || has_bar(pi, pj, /*stores=*/false) || b.rmw_load);
+               (!rx.load_load || has_bar(pi, pj, /*stores=*/false) ||
+                b.rmw_load || b.dep_on == pi);
       } else if (rx.load_load) {
         edge = store_load_ordered(pi, pj, b.rmw_load);
       } else {

@@ -39,7 +39,11 @@
 //       followed by a load-ordering barrier before the load. Other backends
 //       strengthen rungs the model never relaxes (tso orders all
 //       store-store and load-load pairs) or weaken rungs it additionally
-//       relaxes (armv8x load->store needs a barrier). Full program order on
+//       relaxes (armv8x load->store needs a barrier). Honored syntactic
+//       dependencies (oemu::Event dep fields, filtered through the model's
+//       DepOrdersLoad/DepOrdersStore at slice-build time) add load->load and
+//       load->store edges from the source load to the dependent access —
+//       the rcu_dereference pattern's ordering. Full program order on
 //       the observer side (it runs spec-free), co, fr, and external rf
 //       complete the graph. Internal rf is excluded globally: store
 //       forwarding lets a load read its own thread's store before that

@@ -1,0 +1,163 @@
+#include "src/analysis/baseline_diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ozz::analysis {
+namespace {
+
+struct DiffOp {
+  char tag;  // ' ' common, '-' only in expected, '+' only in actual
+  const std::string* line;
+};
+
+// Myers would be overkill: baselines are a few hundred lines, so the
+// quadratic LCS table stays tiny.
+std::vector<DiffOp> DiffOps(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<int>> lcs(n + 1, std::vector<int>(m + 1, 0));
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      lcs[i][j] = a[i] == b[j] ? lcs[i + 1][j + 1] + 1
+                               : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+  std::vector<DiffOp> ops;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      ops.push_back({' ', &a[i]});
+      ++i;
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      ops.push_back({'-', &a[i]});
+      ++i;
+    } else {
+      ops.push_back({'+', &b[j]});
+      ++j;
+    }
+  }
+  for (; i < n; ++i) {
+    ops.push_back({'-', &a[i]});
+  }
+  for (; j < m; ++j) {
+    ops.push_back({'+', &b[j]});
+  }
+  return ops;
+}
+
+}  // namespace
+
+std::vector<std::string> BaselineLines(const std::string& contents) {
+  std::vector<std::string> out;
+  std::istringstream in(contents);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty() && line[0] == '#') {
+      continue;
+    }
+    out.push_back(line);
+  }
+  while (!out.empty() && out.back().empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string UnifiedDiff(const std::vector<std::string>& expected,
+                        const std::vector<std::string>& actual) {
+  const std::vector<DiffOp> ops = DiffOps(expected, actual);
+  bool any = false;
+  for (const DiffOp& op : ops) {
+    if (op.tag != ' ') {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    return std::string();
+  }
+
+  constexpr std::size_t kContext = 3;
+  std::ostringstream out;
+  std::size_t k = 0;
+  // Running line numbers (1-based) of the next op on each side.
+  std::size_t a_line = 1;
+  std::size_t b_line = 1;
+  while (k < ops.size()) {
+    if (ops[k].tag == ' ') {
+      ++a_line;
+      ++b_line;
+      ++k;
+      continue;
+    }
+    // Hunk: back up kContext common lines, extend forward until kContext*2
+    // consecutive common lines (merging near hunks), trim to kContext.
+    std::size_t start = k;
+    std::size_t back = 0;
+    while (start > 0 && ops[start - 1].tag == ' ' && back < kContext) {
+      --start;
+      ++back;
+    }
+    std::size_t end = k;
+    std::size_t run = 0;
+    while (end < ops.size()) {
+      if (ops[end].tag == ' ') {
+        ++run;
+        if (run > kContext * 2) {
+          break;
+        }
+      } else {
+        run = 0;
+      }
+      ++end;
+    }
+    while (end > k && ops[end - 1].tag == ' ' && run-- > kContext) {
+      --end;
+    }
+    std::size_t a_start = a_line - back;
+    std::size_t b_start = b_line - back;
+    std::size_t a_count = 0;
+    std::size_t b_count = 0;
+    for (std::size_t t = start; t < end; ++t) {
+      if (ops[t].tag != '+') {
+        ++a_count;
+      }
+      if (ops[t].tag != '-') {
+        ++b_count;
+      }
+    }
+    out << "@@ -" << a_start << "," << a_count << " +" << b_start << "," << b_count << " @@\n";
+    for (std::size_t t = start; t < end; ++t) {
+      out << ops[t].tag << *ops[t].line << "\n";
+    }
+    for (std::size_t t = k; t < end; ++t) {
+      if (ops[t].tag != '+') {
+        ++a_line;
+      }
+      if (ops[t].tag != '-') {
+        ++b_line;
+      }
+    }
+    k = end;
+  }
+  return out.str();
+}
+
+std::string FormatBaselineMismatch(const std::string& tool, const std::string& baseline_path,
+                                   const std::string& diff, const std::string& regen_command) {
+  std::ostringstream out;
+  out << tool << ": baseline mismatch against " << baseline_path
+      << " (-expected +actual):\n"
+      << diff << tool << ": fix the regression, or regenerate with:\n"
+      << tool << ":   " << regen_command << " > " << baseline_path << "\n";
+  return out.str();
+}
+
+}  // namespace ozz::analysis

@@ -1,0 +1,32 @@
+// Shared --baseline mismatch reporting for the static CLI tools (ozz_audit,
+// ozz_races). Both tools gate CI on a generated text baseline; when the
+// regenerated text differs, the most useful failure output is (a) a unified
+// diff of expected vs. actual, so the review shows exactly which cells or
+// identities moved, and (b) the exact --print-baseline command that
+// regenerates the file — not a pile of per-line messages.
+#ifndef OZZ_SRC_ANALYSIS_BASELINE_DIFF_H_
+#define OZZ_SRC_ANALYSIS_BASELINE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+namespace ozz::analysis {
+
+// Splits `contents` into lines, dropping '#' comment lines and trailing
+// blank lines — the comparable payload of a baseline file.
+std::vector<std::string> BaselineLines(const std::string& contents);
+
+// LCS-based unified diff of `expected` vs `actual` with 3 lines of context,
+// standard "@@ -l,n +l,n @@" hunks. Empty when the sequences are equal.
+std::string UnifiedDiff(const std::vector<std::string>& expected,
+                        const std::vector<std::string>& actual);
+
+// The full mismatch report: one header line naming the baseline file, the
+// diff body, and the exact regeneration command. `tool` prefixes every line
+// of the header/footer the way the tools' other diagnostics do.
+std::string FormatBaselineMismatch(const std::string& tool, const std::string& baseline_path,
+                                   const std::string& diff, const std::string& regen_command);
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_BASELINE_DIFF_H_

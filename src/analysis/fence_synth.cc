@@ -1,5 +1,7 @@
 #include "src/analysis/fence_synth.h"
 
+#include <algorithm>
+
 #include "src/oemu/instr.h"
 
 namespace ozz::analysis {
@@ -56,6 +58,8 @@ const char* FenceName(FenceKind k) {
       return "smp_load_acquire";
     case FenceKind::kMb:
       return "smp_mb";
+    case FenceKind::kMarkDep:
+      return "READ_ONCE";
   }
   return "?";
 }
@@ -71,6 +75,8 @@ std::string FenceSuggestion::ToString() const {
       return "upgrade " + b + " to smp_store_release()";
     case FenceKind::kAcquire:
       return "upgrade " + a + " to smp_load_acquire()";
+    case FenceKind::kMarkDep:
+      return "mark " + a + " READ_ONCE(): its dependency chain already orders " + b;
     default:
       return std::string("insert ") + FenceName(kind) + "() between " + a +
              " and " + b;
@@ -90,6 +96,35 @@ FenceSuggestion SynthesizeFence(const AxSlice& slice, const AxOptions& opts) {
   auto refutes = [&](const AxSlice& m) {
     return CheckSlice(m, opts).verdict == AxVerdict::kRefutedExact;
   };
+
+  // Cheapest repair first: a latent dependency chain (honored by the model
+  // only if its head load is marked) needs no barrier at all — upgrading the
+  // head to READ_ONCE() restores every ppo edge the chain carries. Marking
+  // one head honors all chains it heads, so the re-check flips every
+  // dep_on_if_marked edge with that head at once.
+  {
+    std::vector<std::size_t> heads;
+    for (const AxEvent& ev : slice.events) {
+      if (ev.dep_on_if_marked == AxEvent::kNoDep) {
+        continue;
+      }
+      if (std::find(heads.begin(), heads.end(), ev.dep_on_if_marked) == heads.end()) {
+        heads.push_back(ev.dep_on_if_marked);
+      }
+    }
+    for (std::size_t h : heads) {
+      AxSlice m = slice;
+      for (AxEvent& ev : m.events) {
+        if (ev.dep_on_if_marked == h) {
+          ev.dep_on = h;
+        }
+      }
+      if (refutes(m)) {
+        fill(FenceKind::kMarkDep, h, slice.second);
+        return out;
+      }
+    }
+  }
 
   // Standalone barriers, every insertion point of the po interval.
   auto try_barrier = [&](FenceKind kind, oemu::BarrierClass cls) {

@@ -29,7 +29,12 @@
 
 namespace ozz::analysis {
 
-enum class FenceKind : u8 { kWmb, kRmb, kRelease, kAcquire, kMb };
+// kMarkDep is cheaper than every barrier: the pair is already linked by a
+// syntactic dependency chain the model would honor if the chain's head load
+// were a marked load, so the repair is "make the head READ_ONCE()" — the
+// dependency ordering is free, it just must not be compiler-broken. It is
+// tried before the lattice whenever the slice carries such a latent chain.
+enum class FenceKind : u8 { kWmb, kRmb, kRelease, kAcquire, kMb, kMarkDep };
 
 const char* FenceName(FenceKind k);
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "src/analysis/srcmodel/srcmodel.h"
 #include "src/analysis/srcmodel/srcparse.h"
@@ -225,7 +226,12 @@ struct AccessMacro {
 constexpr AccessMacro kAccessMacros[] = {
     {"OSK_LOAD", false},
     {"OSK_STORE", false},
+    {"OSK_LOAD_TOK", false},
+    {"OSK_LOAD_ADDR_DEP", false},
+    {"OSK_STORE_DATA_DEP", false},
+    {"OSK_STORE_CTRL_DEP", false},
     {"OSK_READ_ONCE", true},
+    {"OSK_READ_ONCE_TOK", true},
     {"OSK_WRITE_ONCE", true},
     {"OSK_LOAD_ACQUIRE", true},
     {"OSK_STORE_RELEASE", true},
@@ -351,6 +357,153 @@ std::vector<LintFinding> LintMixedAccess(const std::string& path, const std::str
               use.macro + " here is plain; concurrent plain accesses are data races the " +
               "marked sites imply exist (mark this access, or annotate a protected/" +
               "deliberate one with `ozz-lint: allow-mixed`)"});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) { return a.line < b.line; });
+  return findings;
+}
+
+namespace {
+
+void FlattenStmts(const std::vector<srcmodel::Stmt>& body,
+                  std::vector<const srcmodel::Op*>* out) {
+  for (const srcmodel::Stmt& st : body) {
+    if (st.kind == srcmodel::Stmt::Kind::kOp) {
+      out->push_back(&st.op);
+    }
+    FlattenStmts(st.body, out);
+    FlattenStmts(st.else_body, out);
+  }
+}
+
+// True when `s` compares `ident` with ==/!= against anything other than
+// nullptr/NULL/0 (the null checks LKMM explicitly blesses for
+// rcu_dereference'd pointers).
+bool ComparesAgainstNonNull(const std::string& s, const std::string& ident) {
+  auto null_ish_at = [&](std::size_t r) {
+    if (s.compare(r, 7, "nullptr") == 0 || s.compare(r, 4, "NULL") == 0) {
+      return true;
+    }
+    return r < s.size() && s[r] == '0' &&
+           (r + 1 >= s.size() || !srcparse::IsIdentChar(s[r + 1]));
+  };
+  auto null_ish_ending = [&](std::size_t e) {  // word ending at index e (exclusive)
+    if (e >= 7 && s.compare(e - 7, 7, "nullptr") == 0) {
+      return true;
+    }
+    if (e >= 4 && s.compare(e - 4, 4, "NULL") == 0) {
+      return true;
+    }
+    return e >= 1 && s[e - 1] == '0' && (e < 2 || !srcparse::IsIdentChar(s[e - 2]));
+  };
+  for (std::size_t pos : WordOccurrences(s, ident)) {
+    std::size_t a = pos + ident.size();
+    while (a < s.size() && s[a] == ' ') {
+      ++a;
+    }
+    if (a + 1 < s.size() && (s.compare(a, 2, "==") == 0 || s.compare(a, 2, "!=") == 0)) {
+      std::size_t r = a + 2;
+      while (r < s.size() && s[r] == ' ') {
+        ++r;
+      }
+      if (!null_ish_at(r)) {
+        return true;
+      }
+    }
+    std::size_t b = pos;
+    while (b > 0 && s[b - 1] == ' ') {
+      --b;
+    }
+    if (b >= 2 && (s.compare(b - 2, 2, "==") == 0 || s.compare(b - 2, 2, "!=") == 0)) {
+      std::size_t e = b - 2;
+      while (e > 0 && s[e - 1] == ' ') {
+        --e;
+      }
+      if (!null_ish_ending(e)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintDepDiscipline(const std::string& path,
+                                           const std::string& contents) {
+  std::vector<LintFinding> findings;
+  const std::vector<std::string> lines = SplitLines(contents);
+  const srcmodel::FileModel model = srcmodel::ParseFile(path, contents);
+  std::set<std::pair<int, std::string>> reported;  // (line, rule) dedup
+
+  auto suppressed_line = [&](int lineno) {
+    std::size_t idx = lineno > 0 ? static_cast<std::size_t>(lineno) - 1 : 0;
+    return idx < lines.size() && Suppressed(lines, idx, "ozz-lint: allow-broken-dep");
+  };
+  auto report = [&](int lineno, const char* rule, const std::string& message) {
+    if (suppressed_line(lineno) || !reported.insert({lineno, rule}).second) {
+      return;
+    }
+    findings.push_back(LintFinding{path, lineno, rule, message});
+  };
+
+  for (const srcmodel::Function& fn : model.functions) {
+    std::vector<const srcmodel::Op*> ops;
+    FlattenStmts(fn.body, &ops);
+    for (std::size_t u = 0; u < ops.size(); ++u) {
+      if (ops[u]->dep_use.empty()) {
+        continue;
+      }
+      const std::string& tok = ops[u]->dep_use;
+      // Latest binding of the token before the use (program order; the
+      // flattening approximates it the same way deps.h does).
+      const srcmodel::Op* bind = nullptr;
+      std::size_t bind_pos = 0;
+      for (std::size_t b = 0; b < u; ++b) {
+        if (ops[b]->dep_def == tok) {
+          bind = ops[b];
+          bind_pos = b;
+        }
+      }
+      if (bind == nullptr || bind->value_dest.empty()) {
+        continue;
+      }
+      const std::string& dest = bind->value_dest;
+      // dep-launder: the bound local re-assigned from a *plain* load between
+      // binding and use — the consumed address no longer derives from the
+      // token's source load.
+      for (std::size_t l = bind_pos + 1; l < u; ++l) {
+        if (ops[l]->value_dest == dest && ops[l]->dep_def != tok) {
+          report(ops[u]->line, "dep-launder",
+                 "dependency token `" + tok + "` is consumed here, but its bound value `" +
+                     dest + "` was re-loaded plainly at line " + std::to_string(ops[l]->line) +
+                     "; the address no longer derives from the token's source load, so the "
+                     "claimed dependency orders nothing (re-bind the token, or annotate with "
+                     "`ozz-lint: allow-broken-dep`)");
+        }
+      }
+      // dep-compare: the bound pointer equality-compared against a non-null
+      // value inside the binding->use window.
+      for (int ln = bind->line; ln <= ops[u]->line; ++ln) {
+        std::size_t idx = static_cast<std::size_t>(ln) - 1;
+        if (idx >= lines.size() || IsCommentLine(lines[idx])) {
+          continue;
+        }
+        std::string s = StripStrings(lines[idx]);
+        std::size_t comment = s.find("//");
+        if (comment != std::string::npos) {
+          s.resize(comment);
+        }
+        if (ComparesAgainstNonNull(s, dest)) {
+          report(ln, "dep-compare",
+                 "dependency-carrying pointer `" + dest +
+                     "` is compared against a non-null value before its token `" + tok +
+                     "` is consumed; after an equality test the compiler may substitute the "
+                     "compared-to value and the address dependency vanishes (compare only "
+                     "against nullptr, or annotate with `ozz-lint: allow-broken-dep`)");
+        }
+      }
     }
   }
   std::sort(findings.begin(), findings.end(),

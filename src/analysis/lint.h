@@ -71,6 +71,25 @@ std::vector<LintFinding> LintModelDiscipline(const std::string& path,
 // suppress with "ozz-lint: allow-mixed" on the same or preceding line.
 std::vector<LintFinding> LintMixedAccess(const std::string& path, const std::string& contents);
 
+// Dependency-discipline lint (ozz_lint --dep-discipline): flags idioms that
+// compile-break the dependency chains the *_TOK / *_DEP macros claim
+// (src/oemu/cell.h). A dependency orders only while the consuming access's
+// address/value genuinely derives from the token's source load, so:
+//
+//   dep-compare   the token-bound pointer is compared (== / !=) against
+//                 anything but nullptr/NULL/0 between its binding load and a
+//                 *_DEP use: after an equality test the compiler may
+//                 substitute the compared-to value and the hardware
+//                 dependency vanishes (LKMM's rcu_dereference rule).
+//   dep-launder   the token-bound local is re-assigned from a plain re-load
+//                 before a *_DEP use consumes the token: the address no
+//                 longer derives from the token's source, so the runtime
+//                 floor orders the wrong chain.
+//
+// Suppress with "ozz-lint: allow-broken-dep" on the same or preceding line.
+std::vector<LintFinding> LintDepDiscipline(const std::string& path,
+                                           const std::string& contents);
+
 std::string FormatFinding(const LintFinding& finding);
 
 }  // namespace ozz::analysis

@@ -60,6 +60,8 @@ const char* OrderEdgeName(OrderEdge e) {
       return "undelayable";
     case OrderEdge::kUnversionable:
       return "unversionable";
+    case OrderEdge::kDep:
+      return "dep";
     case OrderEdge::kLockset:
       return "lockset";
     case OrderEdge::kModel:
@@ -77,6 +79,7 @@ void PairStats::Add(const PairStats& o) {
   proven_barrier += o.proven_barrier;
   proven_undelayable += o.proven_undelayable;
   proven_unversionable += o.proven_unversionable;
+  proven_dep += o.proven_dep;
   proven_lockset += o.proven_lockset;
   proven_model += o.proven_model;
 }
@@ -206,6 +209,35 @@ bool PairAnalysis::LocksetStoreProven(std::size_t first, std::size_t second) con
   return false;
 }
 
+bool PairAnalysis::DepChainProven(std::size_t first, std::size_t second) const {
+  // Walk dependency links backwards from `second`. Each hop must be honored
+  // under the model with its own (kind, head-marking) pair — exactly the
+  // per-link rule the runtime applies when flooring the rewind — and the
+  // source's trace index strictly decreases, so the walk terminates. The
+  // floors compose: each load's effective time is >= its honored source's,
+  // so reaching `first` proves the load at `second` can never observe a
+  // value older than what the load at `first` saw.
+  std::size_t cur = second;
+  while (true) {
+    const oemu::Event& e = (*reorder_)[cur];
+    if (!e.HasDep() || !model_->DepOrdersLoad(e.dep_kind, e.dep_marked)) {
+      return false;
+    }
+    std::ptrdiff_t src = IndexOf(AccessKey{e.dep_instr, e.dep_occurrence,
+                                           oemu::AccessType::kLoad});
+    if (src < 0 || static_cast<std::size_t>(src) >= cur) {
+      return false;
+    }
+    if (static_cast<std::size_t>(src) == first) {
+      return true;
+    }
+    if (static_cast<std::size_t>(src) < first) {
+      return false;
+    }
+    cur = static_cast<std::size_t>(src);
+  }
+}
+
 bool PairAnalysis::LocksetLoadProven(std::size_t first, std::size_t second) const {
   const oemu::Event& e = (*reorder_)[second];
   for (const CriticalSection& s : sections_) {
@@ -277,6 +309,9 @@ OrderEdge PairAnalysis::ClassifyLoadPair(std::size_t first, std::size_t second) 
   if (unversionable_[second] != 0) {
     return OrderEdge::kUnversionable;
   }
+  if (DepChainProven(first, second)) {
+    return OrderEdge::kDep;
+  }
   if (LocksetLoadProven(first, second)) {
     return OrderEdge::kLockset;
   }
@@ -321,6 +356,9 @@ PairStats PairAnalysis::ComputeStats() const {
         break;
       case OrderEdge::kUnversionable:
         ++stats.proven_unversionable;
+        break;
+      case OrderEdge::kDep:
+        ++stats.proven_dep;
         break;
       case OrderEdge::kLockset:
         ++stats.proven_lockset;

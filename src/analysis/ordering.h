@@ -25,6 +25,12 @@
 //                  class at all (e.g. store-store under tso, load-load under
 //                  tso/pso) — the corresponding control spec is inert, so no
 //                  hint can produce the inversion.
+//   kDep           the later load carries an honored syntactic dependency
+//                  chain reaching the earlier load (each link honored under
+//                  the model's DepOrdersLoad rule): the runtime floors every
+//                  dependent load's versioning rewind at its source's
+//                  effective time, so the later load can never observe a
+//                  value older than what the earlier one saw.
 //   kLockset       Eraser-style: both accesses sit in a critical section
 //                  whose ordering qualifications make the inversion
 //                  unobservable, and every conflicting observer-side access
@@ -67,6 +73,7 @@ enum class OrderEdge : u8 {
   kBarrier,
   kUndelayable,
   kUnversionable,
+  kDep,
   kLockset,
   kModel,
 };
@@ -85,6 +92,7 @@ struct PairStats {
   u64 proven_barrier = 0;
   u64 proven_undelayable = 0;
   u64 proven_unversionable = 0;
+  u64 proven_dep = 0;
   u64 proven_lockset = 0;
   u64 proven_model = 0;
 
@@ -146,6 +154,10 @@ class PairAnalysis {
  private:
   bool LocksetStoreProven(std::size_t first, std::size_t second) const;
   bool LocksetLoadProven(std::size_t first, std::size_t second) const;
+  // The load at `second` reaches the load at `first` through a chain of
+  // model-honored dependency links (each link checked with its own kind and
+  // head marking, matching the runtime's per-link floors).
+  bool DepChainProven(std::size_t first, std::size_t second) const;
   // Every other-trace access overlapping [addr, addr+size) (stores only when
   // `stores_only`) lies inside an other-trace section of `lock`.
   bool OtherConflictsCovered(const LockId& lock, uptr addr, u32 size, bool stores_only) const;

@@ -114,6 +114,7 @@ std::string FormatStats(const PairStats& stats) {
      << "  by barrier:       " << stats.proven_barrier << "\n"
      << "  by undelayable:   " << stats.proven_undelayable << "\n"
      << "  by unversionable: " << stats.proven_unversionable << "\n"
+     << "  by dependency:    " << stats.proven_dep << "\n"
      << "  by lockset:       " << stats.proven_lockset << "\n"
      << "  by model:         " << stats.proven_model << "\n";
   return os.str();

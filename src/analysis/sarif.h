@@ -1,0 +1,29 @@
+// Minimal SARIF 2.1.0 emitter for the static tools (ozz_lint --sarif,
+// ozz_races --sarif). Produces one run per log with the tool's driver name,
+// the distinct rules seen, and one result per finding — the subset GitHub
+// code scanning ingests. Nothing here interprets findings; callers map their
+// native reports (LintFinding, RacePair) onto SarifResult.
+#ifndef OZZ_SRC_ANALYSIS_SARIF_H_
+#define OZZ_SRC_ANALYSIS_SARIF_H_
+
+#include <string>
+#include <vector>
+
+namespace ozz::analysis {
+
+struct SarifResult {
+  std::string rule_id;
+  std::string level = "warning";  // "error" | "warning" | "note"
+  std::string message;
+  std::string file;  // repo-relative path
+  int line = 1;      // 1-based
+};
+
+// Serializes one SARIF 2.1.0 log. `tool_name` becomes the driver name;
+// `rules_base_doc` (may be empty) is recorded as each rule's helpUri.
+std::string SarifLog(const std::string& tool_name, const std::string& rules_base_doc,
+                     const std::vector<SarifResult>& results);
+
+}  // namespace ozz::analysis
+
+#endif  // OZZ_SRC_ANALYSIS_SARIF_H_

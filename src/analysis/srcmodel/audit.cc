@@ -5,9 +5,28 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+
+#include "src/analysis/srcmodel/deps.h"
+#include "src/oemu/memory_model.h"
 
 namespace ozz::analysis::srcmodel {
 namespace {
+
+// The audit's legacy path is the LKMM bit path (DataflowOptions.model null);
+// dependency discharge honors the same model so the pending-pair lattice and
+// the dep chains agree on what LKMM orders.
+std::vector<SitePair> AuditUnorderedPairs(const FileModel& model, bool assume_fixed,
+                                          std::set<std::pair<int, int>>* discharged) {
+  const DepInfo deps = RecoverDeps(model);
+  const std::set<std::pair<int, int>> dep_ordered =
+      DepOrderedPairs(deps, oemu::MemoryModel::Lkmm());
+  DataflowOptions opts;
+  opts.assume_fixed = assume_fixed;
+  opts.dep_ordered = &dep_ordered;
+  opts.dep_discharged = discharged;
+  return UnorderedPairs(model, opts);
+}
 
 bool PairLess(const AuditPair& a, const AuditPair& b) {
   if (a.first.file != b.first.file) {
@@ -90,12 +109,14 @@ AuditReport RunAudit(const std::vector<SourceFile>& files) {
     report.functions += static_cast<int>(model.functions.size());
     report.sites += static_cast<int>(model.sites.size());
     report.site_list.insert(report.site_list.end(), model.sites.begin(), model.sites.end());
-    std::vector<SitePair> buggy = UnorderedPairs(model, /*assume_fixed=*/false);
+    std::set<std::pair<int, int>> discharged;
+    std::vector<SitePair> buggy = AuditUnorderedPairs(model, /*assume_fixed=*/false, &discharged);
+    report.dep_ordered_pairs += static_cast<int>(discharged.size());
     // Compare by line-free identity, not site index: the fixed form may
     // reach the same expression pair through different lines (its own arm of
     // a fix-gated branch), and such a pair is NOT fixed by the flag.
     std::set<std::string> fixed_ids;
-    for (const SitePair& p : UnorderedPairs(model, /*assume_fixed=*/true)) {
+    for (const SitePair& p : AuditUnorderedPairs(model, /*assume_fixed=*/true, nullptr)) {
       AuditPair ap;
       ap.first = model.sites[static_cast<std::size_t>(p.first)];
       ap.second = model.sites[static_cast<std::size_t>(p.second)];
@@ -143,7 +164,7 @@ std::set<std::string> UnorderedIdentities(const std::vector<SourceFile>& files,
   std::set<std::string> out;
   for (const SourceFile& src : files) {
     FileModel model = ParseFile(src.path, src.contents);
-    for (const SitePair& p : UnorderedPairs(model, assume_fixed)) {
+    for (const SitePair& p : AuditUnorderedPairs(model, assume_fixed, nullptr)) {
       AuditPair ap;
       ap.first = model.sites[static_cast<std::size_t>(p.first)];
       ap.second = model.sites[static_cast<std::size_t>(p.second)];
@@ -160,7 +181,9 @@ std::string FormatAuditText(const AuditReport& report) {
   out << "files: " << report.files << "  functions: " << report.functions
       << "  sites: " << report.sites << "\n";
   out << "fix-gated pairs (documented missing-barrier sites): " << report.gated_pairs << "\n";
-  out << "residual pairs (baseline): " << report.residual_pairs << "\n\n";
+  out << "residual pairs (baseline): " << report.residual_pairs << "\n";
+  out << "dep-ordered pairs (discharged by dependency chains): " << report.dep_ordered_pairs
+      << "\n\n";
   auto print = [&](const AuditPair& p) {
     out << "  [" << PairClassName(p.cls) << "] " << p.first.file << ":" << p.first.line << " "
         << p.first.function << " " << p.first.expr << (p.first.is_store ? " (store)" : " (load)")
@@ -239,6 +262,7 @@ std::string AuditReportJson(const AuditReport& report, const std::string& extra_
   out << "  \"sites\": " << report.sites << ",\n";
   out << "  \"gated_pairs\": " << report.gated_pairs << ",\n";
   out << "  \"residual_pairs\": " << report.residual_pairs << ",\n";
+  out << "  \"dep_ordered_pairs\": " << report.dep_ordered_pairs << ",\n";
   out << "  \"pairs\": [\n";
   for (std::size_t i = 0; i < report.pairs.size(); ++i) {
     const AuditPair& p = report.pairs[i];

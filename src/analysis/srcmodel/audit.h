@@ -74,6 +74,9 @@ struct AuditReport {
   int sites = 0;
   int gated_pairs = 0;
   int residual_pairs = 0;
+  // Load-load pairs reclassified as dependency-ordered (token-backed chains
+  // LKMM honors) instead of reported unordered — see srcmodel/deps.h.
+  int dep_ordered_pairs = 0;
 };
 
 // Parses every source file once and runs the dataflow in both modes.

@@ -1,0 +1,158 @@
+#include "src/analysis/srcmodel/deps.h"
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "src/analysis/srcmodel/srcparse.h"
+#include "src/oemu/memory_model.h"
+
+namespace ozz::analysis::srcmodel {
+namespace {
+
+void FlattenOps(const std::vector<Stmt>& stmts, std::vector<const Op*>* out) {
+  for (const Stmt& s : stmts) {
+    if (s.kind == Stmt::Kind::kOp) {
+      out->push_back(&s.op);
+    }
+    FlattenOps(s.body, out);
+    FlattenOps(s.else_body, out);
+  }
+}
+
+// The site carrying a load-shaped op's value (acquire loads live in the
+// ghost slot).
+int ValueSiteOf(const Op& op) {
+  return op.load_site >= 0 ? op.load_site : op.ghost_load_site;
+}
+
+struct Def {
+  int site = -1;
+  bool marked = false;
+  std::size_t pos = 0;  // flatten-order position of the defining op
+};
+
+}  // namespace
+
+DepInfo RecoverDeps(const FileModel& model) {
+  DepInfo info;
+  std::set<std::tuple<int, int, int, bool>> seen;
+  auto add = [&](const DepEdge& e) {
+    if (e.source < 0 || e.target < 0 || e.source == e.target) {
+      return;
+    }
+    if (seen.insert({e.source, e.target, static_cast<int>(e.kind), e.token_backed}).second) {
+      info.edges.push_back(e);
+    }
+  };
+  for (const Function& fn : model.functions) {
+    std::vector<const Op*> ops;
+    FlattenOps(fn.body, &ops);
+    std::map<std::string, std::vector<Def>> tok_defs;  // DepToken name -> bindings
+    std::map<std::string, std::vector<Def>> val_defs;  // local ident -> loads
+    for (std::size_t p = 0; p < ops.size(); ++p) {
+      const Op& op = *ops[p];
+      if (!op.dep_def.empty()) {
+        tok_defs[op.dep_def].push_back({ValueSiteOf(op), op.dep_def_marked, p});
+      }
+      if (!op.value_dest.empty()) {
+        val_defs[op.value_dest].push_back({ValueSiteOf(op), op.dep_def_marked, p});
+      }
+    }
+    for (std::size_t p = 0; p < ops.size(); ++p) {
+      const Op& op = *ops[p];
+      // Token consumers. Runtime-enforced only when the token has exactly
+      // one binding in the function: rebinding makes the runtime chain
+      // ambiguous (the floor follows whichever load bound last), so the
+      // dep-discipline lint flags it and the edge demotes to advisory.
+      if (!op.dep_use.empty()) {
+        auto it = tok_defs.find(op.dep_use);
+        if (it != tok_defs.end()) {
+          const bool unique = it->second.size() == 1;
+          for (const Def& d : it->second) {
+            if (d.pos >= p) {
+              continue;
+            }
+            DepEdge e;
+            e.source = d.site;
+            e.kind = op.dep_kind;
+            e.source_marked = d.marked;
+            if (op.store_site >= 0 || op.ghost_store_site >= 0) {
+              e.target = op.store_site >= 0 ? op.store_site : op.ghost_store_site;
+              e.target_is_store = true;
+            } else {
+              e.target = ValueSiteOf(op);
+            }
+            e.token_backed = unique;
+            add(e);
+          }
+        }
+      }
+      // Ident flows: a target expression mentioning a value destination as
+      // a whole word is an address dependency the runtime does not track —
+      // advisory tier only.
+      auto scan_site = [&](int site, bool is_store) {
+        if (site < 0) {
+          return;
+        }
+        const std::string& expr = model.sites[static_cast<std::size_t>(site)].expr;
+        for (const auto& [ident, defs] : val_defs) {
+          if (srcparse::WordOccurrences(expr, ident).empty()) {
+            continue;
+          }
+          for (const Def& d : defs) {
+            if (d.pos >= p) {
+              continue;
+            }
+            DepEdge e;
+            e.source = d.site;
+            e.target = site;
+            e.kind = oemu::DepKind::kAddr;
+            e.source_marked = d.marked;
+            e.target_is_store = is_store;
+            e.token_backed = false;
+            add(e);
+          }
+        }
+      };
+      scan_site(op.load_site, /*is_store=*/false);
+      scan_site(op.ghost_load_site, /*is_store=*/false);
+      scan_site(op.store_site, /*is_store=*/true);
+      scan_site(op.ghost_store_site, /*is_store=*/true);
+    }
+  }
+  return info;
+}
+
+bool DepHonored(const DepEdge& e, const oemu::MemoryModel& m) {
+  return e.target_is_store ? m.DepOrdersStore(e.kind, e.source_marked)
+                           : m.DepOrdersLoad(e.kind, e.source_marked);
+}
+
+std::set<std::pair<int, int>> DepOrderedPairs(const DepInfo& info, const oemu::MemoryModel& m) {
+  std::set<std::pair<int, int>> out;
+  for (const DepEdge& e : info.edges) {
+    if (e.token_backed && !e.target_is_store && DepHonored(e, m)) {
+      out.insert({e.source, e.target});
+    }
+  }
+  return out;
+}
+
+const DepEdge* FindDepEdge(const DepInfo& info, int first, int second) {
+  const DepEdge* best = nullptr;
+  for (const DepEdge& e : info.edges) {
+    if (e.source != first || e.target != second) {
+      continue;
+    }
+    if (e.token_backed) {
+      return &e;
+    }
+    if (best == nullptr) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+}  // namespace ozz::analysis::srcmodel

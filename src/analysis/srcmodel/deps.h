@@ -1,0 +1,81 @@
+// Intraprocedural value-flow dependency recovery over the source model.
+//
+// LKMM's addr/data/ctrl dependencies order a value-carrying load against the
+// po-later accesses that consume its value — the rcu_dereference pattern.
+// This pass recovers those chains syntactically from the parsed statement
+// trees (srcmodel.h), in two tiers with very different authority:
+//
+//   * token-backed — the OSK_*_TOK / OSK_*_DEP DepToken macros
+//     (src/oemu/cell.h) name the source load explicitly, and the OEMU
+//     runtime *enforces* the chain (the dependent load's versioning rewind
+//     is floored at the source's effective time). A token-backed edge the
+//     active model honors (MemoryModel::DepOrdersLoad) may therefore
+//     discharge a pending load-load pair: the static verdict and the
+//     dynamic emulation agree by construction.
+//   * ident-based — `v = OSK_LOAD(c)` followed by `v` appearing in a later
+//     access's target expression. The runtime does not track plain locals,
+//     so these edges are ADVISORY ONLY: they feed the dep-discipline lint
+//     ("dependency laundered through a plain local") and the fence
+//     synthesizer's cheaper-repair suggestion ("a dependency already orders
+//     this pair — mark the source READ_ONCE instead of adding smp_rmb").
+//     Discharging on them would let a reordering the runtime still emulates
+//     slip past the static verdict.
+//
+// Known unsoundness (documented in DESIGN.md "Dependency ordering"): the
+// recovery is syntactic. Real compilers may break even marked dependency
+// chains the syntax promises (value speculation, `x - x` cancellation);
+// the token tier inherits whatever the runtime enforces, which models the
+// hardware, not the compiler.
+#ifndef OZZ_SRC_ANALYSIS_SRCMODEL_DEPS_H_
+#define OZZ_SRC_ANALYSIS_SRCMODEL_DEPS_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/srcmodel/srcmodel.h"
+#include "src/oemu/event.h"
+
+namespace ozz::oemu {
+class MemoryModel;
+}  // namespace ozz::oemu
+
+namespace ozz::analysis::srcmodel {
+
+// One recovered dependency: a value-carrying load feeding a po-later access
+// in the same function.
+struct DepEdge {
+  int source = -1;  // site index of the load the value originates at
+  int target = -1;  // site index of the dependent access
+  oemu::DepKind kind = oemu::DepKind::kAddr;
+  bool source_marked = false;   // READ_ONCE-class source load
+  bool target_is_store = false;
+  bool token_backed = false;    // runtime-enforced (unique DepToken binding)
+};
+
+struct DepInfo {
+  std::vector<DepEdge> edges;
+};
+
+// Matches token bindings and value destinations to their consumers in every
+// function. Statement trees are walked in source order, both branch arms
+// included — a may-reach approximation (an edge claims the def reaches the
+// use on some path), which is exact for the straight-line DepToken idiom
+// and permissive-but-advisory for ident flows.
+DepInfo RecoverDeps(const FileModel& model);
+
+// Does `m` keep this edge's target ordered after its source?
+bool DepHonored(const DepEdge& e, const oemu::MemoryModel& m);
+
+// The load-load (first, second) site pairs eligible for static discharge
+// under `m`: token-backed AND model-honored — exactly the chains the
+// runtime enforces. Feed this to DataflowOptions::dep_ordered.
+std::set<std::pair<int, int>> DepOrderedPairs(const DepInfo& info, const oemu::MemoryModel& m);
+
+// Advisory lookup: an edge covering (first, second) of either tier,
+// preferring token-backed, or nullptr when the pair is not dep-shaped.
+const DepEdge* FindDepEdge(const DepInfo& info, int first, int second);
+
+}  // namespace ozz::analysis::srcmodel
+
+#endif  // OZZ_SRC_ANALYSIS_SRCMODEL_DEPS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/analysis/srcmodel/deps.h"
 #include "src/oemu/memory_model.h"
 
 namespace ozz::analysis::srcmodel {
@@ -45,18 +46,29 @@ std::string CanonTarget(const std::string& expr) {
 struct ModeFacts {
   LockModel locks;
   std::map<std::string, std::vector<SitePair>> unordered;  // model name -> pairs
+  // Load-load pairs the dataflow reclassified as dependency-ordered under
+  // each model — the would-be witnesses the dep chains neutralized.
+  std::map<std::string, std::vector<SitePair>> dep_discharged;
 };
 
-ModeFacts ComputeModeFacts(const FileModel& fm, bool assume_fixed,
+ModeFacts ComputeModeFacts(const FileModel& fm, const DepInfo& deps, bool assume_fixed,
                            const std::vector<const MemoryModel*>& models) {
   ModeFacts facts;
   facts.locks = ComputeLockModel(fm, assume_fixed);
   for (const MemoryModel* m : models) {
+    const std::set<std::pair<int, int>> dep_ordered = DepOrderedPairs(deps, *m);
+    std::set<std::pair<int, int>> discharged;
     DataflowOptions opts;
     opts.assume_fixed = assume_fixed;
     opts.model = m;
     opts.suppress_locked = false;
+    opts.dep_ordered = &dep_ordered;
+    opts.dep_discharged = &discharged;
     facts.unordered[m->name()] = UnorderedPairs(fm, opts);
+    std::vector<SitePair>& dd = facts.dep_discharged[m->name()];
+    for (const auto& [a, b] : discharged) {
+      dd.push_back(SitePair{a, b, PairClass::kLoadLoad});
+    }
   }
   return facts;
 }
@@ -219,6 +231,7 @@ struct Agg {
   bool any_live_buggy = false;
   bool all_locked_buggy = true;  // over live buggy occurrences
   bool gated_witness = false;    // some break goes through a fix-gated pair
+  bool dep_ordered = false;      // a dep chain neutralized a would-be break
   LockSet sample_locks;
   std::set<std::string> racy_buggy;  // model names
   std::set<std::string> racy_fixed;
@@ -303,16 +316,27 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
     report.files_scanned += 1;
     report.sites += static_cast<int>(fm.sites.size());
 
-    const ModeFacts buggy = ComputeModeFacts(fm, /*assume_fixed=*/false, models);
-    const ModeFacts fixed = ComputeModeFacts(fm, /*assume_fixed=*/true, models);
+    const DepInfo deps = RecoverDeps(fm);
+    const ModeFacts buggy = ComputeModeFacts(fm, deps, /*assume_fixed=*/false, models);
+    const ModeFacts fixed = ComputeModeFacts(fm, deps, /*assume_fixed=*/true, models);
     const FnAccessMap fn_access = BuildFnAccessMap(fm);
     std::map<std::string, std::vector<Witness>> wit_buggy;
     std::map<std::string, std::vector<Witness>> wit_fixed;
+    // Dep-discharged pairs, replayed through the same matched-protocol test:
+    // a conflicting pair whose only would-be break was neutralized by a
+    // dependency chain earns the dep-ordered verdict (vs plain ordered).
+    std::map<std::string, std::vector<Witness>> wit_dep;
     for (const MemoryModel* m : models) {
       const std::vector<SitePair>& pb = buggy.unordered.at(m->name());
       const std::vector<SitePair>& pf = fixed.unordered.at(m->name());
       wit_buggy[m->name()] = BuildWitnesses(fm, pb, ProtocolPairIds(fm, pf), true);
       wit_fixed[m->name()] = BuildWitnesses(fm, pf, ProtocolPairIds(fm, pb), false);
+      std::vector<Witness>& wd = wit_dep[m->name()];
+      for (const ModeFacts* facts : {&buggy, &fixed}) {
+        for (const SitePair& p : facts->dep_discharged.at(m->name())) {
+          wd.push_back(Witness{p, false});
+        }
+      }
     }
 
     // Conflicting-pair enumeration: same canonical target, >= 1 store.
@@ -374,6 +398,9 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
               if (mode == 0 && br.via_gated) {
                 agg.gated_witness = true;
               }
+              if (MatchedBreak(fm, wit_dep.at(m->name()), fn_access, i, j).racy) {
+                agg.dep_ordered = true;
+              }
             }
           }
         }
@@ -396,6 +423,8 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
       if (!racy_somewhere) {
         if (agg.any_live_buggy && agg.all_locked_buggy) {
           stats.locked += 1;
+        } else if (agg.dep_ordered) {
+          stats.dep_ordered += 1;
         } else {
           stats.ordered += 1;
         }
@@ -409,6 +438,7 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
       pair.racy_fixed_models.assign(agg.racy_fixed.begin(), agg.racy_fixed.end());
       pair.fix_gated =
           !agg.racy_buggy.empty() && agg.racy_fixed.empty() && agg.gated_witness;
+      pair.dep_ordered = agg.dep_ordered;
       pair.sample_locks = agg.sample_locks;
       for (const std::string& m : report.models) {
         if (agg.racy_buggy.count(m) != 0 || agg.racy_fixed.count(m) != 0) {
@@ -432,6 +462,7 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
     report.conflicting += stats.conflicting;
     report.locked += stats.locked;
     report.ordered += stats.ordered;
+    report.dep_ordered += stats.dep_ordered;
     report.files.push_back(std::move(stats));
   }
 
@@ -453,8 +484,9 @@ std::set<std::string> RacyIdentities(const std::vector<SourceFile>& files,
     if (fm.functions.empty() && fm.sites.empty()) {
       continue;
     }
-    const ModeFacts mode_facts = ComputeModeFacts(fm, assume_fixed, models);
-    const ModeFacts other_facts = ComputeModeFacts(fm, !assume_fixed, models);
+    const DepInfo deps = RecoverDeps(fm);
+    const ModeFacts mode_facts = ComputeModeFacts(fm, deps, assume_fixed, models);
+    const ModeFacts other_facts = ComputeModeFacts(fm, deps, !assume_fixed, models);
     const std::vector<Witness> witnesses = BuildWitnesses(
         fm, mode_facts.unordered.at(model->name()),
         ProtocolPairIds(fm, other_facts.unordered.at(model->name())),
@@ -503,8 +535,8 @@ std::string FormatRaceText(const RaceReport& report, const std::string& focus_mo
   out << "files: " << report.files_scanned << "  sites: " << report.sites
       << "  conflicting pairs: " << report.conflicting << "\n";
   out << "locked: " << report.locked << "  barrier-ordered: " << report.ordered
-      << "  fix-gated races: " << report.gated << "  residual races: " << report.residual
-      << "\n\n";
+      << "  dep-ordered: " << report.dep_ordered << "  fix-gated races: " << report.gated
+      << "  residual races: " << report.residual << "\n\n";
   out << "per-model race matrix (fix-gated/residual):\n";
   for (const std::string& m : report.models) {
     int g = 0;
@@ -530,6 +562,9 @@ std::string FormatRaceText(const RaceReport& report, const std::string& focus_mo
         out << " " << m;
       }
       out << ")";
+    }
+    if (p.dep_ordered) {
+      out << "  [dep-ordered when fixed]";
     }
     out << "\n";
   };
@@ -589,8 +624,8 @@ std::string FormatRaceText(const RaceReport& report, const std::string& focus_mo
   out << "\nper-subsystem:\n";
   for (const FileRaceStats& f : report.files) {
     out << "  " << f.file << ": sites=" << f.sites << " conflicting=" << f.conflicting
-        << " locked=" << f.locked << " ordered=" << f.ordered << " deadlocks=" << f.deadlocks
-        << "\n";
+        << " locked=" << f.locked << " ordered=" << f.ordered << " dep-ordered=" << f.dep_ordered
+        << " deadlocks=" << f.deadlocks << "\n";
   }
   return out.str();
 }
@@ -620,6 +655,7 @@ std::string RaceReportJson(const RaceReport& report) {
   out << "  \"conflicting\": " << report.conflicting << ",\n";
   out << "  \"locked\": " << report.locked << ",\n";
   out << "  \"ordered\": " << report.ordered << ",\n";
+  out << "  \"dep_ordered\": " << report.dep_ordered << ",\n";
   out << "  \"gated_races\": " << report.gated << ",\n";
   out << "  \"residual_races\": " << report.residual << ",\n";
   out << "  \"races\": [\n";
@@ -627,7 +663,8 @@ std::string RaceReportJson(const RaceReport& report) {
     const RacePair& p = report.races[i];
     out << "    {\"identity\":\"" << JsonEscape(p.Identity()) << "\",\"write_write\":"
         << (p.write_write ? "true" : "false") << ",\"fix_gated\":"
-        << (p.fix_gated ? "true" : "false") << ",\"racy_models\":" << names(p.racy_models)
+        << (p.fix_gated ? "true" : "false") << ",\"dep_ordered\":"
+        << (p.dep_ordered ? "true" : "false") << ",\"racy_models\":" << names(p.racy_models)
         << ",\"racy_fixed_models\":" << names(p.racy_fixed_models)
         << ",\"first\":" << site(p.first) << ",\"second\":" << site(p.second) << "}"
         << (i + 1 < report.races.size() ? "," : "") << "\n";
@@ -652,7 +689,8 @@ std::string RaceReportJson(const RaceReport& report) {
     const FileRaceStats& f = report.files[i];
     out << "    {\"file\":\"" << JsonEscape(f.file) << "\",\"sites\":" << f.sites
         << ",\"conflicting\":" << f.conflicting << ",\"locked\":" << f.locked
-        << ",\"ordered\":" << f.ordered << ",\"deadlocks\":" << f.deadlocks << ",\"gated\":{";
+        << ",\"ordered\":" << f.ordered << ",\"dep_ordered\":" << f.dep_ordered
+        << ",\"deadlocks\":" << f.deadlocks << ",\"gated\":{";
     bool first = true;
     for (const auto& [m, count] : f.gated_by_model) {
       out << (first ? "" : ",") << "\"" << JsonEscape(m) << "\":" << count;

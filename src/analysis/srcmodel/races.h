@@ -14,6 +14,14 @@
 //                    srcmodel.h, run with that model's relaxation matrix
 //                    and barrier-effect tables): every publication /
 //                    observation protocol touching the location is fenced.
+//   dep-ordered      no common lock and not fully fenced, but the would-be
+//                    protocol break is a load-load pair ordered by a
+//                    token-backed dependency chain the model honors
+//                    (deps.h): the rcu_dereference pattern. Reported
+//                    separately from barrier-ordered because the repair
+//                    economics differ — the ordering is free, it just has
+//                    to not be broken (READ_ONCE on the source, no
+//                    laundering through plain locals).
 //   racy-under(M)    no common lock and some endpoint's protocol is broken
 //                    under model M — a store left store-store-reorderable,
 //                    or a load left load-load-reorderable, feeding this
@@ -62,6 +70,12 @@ struct RacePair {
   std::vector<std::string> racy_models;        // buggy form (fix flags off)
   std::vector<std::string> racy_fixed_models;  // fixed form
   bool fix_gated = false;  // racy under >= 1 model buggy, under none fixed
+  // A token-backed dependency chain neutralized a would-be protocol break
+  // touching this pair. For a fix-gated pair this tags the cases where the
+  // *fixed* form stays clean through a dependency, not a barrier — the
+  // rcu_dereference reader pattern (the publish fix covers the store side;
+  // the load side was never broken because the address dep orders it).
+  bool dep_ordered = false;
   // A common must-hold lockset of some locked occurrence pair, when the
   // pair is *also* reachable locked (diagnostic only).
   LockSet sample_locks;
@@ -81,6 +95,7 @@ struct FileRaceStats {
   int conflicting = 0;  // distinct conflicting-pair identities
   int locked = 0;       // every live occurrence locked, racy nowhere
   int ordered = 0;      // barrier-ordered under every model, racy nowhere
+  int dep_ordered = 0;  // clean via an honored dependency chain, racy nowhere
   std::map<std::string, int> gated_by_model;     // model -> fix-gated races
   std::map<std::string, int> residual_by_model;  // model -> racy-even-fixed
   int deadlocks = 0;
@@ -96,6 +111,7 @@ struct RaceReport {
   int conflicting = 0;
   int locked = 0;
   int ordered = 0;
+  int dep_ordered = 0;
   int gated = 0;
   int residual = 0;
 };

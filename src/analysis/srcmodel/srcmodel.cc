@@ -58,6 +58,30 @@ const std::map<std::string, OskSem>& BuiltinOps() {
   return kOps;
 }
 
+// The dependency-carrying macro vocabulary (src/oemu/cell.h's DepToken API).
+// `defines` macros bind their token argument to the emitted load; the others
+// consume it. Store-shaped consumers carry a value argument between the
+// target and the token: OSK_STORE_DATA_DEP(cell, value, tok).
+struct DepMacro {
+  OskSem sem = OskSem::kLoadRelaxed;
+  bool defines = false;  // binds the token (vs consuming it)
+  bool marked = false;   // READ_ONCE-class load: a dep source the compiler
+                         // may not break under LKMM
+  oemu::DepKind kind = oemu::DepKind::kAddr;  // of the consumption
+  bool has_value = false;                     // (cell, value, tok) shape
+};
+
+const std::map<std::string, DepMacro>& DepMacros() {
+  static const std::map<std::string, DepMacro> kOps = {
+      {"OSK_LOAD_TOK", {OskSem::kLoadRelaxed, true, false, oemu::DepKind::kAddr, false}},
+      {"OSK_READ_ONCE_TOK", {OskSem::kLoadRelaxed, true, true, oemu::DepKind::kAddr, false}},
+      {"OSK_LOAD_ADDR_DEP", {OskSem::kLoadRelaxed, false, false, oemu::DepKind::kAddr, false}},
+      {"OSK_STORE_DATA_DEP", {OskSem::kStoreRelaxed, false, false, oemu::DepKind::kData, true}},
+      {"OSK_STORE_CTRL_DEP", {OskSem::kStoreRelaxed, false, false, oemu::DepKind::kCtrl, true}},
+  };
+  return kOps;
+}
+
 // Classifies a file-local #define whose body wraps OSK_* macros (e.g. a
 // subsystem CAS helper around OSK_RMW) by scanning the joined replacement.
 bool ClassifyMacroBody(const std::string& body, OskSem* out) {
@@ -604,8 +628,9 @@ class Parser {
     out->push_back(std::move(s));
   }
 
-  void EmitOsk(OskSem sem, const std::string& expr, int line, std::vector<Stmt>* out) {
-    Op op;
+  void EmitOsk(OskSem sem, const std::string& expr, int line, std::vector<Stmt>* out,
+               Op base = Op()) {
+    Op op = std::move(base);
     op.sem = sem;
     switch (sem) {
       case OskSem::kLoadRelaxed:
@@ -664,6 +689,12 @@ class Parser {
   // lock calls, candidate function calls, and the fix-flag ternary
   // (`fixed_ ? A : B`, modeled as a branch).
   void ScanExpr(std::size_t begin, std::size_t end, std::vector<Stmt>* out) {
+    // Strip redundant wrapping parens (`(fixed_ ? a : b)` as a macro value
+    // argument) so the ternary detection below sees the operator at depth 0.
+    while (begin + 2 <= end && IsPunct(toks_[begin], "(") && Match(begin, end) == end - 1) {
+      ++begin;
+      --end;
+    }
     // Fix-flag ternary at top level?
     int depth = 0;
     for (std::size_t i = begin; i < end; ++i) {
@@ -750,6 +781,41 @@ class Parser {
         continue;
       }
       bool has_paren = i + 1 < end && IsPunct(toks_[i + 1], "(");
+      // Dependency-token macro invocation (OSK_*_TOK / OSK_*_DEP)?
+      auto dep = DepMacros().find(t.text);
+      if (dep != DepMacros().end() && has_paren) {
+        const DepMacro& dm = dep->second;
+        std::size_t close = Match(i + 1, end);
+        std::size_t arg_end = FirstTopComma(i + 2, close);
+        std::string target = JoinTokens(i + 2, arg_end);
+        std::size_t tok_begin = arg_end + 1;
+        if (dm.has_value) {
+          // (cell, value, tok): scan the value argument for nested
+          // invocations and ternaries, then step past it to the token.
+          std::size_t value_end = FirstTopComma(tok_begin, close);
+          ScanExpr(tok_begin, value_end, out);
+          tok_begin = value_end + 1;
+        }
+        std::string token = tok_begin < close ? JoinTokens(tok_begin, close) : std::string();
+        if (!token.empty() && token[0] == '&') {
+          token.erase(0, 1);
+        }
+        Op base;
+        if (dm.defines) {
+          base.dep_def = token;
+          base.dep_def_marked = dm.marked;
+          if (i >= begin + 2 && IsPunct(toks_[i - 1], "=") &&
+              toks_[i - 2].kind == TokKind::kIdent) {
+            base.value_dest = toks_[i - 2].text;
+          }
+        } else {
+          base.dep_use = token;
+          base.dep_kind = dm.kind;
+        }
+        EmitOsk(dm.sem, target, t.line, out, std::move(base));
+        i = close + 1;
+        continue;
+      }
       // Instrumented macro invocation?
       OskSem sem;
       bool is_op = false;
@@ -788,11 +854,20 @@ class Parser {
           }
         }
         // Scan value arguments for nested invocations first (they evaluate
-        // before the outer op).
+        // before the outer op); ScanExpr also models fix-flag ternaries in
+        // the value position (`OSK_STORE(c, fixed_ ? a : b)`).
         if (arg_end < close) {
-          ScanLinear(arg_end + 1, close, out);
+          ScanExpr(arg_end + 1, close, out);
         }
-        EmitOsk(sem, target, t.line, out);
+        Op base;
+        if ((sem == OskSem::kLoadRelaxed || sem == OskSem::kLoadAcquire) && i >= begin + 2 &&
+            IsPunct(toks_[i - 1], "=") && toks_[i - 2].kind == TokKind::kIdent) {
+          // `v = OSK_LOAD(c)`: the loaded value escapes into a local —
+          // advisory value-flow for dep recovery (deps.h).
+          base.value_dest = toks_[i - 2].text;
+          base.dep_def_marked = t.text == "OSK_READ_ONCE" || sem == OskSem::kLoadAcquire;
+        }
+        EmitOsk(sem, target, t.line, out, std::move(base));
         i = close + 1;
         continue;
       }
@@ -1078,6 +1153,15 @@ class Dataflow {
             const LockSet& held) {
     if (!ClassRelaxed(cls)) {
       return;  // the model keeps this class in order by hardware
+    }
+    if (cls == PairClass::kLoadLoad && first >= 0 && opts_.dep_ordered != nullptr &&
+        opts_.dep_ordered->count({first, second}) != 0) {
+      // A runtime-enforced dependency chain orders this pair under the
+      // active model: reclassify as dep-ordered instead of reporting it.
+      if (opts_.dep_discharged != nullptr) {
+        opts_.dep_discharged->insert({first, second});
+      }
+      return;
     }
     if (opts_.suppress_locked && LocksOverlap(first_locks, held)) {
       return;  // both members inside the same critical section

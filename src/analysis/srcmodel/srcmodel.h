@@ -27,8 +27,12 @@
 #ifndef OZZ_SRC_ANALYSIS_SRCMODEL_SRCMODEL_H_
 #define OZZ_SRC_ANALYSIS_SRCMODEL_SRCMODEL_H_
 
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/oemu/event.h"
 
 namespace ozz::oemu {
 class MemoryModel;
@@ -105,6 +109,17 @@ struct Op {
   bool guard = false;       // RAII (SpinGuard) lock op — balanced by construction
   std::string lock_id;      // kLockEnter / kLockExit
   std::string callee;       // kCall
+  // Dependency value flow (src/analysis/srcmodel/deps.h). A load can *carry*
+  // its value out — through an explicit DepToken (OSK_LOAD_TOK /
+  // OSK_READ_ONCE_TOK second argument) or a plain local assignment
+  // (`v = OSK_LOAD(c)`) — and a later access can *consume* a carried value
+  // (OSK_LOAD_ADDR_DEP / OSK_STORE_{DATA,CTRL}_DEP token argument). The
+  // parser only records the syntax; RecoverDeps matches defs to uses.
+  std::string dep_def;          // DepToken name this load binds, "" if none
+  std::string value_dest;       // local ident assigned the loaded value
+  bool dep_def_marked = false;  // the defining load is READ_ONCE-class
+  std::string dep_use;          // DepToken name this access consumes
+  oemu::DepKind dep_kind = oemu::DepKind::kAddr;  // kind of dep_use
 };
 
 struct Stmt {
@@ -172,6 +187,17 @@ struct DataflowOptions {
   // orders nothing, and lockedness is decided per cross-thread pair by the
   // lockset tier (src/analysis/srcmodel/locks.h) instead.
   bool suppress_locked = true;
+  // Load-load pairs (site-index pairs, first precedes second) ordered by a
+  // runtime-enforced dependency chain the model honors — the token-backed
+  // output of deps.h's DepOrderedPairs. The dataflow reclassifies a matching
+  // pending pair as dep-ordered instead of reporting it unordered. Only
+  // token-backed deps belong here: ident-based recovery is advisory (the
+  // runtime does not enforce it), so discharging on it would let the static
+  // verdict disagree with dynamic witnesses.
+  const std::set<std::pair<int, int>>* dep_ordered = nullptr;
+  // When set, receives the pairs the dataflow actually reclassified (the
+  // dep-ordered verdicts the race analyzer and audit report separately).
+  std::set<std::pair<int, int>>* dep_discharged = nullptr;
 };
 
 // Runs the barrier-availability dataflow over every function in the file

@@ -44,6 +44,22 @@ struct AxEvent {
   bool undelayable = false;  // stores: release store / ordered-RMW store
   bool rmw_load = false;     // loads: RMW load, reads memory directly
 
+  // Honored syntactic dependency: the slice position (events index) of the
+  // reorder-side load this access's address/value/control derives from, or
+  // kNoDep. BuildSlice resolves the trace's dep edge against the slice and
+  // applies the model's DepOrdersLoad/DepOrdersStore check up front, so
+  // CheckSlice adds the ppo edge unconditionally when dep_on is set. A dep
+  // whose source fell outside the slice is dropped — fewer edges is the
+  // permissive (sound-for-refutation) direction.
+  static constexpr std::size_t kNoDep = static_cast<std::size_t>(-1);
+  std::size_t dep_on = kNoDep;
+
+  // A dependency the model does NOT honor as traced, but would honor if the
+  // chain's head load were a marked (READ_ONCE-class) load. No ppo edge is
+  // derived from it; fence synthesis uses it to propose the cheaper repair
+  // (mark the head, keep the free dependency ordering) before any barrier.
+  std::size_t dep_on_if_marked = kNoDep;
+
   bool IsAccess() const { return kind != Kind::kBarrier; }
   bool IsStore() const { return kind == Kind::kStore; }
   bool IsLoad() const { return kind == Kind::kLoad; }

@@ -286,6 +286,9 @@ Prog SeedProgramFor(const osk::SyscallTable& table, const std::string& subsystem
   if (subsystem == "seqlock") {
     return MakeSeed(table, {"seqlock$update", "seqlock$read"});
   }
+  if (subsystem == "rcu") {
+    return MakeSeed(table, {"rcu$update", "rcu$read"});
+  }
   if (subsystem == "synthetic") {
     return MakeSeed(table, {"syn$t1", "syn$t2"});
   }
@@ -297,7 +300,7 @@ std::vector<Prog> SeedPrograms(const osk::SyscallTable& table) {
   for (const char* name :
        {"watch_queue", "tls", "tls_getsockopt", "tls_err_abort", "rds", "xsk", "xsk_xmit",
         "bpf_sockmap", "smc", "smc_close", "vmci", "gsm", "vlan", "unix", "nbd", "mq", "fs", "rdma", "buffer",
-        "ringbuf", "seqlock", "synthetic"}) {
+        "ringbuf", "seqlock", "rcu", "synthetic"}) {
     Prog p = SeedProgramFor(table, name);
     if (!p.calls.empty()) {
       seeds.push_back(std::move(p));

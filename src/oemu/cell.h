@@ -58,6 +58,17 @@ T FromWord(u64 w) {
   return v;
 }
 
+// A dependency token, captured at a value-carrying load via the *_TOK macros
+// and handed to a po-later access whose address/value/branch condition is
+// computed from that load's value (the *_DEP macros). It is the source-level
+// stand-in for the register dataflow the paper's compiler pass would track:
+// the token names the source call site, and the runtime resolves it against
+// the thread's last execution of that site. A default-constructed token
+// carries no dependency.
+struct DepToken {
+  InstrId src = kInvalidInstr;
+};
+
 template <typename T>
 T LoadCell(InstrId instr, const Cell<T>& cell) {
   Runtime* rt = Runtime::Active();
@@ -74,6 +85,45 @@ T ReadOnceCell(InstrId instr, const Cell<T>& cell) {
     return cell.raw();
   }
   return FromWord<T>(rt->Load(instr, cell.address(), sizeof(T), /*annotated=*/true));
+}
+
+template <typename T>
+T LoadCellTok(InstrId instr, const Cell<T>& cell, DepToken* tok) {
+  tok->src = instr;
+  return LoadCell(instr, cell);
+}
+
+template <typename T>
+T ReadOnceCellTok(InstrId instr, const Cell<T>& cell, DepToken* tok) {
+  tok->src = instr;
+  return ReadOnceCell(instr, cell);
+}
+
+// A plain load whose address derives from the token's source load
+// (rcu_dereference-style pointer chase). The dependency — not an annotation —
+// is what orders it: armv8x honors any head, lkmm honors marked heads.
+template <typename T>
+T LoadCellAddrDep(InstrId instr, const Cell<T>& cell, DepToken tok) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    return cell.raw();
+  }
+  return FromWord<T>(rt->Load(instr, cell.address(), sizeof(T), /*annotated=*/false,
+                              Dep{tok.src, DepKind::kAddr}));
+}
+
+// A plain store whose value (kData) or execution (kCtrl: the store sits
+// under a branch testing the loaded value) derives from the token's source.
+template <typename T>
+void StoreCellDep(InstrId instr, Cell<T>& cell, std::type_identity_t<T> v, DepToken tok,
+                  DepKind kind) {
+  Runtime* rt = Runtime::Active();
+  if (rt == nullptr || !rt->InstrumentationEnabledFor(instr)) {
+    cell.set_raw(v);
+    return;
+  }
+  rt->Store(instr, cell.address(), sizeof(T), ToWord(v), /*annotated=*/false,
+            Dep{tok.src, kind});
 }
 
 template <typename T>
@@ -200,5 +250,30 @@ inline void StoreByteAt(InstrId instr, uptr addr, u8 v) {
 #define OSK_SMP_WMB()                                                                 \
   (::ozz::oemu::BarrierAt(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kBarrier, "smp_wmb"), \
                           ::ozz::oemu::BarrierType::kStoreBarrier))
+
+// ---- Dependency-carrying variants ----
+// `tok` is a local ::ozz::oemu::DepToken. The *_TOK loads capture it (they
+// are dependency heads); the *_DEP accesses consume it (their address, value
+// or controlling branch derives from the head's value).
+
+#define OSK_LOAD_TOK(cell, tok)                                                      \
+  (::ozz::oemu::LoadCellTok(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kLoad, #cell), \
+                            (cell), &(tok)))
+
+#define OSK_READ_ONCE_TOK(cell, tok)                                                         \
+  (::ozz::oemu::ReadOnceCellTok(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kReadOnce, #cell), \
+                                (cell), &(tok)))
+
+#define OSK_LOAD_ADDR_DEP(cell, tok)                                                     \
+  (::ozz::oemu::LoadCellAddrDep(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kLoad, #cell), \
+                                (cell), (tok)))
+
+#define OSK_STORE_DATA_DEP(cell, v, tok)                                             \
+  (::ozz::oemu::StoreCellDep(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kStore, #cell), \
+                             (cell), (v), (tok), ::ozz::oemu::DepKind::kData))
+
+#define OSK_STORE_CTRL_DEP(cell, v, tok)                                             \
+  (::ozz::oemu::StoreCellDep(OZZ_OEMU_SITE(::ozz::oemu::InstrKind::kStore, #cell), \
+                             (cell), (v), (tok), ::ozz::oemu::DepKind::kCtrl))
 
 #endif  // OZZ_SRC_OEMU_CELL_H_

@@ -58,6 +58,16 @@ constexpr BarrierClass ClassOf(BarrierType t) {
 
 const char* BarrierTypeName(BarrierType t);
 
+// Syntactic dependency kinds (LKMM's addr/data/ctrl relations). A dependency
+// links a value-carrying load to a po-later access that consumes its value:
+// as an address (kAddr), as a stored value (kData), or as a branch condition
+// the access is control-dependent on (kCtrl). Which kinds actually order
+// which access classes under which backend is MemoryModel::DepOrdersLoad /
+// DepOrdersStore — the kinds themselves are model-independent.
+enum class DepKind : u8 { kAddr, kData, kCtrl };
+
+const char* DepKindName(DepKind k);
+
 struct Event {
   // kAccess: an instruction executed (program order).
   // kBarrier: a barrier executed (explicit or implied by an annotation).
@@ -83,6 +93,19 @@ struct Event {
   bool delayed = false;    // store executed into the virtual store buffer
   bool versioned = false;  // load served from the store history
   u64 window = 0;          // loads: the versioning-window start at execution
+
+  // Syntactic dependency carried into this access: the po-earlier load whose
+  // value feeds this access's address/value/condition. kInvalidInstr when
+  // the access carries no dependency (the common case). dep_marked records
+  // whether the *source* load was annotated (READ_ONCE-class) — LKMM only
+  // guarantees dependency ordering from marked loads, while armv8x hardware
+  // honors any head (MemoryModel::DepOrdersLoad/DepOrdersStore decide).
+  InstrId dep_instr = kInvalidInstr;
+  u32 dep_occurrence = 0;  // occurrence of dep_instr the value came from
+  DepKind dep_kind = DepKind::kAddr;
+  bool dep_marked = false;
+
+  bool HasDep() const { return dep_instr != kInvalidInstr; }
 
   // Barrier fields.
   BarrierType barrier = BarrierType::kFull;

@@ -57,6 +57,32 @@ BarrierClass MemoryModel::EffectOf(BarrierType type) const {
   return {false, false};
 }
 
+bool MemoryModel::DepOrdersLoad(DepKind kind, bool src_marked) const {
+  if (!rx_.load_load) {
+    return true;  // loads never reorder at all on tso/pso
+  }
+  if (kind == DepKind::kCtrl) {
+    // load-to-load control dependencies order nothing anywhere: both LKMM
+    // and ARMv8 allow the second load to be speculated past the branch.
+    return false;
+  }
+  // addr (and the degenerate data-into-load) case: armv8x hardware tracks
+  // the register dataflow and honors any head; LKMM only promises ordering
+  // when the head is marked (a plain load's dependency is compiler-breakable).
+  return id_ == ModelId::kArmv8x ? true : src_marked;
+}
+
+bool MemoryModel::DepOrdersStore(DepKind kind, bool src_marked) const {
+  (void)kind;  // addr, data and ctrl all order load->store equally
+  if (!rx_.load_store) {
+    return true;  // the inversion this would forbid is not modeled at all
+  }
+  // armv8x: a store whose address/value/execution depends on a load cannot
+  // become visible before the load binds, whatever the head. (LKMM never
+  // reaches here — its load_store is false.)
+  return id_ == ModelId::kArmv8x ? true : src_marked;
+}
+
 RmwEffect MemoryModel::EffectOfRmw(RmwOrder order) const {
   // On TSO every atomic RMW is a locked instruction and therefore a full
   // fence regardless of the requested strength.

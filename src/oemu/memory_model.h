@@ -105,6 +105,27 @@ class MemoryModel {
 
   RmwEffect EffectOfRmw(RmwOrder order) const;
 
+  // Dependency ordering (LKMM addr/data/ctrl, §"Dependency ordering" in
+  // DESIGN.md). A dependency links a value-carrying load L to a po-later
+  // access A that consumes L's value. These predicates answer: does the
+  // dependency forbid A being reordered before L under this model?
+  //
+  //   * DepOrdersLoad  — A is a load (addr dependency; the only kind that
+  //     can target a load). Gates the versioning window: a dep-ordered load
+  //     must not observe a value older than what its source load saw.
+  //   * DepOrdersStore — A is a store (data or ctrl dependency). Only
+  //     meaningful where load-store reordering is modeled (armv8x), and only
+  //     in the axiomatic engine: the runtime cannot mechanically invert a
+  //     load with a po-later store (the load binds before the store commits).
+  //
+  // `src_marked` is whether L was an annotated (READ_ONCE-class) load. LKMM
+  // only promises dependency ordering from marked loads — the compiler may
+  // break dependencies headed by plain loads — while armv8x hardware honors
+  // the syntactic dependency regardless of marking. Models whose loads never
+  // reorder (tso/pso) are trivially dep-ordered.
+  bool DepOrdersLoad(DepKind kind, bool src_marked) const;
+  bool DepOrdersStore(DepKind kind, bool src_marked) const;
+
   // Candidate repairs in ascending cost, restricted to operations that are
   // meaningful under this model (no smp_rmb candidates on a model whose
   // loads never reorder).

@@ -55,6 +55,18 @@ const char* BarrierTypeName(BarrierType t) {
   return "?";
 }
 
+const char* DepKindName(DepKind k) {
+  switch (k) {
+    case DepKind::kAddr:
+      return "addr";
+    case DepKind::kData:
+      return "data";
+    case DepKind::kCtrl:
+      return "ctrl";
+  }
+  return "?";
+}
+
 Runtime::Runtime(Options opts) : opts_(opts), model_(&MemoryModel::Resolve(opts.model)) {}
 
 Runtime::~Runtime() {
@@ -154,7 +166,9 @@ void Runtime::ClearControls(ThreadId thread) {
 }
 
 void Runtime::OnSyscallEnter(ThreadId thread) {
-  Ctx(thread).occurrences.clear();
+  ThreadCtx& ctx = Ctx(thread);
+  ctx.occurrences.clear();
+  ctx.dep_vals.clear();
   OZZ_TRACE_EMIT(obs::EvType::kSyscallEnter, thread, clock_, kInvalidInstr, 0, 0);
 }
 
@@ -320,7 +334,7 @@ const StoreBuffer& Runtime::buffer(ThreadId thread) const {
 
 void Runtime::RecordAccess(ThreadCtx& ctx, InstrId instr, AccessType type, uptr addr, u32 size,
                            u64 value, u32 occurrence, bool annotated, bool delayed,
-                           bool versioned) {
+                           bool versioned, const ResolvedDep& dep) {
   if (!ctx.recording) {
     return;
   }
@@ -337,7 +351,30 @@ void Runtime::RecordAccess(ThreadCtx& ctx, InstrId instr, AccessType type, uptr 
   e.delayed = delayed;
   e.versioned = versioned;
   e.window = ctx.window_start;
+  e.dep_instr = dep.instr;
+  e.dep_occurrence = dep.occurrence;
+  e.dep_kind = dep.kind;
+  e.dep_marked = dep.marked;
   ctx.trace.push_back(e);
+}
+
+Runtime::ResolvedDep Runtime::ResolveDep(ThreadCtx& ctx, Dep dep) {
+  if (dep.src == kInvalidInstr) {
+    return {};
+  }
+  auto it = ctx.dep_vals.find(dep.src);
+  if (it == ctx.dep_vals.end()) {
+    // The named source never executed in this syscall (e.g. a token from a
+    // branch not taken): no dependency to honor.
+    return {};
+  }
+  ResolvedDep r;
+  r.instr = dep.src;
+  r.occurrence = it->second.occurrence;
+  r.kind = dep.kind;
+  r.marked = it->second.marked;
+  r.effective = it->second.effective;
+  return r;
 }
 
 void Runtime::RecordBarrier(ThreadCtx& ctx, InstrId instr, BarrierType type) {
@@ -353,7 +390,7 @@ void Runtime::RecordBarrier(ThreadCtx& ctx, InstrId instr, BarrierType type) {
 }
 
 u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 occurrence,
-                       bool* versioned_out) {
+                       const ResolvedDep& dep, bool* versioned_out, u64* effective_out) {
   u8 bytes[8];
   std::memcpy(bytes, reinterpret_cast<const void*>(addr), size);
   bool versioned = false;
@@ -371,6 +408,16 @@ u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 o
     auto floor_it = ctx.loc_floor.find(addr);
     if (floor_it != ctx.loc_floor.end() && floor_it->second > as_of) {
       as_of = floor_it->second;
+    }
+    // Dependency floor: a load whose address derives from a po-earlier load
+    // cannot bind before that load did, under models honoring the dependency
+    // (armv8x always; lkmm from marked heads — where the source's implied
+    // load barrier already advanced the window this far, keeping lkmm
+    // behavior bit-exact). tso/pso never version at all.
+    if (dep.instr != kInvalidInstr && model_->DepOrdersLoad(dep.kind, dep.marked) &&
+        dep.effective > as_of) {
+      as_of = dep.effective;
+      ++stats_.dep_floored_loads;
     }
     versioned = history_.ValueAsOf(addr, size, as_of, bytes);
     if (versioned) {
@@ -408,22 +455,29 @@ u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 o
   if (versioned_out != nullptr) {
     *versioned_out = versioned;
   }
+  if (effective_out != nullptr) {
+    *effective_out = effective_time;
+  }
   return BytesToValue(bytes, size);
 }
 
-u64 Runtime::Load(InstrId instr, uptr addr, u32 size, bool annotated) {
+u64 Runtime::Load(InstrId instr, uptr addr, u32 size, bool annotated, Dep dep) {
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kLoad, instr, CheckPhase::kExecute);
+  const ResolvedDep rdep = ResolveDep(ctx, dep);
   bool versioned = false;
-  u64 v = ReadValue(ctx, instr, addr, size, occ, &versioned);
+  u64 effective = clock_;
+  u64 v = ReadValue(ctx, instr, addr, size, occ, rdep, &versioned, &effective);
   ++stats_.loads;
   if (versioned) {
     ++stats_.versioned_load_hits;
   }
-  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, annotated, false, versioned);
+  ctx.dep_vals[instr] = DepVal{effective, occ, annotated};
+  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, annotated, false, versioned,
+               rdep);
   if (annotated) {
     // LKMM Case 6 (the Alpha rule): READ_ONCE / atomic loads head address
     // dependencies, so lkmm treats them as a load barrier — later versioned
@@ -439,12 +493,17 @@ u64 Runtime::Load(InstrId instr, uptr addr, u32 size, bool annotated) {
   return v;
 }
 
-void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated) {
+void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated, Dep dep) {
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
+  // The dependency is trace metadata here: a store can never mechanically
+  // commit before a po-earlier load executed (the load bound at or before
+  // now), so load-store dependency ordering holds at runtime by
+  // construction. The axiomatic engine consumes the stamped edge.
+  const ResolvedDep rdep = ResolveDep(ctx, dep);
 
   // Coherence / model order: a store overlapping an in-flight delayed store
   // must not overtake it (same-location stores commit in program order on
@@ -464,7 +523,8 @@ void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotate
   bool delayed = spec_delayed || forced_delay;
   BufferedStore s{instr, addr, size, value, occ};
   ++stats_.stores;
-  RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, annotated, delayed, false);
+  RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, annotated, delayed, false,
+               rdep);
   if (delayed) {
     s.delayed_at = clock_;
     if (OZZ_TRACE_ACTIVE()) {
@@ -486,12 +546,16 @@ u64 Runtime::LoadAcquire(InstrId instr, uptr addr, u32 size) {
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kLoad, instr, CheckPhase::kExecute);
   bool versioned = false;
-  u64 v = ReadValue(ctx, instr, addr, size, occ, &versioned);
+  u64 effective = clock_;
+  u64 v = ReadValue(ctx, instr, addr, size, occ, ResolvedDep{}, &versioned, &effective);
   ++stats_.loads;
   if (versioned) {
     ++stats_.versioned_load_hits;
   }
-  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, true, false, versioned);
+  // An acquire load can head a dependency chain like any marked load.
+  ctx.dep_vals[instr] = DepVal{effective, occ, true};
+  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, v, occ, true, false, versioned,
+               ResolvedDep());
   // Case 4: behave as if a load barrier sits right after the acquire load
   // (acquire closes the window under every model — release/acquire are
   // respected modulo every relaxation matrix).
@@ -517,7 +581,8 @@ void Runtime::StoreRelease(InstrId instr, uptr addr, u32 size, u64 value) {
   FlushLocked(tid, ctx);
   RecordBarrier(ctx, instr, BarrierType::kRelease);
   ++stats_.stores;
-  RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, true, false, false);
+  RecordAccess(ctx, instr, AccessType::kStore, addr, size, value, occ, true, false, false,
+               ResolvedDep());
   CommitStore(tid, BufferedStore{instr, addr, size, value, occ});
   NotifyScheduler(instr, rt::SwitchWhen::kAfterAccess);
 }
@@ -542,6 +607,9 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
   ctx.buffer.Forward(addr, size, bytes);
   u64 old = BytesToValue(bytes, size);
   u64 updated = fn(old, operand);
+  // The load half reads at the current clock and is annotated: it may head
+  // dependency chains (e.g. a pointer installed by xchg and then chased).
+  ctx.dep_vals[instr] = DepVal{clock_, occ, true};
 
   bool forced_delay = ctx.buffer.DelayRequiredFor(*model_, addr, size);
   bool spec_delayed = eff.delayable && opts_.reordering_enabled && model_->StoresDelayable() &&
@@ -555,8 +623,10 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
   BufferedStore s{instr, addr, size, updated, occ};
   ++stats_.stores;
   ++stats_.loads;
-  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, old, occ, true, false, false);
-  RecordAccess(ctx, instr, AccessType::kStore, addr, size, updated, occ, true, delayed, false);
+  RecordAccess(ctx, instr, AccessType::kLoad, addr, size, old, occ, true, false, false,
+               ResolvedDep());
+  RecordAccess(ctx, instr, AccessType::kStore, addr, size, updated, occ, true, delayed, false,
+               ResolvedDep());
   if (delayed) {
     s.delayed_at = clock_;
     if (OZZ_TRACE_ACTIVE()) {

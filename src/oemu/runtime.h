@@ -69,6 +69,17 @@ struct RuntimeOptions {
   const MemoryModel* model = nullptr;
 };
 
+// A syntactic dependency annotation on an access: the value of the load at
+// `src` feeds this access's address (kAddr), stored value (kData), or the
+// branch condition it is control-dependent on (kCtrl). Call sites obtain
+// `src` from a DepToken captured at the source load (src/oemu/cell.h); an
+// invalid src means "no dependency" and is the default everywhere, so
+// existing call sites are unaffected.
+struct Dep {
+  InstrId src = kInvalidInstr;
+  DepKind kind = DepKind::kAddr;
+};
+
 class Runtime {
  public:
   using Options = RuntimeOptions;
@@ -87,6 +98,10 @@ class Runtime {
     u64 spec_delayed_stores = 0;
     u64 spec_stale_loads = 0;
     u64 spec_fresh_loads = 0;
+    // Loads whose versioning rewind was clamped by an honored dependency:
+    // the model forbids the dependent load binding before its source, so the
+    // as-of point was raised to the source load's effective time.
+    u64 dep_floored_loads = 0;
   };
 
   enum class CheckPhase : u8 {
@@ -130,8 +145,14 @@ class Runtime {
   void RecordLock(ThreadId thread, u32 lock_cls, bool acquire);
 
   // ---- Access callbacks ----
-  u64 Load(InstrId instr, uptr addr, u32 size, bool annotated);
-  void Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated);
+  // `dep` (when src is valid) names the po-earlier load whose value feeds
+  // this access. For loads under a model honoring the dependency it floors
+  // the versioning rewind; for stores it is trace metadata only (the runtime
+  // mechanically cannot commit a store before a po-earlier load executed, so
+  // load-store dependency ordering is enforced by construction — only the
+  // axiomatic engine needs the edge).
+  u64 Load(InstrId instr, uptr addr, u32 size, bool annotated, Dep dep = {});
+  void Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated, Dep dep = {});
   u64 LoadAcquire(InstrId instr, uptr addr, u32 size);
   void StoreRelease(InstrId instr, uptr addr, u32 size, u64 value);
   // Atomic read-modify-write; returns the old value. `fn` maps old -> new.
@@ -192,12 +213,36 @@ class Runtime {
   // Spec: instr -> targeted occurrences; empty set = every occurrence.
   using Spec = std::unordered_map<InstrId, std::set<u32>>;
 
+  // The last execution of a value-carrying load, as seen by po-later accesses
+  // that name it as a dependency source: the effective time its value was
+  // current at (== its rewound as-of point when versioned, the global clock
+  // otherwise), the dynamic occurrence, and whether the load was annotated
+  // (LKMM honors only marked heads).
+  struct DepVal {
+    u64 effective = 0;
+    u32 occurrence = 0;
+    bool marked = false;
+  };
+
+  // A Dep resolved against the executing thread: invalid instr = no dep (the
+  // source never executed this syscall, or none was named).
+  struct ResolvedDep {
+    InstrId instr = kInvalidInstr;
+    u32 occurrence = 0;
+    DepKind kind = DepKind::kAddr;
+    bool marked = false;
+    u64 effective = 0;  // source load's effective time (the rewind floor)
+  };
+
   struct ThreadCtx {
     StoreBuffer buffer;
     u64 window_start = 0;  // t_rmb of the versioning window (t_rmb, t_cur]
     Spec delay_store;
     Spec read_old;
     std::unordered_map<InstrId, u32> occurrences;
+    // Dependency-source table: per load instruction, its latest DepVal.
+    // Reset with the occurrence counters at syscall entry.
+    std::unordered_map<InstrId, DepVal> dep_vals;
     bool recording = false;
     Trace trace;
     // Per-location coherence floor: the youngest timestamp this thread has
@@ -223,12 +268,17 @@ class Runtime {
   void AdvanceWindow(ThreadCtx& ctx) { ctx.window_start = clock_; }
 
   void RecordAccess(ThreadCtx& ctx, InstrId instr, AccessType type, uptr addr, u32 size,
-                    u64 value, u32 occurrence, bool annotated, bool delayed, bool versioned);
+                    u64 value, u32 occurrence, bool annotated, bool delayed, bool versioned,
+                    const ResolvedDep& dep);
   void RecordBarrier(ThreadCtx& ctx, InstrId instr, BarrierType type);
 
+  static ResolvedDep ResolveDep(ThreadCtx& ctx, Dep dep);
+
   // Byte-assembly of a load result honoring buffer > history > memory.
+  // `dep` floors the versioning rewind when the model honors it;
+  // `effective_out` receives the time the returned value was current at.
   u64 ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 occurrence,
-                bool* versioned_out);
+                const ResolvedDep& dep, bool* versioned_out, u64* effective_out = nullptr);
 
   Options opts_;
   const MemoryModel* model_ = nullptr;  // never null after construction

@@ -6,6 +6,7 @@
 #include "src/osk/subsys/gsm.h"
 #include "src/osk/subsys/mq_sbitmap.h"
 #include "src/osk/subsys/nbd.h"
+#include "src/osk/subsys/rcu.h"
 #include "src/osk/subsys/rdma.h"
 #include "src/osk/subsys/rds.h"
 #include "src/osk/subsys/ringbuf.h"
@@ -38,6 +39,7 @@ void InstallDefaultSubsystems(Kernel& kernel) {
   kernel.Install(MakeRingbufSubsystem());
   kernel.Install(MakeSeqlockSubsystem());
   kernel.Install(MakeRdmaSubsystem());
+  kernel.Install(MakeRcuSubsystem());
   kernel.Install(MakeBufferHeadSubsystem());
   kernel.Install(MakeSyntheticSubsystem());
 }

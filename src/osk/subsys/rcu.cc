@@ -1,0 +1,99 @@
+// RCU publish/subscribe subsystem: missing-release publisher, dependency-
+// ordered lockless readers.
+#include "src/osk/subsys/rcu.h"
+
+#include <atomic>
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+
+namespace ozz::osk {
+namespace {
+
+// Invariant: value == key + 1 once initialized. Allocated without zeroing,
+// so a reader that observes the publish before the initializing stores have
+// drained sees the arena poison pattern and the invariant fails.
+struct RcuItem {
+  oemu::Cell<u64> key;
+  oemu::Cell<u64> value;
+};
+
+struct RcuRoot {
+  oemu::Cell<RcuItem*> head;
+};
+
+}  // namespace
+
+class RcuSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "rcu"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("rcu");
+    root_ = kernel.New<RcuRoot>("rcu_init");
+
+    SyscallDesc update;
+    update.name = "rcu$update";
+    update.subsystem = name();
+    update.fn = [this](Kernel& k, const std::vector<i64>&) { return Update(k); };
+    kernel.table().Add(std::move(update));
+
+    SyscallDesc read;
+    read.name = "rcu$read";
+    read.subsystem = name();
+    read.fn = [this](Kernel& k, const std::vector<i64>&) { return Read(k); };
+    kernel.table().Add(std::move(read));
+  }
+
+  // rcu_assign_pointer() path: initialize the fresh item, then publish it.
+  // The publish must be a release store — the buggy form publishes plain, so
+  // the pointer store can commit while key/value still sit in the updater's
+  // store buffer. (The replaced item is deliberately leaked: reclamation
+  // would need a grace period, which is not the bug under test.)
+  long Update(Kernel& k) {
+    FunctionContext fn("rcu_publish");
+    RcuItem* it = static_cast<RcuItem*>(k.KmAllocUninit(sizeof(RcuItem), "rcu_publish"));
+    const u64 g = gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+    OSK_STORE(it->key, g);
+    OSK_STORE(it->value, g + 1);
+    if (fixed_) {
+      OSK_STORE_RELEASE(root_->head, it);
+    } else {
+      // ozz-lint: allow-mixed — the plain publish IS the planted missing-release bug
+      OSK_STORE(root_->head, it);
+    }
+    return kOk;
+  }
+
+  // rcu_dereference() path, correct in both forms: a marked pointer load
+  // heads the dependency chain, and the field loads carry an address
+  // dependency on it — that chain, not a barrier, is what keeps them from
+  // being satisfied ahead of the pointer load under load-load-relaxed
+  // models.
+  long Read(Kernel& k) {
+    FunctionContext fn("rcu_read");
+    oemu::DepToken tok;
+    RcuItem* it = OSK_READ_ONCE_TOK(root_->head, tok);
+    if (it == nullptr) {
+      return kENoEnt;  // nothing published yet
+    }
+    u64 key = OSK_LOAD_ADDR_DEP(it->key, tok);
+    u64 value = OSK_LOAD_ADDR_DEP(it->value, tok);
+    // A published item always satisfies the invariant; poison here means the
+    // publish outran the initializing stores.
+    k.BugOn(value != key + 1, "rcu stale read (value != key + 1)");
+    return static_cast<long>(key & 0x7fffffff);
+  }
+
+ private:
+  RcuRoot* root_ = nullptr;
+  // ozz-lint: allow-atomic — generation counter for unique keys; updater serialization is not under test
+  std::atomic<u64> gen_{0};
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeRcuSubsystem() {
+  return std::make_unique<RcuSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,24 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_RCU_H_
+#define OZZ_SRC_OSK_SUBSYS_RCU_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// RCU-style publish/subscribe: the updater initializes a fresh item and
+// publishes it through a shared pointer; lockless readers chase the pointer
+// with rcu_dereference() — a marked load plus an *address dependency*, no
+// barrier. The readers are correct in both forms: the dependency chain (not
+// an acquire) is what orders the dereference after the pointer load under
+// every model that relaxes load-load. The planted bug is on the other side:
+// the buggy updater publishes with a plain store (rcu_assign_pointer minus
+// its smp_store_release), so the publish can commit before the item's
+// initializing stores drain and a reader dereferences poison — the classic
+// missing-release publish bug. Fixed key: "rcu".
+std::unique_ptr<Subsystem> MakeRcuSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_RCU_H_

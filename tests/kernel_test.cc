@@ -229,7 +229,8 @@ TEST(PerCpuTest, SlotsAreDistinctAndHackForcesZero) {
 TEST(SubsystemTest, DefaultInstallRegistersAll) {
   Kernel k;
   InstallDefaultSubsystems(k);
-  EXPECT_EQ(k.SubsystemNames().size(), 18u);
+  EXPECT_EQ(k.SubsystemNames().size(), 19u);
+  EXPECT_NE(k.Find("rcu"), nullptr);
   EXPECT_NE(k.Find("watch_queue"), nullptr);
   EXPECT_NE(k.Find("seqlock"), nullptr);
   EXPECT_NE(k.Find("tls"), nullptr);

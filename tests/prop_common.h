@@ -27,10 +27,19 @@ struct POp {
   int cell = 0;
   u64 value = 0;
   InstrId instr = kInvalidInstr;
+  // Dependency shaping (PR 8): when dep_src >= 0, this access consumes the
+  // value of the same-thread load at op index dep_src — its address (kAddr),
+  // stored value (kData), or controlling branch (kCtrl). dep_instr caches
+  // that source op's InstrId so the executor can hand the runtime a resolved
+  // oemu::Dep without re-walking the program.
+  int dep_src = -1;
+  InstrId dep_instr = kInvalidInstr;
+  oemu::DepKind dep_kind = oemu::DepKind::kAddr;
 
   bool IsStoreOp() const { return kind == kSt || kind == kStOnce || kind == kStRel; }
   bool IsLoadOp() const { return kind == kLd || kind == kLdOnce || kind == kLdAcq; }
   bool IsAccessOp() const { return IsStoreOp() || IsLoadOp(); }
+  bool HasDep() const { return dep_src >= 0; }
 };
 
 inline constexpr int kCells = 3;
@@ -49,21 +58,26 @@ inline InstrId PoolInstr(int thread, std::size_t slot) {
 
 inline void ExecOp(oemu::Runtime& rt, const POp& op) {
   uptr a = CellAddr(op.cell);
+  oemu::Dep dep;
+  if (op.HasDep()) {
+    dep.src = op.dep_instr;
+    dep.kind = op.dep_kind;
+  }
   switch (op.kind) {
     case POp::kLd:
-      rt.Load(op.instr, a, 8, /*annotated=*/false);
+      rt.Load(op.instr, a, 8, /*annotated=*/false, dep);
       break;
     case POp::kLdOnce:
-      rt.Load(op.instr, a, 8, /*annotated=*/true);
+      rt.Load(op.instr, a, 8, /*annotated=*/true, dep);
       break;
     case POp::kLdAcq:
       rt.LoadAcquire(op.instr, a, 8);
       break;
     case POp::kSt:
-      rt.Store(op.instr, a, 8, op.value, /*annotated=*/false);
+      rt.Store(op.instr, a, 8, op.value, /*annotated=*/false, dep);
       break;
     case POp::kStOnce:
-      rt.Store(op.instr, a, 8, op.value, /*annotated=*/true);
+      rt.Store(op.instr, a, 8, op.value, /*annotated=*/true, dep);
       break;
     case POp::kStRel:
       rt.StoreRelease(op.instr, a, 8, op.value);
@@ -106,6 +120,39 @@ inline Prog GenProg(std::mt19937& rng) {
     }
     if (acc >= 2) {
       break;
+    }
+  }
+  // Dependency shaping: with ~1/2 probability, pick a value-carrying thread-0
+  // load and thread its value into one later thread-0 access — the three
+  // dep-shaped populations (load-feeds-address, load-feeds-store-value,
+  // load-feeds-branch). Sources are plain/marked loads only (acquire loads
+  // have no token variant); one chain per program keeps the source render
+  // simple while the population still covers every (kind, source-markedness,
+  // model) cell.
+  if (rng() % 2 == 0) {
+    std::vector<std::size_t> srcs;
+    for (std::size_t i = 0; i + 1 < p.t0.size(); i++) {
+      if (p.t0[i].kind == POp::kLd || p.t0[i].kind == POp::kLdOnce) {
+        srcs.push_back(i);
+      }
+    }
+    if (!srcs.empty()) {
+      const std::size_t s = srcs[rng() % srcs.size()];
+      std::vector<std::size_t> tgts;
+      for (std::size_t j = s + 1; j < p.t0.size(); j++) {
+        const POp::Kind k = p.t0[j].kind;
+        if (k == POp::kLd || k == POp::kLdOnce || k == POp::kSt || k == POp::kStOnce) {
+          tgts.push_back(j);
+        }
+      }
+      if (!tgts.empty()) {
+        POp& tgt = p.t0[tgts[rng() % tgts.size()]];
+        tgt.dep_src = static_cast<int>(s);
+        tgt.dep_instr = p.t0[s].instr;
+        tgt.dep_kind = tgt.IsLoadOp()
+                           ? oemu::DepKind::kAddr
+                           : (rng() % 2 == 0 ? oemu::DepKind::kData : oemu::DepKind::kCtrl);
+      }
     }
   }
   u64 next = 1;
@@ -303,11 +350,17 @@ inline bool ConcreteWitness(const RunResult& run, uptr la, uptr lb, InstrId firs
 inline std::string DescribeProg(const Prog& p) {
   auto one = [](const std::vector<POp>& ops) {
     const char* names[] = {"Ld", "St", "LdOnce", "StOnce", "LdAcq", "StRel", "wmb", "rmb", "mb"};
+    const char* kinds[] = {"addr", "data", "ctrl"};
     std::string s;
     for (const POp& op : ops) {
       s += names[op.kind];
       if (op.IsAccessOp()) {
-        s += "(c" + std::to_string(op.cell) + ")";
+        s += "(c" + std::to_string(op.cell);
+        if (op.HasDep()) {
+          s += "," + std::string(kinds[static_cast<int>(op.dep_kind)]) + "@" +
+               std::to_string(op.dep_src);
+        }
+        s += ")";
       }
       s += "; ";
     }

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/srcmodel/deps.h"
 #include "src/analysis/srcmodel/srcmodel.h"
 #include "src/oemu/memory_model.h"
 #include "tests/prop_common.h"
@@ -30,27 +31,68 @@ using namespace prop;
 // Renders one thread's op list as an instrumented OSK function. Cells map to
 // fields of a shared struct (`s->c0`..), so the source-level target-identity
 // model and the runtime's addresses agree on which accesses conflict.
+// Dependency chains render as the DepToken macros (one token per source op),
+// mirroring what ExecOp hands the runtime — the srcmodel value-flow pass
+// must recover exactly the chains the runtime enforces.
 std::string RenderFn(const char* name, const std::vector<POp>& ops) {
   std::string out = std::string("void ") + name + "(S* s) {\n";
-  int reg = 0;
+  std::set<int> dep_sources;
   for (const POp& op : ops) {
+    if (op.HasDep()) {
+      dep_sources.insert(op.dep_src);
+    }
+  }
+  for (int s : dep_sources) {
+    out += "  oemu::DepToken tok" + std::to_string(s) + ";\n";
+  }
+  auto tok = [](int src) { return "tok" + std::to_string(src); };
+  int reg = 0;
+  for (std::size_t i = 0; i < ops.size(); i++) {
+    const POp& op = ops[i];
     const std::string cell = "s->c" + std::to_string(op.cell);
     const std::string val = std::to_string(op.value);
+    const bool is_source = dep_sources.count(static_cast<int>(i)) != 0;
     switch (op.kind) {
       case POp::kLd:
-        out += "  u64 r" + std::to_string(reg++) + " = OSK_LOAD(" + cell + ");\n";
+        out += "  u64 r" + std::to_string(reg++) + " = ";
+        if (op.HasDep()) {
+          out += "OSK_LOAD_ADDR_DEP(" + cell + ", " + tok(op.dep_src) + ");\n";
+        } else if (is_source) {
+          out += "OSK_LOAD_TOK(" + cell + ", tok" + std::to_string(i) + ");\n";
+        } else {
+          out += "OSK_LOAD(" + cell + ");\n";
+        }
         break;
       case POp::kLdOnce:
-        out += "  u64 r" + std::to_string(reg++) + " = OSK_READ_ONCE(" + cell + ");\n";
+        out += "  u64 r" + std::to_string(reg++) + " = ";
+        if (op.HasDep()) {
+          out += "OSK_LOAD_ADDR_DEP(" + cell + ", " + tok(op.dep_src) + ");\n";
+        } else if (is_source) {
+          out += "OSK_READ_ONCE_TOK(" + cell + ", tok" + std::to_string(i) + ");\n";
+        } else {
+          out += "OSK_READ_ONCE(" + cell + ");\n";
+        }
         break;
       case POp::kLdAcq:
         out += "  u64 r" + std::to_string(reg++) + " = OSK_LOAD_ACQUIRE(" + cell + ");\n";
         break;
       case POp::kSt:
-        out += "  OSK_STORE(" + cell + ", " + val + ");\n";
+        if (op.HasDep()) {
+          const char* m = op.dep_kind == oemu::DepKind::kData ? "OSK_STORE_DATA_DEP"
+                                                              : "OSK_STORE_CTRL_DEP";
+          out += "  " + std::string(m) + "(" + cell + ", " + val + ", " + tok(op.dep_src) + ");\n";
+        } else {
+          out += "  OSK_STORE(" + cell + ", " + val + ");\n";
+        }
         break;
       case POp::kStOnce:
-        out += "  OSK_WRITE_ONCE(" + cell + ", " + val + ");\n";
+        if (op.HasDep()) {
+          const char* m = op.dep_kind == oemu::DepKind::kData ? "OSK_STORE_DATA_DEP"
+                                                              : "OSK_STORE_CTRL_DEP";
+          out += "  " + std::string(m) + "(" + cell + ", " + val + ", " + tok(op.dep_src) + ");\n";
+        } else {
+          out += "  OSK_WRITE_ONCE(" + cell + ", " + val + ");\n";
+        }
         break;
       case POp::kStRel:
         out += "  OSK_STORE_RELEASE(" + cell + ", " + val + ");\n";
@@ -77,7 +119,7 @@ TEST_P(StaticOrderingPropertyPerModel, OrderedVerdictsNeverContradictedByRuntime
   const oemu::MemoryModel* model = GetParam();
   std::mt19937 rng(20260808);
   int programs = 0, ordered_pairs = 0, unordered_pairs = 0;
-  int witnessed_unordered = 0;
+  int witnessed_unordered = 0, dep_discharged_pairs = 0;
   u64 runs = 0;
   for (int iter = 0; iter < 250; iter++) {
     Prog p = GenProg(rng);
@@ -107,13 +149,24 @@ TEST_P(StaticOrderingPropertyPerModel, OrderedVerdictsNeverContradictedByRuntime
       ASSERT_EQ(site.expr, "s->c" + std::to_string(p.t0[acc_ops[a]].cell)) << src;
     }
 
+    // Token-backed dependency chains the model honors discharge pending
+    // load-load pairs, upgrading them to the *ordered* verdict — which the
+    // brute force below then holds to the same never-witnessed standard as
+    // barrier-ordered pairs: zero disagreement between the static dep
+    // verdict and the runtime's dep-floor enforcement.
+    const DepInfo deps = RecoverDeps(m);
+    const std::set<std::pair<int, int>> dep_ok = DepOrderedPairs(deps, *model);
+    std::set<std::pair<int, int>> discharged;
     DataflowOptions opts;
     opts.model = model;
     opts.suppress_locked = false;
+    opts.dep_ordered = &dep_ok;
+    opts.dep_discharged = &discharged;
     std::set<std::pair<int, int>> unordered;
     for (const SitePair& sp : UnorderedPairs(m, opts)) {
       unordered.insert({sp.first, sp.second});
     }
+    dep_discharged_pairs += static_cast<int>(discharged.size());
 
     struct PairVerdict {
       std::size_t a, b;  // t0 op indices
@@ -166,14 +219,20 @@ TEST_P(StaticOrderingPropertyPerModel, OrderedVerdictsNeverContradictedByRuntime
     }
   }
   printf("[races-property %s] programs=%d pairs: ordered=%d unordered=%d "
-         "runs=%llu witnessed-unordered-hits=%d\n",
-         model->name(), programs, ordered_pairs, unordered_pairs,
+         "dep-discharged=%d runs=%llu witnessed-unordered-hits=%d\n",
+         model->name(), programs, ordered_pairs, unordered_pairs, dep_discharged_pairs,
          static_cast<unsigned long long>(runs), witnessed_unordered);
   // The generator must exercise both verdicts, and the brute force must be
   // able to witness reorders at all (otherwise the soundness check is vacuous).
   EXPECT_GT(ordered_pairs, 0);
   EXPECT_GT(unordered_pairs, 0);
   EXPECT_GT(witnessed_unordered, 0);
+  // Dep-shaped programs must actually exercise the discharge wherever loads
+  // reorder at all (on tso/pso load-load pairs are never pending, so there
+  // is nothing to discharge).
+  if (model->LoadsVersionable()) {
+    EXPECT_GT(dep_discharged_pairs, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, StaticOrderingPropertyPerModel,

@@ -47,6 +47,7 @@ inline constexpr Scenario kBugScenarios[] = {
     {"ringbuf_torn_read", "ringbuf", "seqcount read tore", "ringbuf", "S-S"},
     {"seqlock_torn_read", "seqlock", "seqlock read tore", "seqlock", "S-S"},
     {"rdma_hw_t45", "rdma", "irdma_poll_cq", "rdma", "L-L"},
+    {"rcu_stale_read", "rcu", "rcu stale read", "rcu", "S-S"},
     {"buffer_memorder_82", "buffer", "slab-use-after-free Write", "buffer", "S-S"},
     {"synthetic_sb_fig10", "synthetic", "SB litmus violated", "synthetic", "S-S"},
 };

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/analysis/srcmodel/audit.h"
+#include "src/analysis/srcmodel/deps.h"
 #include "src/analysis/srcmodel/srcmodel.h"
 #include "src/analysis/srcmodel/srcparse.h"
 #include "src/oemu/memory_model.h"
@@ -606,6 +607,201 @@ TEST(SrcModelTest, LkmmModelPathMatchesParseTimeKillBits) {
           << src.path << " fixed=" << assume_fixed;
     }
   }
+}
+
+// --- ternary expressions ----------------------------------------------------
+
+TEST(SrcModelTest, TernaryArmsBothContributeSites) {
+  FileModel m = Parse(
+      "void F(S* s, bool c) {\n"
+      "  u64 v = c ? OSK_LOAD(s->x) : OSK_LOAD(s->y);\n"
+      "  (void)v;\n"
+      "}\n");
+  std::set<std::string> exprs;
+  for (const AccessSite& site : m.sites) {
+    exprs.insert(site.expr);
+  }
+  EXPECT_EQ(exprs.count("s->x"), 1u);
+  EXPECT_EQ(exprs.count("s->y"), 1u);
+}
+
+TEST(SrcModelTest, TernaryArmAccessesPairWithLaterAccesses) {
+  // Both arms may execute; each arm's load pairs with the po-later load,
+  // exactly as if the ternary were an if/else.
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s, bool c) {\n"
+      "  u64 v = c ? OSK_LOAD(s->x) : OSK_LOAD(s->y);\n"
+      "  u64 w = OSK_LOAD(s->z);\n"
+      "  (void)v; (void)w;\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[L] -> F:s->z[L]")) << ::testing::PrintToString(pairs);
+  EXPECT_TRUE(HasPair(pairs, "F:s->y[L] -> F:s->z[L]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, TernaryInStoreValueParses) {
+  FileModel m = Parse(
+      "void F(S* s, bool c) {\n"
+      "  OSK_STORE(s->z, c ? OSK_LOAD(s->x) : 2);\n"
+      "}\n");
+  std::set<std::string> exprs;
+  for (const AccessSite& site : m.sites) {
+    exprs.insert(site.expr);
+  }
+  EXPECT_EQ(exprs.count("s->z"), 1u);
+  EXPECT_EQ(exprs.count("s->x"), 1u);
+}
+
+// --- dependency recovery ----------------------------------------------------
+
+// Site index of the unique access whose expression is `expr`.
+int SiteOf(const FileModel& m, const std::string& expr) {
+  for (std::size_t i = 0; i < m.sites.size(); ++i) {
+    if (m.sites[i].expr == expr) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TEST(SrcDepTest, TokenAddrDepIsRecoveredMarkedAndHonored) {
+  FileModel m = Parse(
+      "long F(R* r) {\n"
+      "  oemu::DepToken tok;\n"
+      "  I* it = OSK_READ_ONCE_TOK(r->head, tok);\n"
+      "  u64 k = OSK_LOAD_ADDR_DEP(it->key, tok);\n"
+      "  return (long)k;\n"
+      "}\n");
+  DepInfo deps = RecoverDeps(m);
+  const int src = SiteOf(m, "r->head");
+  const int dst = SiteOf(m, "it->key");
+  ASSERT_GE(src, 0);
+  ASSERT_GE(dst, 0);
+  const DepEdge* e = FindDepEdge(deps, src, dst);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->token_backed);
+  EXPECT_TRUE(e->source_marked);
+  EXPECT_FALSE(e->target_is_store);
+  EXPECT_EQ(e->kind, oemu::DepKind::kAddr);
+  // Marked head: both lkmm and armv8x honor the address dependency.
+  EXPECT_EQ(DepOrderedPairs(deps, oemu::MemoryModel::Lkmm()).count({src, dst}), 1u);
+  EXPECT_EQ(DepOrderedPairs(deps, *oemu::MemoryModel::ByName("armv8x")).count({src, dst}), 1u);
+}
+
+TEST(SrcDepTest, PlainTokenSourceHonoredOnArmv8xOnly) {
+  // OSK_LOAD_TOK heads the chain with a *plain* load: the hardware dataflow
+  // (armv8x) still orders it, but LKMM makes no promise — the compiler may
+  // break an unmarked head.
+  FileModel m = Parse(
+      "long F(R* r) {\n"
+      "  oemu::DepToken tok;\n"
+      "  I* it = OSK_LOAD_TOK(r->head, tok);\n"
+      "  u64 k = OSK_LOAD_ADDR_DEP(it->key, tok);\n"
+      "  return (long)k;\n"
+      "}\n");
+  DepInfo deps = RecoverDeps(m);
+  const int src = SiteOf(m, "r->head");
+  const int dst = SiteOf(m, "it->key");
+  const DepEdge* e = FindDepEdge(deps, src, dst);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->token_backed);
+  EXPECT_FALSE(e->source_marked);
+  EXPECT_EQ(DepOrderedPairs(deps, oemu::MemoryModel::Lkmm()).count({src, dst}), 0u);
+  EXPECT_EQ(DepOrderedPairs(deps, *oemu::MemoryModel::ByName("armv8x")).count({src, dst}), 1u);
+}
+
+TEST(SrcDepTest, StoreTargetsNeverDischargeLoadLoadPairs) {
+  // Data/ctrl dependencies into stores are recovered (the runtime traces
+  // them) but DepOrderedPairs only feeds the load-load discharge.
+  FileModel m = Parse(
+      "void F(R* r) {\n"
+      "  oemu::DepToken tok;\n"
+      "  u64 v = OSK_READ_ONCE_TOK(r->in, tok);\n"
+      "  OSK_STORE_DATA_DEP(r->out, v + 1, tok);\n"
+      "}\n");
+  DepInfo deps = RecoverDeps(m);
+  const int src = SiteOf(m, "r->in");
+  const int dst = SiteOf(m, "r->out");
+  const DepEdge* e = FindDepEdge(deps, src, dst);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->target_is_store);
+  EXPECT_EQ(e->kind, oemu::DepKind::kData);
+  for (const oemu::MemoryModel* model : oemu::MemoryModel::All()) {
+    EXPECT_EQ(DepOrderedPairs(deps, *model).count({src, dst}), 0u) << model->name();
+  }
+}
+
+TEST(SrcDepTest, IdentFlowIsAdvisoryOnly) {
+  // A plain-local value flow is recovered for the lint and the fence
+  // synthesizer, but never discharges statically: the runtime does not
+  // track plain locals.
+  FileModel m = Parse(
+      "void F(C* c) {\n"
+      "  u64 v = OSK_LOAD(c->idx);\n"
+      "  u64 w = OSK_LOAD(c->arr[v]);\n"
+      "  (void)w;\n"
+      "}\n");
+  DepInfo deps = RecoverDeps(m);
+  const int src = SiteOf(m, "c->idx");
+  const int dst = SiteOf(m, "c->arr[v]");
+  const DepEdge* e = FindDepEdge(deps, src, dst);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->token_backed);
+  for (const oemu::MemoryModel* model : oemu::MemoryModel::All()) {
+    EXPECT_TRUE(DepOrderedPairs(deps, *model).empty()) << model->name();
+  }
+}
+
+TEST(SrcDepTest, DataflowDischargesHonoredTokenPairs) {
+  // The rcu reader shape: under armv8x (load-load relaxed, hardware deps)
+  // the head->field L-L pair is discharged by the dependency chain; with no
+  // dep facts supplied the same pair stays unordered.
+  FileModel m = Parse(
+      "long F(R* r) {\n"
+      "  oemu::DepToken tok;\n"
+      "  I* it = OSK_READ_ONCE_TOK(r->head, tok);\n"
+      "  u64 k = OSK_LOAD_ADDR_DEP(it->key, tok);\n"
+      "  return (long)k;\n"
+      "}\n");
+  const oemu::MemoryModel& armv8x = *oemu::MemoryModel::ByName("armv8x");
+  DataflowOptions bare;
+  bare.model = &armv8x;
+  std::vector<SitePair> without = UnorderedPairs(m, bare);
+  bool pair_without = false;
+  for (const SitePair& p : without) {
+    pair_without = pair_without || p.cls == PairClass::kLoadLoad;
+  }
+  EXPECT_TRUE(pair_without);
+
+  DepInfo deps = RecoverDeps(m);
+  const std::set<std::pair<int, int>> honored = DepOrderedPairs(deps, armv8x);
+  std::set<std::pair<int, int>> discharged;
+  DataflowOptions with_deps = bare;
+  with_deps.dep_ordered = &honored;
+  with_deps.dep_discharged = &discharged;
+  std::vector<SitePair> with = UnorderedPairs(m, with_deps);
+  for (const SitePair& p : with) {
+    EXPECT_NE(p.cls, PairClass::kLoadLoad) << Render(m, p);
+  }
+  EXPECT_FALSE(discharged.empty());
+}
+
+TEST(SrcDepTest, TokenReboundToSecondLoadDemotesFirstBinding) {
+  // Two bindings of one token: only the latest binding before the use is
+  // runtime-enforced; an edge from the first load must not be token-backed.
+  FileModel m = Parse(
+      "long F(R* r) {\n"
+      "  oemu::DepToken tok;\n"
+      "  I* a = OSK_READ_ONCE_TOK(r->first, tok);\n"
+      "  I* b = OSK_READ_ONCE_TOK(r->second, tok);\n"
+      "  u64 k = OSK_LOAD_ADDR_DEP(b->key, tok);\n"
+      "  (void)a;\n"
+      "  return (long)k;\n"
+      "}\n");
+  DepInfo deps = RecoverDeps(m);
+  const int first = SiteOf(m, "r->first");
+  const int dst = SiteOf(m, "b->key");
+  const DepEdge* stale = FindDepEdge(deps, first, dst);
+  EXPECT_TRUE(stale == nullptr || !stale->token_backed);
 }
 
 // --- path normalization -----------------------------------------------------

@@ -11,9 +11,10 @@
 //     form: the documented missing-barrier sites;
 //   * residual pairs  — unordered in both forms: benign under invariants the
 //     syntactic model cannot see. These feed the CI baseline
-//     (ci/audit_baseline.txt): --baseline fails (exit 1) on any residual
-//     pair not listed there, so new statically-unordered pairs need an
-//     explicit baseline update to land.
+//     (ci/audit_baseline.txt): --baseline fails (exit 1) with a unified diff
+//     when the residual set drifts either way, so both new
+//     statically-unordered pairs and stale baseline entries need an explicit
+//     baseline regeneration to land.
 // By default the report also joins static sites against the seed-corpus
 // dynamic profile (never-profiled sites, never-hint-tested pairs); that is
 // the signal `ozz_fuzz --static-guide` consumes. The audit is advisory: it
@@ -22,8 +23,10 @@
 #include <cstring>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
+#include "src/analysis/baseline_diff.h"
 #include "src/analysis/srcmodel/audit.h"
 #include "src/fuzz/static_guide.h"
 #include "src/oemu/memory_model.h"
@@ -41,7 +44,8 @@ void Usage() {
       "  --json             emit one machine-readable JSON report on stdout\n"
       "  --assume-fixed     print the unordered-pair identities of the fixed form only\n"
       "  --no-coverage      skip the dynamic coverage cross-check (faster; CI uses this)\n"
-      "  --baseline FILE    fail (exit 1) on residual pairs missing from FILE\n"
+      "  --baseline FILE    fail (exit 1) if the residual pairs differ from FILE\n"
+      "                     (prints a unified diff)\n"
       "  --print-baseline   print the residual-pair identities (the baseline format)\n");
 }
 
@@ -111,26 +115,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ozz_audit: cannot read baseline '%s'\n", baseline_path.c_str());
       return 2;
     }
-    std::set<std::string> allowed;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty() && line[0] != '#') {
-        allowed.insert(line);
-      }
-    }
-    int fresh = 0;
+    std::ostringstream expected_text;
+    expected_text << in.rdbuf();
+    std::vector<std::string> actual;
     for (const srcmodel::AuditPair& pair : report.pairs) {
-      if (!pair.fix_gated && allowed.count(pair.Identity()) == 0) {
-        std::fprintf(stderr, "ozz_audit: NEW statically-unordered pair (not in %s):\n  %s\n",
-                     baseline_path.c_str(), pair.Identity().c_str());
-        ++fresh;
+      if (!pair.fix_gated) {
+        actual.push_back(pair.Identity());
       }
     }
-    if (fresh != 0) {
-      std::fprintf(stderr,
-                   "ozz_audit: %d new pair(s); add a barrier or update the baseline "
-                   "(ozz_audit --src %s --print-baseline)\n",
-                   fresh, src_dir.c_str());
+    const std::string diff =
+        analysis::UnifiedDiff(analysis::BaselineLines(expected_text.str()), actual);
+    if (!diff.empty()) {
+      std::fprintf(stderr, "%s",
+                   analysis::FormatBaselineMismatch(
+                       "ozz_audit", baseline_path, diff,
+                       "ozz_audit --src " + src_dir + " --print-baseline")
+                       .c_str());
       return 1;
     }
   }

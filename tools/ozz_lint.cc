@@ -1,7 +1,8 @@
 // ozz_lint: instrumentation-discipline lint over simulated-kernel sources.
 //
 // Usage:
-//   ozz_lint [--model-discipline | --mixed-access] FILE_OR_DIR...
+//   ozz_lint [--model-discipline | --mixed-access | --dep-discipline]
+//            [--sarif FILE] FILE_OR_DIR...
 //
 // Default mode flags shared-state accesses that bypass the OSK_* macros
 // (see src/analysis/lint.h for the rules and suppression comments); it is
@@ -9,9 +10,12 @@
 // flags direct calls to the LKMM inline-rule helpers (ClassOf) that bypass
 // the MemoryModel query points — that mode is safe over the whole src/
 // tree. --mixed-access runs the KCSAN-style marked/plain mixed-accessor
-// rule over simulated-kernel sources. Directories are scanned recursively
-// for .cc/.h files. Exits 1 when any finding is reported — suitable as a
-// CI gate.
+// rule over simulated-kernel sources. --dep-discipline flags idioms that
+// compile-break claimed dependency chains (pointer compared non-null,
+// token value laundered through a plain re-load). Directories are scanned
+// recursively for .cc/.h files. --sarif additionally writes the findings
+// as a SARIF 2.1.0 log (GitHub code scanning format). Exits 1 when any
+// finding is reported — suitable as a CI gate.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "src/analysis/lint.h"
+#include "src/analysis/sarif.h"
 
 using namespace ozz;
 namespace fs = std::filesystem;
@@ -30,9 +35,10 @@ bool LintableFile(const fs::path& p) {
   return p.extension() == ".cc" || p.extension() == ".h";
 }
 
-enum class LintMode { kSource, kModelDiscipline, kMixedAccess };
+enum class LintMode { kSource, kModelDiscipline, kMixedAccess, kDepDiscipline };
 
-int LintFile(const fs::path& path, LintMode mode, std::size_t* findings) {
+int LintFile(const fs::path& path, LintMode mode,
+             std::vector<analysis::LintFinding>* findings) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "ozz_lint: cannot read %s\n", path.c_str());
@@ -48,13 +54,16 @@ int LintFile(const fs::path& path, LintMode mode, std::size_t* findings) {
     case LintMode::kMixedAccess:
       found = analysis::LintMixedAccess(path.string(), contents.str());
       break;
+    case LintMode::kDepDiscipline:
+      found = analysis::LintDepDiscipline(path.string(), contents.str());
+      break;
     case LintMode::kSource:
       found = analysis::LintSource(path.string(), contents.str());
       break;
   }
-  for (const analysis::LintFinding& f : found) {
+  for (analysis::LintFinding& f : found) {
     std::printf("%s\n", analysis::FormatFinding(f).c_str());
-    ++*findings;
+    findings->push_back(std::move(f));
   }
   return 0;
 }
@@ -63,21 +72,29 @@ int LintFile(const fs::path& path, LintMode mode, std::size_t* findings) {
 
 int main(int argc, char** argv) {
   LintMode mode = LintMode::kSource;
+  std::string sarif_path;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--model-discipline") {
+    std::string arg = argv[i];
+    if (arg == "--model-discipline") {
       mode = LintMode::kModelDiscipline;
-    } else if (std::string(argv[i]) == "--mixed-access") {
+    } else if (arg == "--mixed-access") {
       mode = LintMode::kMixedAccess;
+    } else if (arg == "--dep-discipline") {
+      mode = LintMode::kDepDiscipline;
+    } else if (arg == "--sarif") {
+      sarif_path = i + 1 < argc ? argv[++i] : "";
     } else {
-      inputs.push_back(argv[i]);
+      inputs.push_back(arg);
     }
   }
   if (inputs.empty()) {
-    std::fprintf(stderr, "usage: ozz_lint [--model-discipline | --mixed-access] FILE_OR_DIR...\n");
+    std::fprintf(stderr,
+                 "usage: ozz_lint [--model-discipline | --mixed-access | --dep-discipline] "
+                 "[--sarif FILE] FILE_OR_DIR...\n");
     return 2;
   }
-  std::size_t findings = 0;
+  std::vector<analysis::LintFinding> findings;
   std::size_t files = 0;
   for (const std::string& in_path : inputs) {
     fs::path p = in_path;
@@ -98,6 +115,23 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("ozz_lint: %zu finding(s) in %zu file(s)\n", findings, files);
-  return findings == 0 ? 0 : 1;
+  if (!sarif_path.empty()) {
+    std::vector<analysis::SarifResult> results;
+    for (const analysis::LintFinding& f : findings) {
+      analysis::SarifResult r;
+      r.rule_id = f.rule;
+      r.message = f.message;
+      r.file = f.file;
+      r.line = f.line;
+      results.push_back(std::move(r));
+    }
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "ozz_lint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    out << analysis::SarifLog("ozz_lint", "src/analysis/lint.h", results);
+  }
+  std::printf("ozz_lint: %zu finding(s) in %zu file(s)\n", findings.size(), files);
+  return findings.empty() ? 0 : 1;
 }

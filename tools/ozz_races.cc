@@ -3,7 +3,7 @@
 //
 // Usage:
 //   ozz_races [--src DIR] [--json] [--model NAME] [--assume-fixed]
-//             [--baseline FILE] [--print-baseline]
+//             [--baseline FILE] [--print-baseline] [--sarif FILE]
 //
 // Parses every .cc/.h under DIR (default src/osk), computes interprocedural
 // must-hold locksets, and classifies every conflicting access pair (same
@@ -21,6 +21,8 @@
 #include <sstream>
 #include <string>
 
+#include "src/analysis/baseline_diff.h"
+#include "src/analysis/sarif.h"
 #include "src/analysis/srcmodel/races.h"
 #include "src/oemu/memory_model.h"
 
@@ -40,8 +42,9 @@ void Usage() {
       "  --assume-fixed     print the racy-pair identities of the fixed form only\n"
       "                     (under the focus model; empty when all bugs are fix-gated)\n"
       "  --baseline FILE    fail (exit 1) if the model|file|gated|residual matrix\n"
-      "                     differs from FILE\n"
-      "  --print-baseline   print the matrix in the baseline format\n");
+      "                     differs from FILE (prints a unified diff)\n"
+      "  --print-baseline   print the matrix in the baseline format\n"
+      "  --sarif FILE       also write the racy pairs as a SARIF 2.1.0 log\n");
 }
 
 }  // namespace
@@ -49,6 +52,7 @@ void Usage() {
 int main(int argc, char** argv) {
   std::string src_dir = "src/osk";
   std::string baseline_path;
+  std::string sarif_path;
   std::string focus = "lkmm";
   bool json = false;
   bool assume_fixed = false;
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
       baseline_path = next();
     } else if (arg == "--print-baseline") {
       print_baseline = true;
+    } else if (arg == "--sarif") {
+      sarif_path = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -119,42 +125,43 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ozz_races: cannot read baseline '%s'\n", baseline_path.c_str());
       return 2;
     }
-    std::set<std::string> expected;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty() && line[0] != '#') {
-        expected.insert(line);
-      }
-    }
-    std::set<std::string> actual;
-    std::istringstream matrix(srcmodel::RaceBaselineMatrix(report));
-    while (std::getline(matrix, line)) {
-      if (!line.empty()) {
-        actual.insert(line);
-      }
-    }
-    int bad = 0;
-    for (const std::string& cell : actual) {
-      if (expected.count(cell) == 0) {
-        std::fprintf(stderr, "ozz_races: cell not in %s:\n  %s\n", baseline_path.c_str(),
-                     cell.c_str());
-        ++bad;
-      }
-    }
-    for (const std::string& cell : expected) {
-      if (actual.count(cell) == 0) {
-        std::fprintf(stderr, "ozz_races: baseline cell missing from analysis:\n  %s\n",
-                     cell.c_str());
-        ++bad;
-      }
-    }
-    if (bad != 0) {
-      std::fprintf(stderr,
-                   "ozz_races: %d matrix cell(s) changed; fix the race or regenerate "
-                   "(ozz_races --src %s --print-baseline)\n",
-                   bad, src_dir.c_str());
+    std::ostringstream expected_text;
+    expected_text << in.rdbuf();
+    const std::string diff =
+        analysis::UnifiedDiff(analysis::BaselineLines(expected_text.str()),
+                              analysis::BaselineLines(srcmodel::RaceBaselineMatrix(report)));
+    if (!diff.empty()) {
+      std::fprintf(stderr, "%s",
+                   analysis::FormatBaselineMismatch(
+                       "ozz_races", baseline_path, diff,
+                       "ozz_races --src " + src_dir + " --print-baseline")
+                       .c_str());
       return 1;
     }
+  }
+
+  if (!sarif_path.empty()) {
+    std::vector<analysis::SarifResult> results;
+    for (const srcmodel::RacePair& p : report.races) {
+      analysis::SarifResult r;
+      r.rule_id = p.fix_gated ? "fix-gated-race" : "residual-race";
+      r.level = p.fix_gated ? "warning" : "note";
+      std::string models;
+      for (const std::string& m : p.racy_models) {
+        models += (models.empty() ? "" : ",") + m;
+      }
+      r.message = p.Identity() + " racy under {" + models + "}" +
+                  (p.fix_gated ? " in the buggy form only (fix-gated)" : " even when fixed");
+      r.file = p.first.file;
+      r.line = p.first.line;
+      results.push_back(std::move(r));
+    }
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "ozz_races: cannot write '%s'\n", sarif_path.c_str());
+      return 2;
+    }
+    out << analysis::SarifLog("ozz_races", "src/analysis/srcmodel/races.h", results);
   }
 
   if (json) {
