@@ -18,6 +18,7 @@
 // can gate on it directly.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -155,6 +156,7 @@ int main() {
 
   const std::size_t count = sizeof(fuzz::kBugScenarios) / sizeof(fuzz::kBugScenarios[0]);
   std::size_t bugs_found = 0;
+  std::size_t reorder_count = 0;  // scenarios whose trigger IS a reordering
   std::size_t witnessed_count = 0;
   std::size_t fence_matches = 0;
   u64 generated = 0;
@@ -180,8 +182,15 @@ int main() {
     pairs_refuted += result.hint_stats.pairs_refuted;
     pairs_bounded += result.hint_stats.pairs_bounded;
 
+    // IRQ scenarios trigger via same-CPU interrupt injection: there is no
+    // memory reordering to witness and no missing barrier to synthesize
+    // (the fix is irq masking), so they stay out of the witness/fence
+    // accounting. The irq static/dynamic contract is property-tested in
+    // tests/irq_property_test.cc instead.
+    const bool is_reorder = std::strcmp(s.reorder_type, "IRQ") != 0;
+    reorder_count += is_reorder ? 1 : 0;
     HintJudgement judgement;
-    if (found) {
+    if (found && is_reorder) {
       judgement = JudgeTriggeringHint(result.bugs[0].spec, ConfigFor(s));
     }
     witnessed_count += judgement.witnessed ? 1 : 0;
@@ -195,8 +204,10 @@ int main() {
             ? std::string(analysis::FenceName(judgement.fence.kind)) + "()"
             : "-";
     std::printf("%-24s %-5s %-10s %-6s %-20s %.3f\n", s.name, found ? "yes" : "NO",
-                judgement.witnessed ? "yes" : "NO", match ? "yes" : "no", fence_desc.c_str(),
-                secs);
+                !is_reorder           ? "n/a"
+                : judgement.witnessed ? "yes"
+                                      : "NO",
+                match ? "yes" : "no", fence_desc.c_str(), secs);
     if (json != nullptr) {
       std::fprintf(json,
                    "    {\"name\": \"%s\", \"reorder_type\": \"%s\", \"bug_found\": %s, "
@@ -231,7 +242,7 @@ int main() {
   }
 
   std::printf("\nTotals: %zu/%zu bugs, %zu/%zu triggering hints witnessed, %zu/%zu fences match\n",
-              bugs_found, count, witnessed_count, count, fence_matches, count);
+              bugs_found, count, witnessed_count, reorder_count, fence_matches, reorder_count);
   std::printf("Prune: %llu generated, %llu static + %llu axiomatic (%.1f%%); verdicts %llu w / "
               "%llu r / %llu b\n",
               static_cast<unsigned long long>(generated),
@@ -242,11 +253,13 @@ int main() {
               static_cast<unsigned long long>(pairs_bounded));
   std::printf("wrote BENCH_axiomatic.json\n");
 
-  // Acceptance gates: every bug found and witnessed; >= 15/22 fence matches.
-  const bool ok = bugs_found == count && witnessed_count == count && fence_matches >= 15;
+  // Acceptance gates: every bug found; every reorder-type triggering hint
+  // witnessed; >= 15 fence matches among the reorder-type scenarios.
+  const bool ok =
+      bugs_found == count && witnessed_count == reorder_count && fence_matches >= 15;
   if (!ok) {
-    std::printf("FAILED acceptance: need %zu/%zu bugs+witnesses and >= 15 fence matches\n",
-                count, count);
+    std::printf("FAILED acceptance: need %zu/%zu bugs, %zu/%zu witnesses and >= 15 fence matches\n",
+                count, count, reorder_count, reorder_count);
   }
   return ok ? 0 : 1;
 }

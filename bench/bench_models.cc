@@ -66,9 +66,25 @@ Cell Hunt(const fuzz::Scenario& s, const oemu::MemoryModel* model) {
 int main(int argc, char** argv) {
   // --baseline prints the machine-readable trigger matrix (the
   // ci/models_baseline.txt format) instead of the human table + JSON.
+  // --trace-table prints the scenario table in the ci/trace_scenarios.txt
+  // `name|seed|pre_fixed|hack` format, so the trace triage gate follows
+  // tests/scenarios.h without a hand-maintained copy.
   const bool baseline_mode = argc > 1 && std::strcmp(argv[1], "--baseline") == 0;
+  const bool trace_table_mode = argc > 1 && std::strcmp(argv[1], "--trace-table") == 0;
 
   const std::size_t count = sizeof(fuzz::kBugScenarios) / sizeof(fuzz::kBugScenarios[0]);
+
+  if (trace_table_mode) {
+    std::printf("# ozz_fuzz/ozz_trace scenario table: name|seed|pre_fixed|hack\n");
+    std::printf("# regenerate with: bench_models --trace-table (ci/regen_baselines.sh)\n");
+    for (std::size_t i = 0; i < count; ++i) {
+      const fuzz::Scenario& s = fuzz::kBugScenarios[i];
+      std::printf("%s|%s|%s|%s\n", s.name, s.seed,
+                  s.pre_fixed != nullptr ? s.pre_fixed : "",
+                  s.migration_hack ? "hack" : "");
+    }
+    return 0;
+  }
   const std::vector<const oemu::MemoryModel*>& models = oemu::MemoryModel::All();
 
   if (!baseline_mode) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Reorder-trace triage gate over the 23 known-bug scenarios (tests/scenarios.h).
+# Reorder-trace triage gate over the 24 known-bug scenarios (tests/scenarios.h).
 #
 # For every scenario this script hunts the bug with `ozz_fuzz --trace-out`
 # (same recipe as bug_scenarios_test: seed 99, budget 2500, stop at 1 bug)
@@ -22,37 +22,19 @@ fi
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
-# name|seed|pre_fixed|migration_hack — mirrors tests/scenarios.h.
-SCENARIOS="
-rds_bug1|rds||
-watch_queue_bug2|watch_queue|watch_queue.rmb|
-vmci_bug3|vmci||
-xsk_poll_bug4|xsk||
-tls_getsockopt_bug5|tls_getsockopt||
-bpf_sockmap_bug6|bpf_sockmap||
-xsk_xmit_bug7|xsk_xmit||
-smc_connect_bug8|smc||
-tls_setsockopt_bug9|tls||
-smc_fput_bug10|smc_close||
-gsm_bug11|gsm||
-vlan_t4_1|vlan||
-watch_queue_rmb_t4_2|watch_queue|watch_queue.wmb|
-fs_fget_t4_5|fs||
-mq_sbitmap_t4_6|mq||hack
-nbd_t4_7|nbd||
-unix_t4_9|unix||
-ringbuf_torn_read|ringbuf||
-seqlock_torn_read|seqlock||
-rdma_hw_t45|rdma||
-rcu_stale_read|rcu||
-buffer_memorder_82|buffer||
-synthetic_sb_fig10|synthetic||
-"
+# name|seed|pre_fixed|migration_hack rows generated from tests/scenarios.h
+# (bench_models --trace-table via ci/regen_baselines.sh).
+TABLE="$(dirname "$0")/trace_scenarios.txt"
+if [[ ! -f "$TABLE" ]]; then
+  echo "check_trace: scenario table not found: $TABLE" >&2
+  echo "check_trace: regenerate with ci/regen_baselines.sh" >&2
+  exit 2
+fi
 
 fail=0
 total=0
 while IFS='|' read -r name seed pre_fixed hack; do
-  [[ -z "$name" ]] && continue
+  [[ -z "$name" || "$name" == \#* ]] && continue
   total=$((total + 1))
   dir="$WORK/$name"
   args=(--seed 99 --budget 2500 --bugs 1 --seed-prog "$seed" --trace-out "$dir")
@@ -86,10 +68,10 @@ while IFS='|' read -r name seed pre_fixed hack; do
   else
     echo "ok   $name: $traces trace(s), $triggered triggered"
   fi
-done <<< "$SCENARIOS"
+done < "$TABLE"
 
-if [[ "$total" -ne 23 ]]; then
-  echo "check_trace: scenario table out of sync ($total != 23)" >&2
+if [[ "$total" -ne 24 ]]; then
+  echo "check_trace: scenario table out of sync ($total != 24)" >&2
   fail=1
 fi
 

@@ -37,7 +37,7 @@ while read -r subsys floor flags; do
   # shellcheck disable=SC2086  # flags are whitespace-separated options
   got=$(witnessed "$subsys" $flags) || { echo "FAIL $subsys: ozz_analyze errored"; fail=1; continue; }
   if [ "$print_current" = 1 ]; then
-    echo "$subsys $got $flags"
+    echo "$subsys $got${flags:+ $flags}"
     continue
   fi
   if [ "$got" -lt "$floor" ]; then

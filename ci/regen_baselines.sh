@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# One-shot regeneration of every CI baseline, so adding a scenario (or
+# changing an analyzer) is one command instead of five hand-edits:
+#
+#   ci/audit_baseline.txt     residual statically-unordered pairs (ozz_audit)
+#   ci/races_baseline.txt     per-(model, subsystem) race matrix (ozz_races)
+#   ci/models_baseline.txt    per-model trigger matrix (bench_models)
+#   ci/witnessed_baseline.txt axiomatic witness floors (ozz_analyze)
+#   ci/trace_scenarios.txt    scenario table for the trace triage gate
+#                             (bench_models --trace-table, from scenarios.h)
+#
+# Run from the repo root after a build. CI runs this script on a clean tree
+# and fails if it changes anything: a drifted baseline must be regenerated
+# (and justified) in the same commit as the change that moved it.
+#
+# Usage: ci/regen_baselines.sh [BUILD_DIR]
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+for bin in "$build/tools/ozz_audit" "$build/tools/ozz_races" \
+           "$build/tools/ozz_analyze" "$build/bench/bench_models"; do
+  if [ ! -x "$bin" ]; then
+    echo "regen_baselines: binary not found: $bin (build first)" >&2
+    exit 2
+  fi
+done
+
+echo "regen_baselines: audit_baseline.txt"
+"$build/tools/ozz_audit" --src src/osk --print-baseline > ci/audit_baseline.txt
+
+echo "regen_baselines: races_baseline.txt"
+"$build/tools/ozz_races" --src src/osk --print-baseline > ci/races_baseline.txt
+
+echo "regen_baselines: trace_scenarios.txt"
+"$build/bench/bench_models" --trace-table > ci/trace_scenarios.txt
+
+echo "regen_baselines: models_baseline.txt (full per-model hunt, slow)"
+"$build/bench/bench_models" --baseline > ci/models_baseline.txt
+
+echo "regen_baselines: witnessed_baseline.txt"
+# --print-current enumerates subsystems FROM the current baseline, so stage
+# the new file and move it into place afterwards (a direct redirect would
+# truncate the file before the script reads it).
+tmp="$(mktemp)"
+{
+  echo "# Axiomatic witness floor per seed subsystem (buggy form)."
+  echo "# Columns: <subsystem> <min_witnessed_pairs> [extra ozz_analyze flags]"
+  echo "# Regenerate with: ci/check_witnessed.sh --print-current"
+  ci/check_witnessed.sh --print-current "$build/tools/ozz_analyze"
+} > "$tmp"
+mv "$tmp" ci/witnessed_baseline.txt
+
+echo "regen_baselines: done"

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/analysis/srcmodel/irq.h"
 #include "src/analysis/srcmodel/srcmodel.h"
 #include "src/analysis/srcmodel/srcparse.h"
 
@@ -504,6 +505,58 @@ std::vector<LintFinding> LintDepDiscipline(const std::string& path,
                      "against nullptr, or annotate with `ozz-lint: allow-broken-dep`)");
         }
       }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) { return a.line < b.line; });
+  return findings;
+}
+
+std::vector<LintFinding> LintIrqDiscipline(const std::string& path,
+                                           const std::string& contents) {
+  std::vector<LintFinding> findings;
+  const std::vector<std::string> lines = SplitLines(contents);
+  const srcmodel::FileModel fm = srcmodel::ParseFile(path, contents);
+  if (fm.functions.empty()) {
+    return findings;
+  }
+  // Dedup across the two fix-flag assumptions (rule + line is identity
+  // enough within one file).
+  std::set<std::pair<std::string, int>> seen;
+  auto report = [&](const std::string& rule, int line, const std::string& message) {
+    if (!seen.insert({rule, line}).second) {
+      return;
+    }
+    const std::size_t idx = line > 0 ? static_cast<std::size_t>(line - 1) : 0;
+    if (idx < lines.size() && Suppressed(lines, idx, "ozz-lint: allow-irq")) {
+      return;
+    }
+    findings.push_back(LintFinding{path, line, rule, message});
+  };
+  for (int mode = 0; mode < 2; ++mode) {
+    const srcmodel::IrqModel irq = srcmodel::ComputeIrqModel(fm, /*assume_fixed=*/mode == 1);
+    for (const srcmodel::IrqImbalance& im : irq.imbalances) {
+      if (im.missing_restore) {
+        report("irq-imbalance", im.line,
+               "local_irq_save in `" + im.function +
+                   "` can reach a function exit without its restore; interrupts stay "
+                   "masked after return (add local_irq_restore on every path, use "
+                   "SpinGuardIrq, or annotate with `ozz-lint: allow-irq`)");
+      } else {
+        report("irq-imbalance", im.line,
+               "local_irq_restore in `" + im.function +
+                   "` has no matching save on some path; it can spuriously re-enable "
+                   "interrupts inside a caller's masked region (annotate with "
+                   "`ozz-lint: allow-irq` if the save is out of view)");
+      }
+    }
+    for (const srcmodel::IrqDeadlockCandidate& c : srcmodel::IrqDeadlockCandidates(irq)) {
+      report("irq-unsafe-lock", c.process_line,
+             "lock `" + c.lock_id + "` is taken in hardirq context (" + c.hardirq_function +
+                 ") but acquired here with interrupts enabled; the handler can preempt "
+                 "this CPU mid-critical-section and spin on the held lock forever (use "
+                 "spin_lock_irqsave / SpinGuardIrq, or annotate with "
+                 "`ozz-lint: allow-irq`)");
     }
   }
   std::sort(findings.begin(), findings.end(),

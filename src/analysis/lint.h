@@ -90,6 +90,26 @@ std::vector<LintFinding> LintMixedAccess(const std::string& path, const std::str
 std::vector<LintFinding> LintDepDiscipline(const std::string& path,
                                            const std::string& contents);
 
+// Irq-discipline lint (ozz_lint --irq-discipline): runs the srcmodel parse
+// and the irq-context inference (srcmodel/irq.h) over one file and flags:
+//
+//   irq-imbalance    a local_irq_save (or LockIrqSave) that can leak to a
+//                    function exit without its restore, or a restore with no
+//                    matching save on some path. RAII guards are balanced by
+//                    construction and never reported.
+//   irq-unsafe-lock  a lock acquired in hardirq-reachable code that is also
+//                    acquired process-side with interrupts enabled — the
+//                    classic lockdep HARDIRQ-safe/unsafe inversion: the
+//                    handler can preempt its own CPU's critical section and
+//                    spin forever. Flagged at the process-side acquisition;
+//                    the fix is spin_lock_irqsave (SpinGuardIrq).
+//
+// Both fix-flag assumptions are linted and the findings unioned (a leak only
+// in the fixed form is still a leak). Suppress with "ozz-lint: allow-irq"
+// on the same or the preceding line.
+std::vector<LintFinding> LintIrqDiscipline(const std::string& path,
+                                           const std::string& contents);
+
 std::string FormatFinding(const LintFinding& finding);
 
 }  // namespace ozz::analysis

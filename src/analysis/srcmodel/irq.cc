@@ -1,0 +1,481 @@
+#include "src/analysis/srcmodel/irq.h"
+
+#include <algorithm>
+
+namespace ozz::analysis::srcmodel {
+namespace {
+
+// Path state of the masked-region walk: the local_irq_save nesting depth as
+// an interval. `dmin` (intersected at merges: minimum) answers "is this
+// point provably masked"; `dmax` (maximum) answers "can a save leak out of
+// this exit" for the balance lint. Depth clamps at 0 — a restore with no
+// local save (balancing a caller's) keeps both bounds at 0. Guard-scoped
+// saves (SpinGuardIrq) are counted separately in `gmin`/`gmax`: they mask
+// just as hard, but the destructor restores on EVERY exit — including a
+// `return` inside the scope, which in Stmt order precedes the synthesized
+// scope-close restore — so they can never leak out of a function and are
+// excluded from the exit-imbalance check.
+struct IState {
+  bool reachable = true;
+  int dmin = 0;
+  int dmax = 0;
+  int gmin = 0;
+  int gmax = 0;
+
+  friend bool operator==(const IState& a, const IState& b) {
+    return a.reachable == b.reachable && a.dmin == b.dmin && a.dmax == b.dmax &&
+           a.gmin == b.gmin && a.gmax == b.gmax;
+  }
+};
+
+IState MergeI(const IState& a, const IState& b) {
+  if (!a.reachable) {
+    return b;
+  }
+  if (!b.reachable) {
+    return a;
+  }
+  IState out;
+  out.dmin = std::min(a.dmin, b.dmin);
+  out.dmax = std::max(a.dmax, b.dmax);
+  out.gmin = std::min(a.gmin, b.gmin);
+  out.gmax = std::max(a.gmax, b.gmax);
+  return out;
+}
+
+// Provably-masked depth at this point, guard scopes included.
+int EffMin(const IState& s) { return s.dmin + s.gmin; }
+
+// Per-function facts from one walk with an unmasked entry. The boolean
+// entry-masked context is layered on afterwards (a function whose every
+// callsite is masked inherits a masked entry), mirroring the lockset tier's
+// context fixpoint.
+struct FnIrqLocal {
+  std::map<int, int> site_dmin;               // site -> min depth across visits
+  std::map<std::string, bool> callsite_masked;  // callee -> every callsite masked
+  // lock id -> (line of first acquisition, masked at every acquisition).
+  std::map<std::string, std::pair<int, bool>> lock_acquires;
+  std::vector<IrqImbalance> imbalances;
+  int first_save_line = 0;  // first non-guard save (imbalance attribution)
+  int exit_dmax = 0;        // max depth over all reachable exits
+};
+
+class IrqWalker {
+ public:
+  IrqWalker(const Function& fn, bool assume_fixed, FnIrqLocal* out)
+      : fn_(fn), assume_fixed_(assume_fixed), out_(out) {}
+
+  void Run() {
+    IState out;
+    for (int iter = 0; iter < 4; ++iter) {
+      labels_changed_ = false;
+      exit_states_.clear();
+      IState entry;
+      out = Eval(fn_.body, entry, nullptr);
+      if (!labels_changed_) {
+        break;
+      }
+    }
+    exit_states_.push_back(out);
+    for (const IState& e : exit_states_) {
+      if (e.reachable) {
+        out_->exit_dmax = std::max(out_->exit_dmax, e.dmax);
+      }
+    }
+    if (out_->exit_dmax > 0) {
+      out_->imbalances.push_back(
+          IrqImbalance{fn_.name, out_->first_save_line, /*missing_restore=*/true});
+    }
+  }
+
+ private:
+  struct LoopCtx {
+    std::vector<IState> breaks;
+    std::vector<IState> continues;
+  };
+
+  void RecordSite(int site, const IState& s) {
+    auto it = out_->site_dmin.find(site);
+    if (it == out_->site_dmin.end()) {
+      out_->site_dmin[site] = EffMin(s);
+    } else {
+      it->second = std::min(it->second, EffMin(s));
+    }
+  }
+
+  void ApplyOp(const Op& op, IState* s) {
+    switch (op.kind) {
+      case Op::Kind::kIrqSave:
+        if (op.guard) {
+          ++s->gmin;
+          ++s->gmax;
+        } else {
+          ++s->dmin;
+          ++s->dmax;
+          if (out_->first_save_line == 0) {
+            out_->first_save_line = op.line;
+          }
+        }
+        return;
+      case Op::Kind::kIrqRestore:
+        if (op.guard) {
+          s->gmin = std::max(0, s->gmin - 1);
+          s->gmax = std::max(0, s->gmax - 1);
+        } else {
+          if (EffMin(*s) == 0) {
+            out_->imbalances.push_back(
+                IrqImbalance{fn_.name, op.line, /*missing_restore=*/false});
+          }
+          s->dmin = std::max(0, s->dmin - 1);
+          s->dmax = std::max(0, s->dmax - 1);
+        }
+        return;
+      case Op::Kind::kLockEnter: {
+        auto it = out_->lock_acquires.find(op.lock_id);
+        if (it == out_->lock_acquires.end()) {
+          out_->lock_acquires[op.lock_id] = {op.line, EffMin(*s) > 0};
+        } else {
+          it->second.second = it->second.second && EffMin(*s) > 0;
+        }
+        return;
+      }
+      case Op::Kind::kLockExit:
+        return;
+      case Op::Kind::kCall: {
+        auto it = out_->callsite_masked.find(op.callee);
+        if (it == out_->callsite_masked.end()) {
+          out_->callsite_masked[op.callee] = EffMin(*s) > 0;
+        } else {
+          it->second = it->second && EffMin(*s) > 0;
+        }
+        return;
+      }
+      case Op::Kind::kAccess:
+      case Op::Kind::kBarrier:
+        break;
+    }
+    if (op.load_site >= 0) {
+      RecordSite(op.load_site, *s);
+    }
+    if (op.store_site >= 0) {
+      RecordSite(op.store_site, *s);
+    }
+    if (op.ghost_load_site >= 0) {
+      RecordSite(op.ghost_load_site, *s);
+    }
+    if (op.ghost_store_site >= 0) {
+      RecordSite(op.ghost_store_site, *s);
+    }
+  }
+
+  IState Eval(const std::vector<Stmt>& stmts, IState s, LoopCtx* loop) {
+    for (const Stmt& st : stmts) {
+      if (!s.reachable && st.kind != Stmt::Kind::kLabel) {
+        continue;
+      }
+      switch (st.kind) {
+        case Stmt::Kind::kOp:
+          ApplyOp(st.op, &s);
+          break;
+        case Stmt::Kind::kBlock:
+          s = Eval(st.body, std::move(s), loop);
+          break;
+        case Stmt::Kind::kBranch: {
+          bool take_then = true;
+          bool take_else = true;
+          if (st.cond == CondMode::kFixTrue) {
+            take_then = assume_fixed_;
+            take_else = !assume_fixed_;
+          } else if (st.cond == CondMode::kFixFalse) {
+            take_then = !assume_fixed_;
+            take_else = assume_fixed_;
+          }
+          IState after_then = take_then ? Eval(st.body, s, loop) : IState{};
+          if (!take_then) {
+            after_then.reachable = false;
+          }
+          IState after_else = take_else ? Eval(st.else_body, std::move(s), loop) : IState{};
+          if (!take_else) {
+            after_else.reachable = false;
+          }
+          s = MergeI(after_then, after_else);
+          break;
+        }
+        case Stmt::Kind::kLoop: {
+          LoopCtx ctx;
+          IState entry = s;
+          IState cur = s;
+          for (int iter = 0; iter < 4; ++iter) {
+            IState body_out = Eval(st.body, cur, &ctx);
+            for (IState& c : ctx.continues) {
+              body_out = MergeI(body_out, c);
+            }
+            ctx.continues.clear();
+            IState next = MergeI(entry, body_out);
+            if (next == cur) {
+              break;
+            }
+            cur = std::move(next);
+          }
+          for (IState& b : ctx.breaks) {
+            cur = MergeI(cur, b);
+          }
+          s = std::move(cur);
+          break;
+        }
+        case Stmt::Kind::kReturn:
+          exit_states_.push_back(s);
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kBreak:
+          if (loop != nullptr) {
+            loop->breaks.push_back(s);
+          }
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kContinue:
+          if (loop != nullptr) {
+            loop->continues.push_back(s);
+          }
+          s.reachable = false;
+          break;
+        case Stmt::Kind::kGoto: {
+          auto it = label_states_.find(st.label);
+          if (it == label_states_.end()) {
+            label_states_.emplace(st.label, s);
+            labels_changed_ = true;
+          } else {
+            IState merged = MergeI(it->second, s);
+            if (!(merged == it->second)) {
+              it->second = std::move(merged);
+              labels_changed_ = true;
+            }
+          }
+          s.reachable = false;
+          break;
+        }
+        case Stmt::Kind::kLabel: {
+          auto it = label_states_.find(st.label);
+          if (it != label_states_.end()) {
+            s = MergeI(s, it->second);
+          }
+          break;
+        }
+      }
+    }
+    return s;
+  }
+
+  const Function& fn_;
+  bool assume_fixed_;
+  FnIrqLocal* out_;
+  std::map<std::string, IState> label_states_;
+  std::vector<IState> exit_states_;
+  bool labels_changed_ = false;
+};
+
+void CollectCalleeNames(const std::vector<Stmt>& stmts, std::set<std::string>* out) {
+  for (const Stmt& s : stmts) {
+    if (s.kind == Stmt::Kind::kOp && s.op.kind == Op::Kind::kCall) {
+      out->insert(s.op.callee);
+    }
+    CollectCalleeNames(s.body, out);
+    CollectCalleeNames(s.else_body, out);
+  }
+}
+
+// Closure of `roots` over the in-file call graph (by function index).
+std::vector<bool> Closure(const FileModel& model,
+                          const std::map<std::string, std::vector<std::size_t>>& by_name,
+                          const std::vector<std::set<std::string>>& callees,
+                          const std::vector<bool>& roots) {
+  std::vector<bool> in = roots;
+  std::vector<std::size_t> work;
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    if (in[f]) {
+      work.push_back(f);
+    }
+  }
+  while (!work.empty()) {
+    std::size_t f = work.back();
+    work.pop_back();
+    for (const std::string& callee : callees[f]) {
+      auto it = by_name.find(callee);
+      if (it == by_name.end()) {
+        continue;
+      }
+      for (std::size_t g : it->second) {
+        if (!in[g]) {
+          in[g] = true;
+          work.push_back(g);
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+const char* IrqContextName(IrqContext ctx) {
+  switch (ctx) {
+    case IrqContext::kProcess:
+      return "process";
+    case IrqContext::kHardirq:
+      return "hardirq";
+    case IrqContext::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+IrqModel ComputeIrqModel(const FileModel& model, bool assume_fixed) {
+  const std::size_t n = model.functions.size();
+  IrqModel out;
+  out.handler_roots.insert(model.irq_handlers.begin(), model.irq_handlers.end());
+
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  std::vector<std::set<std::string>> callees(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    by_name[model.functions[f].name].push_back(f);
+    CollectCalleeNames(model.functions[f].body, &callees[f]);
+  }
+
+  // --- context propagation ---
+  std::vector<bool> has_caller(n, false);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const std::string& callee : callees[f]) {
+      auto it = by_name.find(callee);
+      if (it == by_name.end()) {
+        continue;
+      }
+      for (std::size_t g : it->second) {
+        if (g != f) {
+          has_caller[g] = true;
+        }
+      }
+    }
+  }
+  std::vector<bool> irq_roots(n, false);
+  std::vector<bool> proc_roots(n, false);
+  for (std::size_t f = 0; f < n; ++f) {
+    bool is_handler = out.handler_roots.count(model.functions[f].name) != 0;
+    irq_roots[f] = is_handler;
+    // Process entry points: anything not called in-file that is not a
+    // registered handler — the syscall lambdas and exported methods.
+    proc_roots[f] = !is_handler && !has_caller[f];
+  }
+  std::vector<bool> in_hardirq = Closure(model, by_name, callees, irq_roots);
+  std::vector<bool> in_process = Closure(model, by_name, callees, proc_roots);
+
+  std::vector<IrqContext> fn_ctx(n, IrqContext::kProcess);
+  for (std::size_t f = 0; f < n; ++f) {
+    if (in_hardirq[f] && in_process[f]) {
+      fn_ctx[f] = IrqContext::kBoth;
+    } else if (in_hardirq[f]) {
+      fn_ctx[f] = IrqContext::kHardirq;
+    } else {
+      fn_ctx[f] = IrqContext::kProcess;  // includes call-graph orphans
+    }
+    out.fn_context[model.functions[f].name] = fn_ctx[f];
+  }
+
+  // --- masked-region walks ---
+  std::vector<FnIrqLocal> locals(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    IrqWalker(model.functions[f], assume_fixed, &locals[f]).Run();
+  }
+
+  // Entry-masked fixpoint: a function inherits a masked entry when it has
+  // callers and every in-file callsite is either provably masked locally or
+  // sits in hardirq context (the CPU masks its own line during the handler)
+  // or in a caller whose own entry is masked. Monotone, so a few rounds
+  // converge.
+  std::vector<bool> entry_masked(n, false);
+  for (std::size_t round = 0; round < n + 2; ++round) {
+    bool changed = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (!has_caller[f] || entry_masked[f]) {
+        continue;
+      }
+      bool all_masked = true;
+      for (std::size_t g = 0; g < n && all_masked; ++g) {
+        auto it = locals[g].callsite_masked.find(model.functions[f].name);
+        if (it == locals[g].callsite_masked.end()) {
+          continue;
+        }
+        bool caller_masked =
+            it->second || fn_ctx[g] == IrqContext::kHardirq || entry_masked[g];
+        all_masked = all_masked && caller_masked;
+      }
+      if (all_masked) {
+        entry_masked[f] = true;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // --- assemble per-site facts ---
+  out.sites.resize(model.sites.size());
+  for (std::size_t f = 0; f < n; ++f) {
+    bool masked_entry = entry_masked[f] || fn_ctx[f] == IrqContext::kHardirq;
+    for (const auto& [site, dmin] : locals[f].site_dmin) {
+      IrqSiteInfo& info = out.sites[static_cast<std::size_t>(site)];
+      info.reachable = true;
+      info.context = fn_ctx[f];
+      info.must_irqs_off = dmin > 0 || masked_entry;
+    }
+    std::set<IrqLockUse> uses;
+    for (const auto& [lock, lb] : locals[f].lock_acquires) {
+      IrqLockUse use;
+      use.lock_id = lock;
+      use.function = model.functions[f].name;
+      use.line = lb.first;
+      use.context = fn_ctx[f];
+      use.irqs_off = lb.second || masked_entry;
+      uses.insert(std::move(use));
+    }
+    out.lock_uses.insert(out.lock_uses.end(), uses.begin(), uses.end());
+    out.imbalances.insert(out.imbalances.end(), locals[f].imbalances.begin(),
+                          locals[f].imbalances.end());
+  }
+  std::sort(out.lock_uses.begin(), out.lock_uses.end());
+  out.lock_uses.erase(std::unique(out.lock_uses.begin(), out.lock_uses.end(),
+                                  [](const IrqLockUse& a, const IrqLockUse& b) {
+                                    return !(a < b) && !(b < a);
+                                  }),
+                      out.lock_uses.end());
+  std::sort(out.imbalances.begin(), out.imbalances.end(),
+            [](const IrqImbalance& a, const IrqImbalance& b) { return a.line < b.line; });
+  return out;
+}
+
+std::vector<IrqDeadlockCandidate> IrqDeadlockCandidates(const IrqModel& model) {
+  std::set<IrqDeadlockCandidate> out;
+  for (const IrqLockUse& hard : model.lock_uses) {
+    if (hard.context == IrqContext::kProcess) {
+      continue;  // not a hardirq-side acquisition
+    }
+    for (const IrqLockUse& proc : model.lock_uses) {
+      if (proc.context == IrqContext::kHardirq || proc.irqs_off) {
+        continue;  // not process-side, or safely masked
+      }
+      if (proc.lock_id != hard.lock_id) {
+        continue;
+      }
+      IrqDeadlockCandidate c;
+      c.lock_id = hard.lock_id;
+      c.hardirq_function = hard.function;
+      c.hardirq_line = hard.line;
+      c.process_function = proc.function;
+      c.process_line = proc.line;
+      out.insert(std::move(c));
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace ozz::analysis::srcmodel

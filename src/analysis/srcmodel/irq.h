@@ -1,0 +1,120 @@
+// Interrupt-context inference and must-irqs-off dataflow over the srcmodel
+// CFG — the static side of the same-CPU interrupt race tier.
+//
+// Two layers, mirroring the lockset tier (locks.h):
+//   * context propagation — functions registered via `RequestIrq(name, fn)`
+//     (FileModel::irq_handlers) are hardirq roots; everything reachable from
+//     them over the in-file call graph runs in hardirq context. Functions
+//     never called in-file (the syscall-handler lambdas) are process roots;
+//     their closure runs in process context. A function in both closures is
+//     kBoth.
+//   * must-irqs-off — a forward walk of each function's Stmt tree under the
+//     fix-flag assumption tracking the local_irq_save nesting depth:
+//     minimum depth (must, intersected at merges) decides the irq-masked
+//     verdict; maximum depth at exits feeds the save/restore balance lint.
+//     Interprocedural: a callee whose every in-file callsite runs with irqs
+//     provably masked inherits a masked entry (fixpoint, like the lockset
+//     context but boolean).
+//
+// Consumers:
+//   * the race classifier (races.h) — a hardirq-side access paired with a
+//     process-side access on the same CPU is `irq-masked` when the process
+//     endpoint is must-irqs-off (a bare irqs-off region or an irq-safe lock
+//     — spin_lock_irqsave implies must-irqs-off at every access under it),
+//     `irq-racy` otherwise;
+//   * the lockdep-style self-deadlock rule — a lock acquired in hardirq
+//     context and also acquired process-side with irqs enabled can deadlock
+//     against its own CPU's handler;
+//   * the lint's irq-discipline rules (unbalanced save/restore, irq-unsafe
+//     lock in handler-reachable code).
+#ifndef OZZ_SRC_ANALYSIS_SRCMODEL_IRQ_H_
+#define OZZ_SRC_ANALYSIS_SRCMODEL_IRQ_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/srcmodel/srcmodel.h"
+
+namespace ozz::analysis::srcmodel {
+
+// Execution context(s) a function can run in.
+enum class IrqContext {
+  kProcess,  // only reachable from process-context entry points
+  kHardirq,  // only reachable from registered irq handlers
+  kBoth,     // reachable from both
+};
+
+const char* IrqContextName(IrqContext ctx);
+
+// Per-access-site irq facts (parallel to FileModel::sites).
+struct IrqSiteInfo {
+  IrqContext context = IrqContext::kProcess;
+  // Every process-context path to the site runs with local irqs masked
+  // (irq_save depth > 0). Hardirq-only sites are trivially true (the CPU
+  // masks its own irq line while the handler runs). Meaningless for sites
+  // unreachable under the fix assumption (reachable == false).
+  bool must_irqs_off = false;
+  bool reachable = false;
+};
+
+// One acquisition of a lock, tagged with the acquiring context — input to
+// the lockdep-style self-deadlock rule.
+struct IrqLockUse {
+  std::string lock_id;
+  std::string function;
+  int line = 0;
+  IrqContext context = IrqContext::kProcess;
+  bool irqs_off = false;  // must-masked at the acquisition (process side)
+
+  friend bool operator<(const IrqLockUse& a, const IrqLockUse& b) {
+    if (a.lock_id != b.lock_id) return a.lock_id < b.lock_id;
+    if (a.function != b.function) return a.function < b.function;
+    return a.line < b.line;
+  }
+};
+
+// Unbalanced local_irq_save/restore — the lint's irq-imbalance rule.
+// RAII (SpinGuardIrq) ops are balanced by construction and never reported.
+struct IrqImbalance {
+  std::string function;
+  int line = 0;               // of the save (leak) or the restore (spurious)
+  bool missing_restore = false;  // true: save leaks to an exit;
+                                 // false: restore with no matching save
+};
+
+// A lock taken in hardirq context that is also taken process-side with irqs
+// enabled: the process-side critical section can be interrupted by its own
+// CPU's handler, which then spins on the held lock forever (classic lockdep
+// HARDIRQ-safe -> HARDIRQ-unsafe inversion).
+struct IrqDeadlockCandidate {
+  std::string lock_id;
+  std::string hardirq_function;
+  int hardirq_line = 0;
+  std::string process_function;
+  int process_line = 0;
+
+  friend bool operator<(const IrqDeadlockCandidate& a, const IrqDeadlockCandidate& b) {
+    if (a.lock_id != b.lock_id) return a.lock_id < b.lock_id;
+    if (a.process_function != b.process_function) return a.process_function < b.process_function;
+    return a.process_line < b.process_line;
+  }
+};
+
+struct IrqModel {
+  std::map<std::string, IrqContext> fn_context;  // by function name
+  std::set<std::string> handler_roots;           // RequestIrq-registered
+  std::vector<IrqSiteInfo> sites;                // parallel to FileModel::sites
+  std::vector<IrqLockUse> lock_uses;             // sorted, deduped
+  std::vector<IrqImbalance> imbalances;          // sorted by line
+};
+
+IrqModel ComputeIrqModel(const FileModel& model, bool assume_fixed);
+
+// The self-deadlock candidates induced by the model's lock uses.
+std::vector<IrqDeadlockCandidate> IrqDeadlockCandidates(const IrqModel& model);
+
+}  // namespace ozz::analysis::srcmodel
+
+#endif  // OZZ_SRC_ANALYSIS_SRCMODEL_IRQ_H_

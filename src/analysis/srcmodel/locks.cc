@@ -107,6 +107,11 @@ class Walker {
       case Op::Kind::kCall:
         IntersectInto(&out_->callsite_held, op.callee, s->held, &out_->callees_seen);
         return;
+      case Op::Kind::kIrqSave:
+      case Op::Kind::kIrqRestore:
+        // Irq masking is not a lock: it serializes nothing across CPUs, so
+        // it must never enter a must-hold set (the irq tier models it).
+        return;
       case Op::Kind::kAccess:
       case Op::Kind::kBarrier:
         break;

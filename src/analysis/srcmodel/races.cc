@@ -45,6 +45,7 @@ std::string CanonTarget(const std::string& expr) {
 // suppression off — lockedness is decided per cross-thread pair instead).
 struct ModeFacts {
   LockModel locks;
+  IrqModel irq;
   std::map<std::string, std::vector<SitePair>> unordered;  // model name -> pairs
   // Load-load pairs the dataflow reclassified as dependency-ordered under
   // each model — the would-be witnesses the dep chains neutralized.
@@ -55,6 +56,7 @@ ModeFacts ComputeModeFacts(const FileModel& fm, const DepInfo& deps, bool assume
                            const std::vector<const MemoryModel*>& models) {
   ModeFacts facts;
   facts.locks = ComputeLockModel(fm, assume_fixed);
+  facts.irq = ComputeIrqModel(fm, assume_fixed);
   for (const MemoryModel* m : models) {
     const std::set<std::pair<int, int>> dep_ordered = DepOrderedPairs(deps, *m);
     std::set<std::pair<int, int>> discharged;
@@ -232,10 +234,28 @@ struct Agg {
   bool all_locked_buggy = true;  // over live buggy occurrences
   bool gated_witness = false;    // some break goes through a fix-gated pair
   bool dep_ordered = false;      // a dep chain neutralized a would-be break
+  bool irq = false;              // same-CPU hardirq x process pair
+  bool irq_racy_buggy = false;   // some buggy occurrence has irqs enabled
+  bool irq_racy_fixed = false;
   LockSet sample_locks;
   std::set<std::string> racy_buggy;  // model names
   std::set<std::string> racy_fixed;
 };
+
+// Same-CPU interrupt pair test: exactly one endpoint runs only in hardirq
+// context and the other is process-reachable. Returns the process-side
+// site index through `process_site` when it is one.
+bool IsIrqPair(const IrqModel& irq, int i, int j, int* process_site) {
+  const IrqSiteInfo& a = irq.sites[static_cast<std::size_t>(i)];
+  const IrqSiteInfo& b = irq.sites[static_cast<std::size_t>(j)];
+  const bool a_hard = a.context == IrqContext::kHardirq;
+  const bool b_hard = b.context == IrqContext::kHardirq;
+  if (a_hard == b_hard) {
+    return false;  // both handler-side, or an ordinary cross-thread pair
+  }
+  *process_site = a_hard ? j : i;
+  return true;
+}
 
 // Canonical orientation: store side first; ties (write-write or symmetric)
 // break on the site identity so the pair identity is stable.
@@ -373,6 +393,24 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
               continue;  // an endpoint is unreachable under this fix mode
             }
             agg.any_live = true;
+            int process_site = -1;
+            if (IsIrqPair(facts.irq, i, j, &process_site)) {
+              // Same-CPU pair: the cross-thread matched-break test does not
+              // apply (a shared spinlock cannot serialize against this CPU's
+              // own handler — that shape is the self-deadlock rule's job).
+              // The verdict is purely whether the process endpoint runs with
+              // interrupts masked.
+              agg.irq = true;
+              if (mode == 0) {
+                agg.any_live_buggy = true;
+              }
+              const bool masked =
+                  facts.irq.sites[static_cast<std::size_t>(process_site)].must_irqs_off;
+              if (!masked) {
+                (mode == 0 ? agg.irq_racy_buggy : agg.irq_racy_fixed) = true;
+              }
+              continue;
+            }
             LockSet common;
             const bool locked = Intersects(hi->second, hj->second, &common);
             if (mode == 0) {
@@ -419,6 +457,42 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
         continue;  // dead under both fix assumptions
       }
       stats.conflicting += 1;
+      if (agg.irq) {
+        // Same-CPU interrupt pair: model-independent verdict. An irq-racy
+        // form is racy under *every* backend (the interrupt interleaving
+        // needs no memory-model relaxation), so the per-model matrix counts
+        // it in every column.
+        if (!agg.irq_racy_buggy && !agg.irq_racy_fixed) {
+          stats.irq_masked += 1;
+          continue;
+        }
+        RacePair pair;
+        pair.first = agg.a;
+        pair.second = agg.b;
+        pair.write_write = agg.write_write;
+        pair.irq = true;
+        pair.irq_racy_buggy = agg.irq_racy_buggy;
+        pair.irq_racy_fixed = agg.irq_racy_fixed;
+        if (agg.irq_racy_buggy) {
+          pair.racy_models = report.models;
+        }
+        if (agg.irq_racy_fixed) {
+          pair.racy_fixed_models = report.models;
+        }
+        pair.fix_gated = agg.irq_racy_buggy && !agg.irq_racy_fixed;
+        for (const std::string& m : report.models) {
+          (pair.fix_gated ? stats.gated_by_model : stats.residual_by_model)[m] += 1;
+        }
+        if (!seen.insert(identity).second) {
+          continue;
+        }
+        if (pair.fix_gated) {
+          gated.push_back(std::move(pair));
+        } else {
+          residual.push_back(std::move(pair));
+        }
+        continue;
+      }
       const bool racy_somewhere = !agg.racy_buggy.empty() || !agg.racy_fixed.empty();
       if (!racy_somewhere) {
         if (agg.any_live_buggy && agg.all_locked_buggy) {
@@ -459,10 +533,16 @@ RaceReport RunRaceAnalysis(const std::vector<SourceFile>& files,
     for (const DeadlockCycle& cycle : buggy.locks.cycles) {
       report.deadlocks.push_back(FileDeadlock{fm.path, cycle});
     }
+    const std::vector<IrqDeadlockCandidate> irq_dl = IrqDeadlockCandidates(buggy.irq);
+    stats.irq_deadlocks = static_cast<int>(irq_dl.size());
+    for (const IrqDeadlockCandidate& cand : irq_dl) {
+      report.irq_deadlocks.push_back(FileIrqDeadlock{fm.path, cand});
+    }
     report.conflicting += stats.conflicting;
     report.locked += stats.locked;
     report.ordered += stats.ordered;
     report.dep_ordered += stats.dep_ordered;
+    report.irq_masked += stats.irq_masked;
     report.files.push_back(std::move(stats));
   }
 
@@ -512,6 +592,18 @@ std::set<std::string> RacyIdentities(const std::vector<SourceFile>& files,
           if (hi == locks.must_hold.end() || hj == locks.must_hold.end()) {
             continue;
           }
+          int process_site = -1;
+          if (IsIrqPair(mode_facts.irq, i, j, &process_site)) {
+            // Same-CPU irq pair: the verdict is interleaving-based (no lock
+            // intersect, no cross-thread protocol break) and model-free.
+            if (!mode_facts.irq.sites[static_cast<std::size_t>(process_site)].must_irqs_off) {
+              AccessSite first;
+              AccessSite second;
+              Orient(si, sj, &first, &second);
+              out.insert(PairIdentity(first, second, si.is_store && sj.is_store));
+            }
+            continue;
+          }
           if (Intersects(hi->second, hj->second, nullptr)) {
             continue;
           }
@@ -535,8 +627,9 @@ std::string FormatRaceText(const RaceReport& report, const std::string& focus_mo
   out << "files: " << report.files_scanned << "  sites: " << report.sites
       << "  conflicting pairs: " << report.conflicting << "\n";
   out << "locked: " << report.locked << "  barrier-ordered: " << report.ordered
-      << "  dep-ordered: " << report.dep_ordered << "  fix-gated races: " << report.gated
-      << "  residual races: " << report.residual << "\n\n";
+      << "  dep-ordered: " << report.dep_ordered << "  irq-masked: " << report.irq_masked
+      << "  fix-gated races: " << report.gated << "  residual races: " << report.residual
+      << "\n\n";
   out << "per-model race matrix (fix-gated/residual):\n";
   for (const std::string& m : report.models) {
     int g = 0;
@@ -548,11 +641,18 @@ std::string FormatRaceText(const RaceReport& report, const std::string& focus_mo
     out << "  " << m << ": " << g << "/" << r << "\n";
   }
   auto print = [&](const RacePair& p) {
-    out << "  [" << (p.write_write ? "W-W" : "W-R") << "] " << p.first.file << ":"
-        << p.first.line << " " << p.first.function << " " << p.first.expr
+    out << "  [" << (p.write_write ? "W-W" : "W-R") << "]" << (p.irq ? " [IRQ]" : "") << " "
+        << p.first.file << ":" << p.first.line << " " << p.first.function << " " << p.first.expr
         << (p.first.is_store ? " (store)" : " (load)") << "  <->  line " << p.second.line << " "
         << p.second.function << " " << p.second.expr
-        << (p.second.is_store ? " (store)" : " (load)") << "  racy under:";
+        << (p.second.is_store ? " (store)" : " (load)");
+    if (p.irq) {
+      out << "  verdict: " << (p.irq_racy_buggy ? "irq-racy" : "irq-masked")
+          << " (fixed: " << (p.irq_racy_fixed ? "irq-racy" : "irq-masked") << ")";
+      out << "\n";
+      return;
+    }
+    out << "  racy under:";
     for (const std::string& m : p.racy_models) {
       out << " " << m;
     }
@@ -621,11 +721,22 @@ std::string FormatRaceText(const RaceReport& report, const std::string& focus_mo
           << ")\n";
     }
   }
+  out << "\n-- irq self-deadlock candidates --\n";
+  if (report.irq_deadlocks.empty()) {
+    out << "  none\n";
+  }
+  for (const FileIrqDeadlock& d : report.irq_deadlocks) {
+    out << "  " << d.file << ": " << d.candidate.lock_id << " taken in hardirq ("
+        << d.candidate.hardirq_function << ":" << d.candidate.hardirq_line
+        << ") and process-side with irqs on (" << d.candidate.process_function << ":"
+        << d.candidate.process_line << ")\n";
+  }
   out << "\nper-subsystem:\n";
   for (const FileRaceStats& f : report.files) {
     out << "  " << f.file << ": sites=" << f.sites << " conflicting=" << f.conflicting
         << " locked=" << f.locked << " ordered=" << f.ordered << " dep-ordered=" << f.dep_ordered
-        << " deadlocks=" << f.deadlocks << "\n";
+        << " irq-masked=" << f.irq_masked << " deadlocks=" << f.deadlocks
+        << " irq-deadlocks=" << f.irq_deadlocks << "\n";
   }
   return out.str();
 }
@@ -656,6 +767,7 @@ std::string RaceReportJson(const RaceReport& report) {
   out << "  \"locked\": " << report.locked << ",\n";
   out << "  \"ordered\": " << report.ordered << ",\n";
   out << "  \"dep_ordered\": " << report.dep_ordered << ",\n";
+  out << "  \"irq_masked\": " << report.irq_masked << ",\n";
   out << "  \"gated_races\": " << report.gated << ",\n";
   out << "  \"residual_races\": " << report.residual << ",\n";
   out << "  \"races\": [\n";
@@ -664,7 +776,13 @@ std::string RaceReportJson(const RaceReport& report) {
     out << "    {\"identity\":\"" << JsonEscape(p.Identity()) << "\",\"write_write\":"
         << (p.write_write ? "true" : "false") << ",\"fix_gated\":"
         << (p.fix_gated ? "true" : "false") << ",\"dep_ordered\":"
-        << (p.dep_ordered ? "true" : "false") << ",\"racy_models\":" << names(p.racy_models)
+        << (p.dep_ordered ? "true" : "false") << ",\"irq\":" << (p.irq ? "true" : "false");
+    if (p.irq) {
+      out << ",\"irq_verdict\":\"" << (p.irq_racy_buggy ? "irq-racy" : "irq-masked")
+          << "\",\"irq_verdict_fixed\":\"" << (p.irq_racy_fixed ? "irq-racy" : "irq-masked")
+          << "\"";
+    }
+    out << ",\"racy_models\":" << names(p.racy_models)
         << ",\"racy_fixed_models\":" << names(p.racy_fixed_models)
         << ",\"first\":" << site(p.first) << ",\"second\":" << site(p.second) << "}"
         << (i + 1 < report.races.size() ? "," : "") << "\n";
@@ -684,13 +802,26 @@ std::string RaceReportJson(const RaceReport& report) {
     out << "]}" << (i + 1 < report.deadlocks.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"irq_deadlocks\": [\n";
+  for (std::size_t i = 0; i < report.irq_deadlocks.size(); ++i) {
+    const FileIrqDeadlock& d = report.irq_deadlocks[i];
+    out << "    {\"file\":\"" << JsonEscape(d.file) << "\",\"lock\":\""
+        << JsonEscape(d.candidate.lock_id) << "\",\"hardirq_function\":\""
+        << JsonEscape(d.candidate.hardirq_function)
+        << "\",\"hardirq_line\":" << d.candidate.hardirq_line << ",\"process_function\":\""
+        << JsonEscape(d.candidate.process_function)
+        << "\",\"process_line\":" << d.candidate.process_line << "}"
+        << (i + 1 < report.irq_deadlocks.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"subsystems\": [\n";
   for (std::size_t i = 0; i < report.files.size(); ++i) {
     const FileRaceStats& f = report.files[i];
     out << "    {\"file\":\"" << JsonEscape(f.file) << "\",\"sites\":" << f.sites
         << ",\"conflicting\":" << f.conflicting << ",\"locked\":" << f.locked
         << ",\"ordered\":" << f.ordered << ",\"dep_ordered\":" << f.dep_ordered
-        << ",\"deadlocks\":" << f.deadlocks << ",\"gated\":{";
+        << ",\"irq_masked\":" << f.irq_masked << ",\"deadlocks\":" << f.deadlocks
+        << ",\"irq_deadlocks\":" << f.irq_deadlocks << ",\"gated\":{";
     bool first = true;
     for (const auto& [m, count] : f.gated_by_model) {
       out << (first ? "" : ",") << "\"" << JsonEscape(m) << "\":" << count;

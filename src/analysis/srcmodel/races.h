@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "src/analysis/srcmodel/audit.h"
+#include "src/analysis/srcmodel/irq.h"
 #include "src/analysis/srcmodel/locks.h"
 
 namespace ozz::oemu {
@@ -79,6 +80,21 @@ struct RacePair {
   // A common must-hold lockset of some locked occurrence pair, when the
   // pair is *also* reachable locked (diagnostic only).
   LockSet sample_locks;
+  // Same-CPU interrupt pair: one endpoint runs only in hardirq context (a
+  // RequestIrq handler), the other in process context on the same CPU. Such
+  // pairs never go through the cross-thread matched-break test — a common
+  // spinlock serializes nothing against this CPU's own handler, and the
+  // cross-CPU reordering question does not arise. Instead the verdict is
+  //   irq-masked  the process endpoint is must-irqs-off (bare irqs-off
+  //               region or an irq-safe lock), so the handler cannot
+  //               preempt the critical region;
+  //   irq-racy    interrupts are enabled at the process endpoint — the
+  //               handler can fire mid-region and observe a torn state.
+  // The verdict is interleaving-based, hence model-independent: an
+  // irq-racy pair is racy under every memory-model backend.
+  bool irq = false;
+  bool irq_racy_buggy = false;  // verdict in the buggy form
+  bool irq_racy_fixed = false;  // verdict in the fixed form
 
   // Line-free identity: "file:fn:expr[S] <-> file:fn:expr[L] W-R".
   std::string Identity() const;
@@ -89,6 +105,12 @@ struct FileDeadlock {
   DeadlockCycle cycle;
 };
 
+// A lockdep-style hardirq self-deadlock candidate (irq.h), per file.
+struct FileIrqDeadlock {
+  std::string file;
+  IrqDeadlockCandidate candidate;
+};
+
 struct FileRaceStats {
   std::string file;
   int sites = 0;
@@ -96,15 +118,18 @@ struct FileRaceStats {
   int locked = 0;       // every live occurrence locked, racy nowhere
   int ordered = 0;      // barrier-ordered under every model, racy nowhere
   int dep_ordered = 0;  // clean via an honored dependency chain, racy nowhere
+  int irq_masked = 0;   // same-CPU irq pairs masked in both fix modes
   std::map<std::string, int> gated_by_model;     // model -> fix-gated races
   std::map<std::string, int> residual_by_model;  // model -> racy-even-fixed
   int deadlocks = 0;
+  int irq_deadlocks = 0;  // lockdep-style self-deadlock candidates
 };
 
 struct RaceReport {
   std::vector<std::string> models;  // analyzed model names, registry order
   std::vector<RacePair> races;      // fix-gated first, then residual
   std::vector<FileDeadlock> deadlocks;
+  std::vector<FileIrqDeadlock> irq_deadlocks;
   std::vector<FileRaceStats> files;
   int files_scanned = 0;
   int sites = 0;
@@ -112,6 +137,7 @@ struct RaceReport {
   int locked = 0;
   int ordered = 0;
   int dep_ordered = 0;
+  int irq_masked = 0;
   int gated = 0;
   int residual = 0;
 };

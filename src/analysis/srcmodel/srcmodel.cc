@@ -282,7 +282,9 @@ class Parser {
 
   // --- statements ------------------------------------------------------
   void ParseBlock(std::size_t begin, std::size_t end, std::vector<Stmt>* out) {
-    std::vector<std::string> guard_locks;  // SpinGuard RAII: exit at block end
+    // SpinGuard/SpinGuardIrq RAII: exit at block end (irq guards also
+    // restore interrupts after the unlock).
+    std::vector<std::pair<std::string, bool>> guard_locks;  // lock, is_irq
     std::size_t i = begin;
     while (i < end) {
       const Token& t = toks_[i];
@@ -373,8 +375,11 @@ class Parser {
         continue;
       }
       // SpinGuard RAII: `SpinGuard g(lock_, k);` holds `lock_` to block end.
-      if (IsIdent(t, "SpinGuard") && i + 2 < end && toks_[i + 1].kind == TokKind::kIdent &&
-          IsPunct(toks_[i + 2], "(")) {
+      // SpinGuardIrq additionally masks local irqs for the guard's scope
+      // (spin_lock_irqsave shape).
+      if ((IsIdent(t, "SpinGuard") || IsIdent(t, "SpinGuardIrq")) && i + 2 < end &&
+          toks_[i + 1].kind == TokKind::kIdent && IsPunct(toks_[i + 2], "(")) {
+        bool is_irq = IsIdent(t, "SpinGuardIrq");
         std::size_t close = Match(i + 2, end);
         // The lock is the LAST constructor argument (`SpinGuard g(k, lock_)`;
         // single-argument guards pass just the lock).
@@ -384,6 +389,12 @@ class Parser {
           arg_begin = c + 1;
         }
         std::string lock = JoinTokens(arg_begin, close);
+        if (is_irq) {
+          Op save;
+          save.kind = Op::Kind::kIrqSave;
+          save.guard = true;
+          PushOp(std::move(save), t.line, out);
+        }
         Stmt s;
         s.kind = Stmt::Kind::kOp;
         s.line = t.line;
@@ -392,11 +403,15 @@ class Parser {
         s.op.lock_id = lock;
         s.op.guard = true;
         out->push_back(std::move(s));
-        guard_locks.push_back(lock);
+        guard_locks.emplace_back(lock, is_irq);
         i = close + 1;
         if (i < end && IsPunct(toks_[i], ";")) {
           ++i;
         }
+        continue;
+      }
+      if (IsIdent(t, "switch")) {
+        i = ParseSwitch(i, end, out);
         continue;
       }
       // Generic statement: consume to the ';' at depth 0 and scan it.
@@ -404,14 +419,21 @@ class Parser {
       ScanExpr(i, stop, out);
       i = stop + 1;
     }
-    // Close RAII guards in reverse order.
+    // Close RAII guards in reverse order (unlock, then restore irqs).
     for (auto it = guard_locks.rbegin(); it != guard_locks.rend(); ++it) {
       Stmt s;
       s.kind = Stmt::Kind::kOp;
       s.op.kind = Op::Kind::kLockExit;
-      s.op.lock_id = *it;
+      s.op.lock_id = it->first;
       s.op.guard = true;
       out->push_back(std::move(s));
+      if (it->second) {
+        Stmt r;
+        r.kind = Stmt::Kind::kOp;
+        r.op.kind = Op::Kind::kIrqRestore;
+        r.op.guard = true;
+        out->push_back(std::move(r));
+      }
     }
   }
 
@@ -511,9 +533,172 @@ class Parser {
     if (IsIdent(toks_[i], "goto")) {
       return ParseGoto(i, end, out);
     }
+    if (IsIdent(toks_[i], "switch")) {
+      return ParseSwitch(i, end, out);
+    }
     std::size_t stop = StatementEnd(i, end);
     ScanExpr(i, stop, out);
     return stop + 1;
+  }
+
+  // `switch (cond) { case A: ... case B: ... default: ... }` — desugared to
+  // a multi-way CFG instead of a straight line: a chain of generic branches
+  // whose then-arms `goto` per-arm labels, followed by the labeled arms in
+  // source order (so fallthrough composes naturally) and an end label.
+  // Top-level `break`s inside an arm rewrite to `goto __swN_end`. The
+  // existing goto/label fixpoint in the dataflow evaluates the result, so
+  // per-arm barrier/lock state no longer merges unsoundly across arms.
+  std::size_t ParseSwitch(std::size_t i, std::size_t end, std::vector<Stmt>* out) {
+    if (i + 1 >= end || !IsPunct(toks_[i + 1], "(")) {
+      return i + 1;
+    }
+    std::size_t cond_close = Match(i + 1, end);
+    // Ops in the controlling expression execute once, before the dispatch.
+    ScanExpr(i + 2, cond_close, out);
+    std::size_t body = cond_close + 1;
+    if (body >= end || !IsPunct(toks_[body], "{")) {
+      return body;
+    }
+    std::size_t body_close = Match(body, end);
+    // Split the body at top-level `case X:` / `default:` labels.
+    struct Arm {
+      std::size_t begin;
+      std::size_t end;
+      bool is_default = false;
+      int line = 0;
+    };
+    std::vector<Arm> arms;
+    bool has_default = false;
+    int depth = 0;
+    std::size_t j = body + 1;
+    while (j < body_close) {
+      const Token& tk = toks_[j];
+      if (tk.kind == TokKind::kPunct) {
+        const std::string& p = tk.text;
+        if (p == "(" || p == "[" || p == "{") {
+          ++depth;
+        } else if (p == ")" || p == "]" || p == "}") {
+          --depth;
+        }
+        ++j;
+        continue;
+      }
+      if (depth == 0 && (IsIdent(tk, "case") || IsIdent(tk, "default"))) {
+        bool is_default = IsIdent(tk, "default");
+        // Skip the label expression to its ':' (':' and '::' are distinct
+        // tokens, so a qualified constant inside the expression is safe).
+        std::size_t colon = j + 1;
+        while (colon < body_close && !IsPunct(toks_[colon], ":")) {
+          ++colon;
+        }
+        if (!arms.empty()) {
+          arms.back().end = j;
+        }
+        // `case A: case B:` — consecutive labels share one arm.
+        if (!arms.empty() && arms.back().end == arms.back().begin &&
+            arms.back().begin == j) {
+          arms.back().is_default = arms.back().is_default || is_default;
+          arms.back().begin = arms.back().end = colon + 1;
+        } else {
+          Arm a;
+          a.begin = a.end = colon + 1;
+          a.is_default = is_default;
+          a.line = tk.line;
+          arms.push_back(a);
+        }
+        has_default = has_default || is_default;
+        j = colon + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (arms.empty()) {
+      // No case labels: treat the body as a plain block.
+      Stmt s;
+      s.kind = Stmt::Kind::kBlock;
+      s.line = toks_[i].line;
+      ParseBlock(body + 1, body_close, &s.body);
+      out->push_back(std::move(s));
+      return body_close + 1;
+    }
+    arms.back().end = body_close;
+    const int id = switch_counter_++;
+    const std::string prefix = "__sw" + std::to_string(id) + "_";
+    const std::string end_label = prefix + "end";
+    std::string default_label = end_label;
+    for (std::size_t k = 0; k < arms.size(); ++k) {
+      if (arms[k].is_default) {
+        default_label = prefix + "arm" + std::to_string(k);
+        break;
+      }
+    }
+    // Dispatch: nested generic branches (never a flat trailing goto — the
+    // lock-balance walker stops at a top-level goto, which would hide the
+    // arms). Innermost else falls to the default arm (or straight to end).
+    Stmt dispatch;
+    {
+      std::vector<Stmt> chain;
+      Stmt tail;
+      tail.kind = Stmt::Kind::kGoto;
+      tail.line = toks_[i].line;
+      tail.label = default_label;
+      chain.push_back(std::move(tail));
+      for (std::size_t k = arms.size(); k-- > 0;) {
+        if (arms[k].is_default && arms.size() > 1) {
+          continue;  // reached via the chain tail, not a matched case
+        }
+        Stmt br;
+        br.kind = Stmt::Kind::kBranch;
+        br.line = arms[k].line;
+        Stmt g;
+        g.kind = Stmt::Kind::kGoto;
+        g.line = arms[k].line;
+        g.label = prefix + "arm" + std::to_string(k);
+        br.body.push_back(std::move(g));
+        br.else_body = std::move(chain);
+        chain.clear();
+        chain.push_back(std::move(br));
+      }
+      dispatch = std::move(chain.front());
+    }
+    out->push_back(std::move(dispatch));
+    // Arms, in source order: label, body, implicit fallthrough to the next.
+    for (std::size_t k = 0; k < arms.size(); ++k) {
+      Stmt lab;
+      lab.kind = Stmt::Kind::kLabel;
+      lab.line = arms[k].line;
+      lab.label = prefix + "arm" + std::to_string(k);
+      out->push_back(std::move(lab));
+      std::vector<Stmt> arm_body;
+      ParseBlock(arms[k].begin, arms[k].end, &arm_body);
+      RewriteSwitchBreaks(&arm_body, end_label);
+      for (Stmt& s : arm_body) {
+        out->push_back(std::move(s));
+      }
+    }
+    Stmt endl;
+    endl.kind = Stmt::Kind::kLabel;
+    endl.line = toks_[body_close].line;
+    endl.label = end_label;
+    out->push_back(std::move(endl));
+    return body_close + 1;
+  }
+
+  // Rewrites `break`s that bind to the switch (not to a nested loop; nested
+  // switches already rewrote their own) into gotos to the switch end label.
+  static void RewriteSwitchBreaks(std::vector<Stmt>* stmts, const std::string& target) {
+    for (Stmt& s : *stmts) {
+      if (s.kind == Stmt::Kind::kBreak) {
+        s.kind = Stmt::Kind::kGoto;
+        s.label = target;
+        continue;
+      }
+      if (s.kind == Stmt::Kind::kLoop) {
+        continue;  // a break inside the loop exits the loop, not the switch
+      }
+      RewriteSwitchBreaks(&s.body, target);
+      RewriteSwitchBreaks(&s.else_body, target);
+    }
   }
 
   // `goto label;` — i at the `goto` keyword; returns the index past ';'.
@@ -871,8 +1056,12 @@ class Parser {
         i = close + 1;
         continue;
       }
-      // Explicit lock calls: `x.Lock(k)` / `x->Unlock(k)`.
-      if ((t.text == "Lock" || t.text == "Unlock") && has_paren && i > begin &&
+      // Explicit lock calls: `x.Lock(k)` / `x->Unlock(k)`, plus the
+      // irq-masking variants `x.LockIrqSave(k)` / `x.UnlockIrqRestore(k)`
+      // (spin_lock_irqsave: mask first, lock second; restore after unlock).
+      bool is_lock_call = t.text == "Lock" || t.text == "Unlock" ||
+                          t.text == "LockIrqSave" || t.text == "UnlockIrqRestore";
+      if (is_lock_call && has_paren && i > begin &&
           (IsPunct(toks_[i - 1], ".") || IsPunct(toks_[i - 1], "->"))) {
         // Lock id: the longest ident/./->/:: chain ending just before.
         std::size_t b = i - 1;
@@ -885,11 +1074,57 @@ class Parser {
             break;
           }
         }
+        bool enter = t.text == "Lock" || t.text == "LockIrqSave";
+        if (t.text == "LockIrqSave") {
+          Op save;
+          save.kind = Op::Kind::kIrqSave;
+          PushOp(std::move(save), t.line, out);
+        }
         Op op;
-        op.kind = t.text == "Lock" ? Op::Kind::kLockEnter : Op::Kind::kLockExit;
+        op.kind = enter ? Op::Kind::kLockEnter : Op::Kind::kLockExit;
         op.lock_id = JoinTokens(b, i - 1);
         PushOp(std::move(op), t.line, out);
+        if (t.text == "UnlockIrqRestore") {
+          Op restore;
+          restore.kind = Op::Kind::kIrqRestore;
+          PushOp(std::move(restore), t.line, out);
+        }
         i = Match(i + 1, end) + 1;
+        continue;
+      }
+      // local_irq_save / local_irq_restore: `k.LocalIrqSave()` masks this
+      // CPU's interrupt delivery until the matching restore. No memory
+      // ordering — the irq tier tracks the masked region.
+      if ((t.text == "LocalIrqSave" || t.text == "LocalIrqRestore") && has_paren) {
+        Op op;
+        op.kind = t.text == "LocalIrqSave" ? Op::Kind::kIrqSave : Op::Kind::kIrqRestore;
+        PushOp(std::move(op), t.line, out);
+        i = Match(i + 1, end) + 1;
+        continue;
+      }
+      // `k.RequestIrq("name", handler)`: record the handler as a hardirq
+      // entry point (irq-context propagation root). Tokens are NOT consumed:
+      // the scan proceeds into the argument list so a lambda handler still
+      // parses as its own `<lambda@LINE>` function.
+      if (t.text == "RequestIrq" && has_paren) {
+        std::size_t close = Match(i + 1, end);
+        std::size_t arg2 = FirstTopComma(i + 2, close);
+        if (arg2 < close) {
+          std::string handler;
+          for (std::size_t j = arg2 + 1; j < close; ++j) {
+            if (IsPunct(toks_[j], "[")) {
+              handler = "<lambda@" + std::to_string(toks_[j].line) + ">";
+              break;
+            }
+            if (toks_[j].kind == TokKind::kIdent && toks_[j].text != "this") {
+              handler = toks_[j].text;  // named handler: last ident wins
+            }
+          }
+          if (!handler.empty()) {
+            model_.irq_handlers.push_back(std::move(handler));
+          }
+        }
+        ++i;
         continue;
       }
       // Candidate intra-file call: bare identifier + '(' not preceded by a
@@ -917,6 +1152,7 @@ class Parser {
   std::vector<Token> toks_;
   std::map<std::string, OskSem> local_macros_;
   std::string current_function_;
+  int switch_counter_ = 0;  // unique per-file switch-label namespace
   FileModel model_;
 };
 
@@ -1281,6 +1517,11 @@ class Dataflow {
         }
         return;
       }
+      case Op::Kind::kIrqSave:
+      case Op::Kind::kIrqRestore:
+        // Masking local interrupts orders no memory (the irq tier runs its
+        // own dataflow over these ops); invisible to the barrier lattice.
+        return;
       case Op::Kind::kAccess:
       case Op::Kind::kBarrier:
         break;
@@ -1556,7 +1797,18 @@ using HeldLocks = std::vector<std::pair<std::string, int>>;  // lock id, entry l
 
 void CollectExits(const std::vector<Stmt>& stmts, HeldLocks held,
                   std::vector<HeldLocks>* exits, std::vector<HeldLocks>* fallthrough) {
-  for (const Stmt& s : stmts) {
+  // Forward gotos within this statement list (kernel-style `goto out`
+  // cleanup, and the labels the switch desugar emits) continue the walk at
+  // their target instead of abandoning the path — otherwise every statement
+  // after the switch dispatch would be invisible to the balance check.
+  std::map<std::string, std::size_t> label_at;
+  for (std::size_t idx = 0; idx < stmts.size(); ++idx) {
+    if (stmts[idx].kind == Stmt::Kind::kLabel) {
+      label_at.emplace(stmts[idx].label, idx);
+    }
+  }
+  for (std::size_t idx = 0; idx < stmts.size(); ++idx) {
+    const Stmt& s = stmts[idx];
     switch (s.kind) {
       case Stmt::Kind::kOp:
         if (s.op.guard) {
@@ -1604,9 +1856,8 @@ void CollectExits(const std::vector<Stmt>& stmts, HeldLocks held,
           break;
         }
         // Fork: finish the remaining statements once per state.
-        const Stmt* rest_begin = &s;
-        std::size_t idx = static_cast<std::size_t>(rest_begin - stmts.data()) + 1;
-        std::vector<Stmt> rest(stmts.begin() + static_cast<std::ptrdiff_t>(idx), stmts.end());
+        std::vector<Stmt> rest(stmts.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                               stmts.end());
         for (const HeldLocks& h : merged) {
           CollectExits(rest, h, exits, fallthrough);
         }
@@ -1618,9 +1869,7 @@ void CollectExits(const std::vector<Stmt>& stmts, HeldLocks held,
         // 0 iterations keeps `held`; 1 iteration may change it — both flow on.
         for (const HeldLocks& h : inner) {
           if (h != held) {
-            const Stmt* rest_begin = &s;
-            std::size_t idx = static_cast<std::size_t>(rest_begin - stmts.data()) + 1;
-            std::vector<Stmt> rest(stmts.begin() + static_cast<std::ptrdiff_t>(idx),
+            std::vector<Stmt> rest(stmts.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
                                    stmts.end());
             CollectExits(rest, h, exits, fallthrough);
           }
@@ -1630,13 +1879,23 @@ void CollectExits(const std::vector<Stmt>& stmts, HeldLocks held,
       case Stmt::Kind::kReturn:
         exits->push_back(held);
         return;
+      case Stmt::Kind::kGoto: {
+        auto it = label_at.find(s.label);
+        if (it != label_at.end() && it->second > idx) {
+          idx = it->second;  // forward jump in this list: resume at the label
+          break;
+        }
+        // Backward or outward goto: path leaves this statement list; the
+        // fallthrough exit carries the held set to the check (a goto that
+        // jumps over an Unlock is exactly what the lock-imbalance rule
+        // should not excuse).
+        fallthrough->push_back(held);
+        return;
+      }
       case Stmt::Kind::kBreak:
       case Stmt::Kind::kContinue:
-      case Stmt::Kind::kGoto:
         // Path leaves this statement list; treat like a fallthrough exit of
-        // the enclosing loop for balance purposes (a goto that jumps over an
-        // Unlock is exactly what the lock-imbalance rule should not excuse,
-        // and the fallthrough exit carries the held set to the check).
+        // the enclosing loop for balance purposes.
         fallthrough->push_back(held);
         return;
       case Stmt::Kind::kLabel:

@@ -83,7 +83,11 @@ enum class OpSem {
 
 // A primitive step in a function body.
 struct Op {
-  enum class Kind { kAccess, kBarrier, kLockEnter, kLockExit, kCall };
+  // kIrqSave / kIrqRestore model local_irq_save/restore (and the irq half of
+  // spin_lock_irqsave): they gate same-CPU interrupt delivery but order no
+  // memory, so the barrier dataflow ignores them; the irq tier (irq.h) runs
+  // its own masked-region dataflow over them.
+  enum class Kind { kAccess, kBarrier, kLockEnter, kLockExit, kCall, kIrqSave, kIrqRestore };
   Kind kind = Kind::kAccess;
   OpSem sem = OpSem::kNone;  // instrumentation semantics (kAccess/kBarrier)
   int line = 0;
@@ -143,6 +147,10 @@ struct FileModel {
   std::string path;  // normalized
   std::vector<AccessSite> sites;
   std::vector<Function> functions;
+  // Functions registered as hardirq handlers via `RequestIrq(name, fn)`: the
+  // lambda's synthetic name (`<lambda@LINE>`) or the named callee. Roots of
+  // the irq-context propagation (irq.h).
+  std::vector<std::string> irq_handlers;
 };
 
 // Parses one source file into its model. Never fails: unrecognized syntax

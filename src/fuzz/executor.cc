@@ -59,7 +59,9 @@ MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
   MtiResult result;
   OZZ_CHECK(spec.call_a < spec.prog.calls.size());
   OZZ_CHECK(spec.call_b < spec.prog.calls.size());
-  OZZ_CHECK(spec.call_a != spec.call_b);
+  // An irq-injection test interrupts call_a on its own CPU — there is no
+  // separate observer call, so the pair may name the same call twice.
+  OZZ_CHECK(spec.call_a != spec.call_b || spec.hint.irq_test);
 
   // The recorder spans the whole execution so prefix-call activity (which can
   // explain a never-armed hint) is in the trace too.
@@ -90,6 +92,7 @@ MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
   point.occurrence = spec.hint.sched.occurrence;
   point.when = spec.hint.sched_phase;
   point.next = 1;
+  point.fire_irq = spec.hint.irq_test;
   plan.points.push_back(point);
   machine.SetPlan(plan);
 
@@ -137,6 +140,9 @@ MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
   machine.AddThread("observer", 1, [&] {
     if (kernel.crashed()) {
       return;
+    }
+    if (spec.hint.irq_test && spec.call_a == spec.call_b) {
+      return;  // the "observer" is the injected handler on CPU 0 itself
     }
     const Call& call = spec.prog.calls[spec.call_b];
     results[spec.call_b] = kernel.InvokeByName(call.desc->name, ResolveArgs(call, results));

@@ -90,6 +90,8 @@ std::string CampaignToJson(const CampaignResult& result) {
      << ",\"pair_proven\":" << hs.pairs.proven()
      << ",\"guide_sites\":" << result.guide_sites
      << ",\"guide_sites_tested\":" << result.guide_sites_tested
+     << ",\"sti_guide_sites\":" << result.sti_guide_sites
+     << ",\"sti_guide_sites_tested\":" << result.sti_guide_sites_tested
      << ",\"metrics\":" << (result.metrics_json.empty() ? "{}" : result.metrics_json)
      << ",\"bugs\":[";
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {
@@ -129,6 +131,9 @@ Fuzzer::Fuzzer(FuzzerOptions options) : options_(std::move(options)), rng_(optio
   generator_ = std::make_unique<ProgGenerator>(template_kernel_->table(), &rng_);
   for (const GuideSite& site : options_.static_guide) {
     guide_sites_.insert({analysis::srcmodel::NormalizeSrcPath(site.file), site.line});
+  }
+  for (const GuideSite& site : options_.sti_guide) {
+    sti_guide_sites_.insert({analysis::srcmodel::NormalizeSrcPath(site.file), site.line});
   }
 }
 
@@ -271,6 +276,72 @@ bool Fuzzer::TestProg(const Prog& prog, CampaignResult* result) {
       }
     }
   }
+  if (TestIrqPoints(prog, profile, result)) {
+    return true;
+  }
+  return Exhausted(*result);
+}
+
+bool Fuzzer::TestIrqPoints(const Prog& prog, const ProgProfile& profile,
+                           CampaignResult* result) {
+  // The interrupt-injection pass (STI interrupt tier): for every call that
+  // runs with a hardirq handler armed, enumerate interrupt points over the
+  // call's own trace, one MTI each. Same gate as the reorder machinery —
+  // the interleaving-only baseline (--no-reorder) is the conventional
+  // fuzzer and injects nothing.
+  if (!options_.reordering) {
+    return false;
+  }
+  for (std::size_t c = 0; c < profile.calls.size(); ++c) {
+    if (!profile.calls[c].irq_armed) {
+      continue;
+    }
+    std::vector<SchedHint> hints =
+        ComputeIrqHints(profile.calls[c].trace, options_.max_irq_points_per_call);
+    // --sti-guide: injection points on statically irq-racy sites first.
+    // Stable and total — guidance reorders the enumeration, never prunes it.
+    if (!sti_guide_sites_.empty()) {
+      auto score = [&](const SchedHint& h) -> int {
+        GuideKey key;
+        return InstrKey(h.sched.instr, &key) && sti_guide_sites_.count(key) != 0 ? 1 : 0;
+      };
+      std::stable_sort(hints.begin(), hints.end(),
+                       [&](const SchedHint& x, const SchedHint& y) { return score(x) > score(y); });
+    }
+    for (std::size_t rank = 0; rank < hints.size(); ++rank) {
+      if (Exhausted(*result)) {
+        return true;
+      }
+      const SchedHint& hint = hints[rank];
+      {
+        GuideKey key;
+        if (InstrKey(hint.sched.instr, &key) && sti_guide_sites_.count(key) != 0) {
+          sti_guide_tested_.insert(std::move(key));
+        }
+      }
+      MtiSpec spec;
+      spec.prog = prog;
+      spec.call_a = c;
+      spec.call_b = c;
+      spec.hint = hint;
+      MtiOptions mti_opts;
+      mti_opts.kernel_config = options_.kernel_config;
+      mti_opts.reordering = options_.reordering;
+      mti_opts.model = options_.model;
+      if (!options_.trace_dir.empty()) {
+        std::ostringstream path;
+        path << options_.trace_dir << "/mti_" << std::setw(6) << std::setfill('0')
+             << result->mti_runs << ".ozztrace";
+        mti_opts.trace_path = path.str();
+        mti_opts.trace_label = prog.calls[c].desc->name + std::string(" || irq");
+      }
+      MtiResult mti = RunMti(spec, mti_opts);
+      ++result->mti_runs;
+      if (mti.crashed) {
+        RecordBug(spec, mti, rank, result);
+      }
+    }
+  }
   return Exhausted(*result);
 }
 
@@ -281,6 +352,8 @@ void Fuzzer::Finalize(const obs::MetricsSnapshot& begin, CampaignResult* result)
   result->coverage = corpus_.coverage_size();
   result->guide_sites = guide_sites_.size();
   result->guide_sites_tested = guide_tested_.size();
+  result->sti_guide_sites = sti_guide_sites_.size();
+  result->sti_guide_sites_tested = sti_guide_tested_.size();
   result->metrics_json =
       obs::Metrics::ToJson(obs::Metrics::Delta(begin, obs::Metrics::Global().Snapshot()));
 }

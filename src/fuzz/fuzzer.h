@@ -59,6 +59,15 @@ struct FuzzerOptions {
   // corpus picks are biased toward programs covering untested guide sites.
   // Purely a priority boost — no hint or pair is ever skipped because of it.
   std::vector<GuideSite> static_guide;
+  // Interrupt-injection pass (`--sti-guide` prioritizes it; the pass itself
+  // runs whenever reordering is on and a profiled call has a hardirq handler
+  // armed): per such call, at most this many injection points are tested
+  // (one MTI each, enumerated over the call's own trace).
+  std::size_t max_irq_points_per_call = 64;
+  // Statically irq-racy sites (from the race analyzer's same-CPU tier):
+  // injection points matching one are tested first. Pure prioritization —
+  // the enumeration set is never pruned (tests/static_prune_test.cc).
+  std::vector<GuideSite> sti_guide;
   // Non-empty: every MTI execution writes a reorder trace into this directory
   // as mti_NNNNNN.ozztrace (triage the set with ozz_trace).
   std::string trace_dir;
@@ -86,6 +95,10 @@ struct CampaignResult {
   // sched/reorder set covered during the campaign.
   std::size_t guide_sites = 0;
   std::size_t guide_sites_tested = 0;
+  // Sti-guide accounting: irq-racy sites supplied, and sites some injected
+  // interrupt point actually landed on.
+  std::size_t sti_guide_sites = 0;
+  std::size_t sti_guide_sites_tested = 0;
   // This campaign's contribution to the obs metrics registry (counter and
   // histogram deltas as JSON); embedded under "metrics" by CampaignToJson.
   std::string metrics_json;
@@ -139,6 +152,10 @@ class Fuzzer {
   // the metrics delta since `begin` (this campaign's contribution).
   void Finalize(const obs::MetricsSnapshot& begin, CampaignResult* result) const;
 
+  // Runs the interrupt-injection pass over `profile`'s armed calls.
+  // Returns true when the budget is exhausted.
+  bool TestIrqPoints(const Prog& prog, const ProgProfile& profile, CampaignResult* result);
+
   // Distinct untested guide sites covered by `coverage` (corpus-pick bias).
   std::size_t GuideScore(const std::set<InstrId>& coverage) const;
   // Marks guide sites covered by this hint's sched/reorder sets as tested.
@@ -151,6 +168,8 @@ class Fuzzer {
   Corpus corpus_;
   std::set<GuideKey> guide_sites_;
   std::set<GuideKey> guide_tested_;
+  std::set<GuideKey> sti_guide_sites_;
+  std::set<GuideKey> sti_guide_tested_;
 };
 
 }  // namespace ozz::fuzz

@@ -165,6 +165,11 @@ void PruneAxiomatic(const analysis::PairAnalysis& pa, const HintOptions& options
 
 std::string SchedHint::ToString() const {
   std::ostringstream os;
+  if (irq_test) {
+    os << "irq-injection-test fire@" << oemu::InstrRegistry::Describe(sched.instr) << "#"
+       << sched.occurrence;
+    return os.str();
+  }
   os << (store_test ? "store-barrier-test" : "load-barrier-test") << " sched@"
      << oemu::InstrRegistry::Describe(sched.instr) << "#" << sched.occurrence << " reorder{";
   for (std::size_t i = 0; i < reorder.size(); ++i) {
@@ -178,6 +183,27 @@ std::string SchedHint::ToString() const {
     os << " [suffix]";
   }
   return os.str();
+}
+
+std::vector<SchedHint> ComputeIrqHints(const oemu::Trace& trace, std::size_t max_hints) {
+  std::vector<SchedHint> hints;
+  for (const oemu::Event& ev : trace) {
+    if (!ev.IsAccess()) {
+      continue;
+    }
+    if (hints.size() >= max_hints) {
+      break;
+    }
+    SchedHint hint;
+    hint.irq_test = true;
+    hint.store_test = ev.access == oemu::AccessType::kStore;
+    hint.sched.instr = ev.instr;
+    hint.sched.occurrence = ev.occurrence;
+    hint.sched.type = ev.access;
+    hint.sched_phase = rt::SwitchWhen::kAfterAccess;
+    hints.push_back(std::move(hint));
+  }
+  return hints;
 }
 
 // Algorithm 2 (filter_out): keep only accesses to ranges that both syscalls

@@ -46,6 +46,13 @@ struct SchedHint {
   // The axiomatic engine found a concrete execution in which some reorder
   // member's inversion is observable; such hints are scheduled first.
   bool witnessed = false;
+  // Interrupt-injection test (the STI interrupt pass): instead of switching
+  // to an observer thread at the scheduling point, the scheduler delivers a
+  // virtual interrupt on the reordering thread itself
+  // (rt::SchedPoint::fire_irq; deferred while local irqs are masked). The
+  // reorder set is empty — the test perturbs the interleaving against this
+  // CPU's own hardirq handler, not the memory order.
+  bool irq_test = false;
 
   std::string ToString() const;
 };
@@ -115,6 +122,14 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
                                     const oemu::Trace& other_trace,
                                     const HintOptions& options = {},
                                     HintStats* stats = nullptr);
+
+// Interrupt-injection hints for one profiled call (the STI interrupt pass):
+// one irq_test hint per dynamic access of `trace`, firing a virtual
+// interrupt right after that access executes — the brute-force enumeration
+// of interrupt points a same-CPU irq race needs. Order follows the trace;
+// the fuzzer's --sti-guide reprioritizes (never drops) using the static
+// irq-racy verdicts.
+std::vector<SchedHint> ComputeIrqHints(const oemu::Trace& trace, std::size_t max_hints);
 
 }  // namespace ozz::fuzz
 

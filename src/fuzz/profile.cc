@@ -39,6 +39,7 @@ ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config,
     // the kernel they were created in, and this is a fresh kernel.
     cp.retval = kernel.InvokeByName(call.desc->name, ResolveArgs(call, results));
     cp.trace = runtime.StopRecording(tid);
+    cp.irq_armed = kernel.IrqHandlerCount() > 0;
     for (const oemu::Event& e : cp.trace) {
       if (e.IsAccess()) {
         profile.coverage.insert(e.instr);

@@ -19,6 +19,10 @@ namespace ozz::fuzz {
 struct CallProfile {
   oemu::Trace trace;
   long retval = 0;
+  // A hardirq handler was registered (RequestIrq) by the time this call
+  // returned — the call is a candidate for the interrupt-injection pass
+  // (an injected irq has a handler to dispatch to).
+  bool irq_armed = false;
 };
 
 struct ProgProfile {

@@ -12,7 +12,7 @@ BugReport MakeBugReport(const MtiSpec& spec, const MtiResult& result) {
   BugReport report;
   report.title = result.crash.title;
   report.subsystem = spec.prog.calls[spec.call_a].desc->subsystem;
-  report.reorder_type = spec.hint.store_test ? "S-S" : "L-L";
+  report.reorder_type = spec.hint.irq_test ? "IRQ" : spec.hint.store_test ? "S-S" : "L-L";
   report.prog = spec.prog.ToString();
   report.hint = spec.hint.ToString();
   report.oops_detail = result.crash.detail;
@@ -22,6 +22,14 @@ BugReport MakeBugReport(const MtiSpec& spec, const MtiResult& result) {
   }
 
   std::ostringstream barrier;
+  if (spec.hint.irq_test) {
+    // Not a memory-ordering bug: the handler interleaved with its own CPU's
+    // critical section. The repair is masking, not a barrier.
+    barrier << "missing irq masking (e.g. spin_lock_irqsave/local_irq_save) around "
+            << oemu::InstrRegistry::Describe(spec.hint.sched.instr);
+    report.hypothetical_barrier = barrier.str();
+    return report;
+  }
   if (spec.hint.store_test) {
     barrier << "missing store barrier (e.g. smp_wmb/smp_store_release) between ";
     if (!spec.hint.reorder.empty()) {

@@ -14,7 +14,8 @@ namespace ozz::fuzz {
 struct BugReport {
   std::string title;       // dedup key (crash title, syzkaller-style)
   std::string subsystem;   // subsystem of the reordering call
-  std::string reorder_type;  // "S-S" (covers S-L) or "L-L", as in Table 4
+  std::string reorder_type;  // "S-S" (covers S-L) or "L-L", as in Table 4;
+                             // "IRQ" for interrupt-injection findings
   std::string hypothetical_barrier;  // suggested barrier location
   std::vector<std::string> reordered_accesses;
   std::string prog;        // the triggering program

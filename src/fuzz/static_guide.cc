@@ -182,4 +182,23 @@ std::vector<GuideSite> GuideSitesFromRaces(const srcmodel::RaceReport& report) {
   return out;
 }
 
+std::vector<GuideSite> GuideSitesFromIrqRaces(const srcmodel::RaceReport& report) {
+  std::vector<GuideSite> out;
+  std::set<GuideKey> seen;
+  auto add = [&](const srcmodel::AccessSite& site) {
+    GuideKey key = KeyOf(site);
+    if (seen.insert(key).second) {
+      out.push_back(GuideSite{key.first, key.second});
+    }
+  };
+  for (const srcmodel::RacePair& pair : report.races) {  // gated come first
+    if (!pair.irq || !(pair.irq_racy_buggy || pair.irq_racy_fixed)) {
+      continue;
+    }
+    add(pair.first);
+    add(pair.second);
+  }
+  return out;
+}
+
 }  // namespace ozz::fuzz

@@ -56,6 +56,12 @@ std::vector<GuideSite> GuideSitesFromReport(const analysis::srcmodel::AuditRepor
 // priority boost, never a prune.
 std::vector<GuideSite> GuideSitesFromRaces(const analysis::srcmodel::RaceReport& report);
 
+// Guide sites for `ozz_fuzz --sti-guide`: the endpoints of the analyzer's
+// same-CPU irq-racy pairs. The fuzzer's interrupt-injection pass tests
+// injection points landing on one of these first. Same contract again:
+// prioritization only, the injection enumeration is never pruned.
+std::vector<GuideSite> GuideSitesFromIrqRaces(const analysis::srcmodel::RaceReport& report);
+
 }  // namespace ozz::fuzz
 
 #endif  // OZZ_SRC_FUZZ_STATIC_GUIDE_H_

@@ -292,6 +292,9 @@ Prog SeedProgramFor(const osk::SyscallTable& table, const std::string& subsystem
   if (subsystem == "synthetic") {
     return MakeSeed(table, {"syn$t1", "syn$t2"});
   }
+  if (subsystem == "timerwheel") {
+    return MakeSeed(table, {"timer$arm", "timer$mod"});
+  }
   return Prog{};
 }
 
@@ -300,7 +303,7 @@ std::vector<Prog> SeedPrograms(const osk::SyscallTable& table) {
   for (const char* name :
        {"watch_queue", "tls", "tls_getsockopt", "tls_err_abort", "rds", "xsk", "xsk_xmit",
         "bpf_sockmap", "smc", "smc_close", "vmci", "gsm", "vlan", "unix", "nbd", "mq", "fs", "rdma", "buffer",
-        "ringbuf", "seqlock", "rcu", "synthetic"}) {
+        "ringbuf", "seqlock", "rcu", "synthetic", "timerwheel"}) {
     Prog p = SeedProgramFor(table, name);
     if (!p.calls.empty()) {
       seeds.push_back(std::move(p));

@@ -93,6 +93,12 @@ std::string EventDetail(const TraceFile& file, const TraceEvent& e) {
     case EvType::kSyscallExit:
       std::snprintf(buf, sizeof(buf), "flushed=%llu", a0);
       break;
+    case EvType::kIrqDeferred:
+      std::snprintf(buf, sizeof(buf), "irq_depth=%llu", a0);
+      break;
+    case EvType::kIrqDelivered:
+      std::snprintf(buf, sizeof(buf), "%s", a0 != 0 ? "was-deferred" : "immediate");
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "a0=%llu a1=%llu", a0, a1);
   }

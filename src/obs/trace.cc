@@ -49,6 +49,10 @@ const char* EvTypeName(EvType t) {
       return "syscall-enter";
     case EvType::kSyscallExit:
       return "syscall-exit";
+    case EvType::kIrqDeferred:
+      return "irq-deferred";
+    case EvType::kIrqDelivered:
+      return "irq-delivered";
   }
   return "?";
 }

@@ -53,6 +53,8 @@ namespace ozz::obs {
 //   kOracle          a bug-detecting oracle raised an oops     a0=OopsKind a1=addr
 //   kSyscallEnter    syscall began on the thread               a0=0 a1=0
 //   kSyscallExit     syscall returned (buffer flushes)         a0=#stores a1=0
+//   kIrqDeferred     irq raised while masked, left pending     a0=irq_depth a1=0
+//   kIrqDelivered    irq delivered (handlers about to run)     a0=was_deferred a1=0
 enum class EvType : u16 {
   kStoreDelayed = 0,
   kStoreCommit = 1,
@@ -67,6 +69,8 @@ enum class EvType : u16 {
   kOracle = 10,
   kSyscallEnter = 11,
   kSyscallExit = 12,
+  kIrqDeferred = 13,
+  kIrqDelivered = 14,
 };
 
 const char* EvTypeName(EvType t);

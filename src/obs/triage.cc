@@ -22,6 +22,8 @@ const char* Explanation(Verdict v, bool store_test) {
     case Verdict::kReorderedOracleSilent:
       return store_test ? "delayed stores stayed parked across the switch but no oracle fired"
                         : "stale values were observably read but no oracle fired";
+    case Verdict::kIrqInjectedSilent:
+      return "a virtual interrupt was injected but no oracle fired";
     case Verdict::kNoHint:
       return "trace carries no hint metadata";
   }
@@ -42,6 +44,8 @@ const char* VerdictName(Verdict v) {
       return "hit-committed-early";
     case Verdict::kReorderedOracleSilent:
       return "reordered-oracle-silent";
+    case Verdict::kIrqInjectedSilent:
+      return "irq-injected-silent";
     case Verdict::kNoHint:
       return "no-hint";
   }
@@ -79,6 +83,12 @@ HintLifecycle TriageTrace(const TraceFile& file) {
         break;
       case EvType::kOracle:
         out.oracle = true;
+        break;
+      case EvType::kIrqDelivered:
+        ++out.irq_delivered;
+        break;
+      case EvType::kIrqDeferred:
+        ++out.irq_deferred;
         break;
       case EvType::kLoadOld:
         if (is_member(e.instr)) {
@@ -137,7 +147,8 @@ HintLifecycle TriageTrace(const TraceFile& file) {
   } else if (out.oracle) {
     out.verdict = Verdict::kTriggered;
   } else if (out.armed == 0) {
-    out.verdict = Verdict::kNeverArmed;
+    out.verdict = out.irq_delivered + out.irq_deferred > 0 ? Verdict::kIrqInjectedSilent
+                                                           : Verdict::kNeverArmed;
   } else if (out.hits == 0) {
     out.verdict = Verdict::kArmedNeverHit;
   } else if (file.meta.store_test) {
@@ -152,6 +163,9 @@ HintLifecycle TriageTrace(const TraceFile& file) {
   os << "armed=" << out.armed << " hits=" << out.hits << " delayed=" << out.delayed_stores
      << " held=" << out.held_across_switch << " early=" << out.early_commits
      << " stale=" << out.stale_loads;
+  if (out.irq_delivered + out.irq_deferred > 0) {
+    os << " irq_delivered=" << out.irq_delivered << " irq_deferred=" << out.irq_deferred;
+  }
   if (out.dropped > 0) {
     os << " dropped=" << out.dropped;
   }

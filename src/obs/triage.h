@@ -22,6 +22,10 @@
 //                             switch (store held in the buffer / stale value
 //                             read) yet no oracle fired — the interleaving or
 //                             the oracle coverage is what's missing
+//   irq-injected-silent       no reorder control, but a virtual interrupt was
+//                             delivered (or deferred past a masked region) —
+//                             an interrupt-injection test whose handler saw
+//                             nothing wrong
 //   no-hint                   the trace carries no hint metadata
 #ifndef OZZ_SRC_OBS_TRIAGE_H_
 #define OZZ_SRC_OBS_TRIAGE_H_
@@ -39,6 +43,7 @@ enum class Verdict : u8 {
   kHitCommittedEarly = 3,
   kReorderedOracleSilent = 4,
   kNoHint = 5,
+  kIrqInjectedSilent = 6,
 };
 
 const char* VerdictName(Verdict v);
@@ -52,6 +57,8 @@ struct HintLifecycle {
                                // post-hit segment switch
   u64 early_commits = 0;       // member stores committed before that switch
   u64 stale_loads = 0;         // member loads observably served old values
+  u64 irq_delivered = 0;       // virtual interrupts dispatched to a handler
+  u64 irq_deferred = 0;        // injections parked behind a masked region
   bool oracle = false;
   u64 dropped = 0;  // ring drops — verdicts on a lossy trace are best-effort
   std::string summary;  // one human-readable line

@@ -25,6 +25,63 @@ void Kernel::Attach(rt::Machine* machine, oemu::Runtime* runtime) {
       kasan_->Check(addr, size, type, instr, phase);
     });
   }
+  if (machine_ != nullptr) {
+    machine_->SetIrqDispatchHook([this](ThreadId) { DispatchIrq(); });
+  }
+}
+
+void Kernel::RequestIrq(const std::string& name, IrqHandlerFn handler) {
+  for (auto& entry : irq_handlers_) {
+    if (entry.first == name) {
+      entry.second = std::move(handler);
+      return;
+    }
+  }
+  irq_handlers_.emplace_back(name, std::move(handler));
+}
+
+void Kernel::FreeIrq(const std::string& name) {
+  for (auto it = irq_handlers_.begin(); it != irq_handlers_.end(); ++it) {
+    if (it->first == name) {
+      irq_handlers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Kernel::DispatchIrq() {
+  if (crashed()) {
+    return;
+  }
+  // Registration order, matching how a shared irq line walks its action
+  // chain. A handler oops unwinds through the machine's delivery path.
+  for (std::size_t i = 0; i < irq_handlers_.size(); ++i) {
+    irq_handlers_[i].second(*this);
+  }
+}
+
+void Kernel::LocalIrqSave() {
+  if (machine_ != nullptr && rt::Machine::CurrentThread() != nullptr) {
+    machine_->IrqSave();
+    return;
+  }
+  ++host_irq_depth_;
+}
+
+void Kernel::LocalIrqRestore() {
+  if (machine_ != nullptr && rt::Machine::CurrentThread() != nullptr) {
+    machine_->IrqRestore();
+    return;
+  }
+  OZZ_CHECK_MSG(host_irq_depth_ > 0, "unbalanced LocalIrqRestore");
+  --host_irq_depth_;
+}
+
+bool Kernel::IrqsDisabled() const {
+  if (machine_ != nullptr && rt::Machine::CurrentThread() != nullptr) {
+    return machine_->IrqsDisabled();
+  }
+  return host_irq_depth_ > 0;
 }
 
 // kmalloc/kfree acquire slab locks internally; the acquire/release pair

@@ -15,6 +15,7 @@
 #ifndef OZZ_SRC_OSK_KERNEL_H_
 #define OZZ_SRC_OSK_KERNEL_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -145,6 +146,29 @@ class Kernel {
   Subsystem* Find(std::string_view name);
   std::vector<std::string> SubsystemNames() const;
 
+  // ---- Interrupts ----
+  // request_irq(): registers a hardirq handler. Handlers run on the CPU that
+  // takes the interrupt (rt::Machine::InterruptSelf), between the two
+  // store-buffer flushes of a delivery. Re-registering a name replaces the
+  // previous handler.
+  using IrqHandlerFn = std::function<void(Kernel&)>;
+  void RequestIrq(const std::string& name, IrqHandlerFn handler);
+  void FreeIrq(const std::string& name);
+  std::size_t IrqHandlerCount() const { return irq_handlers_.size(); }
+
+  // Runs every registered handler on the calling thread. Wired into the
+  // machine's irq dispatch hook by Attach(); callable directly in
+  // machine-less unit tests.
+  void DispatchIrq();
+
+  // local_irq_save / local_irq_restore. With a machine attached these
+  // delegate to rt::Machine (deferring virtual interrupts while masked);
+  // without one (profiling runs, benchmarks) they keep a plain depth counter
+  // so the balance contract still holds.
+  void LocalIrqSave();
+  void LocalIrqRestore();
+  bool IrqsDisabled() const;
+
  private:
   KernelConfig config_;
   Kalloc alloc_;
@@ -156,6 +180,8 @@ class Kernel {
   std::optional<OopsReport> crash_;
   std::map<std::string, std::vector<void*>> resources_;
   std::vector<std::unique_ptr<Subsystem>> subsystems_;
+  std::vector<std::pair<std::string, IrqHandlerFn>> irq_handlers_;
+  int host_irq_depth_ = 0;  // machine-less LocalIrqSave nesting
 };
 
 // Installs the full default subsystem set (all bug scenarios).

@@ -62,6 +62,20 @@ class SpinLock {
     OSK_CLEAR_BIT_UNLOCK(word_, 0);
   }
 
+  // spin_lock_irqsave / spin_unlock_irqrestore: masks local interrupts for
+  // the whole critical section, making the lock safe to share with a hardirq
+  // handler on the same CPU. Must be paired; interrupts deferred while masked
+  // deliver at UnlockIrqRestore.
+  void LockIrqSave(Kernel& kernel) {
+    kernel.LocalIrqSave();  // ozz-lint: allow-irq (restored in UnlockIrqRestore)
+    Lock(kernel);
+  }
+
+  void UnlockIrqRestore(Kernel& kernel) {
+    Unlock(kernel);
+    kernel.LocalIrqRestore();  // ozz-lint: allow-irq (saved in LockIrqSave)
+  }
+
  private:
   static constexpr int kSpinBound = 256;
 
@@ -80,6 +94,24 @@ class SpinGuard {
 
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Kernel& kernel_;
+  SpinLock& lock_;
+};
+
+// RAII guard for irq-safe critical sections (spin_lock_irqsave scope).
+class SpinGuardIrq {
+ public:
+  SpinGuardIrq(Kernel& kernel, SpinLock& lock) : kernel_(kernel), lock_(lock) {
+    // ozz-lint: allow-imbalance, ozz-lint: allow-irq (released in ~SpinGuardIrq)
+    lock_.LockIrqSave(kernel_);
+  }
+  // ozz-lint: allow-irq (the matching save is in the constructor)
+  ~SpinGuardIrq() { lock_.UnlockIrqRestore(kernel_); }
+
+  SpinGuardIrq(const SpinGuardIrq&) = delete;
+  SpinGuardIrq& operator=(const SpinGuardIrq&) = delete;
 
  private:
   Kernel& kernel_;

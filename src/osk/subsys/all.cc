@@ -13,6 +13,7 @@
 #include "src/osk/subsys/seqlock.h"
 #include "src/osk/subsys/smc.h"
 #include "src/osk/subsys/synthetic.h"
+#include "src/osk/subsys/timerwheel.h"
 #include "src/osk/subsys/tls.h"
 #include "src/osk/subsys/unix_sock.h"
 #include "src/osk/subsys/vlan.h"
@@ -41,6 +42,7 @@ void InstallDefaultSubsystems(Kernel& kernel) {
   kernel.Install(MakeRdmaSubsystem());
   kernel.Install(MakeRcuSubsystem());
   kernel.Install(MakeBufferHeadSubsystem());
+  kernel.Install(MakeTimerwheelSubsystem());
   kernel.Install(MakeSyntheticSubsystem());
 }
 

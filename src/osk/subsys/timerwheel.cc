@@ -1,0 +1,110 @@
+// Timer wheel subsystem: process-context re-arm racing the expiry hardirq.
+#include "src/osk/subsys/timerwheel.h"
+
+#include "src/oemu/cell.h"
+#include "src/osk/kernel.h"
+#include "src/osk/spinlock.h"
+
+namespace ozz::osk {
+namespace {
+
+// Invariant: expiry_hi == expiry_lo + 1 whenever armed. The expiry handler
+// runs in hardirq context on the arming CPU and validates the pair; only an
+// irqs-off update keeps it atomic against that handler.
+struct TimerwheelData {
+  SpinLock lock;
+  oemu::Cell<u64> armed;
+  oemu::Cell<u64> expiry_lo;
+  oemu::Cell<u64> expiry_hi;
+};
+
+}  // namespace
+
+class TimerwheelSubsystem : public Subsystem {
+ public:
+  const char* name() const override { return "timerwheel"; }
+
+  void Init(Kernel& kernel) override {
+    fixed_ = kernel.IsFixed("timerwheel");
+    tw_ = kernel.New<TimerwheelData>("timerwheel_init");
+    tw_->lock.InitClass(kernel, "timerwheel_base");
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
+    tw_->armed.set_raw(0);
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
+    tw_->expiry_lo.set_raw(0);
+    // ozz-lint: allow-raw — subsystem init, before any simulated thread runs
+    tw_->expiry_hi.set_raw(1);
+
+    SyscallDesc arm;
+    arm.name = "timer$arm";
+    arm.subsystem = name();
+    arm.args.push_back(ArgDesc::IntRange("expires", 1, 1 << 20));
+    arm.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Arm(k, static_cast<u64>(args[0]));
+    };
+    kernel.table().Add(std::move(arm));
+
+    SyscallDesc mod;
+    mod.name = "timer$mod";
+    mod.subsystem = name();
+    mod.args.push_back(ArgDesc::IntRange("expires", 1, 1 << 20));
+    mod.fn = [this](Kernel& k, const std::vector<i64>& args) {
+      return Mod(k, static_cast<u64>(args[0]));
+    };
+    kernel.table().Add(std::move(mod));
+  }
+
+  // add_timer(): registers the expiry hardirq and publishes the initial pair
+  // with interrupts masked — an expiry firing mid-arm must see either the old
+  // or the new pair, never half of each.
+  long Arm(Kernel& k, u64 expires) {
+    FunctionContext fn("timerwheel_arm");
+    k.RequestIrq("timerwheel", [this](Kernel& kk) { Expire(kk); });
+    SpinGuardIrq g(k, tw_->lock);
+    OSK_STORE(tw_->expiry_lo, expires);
+    OSK_STORE(tw_->expiry_hi, expires + 1);
+    OSK_STORE(tw_->armed, 1);
+    return kOk;
+  }
+
+  // mod_timer(): re-programs the expiry pair. The spinlock serializes
+  // against other CPUs' writers, but in the buggy form interrupts stay
+  // enabled, so this CPU's own expiry irq can fire between the two stores
+  // and the handler reads a torn pair. The fix masks irqs for the update.
+  long Mod(Kernel& k, u64 expires) {
+    FunctionContext fn("timerwheel_mod");
+    if (fixed_) {
+      k.LocalIrqSave();  // the update must be atomic against this CPU's irq
+    }
+    SpinGuard g(k, tw_->lock);
+    OSK_STORE(tw_->expiry_lo, expires);
+    OSK_STORE(tw_->expiry_hi, expires + 1);
+    if (fixed_) {
+      k.LocalIrqRestore();
+    }
+    return kOk;
+  }
+
+  // Expiry handler, hardirq context: validates the invariant lockless. A
+  // torn pair here means a process-context update was interrupted midway.
+  void Expire(Kernel& k) {
+    FunctionContext fn("timerwheel_expire");
+    u64 armed = OSK_LOAD(tw_->armed);
+    if (armed == 0) {
+      return;
+    }
+    u64 lo = OSK_LOAD(tw_->expiry_lo);
+    u64 hi = OSK_LOAD(tw_->expiry_hi);
+    k.BugOn(hi != lo + 1, "timerwheel expiry tore (hi != lo + 1)");
+  }
+
+ private:
+  TimerwheelData* tw_ = nullptr;
+  bool fixed_ = false;
+};
+
+std::unique_ptr<Subsystem> MakeTimerwheelSubsystem() {
+  return std::make_unique<TimerwheelSubsystem>();
+}
+
+}  // namespace ozz::osk

@@ -1,0 +1,23 @@
+#ifndef OZZ_SRC_OSK_SUBSYS_TIMERWHEEL_H_
+#define OZZ_SRC_OSK_SUBSYS_TIMERWHEEL_H_
+
+#include <memory>
+
+namespace ozz::osk {
+
+class Subsystem;
+
+// A timer-wheel slot in the kernel/time/timer.c sense: `timer$arm` registers
+// the expiry handler (request_irq) and publishes the two-word expiry pair
+// under spin_lock_irqsave; `timer$mod` re-programs the pair from process
+// context. The hardirq handler reads the pair lockless on the same CPU, so
+// the only thing that can make the update atomic against it is masking local
+// interrupts — which the buggy form omits (plain spin_lock: enough against
+// other CPUs' writers, useless against its own CPU's timer irq). An interrupt
+// injected between the two stores observes a torn pair (hi != lo + 1).
+// Fixed key: "timerwheel".
+std::unique_ptr<Subsystem> MakeTimerwheelSubsystem();
+
+}  // namespace ozz::osk
+
+#endif  // OZZ_SRC_OSK_SUBSYS_TIMERWHEEL_H_

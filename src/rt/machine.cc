@@ -204,6 +204,14 @@ void Machine::OnInstr(InstrId instr, SwitchWhen phase) {
     return;
   }
   ++plan_cursor_;
+  if (pt.fire_irq) {
+    // Interrupt-injection point: deliver a virtual interrupt on the current
+    // thread instead of switching. Delivery runs handler code that re-enters
+    // OnInstr, so the lock must be dropped first.
+    lock.unlock();
+    InterruptSelf();
+    return;
+  }
   SimThread* next = nullptr;
   if (pt.next != kAnyThread) {
     SimThread* cand = threads_.at(static_cast<std::size_t>(pt.next)).get();
@@ -237,9 +245,64 @@ bool Machine::Yield() {
 void Machine::InterruptSelf() {
   SimThread* cur = tls_thread;
   OZZ_CHECK_MSG(cur != nullptr, "InterruptSelf from a host thread");
-  if (interrupt_hook_) {
-    interrupt_hook_(cur->id_);
+  if (cur->irq_depth_ > 0 || cur->in_irq_) {
+    // Masked (or already in a handler — nested hardirqs are not modelled):
+    // leave the interrupt pending; the outermost IrqRestore delivers it.
+    cur->irq_pending_ = true;
+    OZZ_TRACE_EMIT(obs::EvType::kIrqDeferred, cur->id_, 0, kInvalidInstr,
+                   static_cast<u64>(cur->irq_depth_), 0);
+    return;
   }
+  DeliverIrq(cur, /*was_deferred=*/false);
+}
+
+void Machine::DeliverIrq(SimThread* t, bool was_deferred) {
+  t->in_irq_ = true;
+  // A handler oops unwinds through here; in_irq_ must not stay stuck.
+  struct InIrqReset {
+    SimThread* t;
+    ~InIrqReset() { t->in_irq_ = false; }
+  } reset{t};
+  OZZ_TRACE_EMIT(obs::EvType::kIrqDelivered, t->id_, 0, kInvalidInstr,
+                 static_cast<u64>(was_deferred), 0);
+  // Entering the hardirq drains the virtual store buffer (§3.1: interrupts
+  // commit delayed stores), handlers run fully instrumented, and returning
+  // from the handler drains whatever the handler itself delayed.
+  if (interrupt_hook_) {
+    interrupt_hook_(t->id_);
+  }
+  if (irq_dispatch_hook_) {
+    irq_dispatch_hook_(t->id_);
+    if (interrupt_hook_) {
+      interrupt_hook_(t->id_);  // drain what the handler itself delayed
+    }
+  }
+}
+
+void Machine::IrqSave() {
+  SimThread* cur = tls_thread;
+  OZZ_CHECK_MSG(cur != nullptr, "IrqSave from a host thread");
+  ++cur->irq_depth_;
+}
+
+void Machine::IrqRestore() {
+  SimThread* cur = tls_thread;
+  OZZ_CHECK_MSG(cur != nullptr, "IrqRestore from a host thread");
+  OZZ_CHECK_MSG(cur->irq_depth_ > 0, "unbalanced IrqRestore");
+  if (--cur->irq_depth_ == 0 && cur->irq_pending_ && !cur->in_irq_) {
+    cur->irq_pending_ = false;
+    DeliverIrq(cur, /*was_deferred=*/true);
+  }
+}
+
+bool Machine::IrqsDisabled() const {
+  SimThread* cur = tls_thread;
+  return cur != nullptr && (cur->irq_depth_ > 0 || cur->in_irq_);
+}
+
+bool Machine::InIrq() const {
+  SimThread* cur = tls_thread;
+  return cur != nullptr && cur->in_irq_;
 }
 
 void Machine::KillOthers() {

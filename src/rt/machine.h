@@ -61,6 +61,13 @@ class SimThread {
   std::unordered_map<InstrId, u32> instr_hits_;
   bool kill_requested_ = false;
   bool had_uncaught_exception_ = false;
+  // Virtual local-irq state (local_irq_save nesting depth, a pending
+  // deferred interrupt, and whether the thread is inside a handler right
+  // now). Only ever touched by the owning simulated thread while it holds
+  // the run token, so no locking is needed.
+  int irq_depth_ = 0;
+  bool irq_pending_ = false;
+  bool in_irq_ = false;
 };
 
 class Machine {
@@ -74,6 +81,11 @@ class Machine {
   // raising interrupts, so this hook must not flush anything; it exists for
   // observability (tests assert that reordered state is visible mid-switch).
   using SwitchHook = std::function<void(ThreadId from, ThreadId to)>;
+  // Hook that runs the simulated kernel's registered interrupt handlers on
+  // the interrupted thread (osk::Kernel wires DispatchIrq here). Runs in
+  // simulated-thread context between the two store-buffer flushes of a
+  // delivery, so handler code is fully instrumented.
+  using IrqDispatchHook = std::function<void(ThreadId)>;
 
   explicit Machine(int num_cpus);
   ~Machine();
@@ -97,6 +109,7 @@ class Machine {
   void ArmPlan();
   void SetInterruptHook(InterruptHook hook) { interrupt_hook_ = std::move(hook); }
   void SetSwitchHook(SwitchHook hook) { switch_hook_ = std::move(hook); }
+  void SetIrqDispatchHook(IrqDispatchHook hook) { irq_dispatch_hook_ = std::move(hook); }
 
   // Runs all registered threads to completion under the current plan.
   // Returns the number of context switches performed.
@@ -113,9 +126,24 @@ class Machine {
   // Returns false if the calling thread is the only runnable one.
   bool Yield();
 
-  // Delivers a virtual interrupt to the calling thread (runs the interrupt
-  // hook in place). Models a device/timer interrupt on the thread's CPU.
+  // Delivers a virtual interrupt to the calling thread. Models a device or
+  // timer interrupt on the thread's CPU: the store buffer flushes (interrupt
+  // hook), registered handlers run (irq dispatch hook), and the buffer
+  // flushes again on return from the handler. If the calling thread has irqs
+  // masked (IrqSave depth > 0) or is already inside a handler, the interrupt
+  // is deferred and delivered at the matching IrqRestore — the local_irq_save
+  // contract.
   void InterruptSelf();
+
+  // local_irq_save / local_irq_restore for the calling simulated thread.
+  // Nestable; the outermost IrqRestore delivers any interrupt deferred while
+  // masked.
+  void IrqSave();
+  void IrqRestore();
+  // True when the calling thread has irqs masked or runs in hardirq context.
+  bool IrqsDisabled() const;
+  // True while the calling thread is executing inside an interrupt handler.
+  bool InIrq() const;
 
   // Requests that all simulated threads other than the caller unwind at their
   // next instrumentation point (used after a simulated kernel crash).
@@ -135,6 +163,9 @@ class Machine {
 
  private:
   void ThreadMain(SimThread* t);
+  // Runs a delivery on the calling thread: flush, dispatch handlers, flush.
+  // Must be called without lock_ held (handlers re-enter OnInstr).
+  void DeliverIrq(SimThread* t, bool was_deferred);
   // Picks the next ready thread after `from` in round-robin order, or nullptr.
   SimThread* NextReady(ThreadId from);
   // Transfers the token from `from` (which must be the caller) to `to`;
@@ -153,6 +184,7 @@ class Machine {
 
   InterruptHook interrupt_hook_;
   SwitchHook switch_hook_;
+  IrqDispatchHook irq_dispatch_hook_;
 
   std::mutex lock_;
   std::condition_variable done_cv_;

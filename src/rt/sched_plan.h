@@ -26,6 +26,11 @@ struct SchedPoint {
   u32 occurrence = 1;  // 1-based dynamic execution count of `instr` on `thread`
   SwitchWhen when = SwitchWhen::kAfterAccess;
   ThreadId next = kAnyThread;  // kAnyThread: next ready thread round-robin
+  // Instead of switching threads, deliver a virtual interrupt on the matching
+  // thread (Machine::InterruptSelf semantics: deferred while irqs are masked).
+  // `next` is ignored. This is how the fuzzer's STI pass injects an interrupt
+  // at an exact dynamic instruction.
+  bool fire_irq = false;
 };
 
 struct SchedPlan {

@@ -197,6 +197,65 @@ TEST(SpinLockTest, SelfDeadlockRaisesHungTask) {
   rt.Deactivate();
 }
 
+// --- irq primitives (request_irq / local_irq_save, host mode) ---------------
+
+TEST(IrqTest, RequestDispatchAndFree) {
+  Kernel k;
+  std::vector<int> ran;
+  k.RequestIrq("a", [&](Kernel&) { ran.push_back(1); });
+  k.RequestIrq("b", [&](Kernel&) { ran.push_back(2); });
+  EXPECT_EQ(k.IrqHandlerCount(), 2u);
+  k.DispatchIrq();
+  EXPECT_EQ(ran, (std::vector<int>{1, 2})) << "registration order, like an irq action chain";
+  k.RequestIrq("a", [&](Kernel&) { ran.push_back(3); });  // re-request replaces
+  EXPECT_EQ(k.IrqHandlerCount(), 2u);
+  k.FreeIrq("b");
+  EXPECT_EQ(k.IrqHandlerCount(), 1u);
+  ran.clear();
+  k.DispatchIrq();
+  EXPECT_EQ(ran, (std::vector<int>{3}));
+}
+
+TEST(IrqTest, DispatchOnCrashedKernelIsInert) {
+  Kernel k;
+  int ran = 0;
+  k.RequestIrq("a", [&](Kernel&) { ++ran; });
+  OopsReport r;
+  r.title = "boom";
+  EXPECT_THROW(k.RaiseOops(r), OopsException);
+  k.DispatchIrq();
+  EXPECT_EQ(ran, 0) << "handlers never run after the first oops";
+}
+
+TEST(IrqTest, HostLocalIrqSaveNests) {
+  Kernel k;
+  EXPECT_FALSE(k.IrqsDisabled());
+  k.LocalIrqSave();
+  k.LocalIrqSave();
+  EXPECT_TRUE(k.IrqsDisabled());
+  k.LocalIrqRestore();
+  EXPECT_TRUE(k.IrqsDisabled()) << "still masked until the outermost restore";
+  k.LocalIrqRestore();
+  EXPECT_FALSE(k.IrqsDisabled());
+}
+
+TEST(IrqTest, SpinGuardIrqMasksForTheScope) {
+  oemu::Runtime rt;
+  rt.Activate(nullptr);
+  Kernel k;
+  SpinLock lock;
+  lock.InitClass(k, "irq_lock");
+  {
+    SpinGuardIrq guard(k, lock);
+    EXPECT_TRUE(k.IrqsDisabled());
+    EXPECT_FALSE(lock.TryLock(k));
+  }
+  EXPECT_FALSE(k.IrqsDisabled());
+  EXPECT_TRUE(lock.TryLock(k));
+  lock.Unlock(k);
+  rt.Deactivate();
+}
+
 TEST(BitopsTest, SemanticsOnHost) {
   oemu::Runtime rt;
   rt.Activate(nullptr);
@@ -229,8 +288,9 @@ TEST(PerCpuTest, SlotsAreDistinctAndHackForcesZero) {
 TEST(SubsystemTest, DefaultInstallRegistersAll) {
   Kernel k;
   InstallDefaultSubsystems(k);
-  EXPECT_EQ(k.SubsystemNames().size(), 19u);
+  EXPECT_EQ(k.SubsystemNames().size(), 20u);
   EXPECT_NE(k.Find("rcu"), nullptr);
+  EXPECT_NE(k.Find("timerwheel"), nullptr);
   EXPECT_NE(k.Find("watch_queue"), nullptr);
   EXPECT_NE(k.Find("seqlock"), nullptr);
   EXPECT_NE(k.Find("tls"), nullptr);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/analysis/lint.h"
+#include "src/analysis/srcmodel/audit.h"
 
 namespace ozz::analysis {
 namespace {
@@ -370,6 +371,101 @@ TEST(LintModelDisciplineTest, InstrumentationRulesDoNotLeakIn) {
                           "  smp_mb();\n"
                           "  u32 v = state.len.raw();\n");
   EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintIrqDisciplineTest, LeakedIrqSaveFlagged) {
+  std::vector<LintFinding> findings =
+      LintIrqDiscipline("src/osk/subsys/x.cc",
+                        "long F(S* s) {\n"
+                        "  k.LocalIrqSave();\n"
+                        "  if (s->c) {\n"
+                        "    return -1;\n"
+                        "  }\n"
+                        "  k.LocalIrqRestore();\n"
+                        "  return 0;\n"
+                        "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "irq-imbalance");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintIrqDisciplineTest, SpuriousRestoreFlagged) {
+  std::vector<LintFinding> findings =
+      LintIrqDiscipline("src/osk/subsys/x.cc",
+                        "void F(S* s) {\n"
+                        "  k.LocalIrqRestore();\n"
+                        "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "irq-imbalance");
+}
+
+TEST(LintIrqDisciplineTest, IrqUnsafeLockFlaggedAtProcessAcquisition) {
+  std::vector<LintFinding> findings =
+      LintIrqDiscipline("src/osk/subsys/x.cc",
+                        "void Expire(S* s) {\n"
+                        "  SpinGuard g(k, s->lock);\n"
+                        "}\n"
+                        "void Setup(S* s) {\n"
+                        "  k.RequestIrq(\"line\", Expire);\n"
+                        "}\n"
+                        "void Mod(S* s) {\n"
+                        "  SpinGuard g(k, s->lock);\n"
+                        "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "irq-unsafe-lock");
+  EXPECT_EQ(findings[0].line, 8) << "anchored at the process-side acquisition";
+}
+
+TEST(LintIrqDisciplineTest, IrqSafeGuardIsClean) {
+  std::vector<LintFinding> findings =
+      LintIrqDiscipline("src/osk/subsys/x.cc",
+                        "void Expire(S* s) {\n"
+                        "  SpinGuard g(k, s->lock);\n"
+                        "}\n"
+                        "void Setup(S* s) {\n"
+                        "  k.RequestIrq(\"line\", Expire);\n"
+                        "}\n"
+                        "void Mod(S* s) {\n"
+                        "  SpinGuardIrq g(k, s->lock);\n"
+                        "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintIrqDisciplineTest, FixGatedLeakInEitherModeStillFlagged) {
+  // The buggy form leaks the save (no restore at all); the fixed form is
+  // balanced. Findings are unioned over both fix assumptions.
+  std::vector<LintFinding> findings =
+      LintIrqDiscipline("src/osk/subsys/x.cc",
+                        "void F(S* s) {\n"
+                        "  k.LocalIrqSave();\n"
+                        "  if (fixed_) {\n"
+                        "    k.LocalIrqRestore();\n"
+                        "  }\n"
+                        "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "irq-imbalance");
+}
+
+TEST(LintIrqDisciplineTest, SuppressedWithAllowIrq) {
+  std::vector<LintFinding> findings =
+      LintIrqDiscipline("src/osk/subsys/x.cc",
+                        "void F(S* s) {\n"
+                        "  k.LocalIrqSave();  // ozz-lint: allow-irq (paired in G)\n"
+                        "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintIrqDisciplineTest, ShippedSubsystemsAreClean) {
+  // Same invariant CI enforces with ozz_lint --irq-discipline over src/osk.
+  std::vector<analysis::srcmodel::SourceFile> files =
+      analysis::srcmodel::LoadSourceDir(OZZ_SOURCE_DIR "/src/osk");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files) {
+    std::vector<LintFinding> findings = LintIrqDiscipline(f.path, f.contents);
+    for (const LintFinding& finding : findings) {
+      ADD_FAILURE() << FormatFinding(finding);
+    }
+  }
 }
 
 }  // namespace

@@ -1,4 +1,6 @@
-// Unit tests for the deterministic machine / custom scheduler (App. §10.3).
+// Unit tests for the deterministic machine / custom scheduler (App. §10.3),
+// including the virtual local-irq layer (irq masking, deferred delivery,
+// fire_irq plan points).
 #include "src/rt/machine.h"
 
 #include <gtest/gtest.h>
@@ -6,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/oemu/cell.h"
 #include "src/oemu/runtime.h"
 
@@ -171,6 +174,182 @@ TEST(MachineTest, InterruptHookRuns) {
   m.AddThread("a", 0, [&] { Machine::Current()->InterruptSelf(); });
   m.Run();
   EXPECT_EQ(interrupts, 1);
+}
+
+// --- virtual local-irq layer -----------------------------------------------
+
+// An interrupt raised inside an irqs-off window is deferred and delivered at
+// the matching IrqRestore — the local_irq_save contract.
+TEST(MachineIrqTest, InterruptDeferredWhileIrqsMasked) {
+  Machine m(1);
+  int interrupts = 0;
+  std::vector<int> seen;
+  m.SetInterruptHook([&](ThreadId) { ++interrupts; });
+  m.AddThread("a", 0, [&] {
+    Machine* mc = Machine::Current();
+    mc->IrqSave();
+    EXPECT_TRUE(mc->IrqsDisabled());
+    mc->InterruptSelf();
+    seen.push_back(interrupts);  // still pending
+    mc->IrqRestore();
+    seen.push_back(interrupts);  // delivered exactly here
+    EXPECT_FALSE(mc->IrqsDisabled());
+  });
+  m.Run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1}));
+}
+
+TEST(MachineIrqTest, NestedIrqSaveDeliversAtOutermostRestore) {
+  Machine m(1);
+  int interrupts = 0;
+  std::vector<int> seen;
+  m.SetInterruptHook([&](ThreadId) { ++interrupts; });
+  m.AddThread("a", 0, [&] {
+    Machine* mc = Machine::Current();
+    mc->IrqSave();
+    mc->IrqSave();
+    mc->InterruptSelf();
+    mc->IrqRestore();
+    seen.push_back(interrupts);  // inner restore: still masked, still pending
+    mc->IrqRestore();
+    seen.push_back(interrupts);  // outermost restore delivers
+  });
+  m.Run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1}));
+}
+
+TEST(MachineIrqTest, InterruptInsideHandlerStaysPending) {
+  Machine m(1);
+  int interrupts = 0;
+  m.SetIrqDispatchHook([&](ThreadId) {
+    ++interrupts;
+    if (interrupts == 1) {
+      // Nested hardirqs are not modelled: this raise must not recurse.
+      Machine::Current()->InterruptSelf();
+      EXPECT_TRUE(Machine::Current()->InIrq());
+    }
+  });
+  m.AddThread("a", 0, [&] { Machine::Current()->InterruptSelf(); });
+  m.Run();
+  EXPECT_EQ(interrupts, 1) << "the nested raise is dropped as pending, not dispatched";
+}
+
+// A delayed store raised before the irqs-off window commits only when the
+// deferred interrupt is finally delivered at IrqRestore — not at the (masked)
+// InterruptSelf itself. This is the dynamic ground truth the irq-masked
+// static verdict relies on.
+TEST(MachineIrqTest, DeferredInterruptCommitsDelayedStoreAtRestore) {
+  Cell<u64> x{0};
+  InstrId site = kInvalidInstr;
+  auto do_store = [&](u64 v) {
+    site = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+    StoreCell(site, x, v);
+  };
+  {
+    Runtime probe;
+    probe.Activate(nullptr);
+    do_store(0);
+    probe.Deactivate();
+    x.set_raw(0);
+  }
+  ASSERT_NE(site, kInvalidInstr);
+
+  Machine m(1);
+  Runtime rt;
+  rt.Activate(&m);
+  std::vector<u64> raw_at;
+  m.AddThread("a", 0, [&] {
+    Machine* mc = Machine::Current();
+    rt.DelayStoreAt(0, site);
+    mc->IrqSave();
+    do_store(7);
+    raw_at.push_back(x.raw());  // buffered
+    mc->InterruptSelf();
+    raw_at.push_back(x.raw());  // deferred: still buffered
+    mc->IrqRestore();
+    raw_at.push_back(x.raw());  // delivery flushed the buffer
+  });
+  m.Run();
+  rt.Deactivate();
+  EXPECT_EQ(raw_at, (std::vector<u64>{0, 0, 7}));
+}
+
+// The trace ring must record the deferral and the (deferred) delivery, in
+// that order, with the documented a0 payloads.
+TEST(MachineIrqTest, TraceRingRecordsDeferredDelivery) {
+  obs::TraceRecorder recorder;
+  recorder.Activate();
+  Machine m(1);
+  m.AddThread("a", 0, [&] {
+    Machine* mc = Machine::Current();
+    mc->IrqSave();
+    mc->InterruptSelf();
+    mc->IrqRestore();
+    mc->InterruptSelf();  // unmasked: immediate delivery
+  });
+  m.Run();
+  std::vector<obs::TraceRecorder::ThreadLog> logs = recorder.Collect();
+  recorder.Deactivate();
+
+  std::vector<std::pair<obs::EvType, u64>> irq_events;
+  for (const auto& log : logs) {
+    for (const auto& e : log.events) {
+      if (e.ev_type() == obs::EvType::kIrqDeferred || e.ev_type() == obs::EvType::kIrqDelivered) {
+        irq_events.emplace_back(e.ev_type(), e.a0);
+      }
+    }
+  }
+  ASSERT_EQ(irq_events.size(), 3u);
+  EXPECT_EQ(irq_events[0].first, obs::EvType::kIrqDeferred);
+  EXPECT_EQ(irq_events[0].second, 1u) << "a0 = irq_depth at the deferral";
+  EXPECT_EQ(irq_events[1].first, obs::EvType::kIrqDelivered);
+  EXPECT_EQ(irq_events[1].second, 1u) << "a0 = was_deferred";
+  EXPECT_EQ(irq_events[2].first, obs::EvType::kIrqDelivered);
+  EXPECT_EQ(irq_events[2].second, 0u) << "a0 = immediate";
+}
+
+// A fire_irq plan point delivers a virtual interrupt on the running thread at
+// the exact dynamic occurrence instead of switching threads.
+TEST(MachineIrqTest, FireIrqPlanPointDeliversAtOccurrence) {
+  Cell<u64> x{0};
+  InstrId site = kInvalidInstr;
+  auto do_store = [&](u64 v) {
+    site = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+    StoreCell(site, x, v);
+  };
+  {
+    Runtime probe;
+    probe.Activate(nullptr);
+    do_store(0);
+    probe.Deactivate();
+    x.set_raw(0);
+  }
+  ASSERT_NE(site, kInvalidInstr);
+
+  Machine m(1);
+  Runtime rt;
+  rt.Activate(&m);
+  u64 value_at_irq = ~0ull;
+  m.SetIrqDispatchHook([&](ThreadId) { value_at_irq = x.raw(); });
+  m.AddThread("a", 0, [&] {
+    for (u64 i = 1; i <= 4; ++i) {
+      do_store(i);
+    }
+  });
+  SchedPlan plan;
+  plan.first = 0;
+  SchedPoint pt;
+  pt.thread = 0;
+  pt.instr = site;
+  pt.occurrence = 2;
+  pt.when = SwitchWhen::kAfterAccess;
+  pt.fire_irq = true;
+  plan.points.push_back(pt);
+  m.SetPlan(plan);
+  m.Run();
+  rt.Deactivate();
+  EXPECT_EQ(value_at_irq, 2u) << "handler ran right after the 2nd store";
+  EXPECT_EQ(m.plan_points_consumed(), 1u);
 }
 
 TEST(MachineTest, ContextSwitchesCounted) {

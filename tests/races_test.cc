@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/analysis/srcmodel/audit.h"
+#include "src/analysis/srcmodel/irq.h"
 #include "src/analysis/srcmodel/locks.h"
 #include "src/analysis/srcmodel/races.h"
 #include "src/oemu/memory_model.h"
@@ -236,6 +237,229 @@ TEST(RaceAnalysisTest, RenderingsContainTheHeadlines) {
   EXPECT_NE(matrix.find("lkmm|src/osk/t.cc|"), std::string::npos);
 }
 
+// --- irq tier ---------------------------------------------------------------
+
+// A hardirq handler and a process-context writer sharing a field. The
+// process side never masks irqs: same-CPU interleaving against the handler
+// is possible, so the pair must classify irq-racy under EVERY model (the
+// interrupt commits the store buffer — the race is model-independent).
+const char* kIrqRacy =
+    "void Expire(S* s) {\n"
+    "  OSK_STORE(s->hi, 1);\n"
+    "}\n"
+    "void Setup(S* s) {\n"
+    "  k.RequestIrq(\"tick\", Expire);\n"
+    "}\n"
+    "void Mod(S* s) {\n"
+    "  OSK_STORE(s->hi, 2);\n"
+    "}\n";
+
+TEST(IrqRaceTest, UnmaskedProcessWriterIsIrqRacyUnderEveryModel) {
+  RaceReport report = RunRaceAnalysis(One(kIrqRacy));
+  ASSERT_GE(report.residual, 1) << FormatRaceText(report, "lkmm");
+  bool found = false;
+  for (const RacePair& p : report.races) {
+    if (!p.irq) {
+      continue;
+    }
+    found = true;
+    EXPECT_TRUE(p.irq_racy_buggy) << p.Identity();
+    EXPECT_TRUE(p.irq_racy_fixed) << p.Identity();
+    EXPECT_FALSE(p.fix_gated) << p.Identity();
+    for (const char* m : {"lkmm", "tso", "pso", "armv8x"}) {
+      EXPECT_TRUE(HasModel(p.racy_models, m)) << p.Identity() << " missing " << m;
+    }
+  }
+  EXPECT_TRUE(found) << FormatRaceText(report, "lkmm");
+  std::string json = RaceReportJson(report);
+  EXPECT_NE(json.find("\"irq_verdict\":\"irq-racy\""), std::string::npos) << json;
+}
+
+TEST(IrqRaceTest, MaskedProcessWriterIsIrqMasked) {
+  RaceReport report = RunRaceAnalysis(One(
+      "void Expire(S* s) {\n"
+      "  OSK_STORE(s->hi, 1);\n"
+      "}\n"
+      "void Setup(S* s) {\n"
+      "  k.RequestIrq(\"tick\", Expire);\n"
+      "}\n"
+      "void Mod(S* s) {\n"
+      "  k.LocalIrqSave();\n"
+      "  OSK_STORE(s->hi, 2);\n"
+      "  k.LocalIrqRestore();\n"
+      "}\n"));
+  EXPECT_TRUE(report.races.empty()) << FormatRaceText(report, "lkmm");
+  EXPECT_GE(report.irq_masked, 1);
+}
+
+TEST(IrqRaceTest, IrqSafeLockGuardIsIrqMasked) {
+  // spin_lock_irqsave implies must-irqs-off at every access under it.
+  RaceReport report = RunRaceAnalysis(One(
+      "void Expire(S* s) {\n"
+      "  OSK_STORE(s->hi, 1);\n"
+      "}\n"
+      "void Setup(S* s) {\n"
+      "  k.RequestIrq(\"tick\", Expire);\n"
+      "}\n"
+      "void Mod(S* s) {\n"
+      "  SpinGuardIrq g(k, s->lock);\n"
+      "  OSK_STORE(s->hi, 2);\n"
+      "}\n"));
+  EXPECT_TRUE(report.races.empty()) << FormatRaceText(report, "lkmm");
+  EXPECT_GE(report.irq_masked, 1);
+}
+
+TEST(IrqRaceTest, FixGatedMaskingGatesTheIrqRace) {
+  const char* src =
+      "void Expire(S* s) {\n"
+      "  OSK_STORE(s->hi, 1);\n"
+      "}\n"
+      "void Setup(S* s) {\n"
+      "  k.RequestIrq(\"tick\", Expire);\n"
+      "}\n"
+      "void Mod(S* s) {\n"
+      "  if (fixed_) {\n"
+      "    k.LocalIrqSave();\n"
+      "  }\n"
+      "  OSK_STORE(s->hi, 2);\n"
+      "  if (fixed_) {\n"
+      "    k.LocalIrqRestore();\n"
+      "  }\n"
+      "}\n";
+  RaceReport report = RunRaceAnalysis(One(src));
+  ASSERT_GE(report.gated, 1) << FormatRaceText(report, "lkmm");
+  for (const RacePair& p : report.races) {
+    EXPECT_TRUE(p.irq) << p.Identity();
+    EXPECT_TRUE(p.fix_gated) << p.Identity();
+    EXPECT_TRUE(p.irq_racy_buggy) << p.Identity();
+    EXPECT_FALSE(p.irq_racy_fixed) << p.Identity();
+  }
+  // RacyIdentities agrees in both fix modes, per model.
+  for (const oemu::MemoryModel* m : oemu::MemoryModel::All()) {
+    EXPECT_FALSE(RacyIdentities(One(src), m, /*assume_fixed=*/false).empty()) << m->name();
+    EXPECT_TRUE(RacyIdentities(One(src), m, /*assume_fixed=*/true).empty()) << m->name();
+  }
+}
+
+TEST(IrqRaceTest, SelfDeadlockCandidateReported) {
+  // The handler spins on a lock the process side holds with irqs enabled:
+  // classic lockdep HARDIRQ-safe -> HARDIRQ-unsafe inversion.
+  RaceReport report = RunRaceAnalysis(One(
+      "void Expire(S* s) {\n"
+      "  SpinGuard g(k, s->lock);\n"
+      "  OSK_STORE(s->hi, 1);\n"
+      "}\n"
+      "void Setup(S* s) {\n"
+      "  k.RequestIrq(\"tick\", Expire);\n"
+      "}\n"
+      "void Mod(S* s) {\n"
+      "  SpinGuard g(k, s->lock);\n"
+      "  OSK_STORE(s->hi, 2);\n"
+      "}\n"));
+  ASSERT_EQ(report.irq_deadlocks.size(), 1u) << FormatRaceText(report, "lkmm");
+  EXPECT_EQ(report.irq_deadlocks[0].candidate.lock_id, "s->lock");
+  EXPECT_EQ(report.irq_deadlocks[0].candidate.hardirq_function, "Expire");
+  EXPECT_EQ(report.irq_deadlocks[0].candidate.process_function, "Mod");
+  std::string json = RaceReportJson(report);
+  EXPECT_NE(json.find("\"irq_deadlocks\""), std::string::npos);
+}
+
+TEST(IrqRaceTest, IrqSaveLockOnProcessSideHasNoDeadlockCandidate) {
+  RaceReport report = RunRaceAnalysis(One(
+      "void Expire(S* s) {\n"
+      "  SpinGuard g(k, s->lock);\n"
+      "  OSK_STORE(s->hi, 1);\n"
+      "}\n"
+      "void Setup(S* s) {\n"
+      "  k.RequestIrq(\"tick\", Expire);\n"
+      "}\n"
+      "void Mod(S* s) {\n"
+      "  SpinGuardIrq g(k, s->lock);\n"
+      "  OSK_STORE(s->hi, 2);\n"
+      "}\n"));
+  EXPECT_TRUE(report.irq_deadlocks.empty()) << FormatRaceText(report, "lkmm");
+}
+
+// --- irq model unit layer ---------------------------------------------------
+
+TEST(IrqModelTest, ContextPropagatesOverTheCallGraph) {
+  FileModel m = ParseFile("src/osk/t.cc",
+                          "void Helper(S* s) {\n"
+                          "  OSK_STORE(s->a, 1);\n"
+                          "}\n"
+                          "void Shared(S* s) {\n"
+                          "  OSK_STORE(s->b, 1);\n"
+                          "}\n"
+                          "void Handler(S* s) {\n"
+                          "  Helper(s);\n"
+                          "  Shared(s);\n"
+                          "}\n"
+                          "void Setup(S* s) {\n"
+                          "  k.RequestIrq(\"line\", Handler);\n"
+                          "}\n"
+                          "void Syscall(S* s) {\n"
+                          "  Shared(s);\n"
+                          "}\n");
+  IrqModel irq = ComputeIrqModel(m, /*assume_fixed=*/false);
+  EXPECT_EQ(irq.handler_roots.count("Handler"), 1u);
+  EXPECT_EQ(irq.fn_context.at("Handler"), IrqContext::kHardirq);
+  EXPECT_EQ(irq.fn_context.at("Helper"), IrqContext::kHardirq);
+  EXPECT_EQ(irq.fn_context.at("Shared"), IrqContext::kBoth);
+  EXPECT_EQ(irq.fn_context.at("Syscall"), IrqContext::kProcess);
+  EXPECT_EQ(irq.fn_context.at("Setup"), IrqContext::kProcess);
+}
+
+TEST(IrqModelTest, LambdaHandlerIsARoot) {
+  FileModel m = ParseFile("src/osk/t.cc",
+                          "void Setup(S* s) {\n"
+                          "  k.RequestIrq(\"line\", [this](Kernel& kk) {\n"
+                          "    OSK_STORE(s->a, 1);\n"
+                          "  });\n"
+                          "}\n");
+  IrqModel irq = ComputeIrqModel(m, /*assume_fixed=*/false);
+  ASSERT_EQ(irq.handler_roots.size(), 1u);
+  const std::string root = *irq.handler_roots.begin();
+  EXPECT_NE(root.find("<lambda@"), std::string::npos) << root;
+  EXPECT_EQ(irq.fn_context.at(root), IrqContext::kHardirq);
+}
+
+TEST(IrqModelTest, LeakedIrqSaveIsAnImbalance) {
+  FileModel m = ParseFile("src/osk/t.cc",
+                          "long F(S* s) {\n"
+                          "  k.LocalIrqSave();\n"
+                          "  if (s->c) {\n"
+                          "    return -1;\n"
+                          "  }\n"
+                          "  k.LocalIrqRestore();\n"
+                          "  return 0;\n"
+                          "}\n");
+  IrqModel irq = ComputeIrqModel(m, /*assume_fixed=*/false);
+  ASSERT_EQ(irq.imbalances.size(), 1u);
+  EXPECT_EQ(irq.imbalances[0].function, "F");
+  EXPECT_TRUE(irq.imbalances[0].missing_restore);
+}
+
+TEST(IrqModelTest, SpuriousRestoreIsAnImbalance) {
+  FileModel m = ParseFile("src/osk/t.cc",
+                          "void F(S* s) {\n"
+                          "  k.LocalIrqRestore();\n"
+                          "}\n");
+  IrqModel irq = ComputeIrqModel(m, /*assume_fixed=*/false);
+  ASSERT_EQ(irq.imbalances.size(), 1u);
+  EXPECT_FALSE(irq.imbalances[0].missing_restore);
+}
+
+TEST(IrqModelTest, BalancedSaveRestoreIsClean) {
+  FileModel m = ParseFile("src/osk/t.cc",
+                          "void F(S* s) {\n"
+                          "  k.LocalIrqSave();\n"
+                          "  OSK_STORE(s->a, 1);\n"
+                          "  k.LocalIrqRestore();\n"
+                          "}\n");
+  IrqModel irq = ComputeIrqModel(m, /*assume_fixed=*/false);
+  EXPECT_TRUE(irq.imbalances.empty());
+}
+
 // --- golden run over the real tree ------------------------------------------
 
 // Maps a scenario's fix_key to the subsystem source file its documented
@@ -296,6 +520,40 @@ TEST(RaceGoldenTest, NoStaticDeadlockCandidatesInTheTree) {
     ADD_FAILURE() << d.file << ": cycle over "
                   << ::testing::PrintToString(d.cycle.locks);
   }
+}
+
+TEST(RaceGoldenTest, NoIrqDeadlockCandidatesInTheTree) {
+  // Every in-tree lock shared with a hardirq handler is taken irq-safe on
+  // the process side (timerwheel's Arm uses SpinGuardIrq). A candidate here
+  // is a planted self-deadlock that belongs in the scenario table.
+  std::vector<SourceFile> files = LoadSourceDir(OZZ_SOURCE_DIR "/src/osk");
+  ASSERT_FALSE(files.empty());
+  RaceReport report = RunRaceAnalysis(files);
+  for (const FileIrqDeadlock& d : report.irq_deadlocks) {
+    ADD_FAILURE() << d.file << ": " << d.candidate.lock_id << " hardirq@"
+                  << d.candidate.hardirq_function << " process@" << d.candidate.process_function;
+  }
+}
+
+TEST(RaceGoldenTest, TimerwheelIsIrqRacyUnderEveryModel) {
+  // Scenario 24: the torn expiry pair is a same-CPU interrupt race, so it is
+  // fix-gated in EVERY model column — including tso, which is immune to all
+  // the cross-CPU reordering scenarios.
+  std::vector<SourceFile> files = LoadSourceDir(OZZ_SOURCE_DIR "/src/osk/subsys");
+  ASSERT_FALSE(files.empty());
+  RaceReport report = RunRaceAnalysis(files);
+  const FileRaceStats* tw = nullptr;
+  for (const FileRaceStats& f : report.files) {
+    if (f.file == "src/osk/subsys/timerwheel.cc") {
+      tw = &f;
+    }
+  }
+  ASSERT_NE(tw, nullptr);
+  for (const std::string& m : report.models) {
+    ASSERT_NE(tw->gated_by_model.count(m), 0u) << m;
+    EXPECT_GE(tw->gated_by_model.at(m), 1) << m;
+  }
+  EXPECT_GE(tw->irq_masked, 1) << "Arm's SpinGuardIrq pairs classify irq-masked";
 }
 
 TEST(RaceGoldenTest, ReportShapesAreConsistent) {

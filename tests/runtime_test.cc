@@ -85,6 +85,20 @@ TEST_F(RuntimeTest, InterruptFlushesBuffer) {
   EXPECT_EQ(x_.raw(), 5u);
 }
 
+// OnInterrupt is what the machine's interrupt hook calls at (deferred or
+// immediate) irq delivery: same commit semantics as FlushThread, plus the
+// interrupt-commit trace event. The irq deferral contract — masked raises do
+// NOT flush — lives at the machine layer (MachineIrqTest).
+TEST_F(RuntimeTest, OnInterruptCommitsDelayedStores) {
+  InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
+  runtime_.DelayStoreAt(Tid(), store_instr);
+  StoreCell(store_instr, x_, 8);
+  EXPECT_EQ(x_.raw(), 0u);
+  runtime_.OnInterrupt(Tid());
+  EXPECT_EQ(x_.raw(), 8u);
+  EXPECT_EQ(runtime_.stats().commits, 1u);
+}
+
 TEST_F(RuntimeTest, SyscallExitFlushesBuffer) {
   InstrId store_instr = OZZ_OEMU_SITE(InstrKind::kStore, "x");
   runtime_.DelayStoreAt(Tid(), store_instr);

@@ -13,7 +13,7 @@ struct Scenario {
   const char* seed;          // SeedProgramFor key
   const char* crash_needle;  // expected fragment of the crash title
   const char* fix_key;       // KernelConfig::fixed entry that patches it
-  const char* reorder_type;  // "S-S" or "L-L"
+  const char* reorder_type;  // "S-S", "L-L", or "IRQ" (interrupt injection)
   const char* pre_fixed = nullptr;  // applied in ALL runs (isolates one bug)
   bool migration_hack = false;      // per-CPU scenarios (Table 4 #6)
 };
@@ -50,6 +50,9 @@ inline constexpr Scenario kBugScenarios[] = {
     {"rcu_stale_read", "rcu", "rcu stale read", "rcu", "S-S"},
     {"buffer_memorder_82", "buffer", "slab-use-after-free Write", "buffer", "S-S"},
     {"synthetic_sb_fig10", "synthetic", "SB litmus violated", "synthetic", "S-S"},
+    // Interrupt tier: the same-CPU torn-expiry race (injected hardirq between
+    // the two expiry stores; the fix masks irqs, not a barrier).
+    {"timerwheel_torn_expiry", "timerwheel", "timerwheel expiry tore", "timerwheel", "IRQ"},
 };
 
 }  // namespace ozz::fuzz

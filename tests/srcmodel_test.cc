@@ -588,6 +588,185 @@ TEST(SrcModelTest, GotoOverFixGatedBarrierStaysGated) {
   EXPECT_FALSE(HasPair(Pairs(src, /*assume_fixed=*/true), "F:s->x[S] -> F:s->y[S]"));
 }
 
+// --- switch / case ----------------------------------------------------------
+
+TEST(SrcModelTest, SwitchArmBarrierDoesNotOrderOtherPaths) {
+  // The wmb lives in one arm only; the no-match path (no default) and the
+  // other arm both skip it, so the pair must survive.
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "    case 2:\n"
+      "      break;\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, SwitchBarrierOnEveryArmStillHasNoMatchPath) {
+  // Every labelled arm has the barrier, but without a default the dispatch
+  // chain still falls through to the end — an unordered path.
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "    case 2:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, SwitchBarrierOnAllArmsAndDefaultOrders) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "    default:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, SwitchFallthroughComposesArms) {
+  // Entering at case 1 falls through into case 2's body: the (x, y) pair
+  // exists on that path. Entering at case 2 skips case 1's store entirely.
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      OSK_STORE(s->x, 1);\n"
+      "    case 2:\n"
+      "      OSK_STORE(s->y, 2);\n"
+      "      break;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, SwitchFallthroughBarrierOrdersTheFallthroughPath) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      OSK_STORE(s->x, 1);\n"
+      "      OSK_SMP_WMB();\n"
+      "    case 2:\n"
+      "      OSK_STORE(s->y, 2);\n"
+      "      break;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, SwitchBreakSkipsLaterArms) {
+  // The break in case 1 jumps to the switch end: case 2's barrier is not on
+  // the case-1 path, so the (x, y) pair survives via case 1.
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      break;\n"
+      "    case 2:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_TRUE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, ConsecutiveCaseLabelsShareOneArm) {
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "    case 2:\n"
+      "    default:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, BreakInLoopInsideSwitchBindsToTheLoop) {
+  // The inner break exits the for loop, not the switch: execution continues
+  // after the loop and reaches the arm's trailing wmb on every iteration
+  // count, so the pair is ordered (there is also a default with a wmb).
+  std::vector<std::string> pairs = Pairs(
+      "void F(S* s) {\n"
+      "  OSK_STORE(s->x, 1);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      for (int i = 0; i < 4; ++i) {\n"
+      "        if (s->c) { break; }\n"
+      "      }\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "    default:\n"
+      "      OSK_SMP_WMB();\n"
+      "      break;\n"
+      "  }\n"
+      "  OSK_STORE(s->y, 2);\n"
+      "}\n");
+  EXPECT_FALSE(HasPair(pairs, "F:s->x[S] -> F:s->y[S]")) << ::testing::PrintToString(pairs);
+}
+
+TEST(SrcModelTest, SwitchLockBalanceAcrossArms) {
+  FileModel m = Parse(
+      "long F(S* s) {\n"
+      "  lock_.Lock(k);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      lock_.Unlock(k);\n"
+      "      return 1;\n"
+      "    default:\n"
+      "      break;\n"
+      "  }\n"
+      "  lock_.Unlock(k);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(CheckLockBalance(m).empty());
+}
+
+TEST(SrcModelTest, SwitchArmMissingUnlockIsImbalanced) {
+  FileModel m = Parse(
+      "long F(S* s) {\n"
+      "  lock_.Lock(k);\n"
+      "  switch (s->kind) {\n"
+      "    case 1:\n"
+      "      return 1;\n"
+      "    default:\n"
+      "      break;\n"
+      "  }\n"
+      "  lock_.Unlock(k);\n"
+      "  return 0;\n"
+      "}\n");
+  std::vector<LockImbalance> im = CheckLockBalance(m);
+  ASSERT_EQ(im.size(), 1u);
+  EXPECT_EQ(im[0].lock_id, "lock_");
+}
+
 // --- model-parameterized dataflow -------------------------------------------
 
 // The parse-time kill bits encode the LKMM effect table; routing the

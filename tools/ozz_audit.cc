@@ -2,7 +2,7 @@
 //
 // Usage:
 //   ozz_audit [--src DIR] [--json] [--assume-fixed] [--no-coverage]
-//             [--baseline FILE] [--print-baseline]
+//             [--baseline FILE] [--print-baseline] [--sarif FILE]
 //
 // Parses every .cc/.h under DIR (default src/osk) with the srcmodel token
 // parser, runs the barrier-availability dataflow in both fix-flag modes, and
@@ -27,6 +27,7 @@
 #include <string>
 
 #include "src/analysis/baseline_diff.h"
+#include "src/analysis/sarif.h"
 #include "src/analysis/srcmodel/audit.h"
 #include "src/fuzz/static_guide.h"
 #include "src/oemu/memory_model.h"
@@ -46,7 +47,8 @@ void Usage() {
       "  --no-coverage      skip the dynamic coverage cross-check (faster; CI uses this)\n"
       "  --baseline FILE    fail (exit 1) if the residual pairs differ from FILE\n"
       "                     (prints a unified diff)\n"
-      "  --print-baseline   print the residual-pair identities (the baseline format)\n");
+      "  --print-baseline   print the residual-pair identities (the baseline format)\n"
+      "  --sarif FILE       also write the unordered pairs as a SARIF 2.1.0 log\n");
 }
 
 }  // namespace
@@ -54,6 +56,7 @@ void Usage() {
 int main(int argc, char** argv) {
   std::string src_dir = "src/osk";
   std::string baseline_path;
+  std::string sarif_path;
   bool json = false;
   bool assume_fixed = false;
   bool coverage = true;
@@ -74,6 +77,8 @@ int main(int argc, char** argv) {
       baseline_path = next();
     } else if (arg == "--print-baseline") {
       print_baseline = true;
+    } else if (arg == "--sarif") {
+      sarif_path = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -133,6 +138,30 @@ int main(int argc, char** argv) {
                        .c_str());
       return 1;
     }
+  }
+
+  if (!sarif_path.empty()) {
+    std::vector<analysis::SarifResult> results;
+    for (const srcmodel::AuditPair& pair : report.pairs) {
+      analysis::SarifResult r;
+      r.rule_id = pair.fix_gated ? "fix-gated-unordered-pair" : "residual-unordered-pair";
+      r.level = pair.fix_gated ? "warning" : "note";
+      r.message = pair.Identity() +
+                  (pair.fix_gated ? " is statically unordered in the buggy form only "
+                                    "(the documented missing-barrier site)"
+                                  : " is statically unordered even when fixed "
+                                    "(benign under invariants the syntactic model "
+                                    "cannot see; tracked in ci/audit_baseline.txt)");
+      r.file = pair.first.file;
+      r.line = pair.first.line;
+      results.push_back(std::move(r));
+    }
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "ozz_audit: cannot write '%s'\n", sarif_path.c_str());
+      return 2;
+    }
+    out << analysis::SarifLog("ozz_audit", "src/analysis/srcmodel/audit.h", results);
   }
 
   std::string coverage_text;

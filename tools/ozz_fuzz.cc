@@ -41,7 +41,9 @@ void Usage() {
       "  --static-guide      boost STIs covering statically-suspicious untested pairs\n"
       "  --race-guide        like --static-guide, seeded from the cross-thread race\n"
       "                      analyzer (ozz_races) instead of the barrier audit\n"
-      "  --guide-src DIR     source tree for --static-guide/--race-guide (default: src/osk)\n"
+      "  --sti-guide         prioritize interrupt-injection points on statically\n"
+      "                      irq-racy sites (same-CPU tier; never prunes a point)\n"
+      "  --guide-src DIR     source tree for the guide modes (default: src/osk)\n"
       "  --seed-prog NAME    hunt around one scenario's seed program only\n"
       "  --save-dir DIR      write replayable crash specs into DIR\n"
       "  --trace-out DIR     write a reorder trace per MTI into DIR (see ozz_trace)\n"
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
   std::string guide_src = "src/osk";
   bool static_guide = false;
   bool race_guide = false;
+  bool sti_guide = false;
   bool list_syscalls = false;
   bool json = false;
 
@@ -103,6 +106,8 @@ int main(int argc, char** argv) {
       static_guide = true;
     } else if (arg == "--race-guide") {
       race_guide = true;
+    } else if (arg == "--sti-guide") {
+      sti_guide = true;
     } else if (arg == "--guide-src") {
       guide_src = next();
     } else if (arg == "--seed-prog") {
@@ -125,16 +130,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (static_guide || race_guide) {
+  if (static_guide || race_guide || sti_guide) {
     namespace srcmodel = analysis::srcmodel;
     std::vector<srcmodel::SourceFile> files = srcmodel::LoadSourceDir(guide_src);
     if (files.empty()) {
       std::fprintf(stderr, "ozz_fuzz: --%s-guide: no .cc/.h files under '%s'; unguided\n",
-                   race_guide ? "race" : "static", guide_src.c_str());
-    } else if (race_guide) {
-      options.static_guide = fuzz::GuideSitesFromRaces(srcmodel::RunRaceAnalysis(files));
+                   race_guide ? "race" : sti_guide ? "sti" : "static", guide_src.c_str());
     } else {
-      options.static_guide = fuzz::GuideSitesFromReport(srcmodel::RunAudit(files));
+      if (race_guide || sti_guide) {
+        srcmodel::RaceReport races = srcmodel::RunRaceAnalysis(files);
+        if (race_guide) {
+          options.static_guide = fuzz::GuideSitesFromRaces(races);
+        }
+        if (sti_guide) {
+          options.sti_guide = fuzz::GuideSitesFromIrqRaces(races);
+        }
+      }
+      if (static_guide) {
+        options.static_guide = fuzz::GuideSitesFromReport(srcmodel::RunAudit(files));
+      }
     }
   }
 
@@ -190,6 +204,10 @@ int main(int argc, char** argv) {
   if (result.guide_sites > 0) {
     std::printf("static guide: %zu suspicious sites, %zu reached by a tested hint\n",
                 result.guide_sites, result.guide_sites_tested);
+  }
+  if (result.sti_guide_sites > 0) {
+    std::printf("sti guide: %zu irq-racy sites, %zu hit by an injected interrupt point\n",
+                result.sti_guide_sites, result.sti_guide_sites_tested);
   }
   std::printf(
       "hints: %llu generated, pruned %llu static + %llu axiomatic; "

@@ -1,8 +1,8 @@
 // ozz_lint: instrumentation-discipline lint over simulated-kernel sources.
 //
 // Usage:
-//   ozz_lint [--model-discipline | --mixed-access | --dep-discipline]
-//            [--sarif FILE] FILE_OR_DIR...
+//   ozz_lint [--model-discipline | --mixed-access | --dep-discipline |
+//             --irq-discipline] [--sarif FILE] FILE_OR_DIR...
 //
 // Default mode flags shared-state accesses that bypass the OSK_* macros
 // (see src/analysis/lint.h for the rules and suppression comments); it is
@@ -12,7 +12,10 @@
 // tree. --mixed-access runs the KCSAN-style marked/plain mixed-accessor
 // rule over simulated-kernel sources. --dep-discipline flags idioms that
 // compile-break claimed dependency chains (pointer compared non-null,
-// token value laundered through a plain re-load). Directories are scanned
+// token value laundered through a plain re-load). --irq-discipline runs
+// the irq-context inference over simulated-kernel sources and flags
+// unbalanced local_irq_save/restore plus locks taken in hardirq context but
+// acquired process-side with irqs enabled. Directories are scanned
 // recursively for .cc/.h files. --sarif additionally writes the findings
 // as a SARIF 2.1.0 log (GitHub code scanning format). Exits 1 when any
 // finding is reported — suitable as a CI gate.
@@ -35,7 +38,7 @@ bool LintableFile(const fs::path& p) {
   return p.extension() == ".cc" || p.extension() == ".h";
 }
 
-enum class LintMode { kSource, kModelDiscipline, kMixedAccess, kDepDiscipline };
+enum class LintMode { kSource, kModelDiscipline, kMixedAccess, kDepDiscipline, kIrqDiscipline };
 
 int LintFile(const fs::path& path, LintMode mode,
              std::vector<analysis::LintFinding>* findings) {
@@ -56,6 +59,9 @@ int LintFile(const fs::path& path, LintMode mode,
       break;
     case LintMode::kDepDiscipline:
       found = analysis::LintDepDiscipline(path.string(), contents.str());
+      break;
+    case LintMode::kIrqDiscipline:
+      found = analysis::LintIrqDiscipline(path.string(), contents.str());
       break;
     case LintMode::kSource:
       found = analysis::LintSource(path.string(), contents.str());
@@ -82,6 +88,8 @@ int main(int argc, char** argv) {
       mode = LintMode::kMixedAccess;
     } else if (arg == "--dep-discipline") {
       mode = LintMode::kDepDiscipline;
+    } else if (arg == "--irq-discipline") {
+      mode = LintMode::kIrqDiscipline;
     } else if (arg == "--sarif") {
       sarif_path = i + 1 < argc ? argv[++i] : "";
     } else {
@@ -90,8 +98,8 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) {
     std::fprintf(stderr,
-                 "usage: ozz_lint [--model-discipline | --mixed-access | --dep-discipline] "
-                 "[--sarif FILE] FILE_OR_DIR...\n");
+                 "usage: ozz_lint [--model-discipline | --mixed-access | --dep-discipline | "
+                 "--irq-discipline] [--sarif FILE] FILE_OR_DIR...\n");
     return 2;
   }
   std::vector<analysis::LintFinding> findings;

@@ -144,16 +144,35 @@ int main(int argc, char** argv) {
     std::vector<analysis::SarifResult> results;
     for (const srcmodel::RacePair& p : report.races) {
       analysis::SarifResult r;
-      r.rule_id = p.fix_gated ? "fix-gated-race" : "residual-race";
-      r.level = p.fix_gated ? "warning" : "note";
-      std::string models;
-      for (const std::string& m : p.racy_models) {
-        models += (models.empty() ? "" : ",") + m;
+      if (p.irq) {
+        r.rule_id = p.fix_gated ? "fix-gated-irq-race" : "residual-irq-race";
+        r.level = p.fix_gated ? "warning" : "note";
+        r.message = p.Identity() + " irq-racy (hardirq handler vs process context" +
+                    " with interrupts enabled)" +
+                    (p.fix_gated ? " in the buggy form only (fix-gated)" : " even when fixed");
+      } else {
+        r.rule_id = p.fix_gated ? "fix-gated-race" : "residual-race";
+        r.level = p.fix_gated ? "warning" : "note";
+        std::string models;
+        for (const std::string& m : p.racy_models) {
+          models += (models.empty() ? "" : ",") + m;
+        }
+        r.message = p.Identity() + " racy under {" + models + "}" +
+                    (p.fix_gated ? " in the buggy form only (fix-gated)" : " even when fixed");
       }
-      r.message = p.Identity() + " racy under {" + models + "}" +
-                  (p.fix_gated ? " in the buggy form only (fix-gated)" : " even when fixed");
       r.file = p.first.file;
       r.line = p.first.line;
+      results.push_back(std::move(r));
+    }
+    for (const srcmodel::FileIrqDeadlock& d : report.irq_deadlocks) {
+      analysis::SarifResult r;
+      r.rule_id = "irq-self-deadlock";
+      r.level = "warning";
+      r.message = d.candidate.lock_id + " taken in hardirq (" + d.candidate.hardirq_function +
+                  ") and process-side with irqs on (" + d.candidate.process_function +
+                  ") — can deadlock against its own CPU's handler";
+      r.file = d.file;
+      r.line = d.candidate.process_line;
       results.push_back(std::move(r));
     }
     std::ofstream out(sarif_path);
