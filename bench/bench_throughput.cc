@@ -1,5 +1,5 @@
 // Reproduces §6.3.2: fuzzing throughput of OZZ vs the syzkaller-style
-// baseline.
+// baseline — plus the cost attribution behind it (BENCH_throughput.json).
 //
 // The paper measures 0.92 tests/s for OZZ against 7.33 tests/s for plain
 // SYZKALLER (7.9x). Our substrate is a user-space simulation, so absolute
@@ -7,16 +7,37 @@
 // test (instrumented kernel + scheduling + reordering machinery) is several
 // times more expensive than a plain sequential syzkaller test on the
 // uninstrumented kernel.
+//
+// On top of the shape check this benchmark emits:
+//   * a per-phase cost breakdown of a profiled OZZ campaign (where the
+//     campaign's cycles go: profile / hint-compute / static-prune /
+//     axiomatic / execute / oracle / report) — the baseline the ROADMAP
+//     item-2 optimization work is judged against;
+//   * a profiler-overhead gate mirroring bench_trace_overhead: MTI wall time
+//     with an active Profiler must stay within 1.10x of the no-profiler
+//     time (min-of-3 interleaved batches on the fixed watch_queue workload).
+//     Exits nonzero past the gate so CI fails on a hook-cost regression.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "src/fuzz/fuzzer.h"
 #include "src/fuzz/profile.h"
+#include "src/fuzz/syslang.h"
+#include "src/obs/prof.h"
 
 namespace {
 
 using namespace ozz;
+
+// Batch sizing: one watch_queue MTI is ~100µs, so scheduler jitter swamps
+// small batches. 500-run batches with a min-of-5 estimate (plus an untimed
+// warmup pass per side) keep the ratio stable to a few percent.
+constexpr int kRunsPerBatch = 500;
+constexpr int kBatches = 5;
+constexpr double kGateRatio = 1.10;
 
 // Syzkaller-style test: run one generated program sequentially against an
 // uninstrumented kernel (no OEMU runtime at all).
@@ -70,6 +91,50 @@ double OzzTestsPerSecond(double seconds_budget) {
   }
 }
 
+// Where the cycles of one representative campaign go. Empty in -DOZZ_PROF=OFF
+// builds (the hooks are compiled out) — the JSON then carries an empty array.
+obs::ProfSnapshot PhaseBreakdown() {
+  obs::Profiler profiler;
+  profiler.Activate();
+  fuzz::FuzzerOptions options;
+  options.seed = 7;
+  options.max_mti_runs = 600;
+  options.stop_after_bugs = 10000;
+  fuzz::Fuzzer fuzzer(options);
+  (void)fuzzer.Run();
+  obs::ProfSnapshot snap = profiler.Snapshot();
+  profiler.Deactivate();
+  return snap;
+}
+
+double ProfBatchSeconds(const fuzz::MtiSpec& spec, const osk::KernelConfig& config,
+                        bool profiled) {
+  fuzz::MtiOptions options;
+  options.kernel_config = config;
+  // Profiled mode: the profiler spans the batch; activation and the merged
+  // snapshot are outside the timed region — the gate measures per-access
+  // hook cost, not setup.
+  std::unique_ptr<obs::Profiler> profiler;
+  if (profiled) {
+    profiler = std::make_unique<obs::Profiler>();
+    profiler->Activate();
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRunsPerBatch; ++i) {
+    fuzz::MtiResult result = fuzz::RunMti(spec, options);
+    if (!result.crashed) {
+      std::fprintf(stderr, "workload stopped reproducing — benchmark invalid\n");
+      std::exit(2);
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  if (profiler != nullptr) {
+    profiler->Deactivate();
+    (void)profiler->Snapshot();
+  }
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
 int main() {
@@ -81,7 +146,83 @@ int main() {
   std::printf("OZZ (instrumented, scheduled, reordered):     %10.1f tests/s\n", ozz);
   std::printf("Slowdown: %.1fx   (paper: 7.33 vs 0.92 tests/s = 7.9x)\n",
               ozz > 0 ? syz / ozz : 0);
+  const bool shape_holds = ozz < syz;
   std::printf("\nShape check: OZZ throughput is a fraction of the baseline's — %s.\n",
-              ozz < syz ? "holds" : "DOES NOT HOLD");
-  return ozz < syz ? 0 : 1;
+              shape_holds ? "holds" : "DOES NOT HOLD");
+
+  std::printf("\n=== per-phase cost breakdown (profiled campaign) ===\n\n");
+  obs::ProfSnapshot phases = PhaseBreakdown();
+  const double tps = phases.ticks_per_sec > 0 ? static_cast<double>(phases.ticks_per_sec)
+                                              : 1e9;
+  if (phases.phases.empty()) {
+    std::printf("(profiler compiled out: -DOZZ_PROF=OFF build)\n");
+  }
+  for (const obs::ProfSnapshot::PhaseStat& p : phases.phases) {
+    std::printf("  %-14s %10llu scopes  total %8.3fs  self %8.3fs\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.count), p.total_ticks / tps,
+                p.self_ticks / tps);
+  }
+
+  std::printf("\n=== profiler overhead (%d MTI runs/batch, min of %d) ===\n\n",
+              kRunsPerBatch, kBatches);
+  // Derive the workload spec by hunting the watch_queue bug once; the fuzzer
+  // must outlive the measurements (the spec holds SyscallDesc pointers into
+  // its table).
+  fuzz::FuzzerOptions fopts;
+  fopts.seed = 99;
+  fopts.max_mti_runs = 2500;
+  fopts.stop_after_bugs = 1;
+  fuzz::Fuzzer fuzzer(fopts);
+  fuzz::CampaignResult campaign =
+      fuzzer.RunProg(fuzz::SeedProgramFor(fuzzer.table(), "watch_queue"));
+  if (campaign.bugs.empty()) {
+    std::fprintf(stderr, "could not derive the watch_queue workload spec\n");
+    return 2;
+  }
+  const fuzz::MtiSpec& spec = campaign.bugs[0].spec;
+  const osk::KernelConfig config;  // stock kernel: the bug reproduces
+
+  // Untimed warmup: faults in code paths and the allocator so batch 0 is
+  // comparable to the rest.
+  (void)ProfBatchSeconds(spec, config, /*profiled=*/false);
+  (void)ProfBatchSeconds(spec, config, /*profiled=*/true);
+
+  double plain_min = 0.0;
+  double profiled_min = 0.0;
+  for (int b = 0; b < kBatches; ++b) {
+    double plain = ProfBatchSeconds(spec, config, /*profiled=*/false);
+    double profiled = ProfBatchSeconds(spec, config, /*profiled=*/true);
+    std::printf("batch %d: plain %.4fs, profiled %.4fs\n", b, plain, profiled);
+    plain_min = b == 0 ? plain : std::min(plain_min, plain);
+    profiled_min = b == 0 ? profiled : std::min(profiled_min, profiled);
+  }
+  const double prof_ratio = profiled_min / plain_min;
+  const bool prof_pass = prof_ratio <= kGateRatio;
+  std::printf("\nmin plain %.4fs, profiled %.4fs (ratio %.3f, gate %.2f) -> %s\n",
+              plain_min, profiled_min, prof_ratio, kGateRatio, prof_pass ? "PASS" : "FAIL");
+
+  FILE* json = std::fopen("BENCH_throughput.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"syzkaller_tests_per_s\": %.1f, \"ozz_tests_per_s\": %.1f,\n"
+                 "  \"slowdown\": %.2f, \"shape_holds\": %s,\n  \"phases\": [",
+                 syz, ozz, ozz > 0 ? syz / ozz : 0, shape_holds ? "true" : "false");
+    for (std::size_t i = 0; i < phases.phases.size(); ++i) {
+      const obs::ProfSnapshot::PhaseStat& p = phases.phases[i];
+      std::fprintf(json, "%s\n    {\"name\": \"%s\", \"count\": %llu, \"total_s\": %.6f, "
+                         "\"self_s\": %.6f}",
+                   i > 0 ? "," : "", p.name.c_str(),
+                   static_cast<unsigned long long>(p.count), p.total_ticks / tps,
+                   p.self_ticks / tps);
+    }
+    std::fprintf(json,
+                 "\n  ],\n  \"prof_runs_per_batch\": %d, \"prof_batches\": %d,\n"
+                 "  \"prof_plain_s\": %.6f, \"prof_profiled_s\": %.6f,\n"
+                 "  \"prof_ratio\": %.4f, \"prof_gate\": %.2f, \"prof_pass\": %s\n}\n",
+                 kRunsPerBatch, kBatches, plain_min, profiled_min, prof_ratio, kGateRatio,
+                 prof_pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_throughput.json\n");
+  }
+  return shape_holds && prof_pass ? 0 : 1;
 }

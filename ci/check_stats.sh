@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Live-telemetry gate: an interrupted `ozz_fuzz --stats-interval` campaign
+# must leave behind a parseable heartbeat stream and complete final outputs.
+#
+# The script launches an effectively-unbounded campaign with heartbeats every
+# 100 ms, SIGINTs it after ~2 s, and asserts
+#   1. the campaign exits through normal finalization (exit code 0, the
+#      interrupted notice printed, --metrics-out written non-empty),
+#   2. the stats stream holds >= 2 heartbeat lines plus a "final" snapshot
+#      and every line parses (ozz_stat reads the whole file),
+#   3. ozz_stat resolves the top sites to file:function:line and renders the
+#      per-phase table ("hottest" is part of the golden-tested layout),
+#   4. the folded-stack export is non-empty (flamegraph.pl input).
+#
+# In -DOZZ_PROF=OFF builds the profiler sections are legitimately absent;
+# the script then only checks the stream parses and finalization ran (the
+# heartbeats still carry the metrics registry).
+#
+# Usage: ci/check_stats.sh [path/to/ozz_fuzz] [path/to/ozz_stat]
+set -u
+
+FUZZ=${1:-./build/tools/ozz_fuzz}
+STAT=${2:-./build/tools/ozz_stat}
+
+if [[ ! -x "$FUZZ" || ! -x "$STAT" ]]; then
+  echo "check_stats: need ozz_fuzz and ozz_stat binaries ($FUZZ, $STAT)" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# CI sets CHECK_STATS_ARTIFACT_DIR to keep the heartbeat stream and rendered
+# report as a build artifact (the workdir itself is deleted on exit).
+ARTIFACT_DIR=${CHECK_STATS_ARTIFACT_DIR:-}
+
+keep_artifacts() {
+  if [[ -n "$ARTIFACT_DIR" ]]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp -f "$WORK"/stats.ndjson "$WORK"/render.txt "$WORK"/fuzz.log "$ARTIFACT_DIR"/ 2>/dev/null || true
+  fi
+}
+trap 'keep_artifacts; rm -rf "$WORK"' EXIT
+
+"$FUZZ" --seed 3 --budget 1000000 --bugs 1000000 \
+  --stats-interval 0.1 --stats-out "$WORK/stats.ndjson" \
+  --metrics-out "$WORK/metrics.json" >"$WORK/fuzz.log" 2>&1 &
+PID=$!
+sleep 2
+kill -INT "$PID"
+wait "$PID"
+rc=$?
+if [[ "$rc" -gt 1 ]]; then
+  echo "check_stats: ozz_fuzz exited $rc after SIGINT (wanted clean finalization)"
+  tail -5 "$WORK/fuzz.log"
+  exit 1
+fi
+
+fail=0
+
+if ! grep -q "interrupted (SIGINT)" "$WORK/fuzz.log"; then
+  echo "FAIL: no interruption notice in the campaign output"
+  fail=1
+fi
+if [[ ! -s "$WORK/metrics.json" ]]; then
+  echo "FAIL: --metrics-out not written on SIGINT"
+  fail=1
+fi
+
+heartbeats=$(grep -c '"kind":"heartbeat"' "$WORK/stats.ndjson" || true)
+finals=$(grep -c '"kind":"final"' "$WORK/stats.ndjson" || true)
+if [[ "$heartbeats" -lt 2 ]]; then
+  echo "FAIL: only $heartbeats heartbeat(s) in ~2s at --stats-interval 0.1"
+  fail=1
+fi
+if [[ "$finals" -ne 1 ]]; then
+  echo "FAIL: expected exactly one final snapshot, got $finals"
+  fail=1
+fi
+
+# ozz_stat must parse every line (it reads the full stream before choosing).
+if ! "$STAT" "$WORK/stats.ndjson" >"$WORK/render.txt" 2>&1; then
+  echo "FAIL: ozz_stat could not read the heartbeat stream"
+  cat "$WORK/render.txt"
+  fail=1
+fi
+
+# Profiler-dependent assertions: skip when the hooks are compiled out (the
+# final snapshot then carries no phases/sites).
+if grep -q '"phases":\[{' "$WORK/stats.ndjson"; then
+  if ! grep -q "hottest sites:" "$WORK/render.txt"; then
+    echo "FAIL: rendered report lacks the hottest-sites section"
+    fail=1
+  fi
+  # A resolved site renders as file:function:line followed by its phase tags
+  # (the function is a full signature: spaces and :: qualifiers included).
+  if ! grep -Eq '\.cc:.+:[0-9]+ \[' "$WORK/render.txt"; then
+    echo "FAIL: no site resolved to file:function:line"
+    fail=1
+  fi
+  if ! "$STAT" --folded "$WORK/stats.ndjson" | grep -q .; then
+    echo "FAIL: folded-stack export is empty"
+    fail=1
+  fi
+else
+  echo "note: profiler compiled out — site/phase assertions skipped"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_stats: FAILED"
+  exit 1
+fi
+echo "check_stats: interrupted campaign left $heartbeats heartbeat(s), a final snapshot, and a renderable stream"

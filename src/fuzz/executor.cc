@@ -7,6 +7,7 @@
 #include "src/base/log.h"
 #include "src/fuzz/profile.h"
 #include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_io.h"
 #include "src/oemu/instr.h"
@@ -56,6 +57,7 @@ obs::TraceMeta MetaFor(const MtiSpec& spec, const MtiOptions& options,
 }  // namespace
 
 MtiResult RunMti(const MtiSpec& spec, const MtiOptions& options) {
+  obs::PhaseTimer phase_timer(obs::Phase::kExecute);
   MtiResult result;
   OZZ_CHECK(spec.call_a < spec.prog.calls.size());
   OZZ_CHECK(spec.call_b < spec.prog.calls.size());

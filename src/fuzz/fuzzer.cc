@@ -92,6 +92,7 @@ std::string CampaignToJson(const CampaignResult& result) {
      << ",\"guide_sites_tested\":" << result.guide_sites_tested
      << ",\"sti_guide_sites\":" << result.sti_guide_sites
      << ",\"sti_guide_sites_tested\":" << result.sti_guide_sites_tested
+     << ",\"interrupted\":" << (result.interrupted ? "true" : "false")
      << ",\"metrics\":" << (result.metrics_json.empty() ? "{}" : result.metrics_json)
      << ",\"bugs\":[";
   for (std::size_t i = 0; i < result.bugs.size(); ++i) {
@@ -193,6 +194,10 @@ std::size_t Fuzzer::StiBudget() const {
 }
 
 bool Fuzzer::Exhausted(const CampaignResult& result) const {
+  if (options_.stop_flag != nullptr &&
+      options_.stop_flag->load(std::memory_order_relaxed)) {
+    return true;
+  }
   return result.mti_runs >= options_.max_mti_runs || result.sti_runs >= StiBudget() ||
          result.bugs.size() >= options_.stop_after_bugs;
 }
@@ -356,6 +361,8 @@ void Fuzzer::Finalize(const obs::MetricsSnapshot& begin, CampaignResult* result)
   result->sti_guide_sites_tested = sti_guide_tested_.size();
   result->metrics_json =
       obs::Metrics::ToJson(obs::Metrics::Delta(begin, obs::Metrics::Global().Snapshot()));
+  result->interrupted = options_.stop_flag != nullptr &&
+                        options_.stop_flag->load(std::memory_order_relaxed);
 }
 
 CampaignResult Fuzzer::Run() {

@@ -5,6 +5,7 @@
 #ifndef OZZ_SRC_FUZZ_FUZZER_H_
 #define OZZ_SRC_FUZZ_FUZZER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +72,10 @@ struct FuzzerOptions {
   // Non-empty: every MTI execution writes a reorder trace into this directory
   // as mti_NNNNNN.ozztrace (triage the set with ozz_trace).
   std::string trace_dir;
+  // Cooperative cancellation (`ozz_fuzz` SIGINT): when the pointee becomes
+  // true the campaign stops at the next budget check and finalizes normally,
+  // so every output (metrics, traces, stats) is still flushed.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 struct FoundBug {
@@ -102,6 +107,9 @@ struct CampaignResult {
   // This campaign's contribution to the obs metrics registry (counter and
   // histogram deltas as JSON); embedded under "metrics" by CampaignToJson.
   std::string metrics_json;
+  // True when the campaign stopped because FuzzerOptions::stop_flag fired
+  // rather than by exhausting a budget.
+  bool interrupted = false;
 
   const FoundBug* FindByTitle(const std::string& needle) const;
 };

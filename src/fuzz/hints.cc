@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/analysis/axiomatic.h"
+#include "src/obs/prof.h"
 #include "src/oemu/instr.h"
 
 namespace ozz::fuzz {
@@ -254,6 +255,7 @@ oemu::Trace FilterShared(const oemu::Trace& trace, const oemu::Trace& other) {
 std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
                                     const oemu::Trace& other_trace,
                                     const HintOptions& options, HintStats* stats) {
+  obs::PhaseTimer phase_timer(obs::Phase::kHintCompute);
   const oemu::MemoryModel& model = oemu::MemoryModel::Resolve(options.model);
   const oemu::Trace filtered = FilterShared(reorder_trace, other_trace);
   std::vector<SchedHint> hints;
@@ -375,6 +377,7 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
       stats->pairs.Add(pa.ComputeStats());
     }
     if (options.static_prune) {
+      obs::PhaseTimer prune_timer(obs::Phase::kStaticPrune);
       std::size_t before = hints.size();
       std::erase_if(hints, [&pa](const SchedHint& h) { return HintProvenNoop(pa, h); });
       if (stats != nullptr) {
@@ -382,6 +385,7 @@ std::vector<SchedHint> ComputeHints(const oemu::Trace& reorder_trace,
       }
     }
     if (options.axiomatic_prune) {
+      obs::PhaseTimer axiomatic_timer(obs::Phase::kAxiomatic);
       PruneAxiomatic(pa, options, &hints, stats);
     }
   }

@@ -1,5 +1,6 @@
 #include "src/fuzz/profile.h"
 
+#include "src/obs/prof.h"
 #include "src/oemu/runtime.h"
 
 namespace ozz::fuzz {
@@ -21,6 +22,7 @@ std::vector<i64> ResolveArgs(const Call& call, const std::vector<long>& results)
 
 ProgProfile ProfileProg(const Prog& prog, const osk::KernelConfig& config,
                         const oemu::MemoryModel* model) {
+  obs::PhaseTimer phase_timer(obs::Phase::kProfile);
   ProgProfile profile;
   oemu::Runtime::Options rt_opts;
   rt_opts.model = model;

@@ -3,11 +3,13 @@
 #include <sstream>
 
 #include "src/base/check.h"
+#include "src/obs/prof.h"
 #include "src/oemu/instr.h"
 
 namespace ozz::fuzz {
 
 BugReport MakeBugReport(const MtiSpec& spec, const MtiResult& result) {
+  obs::PhaseTimer phase_timer(obs::Phase::kReport);
   OZZ_CHECK(result.crashed);
   BugReport report;
   report.title = result.crash.title;

@@ -1,0 +1,439 @@
+#include "src/obs/prof.h"
+
+#include <array>
+#include <chrono>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace ozz::obs {
+namespace {
+
+Profiler* g_active = nullptr;
+
+// Monotonic per-profiler generation so a thread's cached slab pointer can
+// never be confused across profiler instances (create/destroy/recreate is
+// the normal campaign pattern).
+std::atomic<u64> g_generation_seq{0};
+
+// Live profilers by generation. The thread-exit hook below returns a slab
+// through this map, so it can tell "profiler still alive" from "died first"
+// without dangling. Leaked intentionally: thread-exit hooks may run after
+// static destructors.
+struct Registry {
+  std::mutex mutex;
+  std::map<u64, Profiler*> by_generation;
+};
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Test clock injection. Set strictly before/after profiled work in tests,
+// so a plain pointer (read once per NowTicks call) suffices.
+u64 (*g_test_clock)() = nullptr;
+
+u64 SteadyNanos() {
+  return static_cast<u64>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+#if defined(__x86_64__) || defined(__aarch64__)
+// Calibrates the hardware tick rate against steady_clock over a short busy
+// window. Runs once, lazily, on the first Snapshot()/render — never on the
+// emission hot path.
+u64 CalibrateTicksPerSecond() {
+#if defined(__aarch64__)
+  u64 freq;
+  asm volatile("mrs %0, cntfrq_el0" : "=r"(freq));
+  if (freq != 0) {
+    return freq;
+  }
+#endif
+  const u64 ns0 = SteadyNanos();
+  u64 t0;
+#if defined(__x86_64__)
+  t0 = __builtin_ia32_rdtsc();
+#else
+  asm volatile("mrs %0, cntvct_el0" : "=r"(t0));
+#endif
+  u64 ns1 = ns0;
+  while (ns1 - ns0 < 10'000'000) {  // 10 ms window
+    ns1 = SteadyNanos();
+  }
+  u64 t1;
+#if defined(__x86_64__)
+  t1 = __builtin_ia32_rdtsc();
+#else
+  asm volatile("mrs %0, cntvct_el0" : "=r"(t1));
+#endif
+  const u64 ns = ns1 - ns0;
+  const u64 ticks = t1 - t0;
+  return ns == 0 ? 1'000'000'000 : ticks * 1'000'000'000 / ns;
+}
+#endif
+
+}  // namespace
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kProfile:
+      return "profile";
+    case Phase::kHintCompute:
+      return "hint-compute";
+    case Phase::kStaticPrune:
+      return "static-prune";
+    case Phase::kAxiomatic:
+      return "axiomatic";
+    case Phase::kExecute:
+      return "execute";
+    case Phase::kOracle:
+      return "oracle";
+    case Phase::kReport:
+      return "report";
+  }
+  return "?";
+}
+
+const char* ProfCounterName(ProfCounter c) {
+  switch (c) {
+    case ProfCounter::kLoadHintFast:
+      return "load_hint_fast";
+    case ProfCounter::kLoadHintSlow:
+      return "load_hint_slow";
+    case ProfCounter::kStoreHintFast:
+      return "store_hint_fast";
+    case ProfCounter::kStoreHintSlow:
+      return "store_hint_slow";
+  }
+  return "?";
+}
+
+// Per-OS-thread accumulation slab. Every cell is written by the owning
+// thread alone (single-writer), so writes are relaxed load+store pairs; the
+// snapshot reader tolerates mid-flight skew like the metrics registry does.
+struct Profiler::ThreadSlab {
+  struct SiteCell {
+    std::atomic<u64> hits{0};
+    std::atomic<u64> ticks{0};
+  };
+  struct PhaseCell {
+    std::atomic<u64> count{0};
+    std::atomic<u64> total{0};
+    std::atomic<u64> self{0};
+  };
+  // Open scope. `site == kInvalidInstr` marks a phase frame; `child`
+  // accumulates the inclusive time of directly-nested scopes, so the
+  // closing scope can report exclusive (self) time.
+  struct Frame {
+    Phase phase = Phase::kProfile;
+    InstrId site = kInvalidInstr;
+    u64 start = 0;
+    u64 child = 0;
+  };
+
+  static constexpr std::size_t kChunkSize = 512;
+  static constexpr std::size_t kMaxChunks = 128;  // 64k site ids per row
+  // One site row per phase plus one for sites outside any phase.
+  static constexpr std::size_t kSiteRows = kNumPhases + 1;
+
+  std::array<PhaseCell, kNumPhases> phases{};
+  std::array<std::atomic<u64>, kNumProfCounters> counters{};
+  std::array<std::array<std::atomic<SiteCell*>, kMaxChunks>, kSiteRows> chunks{};
+  std::vector<Frame> stack;  // owner-thread only, never read by Snapshot()
+
+  ThreadSlab() { stack.reserve(16); }
+
+  ~ThreadSlab() {
+    for (auto& row : chunks) {
+      for (auto& slot : row) {
+        delete[] slot.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // nullptr when `instr` is beyond the chunked range (counted as overflow).
+  SiteCell* CellFor(std::size_t row, InstrId instr) {
+    const std::size_t chunk_idx = instr / kChunkSize;
+    if (chunk_idx >= kMaxChunks) {
+      return nullptr;
+    }
+    std::atomic<SiteCell*>& slot = chunks[row][chunk_idx];
+    SiteCell* chunk = slot.load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      // Single writer per slab: no CAS race to lose.
+      chunk = new SiteCell[kChunkSize];
+      slot.store(chunk, std::memory_order_release);
+    }
+    return &chunk[instr % kChunkSize];
+  }
+
+  // Innermost enclosing *phase* (site frames are transparent).
+  std::size_t CurrentPhaseRow() const {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->site == kInvalidInstr) {
+        return static_cast<std::size_t>(it->phase);
+      }
+    }
+    return kNumPhases;
+  }
+};
+
+namespace {
+
+// Single-writer add: cheaper than fetch_add, still tear-free for readers.
+void RelaxedAdd(std::atomic<u64>& cell, u64 n) {
+  cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+thread_local u64 tls_slab_generation = 0;
+thread_local Profiler::ThreadSlab* tls_slab = nullptr;
+
+// The simulated machine spawns fresh OS threads per MTI run, so without
+// reuse every run would allocate (and zero) new slabs and site chunks —
+// dominating the very hot path this profiler exists to measure. Instead a
+// thread returns its slab to the owning profiler's free list on exit; the
+// next spawned thread adopts it, warm chunks and all. Accumulated counts
+// stay in place (Snapshot() merges every slab ever handed out), and the
+// single-writer invariant holds because the previous owner is dead before
+// the slab is reissued.
+struct SlabReturner {
+  u64 generation = 0;
+  Profiler::ThreadSlab* slab = nullptr;
+  ~SlabReturner() {
+    if (slab == nullptr) {
+      return;
+    }
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.by_generation.find(generation);
+    if (it != registry.by_generation.end()) {
+      it->second->ReturnSlab(slab);
+    }
+  }
+};
+// Touched only on the SlabFor() miss path; the hot path stays on the two
+// trivially-destructible thread_locals above.
+thread_local SlabReturner tls_returner;
+
+}  // namespace
+
+Profiler::Profiler()
+    : generation_(g_generation_seq.fetch_add(1, std::memory_order_relaxed) + 1) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.by_generation[generation_] = this;
+}
+
+Profiler::~Profiler() {
+  if (g_active == this) {
+    Deactivate();
+  }
+  // Unregister before the slabs die: late thread exits then find no owner
+  // and drop their slab pointer instead of touching freed memory.
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.by_generation.erase(generation_);
+}
+
+void Profiler::ReturnSlab(ThreadSlab* slab) {
+  std::lock_guard<std::mutex> lock(slab_mutex_);
+  free_slabs_.push_back(slab);
+}
+
+void Profiler::Activate() {
+  OZZ_CHECK_MSG(g_active == nullptr, "another profiler is already active");
+  g_active = this;
+}
+
+void Profiler::Deactivate() {
+  if (g_active == this) {
+    g_active = nullptr;
+  }
+}
+
+Profiler* Profiler::Active() { return g_active; }
+
+Profiler::ThreadSlab* Profiler::SlabFor() {
+  if (tls_slab_generation == generation_ && tls_slab != nullptr) {
+    return tls_slab;
+  }
+  std::lock_guard<std::mutex> lock(slab_mutex_);
+  ThreadSlab* slab;
+  if (!free_slabs_.empty()) {
+    slab = free_slabs_.back();
+    free_slabs_.pop_back();
+    slab->stack.clear();  // a scope left open by the dead owner is dropped
+  } else {
+    slabs_.push_back(std::make_unique<ThreadSlab>());
+    slab = slabs_.back().get();
+  }
+  tls_slab = slab;
+  tls_slab_generation = generation_;
+  tls_returner.generation = generation_;
+  tls_returner.slab = slab;
+  return slab;
+}
+
+void Profiler::EnterPhase(Phase phase) {
+  ThreadSlab* slab = SlabFor();
+  ThreadSlab::Frame f;
+  f.phase = phase;
+  f.start = NowTicks();
+  slab->stack.push_back(f);
+}
+
+void Profiler::ExitPhase() {
+  ThreadSlab* slab = SlabFor();
+  if (slab->stack.empty()) {
+    return;  // unbalanced exit (profiler swapped mid-scope): drop the sample
+  }
+  const ThreadSlab::Frame f = slab->stack.back();
+  slab->stack.pop_back();
+  const u64 now = NowTicks();
+  const u64 dur = now >= f.start ? now - f.start : 0;
+  const u64 self = dur >= f.child ? dur - f.child : 0;
+  ThreadSlab::PhaseCell& cell = slab->phases[static_cast<std::size_t>(f.phase)];
+  RelaxedAdd(cell.count, 1);
+  RelaxedAdd(cell.total, dur);
+  RelaxedAdd(cell.self, self);
+  if (!slab->stack.empty()) {
+    slab->stack.back().child += dur;
+  }
+}
+
+void Profiler::EnterSite(InstrId instr) {
+  ThreadSlab* slab = SlabFor();
+  ThreadSlab::Frame f;
+  f.site = instr;
+  f.start = NowTicks();
+  slab->stack.push_back(f);
+}
+
+void Profiler::ExitSite() {
+  ThreadSlab* slab = SlabFor();
+  if (slab->stack.empty()) {
+    return;
+  }
+  const ThreadSlab::Frame f = slab->stack.back();
+  slab->stack.pop_back();
+  const u64 now = NowTicks();
+  const u64 dur = now >= f.start ? now - f.start : 0;
+  const u64 self = dur >= f.child ? dur - f.child : 0;
+  ThreadSlab::SiteCell* cell = slab->CellFor(slab->CurrentPhaseRow(), f.site);
+  if (cell == nullptr) {
+    site_overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    RelaxedAdd(cell->hits, 1);
+    RelaxedAdd(cell->ticks, self);
+  }
+  if (!slab->stack.empty()) {
+    slab->stack.back().child += dur;
+  }
+}
+
+void Profiler::RecordCounter(ProfCounter c, u64 n) {
+  RelaxedAdd(SlabFor()->counters[static_cast<std::size_t>(c)], n);
+}
+
+ProfSnapshot Profiler::Snapshot() const {
+  ProfSnapshot out;
+  out.ticks_per_sec = TicksPerSecond();
+
+  std::array<ProfSnapshot::PhaseStat, kNumPhases> phase_acc{};
+  std::array<u64, kNumProfCounters> counter_acc{};
+  // Ordered by (row, instr): the merge is deterministic for any slab set.
+  std::map<std::pair<std::size_t, InstrId>, std::pair<u64, u64>> site_acc;
+
+  {
+    std::lock_guard<std::mutex> lock(slab_mutex_);
+    for (const std::unique_ptr<ThreadSlab>& slab : slabs_) {
+      for (std::size_t p = 0; p < kNumPhases; ++p) {
+        phase_acc[p].count += slab->phases[p].count.load(std::memory_order_relaxed);
+        phase_acc[p].total_ticks += slab->phases[p].total.load(std::memory_order_relaxed);
+        phase_acc[p].self_ticks += slab->phases[p].self.load(std::memory_order_relaxed);
+      }
+      for (std::size_t c = 0; c < kNumProfCounters; ++c) {
+        counter_acc[c] += slab->counters[c].load(std::memory_order_relaxed);
+      }
+      for (std::size_t row = 0; row < ThreadSlab::kSiteRows; ++row) {
+        for (std::size_t ci = 0; ci < ThreadSlab::kMaxChunks; ++ci) {
+          ThreadSlab::SiteCell* chunk =
+              slab->chunks[row][ci].load(std::memory_order_acquire);
+          if (chunk == nullptr) {
+            continue;
+          }
+          for (std::size_t k = 0; k < ThreadSlab::kChunkSize; ++k) {
+            const u64 hits = chunk[k].hits.load(std::memory_order_relaxed);
+            const u64 ticks = chunk[k].ticks.load(std::memory_order_relaxed);
+            if (hits == 0 && ticks == 0) {
+              continue;
+            }
+            auto& cell = site_acc[{row, static_cast<InstrId>(ci * ThreadSlab::kChunkSize + k)}];
+            cell.first += hits;
+            cell.second += ticks;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    if (phase_acc[p].count == 0 && phase_acc[p].total_ticks == 0) {
+      continue;
+    }
+    phase_acc[p].name = PhaseName(static_cast<Phase>(p));
+    out.phases.push_back(std::move(phase_acc[p]));
+  }
+  for (const auto& [key, hv] : site_acc) {
+    ProfSnapshot::SiteStat s;
+    s.phase = key.first == kNumPhases ? "none" : PhaseName(static_cast<Phase>(key.first));
+    s.instr = key.second;
+    s.hits = hv.first;
+    s.ticks = hv.second;
+    out.sites.push_back(std::move(s));
+  }
+  for (std::size_t c = 0; c < kNumProfCounters; ++c) {
+    if (counter_acc[c] != 0) {
+      out.counters[ProfCounterName(static_cast<ProfCounter>(c))] = counter_acc[c];
+    }
+  }
+  const u64 overflow = site_overflow_.load(std::memory_order_relaxed);
+  if (overflow != 0) {
+    out.counters["site_overflow_dropped"] = overflow;
+  }
+  return out;
+}
+
+u64 Profiler::NowTicks() {
+  u64 (*test_clock)() = g_test_clock;
+  if (test_clock != nullptr) {
+    return test_clock();
+  }
+#if defined(__x86_64__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  u64 v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return SteadyNanos();
+#endif
+}
+
+u64 Profiler::TicksPerSecond() {
+  if (g_test_clock != nullptr) {
+    // A fixed, documented scale keeps rendered test output deterministic.
+    return 1'000'000'000;
+  }
+#if defined(__x86_64__) || defined(__aarch64__)
+  static const u64 tps = CalibrateTicksPerSecond();
+  return tps;
+#else
+  return 1'000'000'000;  // steady_clock ticks are nanoseconds
+#endif
+}
+
+void Profiler::SetClockForTesting(u64 (*clock)()) { g_test_clock = clock; }
+
+}  // namespace ozz::obs

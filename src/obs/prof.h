@@ -1,0 +1,225 @@
+// In-process hot-path profiler: where do an OZZ campaign's cycles go?
+//
+// ROADMAP item 2 demands an order-of-magnitude OEMU speedup; this layer is
+// the measurement side of that work. It attributes wall time to two axes:
+//
+//   * Phases — the pipeline stages of one hypothetical-barrier test
+//     (profile / hint-compute / static-prune / axiomatic / execute / oracle /
+//     report). PhaseTimer scopes nest; a phase's *self* time excludes nested
+//     phases and instrumented-access callbacks, so the per-phase table sums
+//     to (approximately) the measured wall clock instead of double-counting.
+//   * Sites — per-InstrId hit/tick counters for the instrumented-access
+//     callbacks (Runtime::Load/Store/...), attributed to the innermost
+//     enclosing phase. `ozz_stat` resolves the ids through the instruction
+//     table to file:function:line and renders top-N / folded stacks.
+//
+// Plus plain counters for path-shape questions the timers cannot answer
+// (hint-check fast vs slow path in Runtime::Load/Store).
+//
+// Concurrency: accumulation is lock-free per OS thread. Each thread lazily
+// registers a slab (mutex once per thread per profiler); all cells in a slab
+// are written by that thread alone with relaxed atomics, so a concurrent
+// Snapshot() (the live heartbeat reader) sees a slightly-stale but
+// tear-free view. Chunked site arrays are published with release stores and
+// read with acquire loads. The phase stack is plain owner-thread state.
+//
+// Compile-out: emission routes through OZZ_PROF_ACTIVE / OZZ_PROF_EMIT and
+// the inline RAII constructors below, mirroring OZZ_TRACE_*. Configuring
+// with -DOZZ_PROF=OFF turns every site into a statically-false branch the
+// compiler deletes (arguments stay syntactically used, so -Werror is clean
+// in both modes); the obs library itself still builds, so tools and tests
+// keep linking.
+//
+// Clock: raw TSC on x86-64, the generic counter on aarch64, steady_clock
+// elsewhere — a scoped timer costs two reads. Snapshots carry
+// ticks_per_sec (calibrated lazily, off the hot path) so renderers print
+// milliseconds. Tests inject a deterministic clock via SetClockForTesting.
+//
+// Layering: obs depends only on src/base. Ids gain meaning via the same
+// InstrResolver indirection the trace container uses (src/obs/stats_io.h).
+#ifndef OZZ_SRC_OBS_PROF_H_
+#define OZZ_SRC_OBS_PROF_H_
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace ozz::obs {
+
+// Pipeline stages of the fuzzing workflow (Figure 6 of the paper). Values
+// index slab arrays — keep dense, update kNumPhases alongside.
+enum class Phase : u8 {
+  kProfile = 0,      // sequential STI profiling run
+  kHintCompute = 1,  // scheduling-hint derivation from the traces
+  kStaticPrune = 2,  // static ordering pre-filter (nested in hint-compute)
+  kAxiomatic = 3,    // axiomatic model-checking prune tier (nested likewise)
+  kExecute = 4,      // MTI execution under the scheduler + OEMU
+  kOracle = 5,       // bug-detecting access checks (nested in execute)
+  kReport = 6,       // bug-report construction
+};
+inline constexpr std::size_t kNumPhases = 7;
+
+const char* PhaseName(Phase p);
+
+// Cheap path-shape counters. Fast = the per-thread spec map is empty (no
+// hint armed on this thread, the overwhelmingly common case and the target
+// of the planned inline caches); slow = a non-empty map had to be searched.
+enum class ProfCounter : u8 {
+  kLoadHintFast = 0,
+  kLoadHintSlow = 1,
+  kStoreHintFast = 2,
+  kStoreHintSlow = 3,
+};
+inline constexpr std::size_t kNumProfCounters = 4;
+
+const char* ProfCounterName(ProfCounter c);
+
+// Deterministic merged view of every thread slab: phases in enum order,
+// sites ordered by (phase row, instr), counters by name.
+struct ProfSnapshot {
+  struct PhaseStat {
+    std::string name;
+    u64 count = 0;        // completed scopes
+    u64 total_ticks = 0;  // inclusive (children counted)
+    u64 self_ticks = 0;   // exclusive (nested phases and sites subtracted)
+  };
+  struct SiteStat {
+    std::string phase;  // enclosing phase name; "none" outside any phase
+    InstrId instr = kInvalidInstr;
+    u64 hits = 0;
+    u64 ticks = 0;  // exclusive, like PhaseStat::self_ticks
+  };
+  u64 ticks_per_sec = 0;
+  std::vector<PhaseStat> phases;
+  std::vector<SiteStat> sites;
+  std::map<std::string, u64> counters;
+
+  bool empty() const { return phases.empty() && sites.empty() && counters.empty(); }
+};
+
+// Process-wide active profiler (mirrors TraceRecorder::Activate/Active).
+class Profiler {
+ public:
+  Profiler();
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Exactly one profiler may be active at a time.
+  void Activate();
+  void Deactivate();
+  static Profiler* Active();
+
+  // Scope protocol (use PhaseTimer/SiteTimer; exposed for them and tests).
+  // Enter* reads the clock on entry, Exit* on exit; scopes must nest per
+  // thread, which the RAII wrappers guarantee.
+  void EnterPhase(Phase phase);
+  void ExitPhase();
+  void EnterSite(InstrId instr);
+  void ExitSite();
+
+  void RecordCounter(ProfCounter c, u64 n = 1);
+
+  // Safe while producers run (heartbeats); quiesce for an exact picture.
+  ProfSnapshot Snapshot() const;
+
+  // Monotonic tick source (TSC-class where available). The injected test
+  // clock replaces it process-wide; pass nullptr to restore.
+  static u64 NowTicks();
+  static u64 TicksPerSecond();
+  static void SetClockForTesting(u64 (*clock)());
+
+  // Opaque per-thread accumulation slab (defined in prof.cc; public only so
+  // the implementation's thread_local cache can name the type).
+  struct ThreadSlab;
+
+  // Internal: the thread-exit hook hands a dead thread's slab back for reuse
+  // by the next spawned thread (the machine churns OS threads per MTI run;
+  // without reuse, slab/chunk allocation would dominate the hot path).
+  void ReturnSlab(ThreadSlab* slab);
+
+ private:
+  ThreadSlab* SlabFor();
+
+  const u64 generation_;  // distinguishes this profiler's TLS slab bindings
+  std::atomic<u64> site_overflow_{0};
+  mutable std::mutex slab_mutex_;
+  std::vector<std::unique_ptr<ThreadSlab>> slabs_;  // owns every slab ever issued
+  std::vector<ThreadSlab*> free_slabs_;  // returned by exited threads
+};
+
+}  // namespace ozz::obs
+
+// Emission guard + counter macro, mirroring OZZ_TRACE_ACTIVE/OZZ_TRACE_EMIT:
+// with -DOZZ_PROF=OFF the guard is the constant false, every hook block is
+// dead code, and all arguments stay syntactically used (-Werror clean).
+#if defined(OZZ_PROF_ENABLED)
+#define OZZ_PROF_ACTIVE() (::ozz::obs::Profiler::Active() != nullptr)
+#else
+#define OZZ_PROF_ACTIVE() (false)
+#endif
+
+#define OZZ_PROF_EMIT(counter, n)                                  \
+  do {                                                             \
+    if (OZZ_PROF_ACTIVE()) {                                       \
+      ::ozz::obs::Profiler::Active()->RecordCounter((counter), (n)); \
+    }                                                              \
+  } while (0)
+
+namespace ozz::obs {
+
+// Scoped phase timer. Construction binds the active profiler (if any), so a
+// scope that outlives a Deactivate() still closes its frame consistently.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase phase) {
+    if (OZZ_PROF_ACTIVE()) {
+      prof_ = Profiler::Active();
+      prof_->EnterPhase(phase);
+    }
+  }
+  ~PhaseTimer() {
+    if (prof_ != nullptr) {
+      prof_->ExitPhase();
+    }
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Profiler* prof_ = nullptr;
+};
+
+// Scoped per-InstrId timer for the instrumented-access callbacks.
+class SiteTimer {
+ public:
+  explicit SiteTimer(InstrId instr) {
+    if (OZZ_PROF_ACTIVE()) {
+      prof_ = Profiler::Active();
+      prof_->EnterSite(instr);
+    }
+  }
+  ~SiteTimer() {
+    if (prof_ != nullptr) {
+      prof_->ExitSite();
+    }
+  }
+
+  SiteTimer(const SiteTimer&) = delete;
+  SiteTimer& operator=(const SiteTimer&) = delete;
+
+ private:
+  Profiler* prof_ = nullptr;
+};
+
+}  // namespace ozz::obs
+
+#endif  // OZZ_SRC_OBS_PROF_H_

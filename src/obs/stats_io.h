@@ -1,0 +1,88 @@
+// Stats snapshots: the line-delimited JSON heartbeat format and its tooling.
+//
+// `ozz_fuzz --stats-interval=N` emits one StatsSnapshot per heartbeat (and a
+// final one at campaign end, SIGINT included) as a single JSON line. A
+// snapshot is self-contained: profiler phases, hot sites resolved to their
+// source location *at write time* (InstrIds are process-local, so a reader
+// in another process could not resolve them), the profiler's path counters,
+// and the campaign's metrics-registry delta. `ozz_stat` parses the stream
+// back, renders per-phase breakdowns and top-N hottest sites, diffs two
+// snapshots, and emits folded stacks for flamegraph.pl / speedscope.
+//
+// Layering: obs only. The resolver indirection is the same InstrResolver the
+// trace container uses (src/obs/trace_io.h).
+#ifndef OZZ_SRC_OBS_STATS_IO_H_
+#define OZZ_SRC_OBS_STATS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/obs/metrics.h"
+#include "src/obs/prof.h"
+#include "src/obs/trace_io.h"
+
+namespace ozz::obs {
+
+// A profiled site with its resolved source location. `file` empty = the id
+// was not in the instruction table when the snapshot was written.
+struct StatsSite {
+  std::string phase;
+  InstrId instr = kInvalidInstr;
+  u64 hits = 0;
+  u64 ticks = 0;
+  std::string file;
+  std::string function;
+  u32 line = 0;
+};
+
+struct StatsSnapshot {
+  std::string kind = "heartbeat";  // "heartbeat" | "final" | "diff"
+  u64 seq = 0;
+  u64 elapsed_us = 0;  // since campaign start
+  u64 ticks_per_sec = 0;
+  std::vector<ProfSnapshot::PhaseStat> phases;
+  std::vector<StatsSite> sites;
+  std::map<std::string, u64> prof_counters;
+  MetricsSnapshot metrics;
+};
+
+// Combines a profiler snapshot and a metrics delta, resolving every site id
+// through `resolver` (may be null: sites stay unresolved, rendered as
+// "instr#N").
+StatsSnapshot BuildStatsSnapshot(const std::string& kind, u64 seq, u64 elapsed_us,
+                                 const ProfSnapshot& prof, const MetricsSnapshot& metrics,
+                                 const InstrResolver& resolver);
+
+// One JSON line, no trailing newline.
+std::string WriteStatsJson(const StatsSnapshot& snapshot);
+
+bool ParseStatsJson(const std::string& line, StatsSnapshot* out,
+                    std::string* error = nullptr);
+
+// Reads a heartbeat stream (one JSON object per line; blank lines skipped).
+// Returns false (with *error) on the first malformed line.
+bool ReadStatsFile(const std::string& path, std::vector<StatsSnapshot>* out,
+                   std::string* error = nullptr);
+
+// end - begin per phase/site/counter/metric (clamped at zero; histogram max
+// kept from `end`, like Metrics::Delta). Sites join on their resolved source
+// location when available — stable across processes — falling back to the
+// raw id. kind becomes "diff".
+StatsSnapshot DiffStats(const StatsSnapshot& begin, const StatsSnapshot& end);
+
+// "file:function:line" when resolved, "instr#N" otherwise.
+std::string DescribeSite(const StatsSite& site);
+
+// Human-readable report: per-phase time breakdown, top-N hottest sites,
+// hint-check path counters, and the campaign metrics.
+std::string RenderStats(const StatsSnapshot& snapshot, std::size_t top_n);
+
+// Folded-stack lines ("frame;frame value"), one per phase (self time) and
+// one per site under its phase — pipe into flamegraph.pl or load in
+// speedscope.
+std::string RenderFolded(const StatsSnapshot& snapshot);
+
+}  // namespace ozz::obs
+
+#endif  // OZZ_SRC_OBS_STATS_IO_H_

@@ -111,9 +111,27 @@ void TraceRecorder::Deactivate() {
     return;
   }
   g_active = nullptr;
-  u64 dropped = total_dropped();
-  if (dropped > 0) {
-    Metrics::Global().GetCounter("obs.trace_drops").Add(dropped);
+  // Ring counters are cumulative across the recorder's lifetime; bridge only
+  // what was not bridged by an earlier Deactivate() so campaign JSON and
+  // heartbeat snapshots see each event exactly once.
+  const u64 pushed = total_pushed();
+  const u64 dropped = total_dropped();
+  const u64 unmapped = unmapped_dropped_.load(std::memory_order_relaxed);
+  const u64 new_pushed = pushed - bridged_pushed_;
+  const u64 new_dropped = dropped - bridged_dropped_;
+  const u64 new_unmapped = unmapped - bridged_unmapped_;
+  bridged_pushed_ = pushed;
+  bridged_dropped_ = dropped;
+  bridged_unmapped_ = unmapped;
+  if (new_pushed > 0) {
+    Metrics::Global().GetCounter("obs.trace_events").Add(new_pushed);
+  }
+  if (new_unmapped > 0) {
+    // The subset of the drops that never even reached a ring.
+    Metrics::Global().GetCounter("obs.trace_unmapped_drops").Add(new_unmapped);
+  }
+  if (new_dropped > 0) {
+    Metrics::Global().GetCounter("obs.trace_drops").Add(new_dropped);
     // One rate-limited line per drop burst, never per-event spam: campaigns
     // deactivate a recorder per MTI, so the limiter is keyed process-wide.
     base::LogLineRateLimited(
@@ -187,6 +205,15 @@ u64 TraceRecorder::total_dropped() const {
   u64 total = unmapped_dropped_.load(std::memory_order_relaxed);
   for (const auto& ring : owned_) {
     total += ring->dropped();
+  }
+  return total;
+}
+
+u64 TraceRecorder::total_pushed() const {
+  std::lock_guard<std::mutex> lock(create_mutex_);
+  u64 total = 0;
+  for (const auto& ring : owned_) {
+    total += ring->pushed();
   }
   return total;
 }

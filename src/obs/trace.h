@@ -144,8 +144,11 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  // Exactly one recorder may be active at a time. Deactivate() routes a
-  // single rate-limited warning through the logger when events were dropped.
+  // Exactly one recorder may be active at a time. Deactivate() bridges the
+  // recorder's push/drop totals into the metrics registry ("obs.trace_events",
+  // "obs.trace_drops", "obs.trace_unmapped_drops") — exactly once per event
+  // even across repeated Activate/Deactivate cycles — and routes a single
+  // rate-limited warning through the logger when events were dropped.
   void Activate();
   void Deactivate();
   static TraceRecorder* Active();
@@ -167,6 +170,7 @@ class TraceRecorder {
   std::vector<ThreadLog> Collect();
 
   u64 total_dropped() const;
+  u64 total_pushed() const;
 
  private:
   // Thread ids map to dense slots: sim threads are small non-negative ids,
@@ -181,6 +185,11 @@ class TraceRecorder {
   std::atomic<u64> seq_{0};
   std::atomic<u64> segment_{0};
   std::atomic<u64> unmapped_dropped_{0};  // events from out-of-range thread ids
+  // High-water marks already bridged into the metrics registry, so repeated
+  // Deactivate() calls add only the delta (ring counters are cumulative).
+  u64 bridged_pushed_ = 0;
+  u64 bridged_dropped_ = 0;
+  u64 bridged_unmapped_ = 0;
   std::array<std::atomic<TraceRing*>, kMaxThreadSlots> rings_{};
   mutable std::mutex create_mutex_;
   std::vector<std::unique_ptr<TraceRing>> owned_;

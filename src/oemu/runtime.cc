@@ -5,6 +5,7 @@
 #include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 #include "src/oemu/instr.h"
 
@@ -219,6 +220,9 @@ void Runtime::NotifyScheduler(InstrId instr, rt::SwitchWhen phase) {
 
 void Runtime::RunCheck(uptr addr, u32 size, AccessType type, InstrId instr, CheckPhase phase) {
   if (access_check_) {
+    // Oracle time nests inside the enclosing site/execute scopes, so the
+    // access checks are not billed to the emulator itself.
+    obs::PhaseTimer oracle_timer(obs::Phase::kOracle);
     access_check_(addr, size, type, instr, phase);
   }
 }
@@ -462,8 +466,12 @@ u64 Runtime::ReadValue(ThreadCtx& ctx, InstrId instr, uptr addr, u32 size, u32 o
 }
 
 u64 Runtime::Load(InstrId instr, uptr addr, u32 size, bool annotated, Dep dep) {
+  obs::SiteTimer site_timer(instr);
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
+  OZZ_PROF_EMIT(ctx.read_old.empty() ? obs::ProfCounter::kLoadHintFast
+                                     : obs::ProfCounter::kLoadHintSlow,
+                1);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kLoad, instr, CheckPhase::kExecute);
@@ -494,8 +502,12 @@ u64 Runtime::Load(InstrId instr, uptr addr, u32 size, bool annotated, Dep dep) {
 }
 
 void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotated, Dep dep) {
+  obs::SiteTimer site_timer(instr);
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
+  OZZ_PROF_EMIT(ctx.delay_store.empty() ? obs::ProfCounter::kStoreHintFast
+                                        : obs::ProfCounter::kStoreHintSlow,
+                1);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
   u32 occ = EnterAccess(ctx, instr);
   RunCheck(addr, size, AccessType::kStore, instr, CheckPhase::kExecute);
@@ -540,6 +552,7 @@ void Runtime::Store(InstrId instr, uptr addr, u32 size, u64 value, bool annotate
 }
 
 u64 Runtime::LoadAcquire(InstrId instr, uptr addr, u32 size) {
+  obs::SiteTimer site_timer(instr);
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
@@ -568,6 +581,7 @@ u64 Runtime::LoadAcquire(InstrId instr, uptr addr, u32 size) {
 }
 
 void Runtime::StoreRelease(InstrId instr, uptr addr, u32 size, u64 value) {
+  obs::SiteTimer site_timer(instr);
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
@@ -589,6 +603,7 @@ void Runtime::StoreRelease(InstrId instr, uptr addr, u32 size, u64 value) {
 
 u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u64, u64),
                  u64 operand) {
+  obs::SiteTimer site_timer(instr);
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);
@@ -649,6 +664,7 @@ u64 Runtime::Rmw(InstrId instr, uptr addr, u32 size, RmwOrder order, u64 (*fn)(u
 }
 
 void Runtime::Barrier(InstrId instr, BarrierType type) {
+  obs::SiteTimer site_timer(instr);
   ThreadId tid = CurrentThreadId();
   ThreadCtx& ctx = Ctx(tid);
   NotifyScheduler(instr, rt::SwitchWhen::kBeforeAccess);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 #include "src/oemu/memory_model.h"
 
 namespace ozz::oemu {
@@ -12,6 +14,15 @@ bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
 }
 
 }  // namespace
+
+void StoreBuffer::Push(const BufferedStore& s) {
+  entries_.push_back(s);
+  if (OZZ_PROF_ACTIVE()) {
+    static obs::Histogram& occupancy =
+        obs::Metrics::Global().GetHistogram("oemu.sb_occupancy", obs::SmallBuckets());
+    occupancy.Record(entries_.size());
+  }
+}
 
 bool StoreBuffer::Overlaps(uptr addr, u32 size) const {
   for (const BufferedStore& s : entries_) {

@@ -38,7 +38,9 @@ class StoreBuffer {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
-  void Push(const BufferedStore& s) { entries_.push_back(s); }
+  // Out-of-line: records the post-push occupancy in the "oemu.sb_occupancy"
+  // histogram when the profiler is active.
+  void Push(const BufferedStore& s);
 
   // True if any pending entry overlaps [addr, addr+size).
   bool Overlaps(uptr addr, u32 size) const;

@@ -1,6 +1,7 @@
 #include "src/oemu/store_history.h"
 
 #include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 
 namespace ozz::oemu {
 namespace {
@@ -10,6 +11,15 @@ bool RangesOverlap(uptr a, u32 asz, uptr b, u32 bsz) {
 }
 
 }  // namespace
+
+void StoreHistory::Append(const HistoryEntry& e) {
+  entries_.push_back(e);
+  if (OZZ_PROF_ACTIVE()) {
+    static obs::Histogram& history_size =
+        obs::Metrics::Global().GetHistogram("oemu.history_size", obs::TickBuckets());
+    history_size.Record(entries_.size());
+  }
+}
 
 bool StoreHistory::ValueAsOf(uptr addr, u32 size, u64 as_of, u8* bytes) const {
   u8 current[8];

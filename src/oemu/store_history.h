@@ -27,7 +27,9 @@ struct HistoryEntry {
 
 class StoreHistory {
  public:
-  void Append(const HistoryEntry& e) { entries_.push_back(e); }
+  // Out-of-line: records the post-append size in the "oemu.history_size"
+  // histogram when the profiler is active.
+  void Append(const HistoryEntry& e);
 
   // Rewrites `bytes` (pre-filled with the *current* memory contents of
   // [addr, addr+size)) to the value the range held at time `as_of`.

@@ -1,0 +1,652 @@
+// Tests for the performance-observability layer (src/obs/prof.h,
+// src/obs/stats_io.h): scoped-timer nesting and self-time arithmetic under a
+// deterministic injected clock, per-thread slab merging (including reuse
+// across exited threads — the machine churns OS threads per MTI run), the
+// stats-snapshot JSON round-trip, golden ozz_stat renderings, diffing, the
+// trace-ring -> metrics bridge, and SIGINT-style campaign interruption.
+//
+// The Profiler class itself is compiled in every configuration; only the
+// emission macros and RAII timers compile out under -DOZZ_PROF=OFF. The
+// direct-API tests therefore run in both modes, and the macro tests assert
+// the mode-appropriate behavior.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/prof.h"
+#include "src/obs/stats_io.h"
+#include "src/obs/trace.h"
+
+namespace ozz::obs {
+namespace {
+
+// Deterministic manually-advanced clock. Tests drive it from one thread at a
+// time; the profiler reads it through a plain function pointer.
+u64 g_fake_now = 0;
+u64 FakeClock() { return g_fake_now; }
+
+class ProfClockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake_now = 0;
+    Profiler::SetClockForTesting(&FakeClock);
+  }
+  void TearDown() override { Profiler::SetClockForTesting(nullptr); }
+};
+
+const ProfSnapshot::PhaseStat* FindPhase(const ProfSnapshot& snap, const char* name) {
+  for (const ProfSnapshot::PhaseStat& p : snap.phases) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+const ProfSnapshot::SiteStat* FindSite(const ProfSnapshot& snap, InstrId instr,
+                                       const char* phase) {
+  for (const ProfSnapshot::SiteStat& s : snap.sites) {
+    if (s.instr == instr && s.phase == phase) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+// ---- Profiler scope arithmetic (deterministic clock) ----
+
+TEST_F(ProfClockTest, PhaseSelfExcludesNestedPhase) {
+  Profiler prof;
+  prof.Activate();
+  prof.EnterPhase(Phase::kExecute);  // t=0
+  g_fake_now = 10;
+  prof.EnterPhase(Phase::kOracle);  // t=10
+  g_fake_now = 15;
+  prof.ExitPhase();  // oracle: dur 5
+  g_fake_now = 25;
+  prof.ExitPhase();  // execute: dur 25, self 20
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  EXPECT_EQ(snap.ticks_per_sec, 1'000'000'000u) << "test clock fixes the scale";
+  const ProfSnapshot::PhaseStat* execute = FindPhase(snap, "execute");
+  ASSERT_NE(execute, nullptr);
+  EXPECT_EQ(execute->count, 1u);
+  EXPECT_EQ(execute->total_ticks, 25u);
+  EXPECT_EQ(execute->self_ticks, 20u);
+  const ProfSnapshot::PhaseStat* oracle = FindPhase(snap, "oracle");
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_EQ(oracle->total_ticks, 5u);
+  EXPECT_EQ(oracle->self_ticks, 5u);
+}
+
+TEST_F(ProfClockTest, SiteTicksAreExclusiveAndPhaseAttributed) {
+  Profiler prof;
+  prof.Activate();
+  prof.EnterPhase(Phase::kExecute);  // t=0
+  prof.EnterSite(7);                 // t=0
+  g_fake_now = 8;
+  prof.EnterPhase(Phase::kOracle);  // nested check inside the access
+  g_fake_now = 11;
+  prof.ExitPhase();  // oracle dur 3
+  g_fake_now = 13;
+  prof.ExitSite();  // site dur 13, self 10
+  g_fake_now = 20;
+  prof.ExitPhase();  // execute dur 20, self 20 - 13 = 7
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  const ProfSnapshot::SiteStat* site = FindSite(snap, 7, "execute");
+  ASSERT_NE(site, nullptr) << "site attributed to the innermost enclosing phase";
+  EXPECT_EQ(site->hits, 1u);
+  EXPECT_EQ(site->ticks, 10u) << "exclusive: the nested oracle check subtracted";
+  const ProfSnapshot::PhaseStat* execute = FindPhase(snap, "execute");
+  ASSERT_NE(execute, nullptr);
+  EXPECT_EQ(execute->self_ticks, 7u) << "the whole site scope subtracted from the phase";
+  const ProfSnapshot::PhaseStat* oracle = FindPhase(snap, "oracle");
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_EQ(oracle->total_ticks, 3u);
+}
+
+TEST_F(ProfClockTest, SiteOutsideAnyPhaseLandsInNoneRow) {
+  Profiler prof;
+  prof.Activate();
+  prof.EnterSite(3);
+  g_fake_now = 4;
+  prof.ExitSite();
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  const ProfSnapshot::SiteStat* site = FindSite(snap, 3, "none");
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->ticks, 4u);
+  EXPECT_TRUE(snap.phases.empty());
+}
+
+TEST_F(ProfClockTest, SiteIdBeyondChunkRangeCountsAsOverflow) {
+  Profiler prof;
+  prof.Activate();
+  prof.EnterSite(70'000);  // past kMaxChunks * kChunkSize = 65536
+  g_fake_now = 2;
+  prof.ExitSite();
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  EXPECT_TRUE(snap.sites.empty());
+  EXPECT_EQ(snap.counters.at("site_overflow_dropped"), 1u);
+}
+
+TEST_F(ProfClockTest, CountersAccumulate) {
+  Profiler prof;
+  prof.Activate();
+  prof.RecordCounter(ProfCounter::kLoadHintFast, 2);
+  prof.RecordCounter(ProfCounter::kLoadHintFast);
+  prof.RecordCounter(ProfCounter::kStoreHintSlow, 5);
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  EXPECT_EQ(snap.counters.at("load_hint_fast"), 3u);
+  EXPECT_EQ(snap.counters.at("store_hint_slow"), 5u);
+  EXPECT_EQ(snap.counters.count("load_hint_slow"), 0u) << "zero counters omitted";
+}
+
+TEST_F(ProfClockTest, UnbalancedExitIsDroppedNotFatal) {
+  Profiler prof;
+  prof.Activate();
+  prof.ExitPhase();  // nothing open: dropped
+  prof.ExitSite();
+  prof.Deactivate();
+  EXPECT_TRUE(prof.Snapshot().empty());
+}
+
+// Each OS thread accumulates into its own slab; the snapshot is the
+// deterministic merge. The fake clock never advances here, so ticks are zero
+// and only the (exact) hit counts matter.
+TEST_F(ProfClockTest, MultiThreadMergeIsDeterministic) {
+  Profiler prof;
+  prof.Activate();
+  auto worker = [&prof](InstrId instr, int hits) {
+    for (int i = 0; i < hits; ++i) {
+      prof.EnterSite(instr);
+      prof.ExitSite();
+    }
+  };
+  std::thread a(worker, 11, 3);
+  std::thread b(worker, 5, 2);
+  a.join();
+  b.join();
+  worker(11, 1);  // main thread contributes to the same site as thread a
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  ASSERT_EQ(snap.sites.size(), 2u);
+  EXPECT_EQ(snap.sites[0].instr, 5u) << "merge ordered by (phase row, instr)";
+  EXPECT_EQ(snap.sites[0].hits, 2u);
+  EXPECT_EQ(snap.sites[1].instr, 11u);
+  EXPECT_EQ(snap.sites[1].hits, 4u);
+}
+
+// The machine spawns fresh OS threads per MTI run; exited threads hand their
+// slab back for reuse. Counts survive the handoff and keep accumulating.
+TEST_F(ProfClockTest, SlabsAreReusedAcrossSequentialThreads) {
+  Profiler prof;
+  prof.Activate();
+  for (int round = 0; round < 8; ++round) {
+    std::thread t([&prof] {
+      prof.EnterSite(42);
+      prof.ExitSite();
+    });
+    t.join();
+  }
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  ASSERT_EQ(snap.sites.size(), 1u);
+  EXPECT_EQ(snap.sites[0].hits, 8u);
+}
+
+TEST_F(ProfClockTest, SnapshotIsSafeWhileProducersRun) {
+  Profiler prof;
+  prof.Activate();
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      prof.EnterSite(9);
+      prof.ExitSite();
+    }
+  });
+  u64 last = 0;
+  int observed = 0;
+  while (observed < 50) {  // keep reading until 50 mid-flight views landed
+    ProfSnapshot snap = prof.Snapshot();  // concurrent heartbeat reader
+    if (!snap.sites.empty()) {
+      EXPECT_GE(snap.sites[0].hits, last) << "hit counts are monotone";
+      last = snap.sites[0].hits;
+      ++observed;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+  prof.Deactivate();
+  ProfSnapshot fin = prof.Snapshot();
+  ASSERT_FALSE(fin.sites.empty());
+  EXPECT_GE(fin.sites[0].hits, last);
+}
+
+// ---- Emission macros and RAII timers (mode-dependent) ----
+
+TEST_F(ProfClockTest, MacroInactiveWithoutAProfiler) {
+  EXPECT_FALSE(OZZ_PROF_ACTIVE());
+  OZZ_PROF_EMIT(ProfCounter::kLoadHintFast, 1);  // must be a safe no-op
+  PhaseTimer phase(Phase::kExecute);
+  SiteTimer site(1);
+}
+
+#if defined(OZZ_PROF_ENABLED)
+TEST_F(ProfClockTest, RaiiTimersRecordThroughTheActiveProfiler) {
+  Profiler prof;
+  prof.Activate();
+  {
+    PhaseTimer phase(Phase::kExecute);
+    g_fake_now = 6;
+    SiteTimer site(4);
+    g_fake_now = 9;
+  }
+  OZZ_PROF_EMIT(ProfCounter::kStoreHintFast, 2);
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  const ProfSnapshot::SiteStat* site = FindSite(snap, 4, "execute");
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->ticks, 3u);
+  EXPECT_EQ(FindPhase(snap, "execute")->total_ticks, 9u);
+  EXPECT_EQ(snap.counters.at("store_hint_fast"), 2u);
+}
+#else
+TEST_F(ProfClockTest, CompiledOutMacrosAreInertEvenWithAnActiveProfiler) {
+  Profiler prof;
+  prof.Activate();
+  {
+    PhaseTimer phase(Phase::kExecute);
+    g_fake_now = 6;
+    SiteTimer site(4);
+    OZZ_PROF_EMIT(ProfCounter::kStoreHintFast, 2);
+  }
+  prof.Deactivate();
+  EXPECT_FALSE(OZZ_PROF_ACTIVE()) << "guard is constant false under -DOZZ_PROF=OFF";
+  EXPECT_TRUE(prof.Snapshot().empty());
+}
+#endif
+
+// ---- Stats snapshots: build, serialize, parse, diff, render ----
+
+ProfSnapshot MakeProfSnapshot() {
+  ProfSnapshot prof;
+  prof.ticks_per_sec = 1'000'000'000;
+  prof.phases.push_back({"execute", 4, 2'000'000, 1'500'000});
+  prof.phases.push_back({"oracle", 40, 500'000, 500'000});
+  ProfSnapshot::SiteStat s1;
+  s1.phase = "execute";
+  s1.instr = 12;
+  s1.hits = 30;
+  s1.ticks = 900'000;
+  ProfSnapshot::SiteStat s2;
+  s2.phase = "execute";
+  s2.instr = 999;  // unresolvable
+  s2.hits = 5;
+  s2.ticks = 100'000;
+  prof.sites = {s1, s2};
+  prof.counters["load_hint_fast"] = 100;
+  prof.counters["load_hint_slow"] = 7;
+  return prof;
+}
+
+InstrResolver TestResolver() {
+  return [](InstrId id, InstrTableEntry* out) {
+    if (id != 12) {
+      return false;
+    }
+    out->id = id;
+    out->file = "src/osk/subsys/watch_queue.cc";
+    out->function = "post_one";
+    out->line = 41;
+    return true;
+  };
+}
+
+TEST(StatsIoTest, BuildResolvesSitesThroughTheResolver) {
+  StatsSnapshot snap = BuildStatsSnapshot("heartbeat", 3, 1'500'000, MakeProfSnapshot(),
+                                          MetricsSnapshot{}, TestResolver());
+  EXPECT_EQ(snap.kind, "heartbeat");
+  EXPECT_EQ(snap.seq, 3u);
+  EXPECT_EQ(snap.elapsed_us, 1'500'000u);
+  ASSERT_EQ(snap.sites.size(), 2u);
+  EXPECT_EQ(snap.sites[0].file, "src/osk/subsys/watch_queue.cc");
+  EXPECT_EQ(snap.sites[0].function, "post_one");
+  EXPECT_EQ(snap.sites[0].line, 41u);
+  EXPECT_EQ(DescribeSite(snap.sites[0]), "src/osk/subsys/watch_queue.cc:post_one:41");
+  EXPECT_TRUE(snap.sites[1].file.empty()) << "unknown ids stay unresolved";
+  EXPECT_EQ(DescribeSite(snap.sites[1]), "instr#999");
+}
+
+TEST(StatsIoTest, JsonRoundTripPreservesEverything) {
+  MetricsSnapshot metrics;
+  metrics.counters["fuzz.mti_runs"] = 123;
+  MetricsSnapshot::Hist hist;
+  hist.bounds = {1, 8};
+  hist.counts = {2, 1, 0};
+  hist.count = 3;
+  hist.sum = 11;
+  hist.max = 8;
+  metrics.histograms["oemu.sb_occupancy"] = hist;
+
+  StatsSnapshot snap =
+      BuildStatsSnapshot("final", 9, 2'000'000, MakeProfSnapshot(), metrics, TestResolver());
+  const std::string line = WriteStatsJson(snap);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "one line per snapshot";
+
+  StatsSnapshot back;
+  std::string error;
+  ASSERT_TRUE(ParseStatsJson(line, &back, &error)) << error;
+  EXPECT_EQ(back.kind, "final");
+  EXPECT_EQ(back.seq, 9u);
+  EXPECT_EQ(back.elapsed_us, 2'000'000u);
+  EXPECT_EQ(back.ticks_per_sec, 1'000'000'000u);
+  ASSERT_EQ(back.phases.size(), 2u);
+  EXPECT_EQ(back.phases[0].name, "execute");
+  EXPECT_EQ(back.phases[0].self_ticks, 1'500'000u);
+  ASSERT_EQ(back.sites.size(), 2u);
+  EXPECT_EQ(back.sites[0].function, "post_one");
+  EXPECT_EQ(back.sites[1].instr, 999u);
+  EXPECT_EQ(back.prof_counters.at("load_hint_slow"), 7u);
+  EXPECT_EQ(back.metrics.counters.at("fuzz.mti_runs"), 123u);
+  const MetricsSnapshot::Hist& h = back.metrics.histograms.at("oemu.sb_occupancy");
+  EXPECT_EQ(h.bounds, (std::vector<u64>{1, 8}));
+  EXPECT_EQ(h.counts, (std::vector<u64>{2, 1, 0}));
+  EXPECT_EQ(h.sum, 11u);
+  EXPECT_EQ(h.max, 8u);
+
+  // The emitted line is stable under re-serialization.
+  EXPECT_EQ(WriteStatsJson(back), line);
+}
+
+TEST(StatsIoTest, ParseRejectsGarbage) {
+  StatsSnapshot out;
+  std::string error;
+  EXPECT_FALSE(ParseStatsJson("not json", &out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseStatsJson("{\"kind\":\"heartbeat\",", &out, &error));
+}
+
+TEST(StatsIoTest, ReadStatsFileSkipsBlankLinesAndErrorsOnMalformed) {
+  const std::string path = ::testing::TempDir() + "/prof_stats.ndjson";
+  StatsSnapshot a = BuildStatsSnapshot("heartbeat", 1, 10, MakeProfSnapshot(),
+                                       MetricsSnapshot{}, nullptr);
+  StatsSnapshot b = BuildStatsSnapshot("final", 2, 20, MakeProfSnapshot(),
+                                       MetricsSnapshot{}, nullptr);
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << WriteStatsJson(a) << "\n\n" << WriteStatsJson(b) << "\n";
+  }
+  std::vector<StatsSnapshot> all;
+  std::string error;
+  ASSERT_TRUE(ReadStatsFile(path, &all, &error)) << error;
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].seq, 1u);
+  EXPECT_EQ(all[1].kind, "final");
+
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "garbage\n";
+  }
+  all.clear();
+  EXPECT_FALSE(ReadStatsFile(path, &all, &error));
+  EXPECT_NE(error.find(":4: "), std::string::npos) << "path:line prefix — got: " << error;
+}
+
+TEST(StatsIoTest, DiffSubtractsAndJoinsSitesOnSourceLocation) {
+  MetricsSnapshot m1;
+  m1.counters["fuzz.mti_runs"] = 100;
+  MetricsSnapshot m2;
+  m2.counters["fuzz.mti_runs"] = 175;
+
+  ProfSnapshot p1 = MakeProfSnapshot();
+  ProfSnapshot p2 = MakeProfSnapshot();
+  p2.phases[0].count = 10;
+  p2.phases[0].total_ticks = 5'000'000;
+  p2.phases[0].self_ticks = 4'000'000;
+  p2.sites[0].hits = 90;
+  p2.sites[0].ticks = 2'900'000;
+  p2.counters["load_hint_fast"] = 260;
+
+  StatsSnapshot begin = BuildStatsSnapshot("heartbeat", 4, 1'000'000, p1, m1, TestResolver());
+  StatsSnapshot end = BuildStatsSnapshot("final", 9, 3'000'000, p2, m2, TestResolver());
+  StatsSnapshot diff = DiffStats(begin, end);
+
+  EXPECT_EQ(diff.kind, "diff");
+  EXPECT_EQ(diff.seq, 9u);
+  EXPECT_EQ(diff.elapsed_us, 2'000'000u);
+  const ProfSnapshot::PhaseStat* execute = [&]() -> const ProfSnapshot::PhaseStat* {
+    for (const auto& p : diff.phases) {
+      if (p.name == "execute") {
+        return &p;
+      }
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(execute, nullptr);
+  EXPECT_EQ(execute->count, 6u);
+  EXPECT_EQ(execute->self_ticks, 2'500'000u);
+  bool found = false;
+  for (const StatsSite& s : diff.sites) {
+    if (s.function == "post_one") {
+      EXPECT_EQ(s.hits, 60u);
+      EXPECT_EQ(s.ticks, 2'000'000u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(diff.prof_counters.at("load_hint_fast"), 160u);
+  EXPECT_EQ(diff.metrics.counters.at("fuzz.mti_runs"), 75u);
+  // The unchanged oracle phase still has its scope count: present in the
+  // diff with zeroed tick deltas is acceptable only when count moved; here
+  // count did not move either, so it is dropped.
+  for (const auto& p : diff.phases) {
+    EXPECT_NE(p.name, "oracle");
+  }
+}
+
+// Golden rendering: ozz_stat's human-readable report. The layout is part of
+// the tool's contract (ci/check_stats.sh greps it); update deliberately.
+TEST(StatsIoTest, GoldenRenderStats) {
+  MetricsSnapshot metrics;
+  metrics.counters["fuzz.mti_runs"] = 42;
+  MetricsSnapshot::Hist hist;
+  hist.bounds = {1, 8};
+  hist.counts = {2, 1, 0};
+  hist.count = 3;
+  hist.sum = 11;
+  hist.max = 8;
+  metrics.histograms["oemu.sb_occupancy"] = hist;
+  StatsSnapshot snap =
+      BuildStatsSnapshot("final", 2, 2'500'000, MakeProfSnapshot(), metrics, TestResolver());
+
+  const std::string expected =
+      "stats: kind=final seq=2 elapsed=2.500s\n"
+      "phases:\n"
+      "  phase               count     total ms      self ms   self%\n"
+      "  execute                 4        2.000        1.500   75.0%\n"
+      "  oracle                 40        0.500        0.500   25.0%\n"
+      "top 2 hottest sites:\n"
+      "       self ms       hits  site\n"
+      "         0.900         30  src/osk/subsys/watch_queue.cc:post_one:41 [execute]\n"
+      "         0.100          5  instr#999 [execute]\n"
+      "hint-check paths: loads 100 fast / 7 slow, stores 0 fast / 0 slow\n"
+      "counters:\n"
+      "  fuzz.mti_runs = 42\n"
+      "histograms:\n"
+      "  oemu.sb_occupancy: count=3 sum=11 max=8\n";
+  EXPECT_EQ(RenderStats(snap, 2), expected);
+}
+
+TEST(StatsIoTest, GoldenRenderFolded) {
+  StatsSnapshot snap = BuildStatsSnapshot("final", 1, 1'000'000, MakeProfSnapshot(),
+                                          MetricsSnapshot{}, TestResolver());
+  const std::string expected =
+      "execute 1500000\n"
+      "execute;oracle 500000\n"
+      "execute;src/osk/subsys/watch_queue.cc:post_one:41 900000\n"
+      "execute;instr#999 100000\n";
+  EXPECT_EQ(RenderFolded(snap), expected);
+}
+
+TEST(StatsIoTest, RenderTopNTruncates) {
+  StatsSnapshot snap = BuildStatsSnapshot("final", 1, 0, MakeProfSnapshot(),
+                                          MetricsSnapshot{}, TestResolver());
+  const std::string out = RenderStats(snap, 1);
+  EXPECT_NE(out.find("top 1 hottest sites:"), std::string::npos);
+  EXPECT_NE(out.find("post_one"), std::string::npos);
+  EXPECT_EQ(out.find("instr#999"), std::string::npos) << "beyond top-N";
+}
+
+// ---- Trace-ring -> metrics bridge ----
+
+u64 CounterDelta(const MetricsSnapshot& begin, const MetricsSnapshot& end,
+                 const std::string& name) {
+  return Metrics::Delta(begin, end).counters.count(name) != 0
+             ? Metrics::Delta(begin, end).counters.at(name)
+             : 0;
+}
+
+TEST(TraceBridgeTest, DeactivateBridgesPushAndDropTotalsExactlyOnce) {
+  MetricsSnapshot begin = Metrics::Global().Snapshot();
+  TraceRecorder::Options opts;
+  opts.ring_capacity = 8;  // the ring floor; anything smaller rounds up
+  TraceRecorder recorder(opts);
+  recorder.Activate();
+  for (u64 i = 0; i < 10; ++i) {  // 8 land, 2 drop
+    recorder.Emit(EvType::kSegmentSwitch, 0, i, kInvalidInstr, 0, 0);
+  }
+  recorder.Emit(EvType::kSegmentSwitch, ThreadId{999}, 0, kInvalidInstr, 0, 0);
+  recorder.Deactivate();
+  recorder.Deactivate();  // idempotent: nothing double-bridged
+
+  MetricsSnapshot end = Metrics::Global().Snapshot();
+  EXPECT_EQ(CounterDelta(begin, end, "obs.trace_events"), 8u);
+  // total drops include the unmapped one (it never reached a ring).
+  EXPECT_EQ(CounterDelta(begin, end, "obs.trace_drops"), 3u);
+  EXPECT_EQ(CounterDelta(begin, end, "obs.trace_unmapped_drops"), 1u);
+
+  // A second activate/emit/deactivate cycle bridges only the new events.
+  recorder.Activate();
+  recorder.Emit(EvType::kSegmentSwitch, 1, 0, kInvalidInstr, 0, 0);
+  recorder.Deactivate();
+  MetricsSnapshot after = Metrics::Global().Snapshot();
+  EXPECT_EQ(CounterDelta(end, after, "obs.trace_events"), 1u);
+  EXPECT_EQ(CounterDelta(end, after, "obs.trace_drops"), 0u);
+}
+
+TEST(TraceBridgeTest, ConcurrentWritersBridgeTheExactTotal) {
+  MetricsSnapshot begin = Metrics::Global().Snapshot();
+  TraceRecorder recorder;  // default capacity: nothing drops
+  recorder.Activate();
+  constexpr int kThreads = 4;
+  constexpr u64 kPerThread = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (u64 i = 0; i < kPerThread; ++i) {
+        recorder.Emit(EvType::kSegmentSwitch, static_cast<ThreadId>(t), i, kInvalidInstr,
+                      0, 0);
+      }
+    });
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  EXPECT_EQ(recorder.total_pushed(), kThreads * kPerThread);
+  recorder.Deactivate();
+  MetricsSnapshot end = Metrics::Global().Snapshot();
+  EXPECT_EQ(CounterDelta(begin, end, "obs.trace_events"), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace ozz::obs
+
+// ---- Campaign interruption (the SIGINT path minus the signal) ----
+
+namespace ozz::fuzz {
+namespace {
+
+TEST(InterruptTest, PreSetStopFlagInterruptsAndStillFinalizes) {
+  std::atomic<bool> stop{true};  // "SIGINT before the first program"
+  FuzzerOptions options;
+  options.seed = 5;
+  options.max_mti_runs = 1000;
+  options.stop_flag = &stop;
+  Fuzzer fuzzer(options);
+  CampaignResult result = fuzzer.Run();
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.mti_runs, 0u) << "stopped before any MTI executed";
+  EXPECT_FALSE(result.metrics_json.empty()) << "finalization still ran";
+  const std::string json = CampaignToJson(result);
+  EXPECT_NE(json.find("\"interrupted\":true"), std::string::npos) << json;
+}
+
+TEST(InterruptTest, UninterruptedCampaignReportsFalse) {
+  std::atomic<bool> stop{false};
+  FuzzerOptions options;
+  options.seed = 5;
+  options.max_mti_runs = 10;
+  options.stop_flag = &stop;
+  Fuzzer fuzzer(options);
+  CampaignResult result = fuzzer.Run();
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_NE(CampaignToJson(result).find("\"interrupted\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ozz::fuzz
+
+// ---- Runtime hook counters (needs the compiled-in hooks) ----
+
+#if defined(OZZ_PROF_ENABLED)
+
+#include "src/oemu/cell.h"
+#include "src/oemu/runtime.h"
+
+namespace ozz::obs {
+namespace {
+
+TEST(RuntimeProfHooksTest, LoadsAndStoresFeedFastPathCountersAndSites) {
+  Profiler prof;
+  prof.Activate();
+  {
+    oemu::Runtime runtime;
+    runtime.Activate(nullptr);
+    oemu::Cell<u64> x{0};
+    const InstrId store_instr = OZZ_OEMU_SITE(oemu::InstrKind::kStore, "x");
+    oemu::StoreCell(store_instr, x, 7);
+    const InstrId load_instr = OZZ_OEMU_SITE(oemu::InstrKind::kLoad, "x");
+    EXPECT_EQ(oemu::LoadCell(load_instr, x), 7u);
+    runtime.Deactivate();
+  }
+  prof.Deactivate();
+
+  ProfSnapshot snap = prof.Snapshot();
+  EXPECT_GE(snap.counters.at("load_hint_fast"), 1u) << "no hint armed: fast path";
+  EXPECT_GE(snap.counters.at("store_hint_fast"), 1u);
+  EXPECT_EQ(snap.counters.count("load_hint_slow"), 0u);
+  EXPECT_FALSE(snap.sites.empty()) << "the access callbacks record site timings";
+}
+
+}  // namespace
+}  // namespace ozz::obs
+
+#endif  // OZZ_PROF_ENABLED

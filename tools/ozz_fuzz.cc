@@ -8,21 +8,58 @@
 // Runs an OZZ campaign over the simulated kernel and prints every unique bug
 // report; with --save-dir, each crash is also written as a replayable spec
 // (see ozz_repro).
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/analysis/srcmodel/audit.h"
 #include "src/base/log.h"
 #include "src/fuzz/fuzzer.h"
 #include "src/fuzz/replay.h"
 #include "src/fuzz/static_guide.h"
+#include "src/obs/prof.h"
+#include "src/obs/stats_io.h"
+#include "src/oemu/instr.h"
 
 using namespace ozz;
 
 namespace {
+
+// Cooperative SIGINT: the campaign loop polls this through
+// FuzzerOptions::stop_flag and exits through its normal finalization path,
+// so --metrics-out / --trace-out / the final stats snapshot are all still
+// written. A second ^C force-quits.
+std::atomic<bool> g_stop{false};
+
+void OnSigint(int) {
+  if (g_stop.exchange(true)) {
+    std::_Exit(130);
+  }
+}
+
+// Resolves ids through the process's InstrRegistry (same contract as the
+// trace writer in src/fuzz/executor.cc).
+bool ResolveInstr(InstrId id, obs::InstrTableEntry* out) {
+  if (id == kInvalidInstr || id > oemu::InstrRegistry::Count()) {
+    return false;
+  }
+  const oemu::InstrInfo& info = oemu::InstrRegistry::Info(id);
+  out->line = info.line;
+  out->kind = static_cast<u8>(info.kind);
+  out->file = info.file;
+  out->function = info.function;
+  out->expr = info.expr;
+  return true;
+}
 
 void Usage() {
   std::printf(
@@ -48,6 +85,11 @@ void Usage() {
       "  --save-dir DIR      write replayable crash specs into DIR\n"
       "  --trace-out DIR     write a reorder trace per MTI into DIR (see ozz_trace)\n"
       "  --metrics-out FILE  write the campaign's metrics delta (JSON) to FILE\n"
+      "  --stats-interval S  emit a live JSON stats snapshot every S seconds\n"
+      "                      (fractional ok; render/diff the stream with ozz_stat)\n"
+      "  --stats-out FILE    write the stats snapshots to FILE instead of stdout\n"
+      "  --prof              activate the hot-path profiler without heartbeats\n"
+      "                      (implied by --stats-interval / --stats-out)\n"
       "  --list-syscalls     print the syscall table and exit\n"
       "  -v                  verbose logging\n",
       oemu::MemoryModel::NamesForHelp().c_str());
@@ -62,6 +104,9 @@ int main(int argc, char** argv) {
   options.model = &oemu::MemoryModel::Default();  // honors $OZZ_DEFAULT_MODEL
   std::string save_dir;
   std::string metrics_out;
+  std::string stats_out;
+  double stats_interval = 0.0;
+  bool prof = false;
   std::string seed_prog;
   std::string guide_src = "src/osk";
   bool static_guide = false;
@@ -118,6 +163,12 @@ int main(int argc, char** argv) {
       options.trace_dir = next();
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--stats-interval") {
+      stats_interval = std::strtod(next(), nullptr);
+    } else if (arg == "--stats-out") {
+      stats_out = next();
+    } else if (arg == "--prof") {
+      prof = true;
     } else if (arg == "--list-syscalls") {
       list_syscalls = true;
     } else if (arg == "--json") {
@@ -162,6 +213,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Wire cooperative cancellation before the Fuzzer copies its options: a
+  // plain ^C then flushes every requested output through the normal
+  // finalization path.
+  options.stop_flag = &g_stop;
+  std::signal(SIGINT, OnSigint);
+
   fuzz::Fuzzer fuzzer(options);
 
   if (list_syscalls) {
@@ -178,9 +235,75 @@ int main(int argc, char** argv) {
                 options.reordering ? "on" : "OFF", options.model->name());
   }
 
+  const bool stats = prof || stats_interval > 0.0 || !stats_out.empty();
+  obs::Profiler profiler;
+  if (stats) {
+    profiler.Activate();
+  }
+  std::ofstream stats_file;
+  if (stats && !stats_out.empty()) {
+    stats_file.open(stats_out);
+    if (!stats_file) {
+      std::fprintf(stderr, "ozz_fuzz: cannot write --stats-out file '%s'\n",
+                   stats_out.c_str());
+      return 2;
+    }
+  }
+  const obs::MetricsSnapshot metrics_begin = obs::Metrics::Global().Snapshot();
+  const auto campaign_start = std::chrono::steady_clock::now();
+  std::mutex stats_mutex;  // serializes heartbeat vs final emission
+  u64 stats_seq = 0;
+  auto emit_snapshot = [&](const std::string& kind) {
+    const u64 elapsed_us = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - campaign_start)
+            .count());
+    const obs::StatsSnapshot snap = obs::BuildStatsSnapshot(
+        kind, ++stats_seq, elapsed_us, profiler.Snapshot(),
+        obs::Metrics::Delta(metrics_begin, obs::Metrics::Global().Snapshot()),
+        ResolveInstr);
+    const std::string line = obs::WriteStatsJson(snap);
+    if (stats_file.is_open()) {
+      stats_file << line << "\n" << std::flush;
+    } else {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    }
+  };
+
+  std::condition_variable heartbeat_cv;
+  bool campaign_done = false;
+  std::thread heartbeat;
+  if (stats && stats_interval > 0.0) {
+    heartbeat = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stats_mutex);
+      while (!heartbeat_cv.wait_for(lock, std::chrono::duration<double>(stats_interval),
+                                    [&] { return campaign_done; })) {
+        emit_snapshot("heartbeat");
+      }
+    });
+  }
+
   fuzz::CampaignResult result =
       seed_prog.empty() ? fuzzer.Run()
                         : fuzzer.RunProg(fuzz::SeedProgramFor(fuzzer.table(), seed_prog));
+
+  if (heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      campaign_done = true;
+    }
+    heartbeat_cv.notify_all();
+    heartbeat.join();
+  }
+  if (stats) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    emit_snapshot("final");
+    profiler.Deactivate();
+  }
+  if (result.interrupted && !json) {
+    std::printf("ozz_fuzz: interrupted (SIGINT) — partial campaign results follow\n");
+  }
 
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/obs/triage.h"
 
 using namespace ozz;
@@ -33,6 +34,7 @@ void Usage() {
       "                      requires exactly one input trace\n"
       "  --model NAME        only triage traces recorded under this memory model\n"
       "                      (version-1 traces predate the field and match 'lkmm')\n"
+      "  --stats             per-ring event-count/drop summary (no triage/export)\n"
       "  --json              machine-readable triage output\n");
 }
 
@@ -54,12 +56,15 @@ int main(int argc, char** argv) {
   std::string perfetto_out;
   std::string model_filter;
   bool timeline = false;
+  bool stats = false;
   bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--perfetto" && i + 1 < argc) {
       perfetto_out = argv[++i];
     } else if (arg == "--model" && i + 1 < argc) {
@@ -108,6 +113,9 @@ int main(int argc, char** argv) {
 
   std::map<obs::Verdict, u64> verdict_counts;
   bool first_json = true;
+  if (stats) {
+    json = false;  // --stats is a plain-text summary
+  }
   if (json) {
     std::printf("[");
   }
@@ -122,6 +130,31 @@ int main(int argc, char** argv) {
     // necessarily recorded under lkmm, the only backend that existed.
     const std::string trace_model = file.meta.model.empty() ? "lkmm" : file.meta.model;
     if (!model_filter.empty() && trace_model != model_filter) {
+      continue;
+    }
+
+    if (stats) {
+      // Quick ring accounting — no triage, no export.
+      u64 file_events = 0;
+      std::map<u16, u64> type_counts;
+      for (const obs::TraceThread& t : file.threads) {
+        file_events += t.events.size();
+        for (const obs::TraceEvent& e : t.events) {
+          ++type_counts[e.type];
+        }
+      }
+      std::printf("%s [%s] %zu thread(s), %llu event(s), %llu dropped\n", path.c_str(),
+                  trace_model.c_str(), file.threads.size(),
+                  static_cast<unsigned long long>(file_events),
+                  static_cast<unsigned long long>(file.total_dropped()));
+      for (const obs::TraceThread& t : file.threads) {
+        std::printf("  thread %-3d %8zu event(s) %8llu dropped\n", t.thread,
+                    t.events.size(), static_cast<unsigned long long>(t.dropped));
+      }
+      for (const auto& [type, count] : type_counts) {
+        std::printf("  %-20s %llu\n", obs::EvTypeName(static_cast<obs::EvType>(type)),
+                    static_cast<unsigned long long>(count));
+      }
       continue;
     }
 
@@ -166,7 +199,7 @@ int main(int argc, char** argv) {
   }
   if (json) {
     std::printf("\n]\n");
-  } else if (!timeline && paths.size() > 1) {
+  } else if (!timeline && !stats && paths.size() > 1) {
     std::printf("\n%zu trace(s):", paths.size());
     for (const auto& [verdict, count] : verdict_counts) {
       std::printf(" %s=%llu", obs::VerdictName(verdict),
